@@ -1,0 +1,39 @@
+//! # motor-baselines — the managed-wrapper comparison systems
+//!
+//! Every system the paper's evaluation (§8) compares Motor against, built
+//! on the *same* managed runtime and Message Passing Core so the measured
+//! differences isolate the binding architecture — exactly the paper's
+//! experimental design (single node, "we are only interested in the
+//! performance of the MPI implementation, rather than the underlying
+//! transport"):
+//!
+//! * [`callconv`] — the managed-to-native transition machinery: P/Invoke
+//!   (argument marshalling + security stack walk + mode flips) and JNI
+//!   (method-ID resolution + copy-based array access), with the SSCLI and
+//!   .NET host profiles.
+//! * [`indiana`] — the Indiana University C# bindings analog: P/Invoke per
+//!   call, **unconditional pinning per operation**, CLI binary
+//!   serialization for object transport.
+//! * [`mpijava`] — the mpiJava analog: JNI per call, automatic pin/unpin,
+//!   staging-copy array access, Java serialization for `MPI.OBJECT`.
+//! * [`cliser`] — the `BinaryFormatter` analog (opt-out traversal,
+//!   assembly-qualified names, reflection cost differing by host profile,
+//!   no split capability).
+//! * [`javaser`] — the `ObjectOutputStream` analog (genuinely recursive
+//!   with a stack budget → overflow on long lists; handle-table rebuild →
+//!   the Figure 10 "bump").
+//!
+//! The native baseline (the paper's "C++ / MPICH2" line) is `motor-mpc`
+//! used directly — no VM, no wrapper.
+
+pub mod callconv;
+pub mod cliser;
+pub mod indiana;
+pub mod javaser;
+pub mod mpijava;
+
+pub use callconv::{HostProfile, JniEnv, TransitionState};
+pub use cliser::CliFormatter;
+pub use indiana::Indiana;
+pub use javaser::{JavaSerError, JavaSerializer, DEFAULT_STACK_BUDGET};
+pub use mpijava::MpiJava;

@@ -1,0 +1,223 @@
+//! Runtime-integration ablations (DESIGN.md):
+//!
+//! * **Pinning policy vs pin-always** — the paper's central performance
+//!   claim (§7.4): the policy "minimises the performance overhead imposed
+//!   by pinning unnecessarily for each operation."
+//! * **Call transitions** — FCall vs P/Invoke vs JNI per-call cost (§5.1).
+//! * **Conditional unpin at GC vs a checker pass** — the paper's §4.3
+//!   rejected alternative ("test non-blocking transport operations and
+//!   unpin buffers in a separate thread ... imposes an unnecessary
+//!   overhead").
+//! * **Eager vs rendezvous** — the protocol switchover inherited from
+//!   MPICH2's CH3 design (§6).
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use motor_baselines::{HostProfile, JniEnv, TransitionState};
+use motor_bench::protocol::PingPongProtocol;
+use motor_core::cluster::{run_cluster, ClusterConfig};
+use motor_core::fcall::Fcall;
+use motor_core::PinPolicy;
+use motor_mpc::universe::{Universe, UniverseConfig};
+use motor_mpc::DeviceConfig;
+use motor_runtime::{ElemKind, MotorThread, Vm, VmConfig};
+use parking_lot::Mutex;
+
+/// Managed ping-pong under an explicit pinning policy.
+fn policy_pingpong_us(policy: PinPolicy, bytes: usize) -> f64 {
+    let protocol = PingPongProtocol { warmup: 20, timed: 50, repeats: 1 };
+    let result = Arc::new(Mutex::new(0.0f64));
+    let r = Arc::clone(&result);
+    run_cluster(
+        2,
+        ClusterConfig { policy, ..Default::default() },
+        |_| {},
+        move |proc| {
+            let mp = proc.mp();
+            let t = proc.thread();
+            let buf = t.alloc_prim_array(ElemKind::U8, bytes);
+            if mp.rank() == 0 {
+                let us = protocol.measure(|| {
+                    mp.send(buf, 1, 0).unwrap();
+                    mp.recv(buf, 1, 0).unwrap();
+                });
+                *r.lock() = us;
+            } else {
+                for _ in 0..protocol.total_iterations() {
+                    mp.recv(buf, 0, 0).unwrap();
+                    mp.send(buf, 0, 0).unwrap();
+                }
+            }
+        },
+    )
+    .unwrap();
+    let v = *result.lock();
+    v
+}
+
+fn bench_pinning_policy(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_pinning");
+    g.sample_size(10);
+    for (name, policy) in [("motor_policy", PinPolicy::Motor), ("pin_always", PinPolicy::Always)] {
+        g.bench_function(name, |b| {
+            b.iter_custom(|iters| {
+                let mut total = Duration::ZERO;
+                for _ in 0..iters {
+                    let us = policy_pingpong_us(policy, 1024);
+                    total += Duration::from_nanos((us * 1000.0) as u64);
+                }
+                total
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_call_transitions(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_calls");
+    let vm = Vm::new(VmConfig::default());
+    let thread = MotorThread::attach(vm);
+    g.bench_function("fcall", |b| {
+        b.iter(|| {
+            let fc = Fcall::enter(&thread);
+            criterion::black_box(&fc);
+        });
+    });
+    let t = TransitionState::new();
+    g.bench_function("pinvoke_net", |b| {
+        b.iter(|| criterion::black_box(t.pinvoke(HostProfile::Net, &[1, 2, 3, 4])));
+    });
+    g.bench_function("pinvoke_sscli", |b| {
+        b.iter(|| criterion::black_box(t.pinvoke(HostProfile::Sscli, &[1, 2, 3, 4])));
+    });
+    let env = JniEnv::new();
+    g.bench_function("jni", |b| {
+        b.iter(|| {
+            criterion::black_box(env.transition("mpi/Comm", "send", "([BIII)V", &[1, 2, 3]))
+        });
+    });
+    g.finish();
+}
+
+fn bench_conditional_unpin(c: &mut Criterion) {
+    use motor_mpc::request::RequestState;
+    let mut g = c.benchmark_group("ablation_unpin");
+    g.sample_size(20);
+    const N: usize = 64;
+
+    // GC-integrated: N conditional pins on completed requests; the minor
+    // collection both resolves and discards them.
+    g.bench_function("gc_mark_phase_resolution", |b| {
+        b.iter_custom(|iters| {
+            let mut total = Duration::ZERO;
+            for _ in 0..iters {
+                let vm = Vm::new(VmConfig::default());
+                let t = MotorThread::attach(Arc::clone(&vm));
+                let bufs: Vec<_> =
+                    (0..N).map(|_| t.alloc_prim_array(ElemKind::U8, 64)).collect();
+                let reqs: Vec<_> = (0..N).map(|i| RequestState::new(i as u64)).collect();
+                for (buf, req) in bufs.iter().zip(&reqs) {
+                    let r = Arc::clone(req);
+                    t.pin_conditional(*buf, Arc::new(move || r.in_flight()));
+                }
+                for r in &reqs {
+                    r.complete();
+                }
+                let start = std::time::Instant::now();
+                t.collect_minor();
+                total += start.elapsed();
+            }
+            total
+        });
+    });
+
+    // Checker-pass alternative: hard pins released by an explicit test
+    // loop over every request (the "separate thread" design), followed by
+    // the same collection.
+    g.bench_function("checker_pass_then_gc", |b| {
+        b.iter_custom(|iters| {
+            let mut total = Duration::ZERO;
+            for _ in 0..iters {
+                let vm = Vm::new(VmConfig::default());
+                let t = MotorThread::attach(Arc::clone(&vm));
+                let bufs: Vec<_> =
+                    (0..N).map(|_| t.alloc_prim_array(ElemKind::U8, 64)).collect();
+                let reqs: Vec<_> = (0..N).map(|i| RequestState::new(i as u64)).collect();
+                let tokens: Vec<_> = bufs.iter().map(|b| t.pin(*b)).collect();
+                for r in &reqs {
+                    r.complete();
+                }
+                let start = std::time::Instant::now();
+                // The checker must poll each request and unpin.
+                for (req, tok) in reqs.iter().zip(tokens) {
+                    if req.is_complete() {
+                        t.unpin(tok);
+                    }
+                }
+                t.collect_minor();
+                total += start.elapsed();
+            }
+            total
+        });
+    });
+    g.finish();
+}
+
+fn native_pingpong_us(eager_threshold: usize, bytes: usize) -> f64 {
+    let protocol = PingPongProtocol { warmup: 20, timed: 50, repeats: 1 };
+    let result = Arc::new(Mutex::new(0.0f64));
+    let r = Arc::clone(&result);
+    let config = UniverseConfig {
+        device: DeviceConfig { eager_threshold },
+        ..Default::default()
+    };
+    Universe::run_with(2, config, move |proc| {
+        let world = proc.world();
+        let mut buf = vec![0u8; bytes];
+        if world.rank() == 0 {
+            let us = protocol.measure(|| {
+                world.send_bytes(&buf, 1, 0).unwrap();
+                world.recv_bytes(&mut buf, 1, 0).unwrap();
+            });
+            *r.lock() = us;
+        } else {
+            for _ in 0..protocol.total_iterations() {
+                world.recv_bytes(&mut buf, 0, 0).unwrap();
+                world.send_bytes(&buf, 0, 0).unwrap();
+            }
+        }
+    })
+    .unwrap();
+    let v = *result.lock();
+    v
+}
+
+fn bench_eager_threshold(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_eager");
+    g.sample_size(10);
+    const BYTES: usize = 32 * 1024;
+    for (name, threshold) in [("eager_path", 1 << 20), ("rendezvous_path", 1024)] {
+        g.bench_function(name, |b| {
+            b.iter_custom(|iters| {
+                let mut total = Duration::ZERO;
+                for _ in 0..iters {
+                    let us = native_pingpong_us(threshold, BYTES);
+                    total += Duration::from_nanos((us * 1000.0) as u64);
+                }
+                total
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_pinning_policy,
+    bench_call_transitions,
+    bench_conditional_unpin,
+    bench_eager_threshold
+);
+criterion_main!(benches);

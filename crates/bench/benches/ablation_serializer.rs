@@ -1,0 +1,106 @@
+//! Serializer ablations (DESIGN.md):
+//!
+//! * **Linear vs hashed visited structure** — the paper's §7.5 admission
+//!   ("a linear structure ... causes excessive search times with large
+//!   numbers of objects") against its announced fix.
+//! * **FieldDesc Transportable bit vs reflection lookup** — why Motor put
+//!   the attribute on the FieldDesc instead of querying metadata.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use motor_core::{AttrLookup, Serializer, VisitedStrategy};
+use motor_runtime::{ClassId, ElemKind, Handle, MotorThread, Vm, VmConfig};
+use std::sync::Arc;
+
+struct Fixture {
+    _vm: Arc<Vm>,
+    thread: MotorThread,
+    node: ClassId,
+}
+
+fn fixture() -> Fixture {
+    let vm = Vm::new(VmConfig::default());
+    let node = {
+        let mut reg = vm.registry_mut();
+        let arr = reg.prim_array(ElemKind::I32);
+        let next_id = ClassId(reg.len() as u32);
+        reg.define_class("LinkedArray")
+            .prim("tag", ElemKind::I32)
+            .transportable("array", arr)
+            .transportable("next", next_id)
+            .reference("next2", next_id)
+            .build()
+    };
+    let thread = MotorThread::attach(Arc::clone(&vm));
+    Fixture { _vm: vm, thread, node }
+}
+
+fn build_list(f: &Fixture, elements: usize) -> Handle {
+    let t = &f.thread;
+    let (ftag, farr, fnext) = (
+        t.field_index(f.node, "tag"),
+        t.field_index(f.node, "array"),
+        t.field_index(f.node, "next"),
+    );
+    let mut head = t.null_handle();
+    for i in (0..elements).rev() {
+        let h = t.alloc_instance(f.node);
+        t.set_prim::<i32>(h, ftag, i as i32);
+        let a = t.alloc_prim_array(ElemKind::I32, 4);
+        t.set_ref(h, farr, a);
+        t.set_ref(h, fnext, head);
+        t.release(a);
+        t.release(head);
+        head = h;
+    }
+    head
+}
+
+fn bench_visited(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_visited");
+    g.sample_size(20);
+    for &elements in &[64usize, 512, 2048] {
+        let f = fixture();
+        let head = build_list(&f, elements);
+        for (name, strategy) in
+            [("linear", VisitedStrategy::Linear), ("hashed", VisitedStrategy::Hashed)]
+        {
+            let ser = Serializer::new(&f.thread).with_strategy(strategy);
+            g.bench_with_input(
+                BenchmarkId::new(name, elements * 2),
+                &elements,
+                |b, _| {
+                    b.iter(|| {
+                        let (bytes, _) = ser.serialize(head).unwrap();
+                        criterion::black_box(bytes.len())
+                    });
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+fn bench_attr_lookup(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_transportable_lookup");
+    g.sample_size(20);
+    let f = fixture();
+    let head = build_list(&f, 256);
+    for (name, attrs) in
+        [("fielddesc_bit", AttrLookup::FieldDescBit), ("reflection", AttrLookup::Reflection)]
+    {
+        // The hashed strategy isolates the attribute-lookup cost from the
+        // visited-list quadratic term.
+        let ser =
+            Serializer::new(&f.thread).with_strategy(VisitedStrategy::Hashed).with_attr_lookup(attrs);
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let (bytes, _) = ser.serialize(head).unwrap();
+                criterion::black_box(bytes.len())
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_visited, bench_attr_lookup);
+criterion_main!(benches);

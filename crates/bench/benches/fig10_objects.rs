@@ -1,0 +1,51 @@
+//! Criterion bench for Figure 10: ping-pong of linked-list object trees.
+//!
+//! Tracks representative object counts for the paper's four series plus
+//! our hashed-visited ablation variant. The full sweep is produced by the
+//! `figures` binary.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use motor_bench::protocol::PingPongProtocol;
+use motor_bench::series::{fig10_object_pingpong_us, Fig10Impl};
+
+fn bench_fig10(c: &mut Criterion) {
+    let protocol = PingPongProtocol { warmup: 10, timed: 30, repeats: 1 };
+    let mut g = c.benchmark_group("fig10_objects");
+    g.sample_size(10);
+    for &objects in &[32usize, 256, 1024] {
+        for sys in [
+            Fig10Impl::Motor,
+            Fig10Impl::MotorHashed,
+            Fig10Impl::MpiJava,
+            Fig10Impl::IndianaNet,
+            Fig10Impl::IndianaSscli,
+        ] {
+            // mpiJava cannot serialize past 1024 objects; skip the
+            // configurations the paper's figure marks as failed.
+            if sys == Fig10Impl::MpiJava && objects > 1024 {
+                continue;
+            }
+            g.bench_with_input(
+                BenchmarkId::new(sys.label(), objects),
+                &objects,
+                |b, &objects| {
+                    b.iter_custom(|iters| {
+                        let mut total = Duration::ZERO;
+                        for _ in 0..iters {
+                            let us = fig10_object_pingpong_us(sys, objects, protocol)
+                                .expect("feasible configuration");
+                            total += Duration::from_nanos((us * 1000.0) as u64);
+                        }
+                        total
+                    });
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig10);
+criterion_main!(benches);

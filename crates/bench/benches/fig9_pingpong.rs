@@ -1,0 +1,41 @@
+//! Criterion bench for Figure 9: ping-pong with regular MPI operations.
+//!
+//! Each sample runs the paper's protocol inside a fresh two-rank cluster
+//! and reports the measured per-iteration time. Full sweeps (all 17 buffer
+//! sizes) are produced by `cargo run -p motor-bench --release --bin
+//! figures -- fig9`; this bench tracks three representative sizes for all
+//! five systems.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use motor_bench::protocol::PingPongProtocol;
+use motor_bench::series::{fig9_pingpong_us, Fig9Impl};
+
+fn bench_fig9(c: &mut Criterion) {
+    let protocol = PingPongProtocol { warmup: 20, timed: 50, repeats: 1 };
+    let mut g = c.benchmark_group("fig9_pingpong");
+    g.sample_size(10);
+    for &bytes in &[64usize, 4096, 65536] {
+        for sys in Fig9Impl::ALL {
+            g.bench_with_input(
+                BenchmarkId::new(sys.label(), bytes),
+                &bytes,
+                |b, &bytes| {
+                    b.iter_custom(|iters| {
+                        let mut total = Duration::ZERO;
+                        for _ in 0..iters {
+                            let us = fig9_pingpong_us(sys, bytes, protocol);
+                            total += Duration::from_nanos((us * 1000.0) as u64);
+                        }
+                        total
+                    });
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig9);
+criterion_main!(benches);

@@ -1,0 +1,125 @@
+//! Regenerate the paper's figures.
+//!
+//! ```text
+//! figures fig9            # Figure 9: ping-pong, regular MPI operations
+//! figures fig10           # Figure 10: ping-pong, linked-list object trees
+//! figures all             # both
+//! figures fig9 --quick    # reduced protocol (CI smoke)
+//! ```
+//!
+//! Output: a markdown table per figure on stdout and a CSV next to it in
+//! `bench_results/`.
+
+use std::fmt::Write as _;
+use std::fs;
+
+use motor_bench::protocol::{DEFAULT_PROTOCOL, QUICK_PROTOCOL};
+use motor_bench::series::{fig10_object_pingpong_us, fig9_pingpong_us, Fig10Impl, Fig9Impl};
+use motor_bench::workloads::{fig10_object_counts, fig9_buffer_sizes};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let what = args.first().map(String::as_str).unwrap_or("all");
+    let protocol = if quick { QUICK_PROTOCOL } else { DEFAULT_PROTOCOL };
+
+    fs::create_dir_all("bench_results").ok();
+
+    match what {
+        "fig9" => fig9(protocol),
+        "fig10" => fig10(protocol),
+        "all" | "--quick" => {
+            fig9(protocol);
+            fig10(protocol);
+        }
+        other => {
+            eprintln!("unknown figure `{other}`; use fig9, fig10 or all");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn fig9(protocol: motor_bench::PingPongProtocol) {
+    println!("\n## Figure 9 — ping-pong, regular MPI operations (µs/iteration)\n");
+    let systems = Fig9Impl::ALL;
+    let sizes = fig9_buffer_sizes();
+
+    let mut md = String::new();
+    let mut csv = String::new();
+    write!(md, "| Buffer (bytes) |").unwrap();
+    write!(csv, "buffer_bytes").unwrap();
+    for s in systems {
+        write!(md, " {} |", s.label()).unwrap();
+        write!(csv, ",{}", s.label()).unwrap();
+    }
+    writeln!(md).unwrap();
+    write!(md, "|---:|").unwrap();
+    for _ in systems {
+        write!(md, "---:|").unwrap();
+    }
+    writeln!(md).unwrap();
+    writeln!(csv).unwrap();
+
+    for &bytes in &sizes {
+        write!(md, "| {bytes} |").unwrap();
+        write!(csv, "{bytes}").unwrap();
+        for sys in systems {
+            let us = fig9_pingpong_us(sys, bytes, protocol);
+            write!(md, " {us:.2} |").unwrap();
+            write!(csv, ",{us:.3}").unwrap();
+        }
+        writeln!(md).unwrap();
+        writeln!(csv).unwrap();
+        eprint!(".");
+    }
+    eprintln!();
+    println!("{md}");
+    fs::write("bench_results/fig9.csv", csv).expect("write fig9.csv");
+    println!("(written to bench_results/fig9.csv)");
+}
+
+fn fig10(protocol: motor_bench::PingPongProtocol) {
+    println!("\n## Figure 10 — ping-pong, linked-list object transport (µs/iteration)\n");
+    let systems = Fig10Impl::PAPER;
+    let counts = fig10_object_counts();
+
+    let mut md = String::new();
+    let mut csv = String::new();
+    write!(md, "| Total objects |").unwrap();
+    write!(csv, "total_objects").unwrap();
+    for s in systems {
+        write!(md, " {} |", s.label()).unwrap();
+        write!(csv, ",{}", s.label()).unwrap();
+    }
+    writeln!(md).unwrap();
+    write!(md, "|---:|").unwrap();
+    for _ in systems {
+        write!(md, "---:|").unwrap();
+    }
+    writeln!(md).unwrap();
+    writeln!(csv).unwrap();
+
+    for &objects in &counts {
+        write!(md, "| {objects} |").unwrap();
+        write!(csv, "{objects}").unwrap();
+        for sys in systems {
+            match fig10_object_pingpong_us(sys, objects, protocol) {
+                Some(us) => {
+                    write!(md, " {us:.2} |").unwrap();
+                    write!(csv, ",{us:.3}").unwrap();
+                }
+                None => {
+                    write!(md, " StackOverflow |").unwrap();
+                    write!(csv, ",").unwrap();
+                }
+            }
+        }
+        writeln!(md).unwrap();
+        writeln!(csv).unwrap();
+        eprint!(".");
+    }
+    eprintln!();
+    println!("{md}");
+    fs::write("bench_results/fig10.csv", csv).expect("write fig10.csv");
+    println!("(written to bench_results/fig10.csv)");
+}

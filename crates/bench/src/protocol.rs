@@ -1,0 +1,80 @@
+//! The paper's ping-pong timing protocol (§8).
+
+use motor_pal::clock::Stopwatch;
+
+/// "Each experiment performed 200 iterations, the last 100 of which were
+/// timed. ... Each buffer size was tested three times. The average time in
+/// microseconds per iteration was calculated for all three experiments."
+#[derive(Debug, Clone, Copy)]
+pub struct PingPongProtocol {
+    /// Untimed warm-up iterations.
+    pub warmup: usize,
+    /// Timed iterations.
+    pub timed: usize,
+    /// Repeats whose results are averaged.
+    pub repeats: usize,
+}
+
+/// The paper's protocol: 100 warm-up + 100 timed iterations, 3 repeats.
+pub const DEFAULT_PROTOCOL: PingPongProtocol =
+    PingPongProtocol { warmup: 100, timed: 100, repeats: 3 };
+
+/// A quick protocol for CI/Criterion contexts.
+pub const QUICK_PROTOCOL: PingPongProtocol =
+    PingPongProtocol { warmup: 10, timed: 20, repeats: 1 };
+
+impl PingPongProtocol {
+    /// Time `iteration` under this protocol from the *measuring* rank.
+    /// Returns the mean microseconds per iteration across repeats.
+    pub fn measure(&self, mut iteration: impl FnMut()) -> f64 {
+        let mut total_us = 0.0;
+        for _ in 0..self.repeats {
+            for _ in 0..self.warmup {
+                iteration();
+            }
+            let sw = Stopwatch::start();
+            for _ in 0..self.timed {
+                iteration();
+            }
+            total_us += sw.elapsed_micros_f64() / self.timed as f64;
+        }
+        total_us / self.repeats as f64
+    }
+
+    /// Iterations the *non-measuring* rank must serve.
+    pub fn total_iterations(&self) -> usize {
+        (self.warmup + self.timed) * self.repeats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper() {
+        assert_eq!(DEFAULT_PROTOCOL.warmup + DEFAULT_PROTOCOL.timed, 200);
+        assert_eq!(DEFAULT_PROTOCOL.timed, 100);
+        assert_eq!(DEFAULT_PROTOCOL.repeats, 3);
+        assert_eq!(DEFAULT_PROTOCOL.total_iterations(), 600);
+    }
+
+    #[test]
+    fn measure_counts_only_timed_iterations() {
+        let mut calls = 0usize;
+        let p = PingPongProtocol { warmup: 5, timed: 10, repeats: 2 };
+        let us = p.measure(|| {
+            calls += 1;
+            std::hint::black_box(());
+        });
+        assert_eq!(calls, p.total_iterations());
+        assert!(us >= 0.0);
+    }
+
+    #[test]
+    fn measure_tracks_real_time() {
+        let p = PingPongProtocol { warmup: 0, timed: 5, repeats: 1 };
+        let us = p.measure(|| std::thread::sleep(std::time::Duration::from_millis(1)));
+        assert!(us >= 1000.0, "each iteration sleeps 1 ms, got {us} µs");
+    }
+}

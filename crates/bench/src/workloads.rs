@@ -1,0 +1,153 @@
+//! Workload generators for the figure sweeps.
+
+use motor_core::MotorProc;
+use motor_runtime::{ClassId, ElemKind, Handle, TypeRegistry};
+
+/// Figure 9's buffer sizes: 4 B … 262144 B in powers of two.
+pub fn fig9_buffer_sizes() -> Vec<usize> {
+    (2..=18).map(|p| 1usize << p).collect()
+}
+
+/// Figure 10's total-object counts: 2 … 8192 in powers of two.
+pub fn fig10_object_counts() -> Vec<usize> {
+    (1..=13).map(|p| 1usize << p).collect()
+}
+
+/// The Figure 10 structured-data workload: "The structured data was in the
+/// form of a linked list, with each list element containing a buffer
+/// (Figure 5 shows a similar structure). The total data buffer was 4096
+/// bytes, evenly distributed over the entire linked list. The total number
+/// of objects transported is twice the number of linked list elements
+/// because the data array referenced by each linked list element is itself
+/// an object."
+#[derive(Debug, Clone, Copy)]
+pub struct LinkedListSpec {
+    /// Total objects transported (elements × 2).
+    pub total_objects: usize,
+    /// Total payload bytes spread across the element arrays.
+    pub total_payload: usize,
+}
+
+impl LinkedListSpec {
+    /// The paper's configuration for a given object count.
+    pub fn paper(total_objects: usize) -> LinkedListSpec {
+        assert!(total_objects >= 2 && total_objects.is_multiple_of(2));
+        LinkedListSpec { total_objects, total_payload: 4096 }
+    }
+
+    /// Linked-list elements (nodes).
+    pub fn elements(&self) -> usize {
+        self.total_objects / 2
+    }
+
+    /// `i32` entries in each node's data array.
+    pub fn ints_per_element(&self) -> usize {
+        (self.total_payload / self.elements()) / 4
+    }
+}
+
+/// The paper's `LinkedArray` class (Figure 5): a transportable `i32[]`, a
+/// transportable `next`, and a non-transportable `next2`.
+pub fn define_linked_array(reg: &mut TypeRegistry) -> ClassId {
+    let arr = reg.prim_array(ElemKind::I32);
+    let next_id = ClassId(reg.len() as u32);
+    reg.define_class("LinkedArray")
+        .prim("tag", ElemKind::I32)
+        .transportable("array", arr)
+        .transportable("next", next_id)
+        .reference("next2", next_id)
+        .build()
+}
+
+/// Build the Figure 10 list on a rank; returns the head handle.
+pub fn build_linked_list(proc: &MotorProc, spec: LinkedListSpec) -> Handle {
+    let t = proc.thread();
+    let node = proc.vm().registry().by_name("LinkedArray").expect("LinkedArray defined");
+    let (ftag, farr, fnext) = (
+        t.field_index(node, "tag"),
+        t.field_index(node, "array"),
+        t.field_index(node, "next"),
+    );
+    let ints = spec.ints_per_element();
+    let data: Vec<i32> = (0..ints).map(|j| j as i32).collect();
+    let mut head = t.null_handle();
+    for i in (0..spec.elements()).rev() {
+        let n = t.alloc_instance(node);
+        t.set_prim::<i32>(n, ftag, i as i32);
+        let a = t.alloc_prim_array(ElemKind::I32, ints);
+        if ints > 0 {
+            t.prim_write(a, 0, &data);
+        }
+        t.set_ref(n, farr, a);
+        t.set_ref(n, fnext, head);
+        t.release(a);
+        t.release(head);
+        head = n;
+    }
+    head
+}
+
+/// Count the elements of a received list (validation in the harness).
+pub fn list_length(proc: &MotorProc, head: Handle) -> usize {
+    let t = proc.thread();
+    let node = proc.vm().registry().by_name("LinkedArray").expect("LinkedArray defined");
+    let fnext = t.field_index(node, "next");
+    let mut n = 0;
+    let mut cur = t.clone_handle(head);
+    while !t.is_null(cur) {
+        n += 1;
+        let nx = t.get_ref(cur, fnext);
+        t.release(cur);
+        cur = nx;
+    }
+    t.release(cur);
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig9_sweep_matches_paper_range() {
+        let s = fig9_buffer_sizes();
+        assert_eq!(*s.first().unwrap(), 4);
+        assert_eq!(*s.last().unwrap(), 262_144);
+        assert!(s.windows(2).all(|w| w[1] == w[0] * 2));
+    }
+
+    #[test]
+    fn fig10_sweep_matches_paper_range() {
+        let s = fig10_object_counts();
+        assert_eq!(*s.first().unwrap(), 2);
+        assert_eq!(*s.last().unwrap(), 8192);
+    }
+
+    #[test]
+    fn spec_distributes_payload_evenly() {
+        let spec = LinkedListSpec::paper(16);
+        assert_eq!(spec.elements(), 8);
+        assert_eq!(spec.ints_per_element(), 4096 / 8 / 4);
+        // Large object counts: arrays shrink to zero entries but remain
+        // objects.
+        let big = LinkedListSpec::paper(8192);
+        assert_eq!(big.elements(), 4096);
+        assert_eq!(big.ints_per_element(), 0);
+    }
+
+    #[test]
+    fn list_builder_roundtrip() {
+        motor_core::cluster::run_cluster_default(
+            1,
+            |reg| {
+                define_linked_array(reg);
+            },
+            |proc| {
+                let spec = LinkedListSpec::paper(64);
+                let head = build_linked_list(proc, spec);
+                assert_eq!(list_length(proc, head), spec.elements());
+            },
+        )
+        .unwrap();
+    }
+}

@@ -1,0 +1,224 @@
+//! The Motor cluster harness: one VM instance per MPI rank.
+//!
+//! The paper's deployment model is N operating-system processes, each
+//! hosting a Motor virtual machine whose runtime embeds the Message
+//! Passing Core. Here each rank is an OS *thread* owning a private
+//! [`Vm`] (its own heap, collector, safepoints, type registry) wired to
+//! its peers through the universe's links — the same isolation the paper
+//! gets from process boundaries, minus the address-space separation.
+
+use std::sync::Arc;
+
+use motor_mpc::universe::{Proc, Universe, UniverseConfig};
+use motor_mpc::Comm;
+use motor_runtime::{MotorThread, TypeRegistry, Vm, VmConfig};
+
+use crate::bufpool::BufPool;
+use crate::error::CoreResult;
+use crate::mp::Mp;
+use crate::oomp::Oomp;
+use crate::pinning::PinPolicy;
+
+/// Configuration of a Motor cluster.
+#[derive(Clone, Default)]
+pub struct ClusterConfig {
+    /// Per-rank VM configuration.
+    pub vm: VmConfig,
+    /// Universe (transport/device) configuration.
+    pub universe: UniverseConfig,
+    /// Pinning policy applied by the `System.MP` bindings.
+    pub policy: PinPolicy,
+}
+
+/// One rank's Motor environment, handed to the rank body.
+pub struct MotorProc {
+    vm: Arc<Vm>,
+    thread: MotorThread,
+    comm: Comm,
+    pool: Arc<BufPool>,
+    policy: PinPolicy,
+    proc_: Proc,
+}
+
+impl MotorProc {
+    /// This rank.
+    pub fn rank(&self) -> usize {
+        self.comm.rank()
+    }
+
+    /// World size.
+    pub fn size(&self) -> usize {
+        self.comm.size()
+    }
+
+    /// The rank's VM.
+    pub fn vm(&self) -> &Arc<Vm> {
+        &self.vm
+    }
+
+    /// The rank's attached mutator thread.
+    pub fn thread(&self) -> &MotorThread {
+        &self.thread
+    }
+
+    /// The world communicator.
+    pub fn comm(&self) -> &Comm {
+        &self.comm
+    }
+
+    /// The regular MPI bindings (`System.MP`).
+    pub fn mp(&self) -> Mp<'_> {
+        Mp::with_policy(&self.thread, self.comm.clone(), self.policy)
+    }
+
+    /// The extended object-oriented operations.
+    pub fn oomp(&self) -> Oomp<'_> {
+        Oomp::new(&self.thread, self.comm.clone(), Arc::clone(&self.pool))
+    }
+
+    /// The OO buffer pool (diagnostics).
+    pub fn pool(&self) -> &Arc<BufPool> {
+        &self.pool
+    }
+
+    /// The underlying universe process (dynamic spawning etc.).
+    pub fn proc_(&self) -> &Proc {
+        &self.proc_
+    }
+}
+
+/// Run an `n`-rank Motor program. `define_types` is applied to every
+/// rank's fresh type registry before the body starts (all ranks must know
+/// the application classes, as all SPMD programs do); `body` is the rank
+/// program.
+pub fn run_cluster<D, B>(
+    n: usize,
+    config: ClusterConfig,
+    define_types: D,
+    body: B,
+) -> CoreResult<()>
+where
+    D: Fn(&mut TypeRegistry) + Send + Sync,
+    B: Fn(&MotorProc) + Send + Sync,
+{
+    let vm_config = config.vm.clone();
+    let policy = config.policy;
+    Universe::run_with(n, config.universe.clone(), move |proc| {
+        let vm = Vm::new(vm_config.clone());
+        {
+            let mut reg = vm.registry_mut();
+            define_types(&mut reg);
+        }
+        let thread = MotorThread::attach(Arc::clone(&vm));
+        let comm = proc.world().clone();
+        let mp = MotorProc {
+            vm,
+            thread,
+            comm,
+            pool: Arc::new(BufPool::new()),
+            policy,
+            proc_: proc,
+        };
+        body(&mp);
+    })?;
+    Ok(())
+}
+
+/// [`run_cluster`] with default configuration.
+pub fn run_cluster_default<D, B>(n: usize, define_types: D, body: B) -> CoreResult<()>
+where
+    D: Fn(&mut TypeRegistry) + Send + Sync,
+    B: Fn(&MotorProc) + Send + Sync,
+{
+    run_cluster(n, ClusterConfig::default(), define_types, body)
+}
+
+/// MPI-2 dynamic process management at the Motor level (paper §7: "we
+/// have implemented selected MPI-2 functionality such as dynamic process
+/// management and dynamic intercommunication routines").
+///
+/// Collective over `proc`'s world communicator: spawns `count` new Motor
+/// processes, each with its own fresh VM (types defined by
+/// `define_types`), running `entry`. Every parent receives the
+/// parent↔children [`InterComm`]; each child's [`MotorProc::parent_comm`]
+/// is the children↔parents intercommunicator.
+pub fn spawn_motor_children<D, B>(
+    proc: &MotorProc,
+    count: usize,
+    config: ClusterConfig,
+    define_types: D,
+    entry: B,
+) -> CoreResult<motor_mpc::universe::InterComm>
+where
+    D: Fn(&mut TypeRegistry) + Send + Sync + 'static,
+    B: Fn(&MotorProc) + Send + Sync + 'static,
+{
+    let vm_config = config.vm.clone();
+    let policy = config.policy;
+    let inter = proc.proc_.universe().spawn_children(
+        proc.comm(),
+        count,
+        move |child: Proc| {
+            let vm = Vm::new(vm_config.clone());
+            {
+                let mut reg = vm.registry_mut();
+                define_types(&mut reg);
+            }
+            let thread = MotorThread::attach(Arc::clone(&vm));
+            let comm = child.world().clone();
+            let mp = MotorProc {
+                vm,
+                thread,
+                comm,
+                pool: Arc::new(BufPool::new()),
+                policy,
+                proc_: child,
+            };
+            entry(&mp);
+        },
+    )?;
+    Ok(inter)
+}
+
+impl MotorProc {
+    /// The parent intercommunicator, if this Motor process was spawned
+    /// dynamically (the `MPI_Comm_get_parent` analog).
+    pub fn parent_comm(&self) -> Option<&motor_mpc::universe::InterComm> {
+        self.proc_.parent()
+    }
+
+    /// Object transport to a remote-group rank of an intercommunicator:
+    /// serialize with the Motor mechanism, ship size then data.
+    pub fn osend_inter(
+        &self,
+        inter: &motor_mpc::universe::InterComm,
+        obj: motor_runtime::Handle,
+        remote_rank: usize,
+        tag: i32,
+    ) -> CoreResult<()> {
+        let ser = crate::serial::Serializer::new(&self.thread);
+        let (bytes, _) = ser.serialize(obj)?;
+        let size = (bytes.len() as u64).to_le_bytes();
+        inter.send_bytes(&size, remote_rank, tag)?;
+        inter.send_bytes(&bytes, remote_rank, tag)?;
+        Ok(())
+    }
+
+    /// Receive an object tree from a remote-group rank of an
+    /// intercommunicator (`remote_rank` may be [`crate::ANY_SOURCE`]).
+    pub fn orecv_inter(
+        &self,
+        inter: &motor_mpc::universe::InterComm,
+        remote_rank: i32,
+        tag: i32,
+    ) -> CoreResult<(motor_runtime::Handle, usize)> {
+        let mut size = [0u8; 8];
+        let st = inter.recv_bytes(&mut size, remote_rank, tag)?;
+        let len = u64::from_le_bytes(size) as usize;
+        let mut data = vec![0u8; len];
+        inter.recv_bytes(&mut data, st.source as i32, st.tag)?;
+        let ser = crate::serial::Serializer::new(&self.thread);
+        let root = ser.deserialize(&data)?;
+        Ok((root, st.source as usize))
+    }
+}

@@ -1,0 +1,162 @@
+//! The FCall discipline — the trusted runtime-internal call boundary.
+//!
+//! Paper §5.1: FCalls "are internally trusted. Therefore, they are more
+//! efficient than P/Invoke calls because they do not have parameter
+//! marshalling and security checks," but in exchange "they must behave
+//! like managed code": poll the collector on entry, while waiting, and on
+//! exit, and explicitly protect object pointers.
+//!
+//! [`Fcall`] is the RAII analog of the `FCIMPL`/`HELPER_METHOD_FRAME`
+//! macros: constructing it performs the entry poll, dropping it performs
+//! the exit poll; in between the FCall body runs cooperatively (the
+//! collector waits for it), so raw object addresses obtained inside are
+//! stable until the body explicitly polls — exactly the window the Motor
+//! pinning policy exploits (§7.4).
+
+use motor_runtime::{ClassId, ElemKind, Handle, MotorThread, TypeKind};
+
+use crate::error::{CoreError, CoreResult};
+
+/// An active FCall frame.
+pub struct Fcall<'t> {
+    thread: &'t MotorThread,
+}
+
+impl<'t> Fcall<'t> {
+    /// Enter an FCall: polls the collector (entry poll).
+    pub fn enter(thread: &'t MotorThread) -> Fcall<'t> {
+        thread.poll();
+        Fcall { thread }
+    }
+
+    /// The attached thread.
+    pub fn thread(&self) -> &'t MotorThread {
+        self.thread
+    }
+
+    /// Poll inside the FCall (the polling-wait lap hook).
+    #[inline]
+    pub fn poll(&self) {
+        self.thread.poll();
+    }
+
+    /// Parameter check: the object must be non-null.
+    pub fn check_not_null(&self, h: Handle) -> CoreResult<()> {
+        if self.thread.is_null(h) {
+            return Err(CoreError::NullBuffer);
+        }
+        Ok(())
+    }
+
+    /// Parameter check for the regular MPI bindings (paper §4.2.1): "Only
+    /// object types with no object references or arrays of simple types can
+    /// be used as send or receive objects. This prevents overwriting
+    /// references and protects the integrity of the object model."
+    pub fn check_transportable_raw(&self, h: Handle) -> CoreResult<ClassId> {
+        self.check_not_null(h)?;
+        let class = self.thread.class_of(h);
+        let vm = self.thread.vm();
+        let reg = vm.registry();
+        let mt = reg.table(class);
+        match &mt.kind {
+            TypeKind::Class if mt.has_refs => {
+                Err(CoreError::ObjectModelIntegrity(mt.name.clone()))
+            }
+            TypeKind::ObjArray(_) => Err(CoreError::ObjectModelIntegrity(mt.name.clone())),
+            _ => Ok(class),
+        }
+    }
+
+    /// Resolve the zero-copy window of a validated object: `(ptr, bytes)`.
+    /// Stability rules are the pinning policy's business.
+    pub fn data_window(&self, h: Handle) -> (*mut u8, usize) {
+        self.thread.raw_data_window(h)
+    }
+
+    /// Element kind of a primitive or multidimensional array (None for a
+    /// ref-free class object).
+    pub fn elem_kind(&self, h: Handle) -> Option<ElemKind> {
+        let class = self.thread.class_of(h);
+        let vm = self.thread.vm();
+        let reg = vm.registry();
+        match reg.table(class).kind {
+            TypeKind::PrimArray(k) => Some(k),
+            TypeKind::MdArray { elem, .. } => Some(elem),
+            _ => None,
+        }
+    }
+}
+
+impl Drop for Fcall<'_> {
+    fn drop(&mut self) {
+        // Exit poll.
+        self.thread.poll();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use motor_runtime::{Vm, VmConfig};
+    use std::sync::Arc;
+
+    fn setup() -> (Arc<Vm>, MotorThread) {
+        let vm = Vm::new(VmConfig::default());
+        let t = MotorThread::attach(Arc::clone(&vm));
+        (vm, t)
+    }
+
+    #[test]
+    fn fcall_polls_on_entry_and_exit() {
+        let (_vm, t) = setup();
+        // No pending GC: polls are no-ops but must not hang.
+        let f = Fcall::enter(&t);
+        f.poll();
+        drop(f);
+    }
+
+    #[test]
+    fn null_buffers_rejected() {
+        let (_vm, t) = setup();
+        let f = Fcall::enter(&t);
+        let null = t.null_handle();
+        assert!(matches!(f.check_not_null(null), Err(CoreError::NullBuffer)));
+    }
+
+    #[test]
+    fn ref_bearing_objects_rejected_for_raw_transport() {
+        let (vm, t) = setup();
+        let arr = {
+            let mut reg = vm.registry_mut();
+            reg.prim_array(ElemKind::I32)
+        };
+        let bad = {
+            let mut reg = vm.registry_mut();
+            reg.define_class("HasRef").transportable("data", arr).build()
+        };
+        let good = {
+            let mut reg = vm.registry_mut();
+            reg.define_class("Plain").prim("x", ElemKind::F64).build()
+        };
+        let f = Fcall::enter(&t);
+        let h_bad = t.alloc_instance(bad);
+        let h_good = t.alloc_instance(good);
+        let h_arr = t.alloc_prim_array(ElemKind::I32, 4);
+        assert!(matches!(
+            f.check_transportable_raw(h_bad),
+            Err(CoreError::ObjectModelIntegrity(_))
+        ));
+        assert!(f.check_transportable_raw(h_good).is_ok());
+        assert!(f.check_transportable_raw(h_arr).is_ok());
+    }
+
+    #[test]
+    fn elem_kind_reports_array_types() {
+        let (_vm, t) = setup();
+        let f = Fcall::enter(&t);
+        let a = t.alloc_prim_array(ElemKind::F64, 3);
+        let m = t.alloc_md_array(ElemKind::I32, &[2, 2]);
+        assert_eq!(f.elem_kind(a), Some(ElemKind::F64));
+        assert_eq!(f.elem_kind(m), Some(ElemKind::I32));
+    }
+}

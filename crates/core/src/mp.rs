@@ -1,0 +1,434 @@
+//! `System.MP` — Motor's regular MPI bindings over managed objects.
+//!
+//! These are the operations of paper §4.2.1, "based on the official C++
+//! MPI bindings ... simplified to protect the integrity of the underlying
+//! object model":
+//!
+//! * The buffer is a single managed object (ref-free class instance,
+//!   primitive array, or true multidimensional array). The `count`
+//!   parameter is gone — the object *is* the message.
+//! * The `MPI_Datatype` parameter is gone — the runtime knows the type.
+//! * Objects containing references are refused (use the extended
+//!   object-oriented operations of [`crate::oomp`]).
+//! * Sub-ranges are supported **for arrays only**, via overloads carrying
+//!   an element offset and count ("transporting portions of an array is
+//!   supported").
+//!
+//! Every operation is an FCall: it polls the collector on entry and exit,
+//! transfers zero-copy out of / into the object's instance data, and
+//! applies the Motor pinning policy of [`crate::pinning`].
+
+use motor_mpc::{Comm, DType, ReduceOp, Request};
+use motor_runtime::{ElemKind, Handle, MotorThread};
+
+use crate::error::{CoreError, CoreResult};
+use crate::fcall::Fcall;
+use crate::pinning::{self, PinPolicy};
+
+/// Re-export of the wildcard source rank.
+pub const ANY_SOURCE: i32 = motor_mpc::ANY_SOURCE;
+/// Re-export of the wildcard tag.
+pub const ANY_TAG: i32 = motor_mpc::ANY_TAG;
+
+/// Completion status of a Motor receive (the `MPI::Status` analog).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MpStatus {
+    /// Communicator rank of the sender.
+    pub source: usize,
+    /// Message tag.
+    pub tag: i32,
+    /// Bytes received.
+    pub bytes: usize,
+}
+
+impl From<motor_mpc::Status> for MpStatus {
+    fn from(s: motor_mpc::Status) -> Self {
+        MpStatus { source: s.source as usize, tag: s.tag, bytes: s.count }
+    }
+}
+
+/// A Motor non-blocking request (the `MPI::Request` analog). Holds the
+/// buffer handle alive for the duration; under the wrapper (`Always`)
+/// policy it also carries the hard pin to release at completion.
+pub struct MpRequest {
+    inner: Request,
+    buf: Handle,
+    hard_pin: Option<motor_runtime::PinToken>,
+}
+
+impl MpRequest {
+    /// Whether the operation has completed.
+    pub fn is_complete(&self) -> bool {
+        self.inner.is_complete()
+    }
+
+    /// The buffer object this request transports.
+    pub fn buffer(&self) -> Handle {
+        self.buf
+    }
+
+    /// The underlying transport request (tests / pin conditions).
+    pub fn inner(&self) -> &Request {
+        &self.inner
+    }
+}
+
+/// The `System.MP` interface bound to one rank: a managed thread plus a
+/// communicator into the runtime-internal Message Passing Core.
+pub struct Mp<'t> {
+    thread: &'t MotorThread,
+    comm: Comm,
+    policy: PinPolicy,
+}
+
+/// Map a managed element kind to a wire datatype.
+pub fn dtype_of(kind: ElemKind) -> DType {
+    match kind {
+        ElemKind::Bool | ElemKind::U8 => DType::U8,
+        ElemKind::I8 => DType::I8,
+        ElemKind::I16 => DType::I16,
+        ElemKind::U16 | ElemKind::Char => DType::U16,
+        ElemKind::I32 => DType::I32,
+        ElemKind::U32 => DType::U32,
+        ElemKind::I64 => DType::I64,
+        ElemKind::U64 => DType::U64,
+        ElemKind::F32 => DType::F32,
+        ElemKind::F64 => DType::F64,
+    }
+}
+
+impl<'t> Mp<'t> {
+    /// Bind the interface to a thread and communicator with the default
+    /// (Motor) pinning policy.
+    pub fn new(thread: &'t MotorThread, comm: Comm) -> Mp<'t> {
+        Self::with_policy(thread, comm, PinPolicy::Motor)
+    }
+
+    /// Bind with an explicit pinning policy (ablations and baselines).
+    pub fn with_policy(thread: &'t MotorThread, comm: Comm, policy: PinPolicy) -> Mp<'t> {
+        Mp { thread, comm, policy }
+    }
+
+    /// This rank within the communicator.
+    pub fn rank(&self) -> usize {
+        self.comm.rank()
+    }
+
+    /// Communicator size.
+    pub fn size(&self) -> usize {
+        self.comm.size()
+    }
+
+    /// The bound communicator.
+    pub fn comm(&self) -> &Comm {
+        &self.comm
+    }
+
+    /// The bound thread.
+    pub fn thread(&self) -> &'t MotorThread {
+        self.thread
+    }
+
+    /// The active pinning policy.
+    pub fn policy(&self) -> PinPolicy {
+        self.policy
+    }
+
+    // ------------------------------------------------------------------
+    // Window resolution
+    // ------------------------------------------------------------------
+
+    /// Validate and resolve the whole-object window.
+    fn window(&self, fc: &Fcall<'_>, obj: Handle) -> CoreResult<(*mut u8, usize)> {
+        fc.check_transportable_raw(obj)?;
+        Ok(fc.data_window(obj))
+    }
+
+    /// Validate and resolve an array sub-range window (element offset and
+    /// count), per the array overloads of §4.2.1.
+    fn range_window(
+        &self,
+        fc: &Fcall<'_>,
+        obj: Handle,
+        offset: usize,
+        count: usize,
+    ) -> CoreResult<(*mut u8, usize)> {
+        fc.check_transportable_raw(obj)?;
+        let kind = fc
+            .elem_kind(obj)
+            .ok_or_else(|| CoreError::Serialization("range transport requires an array".into()))?;
+        let len = self.thread.array_len(obj);
+        if offset + count > len {
+            return Err(CoreError::RangeOutOfBounds { offset, count, len });
+        }
+        let (ptr, _) = fc.data_window(obj);
+        let es = kind.size();
+        // SAFETY: offset bounds-checked against the array length.
+        Ok((unsafe { ptr.add(offset * es) }, count * es))
+    }
+
+    // ------------------------------------------------------------------
+    // Blocking point-to-point
+    // ------------------------------------------------------------------
+
+    /// Complete a started blocking operation with the paper's deferred
+    /// pinning: fast-path test first; pin only if we must enter the
+    /// polling wait.
+    fn finish_blocking(&self, buf: Handle, req: Request) -> CoreResult<MpStatus> {
+        if let Some(st) = self.comm.test(&req).map_err(CoreError::from)? {
+            pinning::note_fast_blocking_completion(self.thread, self.policy, buf);
+            return Ok(st.into());
+        }
+        let pin = pinning::pin_for_polling_wait(self.thread, self.policy, buf);
+        let st = self.comm.wait_with(&req, || self.thread.poll());
+        pinning::release(self.thread, pin);
+        Ok(st.map_err(CoreError::from)?.into())
+    }
+
+    /// Blocking standard-mode send of a whole object.
+    pub fn send(&self, obj: Handle, dest: usize, tag: i32) -> CoreResult<()> {
+        let fc = Fcall::enter(self.thread);
+        let (ptr, len) = self.window(&fc, obj)?;
+        // SAFETY: window stability is maintained by the pinning policy
+        // inside `finish_blocking` (no poll happens before the pin).
+        let req = unsafe { self.comm.isend_ptr(ptr, len, dest, tag)? };
+        self.finish_blocking(obj, req)?;
+        Ok(())
+    }
+
+    /// Blocking send of an array sub-range.
+    pub fn send_range(
+        &self,
+        obj: Handle,
+        offset: usize,
+        count: usize,
+        dest: usize,
+        tag: i32,
+    ) -> CoreResult<()> {
+        let fc = Fcall::enter(self.thread);
+        let (ptr, len) = self.range_window(&fc, obj, offset, count)?;
+        // SAFETY: as in `send`.
+        let req = unsafe { self.comm.isend_ptr(ptr, len, dest, tag)? };
+        self.finish_blocking(obj, req)?;
+        Ok(())
+    }
+
+    /// Blocking synchronous-mode send (completes only when matched).
+    pub fn ssend(&self, obj: Handle, dest: usize, tag: i32) -> CoreResult<()> {
+        let fc = Fcall::enter(self.thread);
+        let (ptr, len) = self.window(&fc, obj)?;
+        // SAFETY: as in `send`.
+        let req = unsafe { self.comm.issend_ptr(ptr, len, dest, tag)? };
+        self.finish_blocking(obj, req)?;
+        Ok(())
+    }
+
+    /// Blocking receive into a whole object.
+    pub fn recv(&self, obj: Handle, src: i32, tag: i32) -> CoreResult<MpStatus> {
+        let fc = Fcall::enter(self.thread);
+        let (ptr, len) = self.window(&fc, obj)?;
+        // SAFETY: as in `send`.
+        let req = unsafe { self.comm.irecv_ptr(ptr, len, src, tag)? };
+        self.finish_blocking(obj, req)
+    }
+
+    /// Blocking receive into an array sub-range.
+    pub fn recv_range(
+        &self,
+        obj: Handle,
+        offset: usize,
+        count: usize,
+        src: i32,
+        tag: i32,
+    ) -> CoreResult<MpStatus> {
+        let fc = Fcall::enter(self.thread);
+        let (ptr, len) = self.range_window(&fc, obj, offset, count)?;
+        // SAFETY: as in `send`.
+        let req = unsafe { self.comm.irecv_ptr(ptr, len, src, tag)? };
+        self.finish_blocking(obj, req)
+    }
+
+    // ------------------------------------------------------------------
+    // Non-blocking (immediate) point-to-point
+    // ------------------------------------------------------------------
+
+    /// Immediate send. The buffer is protected by a conditional pin that
+    /// the collector releases once the transport finishes (paper §4.3).
+    pub fn isend(&self, obj: Handle, dest: usize, tag: i32) -> CoreResult<MpRequest> {
+        let fc = Fcall::enter(self.thread);
+        let (ptr, len) = self.window(&fc, obj)?;
+        // SAFETY: the conditional pin registered below keeps the window
+        // stable for the transport's lifetime; no poll intervenes.
+        let req = unsafe { self.comm.isend_ptr(ptr, len, dest, tag)? };
+        let hard_pin = pinning::pin_for_nonblocking(self.thread, self.policy, obj, &req);
+        Ok(MpRequest { inner: req, buf: obj, hard_pin })
+    }
+
+    /// Immediate receive.
+    pub fn irecv(&self, obj: Handle, src: i32, tag: i32) -> CoreResult<MpRequest> {
+        let fc = Fcall::enter(self.thread);
+        let (ptr, len) = self.window(&fc, obj)?;
+        // SAFETY: as in `isend`.
+        let req = unsafe { self.comm.irecv_ptr(ptr, len, src, tag)? };
+        let hard_pin = pinning::pin_for_nonblocking(self.thread, self.policy, obj, &req);
+        Ok(MpRequest { inner: req, buf: obj, hard_pin })
+    }
+
+    /// Wait for an immediate operation, polling the collector while
+    /// waiting (the `MPI_Wait` analog).
+    pub fn wait(&self, req: &mut MpRequest) -> CoreResult<MpStatus> {
+        let _fc = Fcall::enter(self.thread);
+        let st = self.comm.wait_with(&req.inner, || self.thread.poll())?;
+        if let Some(tok) = req.hard_pin.take() {
+            self.thread.unpin(tok);
+        }
+        Ok(st.into())
+    }
+
+    /// Test an immediate operation (the `MPI_Test` analog).
+    pub fn test(&self, req: &mut MpRequest) -> CoreResult<Option<MpStatus>> {
+        let _fc = Fcall::enter(self.thread);
+        match self.comm.test(&req.inner)? {
+            Some(st) => {
+                if let Some(tok) = req.hard_pin.take() {
+                    self.thread.unpin(tok);
+                }
+                Ok(Some(st.into()))
+            }
+            None => Ok(None),
+        }
+    }
+
+    /// Blocking probe.
+    pub fn probe(&self, src: i32, tag: i32) -> CoreResult<MpStatus> {
+        let fc = Fcall::enter(self.thread);
+        loop {
+            fc.poll();
+            if let Some(s) = self.comm.iprobe(src, tag)? {
+                return Ok(s.into());
+            }
+        }
+    }
+
+    /// Non-blocking probe.
+    pub fn iprobe(&self, src: i32, tag: i32) -> CoreResult<Option<MpStatus>> {
+        let _fc = Fcall::enter(self.thread);
+        Ok(self.comm.iprobe(src, tag)?.map(Into::into))
+    }
+
+    // ------------------------------------------------------------------
+    // Collectives on managed objects
+    // ------------------------------------------------------------------
+
+    /// Pin a buffer for the duration of a collective if the policy says so
+    /// (collectives always "wait", so the deferred fast path does not
+    /// apply).
+    fn pin_for_collective(&self, obj: Handle) -> crate::pinning::HeldPin {
+        pinning::pin_for_polling_wait(self.thread, self.policy, obj)
+    }
+
+    /// Barrier across the communicator.
+    pub fn barrier(&self) -> CoreResult<()> {
+        let _fc = Fcall::enter(self.thread);
+        self.comm.barrier()?;
+        Ok(())
+    }
+
+    /// Broadcast a whole object from `root`.
+    pub fn bcast(&self, obj: Handle, root: usize) -> CoreResult<()> {
+        let fc = Fcall::enter(self.thread);
+        let (ptr, len) = self.window(&fc, obj)?;
+        let pin = self.pin_for_collective(obj);
+        // SAFETY: window pinned (or elder/stable) for the duration.
+        let buf = unsafe { std::slice::from_raw_parts_mut(ptr, len) };
+        let r = self.comm.bcast_bytes(buf, root);
+        pinning::release(self.thread, pin);
+        r?;
+        Ok(())
+    }
+
+    /// Scatter equal chunks of root's array into every rank's array.
+    /// `send` is significant at root only; `recv.len * size == send.len`.
+    pub fn scatter(&self, send: Option<Handle>, recv: Handle, root: usize) -> CoreResult<()> {
+        let fc = Fcall::enter(self.thread);
+        let (rptr, rlen) = self.window(&fc, recv)?;
+        let rpin = self.pin_for_collective(recv);
+        let spin_and_window = match (self.comm.rank() == root, send) {
+            (true, Some(s)) => {
+                let w = self.window(&fc, s)?;
+                Some((self.pin_for_collective(s), w))
+            }
+            (true, None) => return Err(CoreError::NullBuffer),
+            (false, _) => None,
+        };
+        // SAFETY: windows pinned/stable for the duration.
+        let rbuf = unsafe { std::slice::from_raw_parts_mut(rptr, rlen) };
+        let r = match &spin_and_window {
+            Some((_, (sptr, slen))) => {
+                let sbuf = unsafe { std::slice::from_raw_parts(*sptr, *slen) };
+                self.comm.scatter_bytes(Some(sbuf), rbuf, root)
+            }
+            None => self.comm.scatter_bytes(None, rbuf, root),
+        };
+        if let Some((pin, _)) = spin_and_window {
+            pinning::release(self.thread, pin);
+        }
+        pinning::release(self.thread, rpin);
+        r?;
+        Ok(())
+    }
+
+    /// Gather every rank's array into root's array (rank-ordered chunks).
+    pub fn gather(&self, send: Handle, recv: Option<Handle>, root: usize) -> CoreResult<()> {
+        let fc = Fcall::enter(self.thread);
+        let (sptr, slen) = self.window(&fc, send)?;
+        let spin = self.pin_for_collective(send);
+        let rpin_and_window = match (self.comm.rank() == root, recv) {
+            (true, Some(r)) => {
+                let w = self.window(&fc, r)?;
+                Some((self.pin_for_collective(r), w))
+            }
+            (true, None) => return Err(CoreError::NullBuffer),
+            (false, _) => None,
+        };
+        // SAFETY: windows pinned/stable for the duration.
+        let sbuf = unsafe { std::slice::from_raw_parts(sptr, slen) };
+        let r = match &rpin_and_window {
+            Some((_, (rptr, rlen))) => {
+                let rbuf = unsafe { std::slice::from_raw_parts_mut(*rptr, *rlen) };
+                self.comm.gather_bytes(sbuf, Some(rbuf), root)
+            }
+            None => self.comm.gather_bytes(sbuf, None, root),
+        };
+        if let Some((pin, _)) = rpin_and_window {
+            pinning::release(self.thread, pin);
+        }
+        pinning::release(self.thread, spin);
+        r?;
+        Ok(())
+    }
+
+    /// Elementwise allreduce over primitive arrays (datatype inferred from
+    /// the managed element kind — no `MPI_Datatype` parameter, §4.2.1).
+    pub fn allreduce(&self, send: Handle, recv: Handle, op: ReduceOp) -> CoreResult<()> {
+        let fc = Fcall::enter(self.thread);
+        let kind = fc
+            .elem_kind(send)
+            .ok_or_else(|| CoreError::Serialization("allreduce requires arrays".into()))?;
+        let (sptr, slen) = self.window(&fc, send)?;
+        let (rptr, rlen) = self.window(&fc, recv)?;
+        if slen != rlen {
+            return Err(CoreError::Serialization("allreduce buffer length mismatch".into()));
+        }
+        let spin = self.pin_for_collective(send);
+        let rpin = self.pin_for_collective(recv);
+        // SAFETY: windows pinned/stable for the duration.
+        let sbuf = unsafe { std::slice::from_raw_parts(sptr, slen) };
+        let rbuf = unsafe { std::slice::from_raw_parts_mut(rptr, rlen) };
+        let r = self.comm.allreduce_bytes(sbuf, rbuf, dtype_of(kind), op);
+        pinning::release(self.thread, spin);
+        pinning::release(self.thread, rpin);
+        r?;
+        Ok(())
+    }
+}

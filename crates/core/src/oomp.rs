@@ -1,0 +1,291 @@
+//! The extended object-oriented operations (paper §4.2.2, §7.5).
+//!
+//! `OSend` / `ORecv` / `OBcast` / `OScatter` / `OGather` transport whole
+//! objects, arrays of objects and trees of objects by serializing with the
+//! custom mechanism of [`crate::serial`] — "functionality not possible
+//! with other Java and .Net implementations of MPI, namely the ability to
+//! scatter / gather arrays of objects" (§1).
+//!
+//! Wire protocol: "Before sending the serialized buffer, Motor sends the
+//! size of the buffer. This ensures the receiver can prepare a sufficient
+//! buffer" (§7.5). Both messages travel on the user's tag; MPI
+//! non-overtaking keeps each size/data pair matched per sender.
+//!
+//! The serialized bytes live in pooled native buffers ([`crate::bufpool`]),
+//! so these operations never pin managed memory (§7.4).
+
+use std::cell::Cell;
+use std::sync::Arc;
+
+use motor_mpc::Comm;
+use motor_runtime::{Handle, MotorThread};
+
+use crate::bufpool::BufPool;
+use crate::error::{CoreError, CoreResult};
+use crate::fcall::Fcall;
+use crate::mp::MpStatus;
+use crate::serial::{AttrLookup, Serializer, VisitedStrategy};
+
+/// The extended object-oriented interface bound to one rank.
+pub struct Oomp<'t> {
+    thread: &'t MotorThread,
+    comm: Comm,
+    pool: Arc<BufPool>,
+    strategy: VisitedStrategy,
+    attrs: AttrLookup,
+    last_epoch: Cell<u64>,
+}
+
+impl<'t> Oomp<'t> {
+    /// Bind the OO operations to a thread and communicator.
+    pub fn new(thread: &'t MotorThread, comm: Comm, pool: Arc<BufPool>) -> Oomp<'t> {
+        Oomp {
+            thread,
+            comm,
+            pool,
+            strategy: VisitedStrategy::Linear,
+            attrs: AttrLookup::FieldDescBit,
+            last_epoch: Cell::new(0),
+        }
+    }
+
+    /// Override the serializer's visited-structure strategy (ablation).
+    pub fn with_strategy(mut self, s: VisitedStrategy) -> Self {
+        self.strategy = s;
+        self
+    }
+
+    /// Override the serializer's attribute-lookup path (ablation).
+    pub fn with_attr_lookup(mut self, a: AttrLookup) -> Self {
+        self.attrs = a;
+        self
+    }
+
+    fn serializer(&self) -> Serializer<'t> {
+        Serializer::new(self.thread).with_strategy(self.strategy).with_attr_lookup(self.attrs)
+    }
+
+    /// This rank.
+    pub fn rank(&self) -> usize {
+        self.comm.rank()
+    }
+
+    /// Communicator size.
+    pub fn size(&self) -> usize {
+        self.comm.size()
+    }
+
+    /// The paper's GC hook on the buffer stack: when a collection has
+    /// happened since the last operation, unallocate stale buffers.
+    fn maintain_pool(&self) {
+        let epoch = self.thread.vm().safepoint().epoch();
+        if epoch != self.last_epoch.get() {
+            self.pool.trim_at_gc(epoch);
+            self.last_epoch.set(epoch);
+        }
+    }
+
+    fn current_epoch(&self) -> u64 {
+        self.thread.vm().safepoint().epoch()
+    }
+
+    /// Send the size header followed by the data buffer.
+    fn send_sized(&self, bytes: &[u8], dest: usize, tag: i32) -> CoreResult<()> {
+        let size = (bytes.len() as u64).to_le_bytes();
+        self.comm.send_bytes(&size, dest, tag)?;
+        self.comm.send_bytes(bytes, dest, tag)?;
+        Ok(())
+    }
+
+    /// Receive a size header, then the data into a pooled buffer. Returns
+    /// the buffer and the sender's status.
+    fn recv_sized(&self, src: i32, tag: i32) -> CoreResult<(crate::bufpool::PoolBuf, MpStatus)> {
+        let mut size = [0u8; 8];
+        let st = self.comm.recv_bytes(&mut size, src, tag)?;
+        let len = u64::from_le_bytes(size) as usize;
+        let mut buf = self.pool.get(len, self.current_epoch());
+        buf.buf_mut().resize(len, 0);
+        // Pair with the same sender to keep size/data streams aligned.
+        let st2 = self.comm.recv_bytes(buf.buf_mut(), st.source as i32, st.tag)?;
+        debug_assert_eq!(st2.count, len);
+        Ok((buf, st.into()))
+    }
+
+    // ------------------------------------------------------------------
+    // Point-to-point object transport
+    // ------------------------------------------------------------------
+
+    /// Transport an object (tree) to `dest` — the `OSend` of Figure 4.
+    pub fn osend(&self, obj: Handle, dest: usize, tag: i32) -> CoreResult<()> {
+        let _fc = Fcall::enter(self.thread);
+        self.maintain_pool();
+        let (bytes, _) = self.serializer().serialize(obj)?;
+        self.send_sized(&bytes, dest, tag)?;
+        // Recycle the serialization buffer through the pool.
+        self.pool.adopt(bytes, self.current_epoch());
+        Ok(())
+    }
+
+    /// Transport a sub-range of an array — `OSend` with offset and
+    /// numcomponents (Figure 4).
+    pub fn osend_range(
+        &self,
+        obj: Handle,
+        offset: usize,
+        count: usize,
+        dest: usize,
+        tag: i32,
+    ) -> CoreResult<()> {
+        let _fc = Fcall::enter(self.thread);
+        self.maintain_pool();
+        let (bytes, _) = self.serializer().serialize_array_range(obj, offset, count)?;
+        self.send_sized(&bytes, dest, tag)?;
+        self.pool.adopt(bytes, self.current_epoch());
+        Ok(())
+    }
+
+    /// Receive an object (tree) — the `ORecv` of Figure 4. Returns the
+    /// reconstructed root and the message status.
+    pub fn orecv(&self, src: i32, tag: i32) -> CoreResult<(Handle, MpStatus)> {
+        let _fc = Fcall::enter(self.thread);
+        self.maintain_pool();
+        let (buf, st) = self.recv_sized(src, tag)?;
+        let root = self.serializer().deserialize(buf.as_slice())?;
+        self.pool.put(buf, self.current_epoch());
+        Ok((root, st))
+    }
+
+    // ------------------------------------------------------------------
+    // Collective object transport
+    // ------------------------------------------------------------------
+
+    /// Broadcast an object tree from `root`. The root passes `Some(obj)`
+    /// and gets its own handle back; other ranks receive the copy.
+    pub fn obcast(&self, obj: Option<Handle>, root: usize) -> CoreResult<Handle> {
+        let _fc = Fcall::enter(self.thread);
+        self.maintain_pool();
+        if self.comm.rank() == root {
+            let obj = obj.ok_or(CoreError::NullBuffer)?;
+            let (bytes, _) = self.serializer().serialize(obj)?;
+            let mut size = (bytes.len() as u64).to_le_bytes();
+            self.comm.bcast_bytes(&mut size, root)?;
+            let mut data = bytes;
+            self.comm.bcast_bytes(&mut data, root)?;
+            self.pool.adopt(data, self.current_epoch());
+            Ok(obj)
+        } else {
+            let mut size = [0u8; 8];
+            self.comm.bcast_bytes(&mut size, root)?;
+            let len = u64::from_le_bytes(size) as usize;
+            let mut buf = self.pool.get(len, self.current_epoch());
+            buf.buf_mut().resize(len, 0);
+            self.comm.bcast_bytes(buf.buf_mut(), root)?;
+            let h = self.serializer().deserialize(buf.as_slice())?;
+            self.pool.put(buf, self.current_epoch());
+            Ok(h)
+        }
+    }
+
+    /// Scatter an array of objects from `root`: each rank receives a
+    /// sub-array of `len / size` elements (the split representation in
+    /// action, §7.5). The root passes `Some(array)`.
+    pub fn oscatter(&self, arr: Option<Handle>, root: usize) -> CoreResult<Handle> {
+        let _fc = Fcall::enter(self.thread);
+        self.maintain_pool();
+        let n = self.comm.size();
+        let tag = 2_000;
+        if self.comm.rank() == root {
+            let arr = arr.ok_or(CoreError::NullBuffer)?;
+            let len = self.thread.array_len(arr);
+            if !len.is_multiple_of(n) {
+                return Err(CoreError::Serialization(format!(
+                    "scatter of {len} elements over {n} ranks is not even"
+                )));
+            }
+            let chunk = len / n;
+            let ser = self.serializer();
+            let mut own: Option<Handle> = None;
+            // "For scatter operations the serialization mechanism
+            // automatically splits the array and flattens referenced
+            // objects" — one independently deserializable part per rank.
+            for r in 0..n {
+                let (bytes, _) = ser.serialize_array_range(arr, r * chunk, chunk)?;
+                if r == root {
+                    own = Some(ser.deserialize(&bytes)?);
+                    self.pool.adopt(bytes, self.current_epoch());
+                } else {
+                    self.send_sized(&bytes, r, tag)?;
+                    self.pool.adopt(bytes, self.current_epoch());
+                }
+            }
+            Ok(own.expect("root part"))
+        } else {
+            let (buf, _) = self.recv_sized(root as i32, tag)?;
+            let h = self.serializer().deserialize(buf.as_slice())?;
+            self.pool.put(buf, self.current_epoch());
+            Ok(h)
+        }
+    }
+
+    /// Gather each rank's array of objects into one array at `root` (rank
+    /// order). Returns `Some(full)` at root, `None` elsewhere.
+    pub fn ogather(&self, sub: Handle, root: usize) -> CoreResult<Option<Handle>> {
+        let _fc = Fcall::enter(self.thread);
+        self.maintain_pool();
+        let n = self.comm.size();
+        let tag = 2_001;
+        let ser = self.serializer();
+        if self.comm.rank() == root {
+            // "For gather operations the deserialization mechanism takes
+            // many split representations and reconstructs them into a
+            // single array."
+            let mut parts: Vec<Handle> = Vec::with_capacity(n);
+            let own_len = self.thread.array_len(sub);
+            let (own_bytes, _) = ser.serialize_array_range(sub, 0, own_len)?;
+            for r in 0..n {
+                if r == root {
+                    parts.push(ser.deserialize(&own_bytes)?);
+                } else {
+                    let (buf, _) = self.recv_sized(r as i32, tag)?;
+                    parts.push(ser.deserialize(buf.as_slice())?);
+                    self.pool.put(buf, self.current_epoch());
+                }
+            }
+            self.pool.adopt(own_bytes, self.current_epoch());
+            // Concatenate the parts.
+            let total: usize = parts.iter().map(|&p| self.thread.array_len(p)).sum();
+            let elem_class = {
+                let cls = self.thread.class_of(parts[0]);
+                let vm = self.thread.vm();
+                let reg = vm.registry();
+                match reg.table(cls).kind {
+                    motor_runtime::TypeKind::ObjArray(e) => e,
+                    _ => {
+                        return Err(CoreError::Serialization(
+                            "ogather requires arrays of objects".into(),
+                        ))
+                    }
+                }
+            };
+            let full = self.thread.alloc_obj_array(elem_class, total);
+            let mut at = 0usize;
+            for p in parts {
+                let plen = self.thread.array_len(p);
+                for i in 0..plen {
+                    let e = self.thread.obj_array_get(p, i);
+                    self.thread.obj_array_set(full, at, e);
+                    self.thread.release(e);
+                    at += 1;
+                }
+                self.thread.release(p);
+            }
+            Ok(Some(full))
+        } else {
+            let len = self.thread.array_len(sub);
+            let (bytes, _) = ser.serialize_array_range(sub, 0, len)?;
+            self.send_sized(&bytes, root, tag)?;
+            self.pool.adopt(bytes, self.current_epoch());
+            Ok(None)
+        }
+    }
+}

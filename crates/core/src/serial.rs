@@ -1,0 +1,1142 @@
+//! The Motor custom serialization mechanism (paper §7.5).
+//!
+//! Produces "a flat object-tree representation with two parts: a type
+//! table, which details class information; and object data, which consists
+//! of the objects laid out side-by-side, prefixed with an internal type
+//! reference. Object references are exchanged for their local internal
+//! equivalent. References to objects not included in the serialization are
+//! swapped to null."
+//!
+//! Traversal follows the opt-in `[Transportable]` attribute: class fields
+//! are propagated only when their `FieldDesc` carries the Transportable
+//! bit; object-array elements are always propagated; unmarked references
+//! are nulled (paper §4.2.2).
+//!
+//! Two details the paper calls out are reproduced faithfully:
+//!
+//! * **The visited-object structure is linear** by default — "at the time
+//!   of writing we employ a linear structure to record objects visited
+//!   during serialization. This causes excessive search times with large
+//!   numbers of objects" — which is exactly what produces Motor's fall-off
+//!   beyond ~2048 objects in Figure 10. The promised fix (a hashed
+//!   structure) is implemented as [`VisitedStrategy::Hashed`] and compared
+//!   in the `ablation_visited` benchmark.
+//! * **The Transportable query** uses the fast FieldDesc bit by default;
+//!   the slow metadata/reflection path ([`AttrLookup::Reflection`]) is kept
+//!   for the ablation the paper implies ("introspecting type fields ...
+//!   using the reflection library ... is a relatively slow operation").
+//!
+//! The **split representation** required by scatter/gather is provided by
+//! [`Serializer::serialize_array_range`]: each part is a complete,
+//! independently deserializable representation (own type table) whose root
+//! is the sub-array — "a single split representation is constructed of
+//! many regular representations ... each individually deserialisable at
+//! the receiving end."
+//!
+//! ## Wire format
+//!
+//! ```text
+//! [u32 type_count] type entries...
+//!   class:      [0][name][u16 nfields] per field: [0,prim_tag]|[1,transportable] [name]
+//!   prim array: [1][elem_tag]
+//!   obj array:  [2][u32 elem_type_index]
+//!   md array:   [3][elem_tag][rank]
+//! [u32 object_count] object records...
+//!   each: [u32 type_index] + payload
+//!   class payload:       field values in declaration order
+//!                        (prims raw LE; refs as u32 object index / NULL)
+//!   prim array payload:  [u32 len][data]
+//!   obj array payload:   [u32 len][u32 index/NULL ...]
+//!   md array payload:    [u8 rank][u32 dims...][data]
+//! Root object = record 0.
+//! ```
+
+use std::collections::HashMap;
+
+use motor_runtime::object::ObjectRef;
+use motor_runtime::{ClassId, ElemKind, FieldType, Handle, MotorThread, TypeKind};
+
+use crate::error::{CoreError, CoreResult};
+
+/// How visited objects are recorded during the graph walk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum VisitedStrategy {
+    /// Linear list with O(n) lookup — the paper's implementation.
+    #[default]
+    Linear,
+    /// Hash table — the paper's announced future improvement.
+    Hashed,
+}
+
+/// How the Transportable attribute is queried per field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AttrLookup {
+    /// The Transportable bit on the FieldDesc (Motor's fast path, §7.5).
+    #[default]
+    FieldDescBit,
+    /// Name-keyed metadata lookup (the slow reflection path).
+    Reflection,
+}
+
+/// Serialization statistics (tests and ablations).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SerializeStats {
+    /// Objects in the representation.
+    pub objects: usize,
+    /// Total visited-structure probe comparisons performed.
+    pub visited_probes: u64,
+    /// Bytes produced.
+    pub bytes: usize,
+}
+
+/// Null reference marker in the object data.
+const NULL_REF: u32 = u32::MAX;
+
+const TT_CLASS: u8 = 0;
+const TT_PRIM_ARRAY: u8 = 1;
+const TT_OBJ_ARRAY: u8 = 2;
+const TT_MD_ARRAY: u8 = 3;
+
+/// The Motor serializer bound to a managed thread.
+pub struct Serializer<'t> {
+    thread: &'t MotorThread,
+    strategy: VisitedStrategy,
+    attrs: AttrLookup,
+}
+
+/// Visited-object record: address → object index. The linear variant is a
+/// plain address array whose position *is* the object index (discovery
+/// order), scanned per lookup — the paper's "linear structure to record
+/// objects visited during serialization".
+enum Visited {
+    Linear(Vec<usize>),
+    Hashed(HashMap<usize, u32>),
+}
+
+impl Visited {
+    fn new(strategy: VisitedStrategy) -> Visited {
+        match strategy {
+            VisitedStrategy::Linear => Visited::Linear(Vec::new()),
+            VisitedStrategy::Hashed => Visited::Hashed(HashMap::new()),
+        }
+    }
+
+    fn get(&self, addr: usize, probes: &mut u64) -> Option<u32> {
+        match self {
+            Visited::Linear(v) => {
+                if let Some(i) = v.iter().position(|&a| a == addr) {
+                    *probes += i as u64 + 1;
+                    return Some(i as u32);
+                }
+                *probes += v.len() as u64;
+                None
+            }
+            Visited::Hashed(m) => {
+                *probes += 1;
+                m.get(&addr).copied()
+            }
+        }
+    }
+
+    fn insert(&mut self, addr: usize, idx: u32) {
+        match self {
+            Visited::Linear(v) => {
+                debug_assert_eq!(idx as usize, v.len(), "discovery order is the index");
+                v.push(addr);
+            }
+            Visited::Hashed(m) => {
+                m.insert(addr, idx);
+            }
+        }
+    }
+}
+
+fn put_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u16(out, s.len() as u16);
+    out.extend_from_slice(s.as_bytes());
+}
+
+/// Sequential reader over a serialized buffer.
+struct Reader<'a> {
+    b: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(b: &'a [u8]) -> Reader<'a> {
+        Reader { b, pos: 0 }
+    }
+    fn take(&mut self, n: usize) -> CoreResult<&'a [u8]> {
+        if self.pos + n > self.b.len() {
+            return Err(CoreError::Serialization(format!(
+                "truncated representation at byte {} (+{n})",
+                self.pos
+            )));
+        }
+        let s = &self.b[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+    fn u8(&mut self) -> CoreResult<u8> {
+        Ok(self.take(1)?[0])
+    }
+    fn u16(&mut self) -> CoreResult<u16> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+    fn u32(&mut self) -> CoreResult<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+    fn str(&mut self) -> CoreResult<String> {
+        let n = self.u16()? as usize;
+        let s = self.take(n)?;
+        String::from_utf8(s.to_vec())
+            .map_err(|_| CoreError::Serialization("non-UTF8 type name".into()))
+    }
+}
+
+/// Serialization working state.
+struct SerState<'r> {
+    reg: &'r motor_runtime::TypeRegistry,
+    visited: Visited,
+    probes: u64,
+    /// Discovery-ordered object addresses.
+    objects: Vec<usize>,
+    /// Sender ClassId → type-table index.
+    type_index: HashMap<u32, u32>,
+    type_entries: Vec<Vec<u8>>,
+}
+
+impl SerState<'_> {
+    /// Register a type (recursively interning object-array element types),
+    /// returning its table index.
+    fn intern_type(&mut self, mt_id: u32) -> u32 {
+        if let Some(&i) = self.type_index.get(&mt_id) {
+            return i;
+        }
+        // Reserve the slot first so recursion on self-referential shapes
+        // terminates.
+        let idx = self.type_entries.len() as u32;
+        self.type_index.insert(mt_id, idx);
+        self.type_entries.push(Vec::new());
+
+        let (kind, name, fields) = {
+            let mt = self.reg.table(ClassId(mt_id));
+            (mt.kind.clone(), mt.name.clone(), mt.fields.clone())
+        };
+        let mut e = Vec::new();
+        match kind {
+            TypeKind::Class => {
+                e.push(TT_CLASS);
+                put_str(&mut e, &name);
+                put_u16(&mut e, fields.len() as u16);
+                for f in &fields {
+                    match f.ty {
+                        FieldType::Prim(k) => {
+                            e.push(0);
+                            e.push(k.tag());
+                        }
+                        FieldType::Ref(_) => {
+                            e.push(1);
+                            e.push(if f.is_transportable() { 1 } else { 0 });
+                        }
+                    }
+                    put_str(&mut e, &f.name);
+                }
+            }
+            TypeKind::PrimArray(k) => {
+                e.push(TT_PRIM_ARRAY);
+                e.push(k.tag());
+            }
+            TypeKind::ObjArray(elem) => {
+                let elem_idx = self.intern_type(elem.0);
+                e.push(TT_OBJ_ARRAY);
+                put_u32(&mut e, elem_idx);
+            }
+            TypeKind::MdArray { elem, rank } => {
+                e.push(TT_MD_ARRAY);
+                e.push(elem.tag());
+                e.push(rank);
+            }
+        }
+        self.type_entries[idx as usize] = e;
+        idx
+    }
+
+    /// Assign an object index, discovering the object if new.
+    fn discover(&mut self, addr: usize) -> u32 {
+        if let Some(idx) = self.visited.get(addr, &mut self.probes) {
+            return idx;
+        }
+        let idx = self.objects.len() as u32;
+        self.visited.insert(addr, idx);
+        self.objects.push(addr);
+        idx
+    }
+}
+
+impl<'t> Serializer<'t> {
+    /// Create a serializer with Motor's defaults (linear visited list,
+    /// FieldDesc-bit attribute lookup).
+    pub fn new(thread: &'t MotorThread) -> Serializer<'t> {
+        Serializer { thread, strategy: VisitedStrategy::Linear, attrs: AttrLookup::FieldDescBit }
+    }
+
+    /// Override the visited-structure strategy.
+    pub fn with_strategy(mut self, strategy: VisitedStrategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Override the attribute-lookup path.
+    pub fn with_attr_lookup(mut self, attrs: AttrLookup) -> Self {
+        self.attrs = attrs;
+        self
+    }
+
+    fn is_transportable(&self, mt: &motor_runtime::MethodTable, field_idx: usize) -> bool {
+        match self.attrs {
+            AttrLookup::FieldDescBit => mt.fields[field_idx].is_transportable(),
+            AttrLookup::Reflection => {
+                // The metadata path: find the field by name (string-compare
+                // scan, as reflection over type metadata would).
+                let name = mt.fields[field_idx].name.clone();
+                mt.field_by_name(&name).map(|(_, f)| f.is_transportable()).unwrap_or(false)
+            }
+        }
+    }
+
+    /// Serialize the object graph rooted at `root`.
+    pub fn serialize(&self, root: Handle) -> CoreResult<(Vec<u8>, SerializeStats)> {
+        if self.thread.is_null(root) {
+            return Err(CoreError::NullBuffer);
+        }
+        let addr = self.thread.vm().handle_addr(root);
+        self.serialize_addrs(&[addr], None)
+    }
+
+    /// Serialize a sub-range of an array as an independently
+    /// deserializable representation — one part of the split
+    /// representation used by the scatter/gather operations (§7.5).
+    pub fn serialize_array_range(
+        &self,
+        arr: Handle,
+        offset: usize,
+        count: usize,
+    ) -> CoreResult<(Vec<u8>, SerializeStats)> {
+        if self.thread.is_null(arr) {
+            return Err(CoreError::NullBuffer);
+        }
+        let len = self.thread.array_len(arr);
+        if offset + count > len {
+            return Err(CoreError::RangeOutOfBounds { offset, count, len });
+        }
+        let vm = self.thread.vm();
+        let addr = vm.handle_addr(arr);
+        let obj = ObjectRef(addr);
+        // SAFETY: cooperative, non-polling FCall context: stable address.
+        let mt_id = unsafe { obj.header().mt };
+        let reg = vm.registry();
+        match reg.table(ClassId(mt_id)).kind.clone() {
+            TypeKind::ObjArray(elem) => {
+                // Synthetic object-array root over the range elements.
+                let mut elems = Vec::with_capacity(count);
+                for i in offset..offset + count {
+                    // SAFETY: bounds checked above.
+                    elems.push(unsafe { *obj.obj_array_slot(i) });
+                }
+                drop(reg);
+                self.serialize_addrs(&[], Some(RangeRoot::Objects { elem: elem.0, elems }))
+            }
+            TypeKind::PrimArray(k) => {
+                let mut data = vec![0u8; count * k.size()];
+                // SAFETY: bounds checked; cooperative context.
+                unsafe {
+                    let (p, _) = obj.prim_array_data(k.size());
+                    std::ptr::copy_nonoverlapping(
+                        p.add(offset * k.size()),
+                        data.as_mut_ptr(),
+                        data.len(),
+                    );
+                }
+                drop(reg);
+                self.serialize_addrs(&[], Some(RangeRoot::Prims { kind: k, data }))
+            }
+            _ => Err(CoreError::Serialization("range serialization requires an array".into())),
+        }
+    }
+
+    /// Core serialization over explicit roots. `range_root`, if present,
+    /// becomes record 0 (the synthetic split-representation root).
+    fn serialize_addrs(
+        &self,
+        roots: &[usize],
+        range_root: Option<RangeRoot>,
+    ) -> CoreResult<(Vec<u8>, SerializeStats)> {
+        let vm = self.thread.vm();
+        let reg = vm.registry();
+        let mut st = SerState {
+            reg: &reg,
+            visited: Visited::new(self.strategy),
+            probes: 0,
+            objects: Vec::new(),
+            type_index: HashMap::new(),
+            type_entries: Vec::new(),
+        };
+        let mut obj_data: Vec<u8> = Vec::new();
+        let mut record_count = 0usize;
+
+        // Synthetic root first, if any.
+        if let Some(rr) = &range_root {
+            match rr {
+                RangeRoot::Objects { elem, elems } => {
+                    // An object-array type entry over the element class.
+                    let elem_idx_entry = st.intern_type(*elem);
+                    let tidx = st.type_entries.len() as u32;
+                    let mut e = Vec::new();
+                    e.push(TT_OBJ_ARRAY);
+                    put_u32(&mut e, elem_idx_entry);
+                    st.type_entries.push(e);
+                    put_u32(&mut obj_data, tidx);
+                    put_u32(&mut obj_data, elems.len() as u32);
+                    for &a in elems {
+                        if a == 0 {
+                            put_u32(&mut obj_data, NULL_REF);
+                        } else {
+                            // Offset element indices by one: the synthetic
+                            // root is record 0 and discovered objects start
+                            // at record 1.
+                            put_u32(&mut obj_data, st.discover(a) + 1);
+                        }
+                    }
+                }
+                RangeRoot::Prims { kind, data } => {
+                    let tidx = st.type_entries.len() as u32;
+                    st.type_entries.push(vec![TT_PRIM_ARRAY, kind.tag()]);
+                    put_u32(&mut obj_data, tidx);
+                    put_u32(&mut obj_data, (data.len() / kind.size()) as u32);
+                    obj_data.extend_from_slice(data);
+                }
+            }
+            record_count += 1;
+        }
+        let index_offset: u32 = if range_root.is_some() { 1 } else { 0 };
+        for &r in roots {
+            st.discover(r);
+        }
+
+        // Emit in discovery order; the list grows as references intern.
+        let mut emit = 0usize;
+        while emit < st.objects.len() {
+            let addr = st.objects[emit];
+            emit += 1;
+            record_count += 1;
+            let obj = ObjectRef(addr);
+            // SAFETY: cooperative, non-polling FCall context.
+            let (mt_id, extra) = unsafe {
+                let h = obj.header();
+                (h.mt, h.extra as usize)
+            };
+            let tidx = st.intern_type(mt_id);
+            put_u32(&mut obj_data, tidx);
+            // `st.reg` is a plain `&'r` copy, so `mt` borrows the registry
+            // directly and `st` stays mutably usable below.
+            let mt: &motor_runtime::MethodTable = st.reg.table(ClassId(mt_id));
+            match &mt.kind {
+                TypeKind::Class => {
+                    for (fi, f) in mt.fields.iter().enumerate() {
+                        match f.ty {
+                            FieldType::Prim(k) => {
+                                // SAFETY: method-table offsets.
+                                unsafe {
+                                    let p = obj.payload_ptr().add(f.offset as usize);
+                                    obj_data.extend_from_slice(std::slice::from_raw_parts(
+                                        p,
+                                        k.size(),
+                                    ));
+                                }
+                            }
+                            FieldType::Ref(_) => {
+                                // SAFETY: as above.
+                                let v = unsafe { obj.read_ref_at(f.offset as usize) };
+                                if v.is_null() || !self.is_transportable(mt, fi) {
+                                    // "References are replaced with null"
+                                    // unless marked Transportable (§4.2.2).
+                                    put_u32(&mut obj_data, NULL_REF);
+                                } else {
+                                    put_u32(&mut obj_data, st.discover(v.0) + index_offset);
+                                }
+                            }
+                        }
+                    }
+                }
+                TypeKind::PrimArray(k) => {
+                    put_u32(&mut obj_data, extra as u32);
+                    // SAFETY: array data window.
+                    unsafe {
+                        let (p, bytes) = obj.prim_array_data(k.size());
+                        obj_data.extend_from_slice(std::slice::from_raw_parts(p, bytes));
+                    }
+                }
+                TypeKind::ObjArray(_) => {
+                    put_u32(&mut obj_data, extra as u32);
+                    for i in 0..extra {
+                        // SAFETY: i < length.
+                        let elem = unsafe { *obj.obj_array_slot(i) };
+                        if elem == 0 {
+                            put_u32(&mut obj_data, NULL_REF);
+                        } else {
+                            put_u32(&mut obj_data, st.discover(elem) + index_offset);
+                        }
+                    }
+                }
+                TypeKind::MdArray { elem, rank } => {
+                    let (elem, rank) = (*elem, *rank);
+                    // SAFETY: md accessors.
+                    unsafe {
+                        let dims = obj.md_dims(rank);
+                        obj_data.push(rank);
+                        for d in &dims {
+                            put_u32(&mut obj_data, *d);
+                        }
+                        let (p, bytes) = obj.md_data(rank, elem.size());
+                        obj_data.extend_from_slice(std::slice::from_raw_parts(p, bytes));
+                    }
+                }
+            }
+        }
+
+        let mut out = Vec::with_capacity(obj_data.len() + 64);
+        put_u32(&mut out, st.type_entries.len() as u32);
+        for e in &st.type_entries {
+            out.extend_from_slice(e);
+        }
+        put_u32(&mut out, record_count as u32);
+        out.extend_from_slice(&obj_data);
+        let stats = SerializeStats {
+            objects: record_count,
+            visited_probes: st.probes,
+            bytes: out.len(),
+        };
+        Ok((out, stats))
+    }
+
+    /// Reconstruct the object graph; returns a handle to the root object
+    /// (record 0). Every intermediate handle is released.
+    pub fn deserialize(&self, data: &[u8]) -> CoreResult<Handle> {
+        let mut r = Reader::new(data);
+        let type_count = r.u32()? as usize;
+        let vm = self.thread.vm();
+
+        // ---- Type table → local types ----
+        let mut types: Vec<LocalType> = Vec::with_capacity(type_count);
+        for _ in 0..type_count {
+            match r.u8()? {
+                TT_CLASS => {
+                    let name = r.str()?;
+                    let nf = r.u16()? as usize;
+                    let mut wire_fields = Vec::with_capacity(nf);
+                    for _ in 0..nf {
+                        let ftag = r.u8()?;
+                        let prim = if ftag == 0 {
+                            Some(ElemKind::from_tag(r.u8()?).ok_or_else(|| {
+                                CoreError::Serialization("bad element tag".into())
+                            })?)
+                        } else {
+                            let _transportable = r.u8()?;
+                            None
+                        };
+                        let fname = r.str()?;
+                        wire_fields.push((fname, prim));
+                    }
+                    let class = vm
+                        .registry()
+                        .by_name(&name)
+                        .ok_or_else(|| CoreError::UnknownType(name.clone()))?;
+                    // Layout verification against the local class.
+                    {
+                        let reg = vm.registry();
+                        let mt = reg.table(class);
+                        if mt.fields.len() != nf {
+                            return Err(CoreError::Serialization(format!(
+                                "type `{name}`: sender has {nf} fields, receiver {}",
+                                mt.fields.len()
+                            )));
+                        }
+                        for (lf, (wname, wprim)) in mt.fields.iter().zip(&wire_fields) {
+                            let ok = match (lf.ty, wprim) {
+                                (FieldType::Prim(a), Some(b)) => a == *b,
+                                (FieldType::Ref(_), None) => true,
+                                _ => false,
+                            };
+                            if lf.name != *wname || !ok {
+                                return Err(CoreError::Serialization(format!(
+                                    "type `{name}`: field `{wname}` mismatch"
+                                )));
+                            }
+                        }
+                    }
+                    let fields = wire_fields.into_iter().map(|(_, prim)| prim).collect();
+                    types.push(LocalType::Class { class, fields });
+                }
+                TT_PRIM_ARRAY => {
+                    let k = ElemKind::from_tag(r.u8()?)
+                        .ok_or_else(|| CoreError::Serialization("bad element tag".into()))?;
+                    types.push(LocalType::PrimArray(k));
+                }
+                TT_OBJ_ARRAY => {
+                    let elem_idx = r.u32()? as usize;
+                    types.push(LocalType::ObjArray { elem_type: elem_idx });
+                }
+                TT_MD_ARRAY => {
+                    let k = ElemKind::from_tag(r.u8()?)
+                        .ok_or_else(|| CoreError::Serialization("bad element tag".into()))?;
+                    let rank = r.u8()?;
+                    types.push(LocalType::MdArray { elem: k, rank });
+                }
+                other => return Err(CoreError::Serialization(format!("bad type kind {other}"))),
+            }
+        }
+        // Resolve object-array element classes (may reference later
+        // entries, hence the second pass).
+        let elem_class_of = |types: &[LocalType], idx: usize| -> CoreResult<ClassId> {
+            match types.get(idx) {
+                Some(LocalType::Class { class, .. }) => Ok(*class),
+                Some(LocalType::PrimArray(k)) => Ok(self.thread.array_class(*k)),
+                Some(LocalType::ObjArray { .. }) | Some(LocalType::MdArray { .. }) => {
+                    Err(CoreError::Serialization(
+                        "nested array element classes are resolved lazily; \
+                         unsupported element type"
+                            .into(),
+                    ))
+                }
+                None => Err(CoreError::Serialization(format!("bad elem type index {idx}"))),
+            }
+        };
+
+        // ---- Phase A: parse all records ----
+        let object_count = r.u32()? as usize;
+        if object_count == 0 {
+            return Err(CoreError::Serialization("empty representation".into()));
+        }
+        enum Parsed<'a> {
+            Class { t: usize, prims: Vec<(usize, &'a [u8])>, refs: Vec<(usize, u32)> },
+            PrimArray { t: usize, data: &'a [u8] },
+            ObjArray { t: usize, elems: Vec<u32> },
+            MdArray { t: usize, dims: Vec<u32>, data: &'a [u8] },
+        }
+        let mut parsed: Vec<Parsed> = Vec::with_capacity(object_count);
+        for _ in 0..object_count {
+            let t = r.u32()? as usize;
+            match types.get(t) {
+                Some(LocalType::Class { fields, .. }) => {
+                    let mut prims = Vec::new();
+                    let mut refs = Vec::new();
+                    for (fi, f) in fields.iter().enumerate() {
+                        match f {
+                            Some(k) => prims.push((fi, r.take(k.size())?)),
+                            None => {
+                                let idx = r.u32()?;
+                                if idx != NULL_REF {
+                                    refs.push((fi, idx));
+                                }
+                            }
+                        }
+                    }
+                    parsed.push(Parsed::Class { t, prims, refs });
+                }
+                Some(LocalType::PrimArray(k)) => {
+                    let len = r.u32()? as usize;
+                    parsed.push(Parsed::PrimArray { t, data: r.take(len * k.size())? });
+                }
+                Some(LocalType::ObjArray { .. }) => {
+                    let len = r.u32()? as usize;
+                    let mut elems = Vec::with_capacity(len);
+                    for _ in 0..len {
+                        elems.push(r.u32()?);
+                    }
+                    parsed.push(Parsed::ObjArray { t, elems });
+                }
+                Some(LocalType::MdArray { elem, rank }) => {
+                    let wire_rank = r.u8()?;
+                    if wire_rank != *rank {
+                        return Err(CoreError::Serialization("md rank mismatch".into()));
+                    }
+                    let mut dims = Vec::with_capacity(*rank as usize);
+                    for _ in 0..*rank {
+                        dims.push(r.u32()?);
+                    }
+                    let count: usize = dims.iter().map(|&d| d as usize).product();
+                    parsed.push(Parsed::MdArray { t, dims, data: r.take(count * elem.size())? });
+                }
+                None => return Err(CoreError::Serialization(format!("bad type index {t}"))),
+            }
+        }
+
+        // ---- Phase B: allocate and fill primitive content ----
+        let mut handles: Vec<Handle> = Vec::with_capacity(object_count);
+        for p in &parsed {
+            let h = match p {
+                Parsed::Class { t, prims, .. } => {
+                    let (class, fields) = match &types[*t] {
+                        LocalType::Class { class, fields } => (*class, fields),
+                        _ => unreachable!(),
+                    };
+                    let h = self.thread.alloc_instance(class);
+                    for &(fi, raw) in prims {
+                        let k = fields[fi].expect("prim field");
+                        write_prim_field(self.thread, h, fi, k, raw);
+                    }
+                    h
+                }
+                Parsed::PrimArray { t, data } => {
+                    let k = match &types[*t] {
+                        LocalType::PrimArray(k) => *k,
+                        _ => unreachable!(),
+                    };
+                    let h = self.thread.alloc_prim_array(k, data.len() / k.size());
+                    write_array_bytes(self.thread, h, data);
+                    h
+                }
+                Parsed::ObjArray { t, elems } => {
+                    let elem_type = match &types[*t] {
+                        LocalType::ObjArray { elem_type } => *elem_type,
+                        _ => unreachable!(),
+                    };
+                    let elem_class = elem_class_of(&types, elem_type)?;
+                    self.thread.alloc_obj_array(elem_class, elems.len())
+                }
+                Parsed::MdArray { t, dims, data } => {
+                    let elem = match &types[*t] {
+                        LocalType::MdArray { elem, .. } => *elem,
+                        _ => unreachable!(),
+                    };
+                    let h = self.thread.alloc_md_array(elem, dims);
+                    write_array_bytes(self.thread, h, data);
+                    h
+                }
+            };
+            handles.push(h);
+        }
+
+        // ---- Phase C: patch references ----
+        let get_target = |handles: &[Handle], idx: u32| -> CoreResult<Handle> {
+            handles
+                .get(idx as usize)
+                .copied()
+                .ok_or_else(|| CoreError::Serialization(format!("bad object index {idx}")))
+        };
+        for (oi, p) in parsed.iter().enumerate() {
+            match p {
+                Parsed::Class { refs, .. } => {
+                    for &(fi, idx) in refs {
+                        let target = get_target(&handles, idx)?;
+                        self.thread.set_ref(handles[oi], fi, target);
+                    }
+                }
+                Parsed::ObjArray { elems, .. } => {
+                    for (ei, &idx) in elems.iter().enumerate() {
+                        if idx != NULL_REF {
+                            let target = get_target(&handles, idx)?;
+                            self.thread.obj_array_set(handles[oi], ei, target);
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+
+        // Keep the root; release the rest.
+        let root = handles[0];
+        for h in handles.into_iter().skip(1) {
+            self.thread.release(h);
+        }
+        Ok(root)
+    }
+}
+
+enum LocalType {
+    Class { class: ClassId, fields: Vec<Option<ElemKind>> },
+    PrimArray(ElemKind),
+    ObjArray { elem_type: usize },
+    MdArray { elem: ElemKind, rank: u8 },
+}
+
+enum RangeRoot {
+    Objects { elem: u32, elems: Vec<usize> },
+    Prims { kind: ElemKind, data: Vec<u8> },
+}
+
+fn write_prim_field(t: &MotorThread, h: Handle, fi: usize, k: ElemKind, raw: &[u8]) {
+    macro_rules! w {
+        ($ty:ty) => {{
+            let v = <$ty>::from_le_bytes(raw.try_into().unwrap());
+            t.set_prim::<$ty>(h, fi, v);
+        }};
+    }
+    match k {
+        ElemKind::Bool | ElemKind::U8 => w!(u8),
+        ElemKind::I8 => w!(i8),
+        ElemKind::I16 => w!(i16),
+        ElemKind::U16 | ElemKind::Char => w!(u16),
+        ElemKind::I32 => w!(i32),
+        ElemKind::U32 => w!(u32),
+        ElemKind::I64 => w!(i64),
+        ElemKind::U64 => w!(u64),
+        ElemKind::F32 => w!(f32),
+        ElemKind::F64 => w!(f64),
+    }
+}
+
+/// Bulk-fill a freshly allocated primitive/md array from raw bytes.
+fn write_array_bytes(t: &MotorThread, h: Handle, raw: &[u8]) {
+    let (p, len) = t.raw_data_window(h);
+    assert_eq!(len, raw.len(), "array byte-length mismatch");
+    // SAFETY: freshly allocated array; cooperative non-polling context
+    // (no safepoint between the window resolution and this write).
+    unsafe {
+        std::ptr::copy_nonoverlapping(raw.as_ptr(), p, raw.len());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use motor_runtime::{Vm, VmConfig};
+    use std::sync::Arc;
+
+    struct Fixture {
+        vm: Arc<Vm>,
+        node: ClassId,
+        arr_i32: ClassId,
+    }
+
+    /// The paper's `LinkedArray` shape (Figure 5): a transportable i32
+    /// array, a transportable `next`, and a *non*-transportable `next2`.
+    fn fixture() -> Fixture {
+        let vm = Vm::new(VmConfig::default());
+        let (node, arr_i32) = {
+            let mut reg = vm.registry_mut();
+            let arr = reg.prim_array(ElemKind::I32);
+            // Self-reference: register a placeholder first is unnecessary —
+            // the builder accepts any ClassId, and `LinkedArray`'s id is
+            // deterministic (next id in sequence).
+            let next_id = ClassId(reg.len() as u32);
+            let node = reg
+                .define_class("LinkedArray")
+                .prim("tag", ElemKind::I32)
+                .transportable("array", arr)
+                .transportable("next", next_id)
+                .reference("next2", next_id)
+                .build();
+            assert_eq!(node, next_id, "self-referential id prediction");
+            (node, arr)
+        };
+        Fixture { vm, node, arr_i32 }
+    }
+
+    fn build_list(t: &MotorThread, f: &Fixture, n: usize, payload_per_node: usize) -> Handle {
+        let (ftag, farr, fnext) = (
+            t.field_index(f.node, "tag"),
+            t.field_index(f.node, "array"),
+            t.field_index(f.node, "next"),
+        );
+        let mut head = t.null_handle();
+        for i in (0..n).rev() {
+            let node = t.alloc_instance(f.node);
+            t.set_prim::<i32>(node, ftag, i as i32);
+            let arr = t.alloc_prim_array(ElemKind::I32, payload_per_node);
+            let data: Vec<i32> = (0..payload_per_node).map(|j| (i * 1000 + j) as i32).collect();
+            t.prim_write(arr, 0, &data);
+            t.set_ref(node, farr, arr);
+            t.set_ref(node, fnext, head);
+            t.release(arr);
+            t.release(head);
+            head = node;
+        }
+        head
+    }
+
+    fn check_list(t: &MotorThread, f: &Fixture, head: Handle, n: usize, payload: usize) {
+        let (ftag, farr, fnext) = (
+            t.field_index(f.node, "tag"),
+            t.field_index(f.node, "array"),
+            t.field_index(f.node, "next"),
+        );
+        let mut cur = t.clone_handle(head);
+        for i in 0..n {
+            assert!(!t.is_null(cur), "list too short at {i}");
+            assert_eq!(t.get_prim::<i32>(cur, ftag), i as i32);
+            let arr = t.get_ref(cur, farr);
+            let mut buf = vec![0i32; payload];
+            t.prim_read(arr, 0, &mut buf);
+            for (j, &v) in buf.iter().enumerate() {
+                assert_eq!(v, (i * 1000 + j) as i32);
+            }
+            t.release(arr);
+            let next = t.get_ref(cur, fnext);
+            t.release(cur);
+            cur = next;
+        }
+        assert!(t.is_null(cur), "list too long");
+        t.release(cur);
+    }
+
+    #[test]
+    fn linked_list_roundtrip() {
+        let f = fixture();
+        let t = MotorThread::attach(Arc::clone(&f.vm));
+        let head = build_list(&t, &f, 10, 8);
+        let ser = Serializer::new(&t);
+        let (buf, stats) = ser.serialize(head).unwrap();
+        // 10 nodes + 10 arrays.
+        assert_eq!(stats.objects, 20);
+        let copy = ser.deserialize(&buf).unwrap();
+        check_list(&t, &f, copy, 10, 8);
+    }
+
+    #[test]
+    fn non_transportable_refs_become_null() {
+        let f = fixture();
+        let t = MotorThread::attach(Arc::clone(&f.vm));
+        let (fnext2, ftag) =
+            (t.field_index(f.node, "next2"), t.field_index(f.node, "tag"));
+        let a = t.alloc_instance(f.node);
+        let b = t.alloc_instance(f.node);
+        t.set_prim::<i32>(a, ftag, 1);
+        t.set_ref(a, fnext2, b); // NOT transportable
+        let ser = Serializer::new(&t);
+        let (buf, stats) = ser.serialize(a).unwrap();
+        assert_eq!(stats.objects, 1, "next2 must not be propagated");
+        let copy = ser.deserialize(&buf).unwrap();
+        let n2 = t.get_ref(copy, fnext2);
+        assert!(t.is_null(n2), "non-transportable reference arrives as null");
+    }
+
+    #[test]
+    fn shared_references_are_preserved() {
+        let f = fixture();
+        let t = MotorThread::attach(Arc::clone(&f.vm));
+        let (farr, fnext) =
+            (t.field_index(f.node, "array"), t.field_index(f.node, "next"));
+        // Two nodes sharing one array.
+        let shared = t.alloc_prim_array(ElemKind::I32, 4);
+        t.prim_write(shared, 0, &[9i32, 8, 7, 6]);
+        let a = t.alloc_instance(f.node);
+        let b = t.alloc_instance(f.node);
+        t.set_ref(a, farr, shared);
+        t.set_ref(b, farr, shared);
+        t.set_ref(a, fnext, b);
+        let ser = Serializer::new(&t);
+        let (buf, stats) = ser.serialize(a).unwrap();
+        assert_eq!(stats.objects, 3, "shared array serialized once");
+        let copy = ser.deserialize(&buf).unwrap();
+        let ca = t.get_ref(copy, farr);
+        let cb_node = t.get_ref(copy, fnext);
+        let cb = t.get_ref(cb_node, farr);
+        assert!(t.same_object(ca, cb), "sharing preserved on the receiver");
+    }
+
+    #[test]
+    fn cycles_terminate_and_roundtrip() {
+        let f = fixture();
+        let t = MotorThread::attach(Arc::clone(&f.vm));
+        let fnext = t.field_index(f.node, "next");
+        let a = t.alloc_instance(f.node);
+        let b = t.alloc_instance(f.node);
+        t.set_ref(a, fnext, b);
+        t.set_ref(b, fnext, a); // cycle
+        let ser = Serializer::new(&t);
+        let (buf, stats) = ser.serialize(a).unwrap();
+        assert_eq!(stats.objects, 2);
+        let copy = ser.deserialize(&buf).unwrap();
+        let cb = t.get_ref(copy, fnext);
+        let back = t.get_ref(cb, fnext);
+        assert!(t.same_object(copy, back), "cycle reconstructed");
+    }
+
+    #[test]
+    fn object_array_roundtrip_with_null_slots() {
+        let f = fixture();
+        let t = MotorThread::attach(Arc::clone(&f.vm));
+        let ftag = t.field_index(f.node, "tag");
+        let arr = t.alloc_obj_array(f.node, 4);
+        for i in [0usize, 2] {
+            let n = t.alloc_instance(f.node);
+            t.set_prim::<i32>(n, ftag, i as i32 * 11);
+            t.obj_array_set(arr, i, n);
+            t.release(n);
+        }
+        let ser = Serializer::new(&t);
+        let (buf, _) = ser.serialize(arr).unwrap();
+        let copy = ser.deserialize(&buf).unwrap();
+        assert_eq!(t.array_len(copy), 4);
+        for i in 0..4usize {
+            let e = t.obj_array_get(copy, i);
+            if i % 2 == 0 {
+                assert_eq!(t.get_prim::<i32>(e, ftag), i as i32 * 11);
+            } else {
+                assert!(t.is_null(e));
+            }
+            t.release(e);
+        }
+    }
+
+    #[test]
+    fn md_array_roundtrip() {
+        let f = fixture();
+        let t = MotorThread::attach(Arc::clone(&f.vm));
+        let md = t.alloc_md_array(ElemKind::F64, &[3, 4]);
+        t.md_set::<f64>(md, &[2, 1], 6.5);
+        t.md_set::<f64>(md, &[0, 3], -1.25);
+        let ser = Serializer::new(&t);
+        let (buf, _) = ser.serialize(md).unwrap();
+        let copy = ser.deserialize(&buf).unwrap();
+        assert_eq!(t.md_dims(copy), vec![3, 4]);
+        assert_eq!(t.md_get::<f64>(copy, &[2, 1]), 6.5);
+        assert_eq!(t.md_get::<f64>(copy, &[0, 3]), -1.25);
+        assert_eq!(t.md_get::<f64>(copy, &[1, 1]), 0.0);
+    }
+
+    #[test]
+    fn split_representation_scatters_object_arrays() {
+        let f = fixture();
+        let t = MotorThread::attach(Arc::clone(&f.vm));
+        let ftag = t.field_index(f.node, "tag");
+        let arr = t.alloc_obj_array(f.node, 6);
+        for i in 0..6usize {
+            let n = t.alloc_instance(f.node);
+            t.set_prim::<i32>(n, ftag, i as i32);
+            t.obj_array_set(arr, i, n);
+            t.release(n);
+        }
+        let ser = Serializer::new(&t);
+        // Split into 3 independently deserializable parts of 2.
+        for part in 0..3usize {
+            let (buf, stats) = ser.serialize_array_range(arr, part * 2, 2).unwrap();
+            assert_eq!(stats.objects, 3, "synthetic root + 2 elements");
+            let sub = ser.deserialize(&buf).unwrap();
+            assert_eq!(t.array_len(sub), 2);
+            for j in 0..2usize {
+                let e = t.obj_array_get(sub, j);
+                assert_eq!(t.get_prim::<i32>(e, ftag), (part * 2 + j) as i32);
+                t.release(e);
+            }
+            t.release(sub);
+        }
+    }
+
+    #[test]
+    fn split_representation_on_prim_arrays() {
+        let f = fixture();
+        let t = MotorThread::attach(Arc::clone(&f.vm));
+        let arr = t.alloc_prim_array(ElemKind::I32, 10);
+        let data: Vec<i32> = (0..10).collect();
+        t.prim_write(arr, 0, &data);
+        let ser = Serializer::new(&t);
+        let (buf, _) = ser.serialize_array_range(arr, 4, 3).unwrap();
+        let sub = ser.deserialize(&buf).unwrap();
+        assert_eq!(t.array_len(sub), 3);
+        let mut got = vec![0i32; 3];
+        t.prim_read(sub, 0, &mut got);
+        assert_eq!(got, vec![4, 5, 6]);
+    }
+
+    #[test]
+    fn linear_visited_probes_quadratically_vs_hashed() {
+        let f = fixture();
+        let t = MotorThread::attach(Arc::clone(&f.vm));
+        let head = build_list(&t, &f, 200, 2);
+        let lin = Serializer::new(&t).with_strategy(VisitedStrategy::Linear);
+        let hash = Serializer::new(&t).with_strategy(VisitedStrategy::Hashed);
+        let (_, s_lin) = lin.serialize(head).unwrap();
+        let (_, s_hash) = hash.serialize(head).unwrap();
+        assert_eq!(s_lin.objects, s_hash.objects);
+        assert!(
+            s_lin.visited_probes > 20 * s_hash.visited_probes,
+            "linear {} vs hashed {}",
+            s_lin.visited_probes,
+            s_hash.visited_probes
+        );
+    }
+
+    #[test]
+    fn reflection_attr_lookup_is_equivalent_but_slow_path() {
+        let f = fixture();
+        let t = MotorThread::attach(Arc::clone(&f.vm));
+        let head = build_list(&t, &f, 10, 4);
+        let fast = Serializer::new(&t);
+        let slow = Serializer::new(&t).with_attr_lookup(AttrLookup::Reflection);
+        let (a, _) = fast.serialize(head).unwrap();
+        let (b, _) = slow.serialize(head).unwrap();
+        assert_eq!(a, b, "both lookup paths produce identical bytes");
+    }
+
+    #[test]
+    fn unknown_type_is_reported() {
+        let f = fixture();
+        let t = MotorThread::attach(Arc::clone(&f.vm));
+        let head = build_list(&t, &f, 1, 1);
+        let (buf, _) = Serializer::new(&t).serialize(head).unwrap();
+        // A VM that never registered LinkedArray cannot deserialize.
+        let other = Vm::new(VmConfig::default());
+        let t2 = MotorThread::attach(other);
+        let ser2 = Serializer::new(&t2);
+        assert!(matches!(ser2.deserialize(&buf), Err(CoreError::UnknownType(n)) if n == "LinkedArray"));
+    }
+
+    #[test]
+    fn truncated_buffers_are_rejected() {
+        let f = fixture();
+        let t = MotorThread::attach(Arc::clone(&f.vm));
+        let head = build_list(&t, &f, 3, 4);
+        let (buf, _) = Serializer::new(&t).serialize(head).unwrap();
+        let ser = Serializer::new(&t);
+        for cut in [1usize, buf.len() / 2, buf.len() - 1] {
+            assert!(
+                ser.deserialize(&buf[..cut]).is_err(),
+                "cut at {cut} must not deserialize"
+            );
+        }
+    }
+
+    #[test]
+    fn deserialization_survives_gc_pressure() {
+        // Small young generation so deserialization itself triggers GC.
+        let vm = Vm::new(VmConfig {
+            heap: motor_runtime::heap::HeapConfig {
+                young_bytes: 4096,
+                ..Default::default()
+            },
+        });
+        let (node, _arr) = {
+            let mut reg = vm.registry_mut();
+            let arr = reg.prim_array(ElemKind::I32);
+            let next_id = ClassId(reg.len() as u32);
+            let node = reg
+                .define_class("LinkedArray")
+                .prim("tag", ElemKind::I32)
+                .transportable("array", arr)
+                .transportable("next", next_id)
+                .reference("next2", next_id)
+                .build();
+            (node, arr)
+        };
+        let f = Fixture { vm: Arc::clone(&vm), node, arr_i32: ClassId(0) };
+        let t = MotorThread::attach(Arc::clone(&vm));
+        let head = build_list(&t, &f, 100, 16);
+        let ser = Serializer::new(&t);
+        let (buf, _) = ser.serialize(head).unwrap();
+        let before = vm.stats_snapshot().minor_collections;
+        let copy = ser.deserialize(&buf).unwrap();
+        let after = vm.stats_snapshot().minor_collections;
+        assert!(after > before, "GC ran during deserialization");
+        check_list(&t, &f, copy, 100, 16);
+        let _ = f.arr_i32;
+    }
+}

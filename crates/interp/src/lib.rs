@@ -1,0 +1,23 @@
+//! # motor-interp — managed code execution for the Motor VM
+//!
+//! The SSCLI executes applications by JIT-compiling a processor-agnostic
+//! intermediate language, and "the jitted code periodically polls to yield
+//! itself to garbage collection" (paper §5.2). This crate is the execution
+//! engine of the reproduction: a compact stack-based intermediate language
+//! and interpreter whose dispatch loop performs exactly those safepoint
+//! polls — every backward branch and call polls the collector, so a
+//! long-running managed loop can never starve a collection (the property
+//! FCalls must emulate by hand, §5.1).
+//!
+//! Object references on the evaluation stack and in locals are GC-safe:
+//! they are runtime [`Handle`]s, i.e. entries in the VM's root set that
+//! the moving collector rewrites. Every handle created during a call is
+//! owned by its frame and released on return.
+
+pub mod il;
+pub mod interp;
+pub mod verify;
+
+pub use il::{FnBuilder, Function, Module, Op};
+pub use interp::{Interp, TrapKind, Value};
+pub use verify::verify_module;

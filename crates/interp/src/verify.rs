@@ -1,0 +1,280 @@
+//! A lightweight IL verifier.
+//!
+//! The CLI requires loaded code to be verifiable before it may run in a
+//! trusted context; this verifier enforces the structural properties the
+//! interpreter relies on: branch targets inside the function, local
+//! indices in range, call targets present, and a consistent evaluation
+//! stack depth along every path (merge points must agree).
+
+use std::collections::HashMap;
+
+use crate::il::{Function, Module, Op};
+
+/// Verification failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VerifyError {
+    /// A branch leaves the function body.
+    BranchOutOfRange { func: String, at: usize },
+    /// A local index exceeds the declared local count.
+    BadLocal { func: String, at: usize, local: u16 },
+    /// A call names a missing function.
+    BadCallTarget { func: String, at: usize, target: u16 },
+    /// An instruction would pop from an empty stack.
+    Underflow { func: String, at: usize },
+    /// Two paths reach the same instruction with different stack depths.
+    DepthMismatch { func: String, at: usize, a: usize, b: usize },
+    /// A value-returning function can fall off the end.
+    MissingReturn { func: String },
+}
+
+impl std::fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VerifyError::BranchOutOfRange { func, at } => {
+                write!(f, "{func}@{at}: branch out of range")
+            }
+            VerifyError::BadLocal { func, at, local } => {
+                write!(f, "{func}@{at}: local {local} out of range")
+            }
+            VerifyError::BadCallTarget { func, at, target } => {
+                write!(f, "{func}@{at}: unknown function {target}")
+            }
+            VerifyError::Underflow { func, at } => write!(f, "{func}@{at}: stack underflow"),
+            VerifyError::DepthMismatch { func, at, a, b } => {
+                write!(f, "{func}@{at}: stack depth mismatch ({a} vs {b})")
+            }
+            VerifyError::MissingReturn { func } => {
+                write!(f, "{func}: value-returning function may fall off the end")
+            }
+        }
+    }
+}
+
+/// Net stack effect and pop count of one instruction.
+fn effect(op: &Op, module: &Module) -> (usize, usize) {
+    // (pops, pushes)
+    match op {
+        Op::PushI(_) | Op::PushF(_) | Op::PushNull => (0, 1),
+        Op::Dup => (1, 2),
+        Op::Pop => (1, 0),
+        Op::Load(_) => (0, 1),
+        Op::Store(_) => (1, 0),
+        Op::Add
+        | Op::Sub
+        | Op::Mul
+        | Op::Div
+        | Op::Rem
+        | Op::FAdd
+        | Op::FSub
+        | Op::FMul
+        | Op::FDiv
+        | Op::CmpEq
+        | Op::CmpLt
+        | Op::CmpLe => (2, 1),
+        Op::Neg | Op::I2F | Op::F2I => (1, 1),
+        Op::Br(_) => (0, 0),
+        Op::BrTrue(_) | Op::BrFalse(_) => (1, 0),
+        Op::Call(i) => {
+            let callee = &module.functions[*i as usize];
+            (callee.argc as usize, callee.returns_value as usize)
+        }
+        Op::Ret => (0, 0), // handled specially
+        Op::New(_) => (0, 1),
+        Op::LdFldI(_) | Op::LdFldF(_) | Op::LdFldR(_) => (1, 1),
+        Op::StFldI(_) | Op::StFldF(_) | Op::StFldR(_) => (2, 0),
+        Op::NewArr(_) | Op::NewObjArr(_) => (1, 1),
+        Op::LdElemI | Op::LdElemF | Op::LdElemR => (2, 1),
+        Op::StElemI | Op::StElemF | Op::StElemR => (3, 0),
+        Op::ArrLen => (1, 1),
+    }
+}
+
+fn verify_function(f: &Function, module: &Module) -> Result<(), VerifyError> {
+    let n = f.code.len();
+    let name = || f.name.clone();
+    // First pass: structural checks + branch targets.
+    for (at, op) in f.code.iter().enumerate() {
+        match op {
+            Op::Br(r) | Op::BrTrue(r) | Op::BrFalse(r) => {
+                let t = at as i64 + 1 + *r as i64;
+                if t < 0 || t > n as i64 {
+                    return Err(VerifyError::BranchOutOfRange { func: name(), at });
+                }
+            }
+            Op::Load(l) | Op::Store(l) if *l >= f.locals => {
+                return Err(VerifyError::BadLocal { func: name(), at, local: *l });
+            }
+            Op::Call(t) if *t as usize >= module.functions.len() => {
+                return Err(VerifyError::BadCallTarget { func: name(), at, target: *t });
+            }
+            _ => {}
+        }
+    }
+    // Second pass: abstract stack-depth interpretation (worklist).
+    let mut depth_at: HashMap<usize, usize> = HashMap::new();
+    let mut work: Vec<(usize, usize)> = vec![(0, 0)];
+    let mut can_fall_off = false;
+    while let Some((pc, depth)) = work.pop() {
+        if pc >= n {
+            can_fall_off = true;
+            continue;
+        }
+        if let Some(&d) = depth_at.get(&pc) {
+            if d != depth {
+                return Err(VerifyError::DepthMismatch { func: name(), at: pc, a: d, b: depth });
+            }
+            continue;
+        }
+        depth_at.insert(pc, depth);
+        let op = &f.code[pc];
+        if matches!(op, Op::Ret) {
+            let need = f.returns_value as usize;
+            if depth < need {
+                return Err(VerifyError::Underflow { func: name(), at: pc });
+            }
+            continue;
+        }
+        let (pops, pushes) = effect(op, module);
+        if depth < pops {
+            return Err(VerifyError::Underflow { func: name(), at: pc });
+        }
+        let next = depth - pops + pushes;
+        match op {
+            Op::Br(r) => work.push(((pc as i64 + 1 + *r as i64) as usize, next)),
+            Op::BrTrue(r) | Op::BrFalse(r) => {
+                work.push(((pc as i64 + 1 + *r as i64) as usize, next));
+                work.push((pc + 1, next));
+            }
+            _ => work.push((pc + 1, next)),
+        }
+    }
+    if can_fall_off && f.returns_value {
+        return Err(VerifyError::MissingReturn { func: name() });
+    }
+    Ok(())
+}
+
+/// Verify every function in a module.
+pub fn verify_module(module: &Module) -> Result<(), VerifyError> {
+    for f in &module.functions {
+        verify_function(f, module)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::il::FnBuilder;
+
+    fn module_of(f: Function) -> Module {
+        let mut m = Module::new();
+        m.add(f);
+        m
+    }
+
+    #[test]
+    fn valid_function_passes() {
+        let mut f = FnBuilder::new("ok", 1, 2, true);
+        let done = f.label();
+        f.op(Op::Load(0)).br_false(done);
+        f.op(Op::PushI(1)).op(Op::Ret);
+        f.bind(done);
+        f.op(Op::PushI(0)).op(Op::Ret);
+        assert_eq!(verify_module(&module_of(f.build())), Ok(()));
+    }
+
+    #[test]
+    fn branch_out_of_range_rejected() {
+        let f = Function {
+            name: "bad".into(),
+            argc: 0,
+            locals: 0,
+            returns_value: false,
+            code: vec![Op::Br(100)],
+        };
+        assert!(matches!(
+            verify_module(&module_of(f)),
+            Err(VerifyError::BranchOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn bad_local_rejected() {
+        let f = Function {
+            name: "bad".into(),
+            argc: 0,
+            locals: 1,
+            returns_value: false,
+            code: vec![Op::Load(3), Op::Pop],
+        };
+        assert!(matches!(verify_module(&module_of(f)), Err(VerifyError::BadLocal { .. })));
+    }
+
+    #[test]
+    fn underflow_rejected() {
+        let f = Function {
+            name: "bad".into(),
+            argc: 0,
+            locals: 0,
+            returns_value: false,
+            code: vec![Op::Add],
+        };
+        assert!(matches!(verify_module(&module_of(f)), Err(VerifyError::Underflow { .. })));
+    }
+
+    #[test]
+    fn depth_mismatch_at_merge_rejected() {
+        // One path pushes an extra value before the merge.
+        let f = Function {
+            name: "bad".into(),
+            argc: 1,
+            locals: 1,
+            returns_value: false,
+            code: vec![
+                Op::Load(0),
+                Op::BrTrue(1), // skip the extra push
+                Op::PushI(9),  // only on the fall-through path
+                Op::Pop,       // merge point: depth 1 vs 0
+            ],
+        };
+        let r = verify_module(&module_of(f));
+        assert!(
+            matches!(r, Err(VerifyError::DepthMismatch { .. }) | Err(VerifyError::Underflow { .. })),
+            "got {r:?}"
+        );
+    }
+
+    #[test]
+    fn missing_return_rejected() {
+        let f = Function {
+            name: "bad".into(),
+            argc: 0,
+            locals: 0,
+            returns_value: true,
+            code: vec![Op::PushI(1), Op::Pop],
+        };
+        assert!(matches!(verify_module(&module_of(f)), Err(VerifyError::MissingReturn { .. })));
+    }
+
+    #[test]
+    fn call_effects_respect_arity() {
+        let mut m = Module::new();
+        let mut callee = FnBuilder::new("two_args", 2, 2, true);
+        callee.op(Op::Load(0)).op(Op::Load(1)).op(Op::Add).op(Op::Ret);
+        m.add(callee.build());
+        let mut caller = FnBuilder::new("caller", 0, 0, true);
+        caller.op(Op::PushI(1)).op(Op::PushI(2)).op(Op::Call(0)).op(Op::Ret);
+        m.add(caller.build());
+        assert_eq!(verify_module(&m), Ok(()));
+        // A caller providing one argument underflows.
+        let mut bad = FnBuilder::new("bad_caller", 0, 0, true);
+        bad.op(Op::PushI(1)).op(Op::Call(0)).op(Op::Ret);
+        let mut m2 = Module::new();
+        let mut callee = FnBuilder::new("two_args", 2, 2, true);
+        callee.op(Op::Load(0)).op(Op::Load(1)).op(Op::Add).op(Op::Ret);
+        m2.add(callee.build());
+        m2.add(bad.build());
+        assert!(matches!(verify_module(&m2), Err(VerifyError::Underflow { .. })));
+    }
+}

@@ -1,0 +1,429 @@
+//! The channel layer: per-link framing, parsing and send queues.
+//!
+//! MPICH2's channel layer "is specifically responsible for data transfer"
+//! (paper §6). A [`LinkState`] wraps one PAL byte link (shared-memory ring
+//! or TCP socket) and implements:
+//!
+//! * **Outgoing**: a queue of pending frames. Control and eager frames are
+//!   owned byte vectors; rendezvous payloads are *raw windows* into the
+//!   sender's buffer — the zero-copy path that makes pinning necessary in
+//!   a managed environment (paper §2.3).
+//! * **Incoming**: an incremental parser that buffers control/eager frames
+//!   whole but streams rendezvous data directly into the posted receive
+//!   buffer (zero-copy on the receive side), asking the device for the
+//!   destination window via the [`PacketSink`] callback interface.
+
+use std::collections::VecDeque;
+
+use motor_pal::{BoxedLink, PalError};
+
+use crate::error::{MpcError, MpcResult};
+use crate::packet::{Envelope, PacketKind, ENVELOPE_LEN};
+use crate::request::Request;
+
+/// Where a rendezvous stream should land.
+pub enum RndvDest {
+    /// Write into this raw window (pointer stability is the caller's
+    /// pinning obligation). `(ptr, capacity)`.
+    Raw(*mut u8, usize),
+    /// No matching receive (protocol error recovery): discard the bytes.
+    Discard,
+}
+
+/// Device-side packet handler invoked by the link parser.
+pub trait PacketSink {
+    /// A complete eager message arrived.
+    fn on_eager(&mut self, env: Envelope, data: &[u8]);
+    /// A rendezvous request-to-send arrived.
+    fn on_rts(&mut self, env: Envelope);
+    /// A clear-to-send arrived for our send request `sreq`.
+    fn on_cts(&mut self, sreq: u64, rreq: u64);
+    /// A synchronous-send acknowledgement arrived for `sreq`.
+    fn on_sync_ack(&mut self, sreq: u64);
+    /// A rendezvous data stream for receive request `rreq` is starting;
+    /// return its destination window.
+    fn rndv_dest(&mut self, rreq: u64, total: usize) -> RndvDest;
+    /// The rendezvous stream for `rreq` finished.
+    fn on_rndv_complete(&mut self, rreq: u64, total: usize);
+}
+
+/// One queued outgoing item.
+enum OutItem {
+    /// An owned frame (header + control/eager body).
+    Bytes { buf: Vec<u8>, off: usize },
+    /// A raw zero-copy window (rendezvous payload). The pointer is stored
+    /// as `usize` and must remain valid until fully flushed — the sender's
+    /// pin guarantees this.
+    Raw { ptr: usize, len: usize, off: usize, done: Option<Request> },
+}
+
+enum InState {
+    /// Reading the 5-byte frame header.
+    Header { buf: [u8; 5], got: usize },
+    /// Buffering a whole control/eager body.
+    Body { kind: PacketKind, need: usize, buf: Vec<u8> },
+    /// Reading the 8-byte rreq prefix of a RndvData frame.
+    RndvPrefix { buf: [u8; 8], got: usize, data_len: usize },
+    /// Streaming rendezvous payload into the destination window.
+    Stream { rreq: u64, dest: RndvDest, total: usize, written: usize },
+}
+
+/// Framing and queueing state for one peer link.
+pub struct LinkState {
+    link: BoxedLink,
+    outq: VecDeque<OutItem>,
+    in_state: InState,
+    /// Scratch buffer for discarded streams.
+    scratch: Vec<u8>,
+}
+
+// SAFETY: the raw pointers held in `OutItem::Raw` and `InState::Stream`
+// refer to buffers whose stability (pinning) and liveness the device layer
+// guarantees for the duration of the operation; the struct itself is only
+// accessed under the device's progress lock.
+unsafe impl Send for LinkState {}
+
+impl LinkState {
+    /// Wrap a connected link.
+    pub fn new(link: BoxedLink) -> Self {
+        LinkState {
+            link,
+            outq: VecDeque::new(),
+            in_state: InState::Header { buf: [0; 5], got: 0 },
+            scratch: vec![0u8; 16 * 1024],
+        }
+    }
+
+    /// Queue an owned frame.
+    pub fn queue_bytes(&mut self, buf: Vec<u8>) {
+        self.outq.push_back(OutItem::Bytes { buf, off: 0 });
+    }
+
+    /// Queue a raw zero-copy window; `done` (if any) completes when the
+    /// window has been fully handed to the transport (MPI send-completion
+    /// semantics: the buffer is then reusable).
+    pub fn queue_raw(&mut self, ptr: *const u8, len: usize, done: Option<Request>) {
+        self.outq.push_back(OutItem::Raw { ptr: ptr as usize, len, off: 0, done });
+    }
+
+    /// Whether any outgoing data is still queued.
+    pub fn has_pending_out(&self) -> bool {
+        !self.outq.is_empty()
+    }
+
+    /// Flush as much outgoing data as the link accepts. Returns `true` if
+    /// any bytes moved.
+    pub fn pump_out(&mut self) -> MpcResult<bool> {
+        let mut progressed = false;
+        while let Some(front) = self.outq.front_mut() {
+            let wrote = match front {
+                OutItem::Bytes { buf, off } => {
+                    let n = self.link.try_write(&buf[*off..])?;
+                    *off += n;
+                    let finished = *off == buf.len();
+                    if finished {
+                        self.outq.pop_front();
+                    }
+                    (n, finished)
+                }
+                OutItem::Raw { ptr, len, off, done } => {
+                    // SAFETY: the sender pinned (or owns) this window until
+                    // `done` completes; see `queue_raw`.
+                    let slice =
+                        unsafe { std::slice::from_raw_parts(*ptr as *const u8, *len) };
+                    let n = self.link.try_write(&slice[*off..])?;
+                    *off += n;
+                    let finished = *off == *len;
+                    if finished {
+                        if let Some(req) = done.take() {
+                            req.complete();
+                        }
+                        self.outq.pop_front();
+                    }
+                    (n, finished)
+                }
+            };
+            progressed |= wrote.0 > 0;
+            if !wrote.1 {
+                break; // link is full
+            }
+        }
+        Ok(progressed)
+    }
+
+    /// Parse as much incoming data as available, dispatching complete
+    /// packets to `sink`. Returns `true` if any bytes moved.
+    pub fn pump_in(&mut self, sink: &mut dyn PacketSink) -> MpcResult<bool> {
+        let mut progressed = false;
+        loop {
+            match &mut self.in_state {
+                InState::Header { buf, got } => {
+                    let n = match self.link.try_read(&mut buf[*got..]) {
+                        Ok(n) => n,
+                        Err(PalError::Disconnected) if *got == 0 && !progressed => {
+                            return Err(MpcError::Transport(PalError::Disconnected))
+                        }
+                        Err(e) => return Err(e.into()),
+                    };
+                    if n == 0 {
+                        return Ok(progressed);
+                    }
+                    progressed = true;
+                    *got += n;
+                    if *got < 5 {
+                        continue;
+                    }
+                    let frame_len = u32::from_le_bytes(buf[0..4].try_into().unwrap()) as usize;
+                    let kind = PacketKind::from_u8(buf[4])?;
+                    if frame_len == 0 {
+                        return Err(MpcError::Protocol("zero-length frame".into()));
+                    }
+                    let body = frame_len - 1;
+                    self.in_state = match kind {
+                        PacketKind::RndvData => {
+                            if body < 8 {
+                                return Err(MpcError::Protocol("short rndv frame".into()));
+                            }
+                            InState::RndvPrefix { buf: [0; 8], got: 0, data_len: body - 8 }
+                        }
+                        k => InState::Body { kind: k, need: body, buf: Vec::with_capacity(body) },
+                    };
+                }
+                InState::Body { kind, need, buf } => {
+                    let missing = *need - buf.len();
+                    if missing > 0 {
+                        let start = buf.len();
+                        buf.resize(*need, 0);
+                        let n = self.link.try_read(&mut buf[start..])?;
+                        buf.truncate(start + n);
+                        if n == 0 {
+                            return Ok(progressed);
+                        }
+                        progressed = true;
+                        if buf.len() < *need {
+                            continue;
+                        }
+                    }
+                    let kind = *kind;
+                    let body = std::mem::take(buf);
+                    self.in_state = InState::Header { buf: [0; 5], got: 0 };
+                    match kind {
+                        PacketKind::Eager => {
+                            let env = Envelope::decode(&body)?;
+                            sink.on_eager(env, &body[ENVELOPE_LEN..]);
+                        }
+                        PacketKind::RndvRts => {
+                            let env = Envelope::decode(&body)?;
+                            sink.on_rts(env);
+                        }
+                        PacketKind::RndvCts => {
+                            if body.len() != 16 {
+                                return Err(MpcError::Protocol("bad CTS".into()));
+                            }
+                            let sreq = u64::from_le_bytes(body[0..8].try_into().unwrap());
+                            let rreq = u64::from_le_bytes(body[8..16].try_into().unwrap());
+                            sink.on_cts(sreq, rreq);
+                        }
+                        PacketKind::SyncAck => {
+                            if body.len() != 8 {
+                                return Err(MpcError::Protocol("bad SyncAck".into()));
+                            }
+                            sink.on_sync_ack(u64::from_le_bytes(body[0..8].try_into().unwrap()));
+                        }
+                        PacketKind::RndvData => unreachable!("handled in Header state"),
+                    }
+                }
+                InState::RndvPrefix { buf, got, data_len } => {
+                    let n = self.link.try_read(&mut buf[*got..])?;
+                    if n == 0 {
+                        return Ok(progressed);
+                    }
+                    progressed = true;
+                    *got += n;
+                    if *got < 8 {
+                        continue;
+                    }
+                    let rreq = u64::from_le_bytes(*buf);
+                    let total = *data_len;
+                    let dest = sink.rndv_dest(rreq, total);
+                    if total == 0 {
+                        sink.on_rndv_complete(rreq, 0);
+                        self.in_state = InState::Header { buf: [0; 5], got: 0 };
+                    } else {
+                        self.in_state = InState::Stream { rreq, dest, total, written: 0 };
+                    }
+                }
+                InState::Stream { rreq, dest, total, written } => {
+                    let remaining = *total - *written;
+                    let n = match dest {
+                        RndvDest::Raw(ptr, cap) => {
+                            let take = remaining.min(*cap - *written);
+                            if take == 0 {
+                                // Buffer exhausted but stream continues:
+                                // drain the overflow into scratch.
+                                let take = remaining.min(self.scratch.len());
+                                self.link.try_read(&mut self.scratch[..take])?
+                            } else {
+                                // SAFETY: window provided by the device;
+                                // receiver pinned/owns it for the stream.
+                                let slice = unsafe {
+                                    std::slice::from_raw_parts_mut(
+                                        ptr.add(*written),
+                                        take,
+                                    )
+                                };
+                                self.link.try_read(slice)?
+                            }
+                        }
+                        RndvDest::Discard => {
+                            let take = remaining.min(self.scratch.len());
+                            self.link.try_read(&mut self.scratch[..take])?
+                        }
+                    };
+                    if n == 0 {
+                        return Ok(progressed);
+                    }
+                    progressed = true;
+                    *written += n;
+                    if *written == *total {
+                        let rreq = *rreq;
+                        let total = *total;
+                        self.in_state = InState::Header { buf: [0; 5], got: 0 };
+                        sink.on_rndv_complete(rreq, total);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet;
+    use crate::request::RequestState;
+    use motor_pal::link::shm_pair;
+
+    #[derive(Default)]
+    struct RecordingSink {
+        eager: Vec<(Envelope, Vec<u8>)>,
+        rts: Vec<Envelope>,
+        cts: Vec<(u64, u64)>,
+        acks: Vec<u64>,
+        rndv_buf: Vec<u8>,
+        rndv_done: Vec<(u64, usize)>,
+    }
+
+    impl PacketSink for RecordingSink {
+        fn on_eager(&mut self, env: Envelope, data: &[u8]) {
+            self.eager.push((env, data.to_vec()));
+        }
+        fn on_rts(&mut self, env: Envelope) {
+            self.rts.push(env);
+        }
+        fn on_cts(&mut self, sreq: u64, rreq: u64) {
+            self.cts.push((sreq, rreq));
+        }
+        fn on_sync_ack(&mut self, sreq: u64) {
+            self.acks.push(sreq);
+        }
+        fn rndv_dest(&mut self, _rreq: u64, total: usize) -> RndvDest {
+            self.rndv_buf = vec![0u8; total];
+            RndvDest::Raw(self.rndv_buf.as_mut_ptr(), total)
+        }
+        fn on_rndv_complete(&mut self, rreq: u64, total: usize) {
+            self.rndv_done.push((rreq, total));
+        }
+    }
+
+    fn env(len: u64) -> Envelope {
+        Envelope { src: 1, gsrc: 1, tag: 5, context: 0, len, sreq: 9, flags: 0 }
+    }
+
+    fn pump_until_idle(tx: &mut LinkState, rx: &mut LinkState, sink: &mut RecordingSink) {
+        for _ in 0..10_000 {
+            let a = tx.pump_out().unwrap();
+            let b = rx.pump_in(sink).unwrap();
+            if !a && !b && !tx.has_pending_out() {
+                break;
+            }
+        }
+    }
+
+    fn pair() -> (LinkState, LinkState) {
+        let (a, b) = shm_pair(4096);
+        (LinkState::new(Box::new(a)), LinkState::new(Box::new(b)))
+    }
+
+    #[test]
+    fn eager_roundtrip() {
+        let (mut tx, mut rx) = pair();
+        let data = b"payload".to_vec();
+        tx.queue_bytes(packet::encode_eager(&env(7), &data));
+        let mut sink = RecordingSink::default();
+        pump_until_idle(&mut tx, &mut rx, &mut sink);
+        assert_eq!(sink.eager.len(), 1);
+        assert_eq!(sink.eager[0].1, data);
+        assert_eq!(sink.eager[0].0.tag, 5);
+    }
+
+    #[test]
+    fn control_frames_roundtrip() {
+        let (mut tx, mut rx) = pair();
+        tx.queue_bytes(packet::encode_rts(&env(100)));
+        tx.queue_bytes(packet::encode_cts(11, 22));
+        tx.queue_bytes(packet::encode_sync_ack(33));
+        let mut sink = RecordingSink::default();
+        pump_until_idle(&mut tx, &mut rx, &mut sink);
+        assert_eq!(sink.rts.len(), 1);
+        assert_eq!(sink.cts, vec![(11, 22)]);
+        assert_eq!(sink.acks, vec![33]);
+    }
+
+    #[test]
+    fn rndv_stream_larger_than_ring() {
+        // 64 KiB payload through a 4 KiB ring: exercises streaming.
+        let (mut tx, mut rx) = pair();
+        let data: Vec<u8> = (0..65536u32).map(|i| (i % 251) as u8).collect();
+        let req = RequestState::new(1);
+        tx.queue_bytes(packet::encode_rndv_data_header(42, data.len()));
+        tx.queue_raw(data.as_ptr(), data.len(), Some(std::sync::Arc::clone(&req)));
+        let mut sink = RecordingSink::default();
+        pump_until_idle(&mut tx, &mut rx, &mut sink);
+        assert!(req.is_complete(), "send request completed when fully flushed");
+        assert_eq!(sink.rndv_done, vec![(42, 65536)]);
+        assert_eq!(sink.rndv_buf, data);
+    }
+
+    #[test]
+    fn interleaved_frames_parse_in_order() {
+        let (mut tx, mut rx) = pair();
+        for i in 0..20u8 {
+            tx.queue_bytes(packet::encode_eager(&env(3), &[i, i, i]));
+        }
+        let mut sink = RecordingSink::default();
+        pump_until_idle(&mut tx, &mut rx, &mut sink);
+        assert_eq!(sink.eager.len(), 20);
+        for (i, (_, d)) in sink.eager.iter().enumerate() {
+            assert_eq!(d, &vec![i as u8; 3], "frames arrive in order");
+        }
+    }
+
+    #[test]
+    fn zero_length_eager_message() {
+        let (mut tx, mut rx) = pair();
+        tx.queue_bytes(packet::encode_eager(&env(0), &[]));
+        let mut sink = RecordingSink::default();
+        pump_until_idle(&mut tx, &mut rx, &mut sink);
+        assert_eq!(sink.eager.len(), 1);
+        assert!(sink.eager[0].1.is_empty());
+    }
+
+    #[test]
+    fn disconnect_surfaces_as_transport_error() {
+        let (tx, mut rx) = pair();
+        drop(tx);
+        let mut sink = RecordingSink::default();
+        assert!(matches!(rx.pump_in(&mut sink), Err(MpcError::Transport(_))));
+    }
+}

@@ -1,0 +1,241 @@
+//! MPI process groups — the `MPI::Group` object of the MPI-2 C++ object
+//! model the Motor bindings are based on (paper §7: "The object model is
+//! based on the official MPI-2 C++ bindings").
+//!
+//! A group is an ordered set of global ranks; set operations produce new
+//! groups, and a communicator can be created over a group collectively.
+
+use std::sync::Arc;
+
+use crate::comm::Comm;
+use crate::error::{MpcError, MpcResult};
+
+/// An ordered set of processes (by global rank).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Group {
+    members: Arc<Vec<usize>>,
+}
+
+impl Group {
+    /// Group over explicit global ranks (order significant; duplicates
+    /// rejected).
+    pub fn new(members: Vec<usize>) -> MpcResult<Group> {
+        let mut seen = members.clone();
+        seen.sort_unstable();
+        if seen.windows(2).any(|w| w[0] == w[1]) {
+            return Err(MpcError::Protocol("duplicate rank in group".into()));
+        }
+        Ok(Group { members: Arc::new(members) })
+    }
+
+    /// The group of a communicator (`MPI_Comm_group`).
+    pub fn of(comm: &Comm) -> Group {
+        Group { members: Arc::clone(comm.group()) }
+    }
+
+    /// Number of members.
+    pub fn size(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Whether the group is empty.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// This process's rank within the group, if a member
+    /// (`MPI_Group_rank`).
+    pub fn rank_of_global(&self, global: usize) -> Option<usize> {
+        self.members.iter().position(|&g| g == global)
+    }
+
+    /// Global rank of group rank `r` (`MPI_Group_translate_ranks`).
+    pub fn global_of(&self, r: usize) -> MpcResult<usize> {
+        self.members.get(r).copied().ok_or(MpcError::InvalidRank(r as i32))
+    }
+
+    /// Members in group order.
+    pub fn members(&self) -> &[usize] {
+        &self.members
+    }
+
+    /// Subset by group ranks, in the given order (`MPI_Group_incl`).
+    pub fn include(&self, ranks: &[usize]) -> MpcResult<Group> {
+        let mut m = Vec::with_capacity(ranks.len());
+        for &r in ranks {
+            m.push(self.global_of(r)?);
+        }
+        Group::new(m)
+    }
+
+    /// Remove the given group ranks, preserving order
+    /// (`MPI_Group_excl`).
+    pub fn exclude(&self, ranks: &[usize]) -> MpcResult<Group> {
+        for &r in ranks {
+            if r >= self.size() {
+                return Err(MpcError::InvalidRank(r as i32));
+            }
+        }
+        let m = self
+            .members
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !ranks.contains(i))
+            .map(|(_, &g)| g)
+            .collect();
+        Group::new(m)
+    }
+
+    /// Union: members of `self`, then members of `other` not in `self`
+    /// (`MPI_Group_union` ordering).
+    pub fn union(&self, other: &Group) -> Group {
+        let mut m: Vec<usize> = self.members.as_ref().clone();
+        for &g in other.members.iter() {
+            if !m.contains(&g) {
+                m.push(g);
+            }
+        }
+        Group { members: Arc::new(m) }
+    }
+
+    /// Intersection, ordered as in `self` (`MPI_Group_intersection`).
+    pub fn intersection(&self, other: &Group) -> Group {
+        let m = self
+            .members
+            .iter()
+            .copied()
+            .filter(|g| other.members.contains(g))
+            .collect();
+        Group { members: Arc::new(m) }
+    }
+
+    /// Difference: members of `self` not in `other`
+    /// (`MPI_Group_difference`).
+    pub fn difference(&self, other: &Group) -> Group {
+        let m = self
+            .members
+            .iter()
+            .copied()
+            .filter(|g| !other.members.contains(g))
+            .collect();
+        Group { members: Arc::new(m) }
+    }
+}
+
+impl Comm {
+    /// Create a communicator over a subgroup (`MPI_Comm_create`).
+    /// Collective over the *parent* communicator; members of the group get
+    /// the new communicator, others get `None`.
+    pub fn create_from_group(&self, group: &Group) -> MpcResult<Option<Comm>> {
+        // Validate: every group member must belong to the parent.
+        for &g in group.members() {
+            if !self.group().contains(&g) {
+                return Err(MpcError::InvalidRank(g as i32));
+            }
+        }
+        // Rank 0 of the parent allocates the context pair for everyone.
+        let mut ctx = [0u32; 1];
+        if self.rank() == 0 {
+            ctx[0] = self.ctx_alloc().fetch_add(2, std::sync::atomic::Ordering::Relaxed);
+        }
+        self.bcast_slice(&mut ctx, 0)?;
+        let me = self.global_rank(self.rank())?;
+        match group.rank_of_global(me) {
+            Some(new_rank) => Ok(Some(Comm::assemble(
+                Arc::clone(self.device()),
+                ctx[0],
+                Arc::new(group.members().to_vec()),
+                new_rank,
+                Arc::clone(self.ctx_alloc()),
+            ))),
+            None => Ok(None),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::universe::Universe;
+
+    #[test]
+    fn construction_and_translation() {
+        let g = Group::new(vec![4, 2, 7]).unwrap();
+        assert_eq!(g.size(), 3);
+        assert_eq!(g.global_of(1).unwrap(), 2);
+        assert_eq!(g.rank_of_global(7), Some(2));
+        assert_eq!(g.rank_of_global(9), None);
+        assert!(Group::new(vec![1, 1]).is_err(), "duplicates rejected");
+    }
+
+    #[test]
+    fn include_exclude() {
+        let g = Group::new(vec![10, 20, 30, 40]).unwrap();
+        let inc = g.include(&[3, 0]).unwrap();
+        assert_eq!(inc.members(), &[40, 10]);
+        let exc = g.exclude(&[1, 2]).unwrap();
+        assert_eq!(exc.members(), &[10, 40]);
+        assert!(g.include(&[9]).is_err());
+        assert!(g.exclude(&[9]).is_err());
+    }
+
+    #[test]
+    fn set_operations() {
+        let a = Group::new(vec![1, 2, 3]).unwrap();
+        let b = Group::new(vec![3, 4]).unwrap();
+        assert_eq!(a.union(&b).members(), &[1, 2, 3, 4]);
+        assert_eq!(a.intersection(&b).members(), &[3]);
+        assert_eq!(a.difference(&b).members(), &[1, 2]);
+        assert!(a.intersection(&Group::new(vec![]).unwrap()).is_empty());
+    }
+
+    #[test]
+    fn comm_create_from_subgroup() {
+        Universe::run(4, |proc| {
+            let world = proc.world();
+            // The odd ranks form their own communicator.
+            let odd = Group::of(world).include(&[1, 3]).unwrap();
+            let sub = world.create_from_group(&odd).unwrap();
+            match world.rank() {
+                1 | 3 => {
+                    let sub = sub.expect("member gets the communicator");
+                    assert_eq!(sub.size(), 2);
+                    let mut sum = [0i32];
+                    sub.allreduce_slice(
+                        &[world.rank() as i32],
+                        &mut sum,
+                        crate::dtype::ReduceOp::Sum,
+                    )
+                    .unwrap();
+                    assert_eq!(sum[0], 4);
+                }
+                _ => assert!(sub.is_none(), "non-members get None"),
+            }
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn subgroup_traffic_does_not_leak_to_world() {
+        Universe::run(3, |proc| {
+            let world = proc.world();
+            let pair = Group::of(world).include(&[0, 1]).unwrap();
+            let sub = world.create_from_group(&pair).unwrap();
+            if let Some(sub) = sub {
+                if sub.rank() == 0 {
+                    sub.send_slice(&[5i32], 1, 0).unwrap();
+                } else {
+                    let mut v = [0i32];
+                    sub.recv_slice(&mut v, 0, 0).unwrap();
+                    assert_eq!(v[0], 5);
+                }
+            }
+            // A world-context probe on rank 2 must see nothing.
+            if world.rank() == 2 {
+                assert!(world.iprobe(crate::ANY_SOURCE, crate::ANY_TAG).unwrap().is_none());
+            }
+            world.barrier().unwrap();
+        })
+        .unwrap();
+    }
+}

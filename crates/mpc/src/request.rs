@@ -1,0 +1,126 @@
+//! Request objects for non-blocking operations.
+//!
+//! A [`Request`] is the handle returned by `isend`/`irecv`. Its completion
+//! flag is the state Motor's conditional pin requests interrogate from the
+//! collector's mark phase (paper §4.3): "the garbage collector checks the
+//! status of the underlying non-blocking transport operations".
+
+use std::sync::atomic::{AtomicBool, AtomicI32, AtomicU32, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Completion metadata of a finished receive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Status {
+    /// Communicator rank of the sender.
+    pub source: u32,
+    /// Message tag.
+    pub tag: i32,
+    /// Bytes actually received.
+    pub count: usize,
+    /// The message was longer than the posted buffer and was truncated
+    /// (the MPI_ERR_TRUNCATE condition).
+    pub truncated: bool,
+}
+
+/// Shared state of one in-flight operation.
+#[derive(Debug)]
+pub struct RequestState {
+    id: u64,
+    complete: AtomicBool,
+    src: AtomicU32,
+    tag: AtomicI32,
+    count: AtomicU64,
+    truncated: AtomicBool,
+}
+
+impl RequestState {
+    /// Create an incomplete request with the given device-unique id.
+    pub fn new(id: u64) -> Arc<RequestState> {
+        Arc::new(RequestState {
+            id,
+            complete: AtomicBool::new(false),
+            src: AtomicU32::new(0),
+            tag: AtomicI32::new(0),
+            count: AtomicU64::new(0),
+            truncated: AtomicBool::new(false),
+        })
+    }
+
+    /// Device-unique request id (used in wire correlation).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Whether the operation has completed (buffer reusable).
+    #[inline]
+    pub fn is_complete(&self) -> bool {
+        self.complete.load(Ordering::Acquire)
+    }
+
+    /// Whether the transport is still using the buffer — the predicate a
+    /// conditional pin evaluates.
+    #[inline]
+    pub fn in_flight(&self) -> bool {
+        !self.is_complete()
+    }
+
+    /// Mark complete with receive metadata.
+    pub fn complete_with(&self, source: u32, tag: i32, count: usize) {
+        self.src.store(source, Ordering::Relaxed);
+        self.tag.store(tag, Ordering::Relaxed);
+        self.count.store(count as u64, Ordering::Relaxed);
+        self.complete.store(true, Ordering::Release);
+    }
+
+    /// Flag the MPI_ERR_TRUNCATE condition (message longer than buffer).
+    pub fn mark_truncated(&self) {
+        self.truncated.store(true, Ordering::Relaxed);
+    }
+
+    /// Mark complete (send side; no metadata).
+    pub fn complete(&self) {
+        self.complete.store(true, Ordering::Release);
+    }
+
+    /// Completion status (valid once complete).
+    pub fn status(&self) -> Status {
+        Status {
+            source: self.src.load(Ordering::Relaxed),
+            tag: self.tag.load(Ordering::Relaxed),
+            count: self.count.load(Ordering::Relaxed) as usize,
+            truncated: self.truncated.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A non-blocking operation handle.
+pub type Request = Arc<RequestState>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifecycle() {
+        let r = RequestState::new(7);
+        assert_eq!(r.id(), 7);
+        assert!(r.in_flight());
+        assert!(!r.is_complete());
+        r.complete_with(2, 9, 128);
+        assert!(r.is_complete());
+        assert!(!r.in_flight());
+        let s = r.status();
+        assert_eq!(s, Status { source: 2, tag: 9, count: 128, truncated: false });
+    }
+
+    #[test]
+    fn completion_visible_across_threads() {
+        let r = RequestState::new(1);
+        let r2 = Arc::clone(&r);
+        let t = std::thread::spawn(move || {
+            r2.complete();
+        });
+        t.join().unwrap();
+        assert!(r.is_complete());
+    }
+}

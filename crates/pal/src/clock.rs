@@ -1,0 +1,74 @@
+//! Monotonic timing.
+//!
+//! The paper's protocol times ping-pong iterations in microseconds. This
+//! module wraps the host monotonic clock behind the PAL so the layers above
+//! never touch `std::time` directly (the SSCLI PAL similarly virtualises
+//! `QueryPerformanceCounter`).
+
+use std::time::{Duration, Instant};
+
+/// A monotonic stopwatch.
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch {
+    start: Instant,
+}
+
+impl Stopwatch {
+    /// Start a new stopwatch at the current instant.
+    pub fn start() -> Self {
+        Stopwatch { start: Instant::now() }
+    }
+
+    /// Elapsed wall time since the stopwatch was started.
+    pub fn elapsed(&self) -> Duration {
+        self.start.elapsed()
+    }
+
+    /// Elapsed time in whole microseconds.
+    pub fn elapsed_micros(&self) -> u64 {
+        self.elapsed().as_micros() as u64
+    }
+
+    /// Elapsed time in fractional microseconds (nanosecond resolution).
+    pub fn elapsed_micros_f64(&self) -> f64 {
+        self.elapsed().as_secs_f64() * 1e6
+    }
+
+    /// Restart the stopwatch, returning the elapsed duration up to now.
+    pub fn lap(&mut self) -> Duration {
+        let e = self.elapsed();
+        self.start = Instant::now();
+        e
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn elapsed_is_monotonic() {
+        let sw = Stopwatch::start();
+        let a = sw.elapsed();
+        let b = sw.elapsed();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn lap_resets() {
+        let mut sw = Stopwatch::start();
+        std::thread::sleep(Duration::from_millis(2));
+        let first = sw.lap();
+        assert!(first >= Duration::from_millis(1));
+        // After the lap the elapsed time restarts near zero.
+        assert!(sw.elapsed() < first + Duration::from_millis(1));
+    }
+
+    #[test]
+    fn micros_f64_tracks_micros() {
+        let sw = Stopwatch::start();
+        std::thread::sleep(Duration::from_millis(1));
+        let f = sw.elapsed_micros_f64();
+        assert!(f >= 1000.0);
+    }
+}

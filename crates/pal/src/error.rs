@@ -1,0 +1,63 @@
+//! PAL error type.
+
+use std::fmt;
+
+/// Errors produced by platform-layer operations.
+#[derive(Debug)]
+pub enum PalError {
+    /// The peer endpoint of a link has been closed or dropped.
+    Disconnected,
+    /// An underlying OS I/O operation failed.
+    Io(std::io::Error),
+    /// A capacity or configuration argument was invalid.
+    InvalidArgument(String),
+}
+
+/// Result alias for PAL operations.
+pub type PalResult<T> = Result<T, PalError>;
+
+impl fmt::Display for PalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PalError::Disconnected => write!(f, "link disconnected"),
+            PalError::Io(e) => write!(f, "I/O error: {e}"),
+            PalError::InvalidArgument(s) => write!(f, "invalid argument: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for PalError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PalError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for PalError {
+    fn from(e: std::io::Error) -> Self {
+        PalError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(PalError::Disconnected.to_string(), "link disconnected");
+        let e = PalError::InvalidArgument("capacity must be a power of two".into());
+        assert!(e.to_string().contains("power of two"));
+    }
+
+    #[test]
+    fn io_error_converts_and_sources() {
+        use std::error::Error;
+        let io = std::io::Error::other("boom");
+        let e: PalError = io.into();
+        assert!(e.to_string().contains("boom"));
+        assert!(e.source().is_some());
+    }
+}

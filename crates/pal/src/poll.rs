@@ -1,0 +1,112 @@
+//! The polling-wait primitive.
+//!
+//! Motor replaced MPICH2's blocking system calls with "a polling-wait,
+//! which periodically releases and polls the garbage collector ... to
+//! ensure that the thread performing the FCall does not block the entire
+//! runtime when a garbage collection is required" (§7.1). [`polling_wait`]
+//! is that loop, generic over the yield callback so the runtime layer can
+//! plug in its safepoint poll and the native baseline can plug in nothing.
+
+/// Exponential spin/yield backoff, reset on progress.
+#[derive(Debug, Default)]
+pub struct Backoff {
+    step: u32,
+}
+
+impl Backoff {
+    /// Spin threshold before falling back to `thread::yield_now`.
+    const SPIN_LIMIT: u32 = 6;
+
+    /// Create a fresh backoff.
+    pub fn new() -> Self {
+        Backoff { step: 0 }
+    }
+
+    /// Reset after the waited-for condition made progress.
+    pub fn reset(&mut self) {
+        self.step = 0;
+    }
+
+    /// Wait a little: spin with exponentially more `spin_loop` hints, then
+    /// start yielding the OS thread.
+    pub fn snooze(&mut self) {
+        if self.step <= Self::SPIN_LIMIT {
+            for _ in 0..(1u32 << self.step) {
+                std::hint::spin_loop();
+            }
+        } else {
+            std::thread::yield_now();
+        }
+        if self.step <= Self::SPIN_LIMIT {
+            self.step += 1;
+        }
+    }
+
+    /// True once the backoff has escalated to OS-level yielding.
+    pub fn is_yielding(&self) -> bool {
+        self.step > Self::SPIN_LIMIT
+    }
+}
+
+/// Spin until `done` returns `true`, invoking `yield_poll` on every lap.
+///
+/// `yield_poll` is the hook at which the Motor runtime parks the thread for
+/// a pending garbage collection; the loop guarantees it runs at least once
+/// even if `done` is immediately true, matching the paper's FCall
+/// discipline (poll on entry, poll while waiting, poll on exit).
+pub fn polling_wait(mut done: impl FnMut() -> bool, mut yield_poll: impl FnMut()) {
+    let mut backoff = Backoff::new();
+    loop {
+        yield_poll();
+        if done() {
+            return;
+        }
+        backoff.snooze();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn polls_at_least_once_when_immediately_done() {
+        let mut polls = 0;
+        polling_wait(|| true, || polls += 1);
+        assert_eq!(polls, 1);
+    }
+
+    #[test]
+    fn waits_for_cross_thread_flag() {
+        let flag = Arc::new(AtomicBool::new(false));
+        let polls = Arc::new(AtomicUsize::new(0));
+        let f2 = Arc::clone(&flag);
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(5));
+            f2.store(true, Ordering::Release);
+        });
+        let p = Arc::clone(&polls);
+        polling_wait(
+            || flag.load(Ordering::Acquire),
+            || {
+                p.fetch_add(1, Ordering::Relaxed);
+            },
+        );
+        t.join().unwrap();
+        assert!(polls.load(Ordering::Relaxed) >= 1);
+    }
+
+    #[test]
+    fn backoff_escalates_and_resets() {
+        let mut b = Backoff::new();
+        assert!(!b.is_yielding());
+        for _ in 0..10 {
+            b.snooze();
+        }
+        assert!(b.is_yielding());
+        b.reset();
+        assert!(!b.is_yielding());
+    }
+}

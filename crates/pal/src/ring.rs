@@ -1,0 +1,321 @@
+//! Single-producer / single-consumer byte ring buffers.
+//!
+//! This is the shared-memory transport primitive underneath the in-process
+//! "shm" links — the analog of the shared-memory segments used by MPICH2's
+//! `shm` channel. One side owns the [`RingProducer`], the other the
+//! [`RingConsumer`]; both are `Send` but each may live on only one thread at
+//! a time, which is exactly the SPSC contract the atomics rely on.
+//!
+//! The implementation follows the classic lock-free SPSC design (see *Rust
+//! Atomics and Locks*, ch. 5): monotonically increasing head/tail counters,
+//! `Acquire`/`Release` pairs on the counter the peer publishes, and relaxed
+//! loads of the counter a side owns itself.
+
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use crossbeam::utils::CachePadded;
+
+use crate::error::{PalError, PalResult};
+
+/// Shared state of one ring.
+struct Ring {
+    buf: Box<[UnsafeCell<u8>]>,
+    mask: usize,
+    /// Read position (owned by the consumer, published to the producer).
+    head: CachePadded<AtomicUsize>,
+    /// Write position (owned by the producer, published to the consumer).
+    tail: CachePadded<AtomicUsize>,
+    closed: AtomicBool,
+}
+
+// SAFETY: the producer only writes slots in `[tail, head + capacity)` and the
+// consumer only reads slots in `[head, tail)`; the head/tail handoff uses
+// Release/Acquire so the byte writes happen-before the matching reads.
+unsafe impl Sync for Ring {}
+unsafe impl Send for Ring {}
+
+impl Ring {
+    fn capacity(&self) -> usize {
+        self.buf.len()
+    }
+}
+
+/// Writing half of an SPSC byte ring.
+pub struct RingProducer {
+    ring: Arc<Ring>,
+}
+
+/// Reading half of an SPSC byte ring.
+pub struct RingConsumer {
+    ring: Arc<Ring>,
+}
+
+/// Create a ring with the given capacity (rounded up to a power of two,
+/// minimum 64 bytes) and return its two halves.
+pub fn ring(capacity: usize) -> (RingProducer, RingConsumer) {
+    let cap = capacity.max(64).next_power_of_two();
+    let buf: Box<[UnsafeCell<u8>]> = (0..cap).map(|_| UnsafeCell::new(0)).collect();
+    let ring = Arc::new(Ring {
+        buf,
+        mask: cap - 1,
+        head: CachePadded::new(AtomicUsize::new(0)),
+        tail: CachePadded::new(AtomicUsize::new(0)),
+        closed: AtomicBool::new(false),
+    });
+    (RingProducer { ring: Arc::clone(&ring) }, RingConsumer { ring })
+}
+
+impl RingProducer {
+    /// Capacity of the ring in bytes.
+    pub fn capacity(&self) -> usize {
+        self.ring.capacity()
+    }
+
+    /// Bytes that can currently be written without blocking.
+    pub fn free(&self) -> usize {
+        let head = self.ring.head.load(Ordering::Acquire);
+        let tail = self.ring.tail.load(Ordering::Relaxed);
+        self.ring.capacity() - tail.wrapping_sub(head)
+    }
+
+    /// Non-blocking write. Copies as many bytes of `src` as fit and returns
+    /// the number written (possibly zero).
+    pub fn try_write(&mut self, src: &[u8]) -> PalResult<usize> {
+        if self.is_closed() {
+            return Err(PalError::Disconnected);
+        }
+        let head = self.ring.head.load(Ordering::Acquire);
+        let tail = self.ring.tail.load(Ordering::Relaxed);
+        let cap = self.ring.capacity();
+        let free = cap - tail.wrapping_sub(head);
+        let n = free.min(src.len());
+        if n == 0 {
+            return Ok(0);
+        }
+        let start = tail & self.ring.mask;
+        let first = n.min(cap - start);
+        // SAFETY: the producer exclusively owns the free region; see Ring.
+        unsafe {
+            let base = self.ring.buf.as_ptr() as *mut u8;
+            std::ptr::copy_nonoverlapping(src.as_ptr(), base.add(start), first);
+            if n > first {
+                std::ptr::copy_nonoverlapping(src.as_ptr().add(first), base, n - first);
+            }
+        }
+        self.ring.tail.store(tail.wrapping_add(n), Ordering::Release);
+        Ok(n)
+    }
+
+    /// Whether the consumer half has been dropped or the ring closed.
+    pub fn is_closed(&self) -> bool {
+        self.ring.closed.load(Ordering::Relaxed) || Arc::strong_count(&self.ring) == 1
+    }
+
+    /// Mark the ring closed; the consumer will observe it once drained.
+    pub fn close(&self) {
+        self.ring.closed.store(true, Ordering::Release);
+    }
+}
+
+impl RingConsumer {
+    /// Capacity of the ring in bytes.
+    pub fn capacity(&self) -> usize {
+        self.ring.capacity()
+    }
+
+    /// Bytes currently available to read.
+    pub fn available(&self) -> usize {
+        let tail = self.ring.tail.load(Ordering::Acquire);
+        let head = self.ring.head.load(Ordering::Relaxed);
+        tail.wrapping_sub(head)
+    }
+
+    /// Non-blocking read. Copies up to `dst.len()` bytes and returns the
+    /// number read (possibly zero).
+    pub fn try_read(&mut self, dst: &mut [u8]) -> PalResult<usize> {
+        let tail = self.ring.tail.load(Ordering::Acquire);
+        let head = self.ring.head.load(Ordering::Relaxed);
+        let avail = tail.wrapping_sub(head);
+        let mut n = avail.min(dst.len());
+        if n == 0 {
+            // Only report disconnection once all buffered bytes are drained,
+            // so the peer's final message is never lost. The close flag may
+            // be observed before a tail store that preceded it on the
+            // producer side, so re-load the tail after seeing the flag.
+            if !self.is_closed() {
+                return Ok(0);
+            }
+            let tail = self.ring.tail.load(Ordering::Acquire);
+            n = tail.wrapping_sub(head).min(dst.len());
+            if n == 0 {
+                return Err(PalError::Disconnected);
+            }
+        }
+        let cap = self.ring.capacity();
+        let start = head & self.ring.mask;
+        let first = n.min(cap - start);
+        // SAFETY: the consumer exclusively owns the readable region; see Ring.
+        unsafe {
+            let base = self.ring.buf.as_ptr() as *const u8;
+            std::ptr::copy_nonoverlapping(base.add(start), dst.as_mut_ptr(), first);
+            if n > first {
+                std::ptr::copy_nonoverlapping(base, dst.as_mut_ptr().add(first), n - first);
+            }
+        }
+        self.ring.head.store(head.wrapping_add(n), Ordering::Release);
+        Ok(n)
+    }
+
+    /// Whether the producer half has been dropped or the ring closed.
+    pub fn is_closed(&self) -> bool {
+        self.ring.closed.load(Ordering::Relaxed) || Arc::strong_count(&self.ring) == 1
+    }
+}
+
+impl Drop for RingProducer {
+    fn drop(&mut self) {
+        self.close();
+    }
+}
+
+impl Drop for RingConsumer {
+    fn drop(&mut self) {
+        self.ring.closed.store(true, Ordering::Release);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_small() {
+        let (mut tx, mut rx) = ring(64);
+        assert_eq!(tx.try_write(b"hello").unwrap(), 5);
+        let mut buf = [0u8; 8];
+        assert_eq!(rx.try_read(&mut buf).unwrap(), 5);
+        assert_eq!(&buf[..5], b"hello");
+    }
+
+    #[test]
+    fn capacity_rounds_to_power_of_two() {
+        let (tx, _rx) = ring(100);
+        assert_eq!(tx.capacity(), 128);
+        let (tx, _rx) = ring(1);
+        assert_eq!(tx.capacity(), 64);
+    }
+
+    #[test]
+    fn write_respects_free_space() {
+        let (mut tx, mut rx) = ring(64);
+        let data = vec![0xAB; 200];
+        let n = tx.try_write(&data).unwrap();
+        assert_eq!(n, 64);
+        assert_eq!(tx.free(), 0);
+        assert_eq!(tx.try_write(&data).unwrap(), 0);
+        let mut sink = vec![0u8; 32];
+        assert_eq!(rx.try_read(&mut sink).unwrap(), 32);
+        assert_eq!(tx.free(), 32);
+        assert_eq!(tx.try_write(&data).unwrap(), 32);
+    }
+
+    #[test]
+    fn wraparound_preserves_bytes() {
+        let (mut tx, mut rx) = ring(64);
+        let mut next: u8 = 0;
+        let mut expect: u8 = 0;
+        // Push/pull in mismatched chunk sizes so the indices wrap many times.
+        for round in 0..100 {
+            let wlen = (round % 13) + 1;
+            let chunk: Vec<u8> = (0..wlen)
+                .map(|_| {
+                    let v = next;
+                    next = next.wrapping_add(1);
+                    v
+                })
+                .collect();
+            let mut off = 0;
+            while off < chunk.len() {
+                off += tx.try_write(&chunk[off..]).unwrap();
+                let mut buf = [0u8; 7];
+                let n = rx.try_read(&mut buf).unwrap();
+                for &b in &buf[..n] {
+                    assert_eq!(b, expect);
+                    expect = expect.wrapping_add(1);
+                }
+            }
+        }
+        // Drain what remains.
+        let mut buf = [0u8; 64];
+        loop {
+            let n = rx.try_read(&mut buf).unwrap();
+            if n == 0 {
+                break;
+            }
+            for &b in &buf[..n] {
+                assert_eq!(b, expect);
+                expect = expect.wrapping_add(1);
+            }
+        }
+        assert_eq!(expect, next);
+    }
+
+    #[test]
+    fn dropped_consumer_disconnects_producer() {
+        let (mut tx, rx) = ring(64);
+        drop(rx);
+        assert!(matches!(tx.try_write(b"x"), Err(PalError::Disconnected)));
+    }
+
+    #[test]
+    fn consumer_drains_before_reporting_close() {
+        let (mut tx, mut rx) = ring(64);
+        tx.try_write(b"bye").unwrap();
+        drop(tx);
+        let mut buf = [0u8; 8];
+        assert_eq!(rx.try_read(&mut buf).unwrap(), 3);
+        assert!(matches!(rx.try_read(&mut buf), Err(PalError::Disconnected)));
+    }
+
+    #[test]
+    fn cross_thread_stream_integrity() {
+        let (mut tx, mut rx) = ring(256);
+        const TOTAL: usize = 1 << 18;
+        let producer = std::thread::spawn(move || {
+            let mut sent = 0usize;
+            let mut v: u8 = 0;
+            let chunk: Vec<u8> = (0..311u32).map(|_| 0).collect();
+            let mut chunk = chunk;
+            while sent < TOTAL {
+                let want = chunk.len().min(TOTAL - sent);
+                for b in chunk[..want].iter_mut() {
+                    *b = v;
+                    v = v.wrapping_add(1);
+                }
+                let mut off = 0;
+                while off < want {
+                    let n = tx.try_write(&chunk[off..want]).unwrap();
+                    off += n;
+                    if n == 0 {
+                        std::thread::yield_now();
+                    }
+                }
+                sent += want;
+            }
+        });
+        let mut got = 0usize;
+        let mut expect: u8 = 0;
+        let mut buf = [0u8; 173];
+        while got < TOTAL {
+            let n = rx.try_read(&mut buf).unwrap();
+            for &b in &buf[..n] {
+                assert_eq!(b, expect, "corruption at byte {got}");
+                expect = expect.wrapping_add(1);
+            }
+            got += n;
+        }
+        producer.join().unwrap();
+    }
+}

@@ -1,0 +1,214 @@
+//! Object layout: header format and size computation.
+//!
+//! Mirrors the SSCLI layout sketched in paper §5.3: an object is a header
+//! holding a reference to its `MethodTable` followed immediately by the
+//! instance data. Our header additionally carries GC flags, the total
+//! allocated size and (for arrays) the element count, so the collector can
+//! walk a heap segment linearly without consulting the registry.
+//!
+//! ```text
+//! +-------------------- 16-byte header --------------------+-------------+
+//! | mt: u32 | flags: u32 | size: u32 (total) | extra: u32  | instance    |
+//! +---------------------------------------------------------| data ...   |
+//! ```
+//!
+//! * Classes: instance data = fields at their `FieldDesc` offsets.
+//! * Primitive arrays: `extra` = length, data = contiguous elements.
+//! * Object arrays: `extra` = length, data = contiguous `usize` references.
+//! * Multidimensional arrays: `extra` = total element count; data begins
+//!   with `rank` × `u32` dimension sizes (padded to 8 bytes), then the
+//!   contiguous elements in row-major order.
+
+use crate::types::{ElemKind, MethodTable, TypeKind};
+
+/// Byte size of the object header.
+pub const HEADER_SIZE: usize = 16;
+
+/// Heap alignment for all objects.
+pub const ALIGN: usize = 8;
+
+/// GC and runtime flags stored in the header.
+pub mod obj_flags {
+    /// Object survived / is marked live during the current collection.
+    pub const MARK: u32 = 1 << 0;
+    /// Object currently has one or more hard pins.
+    pub const PINNED: u32 = 1 << 1;
+    /// Object resides in the elder generation.
+    pub const IN_OLD: u32 = 1 << 2;
+    /// Header has been replaced by a forwarding pointer (young copy phase).
+    pub const FORWARDED: u32 = 1 << 3;
+    /// Slot is free-list space, not a live object (elder generation sweep).
+    pub const FREE: u32 = 1 << 4;
+}
+
+/// Raw object header. Always at the start of an allocation.
+#[repr(C)]
+#[derive(Debug, Clone, Copy)]
+pub struct ObjHeader {
+    /// `ClassId` of the object's method table.
+    pub mt: u32,
+    /// Flag bits; see [`obj_flags`].
+    pub flags: u32,
+    /// Total size of the allocation including the header, 8-byte aligned.
+    pub size: u32,
+    /// Array length / element count; unused (0) for plain classes.
+    pub extra: u32,
+}
+
+/// Minimum allocation size: every object must have at least one payload
+/// word so the copying collector can install a forwarding pointer in it —
+/// the same reason production CLRs enforce a minimum object size. Without
+/// this, forwarding a zero-payload object (e.g. an empty array) would
+/// overwrite the next object's header.
+pub const MIN_ALLOC: usize = HEADER_SIZE + ALIGN;
+
+/// Round `n` up to the heap alignment.
+#[inline]
+pub const fn align_up(n: usize) -> usize {
+    (n + ALIGN - 1) & !(ALIGN - 1)
+}
+
+/// Round an allocation size up to alignment and the forwarding-pointer
+/// minimum.
+#[inline]
+pub const fn alloc_align(n: usize) -> usize {
+    let a = align_up(n);
+    if a < MIN_ALLOC {
+        MIN_ALLOC
+    } else {
+        a
+    }
+}
+
+/// Total allocation size for a class instance.
+pub fn class_alloc_size(mt: &MethodTable) -> usize {
+    alloc_align(HEADER_SIZE + mt.instance_size as usize)
+}
+
+/// Total allocation size for a primitive array of `len` elements.
+pub fn prim_array_alloc_size(kind: ElemKind, len: usize) -> usize {
+    alloc_align(HEADER_SIZE + kind.size() * len)
+}
+
+/// Total allocation size for an object array of `len` references.
+pub fn obj_array_alloc_size(len: usize) -> usize {
+    alloc_align(HEADER_SIZE + std::mem::size_of::<usize>() * len)
+}
+
+/// Byte offset from the header to a multidimensional array's element data.
+pub fn md_array_data_offset(rank: u8) -> usize {
+    align_up(HEADER_SIZE + 4 * rank as usize)
+}
+
+/// Total allocation size for a multidimensional array.
+pub fn md_array_alloc_size(elem: ElemKind, dims: &[u32]) -> usize {
+    let count: usize = dims.iter().map(|&d| d as usize).product();
+    alloc_align(md_array_data_offset(dims.len() as u8) + elem.size() * count)
+}
+
+/// Allocation size for any object described by `mt`, given the element
+/// count/dims where relevant.
+pub fn alloc_size_for(mt: &MethodTable, len: usize, dims: Option<&[u32]>) -> usize {
+    match &mt.kind {
+        TypeKind::Class => class_alloc_size(mt),
+        TypeKind::PrimArray(k) => prim_array_alloc_size(*k, len),
+        TypeKind::ObjArray(_) => obj_array_alloc_size(len),
+        TypeKind::MdArray { elem, rank } => {
+            let dims = dims.expect("md array allocation requires dims");
+            assert_eq!(dims.len(), *rank as usize, "dims must match rank");
+            md_array_alloc_size(*elem, dims)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::TypeRegistry;
+
+    #[test]
+    fn header_is_sixteen_bytes() {
+        assert_eq!(std::mem::size_of::<ObjHeader>(), HEADER_SIZE);
+        assert_eq!(std::mem::align_of::<ObjHeader>(), 4);
+    }
+
+    #[test]
+    fn align_up_works() {
+        assert_eq!(align_up(0), 0);
+        assert_eq!(align_up(1), 8);
+        assert_eq!(align_up(8), 8);
+        assert_eq!(align_up(9), 16);
+        assert_eq!(align_up(23), 24);
+    }
+
+    #[test]
+    fn class_size_includes_header() {
+        let mut reg = TypeRegistry::new();
+        let id = reg.define_class("P").prim("x", ElemKind::F64).prim("y", ElemKind::F64).build();
+        let mt = reg.table(id);
+        assert_eq!(class_alloc_size(mt), HEADER_SIZE + 16);
+    }
+
+    #[test]
+    fn prim_array_sizes() {
+        // Zero-length arrays still get the forwarding-pointer word.
+        assert_eq!(prim_array_alloc_size(ElemKind::U8, 0), MIN_ALLOC);
+        assert_eq!(prim_array_alloc_size(ElemKind::U8, 1), HEADER_SIZE + 8);
+        assert_eq!(prim_array_alloc_size(ElemKind::U8, 8), HEADER_SIZE + 8);
+        assert_eq!(prim_array_alloc_size(ElemKind::F64, 3), HEADER_SIZE + 24);
+    }
+
+    #[test]
+    fn obj_array_sizes() {
+        assert_eq!(obj_array_alloc_size(0), MIN_ALLOC);
+        assert_eq!(obj_array_alloc_size(2), HEADER_SIZE + 16);
+    }
+
+    #[test]
+    fn every_alloc_size_admits_a_forwarding_pointer() {
+        let mut reg = TypeRegistry::new();
+        let empty = reg.define_class("Empty").build();
+        assert!(class_alloc_size(reg.table(empty)) >= MIN_ALLOC);
+        for k in ElemKind::ALL {
+            assert!(prim_array_alloc_size(k, 0) >= MIN_ALLOC);
+        }
+        assert!(obj_array_alloc_size(0) >= MIN_ALLOC);
+        assert!(md_array_alloc_size(ElemKind::U8, &[0, 0]) >= MIN_ALLOC);
+    }
+
+    #[test]
+    fn md_array_layout() {
+        // rank 2: 8 bytes of dims, already aligned.
+        assert_eq!(md_array_data_offset(2), HEADER_SIZE + 8);
+        // rank 3: 12 bytes of dims, padded to 16.
+        assert_eq!(md_array_data_offset(3), HEADER_SIZE + 16);
+        assert_eq!(
+            md_array_alloc_size(ElemKind::F64, &[4, 5]),
+            HEADER_SIZE + 8 + 4 * 5 * 8
+        );
+    }
+
+    #[test]
+    fn alloc_size_dispatches_by_kind() {
+        let mut reg = TypeRegistry::new();
+        let cls = reg.define_class("C").prim("a", ElemKind::I32).build();
+        let pa = reg.prim_array(ElemKind::I32);
+        let oa = reg.obj_array(cls);
+        let md = reg.md_array(ElemKind::I32, 2);
+        assert_eq!(alloc_size_for(reg.table(cls), 0, None), HEADER_SIZE + 8);
+        assert_eq!(alloc_size_for(reg.table(pa), 4, None), HEADER_SIZE + 16);
+        assert_eq!(alloc_size_for(reg.table(oa), 2, None), HEADER_SIZE + 16);
+        assert_eq!(
+            alloc_size_for(reg.table(md), 0, Some(&[2, 3])),
+            HEADER_SIZE + 8 + 24
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "dims must match rank")]
+    fn md_alloc_size_checks_rank() {
+        let mut reg = TypeRegistry::new();
+        let md = reg.md_array(ElemKind::I32, 3);
+        alloc_size_for(reg.table(md), 0, Some(&[2, 3]));
+    }
+}

@@ -1,0 +1,325 @@
+//! Raw object references and unchecked accessors.
+//!
+//! An [`ObjectRef`] is the runtime-internal analog of the SSCLI `Object*`:
+//! a raw address into the managed heap, valid only while the GC is
+//! excluded, the object is pinned, or the object is elder-resident. All
+//! functions here are `unsafe` building blocks; the safe, handle-based API
+//! lives in [`crate::thread::MotorThread`].
+
+use crate::layout::{md_array_data_offset, obj_flags, ObjHeader, HEADER_SIZE};
+use crate::types::{MethodTable, TypeKind};
+
+/// A raw reference to a managed object (its header address). `0` is null.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ObjectRef(pub usize);
+
+impl ObjectRef {
+    /// The null reference.
+    pub const NULL: ObjectRef = ObjectRef(0);
+
+    /// Whether this is the null reference.
+    #[inline]
+    pub fn is_null(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Read the object header.
+    ///
+    /// # Safety
+    /// `self` must reference a live allocation in a heap the caller has
+    /// exclusive or GC-excluded access to.
+    #[inline]
+    pub unsafe fn header(self) -> ObjHeader {
+        std::ptr::read(self.0 as *const ObjHeader)
+    }
+
+    /// Mutable access to the header.
+    ///
+    /// # Safety
+    /// As [`ObjectRef::header`], plus no aliasing header access.
+    #[inline]
+    pub unsafe fn header_mut<'a>(self) -> &'a mut ObjHeader {
+        &mut *(self.0 as *mut ObjHeader)
+    }
+
+    /// Pointer to the start of instance data.
+    ///
+    /// # Safety
+    /// As [`ObjectRef::header`].
+    #[inline]
+    pub unsafe fn payload_ptr(self) -> *mut u8 {
+        (self.0 + HEADER_SIZE) as *mut u8
+    }
+
+    /// Read a primitive at a payload offset.
+    ///
+    /// # Safety
+    /// Offset must be within the object and correctly typed/aligned.
+    #[inline]
+    pub unsafe fn read_prim<T: Copy>(self, offset: usize) -> T {
+        std::ptr::read_unaligned(self.payload_ptr().add(offset) as *const T)
+    }
+
+    /// Write a primitive at a payload offset.
+    ///
+    /// # Safety
+    /// As [`ObjectRef::read_prim`].
+    #[inline]
+    pub unsafe fn write_prim<T: Copy>(self, offset: usize, v: T) {
+        std::ptr::write_unaligned(self.payload_ptr().add(offset) as *mut T, v)
+    }
+
+    /// Read a reference field at a payload offset.
+    ///
+    /// # Safety
+    /// As [`ObjectRef::read_prim`]; the slot must be a reference slot.
+    #[inline]
+    pub unsafe fn read_ref_at(self, offset: usize) -> ObjectRef {
+        ObjectRef(std::ptr::read(self.payload_ptr().add(offset) as *const usize))
+    }
+
+    /// Write a reference field at a payload offset (no write barrier — the
+    /// safe API layers the barrier on top).
+    ///
+    /// # Safety
+    /// As [`ObjectRef::read_ref_at`].
+    #[inline]
+    pub unsafe fn write_ref_at(self, offset: usize, v: ObjectRef) {
+        std::ptr::write(self.payload_ptr().add(offset) as *mut usize, v.0)
+    }
+
+    /// Address of a reference slot (for the remembered set / GC rewrites).
+    ///
+    /// # Safety
+    /// As [`ObjectRef::read_ref_at`].
+    #[inline]
+    pub unsafe fn ref_slot_addr(self, offset: usize) -> usize {
+        self.0 + HEADER_SIZE + offset
+    }
+
+    /// Array length (header `extra` field).
+    ///
+    /// # Safety
+    /// Must be an array object.
+    #[inline]
+    pub unsafe fn array_len(self) -> usize {
+        self.header().extra as usize
+    }
+
+    /// Pointer and byte length of a primitive array's element data — the
+    /// zero-copy window the transport reads and writes directly (paper
+    /// §7.1: "The library resolves the Object to the offset location of its
+    /// instance data, to pass to the underlying transport").
+    ///
+    /// # Safety
+    /// Must be a primitive array; pointer valid only under the usual
+    /// stability conditions.
+    #[inline]
+    pub unsafe fn prim_array_data(self, elem_size: usize) -> (*mut u8, usize) {
+        (self.payload_ptr(), self.array_len() * elem_size)
+    }
+
+    /// Pointer to an object array's `idx`-th reference slot.
+    ///
+    /// # Safety
+    /// Must be an object array; `idx < len`.
+    #[inline]
+    pub unsafe fn obj_array_slot(self, idx: usize) -> *mut usize {
+        (self.payload_ptr() as *mut usize).add(idx)
+    }
+
+    /// Dimensions of a multidimensional array.
+    ///
+    /// # Safety
+    /// Must be an `MdArray` of the given rank.
+    pub unsafe fn md_dims(self, rank: u8) -> Vec<u32> {
+        let p = self.payload_ptr() as *const u32;
+        (0..rank as usize).map(|i| std::ptr::read(p.add(i))).collect()
+    }
+
+    /// Pointer and byte length of an md-array's contiguous element data.
+    ///
+    /// # Safety
+    /// Must be an `MdArray` of the given rank.
+    pub unsafe fn md_data(self, rank: u8, elem_size: usize) -> (*mut u8, usize) {
+        let off = md_array_data_offset(rank) - HEADER_SIZE;
+        (self.payload_ptr().add(off), self.array_len() * elem_size)
+    }
+
+    /// Install a forwarding pointer (young-generation copy phase): flags
+    /// the header `FORWARDED` and stores the new address in the first
+    /// payload word.
+    ///
+    /// # Safety
+    /// Collector-only; object must not be pinned.
+    pub unsafe fn forward_to(self, new: ObjectRef) {
+        let h = self.header_mut();
+        h.flags |= obj_flags::FORWARDED;
+        std::ptr::write(self.payload_ptr() as *mut usize, new.0);
+    }
+
+    /// If this object was forwarded, its new address.
+    ///
+    /// # Safety
+    /// Collector-only.
+    pub unsafe fn forwarded(self) -> Option<ObjectRef> {
+        let h = self.header();
+        if h.flags & obj_flags::FORWARDED != 0 {
+            Some(ObjectRef(std::ptr::read(self.payload_ptr() as *const usize)))
+        } else {
+            None
+        }
+    }
+}
+
+/// Visit the address of every reference slot in an object, given its
+/// method table. This is the collector's scan loop and the serializer's
+/// graph walk primitive.
+///
+/// # Safety
+/// `obj` must be a live object of type `mt`, stable for the duration.
+pub unsafe fn for_each_ref_slot(obj: ObjectRef, mt: &MethodTable, mut f: impl FnMut(*mut usize)) {
+    match &mt.kind {
+        TypeKind::Class => {
+            for &off in &mt.ref_offsets {
+                f(obj.payload_ptr().add(off as usize) as *mut usize);
+            }
+        }
+        TypeKind::ObjArray(_) => {
+            let len = obj.array_len();
+            let base = obj.payload_ptr() as *mut usize;
+            for i in 0..len {
+                f(base.add(i));
+            }
+        }
+        TypeKind::PrimArray(_) | TypeKind::MdArray { .. } => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::heap::{Heap, HeapConfig};
+    use crate::layout::prim_array_alloc_size;
+    use crate::types::{ElemKind, TypeRegistry};
+
+    fn mk_heap() -> Heap {
+        Heap::new(HeapConfig::default())
+    }
+
+    #[test]
+    fn prim_read_write_roundtrip() {
+        let mut heap = mk_heap();
+        let addr = heap
+            .alloc(64, ObjHeader { mt: 0, flags: 0, size: 0, extra: 0 })
+            .unwrap();
+        let obj = ObjectRef(addr);
+        unsafe {
+            obj.write_prim::<f64>(0, 3.25);
+            obj.write_prim::<i32>(8, -7);
+            assert_eq!(obj.read_prim::<f64>(0), 3.25);
+            assert_eq!(obj.read_prim::<i32>(8), -7);
+        }
+    }
+
+    #[test]
+    fn ref_slots_and_null() {
+        let mut heap = mk_heap();
+        let a = ObjectRef(heap.alloc(32, ObjHeader { mt: 0, flags: 0, size: 0, extra: 0 }).unwrap());
+        let b = ObjectRef(heap.alloc(32, ObjHeader { mt: 0, flags: 0, size: 0, extra: 0 }).unwrap());
+        unsafe {
+            assert!(a.read_ref_at(0).is_null(), "fresh slots are null");
+            a.write_ref_at(0, b);
+            assert_eq!(a.read_ref_at(0), b);
+            assert_eq!(a.ref_slot_addr(0), a.0 + HEADER_SIZE);
+        }
+    }
+
+    #[test]
+    fn array_data_window() {
+        let mut heap = mk_heap();
+        let size = prim_array_alloc_size(ElemKind::I32, 10);
+        let addr = heap
+            .alloc(size, ObjHeader { mt: 0, flags: 0, size: 0, extra: 10 })
+            .unwrap();
+        let arr = ObjectRef(addr);
+        unsafe {
+            assert_eq!(arr.array_len(), 10);
+            let (p, bytes) = arr.prim_array_data(4);
+            assert_eq!(bytes, 40);
+            for i in 0..10 {
+                std::ptr::write((p as *mut i32).add(i), i as i32 * 3);
+            }
+            assert_eq!(arr.read_prim::<i32>(4 * 4), 12);
+        }
+    }
+
+    #[test]
+    fn forwarding_roundtrip() {
+        let mut heap = mk_heap();
+        let a = ObjectRef(heap.alloc(32, ObjHeader { mt: 5, flags: 0, size: 0, extra: 0 }).unwrap());
+        let b = ObjectRef(heap.alloc(32, ObjHeader { mt: 5, flags: 0, size: 0, extra: 0 }).unwrap());
+        unsafe {
+            assert!(a.forwarded().is_none());
+            a.forward_to(b);
+            assert_eq!(a.forwarded(), Some(b));
+        }
+    }
+
+    #[test]
+    fn ref_slot_visitor_covers_class_and_obj_array() {
+        let mut reg = TypeRegistry::new();
+        let arr_i32 = reg.prim_array(ElemKind::I32);
+        let cls = reg
+            .define_class("Node")
+            .prim("x", ElemKind::I64)
+            .transportable("data", arr_i32)
+            .reference("peer", arr_i32)
+            .build();
+        let oa = reg.obj_array(cls);
+        let mut heap = mk_heap();
+        let c = ObjectRef(
+            heap.alloc(
+                crate::layout::class_alloc_size(reg.table(cls)),
+                ObjHeader { mt: cls.0, flags: 0, size: 0, extra: 0 },
+            )
+            .unwrap(),
+        );
+        let a = ObjectRef(
+            heap.alloc(
+                crate::layout::obj_array_alloc_size(3),
+                ObjHeader { mt: oa.0, flags: 0, size: 0, extra: 3 },
+            )
+            .unwrap(),
+        );
+        unsafe {
+            let mut class_slots = 0;
+            for_each_ref_slot(c, reg.table(cls), |_| class_slots += 1);
+            assert_eq!(class_slots, 2, "two ref fields in the class");
+            let mut arr_slots = 0;
+            for_each_ref_slot(a, reg.table(oa), |_| arr_slots += 1);
+            assert_eq!(arr_slots, 3, "one slot per array element");
+        }
+    }
+
+    #[test]
+    fn md_dims_and_data() {
+        let mut heap = mk_heap();
+        let size = crate::layout::md_array_alloc_size(ElemKind::F32, &[3, 4]);
+        let addr = heap
+            .alloc(size, ObjHeader { mt: 0, flags: 0, size: 0, extra: 12 })
+            .unwrap();
+        let md = ObjectRef(addr);
+        unsafe {
+            // Write the dims the way the allocator does.
+            let p = md.payload_ptr() as *mut u32;
+            std::ptr::write(p, 3);
+            std::ptr::write(p.add(1), 4);
+            assert_eq!(md.md_dims(2), vec![3, 4]);
+            let (data, bytes) = md.md_data(2, 4);
+            assert_eq!(bytes, 48);
+            std::ptr::write(data as *mut f32, 1.5);
+            assert_eq!(std::ptr::read(data as *const f32), 1.5);
+        }
+    }
+}

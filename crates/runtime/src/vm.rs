@@ -1,0 +1,145 @@
+//! The VM façade: one managed runtime instance per MPI rank.
+//!
+//! A [`Vm`] owns the heap, the handle table, the pin table, the remembered
+//! set, the safepoint coordinator and the type registry. Mutator threads
+//! interact with it through [`crate::thread::MotorThread`], never directly —
+//! mirroring how SSCLI code reaches the runtime through FCalls.
+
+use std::collections::HashSet;
+use std::sync::Arc;
+
+use parking_lot::{Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+use crate::gc;
+use crate::handles::{Handle, HandleTable};
+use crate::heap::{AllocPressure, Heap, HeapConfig};
+use crate::pin::PinTable;
+use crate::safepoint::Safepoint;
+use crate::stats::{GcStats, GcStatsSnapshot};
+use crate::types::TypeRegistry;
+
+/// VM construction parameters.
+#[derive(Debug, Clone, Default)]
+pub struct VmConfig {
+    /// Heap generation sizing.
+    pub heap: HeapConfig,
+}
+
+/// Mutable runtime state guarded by the VM lock.
+pub struct VmState {
+    /// The two-generation heap.
+    pub heap: Heap,
+    /// GC-protected handle slots.
+    pub handles: HandleTable,
+    /// Hard and conditional pins.
+    pub pins: PinTable,
+    /// Elder-to-young reference slots recorded by the write barrier.
+    pub remset: HashSet<usize>,
+}
+
+/// A managed runtime instance.
+pub struct Vm {
+    state: Mutex<VmState>,
+    registry: RwLock<TypeRegistry>,
+    safepoint: Safepoint,
+    stats: GcStats,
+}
+
+impl Vm {
+    /// Create a VM with the given configuration.
+    pub fn new(config: VmConfig) -> Arc<Vm> {
+        Arc::new(Vm {
+            state: Mutex::new(VmState {
+                heap: Heap::new(config.heap),
+                handles: HandleTable::new(),
+                pins: PinTable::new(),
+                remset: HashSet::new(),
+            }),
+            registry: RwLock::new(TypeRegistry::new()),
+            safepoint: Safepoint::new(),
+            stats: GcStats::new(),
+        })
+    }
+
+    /// Create a VM with default configuration.
+    pub fn with_defaults() -> Arc<Vm> {
+        Self::new(VmConfig::default())
+    }
+
+    /// Read access to the type registry.
+    pub fn registry(&self) -> RwLockReadGuard<'_, TypeRegistry> {
+        self.registry.read()
+    }
+
+    /// Write access to the type registry (type definition at startup).
+    pub fn registry_mut(&self) -> RwLockWriteGuard<'_, TypeRegistry> {
+        self.registry.write()
+    }
+
+    /// GC / pinning counters.
+    pub fn stats(&self) -> &GcStats {
+        &self.stats
+    }
+
+    /// Snapshot of the counters.
+    pub fn stats_snapshot(&self) -> GcStatsSnapshot {
+        self.stats.snapshot()
+    }
+
+    /// The safepoint coordinator.
+    pub fn safepoint(&self) -> &Safepoint {
+        &self.safepoint
+    }
+
+    /// Lock the mutable state. Internal to the runtime crate and the
+    /// trusted integration layer (the FCall analog); user code goes through
+    /// `MotorThread`.
+    pub fn state(&self) -> MutexGuard<'_, VmState> {
+        self.state.lock()
+    }
+
+    /// Run a collection of the given kind. The caller must already hold
+    /// the collector role from [`Safepoint::try_begin_gc`].
+    pub(crate) fn collect_exclusive(&self, kind: AllocPressure) {
+        let mut st = self.state.lock();
+        let reg = self.registry.read();
+        let VmState { heap, handles, pins, remset } = &mut *st;
+        let mut ctx = gc::CollectCtx {
+            heap,
+            handles,
+            pins,
+            remset,
+            registry: &reg,
+            stats: &self.stats,
+        };
+        match kind {
+            AllocPressure::NeedsMinor => gc::minor(&mut ctx),
+            AllocPressure::NeedsFull => gc::full(&mut ctx),
+        }
+    }
+
+    /// Current address behind a handle (0 = null). The address is only
+    /// stable under the usual conditions (GC excluded, pinned, or elder).
+    pub fn handle_addr(&self, h: Handle) -> usize {
+        self.state.lock().handles.get(h)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vm_constructs_with_defaults() {
+        let vm = Vm::with_defaults();
+        assert_eq!(vm.stats_snapshot().minor_collections, 0);
+        assert!(vm.registry().is_empty());
+    }
+
+    #[test]
+    fn registry_definitions_visible_through_vm() {
+        let vm = Vm::with_defaults();
+        let id = vm.registry_mut().define_class("P").prim("x", crate::types::ElemKind::I32).build();
+        assert_eq!(vm.registry().by_name("P"), Some(id));
+    }
+}

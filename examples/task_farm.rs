@@ -1,0 +1,150 @@
+//! Task farm: master/worker scheduling with object transport.
+//!
+//! The master OSends *task objects* (a class with parameters and a
+//! `Transportable` data array) to whichever worker is idle, receives
+//! result objects back with `ANY_SOURCE`, and shuts workers down with a
+//! poison tag — the kind of irregular, structured-data communication the
+//! extended object-oriented operations exist for (paper §4.2.2).
+//!
+//! Run with: `cargo run --example task_farm`
+
+use motor::core::cluster::run_cluster_default;
+use motor::core::ANY_SOURCE;
+use motor::runtime::ElemKind;
+
+const RANKS: usize = 4; // 1 master + 3 workers
+const TASKS: usize = 12;
+const TAG_TASK: i32 = 1;
+const TAG_RESULT: i32 = 2;
+const TAG_STOP: i32 = 3;
+
+fn main() {
+    run_cluster_default(
+        RANKS,
+        |reg| {
+            let arr = reg.prim_array(ElemKind::F64);
+            reg.define_class("Task")
+                .prim("id", ElemKind::I32)
+                .prim("exponent", ElemKind::I32)
+                .transportable("samples", arr)
+                .build();
+            reg.define_class("TaskResult")
+                .prim("id", ElemKind::I32)
+                .prim("value", ElemKind::F64)
+                .build();
+        },
+        |proc| {
+            let oomp = proc.oomp();
+            let mp = proc.mp();
+            let t = proc.thread();
+            let task_cls = proc.vm().registry().by_name("Task").unwrap();
+            let result_cls = proc.vm().registry().by_name("TaskResult").unwrap();
+            let (f_id, f_exp, f_samples) = (
+                t.field_index(task_cls, "id"),
+                t.field_index(task_cls, "exponent"),
+                t.field_index(task_cls, "samples"),
+            );
+            let (r_id, r_value) =
+                (t.field_index(result_cls, "id"), t.field_index(result_cls, "value"));
+
+            if mp.rank() == 0 {
+                // ---- master ----
+                let mut next_task = 0usize;
+                let mut done = [f64::NAN; TASKS];
+                let mut outstanding = 0usize;
+                // Prime every worker with one task.
+                for w in 1..mp.size() {
+                    if next_task < TASKS {
+                        send_task(proc, task_cls, (f_id, f_exp, f_samples), next_task, w);
+                        next_task += 1;
+                        outstanding += 1;
+                    }
+                }
+                // Farm: collect a result, hand out the next task.
+                while outstanding > 0 {
+                    let (res, st) = oomp.orecv(ANY_SOURCE, TAG_RESULT).unwrap();
+                    outstanding -= 1;
+                    let id = t.get_prim::<i32>(res, r_id) as usize;
+                    done[id] = t.get_prim::<f64>(res, r_value);
+                    t.release(res);
+                    println!("[master] task {id} done by worker {} -> {:.4}", st.source, done[id]);
+                    if next_task < TASKS {
+                        send_task(proc, task_cls, (f_id, f_exp, f_samples), next_task, st.source);
+                        next_task += 1;
+                        outstanding += 1;
+                    }
+                }
+                // Poison every worker.
+                let stop = t.alloc_prim_array(ElemKind::U8, 1);
+                for w in 1..mp.size() {
+                    mp.send(stop, w, TAG_STOP).unwrap();
+                }
+                // Verify: task k computes sum(samples^exponent).
+                for (k, v) in done.iter().enumerate() {
+                    let expect = expected(k);
+                    assert!(
+                        (v - expect).abs() < 1e-9,
+                        "task {k}: {v} != {expect}"
+                    );
+                }
+                println!("[master] all {TASKS} tasks verified");
+            } else {
+                // ---- worker ----
+                loop {
+                    // Poll for either a task object or the stop signal.
+                    let st = mp.probe(0, motor::core::ANY_TAG).unwrap();
+                    if st.tag == TAG_STOP {
+                        let sink = t.alloc_prim_array(ElemKind::U8, 1);
+                        mp.recv(sink, 0, TAG_STOP).unwrap();
+                        break;
+                    }
+                    let (task, _) = oomp.orecv(0, TAG_TASK).unwrap();
+                    let id = t.get_prim::<i32>(task, f_id);
+                    let exp = t.get_prim::<i32>(task, f_exp);
+                    let samples = t.get_ref(task, f_samples);
+                    let mut data = vec![0f64; t.array_len(samples)];
+                    t.prim_read(samples, 0, &mut data);
+                    let value: f64 = data.iter().map(|x| x.powi(exp)).sum();
+                    // Ship a result object back.
+                    let res = t.alloc_instance(result_cls);
+                    t.set_prim::<i32>(res, r_id, id);
+                    t.set_prim::<f64>(res, r_value, value);
+                    oomp.osend(res, 0, TAG_RESULT).unwrap();
+                    t.release(res);
+                    t.release(task);
+                    t.release(samples);
+                }
+            }
+        },
+    )
+    .expect("cluster run");
+    println!("task_farm complete");
+}
+
+/// Master-side task construction and OSend.
+fn send_task(
+    proc: &motor::core::MotorProc,
+    task_cls: motor::runtime::ClassId,
+    fields: (usize, usize, usize),
+    k: usize,
+    worker: usize,
+) {
+    let t = proc.thread();
+    let (f_id, f_exp, f_samples) = fields;
+    let task = t.alloc_instance(task_cls);
+    t.set_prim::<i32>(task, f_id, k as i32);
+    t.set_prim::<i32>(task, f_exp, (k % 3 + 1) as i32);
+    let samples = t.alloc_prim_array(ElemKind::F64, 8);
+    let data: Vec<f64> = (0..8).map(|i| (k + i) as f64 * 0.5).collect();
+    t.prim_write(samples, 0, &data);
+    t.set_ref(task, f_samples, samples);
+    proc.oomp().osend(task, worker, TAG_TASK).unwrap();
+    t.release(task);
+    t.release(samples);
+}
+
+/// Reference result for task `k`.
+fn expected(k: usize) -> f64 {
+    let exp = (k % 3 + 1) as i32;
+    (0..8).map(|i| ((k + i) as f64 * 0.5).powi(exp)).sum()
+}

@@ -1,0 +1,28 @@
+//! # Motor — a virtual machine for high performance computing
+//!
+//! This is the facade crate of the Motor workspace, a from-scratch Rust
+//! reproduction of *Motor: A Virtual Machine for High Performance
+//! Computing* (Goscinski & Abramson, HPDC 2006). It re-exports the public
+//! API of every layer:
+//!
+//! * [`pal`] — platform adaptation layer (transports, polling-wait, clocks).
+//! * [`runtime`] — the managed runtime: object/class model, two-generation
+//!   garbage collector, pinning, safepoints.
+//! * [`interp`] — a small intermediate-language interpreter that runs
+//!   "managed" code against the runtime, polling the GC like jitted code.
+//! * [`mpc`] — the Message Passing Core, a layered MPI library (MPI /
+//!   CH3-style device / shm+sock channels) usable natively.
+//! * [`core`] — Motor proper: the runtime-integrated `System.MP` bindings,
+//!   the GC-aware pinning policy, and the extended object-oriented
+//!   operations with the split-capable serializer.
+//! * [`baselines`] — the managed-wrapper comparison systems (Indiana-style
+//!   P/Invoke bindings, mpiJava-style JNI bindings and serializers).
+//!
+//! See `README.md` for a quickstart and `DESIGN.md` for the architecture.
+
+pub use motor_baselines as baselines;
+pub use motor_core as core;
+pub use motor_interp as interp;
+pub use motor_mpc as mpc;
+pub use motor_pal as pal;
+pub use motor_runtime as runtime;

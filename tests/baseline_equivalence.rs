@@ -1,0 +1,202 @@
+//! Equivalence across the compared systems: every binding delivers the
+//! same bytes, and every serializer round-trips the same structures —
+//! the precondition for the benchmark comparisons to mean anything.
+
+use motor::baselines::{CliFormatter, HostProfile, Indiana, JavaSerializer, MpiJava};
+use motor::core::cluster::run_cluster_default;
+use motor::core::Serializer;
+use motor::runtime::{ClassId, ElemKind, Handle, MotorThread};
+
+fn define_linked(reg: &mut motor::runtime::TypeRegistry) {
+    let arr = reg.prim_array(ElemKind::I32);
+    let next_id = ClassId(reg.len() as u32);
+    reg.define_class("LinkedArray")
+        .prim("tag", ElemKind::I32)
+        .transportable("array", arr)
+        .transportable("next", next_id)
+        .reference("next2", next_id)
+        .build();
+}
+
+fn build_list(t: &MotorThread, node: ClassId, n: usize) -> Handle {
+    let (ftag, farr, fnext) =
+        (t.field_index(node, "tag"), t.field_index(node, "array"), t.field_index(node, "next"));
+    let mut head = t.null_handle();
+    for i in (0..n).rev() {
+        let h = t.alloc_instance(node);
+        t.set_prim::<i32>(h, ftag, i as i32);
+        let a = t.alloc_prim_array(ElemKind::I32, 3);
+        t.prim_write(a, 0, &[i as i32, i as i32 * 2, i as i32 * 3]);
+        t.set_ref(h, farr, a);
+        t.set_ref(h, fnext, head);
+        t.release(a);
+        t.release(head);
+        head = h;
+    }
+    head
+}
+
+fn check_list(t: &MotorThread, node: ClassId, head: Handle, n: usize) {
+    let (ftag, farr, fnext) =
+        (t.field_index(node, "tag"), t.field_index(node, "array"), t.field_index(node, "next"));
+    let mut cur = t.clone_handle(head);
+    for i in 0..n as i32 {
+        assert!(!t.is_null(cur));
+        assert_eq!(t.get_prim::<i32>(cur, ftag), i);
+        let a = t.get_ref(cur, farr);
+        let mut v = [0i32; 3];
+        t.prim_read(a, 0, &mut v);
+        assert_eq!(v, [i, i * 2, i * 3]);
+        t.release(a);
+        let nx = t.get_ref(cur, fnext);
+        t.release(cur);
+        cur = nx;
+    }
+    assert!(t.is_null(cur));
+    t.release(cur);
+}
+
+#[test]
+fn all_serializers_roundtrip_the_same_list() {
+    run_cluster_default(
+        1,
+        define_linked,
+        |proc| {
+            let t = proc.thread();
+            let node = proc.vm().registry().by_name("LinkedArray").unwrap();
+            let head = build_list(t, node, 20);
+
+            // Motor custom serializer.
+            let ser = Serializer::new(t);
+            let (bytes, _) = ser.serialize(head).unwrap();
+            let m = ser.deserialize(&bytes).unwrap();
+            check_list(t, node, m, 20);
+            t.release(m);
+
+            // CLI BinaryFormatter analog, both hosts.
+            for host in [HostProfile::Sscli, HostProfile::Net] {
+                let f = CliFormatter::new(t, host);
+                let blob = f.serialize(head).unwrap();
+                let c = f.deserialize(&blob).unwrap();
+                check_list(t, node, c, 20);
+                t.release(c);
+            }
+
+            // Java ObjectOutputStream analog.
+            let j = JavaSerializer::new(t);
+            let stream = j.serialize(head).unwrap();
+            let c = j.deserialize(&stream).unwrap();
+            check_list(t, node, c, 20);
+            t.release(c);
+        },
+    )
+    .unwrap();
+}
+
+#[test]
+fn all_bindings_deliver_identical_buffers() {
+    run_cluster_default(
+        2,
+        |_| {},
+        |proc| {
+            let t = proc.thread();
+            let mp = proc.mp();
+            let indiana = Indiana::new(t, proc.comm().clone(), HostProfile::Net);
+            let java = MpiJava::new(t, proc.comm().clone());
+            let buf = t.alloc_prim_array(ElemKind::U8, 777);
+            let pattern: Vec<u8> = (0..777).map(|i| (i * 7 % 256) as u8).collect();
+            // Same payload through all three binding paths in sequence.
+            for round in 0..3 {
+                if mp.rank() == 0 {
+                    t.prim_write(buf, 0, &pattern);
+                    match round {
+                        0 => mp.send(buf, 1, round).unwrap(),
+                        1 => indiana.send(buf, 1, round).unwrap(),
+                        _ => java.send(buf, 1, round).unwrap(),
+                    }
+                } else {
+                    // Clear, then receive through the binding under test.
+                    t.prim_write(buf, 0, &vec![0u8; 777]);
+                    match round {
+                        0 => {
+                            mp.recv(buf, 0, round).unwrap();
+                        }
+                        1 => {
+                            indiana.recv(buf, 0, round).unwrap();
+                        }
+                        _ => {
+                            java.recv(buf, 0, round).unwrap();
+                        }
+                    }
+                    let mut got = vec![0u8; 777];
+                    t.prim_read(buf, 0, &mut got);
+                    assert_eq!(got, pattern, "binding {round} corrupted the payload");
+                }
+            }
+        },
+    )
+    .unwrap();
+}
+
+#[test]
+fn object_transport_equivalent_across_wrappers() {
+    run_cluster_default(
+        2,
+        define_linked,
+        |proc| {
+            let t = proc.thread();
+            let node = proc.vm().registry().by_name("LinkedArray").unwrap();
+            let oomp = proc.oomp();
+            let indiana = Indiana::new(t, proc.comm().clone(), HostProfile::Sscli);
+            let java = MpiJava::new(t, proc.comm().clone());
+            if oomp.rank() == 0 {
+                let head = build_list(t, node, 10);
+                oomp.osend(head, 1, 0).unwrap();
+                indiana.send_object(head, 1, 1).unwrap();
+                java.send_object(head, 1, 2).unwrap();
+            } else {
+                let (a, _) = oomp.orecv(0, 0).unwrap();
+                check_list(t, node, a, 10);
+                let b = indiana.recv_object(0, 1).unwrap();
+                check_list(t, node, b, 10);
+                let c = java.recv_object(0, 2).unwrap();
+                check_list(t, node, c, 10);
+            }
+        },
+    )
+    .unwrap();
+}
+
+#[test]
+fn motor_transportable_semantics_differ_from_serializable() {
+    // The one *semantic* difference between Motor and the wrappers'
+    // serializers: Motor's opt-in Transportable vs opt-out Serializable
+    // (paper §4.2.2). `next2` travels with BinaryFormatter/Java but not
+    // with Motor.
+    run_cluster_default(
+        1,
+        define_linked,
+        |proc| {
+            let t = proc.thread();
+            let node = proc.vm().registry().by_name("LinkedArray").unwrap();
+            let (ftag, fnext2) = (t.field_index(node, "tag"), t.field_index(node, "next2"));
+            let a = t.alloc_instance(node);
+            let b = t.alloc_instance(node);
+            t.set_prim::<i32>(b, ftag, 42);
+            t.set_ref(a, fnext2, b);
+
+            let ser = Serializer::new(t);
+            let (bytes, _) = ser.serialize(a).unwrap();
+            let m = ser.deserialize(&bytes).unwrap();
+            assert!(t.is_null(t.get_ref(m, fnext2)), "Motor: opt-in, next2 nulled");
+
+            let f = CliFormatter::new(t, HostProfile::Net);
+            let blob = f.serialize(a).unwrap();
+            let c = f.deserialize(&blob).unwrap();
+            let n2 = t.get_ref(c, fnext2);
+            assert!(!t.is_null(n2), "BinaryFormatter: opt-out, next2 travels");
+            assert_eq!(t.get_prim::<i32>(n2, ftag), 42);
+        },
+    )
+    .unwrap();
+}

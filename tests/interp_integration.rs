@@ -1,0 +1,129 @@
+//! Managed code (IL) computing on data that moves between VMs: the
+//! interpreter and the message passing stack working together, with the
+//! interpreter's safepoint polls keeping the collector live.
+
+use motor::core::cluster::run_cluster_default;
+use motor::interp::{FnBuilder, Interp, Module, Op, Value};
+use motor::runtime::ElemKind;
+
+/// Build `sum_sq(arr) -> i64`: managed loop over a managed array.
+fn sum_sq_module() -> Module {
+    let mut f = FnBuilder::new("sum_sq", 1, 3, true);
+    let top = f.label();
+    let done = f.label();
+    // local1 = acc, local2 = i
+    f.op(Op::PushI(0)).op(Op::Store(1));
+    f.op(Op::PushI(0)).op(Op::Store(2));
+    f.bind(top);
+    f.op(Op::Load(2)).op(Op::Load(0)).op(Op::ArrLen).op(Op::CmpLt).br_false(done);
+    f.op(Op::Load(0)).op(Op::Load(2)).op(Op::LdElemI).op(Op::Dup).op(Op::Mul);
+    f.op(Op::Load(1)).op(Op::Add).op(Op::Store(1));
+    f.op(Op::Load(2)).op(Op::PushI(1)).op(Op::Add).op(Op::Store(2));
+    f.br(top);
+    f.bind(done);
+    f.op(Op::Load(1)).op(Op::Ret);
+    let mut m = Module::new();
+    m.add(f.build());
+    motor::interp::verify_module(&m).expect("verifiable IL");
+    m
+}
+
+#[test]
+fn il_computes_on_received_buffers() {
+    run_cluster_default(
+        2,
+        |_| {},
+        |proc| {
+            let mp = proc.mp();
+            let t = proc.thread();
+            let buf = t.alloc_prim_array(ElemKind::I64, 64);
+            if mp.rank() == 0 {
+                let data: Vec<i64> = (1..=64).collect();
+                t.prim_write(buf, 0, &data);
+                mp.send(buf, 1, 0).unwrap();
+                // Receive the managed-code result.
+                let res = t.alloc_prim_array(ElemKind::I64, 1);
+                mp.recv(res, 1, 1).unwrap();
+                let mut out = [0i64];
+                t.prim_read(res, 0, &mut out);
+                // sum of squares 1..=64
+                let expect: i64 = (1..=64).map(|i: i64| i * i).sum();
+                assert_eq!(out[0], expect);
+            } else {
+                mp.recv(buf, 0, 0).unwrap();
+                // Run managed code over the received managed array.
+                let module = sum_sq_module();
+                let interp = Interp::new(t, &module);
+                let r = interp.call(0, &[Value::R(buf)]).unwrap();
+                let Some(Value::I(sum)) = r else { panic!("expected int result") };
+                let res = t.alloc_prim_array(ElemKind::I64, 1);
+                t.prim_write(res, 0, &[sum]);
+                mp.send(res, 0, 1).unwrap();
+            }
+        },
+    )
+    .unwrap();
+}
+
+#[test]
+fn il_allocation_churn_with_concurrent_messaging() {
+    // The interpreter allocates heavily (forcing collections through its
+    // loop polls) while the same rank keeps exchanging messages whose
+    // buffers the pinning policy must protect.
+    run_cluster_default(
+        2,
+        |reg| {
+            reg.define_class("Acc").prim("v", ElemKind::I64).build();
+        },
+        |proc| {
+            let mp = proc.mp();
+            let t = proc.thread();
+            let cls = proc.vm().registry().by_name("Acc").unwrap();
+            // alloc_churn(n): for i in 0..n { a = new Acc; a.v = i } ret n
+            let mut f = FnBuilder::new("churn", 1, 3, true);
+            let top = f.label();
+            let done = f.label();
+            f.op(Op::PushI(0)).op(Op::Store(1));
+            f.bind(top);
+            f.op(Op::Load(1)).op(Op::Load(0)).op(Op::CmpLt).br_false(done);
+            f.op(Op::New(cls)).op(Op::Store(2));
+            f.op(Op::Load(2)).op(Op::Load(1)).op(Op::StFldI(0));
+            f.op(Op::Load(1)).op(Op::PushI(1)).op(Op::Add).op(Op::Store(1));
+            f.br(top);
+            f.bind(done);
+            f.op(Op::Load(1)).op(Op::Ret);
+            let mut m = Module::new();
+            let idx = m.add(f.build());
+            let interp = Interp::new(t, &m);
+
+            let buf = t.alloc_prim_array(ElemKind::I32, 16);
+            for round in 0..5i32 {
+                // Allocate enough to force several minor collections.
+                let r = interp.call(idx, &[Value::I(20_000)]).unwrap();
+                assert_eq!(r, Some(Value::I(20_000)));
+                if mp.rank() == 0 {
+                    t.prim_write(buf, 0, &[round; 16]);
+                    mp.send(buf, 1, round).unwrap();
+                    mp.recv(buf, 1, round).unwrap();
+                    let mut got = [0i32; 16];
+                    t.prim_read(buf, 0, &mut got);
+                    assert_eq!(got, [round + 1; 16]);
+                } else {
+                    mp.recv(buf, 0, round).unwrap();
+                    let mut got = [0i32; 16];
+                    t.prim_read(buf, 0, &mut got);
+                    for v in got.iter_mut() {
+                        *v += 1;
+                    }
+                    t.prim_write(buf, 0, &got);
+                    mp.send(buf, 0, round).unwrap();
+                }
+            }
+            assert!(
+                proc.vm().stats_snapshot().minor_collections >= 1,
+                "the churn loop must have forced collections"
+            );
+        },
+    )
+    .unwrap();
+}

@@ -1,0 +1,107 @@
+//! Property-based tests on the Message Passing Core: MPI ordering
+//! semantics under randomized schedules, and reduction correctness against
+//! a sequential oracle.
+
+use motor::mpc::universe::Universe;
+use motor::mpc::{ReduceOp, ANY_SOURCE, ANY_TAG};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// MPI non-overtaking: messages with identical envelopes arrive in
+    /// send order regardless of size mix (eager and rendezvous
+    /// interleaved) and of when the receives are posted.
+    #[test]
+    fn non_overtaking_under_mixed_protocols(
+        sizes in proptest::collection::vec(1usize..150_000, 1..12),
+        prepost in any::<bool>(),
+    ) {
+        let sizes2 = sizes.clone();
+        Universe::run(2, move |proc| {
+            let world = proc.world();
+            if world.rank() == 0 {
+                for (i, &sz) in sizes2.iter().enumerate() {
+                    let data = vec![(i % 251) as u8; sz];
+                    world.send_bytes(&data, 1, 7).unwrap();
+                }
+            } else {
+                for (i, &sz) in sizes2.iter().enumerate() {
+                    let mut buf = vec![0u8; sz];
+                    if prepost {
+                        // Post before pumping anything else.
+                        let req = unsafe {
+                            world.irecv_ptr(buf.as_mut_ptr(), buf.len(), 0, 7).unwrap()
+                        };
+                        world.wait(&req).unwrap();
+                    } else {
+                        world.recv_bytes(&mut buf, 0, 7).unwrap();
+                    }
+                    assert!(
+                        buf.iter().all(|&b| b == (i % 251) as u8),
+                        "message {i} overtaken or corrupted"
+                    );
+                }
+            }
+        })
+        .unwrap();
+    }
+
+    /// Reductions agree with a sequential oracle for every operator.
+    #[test]
+    fn reductions_match_oracle(
+        values in proptest::collection::vec(-1000i64..1000, 2..17),
+    ) {
+        // One rank per value.
+        let n = values.len();
+        let vals = values.clone();
+        Universe::run(n, move |proc| {
+            let world = proc.world();
+            let mine = [vals[world.rank()]];
+            for op in [ReduceOp::Sum, ReduceOp::Min, ReduceOp::Max] {
+                let mut out = [0i64];
+                world.allreduce_slice(&mine, &mut out, op).unwrap();
+                let expect = match op {
+                    ReduceOp::Sum => vals.iter().fold(0i64, |a, &b| a.wrapping_add(b)),
+                    ReduceOp::Min => *vals.iter().min().unwrap(),
+                    ReduceOp::Max => *vals.iter().max().unwrap(),
+                    _ => unreachable!(),
+                };
+                assert_eq!(out[0], expect, "{op:?}");
+            }
+        })
+        .unwrap();
+    }
+
+    /// Wildcard receives drain exactly the sent multiset of tags.
+    #[test]
+    fn wildcard_receives_preserve_message_multiset(
+        tags in proptest::collection::vec(0i32..6, 1..20),
+    ) {
+        let tags2 = tags.clone();
+        Universe::run(2, move |proc| {
+            let world = proc.world();
+            if world.rank() == 0 {
+                for &t in &tags2 {
+                    world.send_bytes(&[t as u8], 1, t).unwrap();
+                }
+            } else {
+                let mut got = Vec::new();
+                for _ in 0..tags2.len() {
+                    let mut b = [0u8; 1];
+                    let st = world.recv_bytes(&mut b, ANY_SOURCE, ANY_TAG).unwrap();
+                    assert_eq!(st.tag as u8, b[0], "tag/payload consistency");
+                    got.push(st.tag);
+                }
+                let mut want = tags2.clone();
+                want.sort_unstable();
+                got.sort_unstable();
+                assert_eq!(got, want, "multiset preserved");
+                // Per-tag order is FIFO: since payload == tag, equal-tag
+                // messages are indistinguishable here; FIFO per envelope
+                // is covered by `non_overtaking_under_mixed_protocols`.
+            }
+        })
+        .unwrap();
+    }
+}

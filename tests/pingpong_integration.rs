@@ -1,0 +1,279 @@
+//! Cross-crate integration: Motor ping-pong over both channels, the
+//! pinning policy under live GC, and the failure injection that shows what
+//! the policy prevents.
+
+use std::sync::Arc;
+
+use motor::core::cluster::{run_cluster, run_cluster_default, ClusterConfig};
+use motor::core::PinPolicy;
+use motor::mpc::universe::{ChannelKind, UniverseConfig};
+use motor::runtime::heap::HeapConfig;
+use motor::runtime::{ElemKind, VmConfig};
+use parking_lot::Mutex;
+
+#[test]
+fn motor_pingpong_over_shm() {
+    run_cluster_default(
+        2,
+        |_| {},
+        |proc| {
+            let mp = proc.mp();
+            let t = proc.thread();
+            let buf = t.alloc_prim_array(ElemKind::I64, 256);
+            for round in 0..20i64 {
+                if mp.rank() == 0 {
+                    let data: Vec<i64> = (0..256).map(|i| i * round).collect();
+                    t.prim_write(buf, 0, &data);
+                    mp.send(buf, 1, round as i32).unwrap();
+                    mp.recv(buf, 1, round as i32).unwrap();
+                    let mut back = vec![0i64; 256];
+                    t.prim_read(buf, 0, &mut back);
+                    assert!(back.iter().enumerate().all(|(i, &v)| v == i as i64 * round + 1));
+                } else {
+                    mp.recv(buf, 0, round as i32).unwrap();
+                    let mut data = vec![0i64; 256];
+                    t.prim_read(buf, 0, &mut data);
+                    for v in data.iter_mut() {
+                        *v += 1;
+                    }
+                    t.prim_write(buf, 0, &data);
+                    mp.send(buf, 0, round as i32).unwrap();
+                }
+            }
+        },
+    )
+    .unwrap();
+}
+
+#[test]
+fn motor_pingpong_over_tcp() {
+    let config = ClusterConfig {
+        universe: UniverseConfig { channel: ChannelKind::Tcp, ..Default::default() },
+        ..Default::default()
+    };
+    run_cluster(
+        2,
+        config,
+        |_| {},
+        |proc| {
+            let mp = proc.mp();
+            let t = proc.thread();
+            // Bigger than the eager threshold: exercises rendezvous over a
+            // real kernel socket with a managed (pinnable) buffer.
+            let n = 100_000;
+            let buf = t.alloc_prim_array(ElemKind::U8, n);
+            if mp.rank() == 0 {
+                let data: Vec<u8> = (0..n).map(|i| (i % 251) as u8).collect();
+                t.prim_write(buf, 0, &data);
+                mp.send(buf, 1, 0).unwrap();
+            } else {
+                let st = mp.recv(buf, 0, 0).unwrap();
+                assert_eq!(st.bytes, n);
+                let mut got = vec![0u8; n];
+                t.prim_read(buf, 0, &mut got);
+                assert!(got.iter().enumerate().all(|(i, &b)| b == (i % 251) as u8));
+            }
+        },
+    )
+    .unwrap();
+}
+
+#[test]
+fn nonblocking_transfer_survives_gc_via_conditional_pin() {
+    // Rank 1 posts an irecv, then forces collections while the message is
+    // still in flight. The conditional pin must keep the buffer alive and
+    // unmoved until the data lands.
+    let config = ClusterConfig {
+        vm: VmConfig {
+            heap: HeapConfig { young_bytes: 16 * 1024, ..Default::default() },
+        },
+        ..Default::default()
+    };
+    run_cluster(
+        2,
+        config,
+        |_| {},
+        |proc| {
+            let mp = proc.mp();
+            let t = proc.thread();
+            if mp.rank() == 0 {
+                // Wait until rank 1 says it has posted and collected.
+                let sync = t.alloc_prim_array(ElemKind::U8, 1);
+                mp.recv(sync, 1, 9).unwrap();
+                let data = t.alloc_prim_array(ElemKind::U8, 512);
+                t.prim_write(data, 0, &[0xABu8; 512]);
+                mp.send(data, 1, 0).unwrap();
+            } else {
+                let buf = t.alloc_prim_array(ElemKind::U8, 512);
+                assert!(t.is_young(buf));
+                let mut req = mp.irecv(buf, 0, 0).unwrap();
+                // Collect while the receive is outstanding: the object is
+                // young, so only the conditional pin protects it.
+                let addr_before = proc.vm().handle_addr(buf);
+                t.collect_minor();
+                assert_eq!(
+                    proc.vm().handle_addr(buf),
+                    addr_before,
+                    "conditional pin held the buffer in place"
+                );
+                // Tell rank 0 to fire.
+                let sync = t.alloc_prim_array(ElemKind::U8, 1);
+                mp.send(sync, 0, 9).unwrap();
+                let st = mp.wait(&mut req).unwrap();
+                assert_eq!(st.bytes, 512);
+                let mut got = vec![0u8; 512];
+                t.prim_read(buf, 0, &mut got);
+                assert_eq!(got, vec![0xABu8; 512]);
+                // After completion, the next collection releases the pin
+                // and the (now unpinned) young object may move.
+                t.collect_minor();
+                let snap = proc.vm().stats_snapshot();
+                assert!(snap.conditional_pins_held >= 1);
+                assert!(snap.conditional_pins_released >= 1);
+            }
+        },
+    )
+    .unwrap();
+}
+
+#[test]
+fn failure_injection_disabled_pinning_corrupts_unpinned_transfer() {
+    // The §2.3 hazard demonstrated: with the pinning policy disabled, a
+    // collection moves the posted buffer mid-operation and the transport
+    // writes into the stale location. With the Motor policy the same
+    // sequence delivers correctly. (The stale write lands in the recycled
+    // young segment, which this rank leaves untouched — the corruption is
+    // logical, not memory-unsafe, by construction of the test.)
+    for policy in [PinPolicy::Motor, PinPolicy::Disabled] {
+        let got = Arc::new(Mutex::new(Vec::new()));
+        let g = Arc::clone(&got);
+        let config = ClusterConfig {
+            vm: VmConfig {
+                heap: HeapConfig { young_bytes: 16 * 1024, ..Default::default() },
+            },
+            policy,
+            ..Default::default()
+        };
+        run_cluster(
+            2,
+            config,
+            |_| {},
+            move |proc| {
+                let mp = proc.mp();
+                let t = proc.thread();
+                if mp.rank() == 0 {
+                    let sync = t.alloc_prim_array(ElemKind::U8, 1);
+                    mp.recv(sync, 1, 9).unwrap();
+                    let data = t.alloc_prim_array(ElemKind::U8, 256);
+                    t.prim_write(data, 0, &[0x77u8; 256]);
+                    mp.send(data, 1, 0).unwrap();
+                } else {
+                    let buf = t.alloc_prim_array(ElemKind::U8, 256);
+                    assert!(t.is_young(buf));
+                    let mut req = mp.irecv(buf, 0, 0).unwrap();
+                    // GC while in flight.
+                    t.collect_minor();
+                    let sync = t.alloc_prim_array(ElemKind::U8, 1);
+                    mp.send(sync, 0, 9).unwrap();
+                    mp.wait(&mut req).unwrap();
+                    let mut out = vec![0u8; 256];
+                    t.prim_read(buf, 0, &mut out);
+                    g.lock().push(out);
+                }
+            },
+        )
+        .unwrap();
+        let results = got.lock();
+        let out = &results[0];
+        match policy {
+            PinPolicy::Motor => {
+                assert_eq!(out, &vec![0x77u8; 256], "policy protects the transfer");
+            }
+            PinPolicy::Disabled => {
+                assert_ne!(
+                    out,
+                    &vec![0x77u8; 256],
+                    "without pinning the moved buffer must miss the data"
+                );
+            }
+            PinPolicy::Always => unreachable!("not exercised here"),
+        }
+    }
+}
+
+#[test]
+fn isend_buffer_protected_while_in_flight() {
+    // Sender-side: a rendezvous isend keeps its (young) buffer pinned via
+    // the request-status condition even across collections.
+    let config = ClusterConfig {
+        vm: VmConfig {
+            heap: HeapConfig {
+                // Big young generation so a 100 KiB buffer stays young
+                // (below the large-object threshold).
+                young_bytes: 512 * 1024,
+                ..Default::default()
+            },
+        },
+        ..Default::default()
+    };
+    run_cluster(
+        2,
+        config,
+        |_| {},
+        |proc| {
+            let mp = proc.mp();
+            let t = proc.thread();
+            let n = 100_000; // > eager threshold: rendezvous
+            if mp.rank() == 0 {
+                let buf = t.alloc_prim_array(ElemKind::U8, n);
+                assert!(t.is_young(buf), "buffer must be young for the test to bite");
+                let data: Vec<u8> = (0..n).map(|i| (i % 127) as u8).collect();
+                t.prim_write(buf, 0, &data);
+                let mut req = mp.isend(buf, 1, 0).unwrap();
+                // Collect while the rendezvous is pending (no CTS yet —
+                // the receiver hasn't posted).
+                t.collect_minor();
+                // Now let the receiver post.
+                let sync = t.alloc_prim_array(ElemKind::U8, 1);
+                mp.send(sync, 1, 9).unwrap();
+                mp.wait(&mut req).unwrap();
+            } else {
+                let sync = t.alloc_prim_array(ElemKind::U8, 1);
+                mp.recv(sync, 0, 9).unwrap();
+                let buf = t.alloc_prim_array(ElemKind::U8, n);
+                mp.recv(buf, 0, 0).unwrap();
+                let mut got = vec![0u8; n];
+                t.prim_read(buf, 0, &mut got);
+                assert!(got.iter().enumerate().all(|(i, &b)| b == (i % 127) as u8));
+            }
+        },
+    )
+    .unwrap();
+}
+
+#[test]
+fn pinning_policy_skips_elder_buffers_entirely() {
+    run_cluster_default(
+        2,
+        |_| {},
+        |proc| {
+            let mp = proc.mp();
+            let t = proc.thread();
+            let buf = t.alloc_prim_array(ElemKind::U8, 64);
+            t.collect_minor(); // promote
+            assert!(!t.is_young(buf));
+            for _ in 0..10 {
+                if mp.rank() == 0 {
+                    mp.send(buf, 1, 0).unwrap();
+                    mp.recv(buf, 1, 0).unwrap();
+                } else {
+                    mp.recv(buf, 0, 0).unwrap();
+                    mp.send(buf, 0, 0).unwrap();
+                }
+            }
+            let snap = proc.vm().stats_snapshot();
+            assert_eq!(snap.pins, 0, "elder residents never pin (paper §7.4)");
+        },
+    )
+    .unwrap();
+}

@@ -1,0 +1,303 @@
+//! Property-based tests: the Motor serializer over random object graphs,
+//! the split representation, and GC content preservation under random
+//! mutation schedules.
+
+use std::sync::Arc;
+
+use motor::core::{Serializer, VisitedStrategy};
+use motor::runtime::heap::HeapConfig;
+use motor::runtime::{ClassId, ElemKind, Handle, MotorThread, Vm, VmConfig};
+use proptest::prelude::*;
+
+/// A random graph over one node class: per node a tag, an optional data
+/// array length, and edges (by node index) for the transportable `next`
+/// and non-transportable `side` fields. Indices may form sharing and
+/// cycles.
+#[derive(Debug, Clone)]
+struct GraphSpec {
+    nodes: Vec<NodeSpec>,
+    root: usize,
+}
+
+#[derive(Debug, Clone)]
+struct NodeSpec {
+    tag: i32,
+    array_len: Option<usize>,
+    next: Option<usize>,
+    side: Option<usize>,
+}
+
+fn graph_strategy() -> impl Strategy<Value = GraphSpec> {
+    (1usize..24).prop_flat_map(|n| {
+        let node = (
+            any::<i32>(),
+            proptest::option::of(0usize..16),
+            proptest::option::of(0usize..n),
+            proptest::option::of(0usize..n),
+        )
+            .prop_map(|(tag, array_len, next, side)| NodeSpec { tag, array_len, next, side });
+        (proptest::collection::vec(node, n..=n), 0usize..n)
+            .prop_map(|(nodes, root)| GraphSpec { nodes, root })
+    })
+}
+
+fn fresh_vm() -> (Arc<Vm>, ClassId) {
+    let vm = Vm::new(VmConfig {
+        heap: HeapConfig { young_bytes: 32 * 1024, ..Default::default() },
+    });
+    let node = {
+        let mut reg = vm.registry_mut();
+        let arr = reg.prim_array(ElemKind::I32);
+        let next_id = ClassId(reg.len() as u32);
+        reg.define_class("PNode")
+            .prim("tag", ElemKind::I32)
+            .transportable("array", arr)
+            .transportable("next", next_id)
+            .reference("side", next_id)
+            .build()
+    };
+    (vm, node)
+}
+
+fn build_graph(t: &MotorThread, node: ClassId, spec: &GraphSpec) -> Handle {
+    let (ftag, farr, fnext, fside) = (
+        t.field_index(node, "tag"),
+        t.field_index(node, "array"),
+        t.field_index(node, "next"),
+        t.field_index(node, "side"),
+    );
+    let handles: Vec<Handle> = spec.nodes.iter().map(|_| t.alloc_instance(node)).collect();
+    for (i, ns) in spec.nodes.iter().enumerate() {
+        t.set_prim::<i32>(handles[i], ftag, ns.tag);
+        if let Some(len) = ns.array_len {
+            let a = t.alloc_prim_array(ElemKind::I32, len);
+            let data: Vec<i32> = (0..len).map(|j| ns.tag.wrapping_add(j as i32)).collect();
+            t.prim_write(a, 0, &data);
+            t.set_ref(handles[i], farr, a);
+            t.release(a);
+        }
+        if let Some(n) = ns.next {
+            t.set_ref(handles[i], fnext, handles[n]);
+        }
+        if let Some(s) = ns.side {
+            t.set_ref(handles[i], fside, handles[s]);
+        }
+    }
+    let root = t.clone_handle(handles[spec.root]);
+    for h in handles {
+        t.release(h);
+    }
+    root
+}
+
+/// Canonical signature of the *transportable* reachable graph: node tags
+/// and array contents in DFS order, with back-references encoded by first
+/// visit index (captures sharing and cycles).
+fn signature(t: &MotorThread, node: ClassId, root: Handle) -> Vec<i64> {
+    let (ftag, farr, fnext) = (
+        t.field_index(node, "tag"),
+        t.field_index(node, "array"),
+        t.field_index(node, "next"),
+    );
+    let mut sig = Vec::new();
+    let mut stack = vec![t.clone_handle(root)];
+    let mut visited: Vec<Handle> = Vec::new();
+    while let Some(h) = stack.pop() {
+        if t.is_null(h) {
+            sig.push(-1);
+            t.release(h);
+            continue;
+        }
+        if let Some(idx) = visited.iter().position(|&v| t.same_object(v, h)) {
+            sig.push(-1000 - idx as i64);
+            t.release(h);
+            continue;
+        }
+        sig.push(t.get_prim::<i32>(h, ftag) as i64);
+        let arr = t.get_ref(h, farr);
+        if t.is_null(arr) {
+            sig.push(-2);
+        } else {
+            let len = t.array_len(arr);
+            sig.push(len as i64);
+            let mut data = vec![0i32; len];
+            t.prim_read(arr, 0, &mut data);
+            sig.extend(data.iter().map(|&v| v as i64));
+        }
+        t.release(arr);
+        stack.push(t.get_ref(h, fnext));
+        visited.push(h);
+    }
+    for v in visited {
+        t.release(v);
+    }
+    sig
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn roundtrip_preserves_transportable_graph(spec in graph_strategy()) {
+        let (vm, node) = fresh_vm();
+        let t = MotorThread::attach(vm);
+        let root = build_graph(&t, node, &spec);
+        let before = signature(&t, node, root);
+        for strategy in [VisitedStrategy::Linear, VisitedStrategy::Hashed] {
+            let ser = Serializer::new(&t).with_strategy(strategy);
+            let (bytes, _) = ser.serialize(root).unwrap();
+            let copy = ser.deserialize(&bytes).unwrap();
+            let after = signature(&t, node, copy);
+            prop_assert_eq!(&before, &after, "strategy {:?}", strategy);
+            // Non-transportable `side` must always arrive null.
+            let fside = t.field_index(node, "side");
+            let side = t.get_ref(copy, fside);
+            prop_assert!(t.is_null(side));
+            t.release(side);
+            t.release(copy);
+        }
+    }
+
+    #[test]
+    fn strategies_agree_byte_for_byte(spec in graph_strategy()) {
+        let (vm, node) = fresh_vm();
+        let t = MotorThread::attach(vm);
+        let root = build_graph(&t, node, &spec);
+        let (a, _) = Serializer::new(&t).with_strategy(VisitedStrategy::Linear)
+            .serialize(root).unwrap();
+        let (b, _) = Serializer::new(&t).with_strategy(VisitedStrategy::Hashed)
+            .serialize(root).unwrap();
+        prop_assert_eq!(a, b, "visited structure must not affect the wire format");
+    }
+
+    #[test]
+    fn roundtrip_survives_gc_between_phases(spec in graph_strategy()) {
+        let (vm, node) = fresh_vm();
+        let t = MotorThread::attach(Arc::clone(&vm));
+        let root = build_graph(&t, node, &spec);
+        let before = signature(&t, node, root);
+        let ser = Serializer::new(&t);
+        let (bytes, _) = ser.serialize(root).unwrap();
+        // Collections between serialize and deserialize (and during
+        // deserialize, via the small young generation) must not corrupt
+        // anything.
+        t.collect_minor();
+        t.collect_full();
+        let copy = ser.deserialize(&bytes).unwrap();
+        let after = signature(&t, node, copy);
+        prop_assert_eq!(before, after);
+    }
+
+    #[test]
+    fn split_parts_reassemble_to_the_whole(
+        lens in proptest::collection::vec(0usize..8, 2..20),
+        parts in 1usize..5,
+    ) {
+        let (vm, node) = fresh_vm();
+        let t = MotorThread::attach(vm);
+        let ftag = t.field_index(node, "tag");
+        // An object array of nodes with distinct tags.
+        let arr = t.alloc_obj_array(node, lens.len());
+        for (i, &_l) in lens.iter().enumerate() {
+            let e = t.alloc_instance(node);
+            t.set_prim::<i32>(e, ftag, i as i32);
+            t.obj_array_set(arr, i, e);
+            t.release(e);
+        }
+        let ser = Serializer::new(&t);
+        // Split into `parts` ranges (uneven tail allowed), deserialize each
+        // part independently, and check the concatenation.
+        let n = lens.len();
+        let per = n.div_ceil(parts);
+        let mut seen = 0usize;
+        let mut off = 0;
+        while off < n {
+            let count = per.min(n - off);
+            let (bytes, _) = ser.serialize_array_range(arr, off, count).unwrap();
+            let sub = ser.deserialize(&bytes).unwrap();
+            prop_assert_eq!(t.array_len(sub), count);
+            for j in 0..count {
+                let e = t.obj_array_get(sub, j);
+                prop_assert_eq!(t.get_prim::<i32>(e, ftag) as usize, off + j);
+                seen += 1;
+                t.release(e);
+            }
+            t.release(sub);
+            off += count;
+        }
+        prop_assert_eq!(seen, n);
+    }
+
+    #[test]
+    fn gc_preserves_reachable_contents_under_random_schedules(
+        ops in proptest::collection::vec((0u8..4, 0usize..8, any::<i32>()), 1..60),
+    ) {
+        // A model-based GC test: mirror every mutation in a Rust-side
+        // model, interleave collections, and compare at the end.
+        let (vm, node) = fresh_vm();
+        let t = MotorThread::attach(Arc::clone(&vm));
+        let ftag = t.field_index(node, "tag");
+        let mut live: Vec<(Handle, i32)> = Vec::new();
+        for (op, idx, val) in ops {
+            match op {
+                // Allocate a node.
+                0 => {
+                    let h = t.alloc_instance(node);
+                    t.set_prim::<i32>(h, ftag, val);
+                    live.push((h, val));
+                }
+                // Drop one (becomes garbage).
+                1 if !live.is_empty() => {
+                    let (h, _) = live.swap_remove(idx % live.len());
+                    t.release(h);
+                }
+                // Mutate one.
+                2 if !live.is_empty() => {
+                    let i = idx % live.len();
+                    t.set_prim::<i32>(live[i].0, ftag, val);
+                    live[i].1 = val;
+                }
+                // Collect (minor or full).
+                3 => {
+                    if val % 2 == 0 {
+                        t.collect_minor();
+                    } else {
+                        t.collect_full();
+                    }
+                }
+                _ => {}
+            }
+        }
+        t.collect_full();
+        for (h, expect) in &live {
+            prop_assert_eq!(t.get_prim::<i32>(*h, ftag), *expect);
+        }
+        // Full structural audit: headers, flags, ref slots, handle roots.
+        motor::runtime::verify_heap(&vm).map_err(|e| {
+            proptest::test_runner::TestCaseError::fail(format!("heap invariant: {e}"))
+        })?;
+    }
+
+    #[test]
+    fn heap_verifies_after_graph_builds_and_collections(spec in graph_strategy()) {
+        let (vm, node) = fresh_vm();
+        let t = MotorThread::attach(Arc::clone(&vm));
+        let root = build_graph(&t, node, &spec);
+        motor::runtime::verify_heap(&vm).map_err(|e| {
+            proptest::test_runner::TestCaseError::fail(format!("pre-GC: {e}"))
+        })?;
+        t.collect_minor();
+        motor::runtime::verify_heap(&vm).map_err(|e| {
+            proptest::test_runner::TestCaseError::fail(format!("post-minor: {e}"))
+        })?;
+        t.collect_full();
+        motor::runtime::verify_heap(&vm).map_err(|e| {
+            proptest::test_runner::TestCaseError::fail(format!("post-full: {e}"))
+        })?;
+        t.release(root);
+        t.collect_full();
+        motor::runtime::verify_heap(&vm).map_err(|e| {
+            proptest::test_runner::TestCaseError::fail(format!("post-release: {e}"))
+        })?;
+    }
+}
