@@ -75,7 +75,10 @@ impl Default for TransitionState {
                 ],
             })
             .collect();
-        TransitionState { frames, mode: AtomicU32::new(0) }
+        TransitionState {
+            frames,
+            mode: AtomicU32::new(0),
+        }
     }
 }
 
@@ -93,13 +96,19 @@ impl TransitionState {
             count: u32,
             _pad: u32,
         }
-        let mut s = Shadow { slots: [0; 8], count: args.len() as u32, _pad: 0 };
+        let mut s = Shadow {
+            slots: [0; 8],
+            count: args.len() as u32,
+            _pad: 0,
+        };
         for (i, &a) in args.iter().take(8).enumerate() {
             // Validate + widen each argument as the marshaller does.
             s.slots[i] = a.rotate_left((i as u32) & 7);
         }
         // Fold so the block cannot be optimized away.
-        s.slots.iter().fold(s.count as u64, |acc, &v| acc.wrapping_mul(31).wrapping_add(v))
+        s.slots.iter().fold(s.count as u64, |acc, &v| {
+            acc.wrapping_mul(31).wrapping_add(v)
+        })
     }
 
     /// The security demand: walk `frames` of the simulated managed stack,
@@ -172,7 +181,8 @@ impl JniEnv {
         let key = format!("{class}.{name}{sig}");
         let mut ids = self.method_ids.lock();
         let next = &self.next_id;
-        *ids.entry(key).or_insert_with(|| next.fetch_add(1, Ordering::Relaxed) as u64)
+        *ids.entry(key)
+            .or_insert_with(|| next.fetch_add(1, Ordering::Relaxed) as u64)
     }
 
     /// Full JNI call transition: method resolution + marshalling +

@@ -235,9 +235,19 @@ impl<'t> CliFormatter<'t> {
         let vm = self.thread.vm();
         let mut defs: Vec<ClassDef> = Vec::new();
         enum Rec<'a> {
-            Object { def: usize, prims: Vec<(usize, &'a [u8])>, refs: Vec<(usize, u32)> },
-            PrimArray { kind: ElemKind, data: &'a [u8] },
-            ObjArray { elem: ClassId, elems: Vec<u32> },
+            Object {
+                def: usize,
+                prims: Vec<(usize, &'a [u8])>,
+                refs: Vec<(usize, u32)>,
+            },
+            PrimArray {
+                kind: ElemKind,
+                data: &'a [u8],
+            },
+            ObjArray {
+                elem: ClassId,
+                elems: Vec<u32>,
+            },
         }
         let mut recs: Vec<Rec> = Vec::new();
         // The .NET-profile field-store cache.
@@ -292,7 +302,10 @@ impl<'t> CliFormatter<'t> {
                     let k = ElemKind::from_tag(u8r!())
                         .ok_or_else(|| CoreError::Serialization("bad tag".into()))?;
                     let len = u32r!() as usize;
-                    recs.push(Rec::PrimArray { kind: k, data: take(&mut pos, len * k.size())? });
+                    recs.push(Rec::PrimArray {
+                        kind: k,
+                        data: take(&mut pos, len * k.size())?,
+                    });
                 }
                 REC_OBJ_ARRAY => {
                     let qname = strr!();
@@ -308,9 +321,7 @@ impl<'t> CliFormatter<'t> {
                     }
                     recs.push(Rec::ObjArray { elem, elems });
                 }
-                other => {
-                    return Err(CoreError::Serialization(format!("bad record kind {other}")))
-                }
+                other => return Err(CoreError::Serialization(format!("bad record kind {other}"))),
             }
         }
         if recs.is_empty() {
@@ -341,7 +352,9 @@ impl<'t> CliFormatter<'t> {
                     h
                 }
                 Rec::PrimArray { kind, data } => {
-                    let h = self.thread.alloc_prim_array(*kind, data.len() / kind.size());
+                    let h = self
+                        .thread
+                        .alloc_prim_array(*kind, data.len() / kind.size());
                     let (p, len) = self.thread.raw_data_window(h);
                     assert_eq!(len, data.len());
                     // SAFETY: fresh array; cooperative non-polling gap.
@@ -466,8 +479,11 @@ mod tests {
     }
 
     fn build_list(t: &MotorThread, node: ClassId, n: usize) -> Handle {
-        let (ftag, farr, fnext) =
-            (t.field_index(node, "tag"), t.field_index(node, "array"), t.field_index(node, "next"));
+        let (ftag, farr, fnext) = (
+            t.field_index(node, "tag"),
+            t.field_index(node, "array"),
+            t.field_index(node, "next"),
+        );
         let mut head = t.null_handle();
         for i in (0..n).rev() {
             let h = t.alloc_instance(node);
@@ -510,8 +526,12 @@ mod tests {
         let (vm, node) = fixture();
         let t = MotorThread::attach(Arc::clone(&vm));
         let head = build_list(&t, node, 5);
-        let a = CliFormatter::new(&t, HostProfile::Sscli).serialize(head).unwrap();
-        let b = CliFormatter::new(&t, HostProfile::Net).serialize(head).unwrap();
+        let a = CliFormatter::new(&t, HostProfile::Sscli)
+            .serialize(head)
+            .unwrap();
+        let b = CliFormatter::new(&t, HostProfile::Net)
+            .serialize(head)
+            .unwrap();
         assert_eq!(a, b);
     }
 
@@ -539,7 +559,9 @@ mod tests {
         let (vm, node) = fixture();
         let t = MotorThread::attach(Arc::clone(&vm));
         let h = t.alloc_instance(node);
-        let blob = CliFormatter::new(&t, HostProfile::Net).serialize(h).unwrap();
+        let blob = CliFormatter::new(&t, HostProfile::Net)
+            .serialize(h)
+            .unwrap();
         let s = String::from_utf8_lossy(&blob);
         assert!(s.contains("LinkedArray, MotorApp, Version=1.0.0.0"));
     }

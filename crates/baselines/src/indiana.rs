@@ -103,15 +103,25 @@ impl<'t> Indiana<'t> {
     }
 
     /// Blocking receive.
-    pub fn recv(&self, obj: Handle, src: i32, tag: i32) -> CoreResult<MpStatus> {
+    pub fn recv(
+        &self,
+        obj: Handle,
+        src: impl Into<motor_mpc::Source>,
+        tag: i32,
+    ) -> CoreResult<MpStatus> {
+        let src = src.into();
         let (ptr, len) = self.window(obj)?;
-        self.pinvoke(&[ptr as u64, len as u64, src as u64, tag as u64]);
+        self.pinvoke(&[ptr as u64, len as u64, src.to_device() as u64, tag as u64]);
         let pin = self.thread.pin(obj);
         let res = (|| -> CoreResult<MpStatus> {
             // SAFETY: pinned for the duration.
             let req = unsafe { self.comm.irecv_ptr(ptr, len, src, tag)? };
             let st = self.comm.wait_with(&req, || self.thread.poll())?;
-            Ok(MpStatus { source: st.source as usize, tag: st.tag, bytes: st.count })
+            Ok(MpStatus {
+                source: st.source as usize,
+                tag: st.tag,
+                bytes: st.count,
+            })
         })();
         self.thread.unpin(pin);
         res
@@ -131,14 +141,16 @@ impl<'t> Indiana<'t> {
     }
 
     /// Receive an object shipped by [`Indiana::send_object`].
-    pub fn recv_object(&self, src: i32, tag: i32) -> CoreResult<Handle> {
+    pub fn recv_object(&self, src: impl Into<motor_mpc::Source>, tag: i32) -> CoreResult<Handle> {
+        let src = src.into();
         let mut size = [0u8; 8];
-        self.pinvoke(&[src as u64, tag as u64]);
+        self.pinvoke(&[src.to_device() as u64, tag as u64]);
         let st = self.comm.recv_bytes(&mut size, src, tag)?;
         let len = u64::from_le_bytes(size) as usize;
         let mut blob = vec![0u8; len];
         self.pinvoke(&[len as u64, st.source as u64, st.tag as u64]);
-        self.comm.recv_bytes(&mut blob, st.source as i32, st.tag)?;
+        self.comm
+            .recv_bytes(&mut blob, st.source as usize, st.tag)?;
         CliFormatter::new(self.thread, self.host).deserialize(&blob)
     }
 }

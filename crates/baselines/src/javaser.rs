@@ -49,7 +49,10 @@ impl fmt::Display for JavaSerError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             JavaSerError::StackOverflow { depth } => {
-                write!(f, "java.lang.StackOverflowError at serialization depth {depth}")
+                write!(
+                    f,
+                    "java.lang.StackOverflowError at serialization depth {depth}"
+                )
             }
             JavaSerError::Stream(s) => write!(f, "stream corrupted: {s}"),
         }
@@ -93,7 +96,11 @@ struct HandleTable {
 
 impl HandleTable {
     fn new() -> Self {
-        HandleTable { linear: Vec::new(), hashed: None, rebuilds: 0 }
+        HandleTable {
+            linear: Vec::new(),
+            hashed: None,
+            rebuilds: 0,
+        }
     }
 
     fn len(&self) -> usize {
@@ -106,7 +113,11 @@ impl HandleTable {
     fn get(&self, addr: usize) -> Option<u32> {
         match &self.hashed {
             Some(m) => m.get(&addr).copied(),
-            None => self.linear.iter().find(|&&(a, _)| a == addr).map(|&(_, i)| i),
+            None => self
+                .linear
+                .iter()
+                .find(|&&(a, _)| a == addr)
+                .map(|&(_, i)| i),
         }
     }
 
@@ -142,7 +153,10 @@ pub struct JavaSerializer<'t> {
 impl<'t> JavaSerializer<'t> {
     /// Create with the default stack budget.
     pub fn new(thread: &'t MotorThread) -> Self {
-        JavaSerializer { thread, stack_budget: DEFAULT_STACK_BUDGET }
+        JavaSerializer {
+            thread,
+            stack_budget: DEFAULT_STACK_BUDGET,
+        }
     }
 
     /// Override the recursion budget (tests).
@@ -407,7 +421,8 @@ impl Decoder<'_, '_> {
                     let class = {
                         let vm = self.thread.vm();
                         let reg = vm.registry();
-                        reg.by_name(&name).ok_or(CoreError::UnknownType(name.clone()))?
+                        reg.by_name(&name)
+                            .ok_or(CoreError::UnknownType(name.clone()))?
                     };
                     // Field-kind fidelity: use the receiver's actual kinds
                     // for primitive widths (signatures collapse sign).
@@ -467,7 +482,8 @@ impl Decoder<'_, '_> {
                         let elem = {
                             let vm = self.thread.vm();
                             let reg = vm.registry();
-                            reg.by_name(&elem_name).ok_or(CoreError::UnknownType(elem_name))?
+                            reg.by_name(&elem_name)
+                                .ok_or(CoreError::UnknownType(elem_name))?
                         };
                         let len = self.u32()? as usize;
                         let h = self.thread.alloc_obj_array(elem, len);
@@ -476,9 +492,7 @@ impl Decoder<'_, '_> {
                         for ei in 0..len {
                             match self.read_object()? {
                                 Val::Null => {}
-                                Val::Obj(t) => {
-                                    self.patches.push((oi, Site::Element(ei), t as u32))
-                                }
+                                Val::Obj(t) => self.patches.push((oi, Site::Element(ei), t as u32)),
                             }
                         }
                         return Ok(Val::Obj(oi));
@@ -498,7 +512,9 @@ impl Decoder<'_, '_> {
                     }
                 }
                 other => {
-                    return Err(CoreError::Serialization(format!("bad java record {other:#x}")))
+                    return Err(CoreError::Serialization(format!(
+                        "bad java record {other:#x}"
+                    )))
                 }
             }
         }
@@ -548,8 +564,11 @@ mod tests {
     }
 
     fn build_list(t: &MotorThread, node: ClassId, n: usize) -> Handle {
-        let (ftag, farr, fnext) =
-            (t.field_index(node, "tag"), t.field_index(node, "array"), t.field_index(node, "next"));
+        let (ftag, farr, fnext) = (
+            t.field_index(node, "tag"),
+            t.field_index(node, "array"),
+            t.field_index(node, "next"),
+        );
         let mut head = t.null_handle();
         for i in (0..n).rev() {
             let h = t.alloc_instance(node);
@@ -573,8 +592,11 @@ mod tests {
         let ser = JavaSerializer::new(&t);
         let stream = ser.serialize(head).unwrap();
         let copy = ser.deserialize(&stream).unwrap();
-        let (ftag, farr, fnext) =
-            (t.field_index(node, "tag"), t.field_index(node, "array"), t.field_index(node, "next"));
+        let (ftag, farr, fnext) = (
+            t.field_index(node, "tag"),
+            t.field_index(node, "array"),
+            t.field_index(node, "next"),
+        );
         let mut cur = t.clone_handle(copy);
         for i in 0..12 {
             assert_eq!(t.get_prim::<i32>(cur, ftag), i);
@@ -621,7 +643,10 @@ mod tests {
         assert!(ht.hashed.is_some());
         // Lookups still correct across the rebuild.
         assert_eq!(ht.get(1), Some(0));
-        assert_eq!(ht.get((HANDLE_REHASH_THRESHOLD + 49) * 8 + 1), Some((HANDLE_REHASH_THRESHOLD + 49) as u32));
+        assert_eq!(
+            ht.get((HANDLE_REHASH_THRESHOLD + 49) * 8 + 1),
+            Some((HANDLE_REHASH_THRESHOLD + 49) as u32)
+        );
     }
 
     #[test]
@@ -641,7 +666,10 @@ mod tests {
         let ca = t.get_ref(copy, farr);
         let cb = t.get_ref(copy, fnext);
         let cba = t.get_ref(cb, farr);
-        assert!(t.same_object(ca, cba), "sharing preserved through TC_REFERENCE");
+        assert!(
+            t.same_object(ca, cba),
+            "sharing preserved through TC_REFERENCE"
+        );
     }
 
     #[test]

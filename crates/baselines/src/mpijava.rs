@@ -68,7 +68,9 @@ impl<'t> MpiJava<'t> {
             TypeKind::PrimArray(_) => {}
             _ => {
                 // Java has neither structs nor true md arrays to pass here.
-                return Err(CoreError::ObjectModelIntegrity(reg.table(class).name.clone()));
+                return Err(CoreError::ObjectModelIntegrity(
+                    reg.table(class).name.clone(),
+                ));
             }
         }
         drop(reg);
@@ -79,7 +81,11 @@ impl<'t> MpiJava<'t> {
     /// the managed array, native send from the staging buffer, unpin.
     pub fn send(&self, obj: Handle, dest: usize, tag: i32) -> CoreResult<()> {
         let (ptr, len) = self.window(obj)?;
-        self.jni("send", "(Ljava/lang/Object;IIII)V", &[len as u64, dest as u64, tag as u64]);
+        self.jni(
+            "send",
+            "(Ljava/lang/Object;IIII)V",
+            &[len as u64, dest as u64, tag as u64],
+        );
         let pin = self.thread.pin(obj);
         let res = (|| -> CoreResult<()> {
             let mut staging = self.staging.lock();
@@ -96,9 +102,19 @@ impl<'t> MpiJava<'t> {
 
     /// Blocking receive: native receive into staging, then copy into the
     /// managed array.
-    pub fn recv(&self, obj: Handle, src: i32, tag: i32) -> CoreResult<MpStatus> {
+    pub fn recv(
+        &self,
+        obj: Handle,
+        src: impl Into<motor_mpc::Source>,
+        tag: i32,
+    ) -> CoreResult<MpStatus> {
+        let src = src.into();
         let (ptr, len) = self.window(obj)?;
-        self.jni("recv", "(Ljava/lang/Object;IIII)Lmpi/Status;", &[len as u64, src as u64]);
+        self.jni(
+            "recv",
+            "(Ljava/lang/Object;IIII)Lmpi/Status;",
+            &[len as u64, src.to_device() as u64],
+        );
         let pin = self.thread.pin(obj);
         let res = (|| -> CoreResult<MpStatus> {
             let mut staging = self.staging.lock();
@@ -107,7 +123,11 @@ impl<'t> MpiJava<'t> {
             // SAFETY: pinned; SetArrayRegion copy.
             let dst = unsafe { std::slice::from_raw_parts_mut(ptr, st.count) };
             self.env.set_array_region(&staging[..st.count], dst);
-            Ok(MpStatus { source: st.source as usize, tag: st.tag, bytes: st.count })
+            Ok(MpStatus {
+                source: st.source as usize,
+                tag: st.tag,
+                bytes: st.count,
+            })
         })();
         self.thread.unpin(pin);
         res
@@ -117,13 +137,19 @@ impl<'t> MpiJava<'t> {
     /// send length then stream (mpiJava sends the size first, as Motor
     /// does — paper §7.5 cites this).
     pub fn send_object(&self, obj: Handle, dest: usize, tag: i32) -> CoreResult<()> {
-        let stream = JavaSerializer::new(self.thread).serialize(obj).map_err(|e| match e {
-            JavaSerError::StackOverflow { depth } => CoreError::Serialization(format!(
-                "java.lang.StackOverflowError (depth {depth})"
-            )),
-            JavaSerError::Stream(s) => CoreError::Serialization(s),
-        })?;
-        self.jni("send", "(Ljava/lang/Object;IIII)V", &[stream.len() as u64, dest as u64]);
+        let stream = JavaSerializer::new(self.thread)
+            .serialize(obj)
+            .map_err(|e| match e {
+                JavaSerError::StackOverflow { depth } => CoreError::Serialization(format!(
+                    "java.lang.StackOverflowError (depth {depth})"
+                )),
+                JavaSerError::Stream(s) => CoreError::Serialization(s),
+            })?;
+        self.jni(
+            "send",
+            "(Ljava/lang/Object;IIII)V",
+            &[stream.len() as u64, dest as u64],
+        );
         let size = (stream.len() as u64).to_le_bytes();
         self.comm.send_bytes(&size, dest, tag)?;
         self.comm.send_bytes(&stream, dest, tag)?;
@@ -131,13 +157,19 @@ impl<'t> MpiJava<'t> {
     }
 
     /// Receive an object shipped by [`MpiJava::send_object`].
-    pub fn recv_object(&self, src: i32, tag: i32) -> CoreResult<Handle> {
-        self.jni("recv", "(Ljava/lang/Object;IIII)Lmpi/Status;", &[src as u64, tag as u64]);
+    pub fn recv_object(&self, src: impl Into<motor_mpc::Source>, tag: i32) -> CoreResult<Handle> {
+        let src = src.into();
+        self.jni(
+            "recv",
+            "(Ljava/lang/Object;IIII)Lmpi/Status;",
+            &[src.to_device() as u64, tag as u64],
+        );
         let mut size = [0u8; 8];
         let st = self.comm.recv_bytes(&mut size, src, tag)?;
         let len = u64::from_le_bytes(size) as usize;
         let mut stream = vec![0u8; len];
-        self.comm.recv_bytes(&mut stream, st.source as i32, st.tag)?;
+        self.comm
+            .recv_bytes(&mut stream, st.source as usize, st.tag)?;
         JavaSerializer::new(self.thread).deserialize(&stream)
     }
 }

@@ -27,12 +27,15 @@ use parking_lot::Mutex;
 
 /// Managed ping-pong under an explicit pinning policy.
 fn policy_pingpong_us(policy: PinPolicy, bytes: usize) -> f64 {
-    let protocol = PingPongProtocol { warmup: 20, timed: 50, repeats: 1 };
+    let protocol = PingPongProtocol {
+        warmup: 20,
+        timed: 50,
+        repeats: 1,
+    };
     let result = Arc::new(Mutex::new(0.0f64));
     let r = Arc::clone(&result);
     run_cluster(
-        2,
-        ClusterConfig { policy, ..Default::default() },
+        ClusterConfig::builder().ranks(2).policy(policy).build(),
         |_| {},
         move |proc| {
             let mp = proc.mp();
@@ -60,7 +63,10 @@ fn policy_pingpong_us(policy: PinPolicy, bytes: usize) -> f64 {
 fn bench_pinning_policy(c: &mut Criterion) {
     let mut g = c.benchmark_group("ablation_pinning");
     g.sample_size(10);
-    for (name, policy) in [("motor_policy", PinPolicy::Motor), ("pin_always", PinPolicy::Always)] {
+    for (name, policy) in [
+        ("motor_policy", PinPolicy::Motor),
+        ("pin_always", PinPolicy::Always),
+    ] {
         g.bench_function(name, |b| {
             b.iter_custom(|iters| {
                 let mut total = Duration::ZERO;
@@ -94,9 +100,7 @@ fn bench_call_transitions(c: &mut Criterion) {
     });
     let env = JniEnv::new();
     g.bench_function("jni", |b| {
-        b.iter(|| {
-            criterion::black_box(env.transition("mpi/Comm", "send", "([BIII)V", &[1, 2, 3]))
-        });
+        b.iter(|| criterion::black_box(env.transition("mpi/Comm", "send", "([BIII)V", &[1, 2, 3])));
     });
     g.finish();
 }
@@ -115,8 +119,9 @@ fn bench_conditional_unpin(c: &mut Criterion) {
             for _ in 0..iters {
                 let vm = Vm::new(VmConfig::default());
                 let t = MotorThread::attach(Arc::clone(&vm));
-                let bufs: Vec<_> =
-                    (0..N).map(|_| t.alloc_prim_array(ElemKind::U8, 64)).collect();
+                let bufs: Vec<_> = (0..N)
+                    .map(|_| t.alloc_prim_array(ElemKind::U8, 64))
+                    .collect();
                 let reqs: Vec<_> = (0..N).map(|i| RequestState::new(i as u64)).collect();
                 for (buf, req) in bufs.iter().zip(&reqs) {
                     let r = Arc::clone(req);
@@ -142,8 +147,9 @@ fn bench_conditional_unpin(c: &mut Criterion) {
             for _ in 0..iters {
                 let vm = Vm::new(VmConfig::default());
                 let t = MotorThread::attach(Arc::clone(&vm));
-                let bufs: Vec<_> =
-                    (0..N).map(|_| t.alloc_prim_array(ElemKind::U8, 64)).collect();
+                let bufs: Vec<_> = (0..N)
+                    .map(|_| t.alloc_prim_array(ElemKind::U8, 64))
+                    .collect();
                 let reqs: Vec<_> = (0..N).map(|i| RequestState::new(i as u64)).collect();
                 let tokens: Vec<_> = bufs.iter().map(|b| t.pin(*b)).collect();
                 for r in &reqs {
@@ -166,7 +172,11 @@ fn bench_conditional_unpin(c: &mut Criterion) {
 }
 
 fn native_pingpong_us(eager_threshold: usize, bytes: usize) -> f64 {
-    let protocol = PingPongProtocol { warmup: 20, timed: 50, repeats: 1 };
+    let protocol = PingPongProtocol {
+        warmup: 20,
+        timed: 50,
+        repeats: 1,
+    };
     let result = Arc::new(Mutex::new(0.0f64));
     let r = Arc::clone(&result);
     let config = UniverseConfig {

@@ -31,7 +31,11 @@ fn fixture() -> Fixture {
             .build()
     };
     let thread = MotorThread::attach(Arc::clone(&vm));
-    Fixture { _vm: vm, thread, node }
+    Fixture {
+        _vm: vm,
+        thread,
+        node,
+    }
 }
 
 fn build_list(f: &Fixture, elements: usize) -> Handle {
@@ -61,20 +65,17 @@ fn bench_visited(c: &mut Criterion) {
     for &elements in &[64usize, 512, 2048] {
         let f = fixture();
         let head = build_list(&f, elements);
-        for (name, strategy) in
-            [("linear", VisitedStrategy::Linear), ("hashed", VisitedStrategy::Hashed)]
-        {
+        for (name, strategy) in [
+            ("linear", VisitedStrategy::Linear),
+            ("hashed", VisitedStrategy::Hashed),
+        ] {
             let ser = Serializer::new(&f.thread).with_strategy(strategy);
-            g.bench_with_input(
-                BenchmarkId::new(name, elements * 2),
-                &elements,
-                |b, _| {
-                    b.iter(|| {
-                        let (bytes, _) = ser.serialize(head).unwrap();
-                        criterion::black_box(bytes.len())
-                    });
-                },
-            );
+            g.bench_with_input(BenchmarkId::new(name, elements * 2), &elements, |b, _| {
+                b.iter(|| {
+                    let (bytes, _) = ser.serialize(head).unwrap();
+                    criterion::black_box(bytes.len())
+                });
+            });
         }
     }
     g.finish();
@@ -85,13 +86,15 @@ fn bench_attr_lookup(c: &mut Criterion) {
     g.sample_size(20);
     let f = fixture();
     let head = build_list(&f, 256);
-    for (name, attrs) in
-        [("fielddesc_bit", AttrLookup::FieldDescBit), ("reflection", AttrLookup::Reflection)]
-    {
+    for (name, attrs) in [
+        ("fielddesc_bit", AttrLookup::FieldDescBit),
+        ("reflection", AttrLookup::Reflection),
+    ] {
         // The hashed strategy isolates the attribute-lookup cost from the
         // visited-list quadratic term.
-        let ser =
-            Serializer::new(&f.thread).with_strategy(VisitedStrategy::Hashed).with_attr_lookup(attrs);
+        let ser = Serializer::new(&f.thread)
+            .with_strategy(VisitedStrategy::Hashed)
+            .with_attr_lookup(attrs);
         g.bench_function(name, |b| {
             b.iter(|| {
                 let (bytes, _) = ser.serialize(head).unwrap();

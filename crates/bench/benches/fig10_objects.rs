@@ -11,7 +11,11 @@ use motor_bench::protocol::PingPongProtocol;
 use motor_bench::series::{fig10_object_pingpong_us, Fig10Impl};
 
 fn bench_fig10(c: &mut Criterion) {
-    let protocol = PingPongProtocol { warmup: 10, timed: 30, repeats: 1 };
+    let protocol = PingPongProtocol {
+        warmup: 10,
+        timed: 30,
+        repeats: 1,
+    };
     let mut g = c.benchmark_group("fig10_objects");
     g.sample_size(10);
     for &objects in &[32usize, 256, 1024] {

@@ -13,25 +13,25 @@ use motor_bench::protocol::PingPongProtocol;
 use motor_bench::series::{fig9_pingpong_us, Fig9Impl};
 
 fn bench_fig9(c: &mut Criterion) {
-    let protocol = PingPongProtocol { warmup: 20, timed: 50, repeats: 1 };
+    let protocol = PingPongProtocol {
+        warmup: 20,
+        timed: 50,
+        repeats: 1,
+    };
     let mut g = c.benchmark_group("fig9_pingpong");
     g.sample_size(10);
     for &bytes in &[64usize, 4096, 65536] {
         for sys in Fig9Impl::ALL {
-            g.bench_with_input(
-                BenchmarkId::new(sys.label(), bytes),
-                &bytes,
-                |b, &bytes| {
-                    b.iter_custom(|iters| {
-                        let mut total = Duration::ZERO;
-                        for _ in 0..iters {
-                            let us = fig9_pingpong_us(sys, bytes, protocol);
-                            total += Duration::from_nanos((us * 1000.0) as u64);
-                        }
-                        total
-                    });
-                },
-            );
+            g.bench_with_input(BenchmarkId::new(sys.label(), bytes), &bytes, |b, &bytes| {
+                b.iter_custom(|iters| {
+                    let mut total = Duration::ZERO;
+                    for _ in 0..iters {
+                        let us = fig9_pingpong_us(sys, bytes, protocol);
+                        total += Duration::from_nanos((us * 1000.0) as u64);
+                    }
+                    total
+                });
+            });
         }
     }
     g.finish();

@@ -7,21 +7,28 @@
 //! figures fig9 --quick    # reduced protocol (CI smoke)
 //! ```
 //!
-//! Output: a markdown table per figure on stdout and a CSV next to it in
-//! `bench_results/`.
+//! Output: a markdown table per figure on stdout, a CSV next to it in
+//! `bench_results/`, and a metrics sidecar CSV (`fig9_metrics.csv` /
+//! `fig10_metrics.csv`) with one row per (system, size) run carrying the
+//! full cluster-aggregated counter and histogram set from `motor-obs`.
 
 use std::fmt::Write as _;
 use std::fs;
 
 use motor_bench::protocol::{DEFAULT_PROTOCOL, QUICK_PROTOCOL};
-use motor_bench::series::{fig10_object_pingpong_us, fig9_pingpong_us, Fig10Impl, Fig9Impl};
+use motor_bench::series::{fig10_object_pingpong, fig9_pingpong, Fig10Impl, Fig9Impl};
 use motor_bench::workloads::{fig10_object_counts, fig9_buffer_sizes};
+use motor_obs::MetricsSnapshot;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
     let what = args.first().map(String::as_str).unwrap_or("all");
-    let protocol = if quick { QUICK_PROTOCOL } else { DEFAULT_PROTOCOL };
+    let protocol = if quick {
+        QUICK_PROTOCOL
+    } else {
+        DEFAULT_PROTOCOL
+    };
 
     fs::create_dir_all("bench_results").ok();
 
@@ -60,13 +67,18 @@ fn fig9(protocol: motor_bench::PingPongProtocol) {
     writeln!(md).unwrap();
     writeln!(csv).unwrap();
 
+    let mut metrics_csv = MetricsSnapshot::csv_header();
+    metrics_csv.push('\n');
     for &bytes in &sizes {
         write!(md, "| {bytes} |").unwrap();
         write!(csv, "{bytes}").unwrap();
         for sys in systems {
-            let us = fig9_pingpong_us(sys, bytes, protocol);
+            let (us, snap) = fig9_pingpong(sys, bytes, protocol);
             write!(md, " {us:.2} |").unwrap();
             write!(csv, ",{us:.3}").unwrap();
+            let label = format!("{}/{}", sys.label(), bytes);
+            metrics_csv.push_str(&snap.csv_row(&label));
+            metrics_csv.push('\n');
         }
         writeln!(md).unwrap();
         writeln!(csv).unwrap();
@@ -75,7 +87,10 @@ fn fig9(protocol: motor_bench::PingPongProtocol) {
     eprintln!();
     println!("{md}");
     fs::write("bench_results/fig9.csv", csv).expect("write fig9.csv");
-    println!("(written to bench_results/fig9.csv)");
+    fs::write("bench_results/fig9_metrics.csv", metrics_csv).expect("write fig9_metrics.csv");
+    println!(
+        "(written to bench_results/fig9.csv, metrics sidecar in bench_results/fig9_metrics.csv)"
+    );
 }
 
 fn fig10(protocol: motor_bench::PingPongProtocol) {
@@ -99,14 +114,19 @@ fn fig10(protocol: motor_bench::PingPongProtocol) {
     writeln!(md).unwrap();
     writeln!(csv).unwrap();
 
+    let mut metrics_csv = MetricsSnapshot::csv_header();
+    metrics_csv.push('\n');
     for &objects in &counts {
         write!(md, "| {objects} |").unwrap();
         write!(csv, "{objects}").unwrap();
         for sys in systems {
-            match fig10_object_pingpong_us(sys, objects, protocol) {
-                Some(us) => {
+            match fig10_object_pingpong(sys, objects, protocol) {
+                Some((us, snap)) => {
                     write!(md, " {us:.2} |").unwrap();
                     write!(csv, ",{us:.3}").unwrap();
+                    let label = format!("{}/{}", sys.label(), objects);
+                    metrics_csv.push_str(&snap.csv_row(&label));
+                    metrics_csv.push('\n');
                 }
                 None => {
                     write!(md, " StackOverflow |").unwrap();
@@ -121,5 +141,8 @@ fn fig10(protocol: motor_bench::PingPongProtocol) {
     eprintln!();
     println!("{md}");
     fs::write("bench_results/fig10.csv", csv).expect("write fig10.csv");
-    println!("(written to bench_results/fig10.csv)");
+    fs::write("bench_results/fig10_metrics.csv", metrics_csv).expect("write fig10_metrics.csv");
+    println!(
+        "(written to bench_results/fig10.csv, metrics sidecar in bench_results/fig10_metrics.csv)"
+    );
 }

@@ -16,12 +16,18 @@ pub struct PingPongProtocol {
 }
 
 /// The paper's protocol: 100 warm-up + 100 timed iterations, 3 repeats.
-pub const DEFAULT_PROTOCOL: PingPongProtocol =
-    PingPongProtocol { warmup: 100, timed: 100, repeats: 3 };
+pub const DEFAULT_PROTOCOL: PingPongProtocol = PingPongProtocol {
+    warmup: 100,
+    timed: 100,
+    repeats: 3,
+};
 
 /// A quick protocol for CI/Criterion contexts.
-pub const QUICK_PROTOCOL: PingPongProtocol =
-    PingPongProtocol { warmup: 10, timed: 20, repeats: 1 };
+pub const QUICK_PROTOCOL: PingPongProtocol = PingPongProtocol {
+    warmup: 10,
+    timed: 20,
+    repeats: 1,
+};
 
 impl PingPongProtocol {
     /// Time `iteration` under this protocol from the *measuring* rank.
@@ -62,7 +68,11 @@ mod tests {
     #[test]
     fn measure_counts_only_timed_iterations() {
         let mut calls = 0usize;
-        let p = PingPongProtocol { warmup: 5, timed: 10, repeats: 2 };
+        let p = PingPongProtocol {
+            warmup: 5,
+            timed: 10,
+            repeats: 2,
+        };
         let us = p.measure(|| {
             calls += 1;
             std::hint::black_box(());
@@ -73,7 +83,11 @@ mod tests {
 
     #[test]
     fn measure_tracks_real_time() {
-        let p = PingPongProtocol { warmup: 0, timed: 5, repeats: 1 };
+        let p = PingPongProtocol {
+            warmup: 0,
+            timed: 5,
+            repeats: 1,
+        };
         let us = p.measure(|| std::thread::sleep(std::time::Duration::from_millis(1)));
         assert!(us >= 1000.0, "each iteration sleeps 1 ms, got {us} µs");
     }

@@ -13,6 +13,7 @@ use motor_baselines::{HostProfile, Indiana, JavaSerializer, MpiJava};
 use motor_core::cluster::{run_cluster, ClusterConfig};
 use motor_core::VisitedStrategy;
 use motor_mpc::Universe;
+use motor_obs::MetricsSnapshot;
 use motor_runtime::ElemKind;
 
 use crate::protocol::PingPongProtocol;
@@ -92,8 +93,13 @@ impl Fig10Impl {
 }
 
 /// Figure 9: mean microseconds per ping-pong iteration for `bytes`-sized
-/// buffers under the given system.
-pub fn fig9_pingpong_us(sys: Fig9Impl, bytes: usize, protocol: PingPongProtocol) -> f64 {
+/// buffers under the given system, plus the cluster-aggregated metrics
+/// snapshot of the run.
+pub fn fig9_pingpong(
+    sys: Fig9Impl,
+    bytes: usize,
+    protocol: PingPongProtocol,
+) -> (f64, MetricsSnapshot) {
     match sys {
         Fig9Impl::Cpp => cpp_pingpong(bytes, protocol),
         Fig9Impl::Motor => motor_pingpong(bytes, protocol),
@@ -103,20 +109,31 @@ pub fn fig9_pingpong_us(sys: Fig9Impl, bytes: usize, protocol: PingPongProtocol)
     }
 }
 
+/// Figure 9 timing only.
+pub fn fig9_pingpong_us(sys: Fig9Impl, bytes: usize, protocol: PingPongProtocol) -> f64 {
+    fig9_pingpong(sys, bytes, protocol).0
+}
+
 /// Figure 10: mean microseconds per object-tree ping-pong iteration for
-/// `total_objects`, or `None` where the system fails (mpiJava's stack
-/// overflow past 1024 objects).
-pub fn fig10_object_pingpong_us(
+/// `total_objects` with the run's aggregated metrics, or `None` where the
+/// system fails (mpiJava's stack overflow past 1024 objects).
+pub fn fig10_object_pingpong(
     sys: Fig10Impl,
     total_objects: usize,
     protocol: PingPongProtocol,
-) -> Option<f64> {
+) -> Option<(f64, MetricsSnapshot)> {
     let spec = LinkedListSpec::paper(total_objects);
     match sys {
-        Fig10Impl::Motor => Some(motor_object_pingpong(spec, protocol, VisitedStrategy::Linear)),
-        Fig10Impl::MotorHashed => {
-            Some(motor_object_pingpong(spec, protocol, VisitedStrategy::Hashed))
-        }
+        Fig10Impl::Motor => Some(motor_object_pingpong(
+            spec,
+            protocol,
+            VisitedStrategy::Linear,
+        )),
+        Fig10Impl::MotorHashed => Some(motor_object_pingpong(
+            spec,
+            protocol,
+            VisitedStrategy::Hashed,
+        )),
         Fig10Impl::IndianaSscli => {
             Some(indiana_object_pingpong(spec, protocol, HostProfile::Sscli))
         }
@@ -125,9 +142,19 @@ pub fn fig10_object_pingpong_us(
     }
 }
 
-fn cpp_pingpong(bytes: usize, protocol: PingPongProtocol) -> f64 {
+/// Figure 10 timing only.
+pub fn fig10_object_pingpong_us(
+    sys: Fig10Impl,
+    total_objects: usize,
+    protocol: PingPongProtocol,
+) -> Option<f64> {
+    fig10_object_pingpong(sys, total_objects, protocol).map(|(us, _)| us)
+}
+
+fn cpp_pingpong(bytes: usize, protocol: PingPongProtocol) -> (f64, MetricsSnapshot) {
     let result = Arc::new(Mutex::new(0.0f64));
-    let r = Arc::clone(&result);
+    let metrics = Arc::new(Mutex::new(MetricsSnapshot::empty()));
+    let (r, m) = (Arc::clone(&result), Arc::clone(&metrics));
     Universe::run(2, move |proc| {
         let world = proc.world();
         let mut buf = vec![0u8; bytes];
@@ -143,18 +170,19 @@ fn cpp_pingpong(bytes: usize, protocol: PingPongProtocol) -> f64 {
                 world.send_bytes(&buf, 0, 0).unwrap();
             }
         }
+        m.lock().merge(&world.device().metrics().snapshot());
     })
     .unwrap();
     let v = *result.lock();
-    v
+    let snap = metrics.lock().clone();
+    (v, snap)
 }
 
-fn motor_pingpong(bytes: usize, protocol: PingPongProtocol) -> f64 {
+fn motor_pingpong(bytes: usize, protocol: PingPongProtocol) -> (f64, MetricsSnapshot) {
     let result = Arc::new(Mutex::new(0.0f64));
     let r = Arc::clone(&result);
-    run_cluster(
-        2,
-        ClusterConfig::default(),
+    let cm = run_cluster(
+        ClusterConfig::builder().ranks(2).build(),
         |_reg| {},
         move |proc| {
             let mp = proc.mp();
@@ -176,15 +204,18 @@ fn motor_pingpong(bytes: usize, protocol: PingPongProtocol) -> f64 {
     )
     .unwrap();
     let v = *result.lock();
-    v
+    (v, cm.aggregate())
 }
 
-fn indiana_pingpong(bytes: usize, protocol: PingPongProtocol, host: HostProfile) -> f64 {
+fn indiana_pingpong(
+    bytes: usize,
+    protocol: PingPongProtocol,
+    host: HostProfile,
+) -> (f64, MetricsSnapshot) {
     let result = Arc::new(Mutex::new(0.0f64));
     let r = Arc::clone(&result);
-    run_cluster(
-        2,
-        ClusterConfig::default(),
+    let cm = run_cluster(
+        ClusterConfig::builder().ranks(2).build(),
         |_reg| {},
         move |proc| {
             let b = Indiana::new(proc.thread(), proc.comm().clone(), host);
@@ -206,15 +237,14 @@ fn indiana_pingpong(bytes: usize, protocol: PingPongProtocol, host: HostProfile)
     )
     .unwrap();
     let v = *result.lock();
-    v
+    (v, cm.aggregate())
 }
 
-fn mpijava_pingpong(bytes: usize, protocol: PingPongProtocol) -> f64 {
+fn mpijava_pingpong(bytes: usize, protocol: PingPongProtocol) -> (f64, MetricsSnapshot) {
     let result = Arc::new(Mutex::new(0.0f64));
     let r = Arc::clone(&result);
-    run_cluster(
-        2,
-        ClusterConfig::default(),
+    let cm = run_cluster(
+        ClusterConfig::builder().ranks(2).build(),
         |_reg| {},
         move |proc| {
             let j = MpiJava::new(proc.thread(), proc.comm().clone());
@@ -236,19 +266,18 @@ fn mpijava_pingpong(bytes: usize, protocol: PingPongProtocol) -> f64 {
     )
     .unwrap();
     let v = *result.lock();
-    v
+    (v, cm.aggregate())
 }
 
 fn motor_object_pingpong(
     spec: LinkedListSpec,
     protocol: PingPongProtocol,
     strategy: VisitedStrategy,
-) -> f64 {
+) -> (f64, MetricsSnapshot) {
     let result = Arc::new(Mutex::new(0.0f64));
     let r = Arc::clone(&result);
-    run_cluster(
-        2,
-        ClusterConfig::default(),
+    let cm = run_cluster(
+        ClusterConfig::builder().ranks(2).build(),
         |reg| {
             define_linked_array(reg);
         },
@@ -274,19 +303,18 @@ fn motor_object_pingpong(
     )
     .unwrap();
     let v = *result.lock();
-    v
+    (v, cm.aggregate())
 }
 
 fn indiana_object_pingpong(
     spec: LinkedListSpec,
     protocol: PingPongProtocol,
     host: HostProfile,
-) -> f64 {
+) -> (f64, MetricsSnapshot) {
     let result = Arc::new(Mutex::new(0.0f64));
     let r = Arc::clone(&result);
-    run_cluster(
-        2,
-        ClusterConfig::default(),
+    let cm = run_cluster(
+        ClusterConfig::builder().ranks(2).build(),
         |reg| {
             define_linked_array(reg);
         },
@@ -312,19 +340,21 @@ fn indiana_object_pingpong(
     )
     .unwrap();
     let v = *result.lock();
-    v
+    (v, cm.aggregate())
 }
 
-fn mpijava_object_pingpong(spec: LinkedListSpec, protocol: PingPongProtocol) -> Option<f64> {
+fn mpijava_object_pingpong(
+    spec: LinkedListSpec,
+    protocol: PingPongProtocol,
+) -> Option<(f64, MetricsSnapshot)> {
     // Deterministic pre-check: the recursive Java serializer overflows on
     // long lists before anything is sent; both ranks detect it locally, so
     // no message is ever in flight when the run aborts.
     let overflow = Arc::new(Mutex::new(false));
     let result = Arc::new(Mutex::new(0.0f64));
     let (o, r) = (Arc::clone(&overflow), Arc::clone(&result));
-    run_cluster(
-        2,
-        ClusterConfig::default(),
+    let cm = run_cluster(
+        ClusterConfig::builder().ranks(2).build(),
         |reg| {
             define_linked_array(reg);
         },
@@ -360,7 +390,7 @@ fn mpijava_object_pingpong(spec: LinkedListSpec, protocol: PingPongProtocol) -> 
         None
     } else {
         let v = *result.lock();
-        Some(v)
+        Some((v, cm.aggregate()))
     }
 }
 

@@ -32,7 +32,10 @@ impl LinkedListSpec {
     /// The paper's configuration for a given object count.
     pub fn paper(total_objects: usize) -> LinkedListSpec {
         assert!(total_objects >= 2 && total_objects.is_multiple_of(2));
-        LinkedListSpec { total_objects, total_payload: 4096 }
+        LinkedListSpec {
+            total_objects,
+            total_payload: 4096,
+        }
     }
 
     /// Linked-list elements (nodes).
@@ -62,7 +65,11 @@ pub fn define_linked_array(reg: &mut TypeRegistry) -> ClassId {
 /// Build the Figure 10 list on a rank; returns the head handle.
 pub fn build_linked_list(proc: &MotorProc, spec: LinkedListSpec) -> Handle {
     let t = proc.thread();
-    let node = proc.vm().registry().by_name("LinkedArray").expect("LinkedArray defined");
+    let node = proc
+        .vm()
+        .registry()
+        .by_name("LinkedArray")
+        .expect("LinkedArray defined");
     let (ftag, farr, fnext) = (
         t.field_index(node, "tag"),
         t.field_index(node, "array"),
@@ -90,7 +97,11 @@ pub fn build_linked_list(proc: &MotorProc, spec: LinkedListSpec) -> Handle {
 /// Count the elements of a received list (validation in the harness).
 pub fn list_length(proc: &MotorProc, head: Handle) -> usize {
     let t = proc.thread();
-    let node = proc.vm().registry().by_name("LinkedArray").expect("LinkedArray defined");
+    let node = proc
+        .vm()
+        .registry()
+        .by_name("LinkedArray")
+        .expect("LinkedArray defined");
     let fnext = t.field_index(node, "next");
     let mut n = 0;
     let mut cur = t.clone_handle(head);

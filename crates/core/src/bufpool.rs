@@ -11,6 +11,9 @@
 //! oriented operations do not need to pin memory because the Motor custom
 //! serialization mechanism provides a static memory buffer").
 
+use std::sync::{Arc, OnceLock};
+
+use motor_obs::{Metric, MetricsRegistry};
 use parking_lot::Mutex;
 
 /// A pooled buffer; return it with [`BufPool::put`].
@@ -40,6 +43,8 @@ struct Entry {
 #[derive(Default)]
 pub struct BufPool {
     stack: Mutex<Vec<Entry>>,
+    /// Hit-rate accounting sink; unattached pools go unmetered.
+    metrics: OnceLock<Arc<MetricsRegistry>>,
 }
 
 impl BufPool {
@@ -48,36 +53,65 @@ impl BufPool {
         Self::default()
     }
 
+    /// Report pool traffic into `registry` from now on (first attach wins).
+    pub fn attach_metrics(&self, registry: Arc<MetricsRegistry>) {
+        let _ = self.metrics.set(registry);
+    }
+
+    #[inline]
+    fn meter(&self, m: Metric) {
+        if let Some(r) = self.metrics.get() {
+            r.bump(m);
+        }
+    }
+
     /// Acquire a buffer of at least `capacity` bytes, reusing the most
     /// recently returned buffer that fits (stack discipline, as in the
     /// paper). `epoch` is the VM's current collection epoch.
     pub fn get(&self, capacity: usize, epoch: u64) -> PoolBuf {
+        self.meter(Metric::PoolGets);
         let mut stack = self.stack.lock();
         // Prefer the top of the stack (hot buffer).
         if let Some(pos) = stack.iter().rposition(|e| e.buf.capacity() >= capacity) {
             let mut e = stack.remove(pos);
             e.buf.clear();
             let _ = epoch;
+            drop(stack);
+            self.meter(Metric::PoolHits);
             return PoolBuf { buf: e.buf };
         }
         // Take any buffer and let it grow, or make a new one.
         if let Some(mut e) = stack.pop() {
             e.buf.clear();
             e.buf.reserve(capacity);
+            drop(stack);
+            self.meter(Metric::PoolPartialHits);
             return PoolBuf { buf: e.buf };
         }
-        PoolBuf { buf: Vec::with_capacity(capacity) }
+        drop(stack);
+        self.meter(Metric::PoolMisses);
+        PoolBuf {
+            buf: Vec::with_capacity(capacity),
+        }
     }
 
     /// Return a buffer to the stack, stamping the epoch of its last use.
     pub fn put(&self, buf: PoolBuf, epoch: u64) {
-        self.stack.lock().push(Entry { buf: buf.buf, last_used_epoch: epoch });
+        self.meter(Metric::PoolPuts);
+        self.stack.lock().push(Entry {
+            buf: buf.buf,
+            last_used_epoch: epoch,
+        });
     }
 
     /// Adopt an externally produced buffer into the pool (e.g. a
     /// serializer output vector) so its storage is reused.
     pub fn adopt(&self, buf: Vec<u8>, epoch: u64) {
-        self.stack.lock().push(Entry { buf, last_used_epoch: epoch });
+        self.meter(Metric::PoolPuts);
+        self.stack.lock().push(Entry {
+            buf,
+            last_used_epoch: epoch,
+        });
     }
 
     /// The GC hook: unallocate buffers unused since the previous
@@ -85,7 +119,15 @@ impl BufPool {
     /// buffers whose last use predates the previous epoch are dropped.
     pub fn trim_at_gc(&self, current_epoch: u64) {
         let mut stack = self.stack.lock();
+        let before = stack.len();
         stack.retain(|e| e.last_used_epoch + 1 >= current_epoch);
+        let dropped = (before - stack.len()) as u64;
+        drop(stack);
+        if dropped > 0 {
+            if let Some(r) = self.metrics.get() {
+                r.add(Metric::PoolTrimmed, dropped);
+            }
+        }
     }
 
     /// Buffers currently pooled.

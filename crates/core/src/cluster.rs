@@ -9,9 +9,11 @@
 
 use std::sync::Arc;
 
-use motor_mpc::universe::{Proc, Universe, UniverseConfig};
-use motor_mpc::Comm;
+use motor_mpc::universe::{ChannelKind, Proc, Universe, UniverseConfig};
+use motor_mpc::{Comm, Source};
+use motor_obs::{Metric, MetricsSnapshot};
 use motor_runtime::{MotorThread, TypeRegistry, Vm, VmConfig};
+use parking_lot::Mutex;
 
 use crate::bufpool::BufPool;
 use crate::error::CoreResult;
@@ -19,15 +21,108 @@ use crate::mp::Mp;
 use crate::oomp::Oomp;
 use crate::pinning::PinPolicy;
 
-/// Configuration of a Motor cluster.
-#[derive(Clone, Default)]
+/// Configuration of a Motor cluster. Build one with
+/// [`ClusterConfig::builder`] or fill the fields directly.
+#[derive(Clone)]
 pub struct ClusterConfig {
+    /// Number of ranks (VM instances) to run.
+    pub ranks: usize,
     /// Per-rank VM configuration.
     pub vm: VmConfig,
     /// Universe (transport/device) configuration.
     pub universe: UniverseConfig,
     /// Pinning policy applied by the `System.MP` bindings.
     pub policy: PinPolicy,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            ranks: 1,
+            vm: VmConfig::default(),
+            universe: UniverseConfig::default(),
+            policy: PinPolicy::default(),
+        }
+    }
+}
+
+impl ClusterConfig {
+    /// Start building a cluster configuration.
+    pub fn builder() -> ClusterConfigBuilder {
+        ClusterConfigBuilder {
+            config: ClusterConfig::default(),
+        }
+    }
+}
+
+/// Fluent builder for [`ClusterConfig`].
+#[derive(Clone, Default)]
+pub struct ClusterConfigBuilder {
+    config: ClusterConfig,
+}
+
+impl ClusterConfigBuilder {
+    /// Number of ranks to run.
+    pub fn ranks(mut self, n: usize) -> Self {
+        self.config.ranks = n;
+        self
+    }
+
+    /// Transport between ranks (shared-memory rings or loopback TCP).
+    pub fn transport(mut self, kind: ChannelKind) -> Self {
+        self.config.universe.channel = kind;
+        self
+    }
+
+    /// Pinning policy for the `System.MP` bindings.
+    pub fn policy(mut self, policy: PinPolicy) -> Self {
+        self.config.policy = policy;
+        self
+    }
+
+    /// Per-rank VM configuration.
+    pub fn vm(mut self, vm: VmConfig) -> Self {
+        self.config.vm = vm;
+        self
+    }
+
+    /// Full universe configuration (overrides [`Self::transport`] and
+    /// [`Self::eager_threshold`] if set afterwards).
+    pub fn universe(mut self, universe: UniverseConfig) -> Self {
+        self.config.universe = universe;
+        self
+    }
+
+    /// Eager/rendezvous protocol switch-over size, in bytes.
+    pub fn eager_threshold(mut self, bytes: usize) -> Self {
+        self.config.universe.device.eager_threshold = bytes;
+        self
+    }
+
+    /// Finish building.
+    pub fn build(self) -> ClusterConfig {
+        self.config
+    }
+}
+
+/// Per-rank metrics snapshots collected when a cluster run exits.
+#[derive(Debug, Clone)]
+pub struct ClusterMetrics {
+    /// One merged (transport + runtime + GC-bridge) snapshot per rank, in
+    /// rank order.
+    pub per_rank: Vec<MetricsSnapshot>,
+}
+
+impl ClusterMetrics {
+    /// Merge every rank's snapshot into one cluster-wide view (counters
+    /// add; queue peaks take the max across ranks).
+    pub fn aggregate(&self) -> MetricsSnapshot {
+        let mut out = MetricsSnapshot::empty();
+        for s in &self.per_rank {
+            out.merge(s);
+        }
+        out
+    }
 }
 
 /// One rank's Motor environment, handed to the rank body.
@@ -82,28 +177,59 @@ impl MotorProc {
     }
 
     /// The underlying universe process (dynamic spawning etc.).
-    pub fn proc_(&self) -> &Proc {
+    pub fn native(&self) -> &Proc {
         &self.proc_
+    }
+
+    /// Merged metrics for this rank: the transport-side registry (channel,
+    /// device, collectives), the runtime-side registry (safepoints,
+    /// serializer, buffer pool) and the GC counters bridged in.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        let mut snap = self.comm.device().metrics().snapshot();
+        snap.merge(&self.vm.metrics().snapshot());
+        let gc = self.vm.stats_snapshot();
+        snap.set_gc_bridge(&[
+            (Metric::GcMinorCollections, gc.minor_collections),
+            (Metric::GcFullCollections, gc.full_collections),
+            (Metric::GcObjectsPromoted, gc.objects_promoted),
+            (Metric::GcBytesPromoted, gc.bytes_promoted),
+            (Metric::GcPinnedBlockPromotions, gc.pinned_block_promotions),
+            (Metric::GcPins, gc.pins),
+            (Metric::GcUnpins, gc.unpins),
+            (Metric::GcCondPinsRegistered, gc.conditional_pins_registered),
+            (Metric::GcCondPinsHeld, gc.conditional_pins_held),
+            (Metric::GcCondPinsReleased, gc.conditional_pins_released),
+            (Metric::GcPinsAvoidedElder, gc.pins_avoided_elder),
+            (
+                Metric::GcPinsAvoidedFastBlocking,
+                gc.pins_avoided_fast_blocking,
+            ),
+            (Metric::GcObjectsSwept, gc.objects_swept),
+            (Metric::GcBytesSwept, gc.bytes_swept),
+        ]);
+        snap
     }
 }
 
-/// Run an `n`-rank Motor program. `define_types` is applied to every
-/// rank's fresh type registry before the body starts (all ranks must know
-/// the application classes, as all SPMD programs do); `body` is the rank
-/// program.
+/// Run a Motor program on `config.ranks` ranks. `define_types` is applied
+/// to every rank's fresh type registry before the body starts (all ranks
+/// must know the application classes, as all SPMD programs do); `body` is
+/// the rank program. On exit, every rank's metrics snapshot is collected
+/// and returned in rank order.
 pub fn run_cluster<D, B>(
-    n: usize,
     config: ClusterConfig,
     define_types: D,
     body: B,
-) -> CoreResult<()>
+) -> CoreResult<ClusterMetrics>
 where
     D: Fn(&mut TypeRegistry) + Send + Sync,
     B: Fn(&MotorProc) + Send + Sync,
 {
+    let n = config.ranks;
     let vm_config = config.vm.clone();
     let policy = config.policy;
-    Universe::run_with(n, config.universe.clone(), move |proc| {
+    let snaps: Mutex<Vec<(usize, MetricsSnapshot)>> = Mutex::new(Vec::with_capacity(n));
+    Universe::run_with(n, config.universe.clone(), |proc| {
         let vm = Vm::new(vm_config.clone());
         {
             let mut reg = vm.registry_mut();
@@ -111,26 +237,37 @@ where
         }
         let thread = MotorThread::attach(Arc::clone(&vm));
         let comm = proc.world().clone();
+        let pool = Arc::new(BufPool::new());
+        pool.attach_metrics(Arc::clone(vm.metrics()));
         let mp = MotorProc {
             vm,
             thread,
             comm,
-            pool: Arc::new(BufPool::new()),
+            pool,
             policy,
             proc_: proc,
         };
         body(&mp);
+        snaps.lock().push((mp.rank(), mp.metrics()));
     })?;
-    Ok(())
+    let mut per_rank = snaps.into_inner();
+    per_rank.sort_by_key(|&(r, _)| r);
+    Ok(ClusterMetrics {
+        per_rank: per_rank.into_iter().map(|(_, s)| s).collect(),
+    })
 }
 
-/// [`run_cluster`] with default configuration.
-pub fn run_cluster_default<D, B>(n: usize, define_types: D, body: B) -> CoreResult<()>
+/// [`run_cluster`] on `n` ranks with otherwise default configuration.
+pub fn run_cluster_default<D, B>(n: usize, define_types: D, body: B) -> CoreResult<ClusterMetrics>
 where
     D: Fn(&mut TypeRegistry) + Send + Sync,
     B: Fn(&MotorProc) + Send + Sync,
 {
-    run_cluster(n, ClusterConfig::default(), define_types, body)
+    run_cluster(
+        ClusterConfig::builder().ranks(n).build(),
+        define_types,
+        body,
+    )
 }
 
 /// MPI-2 dynamic process management at the Motor level (paper §7: "we
@@ -155,10 +292,10 @@ where
 {
     let vm_config = config.vm.clone();
     let policy = config.policy;
-    let inter = proc.proc_.universe().spawn_children(
-        proc.comm(),
-        count,
-        move |child: Proc| {
+    let inter = proc
+        .proc_
+        .universe()
+        .spawn_children(proc.comm(), count, move |child: Proc| {
             let vm = Vm::new(vm_config.clone());
             {
                 let mut reg = vm.registry_mut();
@@ -166,17 +303,18 @@ where
             }
             let thread = MotorThread::attach(Arc::clone(&vm));
             let comm = child.world().clone();
+            let pool = Arc::new(BufPool::new());
+            pool.attach_metrics(Arc::clone(vm.metrics()));
             let mp = MotorProc {
                 vm,
                 thread,
                 comm,
-                pool: Arc::new(BufPool::new()),
+                pool,
                 policy,
                 proc_: child,
             };
             entry(&mp);
-        },
-    )?;
+        })?;
     Ok(inter)
 }
 
@@ -205,18 +343,18 @@ impl MotorProc {
     }
 
     /// Receive an object tree from a remote-group rank of an
-    /// intercommunicator (`remote_rank` may be [`crate::ANY_SOURCE`]).
+    /// intercommunicator (`remote_rank` may be [`Source::Any`]).
     pub fn orecv_inter(
         &self,
         inter: &motor_mpc::universe::InterComm,
-        remote_rank: i32,
+        remote_rank: impl Into<Source>,
         tag: i32,
     ) -> CoreResult<(motor_runtime::Handle, usize)> {
         let mut size = [0u8; 8];
         let st = inter.recv_bytes(&mut size, remote_rank, tag)?;
         let len = u64::from_le_bytes(size) as usize;
         let mut data = vec![0u8; len];
-        inter.recv_bytes(&mut data, st.source as i32, st.tag)?;
+        inter.recv_bytes(&mut data, st.source as usize, st.tag)?;
         let ser = crate::serial::Serializer::new(&self.thread);
         let root = ser.deserialize(&data)?;
         Ok((root, st.source as usize))

@@ -72,8 +72,14 @@ mod tests {
     #[test]
     fn display_messages() {
         assert!(CoreError::NullBuffer.to_string().contains("null"));
-        assert!(CoreError::ObjectModelIntegrity("Node".into()).to_string().contains("Node"));
-        let e = CoreError::RangeOutOfBounds { offset: 3, count: 9, len: 10 };
+        assert!(CoreError::ObjectModelIntegrity("Node".into())
+            .to_string()
+            .contains("Node"));
+        let e = CoreError::RangeOutOfBounds {
+            offset: 3,
+            count: 9,
+            len: 10,
+        };
         assert!(e.to_string().contains("3+9"));
         assert!(CoreError::UnknownType("X".into()).to_string().contains("X"));
     }

@@ -59,9 +59,7 @@ impl<'t> Fcall<'t> {
         let reg = vm.registry();
         let mt = reg.table(class);
         match &mt.kind {
-            TypeKind::Class if mt.has_refs => {
-                Err(CoreError::ObjectModelIntegrity(mt.name.clone()))
-            }
+            TypeKind::Class if mt.has_refs => Err(CoreError::ObjectModelIntegrity(mt.name.clone())),
             TypeKind::ObjArray(_) => Err(CoreError::ObjectModelIntegrity(mt.name.clone())),
             _ => Ok(class),
         }
@@ -132,7 +130,9 @@ mod tests {
         };
         let bad = {
             let mut reg = vm.registry_mut();
-            reg.define_class("HasRef").transportable("data", arr).build()
+            reg.define_class("HasRef")
+                .transportable("data", arr)
+                .build()
         };
         let good = {
             let mut reg = vm.registry_mut();

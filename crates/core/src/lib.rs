@@ -57,9 +57,13 @@ pub mod oomp;
 pub mod pinning;
 pub mod serial;
 
-pub use cluster::{run_cluster, run_cluster_default, ClusterConfig, MotorProc};
+pub use cluster::{
+    run_cluster, run_cluster_default, ClusterConfig, ClusterConfigBuilder, ClusterMetrics,
+    MotorProc,
+};
 pub use error::{CoreError, CoreResult};
-pub use mp::{Mp, MpRequest, MpStatus, ANY_SOURCE, ANY_TAG};
+pub use motor_mpc::Source;
+pub use mp::{Mp, MpRequest, MpStatus, ANY_TAG};
 pub use oomp::Oomp;
 pub use pinning::PinPolicy;
 pub use serial::{AttrLookup, SerializeStats, Serializer, VisitedStrategy};

@@ -18,15 +18,13 @@
 //! transfers zero-copy out of / into the object's instance data, and
 //! applies the Motor pinning policy of [`crate::pinning`].
 
-use motor_mpc::{Comm, DType, ReduceOp, Request};
+use motor_mpc::{Comm, DType, ReduceOp, Request, Source};
 use motor_runtime::{ElemKind, Handle, MotorThread};
 
 use crate::error::{CoreError, CoreResult};
 use crate::fcall::Fcall;
 use crate::pinning::{self, PinPolicy};
 
-/// Re-export of the wildcard source rank.
-pub const ANY_SOURCE: i32 = motor_mpc::ANY_SOURCE;
 /// Re-export of the wildcard tag.
 pub const ANY_TAG: i32 = motor_mpc::ANY_TAG;
 
@@ -43,7 +41,11 @@ pub struct MpStatus {
 
 impl From<motor_mpc::Status> for MpStatus {
     fn from(s: motor_mpc::Status) -> Self {
-        MpStatus { source: s.source as usize, tag: s.tag, bytes: s.count }
+        MpStatus {
+            source: s.source as usize,
+            tag: s.tag,
+            bytes: s.count,
+        }
     }
 }
 
@@ -106,7 +108,11 @@ impl<'t> Mp<'t> {
 
     /// Bind with an explicit pinning policy (ablations and baselines).
     pub fn with_policy(thread: &'t MotorThread, comm: Comm, policy: PinPolicy) -> Mp<'t> {
-        Mp { thread, comm, policy }
+        Mp {
+            thread,
+            comm,
+            policy,
+        }
     }
 
     /// This rank within the communicator.
@@ -223,8 +229,9 @@ impl<'t> Mp<'t> {
         Ok(())
     }
 
-    /// Blocking receive into a whole object.
-    pub fn recv(&self, obj: Handle, src: i32, tag: i32) -> CoreResult<MpStatus> {
+    /// Blocking receive into a whole object. `src` may be
+    /// [`Source::Any`].
+    pub fn recv(&self, obj: Handle, src: impl Into<Source>, tag: i32) -> CoreResult<MpStatus> {
         let fc = Fcall::enter(self.thread);
         let (ptr, len) = self.window(&fc, obj)?;
         // SAFETY: as in `send`.
@@ -238,7 +245,7 @@ impl<'t> Mp<'t> {
         obj: Handle,
         offset: usize,
         count: usize,
-        src: i32,
+        src: impl Into<Source>,
         tag: i32,
     ) -> CoreResult<MpStatus> {
         let fc = Fcall::enter(self.thread);
@@ -261,17 +268,25 @@ impl<'t> Mp<'t> {
         // stable for the transport's lifetime; no poll intervenes.
         let req = unsafe { self.comm.isend_ptr(ptr, len, dest, tag)? };
         let hard_pin = pinning::pin_for_nonblocking(self.thread, self.policy, obj, &req);
-        Ok(MpRequest { inner: req, buf: obj, hard_pin })
+        Ok(MpRequest {
+            inner: req,
+            buf: obj,
+            hard_pin,
+        })
     }
 
     /// Immediate receive.
-    pub fn irecv(&self, obj: Handle, src: i32, tag: i32) -> CoreResult<MpRequest> {
+    pub fn irecv(&self, obj: Handle, src: impl Into<Source>, tag: i32) -> CoreResult<MpRequest> {
         let fc = Fcall::enter(self.thread);
         let (ptr, len) = self.window(&fc, obj)?;
         // SAFETY: as in `isend`.
         let req = unsafe { self.comm.irecv_ptr(ptr, len, src, tag)? };
         let hard_pin = pinning::pin_for_nonblocking(self.thread, self.policy, obj, &req);
-        Ok(MpRequest { inner: req, buf: obj, hard_pin })
+        Ok(MpRequest {
+            inner: req,
+            buf: obj,
+            hard_pin,
+        })
     }
 
     /// Wait for an immediate operation, polling the collector while
@@ -300,8 +315,9 @@ impl<'t> Mp<'t> {
     }
 
     /// Blocking probe.
-    pub fn probe(&self, src: i32, tag: i32) -> CoreResult<MpStatus> {
+    pub fn probe(&self, src: impl Into<Source>, tag: i32) -> CoreResult<MpStatus> {
         let fc = Fcall::enter(self.thread);
+        let src = src.into();
         loop {
             fc.poll();
             if let Some(s) = self.comm.iprobe(src, tag)? {
@@ -311,7 +327,7 @@ impl<'t> Mp<'t> {
     }
 
     /// Non-blocking probe.
-    pub fn iprobe(&self, src: i32, tag: i32) -> CoreResult<Option<MpStatus>> {
+    pub fn iprobe(&self, src: impl Into<Source>, tag: i32) -> CoreResult<Option<MpStatus>> {
         let _fc = Fcall::enter(self.thread);
         Ok(self.comm.iprobe(src, tag)?.map(Into::into))
     }
@@ -418,7 +434,9 @@ impl<'t> Mp<'t> {
         let (sptr, slen) = self.window(&fc, send)?;
         let (rptr, rlen) = self.window(&fc, recv)?;
         if slen != rlen {
-            return Err(CoreError::Serialization("allreduce buffer length mismatch".into()));
+            return Err(CoreError::Serialization(
+                "allreduce buffer length mismatch".into(),
+            ));
         }
         let spin = self.pin_for_collective(send);
         let rpin = self.pin_for_collective(recv);

@@ -17,7 +17,8 @@
 use std::cell::Cell;
 use std::sync::Arc;
 
-use motor_mpc::Comm;
+use motor_mpc::{Comm, Source};
+use motor_obs::{Hist, Metric, MetricsRegistry};
 use motor_runtime::{Handle, MotorThread};
 
 use crate::bufpool::BufPool;
@@ -62,7 +63,13 @@ impl<'t> Oomp<'t> {
     }
 
     fn serializer(&self) -> Serializer<'t> {
-        Serializer::new(self.thread).with_strategy(self.strategy).with_attr_lookup(self.attrs)
+        Serializer::new(self.thread)
+            .with_strategy(self.strategy)
+            .with_attr_lookup(self.attrs)
+    }
+
+    fn metrics(&self) -> &MetricsRegistry {
+        self.thread.vm().metrics()
     }
 
     /// This rank.
@@ -99,14 +106,16 @@ impl<'t> Oomp<'t> {
 
     /// Receive a size header, then the data into a pooled buffer. Returns
     /// the buffer and the sender's status.
-    fn recv_sized(&self, src: i32, tag: i32) -> CoreResult<(crate::bufpool::PoolBuf, MpStatus)> {
+    fn recv_sized(&self, src: Source, tag: i32) -> CoreResult<(crate::bufpool::PoolBuf, MpStatus)> {
         let mut size = [0u8; 8];
         let st = self.comm.recv_bytes(&mut size, src, tag)?;
         let len = u64::from_le_bytes(size) as usize;
         let mut buf = self.pool.get(len, self.current_epoch());
         buf.buf_mut().resize(len, 0);
         // Pair with the same sender to keep size/data streams aligned.
-        let st2 = self.comm.recv_bytes(buf.buf_mut(), st.source as i32, st.tag)?;
+        let st2 = self
+            .comm
+            .recv_bytes(buf.buf_mut(), st.source as usize, st.tag)?;
         debug_assert_eq!(st2.count, len);
         Ok((buf, st.into()))
     }
@@ -119,7 +128,10 @@ impl<'t> Oomp<'t> {
     pub fn osend(&self, obj: Handle, dest: usize, tag: i32) -> CoreResult<()> {
         let _fc = Fcall::enter(self.thread);
         self.maintain_pool();
+        self.metrics().bump(Metric::OompOsends);
         let (bytes, _) = self.serializer().serialize(obj)?;
+        self.metrics()
+            .record(Hist::SerializedGraphBytes, bytes.len() as u64);
         self.send_sized(&bytes, dest, tag)?;
         // Recycle the serialization buffer through the pool.
         self.pool.adopt(bytes, self.current_epoch());
@@ -138,7 +150,12 @@ impl<'t> Oomp<'t> {
     ) -> CoreResult<()> {
         let _fc = Fcall::enter(self.thread);
         self.maintain_pool();
-        let (bytes, _) = self.serializer().serialize_array_range(obj, offset, count)?;
+        self.metrics().bump(Metric::OompOsends);
+        let (bytes, _) = self
+            .serializer()
+            .serialize_array_range(obj, offset, count)?;
+        self.metrics()
+            .record(Hist::SerializedGraphBytes, bytes.len() as u64);
         self.send_sized(&bytes, dest, tag)?;
         self.pool.adopt(bytes, self.current_epoch());
         Ok(())
@@ -146,10 +163,11 @@ impl<'t> Oomp<'t> {
 
     /// Receive an object (tree) — the `ORecv` of Figure 4. Returns the
     /// reconstructed root and the message status.
-    pub fn orecv(&self, src: i32, tag: i32) -> CoreResult<(Handle, MpStatus)> {
+    pub fn orecv(&self, src: impl Into<Source>, tag: i32) -> CoreResult<(Handle, MpStatus)> {
         let _fc = Fcall::enter(self.thread);
         self.maintain_pool();
-        let (buf, st) = self.recv_sized(src, tag)?;
+        self.metrics().bump(Metric::OompOrecvs);
+        let (buf, st) = self.recv_sized(src.into(), tag)?;
         let root = self.serializer().deserialize(buf.as_slice())?;
         self.pool.put(buf, self.current_epoch());
         Ok((root, st))
@@ -164,6 +182,7 @@ impl<'t> Oomp<'t> {
     pub fn obcast(&self, obj: Option<Handle>, root: usize) -> CoreResult<Handle> {
         let _fc = Fcall::enter(self.thread);
         self.maintain_pool();
+        self.metrics().bump(Metric::OompCollectives);
         if self.comm.rank() == root {
             let obj = obj.ok_or(CoreError::NullBuffer)?;
             let (bytes, _) = self.serializer().serialize(obj)?;
@@ -192,6 +211,7 @@ impl<'t> Oomp<'t> {
     pub fn oscatter(&self, arr: Option<Handle>, root: usize) -> CoreResult<Handle> {
         let _fc = Fcall::enter(self.thread);
         self.maintain_pool();
+        self.metrics().bump(Metric::OompCollectives);
         let n = self.comm.size();
         let tag = 2_000;
         if self.comm.rank() == root {
@@ -220,7 +240,7 @@ impl<'t> Oomp<'t> {
             }
             Ok(own.expect("root part"))
         } else {
-            let (buf, _) = self.recv_sized(root as i32, tag)?;
+            let (buf, _) = self.recv_sized(Source::Rank(root), tag)?;
             let h = self.serializer().deserialize(buf.as_slice())?;
             self.pool.put(buf, self.current_epoch());
             Ok(h)
@@ -232,6 +252,7 @@ impl<'t> Oomp<'t> {
     pub fn ogather(&self, sub: Handle, root: usize) -> CoreResult<Option<Handle>> {
         let _fc = Fcall::enter(self.thread);
         self.maintain_pool();
+        self.metrics().bump(Metric::OompCollectives);
         let n = self.comm.size();
         let tag = 2_001;
         let ser = self.serializer();
@@ -246,7 +267,7 @@ impl<'t> Oomp<'t> {
                 if r == root {
                     parts.push(ser.deserialize(&own_bytes)?);
                 } else {
-                    let (buf, _) = self.recv_sized(r as i32, tag)?;
+                    let (buf, _) = self.recv_sized(Source::Rank(r), tag)?;
                     parts.push(ser.deserialize(buf.as_slice())?);
                     self.pool.put(buf, self.current_epoch());
                 }

@@ -124,7 +124,10 @@ mod tests {
 
     fn setup() -> (Arc<Vm>, MotorThread) {
         let vm = Vm::new(VmConfig {
-            heap: HeapConfig { young_bytes: 8192, ..Default::default() },
+            heap: HeapConfig {
+                young_bytes: 8192,
+                ..Default::default()
+            },
         });
         let t = MotorThread::attach(Arc::clone(&vm));
         (vm, t)

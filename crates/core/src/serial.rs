@@ -53,6 +53,7 @@
 
 use std::collections::HashMap;
 
+use motor_obs::Metric;
 use motor_runtime::object::ObjectRef;
 use motor_runtime::{ClassId, ElemKind, FieldType, Handle, MotorThread, TypeKind};
 
@@ -284,7 +285,11 @@ impl<'t> Serializer<'t> {
     /// Create a serializer with Motor's defaults (linear visited list,
     /// FieldDesc-bit attribute lookup).
     pub fn new(thread: &'t MotorThread) -> Serializer<'t> {
-        Serializer { thread, strategy: VisitedStrategy::Linear, attrs: AttrLookup::FieldDescBit }
+        Serializer {
+            thread,
+            strategy: VisitedStrategy::Linear,
+            attrs: AttrLookup::FieldDescBit,
+        }
     }
 
     /// Override the visited-structure strategy.
@@ -306,7 +311,9 @@ impl<'t> Serializer<'t> {
                 // The metadata path: find the field by name (string-compare
                 // scan, as reflection over type metadata would).
                 let name = mt.fields[field_idx].name.clone();
-                mt.field_by_name(&name).map(|(_, f)| f.is_transportable()).unwrap_or(false)
+                mt.field_by_name(&name)
+                    .map(|(_, f)| f.is_transportable())
+                    .unwrap_or(false)
             }
         }
     }
@@ -351,7 +358,13 @@ impl<'t> Serializer<'t> {
                     elems.push(unsafe { *obj.obj_array_slot(i) });
                 }
                 drop(reg);
-                self.serialize_addrs(&[], Some(RangeRoot::Objects { elem: elem.0, elems }))
+                self.serialize_addrs(
+                    &[],
+                    Some(RangeRoot::Objects {
+                        elem: elem.0,
+                        elems,
+                    }),
+                )
             }
             TypeKind::PrimArray(k) => {
                 let mut data = vec![0u8; count * k.size()];
@@ -367,7 +380,9 @@ impl<'t> Serializer<'t> {
                 drop(reg);
                 self.serialize_addrs(&[], Some(RangeRoot::Prims { kind: k, data }))
             }
-            _ => Err(CoreError::Serialization("range serialization requires an array".into())),
+            _ => Err(CoreError::Serialization(
+                "range serialization requires an array".into(),
+            )),
         }
     }
 
@@ -455,10 +470,8 @@ impl<'t> Serializer<'t> {
                                 // SAFETY: method-table offsets.
                                 unsafe {
                                     let p = obj.payload_ptr().add(f.offset as usize);
-                                    obj_data.extend_from_slice(std::slice::from_raw_parts(
-                                        p,
-                                        k.size(),
-                                    ));
+                                    obj_data
+                                        .extend_from_slice(std::slice::from_raw_parts(p, k.size()));
                                 }
                             }
                             FieldType::Ref(_) => {
@@ -523,12 +536,20 @@ impl<'t> Serializer<'t> {
             visited_probes: st.probes,
             bytes: out.len(),
         };
+        let reg = self.thread.vm().metrics();
+        reg.bump(Metric::SerOps);
+        reg.add(Metric::SerObjects, stats.objects as u64);
+        reg.add(Metric::SerBytes, stats.bytes as u64);
+        reg.add(Metric::SerVisitedProbes, stats.visited_probes);
         Ok((out, stats))
     }
 
     /// Reconstruct the object graph; returns a handle to the root object
     /// (record 0). Every intermediate handle is released.
     pub fn deserialize(&self, data: &[u8]) -> CoreResult<Handle> {
+        let reg = self.thread.vm().metrics();
+        reg.bump(Metric::DeserOps);
+        reg.add(Metric::DeserBytes, data.len() as u64);
         let mut r = Reader::new(data);
         let type_count = r.u32()? as usize;
         let vm = self.thread.vm();
@@ -591,7 +612,9 @@ impl<'t> Serializer<'t> {
                 }
                 TT_OBJ_ARRAY => {
                     let elem_idx = r.u32()? as usize;
-                    types.push(LocalType::ObjArray { elem_type: elem_idx });
+                    types.push(LocalType::ObjArray {
+                        elem_type: elem_idx,
+                    });
                 }
                 TT_MD_ARRAY => {
                     let k = ElemKind::from_tag(r.u8()?)
@@ -615,7 +638,9 @@ impl<'t> Serializer<'t> {
                             .into(),
                     ))
                 }
-                None => Err(CoreError::Serialization(format!("bad elem type index {idx}"))),
+                None => Err(CoreError::Serialization(format!(
+                    "bad elem type index {idx}"
+                ))),
             }
         };
 
@@ -625,10 +650,24 @@ impl<'t> Serializer<'t> {
             return Err(CoreError::Serialization("empty representation".into()));
         }
         enum Parsed<'a> {
-            Class { t: usize, prims: Vec<(usize, &'a [u8])>, refs: Vec<(usize, u32)> },
-            PrimArray { t: usize, data: &'a [u8] },
-            ObjArray { t: usize, elems: Vec<u32> },
-            MdArray { t: usize, dims: Vec<u32>, data: &'a [u8] },
+            Class {
+                t: usize,
+                prims: Vec<(usize, &'a [u8])>,
+                refs: Vec<(usize, u32)>,
+            },
+            PrimArray {
+                t: usize,
+                data: &'a [u8],
+            },
+            ObjArray {
+                t: usize,
+                elems: Vec<u32>,
+            },
+            MdArray {
+                t: usize,
+                dims: Vec<u32>,
+                data: &'a [u8],
+            },
         }
         let mut parsed: Vec<Parsed> = Vec::with_capacity(object_count);
         for _ in 0..object_count {
@@ -652,7 +691,10 @@ impl<'t> Serializer<'t> {
                 }
                 Some(LocalType::PrimArray(k)) => {
                     let len = r.u32()? as usize;
-                    parsed.push(Parsed::PrimArray { t, data: r.take(len * k.size())? });
+                    parsed.push(Parsed::PrimArray {
+                        t,
+                        data: r.take(len * k.size())?,
+                    });
                 }
                 Some(LocalType::ObjArray { .. }) => {
                     let len = r.u32()? as usize;
@@ -672,7 +714,11 @@ impl<'t> Serializer<'t> {
                         dims.push(r.u32()?);
                     }
                     let count: usize = dims.iter().map(|&d| d as usize).product();
-                    parsed.push(Parsed::MdArray { t, dims, data: r.take(count * elem.size())? });
+                    parsed.push(Parsed::MdArray {
+                        t,
+                        dims,
+                        data: r.take(count * elem.size())?,
+                    });
                 }
                 None => return Err(CoreError::Serialization(format!("bad type index {t}"))),
             }
@@ -761,10 +807,18 @@ impl<'t> Serializer<'t> {
 }
 
 enum LocalType {
-    Class { class: ClassId, fields: Vec<Option<ElemKind>> },
+    Class {
+        class: ClassId,
+        fields: Vec<Option<ElemKind>>,
+    },
     PrimArray(ElemKind),
-    ObjArray { elem_type: usize },
-    MdArray { elem: ElemKind, rank: u8 },
+    ObjArray {
+        elem_type: usize,
+    },
+    MdArray {
+        elem: ElemKind,
+        rank: u8,
+    },
 }
 
 enum RangeRoot {
@@ -851,7 +905,9 @@ mod tests {
             let node = t.alloc_instance(f.node);
             t.set_prim::<i32>(node, ftag, i as i32);
             let arr = t.alloc_prim_array(ElemKind::I32, payload_per_node);
-            let data: Vec<i32> = (0..payload_per_node).map(|j| (i * 1000 + j) as i32).collect();
+            let data: Vec<i32> = (0..payload_per_node)
+                .map(|j| (i * 1000 + j) as i32)
+                .collect();
             t.prim_write(arr, 0, &data);
             t.set_ref(node, farr, arr);
             t.set_ref(node, fnext, head);
@@ -904,8 +960,7 @@ mod tests {
     fn non_transportable_refs_become_null() {
         let f = fixture();
         let t = MotorThread::attach(Arc::clone(&f.vm));
-        let (fnext2, ftag) =
-            (t.field_index(f.node, "next2"), t.field_index(f.node, "tag"));
+        let (fnext2, ftag) = (t.field_index(f.node, "next2"), t.field_index(f.node, "tag"));
         let a = t.alloc_instance(f.node);
         let b = t.alloc_instance(f.node);
         t.set_prim::<i32>(a, ftag, 1);
@@ -922,8 +977,10 @@ mod tests {
     fn shared_references_are_preserved() {
         let f = fixture();
         let t = MotorThread::attach(Arc::clone(&f.vm));
-        let (farr, fnext) =
-            (t.field_index(f.node, "array"), t.field_index(f.node, "next"));
+        let (farr, fnext) = (
+            t.field_index(f.node, "array"),
+            t.field_index(f.node, "next"),
+        );
         // Two nodes sharing one array.
         let shared = t.alloc_prim_array(ElemKind::I32, 4);
         t.prim_write(shared, 0, &[9i32, 8, 7, 6]);
@@ -1087,7 +1144,9 @@ mod tests {
         let other = Vm::new(VmConfig::default());
         let t2 = MotorThread::attach(other);
         let ser2 = Serializer::new(&t2);
-        assert!(matches!(ser2.deserialize(&buf), Err(CoreError::UnknownType(n)) if n == "LinkedArray"));
+        assert!(
+            matches!(ser2.deserialize(&buf), Err(CoreError::UnknownType(n)) if n == "LinkedArray")
+        );
     }
 
     #[test]
@@ -1127,7 +1186,11 @@ mod tests {
                 .build();
             (node, arr)
         };
-        let f = Fixture { vm: Arc::clone(&vm), node, arr_i32: ClassId(0) };
+        let f = Fixture {
+            vm: Arc::clone(&vm),
+            node,
+            arr_i32: ClassId(0),
+        };
         let t = MotorThread::attach(Arc::clone(&vm));
         let head = build_list(&t, &f, 100, 16);
         let ser = Serializer::new(&t);

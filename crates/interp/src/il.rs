@@ -153,7 +153,10 @@ impl Module {
 
     /// Find a function by name.
     pub fn find(&self, name: &str) -> Option<u16> {
-        self.functions.iter().position(|f| f.name == name).map(|i| i as u16)
+        self.functions
+            .iter()
+            .position(|f| f.name == name)
+            .map(|i| i as u16)
     }
 }
 
@@ -267,8 +270,14 @@ mod tests {
         f.op(Op::PushI(0)).op(Op::Store(1));
         f.bind(top);
         f.op(Op::Load(0)).br_false(done);
-        f.op(Op::Load(1)).op(Op::Load(0)).op(Op::Add).op(Op::Store(1));
-        f.op(Op::Load(0)).op(Op::PushI(1)).op(Op::Sub).op(Op::Store(0));
+        f.op(Op::Load(1))
+            .op(Op::Load(0))
+            .op(Op::Add)
+            .op(Op::Store(1));
+        f.op(Op::Load(0))
+            .op(Op::PushI(1))
+            .op(Op::Sub)
+            .op(Op::Store(0));
         f.br(top);
         f.bind(done);
         f.op(Op::Load(1)).op(Op::Ret);

@@ -111,9 +111,17 @@ impl<'t, 'm> Interp<'t, 'm> {
     /// void functions).
     pub fn call(&self, idx: u16, args: &[Value]) -> Result<Option<Value>, TrapKind> {
         self.thread.poll(); // call-site safepoint
-        let f: &Function =
-            self.module.functions.get(idx as usize).ok_or(TrapKind::UnknownFunction(idx))?;
-        assert_eq!(args.len(), f.argc as usize, "arity mismatch calling {}", f.name);
+        let f: &Function = self
+            .module
+            .functions
+            .get(idx as usize)
+            .ok_or(TrapKind::UnknownFunction(idx))?;
+        assert_eq!(
+            args.len(),
+            f.argc as usize,
+            "arity mismatch calling {}",
+            f.name
+        );
         let mut locals: Vec<Value> = Vec::with_capacity(f.locals as usize);
         locals.extend_from_slice(args);
         locals.resize(f.locals as usize, Value::I(0));
@@ -602,7 +610,10 @@ mod tests {
 
     fn vm_small() -> Arc<Vm> {
         Vm::new(VmConfig {
-            heap: HeapConfig { young_bytes: 8 * 1024, ..Default::default() },
+            heap: HeapConfig {
+                young_bytes: 8 * 1024,
+                ..Default::default()
+            },
         })
     }
 
@@ -614,9 +625,18 @@ mod tests {
         let done = f.label();
         f.op(Op::PushI(0)).op(Op::Store(1));
         f.bind(top);
-        f.op(Op::Load(0)).op(Op::PushI(0)).op(Op::CmpLe).br_true(done);
-        f.op(Op::Load(1)).op(Op::Load(0)).op(Op::Add).op(Op::Store(1));
-        f.op(Op::Load(0)).op(Op::PushI(1)).op(Op::Sub).op(Op::Store(0));
+        f.op(Op::Load(0))
+            .op(Op::PushI(0))
+            .op(Op::CmpLe)
+            .br_true(done);
+        f.op(Op::Load(1))
+            .op(Op::Load(0))
+            .op(Op::Add)
+            .op(Op::Store(1));
+        f.op(Op::Load(0))
+            .op(Op::PushI(1))
+            .op(Op::Sub)
+            .op(Op::Store(0));
         f.br(top);
         f.bind(done);
         f.op(Op::Load(1)).op(Op::Ret);
@@ -635,7 +655,10 @@ mod tests {
         let mut m = Module::new();
         let mut f = FnBuilder::new("fact", 1, 1, true);
         let rec = f.label();
-        f.op(Op::Load(0)).op(Op::PushI(1)).op(Op::CmpLe).br_false(rec);
+        f.op(Op::Load(0))
+            .op(Op::PushI(1))
+            .op(Op::CmpLe)
+            .br_false(rec);
         f.op(Op::PushI(1)).op(Op::Ret);
         f.bind(rec);
         f.op(Op::Load(0));
@@ -647,7 +670,10 @@ mod tests {
         let vm = vm_small();
         let t = motor_runtime::MotorThread::attach(vm);
         let i = Interp::new(&t, &m);
-        assert_eq!(i.call(0, &[Value::I(10)]).unwrap(), Some(Value::I(3_628_800)));
+        assert_eq!(
+            i.call(0, &[Value::I(10)]).unwrap(),
+            Some(Value::I(3_628_800))
+        );
     }
 
     #[test]
@@ -660,7 +686,10 @@ mod tests {
         let vm = vm_small();
         let t = motor_runtime::MotorThread::attach(vm);
         let i = Interp::new(&t, &m);
-        assert_eq!(i.call(idx, &[Value::F(3.0), Value::F(4.0)]).unwrap(), Some(Value::F(3.5)));
+        assert_eq!(
+            i.call(idx, &[Value::F(3.0), Value::F(4.0)]).unwrap(),
+            Some(Value::F(3.5))
+        );
     }
 
     #[test]
@@ -672,7 +701,10 @@ mod tests {
         let vm = vm_small();
         let t = motor_runtime::MotorThread::attach(vm);
         let i = Interp::new(&t, &m);
-        assert_eq!(i.call(idx, &[Value::I(1), Value::I(0)]), Err(TrapKind::DivideByZero));
+        assert_eq!(
+            i.call(idx, &[Value::I(1), Value::I(0)]),
+            Err(TrapKind::DivideByZero)
+        );
     }
 
     #[test]
@@ -707,21 +739,46 @@ mod tests {
         let done = f.label();
         let top2 = f.label();
         let done2 = f.label();
-        f.op(Op::Load(0)).op(Op::NewArr(ElemKind::I32)).op(Op::Store(1));
+        f.op(Op::Load(0))
+            .op(Op::NewArr(ElemKind::I32))
+            .op(Op::Store(1));
         f.op(Op::PushI(0)).op(Op::Store(2));
         f.bind(top);
-        f.op(Op::Load(2)).op(Op::Load(0)).op(Op::CmpLt).br_false(done);
-        f.op(Op::Load(1)).op(Op::Load(2)).op(Op::Load(2)).op(Op::Load(2)).op(Op::Mul).op(Op::StElemI);
-        f.op(Op::Load(2)).op(Op::PushI(1)).op(Op::Add).op(Op::Store(2));
+        f.op(Op::Load(2))
+            .op(Op::Load(0))
+            .op(Op::CmpLt)
+            .br_false(done);
+        f.op(Op::Load(1))
+            .op(Op::Load(2))
+            .op(Op::Load(2))
+            .op(Op::Load(2))
+            .op(Op::Mul)
+            .op(Op::StElemI);
+        f.op(Op::Load(2))
+            .op(Op::PushI(1))
+            .op(Op::Add)
+            .op(Op::Store(2));
         f.br(top);
         f.bind(done);
         // Sum phase: reuse local 0 as accumulator.
         f.op(Op::PushI(0)).op(Op::Store(0));
         f.op(Op::PushI(0)).op(Op::Store(2));
         f.bind(top2);
-        f.op(Op::Load(2)).op(Op::Load(1)).op(Op::ArrLen).op(Op::CmpLt).br_false(done2);
-        f.op(Op::Load(0)).op(Op::Load(1)).op(Op::Load(2)).op(Op::LdElemI).op(Op::Add).op(Op::Store(0));
-        f.op(Op::Load(2)).op(Op::PushI(1)).op(Op::Add).op(Op::Store(2));
+        f.op(Op::Load(2))
+            .op(Op::Load(1))
+            .op(Op::ArrLen)
+            .op(Op::CmpLt)
+            .br_false(done2);
+        f.op(Op::Load(0))
+            .op(Op::Load(1))
+            .op(Op::Load(2))
+            .op(Op::LdElemI)
+            .op(Op::Add)
+            .op(Op::Store(0));
+        f.op(Op::Load(2))
+            .op(Op::PushI(1))
+            .op(Op::Add)
+            .op(Op::Store(2));
         f.br(top2);
         f.bind(done2);
         f.op(Op::Load(0)).op(Op::Ret);
@@ -734,8 +791,13 @@ mod tests {
         assert_eq!(i.call(idx, &[Value::I(5)]).unwrap(), Some(Value::I(30)));
         // Out-of-range traps.
         let mut g = FnBuilder::new("oob", 0, 1, true);
-        g.op(Op::PushI(2)).op(Op::NewArr(ElemKind::I32)).op(Op::Store(0));
-        g.op(Op::Load(0)).op(Op::PushI(5)).op(Op::LdElemI).op(Op::Ret);
+        g.op(Op::PushI(2))
+            .op(Op::NewArr(ElemKind::I32))
+            .op(Op::Store(0));
+        g.op(Op::Load(0))
+            .op(Op::PushI(5))
+            .op(Op::LdElemI)
+            .op(Op::Ret);
         let gi = m.add(g.build());
         let i = Interp::new(&t, &m);
         assert_eq!(i.call(gi, &[]), Err(TrapKind::IndexOutOfRange));
@@ -766,20 +828,32 @@ mod tests {
         f.op(Op::PushNull).op(Op::Store(1)); // head
         f.op(Op::PushI(0)).op(Op::Store(2)); // i
         f.bind(top);
-        f.op(Op::Load(2)).op(Op::Load(0)).op(Op::CmpLt).br_false(done);
+        f.op(Op::Load(2))
+            .op(Op::Load(0))
+            .op(Op::CmpLt)
+            .br_false(done);
         f.op(Op::New(cls)).op(Op::Store(3));
         f.op(Op::Load(3)).op(Op::Load(2)).op(Op::StFldI(0));
         f.op(Op::Load(3)).op(Op::Load(1)).op(Op::StFldR(1));
         f.op(Op::Load(3)).op(Op::Store(1));
-        f.op(Op::Load(2)).op(Op::PushI(1)).op(Op::Add).op(Op::Store(2));
+        f.op(Op::Load(2))
+            .op(Op::PushI(1))
+            .op(Op::Add)
+            .op(Op::Store(2));
         f.br(top);
         f.bind(done);
         // count
         f.op(Op::PushI(0)).op(Op::Store(2));
         f.bind(count_top);
-        f.op(Op::Load(1)).op(Op::PushNull).op(Op::CmpEq).br_true(count_done);
+        f.op(Op::Load(1))
+            .op(Op::PushNull)
+            .op(Op::CmpEq)
+            .br_true(count_done);
         f.op(Op::Load(1)).op(Op::LdFldR(1)).op(Op::Store(1));
-        f.op(Op::Load(2)).op(Op::PushI(1)).op(Op::Add).op(Op::Store(2));
+        f.op(Op::Load(2))
+            .op(Op::PushI(1))
+            .op(Op::Add)
+            .op(Op::Store(2));
         f.br(count_top);
         f.bind(count_done);
         f.op(Op::Load(2)).op(Op::Ret);
@@ -798,15 +872,29 @@ mod tests {
     #[test]
     fn object_arrays_and_null_elements() {
         let vm = vm_small();
-        let cls = vm.registry_mut().define_class("Box").prim("v", ElemKind::I32).build();
+        let cls = vm
+            .registry_mut()
+            .define_class("Box")
+            .prim("v", ElemKind::I32)
+            .build();
         // a = new Box[3]; a[1] = new Box{v=42}; return a[1].v + (a[0]==null)
         let mut f = FnBuilder::new("g", 0, 2, true);
         f.op(Op::PushI(3)).op(Op::NewObjArr(cls)).op(Op::Store(0));
         f.op(Op::New(cls)).op(Op::Store(1));
         f.op(Op::Load(1)).op(Op::PushI(42)).op(Op::StFldI(0));
-        f.op(Op::Load(0)).op(Op::PushI(1)).op(Op::Load(1)).op(Op::StElemR);
-        f.op(Op::Load(0)).op(Op::PushI(1)).op(Op::LdElemR).op(Op::LdFldI(0));
-        f.op(Op::Load(0)).op(Op::PushI(0)).op(Op::LdElemR).op(Op::PushNull).op(Op::CmpEq);
+        f.op(Op::Load(0))
+            .op(Op::PushI(1))
+            .op(Op::Load(1))
+            .op(Op::StElemR);
+        f.op(Op::Load(0))
+            .op(Op::PushI(1))
+            .op(Op::LdElemR)
+            .op(Op::LdFldI(0));
+        f.op(Op::Load(0))
+            .op(Op::PushI(0))
+            .op(Op::LdElemR)
+            .op(Op::PushNull)
+            .op(Op::CmpEq);
         f.op(Op::Add).op(Op::Ret);
         let mut m = Module::new();
         let idx = m.add(f.build());
@@ -818,7 +906,11 @@ mod tests {
     #[test]
     fn null_dereference_traps() {
         let vm = vm_small();
-        let cls = vm.registry_mut().define_class("B2").prim("v", ElemKind::I32).build();
+        let cls = vm
+            .registry_mut()
+            .define_class("B2")
+            .prim("v", ElemKind::I32)
+            .build();
         let _ = cls;
         let mut f = FnBuilder::new("h", 0, 0, true);
         f.op(Op::PushNull).op(Op::LdFldI(0)).op(Op::Ret);

@@ -18,11 +18,20 @@ pub enum VerifyError {
     /// A local index exceeds the declared local count.
     BadLocal { func: String, at: usize, local: u16 },
     /// A call names a missing function.
-    BadCallTarget { func: String, at: usize, target: u16 },
+    BadCallTarget {
+        func: String,
+        at: usize,
+        target: u16,
+    },
     /// An instruction would pop from an empty stack.
     Underflow { func: String, at: usize },
     /// Two paths reach the same instruction with different stack depths.
-    DepthMismatch { func: String, at: usize, a: usize, b: usize },
+    DepthMismatch {
+        func: String,
+        at: usize,
+        a: usize,
+        b: usize,
+    },
     /// A value-returning function can fall off the end.
     MissingReturn { func: String },
 }
@@ -102,10 +111,18 @@ fn verify_function(f: &Function, module: &Module) -> Result<(), VerifyError> {
                 }
             }
             Op::Load(l) | Op::Store(l) if *l >= f.locals => {
-                return Err(VerifyError::BadLocal { func: name(), at, local: *l });
+                return Err(VerifyError::BadLocal {
+                    func: name(),
+                    at,
+                    local: *l,
+                });
             }
             Op::Call(t) if *t as usize >= module.functions.len() => {
-                return Err(VerifyError::BadCallTarget { func: name(), at, target: *t });
+                return Err(VerifyError::BadCallTarget {
+                    func: name(),
+                    at,
+                    target: *t,
+                });
             }
             _ => {}
         }
@@ -121,7 +138,12 @@ fn verify_function(f: &Function, module: &Module) -> Result<(), VerifyError> {
         }
         if let Some(&d) = depth_at.get(&pc) {
             if d != depth {
-                return Err(VerifyError::DepthMismatch { func: name(), at: pc, a: d, b: depth });
+                return Err(VerifyError::DepthMismatch {
+                    func: name(),
+                    at: pc,
+                    a: d,
+                    b: depth,
+                });
             }
             continue;
         }
@@ -130,13 +152,19 @@ fn verify_function(f: &Function, module: &Module) -> Result<(), VerifyError> {
         if matches!(op, Op::Ret) {
             let need = f.returns_value as usize;
             if depth < need {
-                return Err(VerifyError::Underflow { func: name(), at: pc });
+                return Err(VerifyError::Underflow {
+                    func: name(),
+                    at: pc,
+                });
             }
             continue;
         }
         let (pops, pushes) = effect(op, module);
         if depth < pops {
-            return Err(VerifyError::Underflow { func: name(), at: pc });
+            return Err(VerifyError::Underflow {
+                func: name(),
+                at: pc,
+            });
         }
         let next = depth - pops + pushes;
         match op {
@@ -208,7 +236,10 @@ mod tests {
             returns_value: false,
             code: vec![Op::Load(3), Op::Pop],
         };
-        assert!(matches!(verify_module(&module_of(f)), Err(VerifyError::BadLocal { .. })));
+        assert!(matches!(
+            verify_module(&module_of(f)),
+            Err(VerifyError::BadLocal { .. })
+        ));
     }
 
     #[test]
@@ -220,7 +251,10 @@ mod tests {
             returns_value: false,
             code: vec![Op::Add],
         };
-        assert!(matches!(verify_module(&module_of(f)), Err(VerifyError::Underflow { .. })));
+        assert!(matches!(
+            verify_module(&module_of(f)),
+            Err(VerifyError::Underflow { .. })
+        ));
     }
 
     #[test]
@@ -240,7 +274,10 @@ mod tests {
         };
         let r = verify_module(&module_of(f));
         assert!(
-            matches!(r, Err(VerifyError::DepthMismatch { .. }) | Err(VerifyError::Underflow { .. })),
+            matches!(
+                r,
+                Err(VerifyError::DepthMismatch { .. }) | Err(VerifyError::Underflow { .. })
+            ),
             "got {r:?}"
         );
     }
@@ -254,17 +291,28 @@ mod tests {
             returns_value: true,
             code: vec![Op::PushI(1), Op::Pop],
         };
-        assert!(matches!(verify_module(&module_of(f)), Err(VerifyError::MissingReturn { .. })));
+        assert!(matches!(
+            verify_module(&module_of(f)),
+            Err(VerifyError::MissingReturn { .. })
+        ));
     }
 
     #[test]
     fn call_effects_respect_arity() {
         let mut m = Module::new();
         let mut callee = FnBuilder::new("two_args", 2, 2, true);
-        callee.op(Op::Load(0)).op(Op::Load(1)).op(Op::Add).op(Op::Ret);
+        callee
+            .op(Op::Load(0))
+            .op(Op::Load(1))
+            .op(Op::Add)
+            .op(Op::Ret);
         m.add(callee.build());
         let mut caller = FnBuilder::new("caller", 0, 0, true);
-        caller.op(Op::PushI(1)).op(Op::PushI(2)).op(Op::Call(0)).op(Op::Ret);
+        caller
+            .op(Op::PushI(1))
+            .op(Op::PushI(2))
+            .op(Op::Call(0))
+            .op(Op::Ret);
         m.add(caller.build());
         assert_eq!(verify_module(&m), Ok(()));
         // A caller providing one argument underflows.
@@ -272,9 +320,16 @@ mod tests {
         bad.op(Op::PushI(1)).op(Op::Call(0)).op(Op::Ret);
         let mut m2 = Module::new();
         let mut callee = FnBuilder::new("two_args", 2, 2, true);
-        callee.op(Op::Load(0)).op(Op::Load(1)).op(Op::Add).op(Op::Ret);
+        callee
+            .op(Op::Load(0))
+            .op(Op::Load(1))
+            .op(Op::Add)
+            .op(Op::Ret);
         m2.add(callee.build());
         m2.add(bad.build());
-        assert!(matches!(verify_module(&m2), Err(VerifyError::Underflow { .. })));
+        assert!(matches!(
+            verify_module(&m2),
+            Err(VerifyError::Underflow { .. })
+        ));
     }
 }

@@ -14,7 +14,9 @@
 //!   destination window via the [`PacketSink`] callback interface.
 
 use std::collections::VecDeque;
+use std::sync::Arc;
 
+use motor_obs::{Metric, MetricsRegistry};
 use motor_pal::{BoxedLink, PalError};
 
 use crate::error::{MpcError, MpcResult};
@@ -54,18 +56,36 @@ enum OutItem {
     /// A raw zero-copy window (rendezvous payload). The pointer is stored
     /// as `usize` and must remain valid until fully flushed — the sender's
     /// pin guarantees this.
-    Raw { ptr: usize, len: usize, off: usize, done: Option<Request> },
+    Raw {
+        ptr: usize,
+        len: usize,
+        off: usize,
+        done: Option<Request>,
+    },
 }
 
 enum InState {
     /// Reading the 5-byte frame header.
     Header { buf: [u8; 5], got: usize },
     /// Buffering a whole control/eager body.
-    Body { kind: PacketKind, need: usize, buf: Vec<u8> },
+    Body {
+        kind: PacketKind,
+        need: usize,
+        buf: Vec<u8>,
+    },
     /// Reading the 8-byte rreq prefix of a RndvData frame.
-    RndvPrefix { buf: [u8; 8], got: usize, data_len: usize },
+    RndvPrefix {
+        buf: [u8; 8],
+        got: usize,
+        data_len: usize,
+    },
     /// Streaming rendezvous payload into the destination window.
-    Stream { rreq: u64, dest: RndvDest, total: usize, written: usize },
+    Stream {
+        rreq: u64,
+        dest: RndvDest,
+        total: usize,
+        written: usize,
+    },
 }
 
 /// Framing and queueing state for one peer link.
@@ -75,6 +95,9 @@ pub struct LinkState {
     in_state: InState,
     /// Scratch buffer for discarded streams.
     scratch: Vec<u8>,
+    /// Per-rank registry for frame/byte accounting (attached by the device
+    /// that owns this link; standalone links go unmetered).
+    metrics: Option<Arc<MetricsRegistry>>,
 }
 
 // SAFETY: the raw pointers held in `OutItem::Raw` and `InState::Stream`
@@ -89,8 +112,26 @@ impl LinkState {
         LinkState {
             link,
             outq: VecDeque::new(),
-            in_state: InState::Header { buf: [0; 5], got: 0 },
+            in_state: InState::Header {
+                buf: [0; 5],
+                got: 0,
+            },
             scratch: vec![0u8; 16 * 1024],
+            metrics: None,
+        }
+    }
+
+    /// Report frame/byte traffic into `registry` from now on.
+    pub fn attach_metrics(&mut self, registry: Arc<MetricsRegistry>) {
+        self.metrics = Some(registry);
+    }
+
+    #[inline]
+    fn meter(&self, m: Metric, n: u64) {
+        if n != 0 {
+            if let Some(r) = &self.metrics {
+                r.add(m, n);
+            }
         }
     }
 
@@ -103,7 +144,12 @@ impl LinkState {
     /// window has been fully handed to the transport (MPI send-completion
     /// semantics: the buffer is then reusable).
     pub fn queue_raw(&mut self, ptr: *const u8, len: usize, done: Option<Request>) {
-        self.outq.push_back(OutItem::Raw { ptr: ptr as usize, len, off: 0, done });
+        self.outq.push_back(OutItem::Raw {
+            ptr: ptr as usize,
+            len,
+            off: 0,
+            done,
+        });
     }
 
     /// Whether any outgoing data is still queued.
@@ -115,6 +161,7 @@ impl LinkState {
     /// any bytes moved.
     pub fn pump_out(&mut self) -> MpcResult<bool> {
         let mut progressed = false;
+        let (mut bytes_out, mut frames_out) = (0u64, 0u64);
         while let Some(front) = self.outq.front_mut() {
             let wrote = match front {
                 OutItem::Bytes { buf, off } => {
@@ -126,11 +173,15 @@ impl LinkState {
                     }
                     (n, finished)
                 }
-                OutItem::Raw { ptr, len, off, done } => {
+                OutItem::Raw {
+                    ptr,
+                    len,
+                    off,
+                    done,
+                } => {
                     // SAFETY: the sender pinned (or owns) this window until
                     // `done` completes; see `queue_raw`.
-                    let slice =
-                        unsafe { std::slice::from_raw_parts(*ptr as *const u8, *len) };
+                    let slice = unsafe { std::slice::from_raw_parts(*ptr as *const u8, *len) };
                     let n = self.link.try_write(&slice[*off..])?;
                     *off += n;
                     let finished = *off == *len;
@@ -144,16 +195,33 @@ impl LinkState {
                 }
             };
             progressed |= wrote.0 > 0;
+            bytes_out += wrote.0 as u64;
+            frames_out += wrote.1 as u64;
             if !wrote.1 {
                 break; // link is full
             }
         }
+        self.meter(Metric::ChanBytesOut, bytes_out);
+        self.meter(Metric::ChanFramesOut, frames_out);
         Ok(progressed)
     }
 
     /// Parse as much incoming data as available, dispatching complete
     /// packets to `sink`. Returns `true` if any bytes moved.
     pub fn pump_in(&mut self, sink: &mut dyn PacketSink) -> MpcResult<bool> {
+        let (mut bytes_in, mut frames_in) = (0u64, 0u64);
+        let res = self.pump_in_inner(sink, &mut bytes_in, &mut frames_in);
+        self.meter(Metric::ChanBytesIn, bytes_in);
+        self.meter(Metric::ChanFramesIn, frames_in);
+        res
+    }
+
+    fn pump_in_inner(
+        &mut self,
+        sink: &mut dyn PacketSink,
+        bytes_in: &mut u64,
+        frames_in: &mut u64,
+    ) -> MpcResult<bool> {
         let mut progressed = false;
         loop {
             match &mut self.in_state {
@@ -169,6 +237,7 @@ impl LinkState {
                         return Ok(progressed);
                     }
                     progressed = true;
+                    *bytes_in += n as u64;
                     *got += n;
                     if *got < 5 {
                         continue;
@@ -184,9 +253,17 @@ impl LinkState {
                             if body < 8 {
                                 return Err(MpcError::Protocol("short rndv frame".into()));
                             }
-                            InState::RndvPrefix { buf: [0; 8], got: 0, data_len: body - 8 }
+                            InState::RndvPrefix {
+                                buf: [0; 8],
+                                got: 0,
+                                data_len: body - 8,
+                            }
                         }
-                        k => InState::Body { kind: k, need: body, buf: Vec::with_capacity(body) },
+                        k => InState::Body {
+                            kind: k,
+                            need: body,
+                            buf: Vec::with_capacity(body),
+                        },
                     };
                 }
                 InState::Body { kind, need, buf } => {
@@ -200,13 +277,18 @@ impl LinkState {
                             return Ok(progressed);
                         }
                         progressed = true;
+                        *bytes_in += n as u64;
                         if buf.len() < *need {
                             continue;
                         }
                     }
                     let kind = *kind;
                     let body = std::mem::take(buf);
-                    self.in_state = InState::Header { buf: [0; 5], got: 0 };
+                    self.in_state = InState::Header {
+                        buf: [0; 5],
+                        got: 0,
+                    };
+                    *frames_in += 1;
                     match kind {
                         PacketKind::Eager => {
                             let env = Envelope::decode(&body)?;
@@ -239,6 +321,7 @@ impl LinkState {
                         return Ok(progressed);
                     }
                     progressed = true;
+                    *bytes_in += n as u64;
                     *got += n;
                     if *got < 8 {
                         continue;
@@ -248,12 +331,26 @@ impl LinkState {
                     let dest = sink.rndv_dest(rreq, total);
                     if total == 0 {
                         sink.on_rndv_complete(rreq, 0);
-                        self.in_state = InState::Header { buf: [0; 5], got: 0 };
+                        self.in_state = InState::Header {
+                            buf: [0; 5],
+                            got: 0,
+                        };
+                        *frames_in += 1;
                     } else {
-                        self.in_state = InState::Stream { rreq, dest, total, written: 0 };
+                        self.in_state = InState::Stream {
+                            rreq,
+                            dest,
+                            total,
+                            written: 0,
+                        };
                     }
                 }
-                InState::Stream { rreq, dest, total, written } => {
+                InState::Stream {
+                    rreq,
+                    dest,
+                    total,
+                    written,
+                } => {
                     let remaining = *total - *written;
                     let n = match dest {
                         RndvDest::Raw(ptr, cap) => {
@@ -267,10 +364,7 @@ impl LinkState {
                                 // SAFETY: window provided by the device;
                                 // receiver pinned/owns it for the stream.
                                 let slice = unsafe {
-                                    std::slice::from_raw_parts_mut(
-                                        ptr.add(*written),
-                                        take,
-                                    )
+                                    std::slice::from_raw_parts_mut(ptr.add(*written), take)
                                 };
                                 self.link.try_read(slice)?
                             }
@@ -284,11 +378,16 @@ impl LinkState {
                         return Ok(progressed);
                     }
                     progressed = true;
+                    *bytes_in += n as u64;
                     *written += n;
                     if *written == *total {
                         let rreq = *rreq;
                         let total = *total;
-                        self.in_state = InState::Header { buf: [0; 5], got: 0 };
+                        self.in_state = InState::Header {
+                            buf: [0; 5],
+                            got: 0,
+                        };
+                        *frames_in += 1;
                         sink.on_rndv_complete(rreq, total);
                     }
                 }
@@ -337,7 +436,15 @@ mod tests {
     }
 
     fn env(len: u64) -> Envelope {
-        Envelope { src: 1, gsrc: 1, tag: 5, context: 0, len, sreq: 9, flags: 0 }
+        Envelope {
+            src: 1,
+            gsrc: 1,
+            tag: 5,
+            context: 0,
+            len,
+            sreq: 9,
+            flags: 0,
+        }
     }
 
     fn pump_until_idle(tx: &mut LinkState, rx: &mut LinkState, sink: &mut RecordingSink) {
@@ -390,7 +497,10 @@ mod tests {
         tx.queue_raw(data.as_ptr(), data.len(), Some(std::sync::Arc::clone(&req)));
         let mut sink = RecordingSink::default();
         pump_until_idle(&mut tx, &mut rx, &mut sink);
-        assert!(req.is_complete(), "send request completed when fully flushed");
+        assert!(
+            req.is_complete(),
+            "send request completed when fully flushed"
+        );
         assert_eq!(sink.rndv_done, vec![(42, 65536)]);
         assert_eq!(sink.rndv_buf, data);
     }

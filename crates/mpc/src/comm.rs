@@ -14,11 +14,14 @@
 use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Arc;
 
-use crate::device::{Device, ANY_SOURCE};
+use motor_obs::Metric;
+
+use crate::device::Device;
 use crate::dtype::{as_bytes, as_bytes_mut, reduce_in_place, DType, MpcPrim, ReduceOp};
 use crate::error::{MpcError, MpcResult};
 use crate::packet::Envelope;
 use crate::request::{Request, Status};
+use crate::source::Source;
 
 /// An intra-communicator.
 #[derive(Clone)]
@@ -43,7 +46,13 @@ impl Comm {
         rank: usize,
         ctx_alloc: Arc<AtomicU32>,
     ) -> Comm {
-        Comm { device, context, group, rank, ctx_alloc }
+        Comm {
+            device,
+            context,
+            group,
+            rank,
+            ctx_alloc,
+        }
     }
 
     /// This process's rank within the communicator.
@@ -63,7 +72,10 @@ impl Comm {
 
     /// Communicator rank → global rank translation.
     pub fn global_rank(&self, comm_rank: usize) -> MpcResult<usize> {
-        self.group.get(comm_rank).copied().ok_or(MpcError::InvalidRank(comm_rank as i32))
+        self.group
+            .get(comm_rank)
+            .copied()
+            .ok_or(MpcError::InvalidRank(comm_rank as i32))
     }
 
     /// The underlying device (the FCall layer and baselines reach through
@@ -77,7 +89,11 @@ impl Comm {
             src: self.rank as u32,
             gsrc: self.device.rank() as u32,
             tag,
-            context: if collective { self.context + 1 } else { self.context },
+            context: if collective {
+                self.context + 1
+            } else {
+                self.context
+            },
             len: 0,
             sreq: 0,
             flags: 0,
@@ -103,7 +119,10 @@ impl Comm {
     ) -> MpcResult<Request> {
         let g = self.global_rank(dest)?;
         // SAFETY: forwarded caller contract.
-        unsafe { self.device.isend_raw(g, self.envelope(tag, false), ptr, len, false) }
+        unsafe {
+            self.device
+                .isend_raw(g, self.envelope(tag, false), ptr, len, false)
+        }
     }
 
     /// Begin a non-blocking synchronous-mode send (completes only once the
@@ -120,7 +139,10 @@ impl Comm {
     ) -> MpcResult<Request> {
         let g = self.global_rank(dest)?;
         // SAFETY: forwarded caller contract.
-        unsafe { self.device.isend_raw(g, self.envelope(tag, false), ptr, len, true) }
+        unsafe {
+            self.device
+                .isend_raw(g, self.envelope(tag, false), ptr, len, true)
+        }
     }
 
     /// Begin a non-blocking receive into a raw window.
@@ -131,14 +153,20 @@ impl Comm {
         &self,
         ptr: *mut u8,
         cap: usize,
-        src: i32,
+        src: impl Into<Source>,
         tag: i32,
     ) -> MpcResult<Request> {
-        if src != ANY_SOURCE && src as usize >= self.size() {
-            return Err(MpcError::InvalidRank(src));
+        let src = src.into();
+        if let Some(r) = src.rank() {
+            if r >= self.size() {
+                return Err(MpcError::InvalidRank(r as i32));
+            }
         }
         // SAFETY: forwarded caller contract.
-        unsafe { self.device.irecv_raw(src, tag, self.context, ptr, cap) }
+        unsafe {
+            self.device
+                .irecv_raw(src.to_device(), tag, self.context, ptr, cap)
+        }
     }
 
     // ------------------------------------------------------------------
@@ -162,13 +190,21 @@ impl Comm {
     }
 
     /// Blocking receive; returns the message status. `src` may be
-    /// [`ANY_SOURCE`]; `tag` may be [`ANY_TAG`].
-    pub fn recv_bytes(&self, buf: &mut [u8], src: i32, tag: i32) -> MpcResult<Status> {
+    /// [`Source::Any`]; `tag` may be [`crate::ANY_TAG`].
+    pub fn recv_bytes(
+        &self,
+        buf: &mut [u8],
+        src: impl Into<Source>,
+        tag: i32,
+    ) -> MpcResult<Status> {
         // SAFETY: the borrow of `buf` outlives the wait below.
         let req = unsafe { self.irecv_ptr(buf.as_mut_ptr(), buf.len(), src, tag)? };
         let status = self.wait(&req)?;
         if status.truncated {
-            return Err(MpcError::Truncation { message: status.count, buffer: buf.len() });
+            return Err(MpcError::Truncation {
+                message: status.count,
+                buffer: buf.len(),
+            });
         }
         Ok(status)
     }
@@ -183,9 +219,14 @@ impl Comm {
         self.ssend_bytes(as_bytes(buf), dest, tag)
     }
 
-    /// Blocking typed receive from a concrete source rank.
-    pub fn recv_slice<T: MpcPrim>(&self, buf: &mut [T], src: usize, tag: i32) -> MpcResult<Status> {
-        self.recv_bytes(as_bytes_mut(buf), src as i32, tag)
+    /// Blocking typed receive.
+    pub fn recv_slice<T: MpcPrim>(
+        &self,
+        buf: &mut [T],
+        src: impl Into<Source>,
+        tag: i32,
+    ) -> MpcResult<Status> {
+        self.recv_bytes(as_bytes_mut(buf), src, tag)
     }
 
     /// Combined send+receive (deadlock-free exchange).
@@ -194,7 +235,7 @@ impl Comm {
         send: &[u8],
         dest: usize,
         recv: &mut [u8],
-        src: i32,
+        src: impl Into<Source>,
         tag: i32,
     ) -> MpcResult<Status> {
         // SAFETY: both borrows outlive the waits.
@@ -231,9 +272,10 @@ impl Comm {
 
     /// Blocking probe: status of the next matching message without
     /// receiving it.
-    pub fn probe(&self, src: i32, tag: i32) -> MpcResult<Status> {
+    pub fn probe(&self, src: impl Into<Source>, tag: i32) -> MpcResult<Status> {
+        let src = src.into();
         loop {
-            if let Some(s) = self.device.iprobe(src, tag, self.context)? {
+            if let Some(s) = self.device.iprobe(src.to_device(), tag, self.context)? {
                 return Ok(s);
             }
             std::hint::spin_loop();
@@ -241,8 +283,9 @@ impl Comm {
     }
 
     /// Non-blocking probe.
-    pub fn iprobe(&self, src: i32, tag: i32) -> MpcResult<Option<Status>> {
-        self.device.iprobe(src, tag, self.context)
+    pub fn iprobe(&self, src: impl Into<Source>, tag: i32) -> MpcResult<Option<Status>> {
+        self.device
+            .iprobe(src.into().to_device(), tag, self.context)
     }
 
     // ------------------------------------------------------------------
@@ -253,7 +296,8 @@ impl Comm {
         let g = self.global_rank(dest)?;
         // SAFETY: `buf` is borrowed across the wait below.
         let req = unsafe {
-            self.device.isend_raw(g, self.envelope(tag, true), buf.as_ptr(), buf.len(), false)?
+            self.device
+                .isend_raw(g, self.envelope(tag, true), buf.as_ptr(), buf.len(), false)?
         };
         self.wait(&req)?;
         Ok(())
@@ -262,13 +306,20 @@ impl Comm {
     fn coll_recv(&self, buf: &mut [u8], src: usize, tag: i32) -> MpcResult<Status> {
         // SAFETY: `buf` is borrowed across the wait below.
         let req = unsafe {
-            self.device.irecv_raw(src as i32, tag, self.context + 1, buf.as_mut_ptr(), buf.len())?
+            self.device.irecv_raw(
+                src as i32,
+                tag,
+                self.context + 1,
+                buf.as_mut_ptr(),
+                buf.len(),
+            )?
         };
         self.wait(&req)
     }
 
     /// Synchronize all ranks (dissemination algorithm, ⌈log₂ n⌉ rounds).
     pub fn barrier(&self) -> MpcResult<()> {
+        self.device.metrics().bump(Metric::CollBarrier);
         let n = self.size();
         if n == 1 {
             return Ok(());
@@ -282,7 +333,13 @@ impl Comm {
             // Exchange zero-meaning tokens; tag encodes the round.
             // SAFETY: `token` lives to the end of the loop body.
             let rreq = unsafe {
-                self.device.irecv_raw(from as i32, round, self.context + 1, token.as_mut_ptr(), 1)?
+                self.device.irecv_raw(
+                    from as i32,
+                    round,
+                    self.context + 1,
+                    token.as_mut_ptr(),
+                    1,
+                )?
             };
             self.coll_send(&[0u8], to, round)?;
             self.wait(&rreq)?;
@@ -294,6 +351,7 @@ impl Comm {
 
     /// Broadcast `buf` from `root` to every rank (binomial tree).
     pub fn bcast_bytes(&self, buf: &mut [u8], root: usize) -> MpcResult<()> {
+        self.device.metrics().bump(Metric::CollBcast);
         let n = self.size();
         if n == 1 {
             return Ok(());
@@ -337,6 +395,7 @@ impl Comm {
         recv: &mut [u8],
         root: usize,
     ) -> MpcResult<()> {
+        self.device.metrics().bump(Metric::CollScatter);
         let n = self.size();
         let chunk = recv.len();
         let tag = 1_001;
@@ -365,12 +424,8 @@ impl Comm {
     }
 
     /// Gather every rank's `send` into root's `recv` (rank-ordered chunks).
-    pub fn gather_bytes(
-        &self,
-        send: &[u8],
-        recv: Option<&mut [u8]>,
-        root: usize,
-    ) -> MpcResult<()> {
+    pub fn gather_bytes(&self, send: &[u8], recv: Option<&mut [u8]>, root: usize) -> MpcResult<()> {
+        self.device.metrics().bump(Metric::CollGather);
         let n = self.size();
         let chunk = send.len();
         let tag = 1_002;
@@ -399,6 +454,7 @@ impl Comm {
     /// Allgather (ring algorithm): every rank ends with all chunks in rank
     /// order. `recv.len()` must be `send.len() * size`.
     pub fn allgather_bytes(&self, send: &[u8], recv: &mut [u8]) -> MpcResult<()> {
+        self.device.metrics().bump(Metric::CollAllgather);
         let n = self.size();
         let chunk = send.len();
         if recv.len() != chunk * n {
@@ -450,6 +506,7 @@ impl Comm {
         op: ReduceOp,
         root: usize,
     ) -> MpcResult<()> {
+        self.device.metrics().bump(Metric::CollReduce);
         let n = self.size();
         let tag = 1_004;
         if self.rank == root {
@@ -499,6 +556,7 @@ impl Comm {
         dtype: DType,
         op: ReduceOp,
     ) -> MpcResult<()> {
+        self.device.metrics().bump(Metric::CollAllreduce);
         if self.rank == 0 {
             // Sidestep the aliasing of send/recv at root.
             let mut acc = send.to_vec();
@@ -523,6 +581,7 @@ impl Comm {
     /// All-to-all personalized exchange of equal chunks. Both buffers hold
     /// `size` chunks of `chunk` bytes each.
     pub fn alltoall_bytes(&self, send: &[u8], recv: &mut [u8], chunk: usize) -> MpcResult<()> {
+        self.device.metrics().bump(Metric::CollAlltoall);
         let n = self.size();
         if send.len() != chunk * n || recv.len() != chunk * n {
             return Err(MpcError::Protocol("alltoall buffer size mismatch".into()));
@@ -532,14 +591,14 @@ impl Comm {
         let mut rreqs = Vec::with_capacity(n);
         for r in 0..n {
             if r == self.rank {
-                recv[r * chunk..(r + 1) * chunk]
-                    .copy_from_slice(&send[r * chunk..(r + 1) * chunk]);
+                recv[r * chunk..(r + 1) * chunk].copy_from_slice(&send[r * chunk..(r + 1) * chunk]);
                 continue;
             }
             let slot = &mut recv[r * chunk..(r + 1) * chunk];
             // SAFETY: `recv` is borrowed until every request below is waited.
             let req = unsafe {
-                self.device.irecv_raw(r as i32, tag, self.context + 1, slot.as_mut_ptr(), chunk)?
+                self.device
+                    .irecv_raw(r as i32, tag, self.context + 1, slot.as_mut_ptr(), chunk)?
             };
             rreqs.push(req);
         }
@@ -551,7 +610,13 @@ impl Comm {
             let part = &send[r * chunk..(r + 1) * chunk];
             // SAFETY: `send` is borrowed across the wait below.
             let req = unsafe {
-                self.device.isend_raw(g, self.envelope(tag, true), part.as_ptr(), part.len(), false)?
+                self.device.isend_raw(
+                    g,
+                    self.envelope(tag, true),
+                    part.as_ptr(),
+                    part.len(),
+                    false,
+                )?
             };
             self.wait(&req)?;
         }
@@ -570,6 +635,7 @@ impl Comm {
         dtype: DType,
         op: ReduceOp,
     ) -> MpcResult<()> {
+        self.device.metrics().bump(Metric::CollScan);
         assert_eq!(send.len(), recv.len(), "scan buffer length mismatch");
         let tag = 1_005;
         // Linear chain: receive the prefix from the left neighbour, fold in
@@ -605,6 +671,7 @@ impl Comm {
         recv: Option<(&mut [u8], &[usize])>,
         root: usize,
     ) -> MpcResult<()> {
+        self.device.metrics().bump(Metric::CollGatherv);
         let tag = 1_006;
         if self.rank == root {
             let (recv, counts) = recv.expect("root must supply buffer and counts");
@@ -638,6 +705,7 @@ impl Comm {
         recv: &mut [u8],
         root: usize,
     ) -> MpcResult<()> {
+        self.device.metrics().bump(Metric::CollScatterv);
         let tag = 1_007;
         if self.rank == root {
             let (send, counts) = send.expect("root must supply buffer and counts");
@@ -725,7 +793,9 @@ impl Comm {
         // Rank 0 allocates a contiguous block of context pairs.
         let mut base = [0u32; 1];
         if self.rank == 0 {
-            base[0] = self.ctx_alloc.fetch_add(2 * uniq.len() as u32, Ordering::Relaxed);
+            base[0] = self
+                .ctx_alloc
+                .fetch_add(2 * uniq.len() as u32, Ordering::Relaxed);
         }
         self.bcast_slice(&mut base, 0)?;
         // Members of my color, sorted by (key, old rank).
@@ -734,11 +804,11 @@ impl Comm {
             .map(|r| (all[2 * r + 1], r))
             .collect();
         members.sort();
-        let group: Vec<usize> = members
+        let group: Vec<usize> = members.iter().map(|&(_, old)| self.group[old]).collect();
+        let my_new_rank = members
             .iter()
-            .map(|&(_, old)| self.group[old])
-            .collect();
-        let my_new_rank = members.iter().position(|&(_, old)| old == self.rank).unwrap();
+            .position(|&(_, old)| old == self.rank)
+            .unwrap();
         Ok(Comm {
             device: Arc::clone(&self.device),
             context: base[0] + 2 * my_color_index as u32,

@@ -18,6 +18,7 @@ use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+use motor_obs::{EventKind, Hist, Metric, MetricsRegistry};
 use parking_lot::Mutex;
 
 use crate::channel::{LinkState, PacketSink, RndvDest};
@@ -40,7 +41,9 @@ pub struct DeviceConfig {
 
 impl Default for DeviceConfig {
     fn default() -> Self {
-        DeviceConfig { eager_threshold: 64 * 1024 }
+        DeviceConfig {
+            eager_threshold: 64 * 1024,
+        }
     }
 }
 
@@ -88,8 +91,17 @@ struct ActiveRecv {
 
 /// Frames generated while handling inbound packets (sent after the pump).
 enum Deferred {
-    Frame { dst: usize, bytes: Vec<u8> },
-    RawWindow { dst: usize, header: Vec<u8>, ptr: usize, len: usize, done: Request },
+    Frame {
+        dst: usize,
+        bytes: Vec<u8>,
+    },
+    RawWindow {
+        dst: usize,
+        header: Vec<u8>,
+        ptr: usize,
+        len: usize,
+        done: Request,
+    },
 }
 
 #[derive(Default)]
@@ -107,6 +119,7 @@ pub struct Device {
     state: Mutex<DeviceState>,
     next_req: AtomicU64,
     config: DeviceConfig,
+    metrics: Arc<MetricsRegistry>,
 }
 
 fn envelope_matches(env: &Envelope, src: i32, tag: i32, context: u32) -> bool {
@@ -123,6 +136,7 @@ impl Device {
             state: Mutex::new(DeviceState::default()),
             next_req: AtomicU64::new(1),
             config,
+            metrics: Arc::new(MetricsRegistry::new()),
         })
     }
 
@@ -131,13 +145,19 @@ impl Device {
         self.rank
     }
 
+    /// The per-rank metrics registry every transport layer reports into.
+    pub fn metrics(&self) -> &Arc<MetricsRegistry> {
+        &self.metrics
+    }
+
     /// The eager/rendezvous switchover point.
     pub fn eager_threshold(&self) -> usize {
         self.config.eager_threshold
     }
 
     /// Install the link to `peer` (universe wiring).
-    pub fn set_link(&self, peer: usize, link: LinkState) {
+    pub fn set_link(&self, peer: usize, mut link: LinkState) {
+        link.attach_metrics(Arc::clone(&self.metrics));
         let mut st = self.state.lock();
         if st.links.len() <= peer {
             st.links.resize_with(peer + 1, || None);
@@ -202,19 +222,32 @@ impl Device {
             };
             if use_eager {
                 link.queue_bytes(packet::encode_eager(&env, data));
+                self.metrics.bump(Metric::SendsEager);
+                if synchronous {
+                    self.metrics.bump(Metric::SendsSync);
+                }
+                self.metrics.record(Hist::EagerSendBytes, len as u64);
                 if !synchronous {
                     // Buffer handed off; MPI send-completion semantics met.
                     req.complete();
                 }
             } else {
                 link.queue_bytes(packet::encode_rts(&env));
+                self.metrics.bump(Metric::SendsRndv);
+                self.metrics.record(Hist::RndvSendBytes, len as u64);
+                self.metrics.event(EventKind::RndvRts, env.sreq, len as u64);
             }
         }
         // Rendezvous sends await CTS; synchronous eager sends await SyncAck.
         if !use_eager || synchronous {
             st.pending_sends.insert(
                 env.sreq,
-                PendingSend { dst_global, ptr: ptr as usize, len, req: Arc::clone(&req) },
+                PendingSend {
+                    dst_global,
+                    ptr: ptr as usize,
+                    len,
+                    req: Arc::clone(&req),
+                },
             );
         }
         drop(st);
@@ -224,13 +257,18 @@ impl Device {
 
     /// Self-send: deliver without touching any link.
     fn send_to_self(&self, env: Envelope, ptr: *const u8, len: usize, req: &Request) {
+        self.metrics.bump(Metric::SendsSelf);
         let mut st = self.state.lock();
         // Try to match a posted receive directly.
-        if let Some(pos) = st
+        let pos = st
             .posted
             .iter()
-            .position(|p| envelope_matches(&env, p.src, p.tag, p.context))
-        {
+            .position(|p| envelope_matches(&env, p.src, p.tag, p.context));
+        self.metrics.add(
+            Metric::MatchAttempts,
+            pos.map_or(st.posted.len(), |p| p + 1) as u64,
+        );
+        if let Some(pos) = pos {
             let p = st.posted.remove(pos).unwrap();
             let n = len.min(p.cap);
             // SAFETY: both windows are caller-guaranteed; self-send means
@@ -248,6 +286,8 @@ impl Device {
             // SAFETY: window valid per caller contract.
             let data = unsafe { std::slice::from_raw_parts(ptr, len) }.to_vec();
             st.unexpected.push_back(Unexpected::Eager { env, data });
+            self.metrics
+                .record_max(Metric::UnexpectedQueuePeak, st.unexpected.len() as u64);
             req.complete();
         }
     }
@@ -272,11 +312,16 @@ impl Device {
         let req = self.new_request();
         let mut st = self.state.lock();
         // Unexpected queue first, preserving arrival order (non-overtaking).
-        if let Some(pos) = st
+        let pos = st
             .unexpected
             .iter()
-            .position(|u| envelope_matches(u.envelope(), src, tag, context))
-        {
+            .position(|u| envelope_matches(u.envelope(), src, tag, context));
+        self.metrics.add(
+            Metric::MatchAttempts,
+            pos.map_or(st.unexpected.len(), |p| p + 1) as u64,
+        );
+        if let Some(pos) = pos {
+            self.metrics.bump(Metric::RecvsUnexpected);
             match st.unexpected.remove(pos).unwrap() {
                 Unexpected::Eager { env, data } => {
                     let n = data.len().min(cap);
@@ -309,6 +354,9 @@ impl Device {
                 cap,
                 req: Arc::clone(&req),
             });
+            self.metrics.bump(Metric::RecvsPosted);
+            self.metrics
+                .record_max(Metric::PostedQueuePeak, st.posted.len() as u64);
         }
         drop(st);
         self.progress()?;
@@ -347,9 +395,18 @@ impl Device {
         }
         st.active_recvs.insert(
             req.id(),
-            ActiveRecv { ptr: ptr as usize, cap, env, req: Arc::clone(req) },
+            ActiveRecv {
+                ptr: ptr as usize,
+                cap,
+                env,
+                req: Arc::clone(req),
+            },
         );
-        Self::queue_frame(st, env.gsrc as usize, packet::encode_cts(env.sreq, req.id()))
+        Self::queue_frame(
+            st,
+            env.gsrc as usize,
+            packet::encode_cts(env.sreq, req.id()),
+        )
     }
 
     fn queue_frame(st: &mut DeviceState, dst: usize, bytes: Vec<u8>) -> MpcResult<()> {
@@ -371,13 +428,20 @@ impl Device {
     pub fn iprobe(&self, src: i32, tag: i32, context: u32) -> MpcResult<Option<Status>> {
         self.progress()?;
         let st = self.state.lock();
+        self.metrics
+            .add(Metric::MatchAttempts, st.unexpected.len() as u64);
         Ok(st
             .unexpected
             .iter()
             .find(|u| envelope_matches(u.envelope(), src, tag, context))
             .map(|u| {
                 let e = u.envelope();
-                Status { source: e.src, tag: e.tag, count: e.len as usize, truncated: false }
+                Status {
+                    source: e.src,
+                    tag: e.tag,
+                    count: e.len as usize,
+                    truncated: false,
+                }
             }))
     }
 
@@ -388,6 +452,7 @@ impl Device {
     /// Pump every link once: flush outgoing queues, parse incoming bytes,
     /// run protocol handlers. Returns `true` if anything moved.
     pub fn progress(&self) -> MpcResult<bool> {
+        self.metrics.bump(Metric::ProgressPolls);
         let mut st = self.state.lock();
         let mut moved = false;
         let nlinks = st.links.len();
@@ -404,6 +469,7 @@ impl Device {
                 st: &mut st,
                 my_rank: self.rank,
                 deferred: &mut deferred,
+                metrics: &self.metrics,
             };
             let inn = link.pump_in(&mut sink);
             match (out, inn) {
@@ -425,7 +491,13 @@ impl Device {
                 Deferred::Frame { dst, bytes } => {
                     let _ = Self::queue_frame(&mut st, dst, bytes);
                 }
-                Deferred::RawWindow { dst, header, ptr, len, done } => {
+                Deferred::RawWindow {
+                    dst,
+                    header,
+                    ptr,
+                    len,
+                    done,
+                } => {
                     if let Some(Some(link)) = st.links.get_mut(dst) {
                         link.queue_bytes(header);
                         link.queue_raw(ptr as *const u8, len, Some(done));
@@ -441,10 +513,15 @@ impl Device {
     /// lap — the hook where Motor parks for pending collections and where
     /// the native baseline does nothing.
     pub fn wait_with(&self, req: &Request, mut yield_poll: impl FnMut()) -> MpcResult<Status> {
+        let start = self.metrics.now_nanos();
+        self.metrics.event(EventKind::OpBegin, req.id(), 0);
         let mut backoff = motor_pal::Backoff::new();
         loop {
             yield_poll();
             if req.is_complete() {
+                let waited = self.metrics.now_nanos().saturating_sub(start);
+                self.metrics.record(Hist::WaitNanos, waited);
+                self.metrics.event(EventKind::OpEnd, req.id(), waited);
                 return Ok(req.status());
             }
             if self.progress()? {
@@ -461,14 +538,23 @@ impl Device {
             return Ok(Some(req.status()));
         }
         self.progress()?;
-        Ok(if req.is_complete() { Some(req.status()) } else { None })
+        Ok(if req.is_complete() {
+            Some(req.status())
+        } else {
+            None
+        })
     }
 
     /// Diagnostics: lengths of the device queues
     /// `(posted, unexpected, pending_sends, active_recvs)`.
     pub fn queue_depths(&self) -> (usize, usize, usize, usize) {
         let st = self.state.lock();
-        (st.posted.len(), st.unexpected.len(), st.pending_sends.len(), st.active_recvs.len())
+        (
+            st.posted.len(),
+            st.unexpected.len(),
+            st.pending_sends.len(),
+            st.active_recvs.len(),
+        )
     }
 }
 
@@ -477,16 +563,21 @@ struct DeviceSink<'a> {
     st: &'a mut DeviceState,
     my_rank: usize,
     deferred: &'a mut Vec<Deferred>,
+    metrics: &'a MetricsRegistry,
 }
 
 impl PacketSink for DeviceSink<'_> {
     fn on_eager(&mut self, env: Envelope, data: &[u8]) {
-        if let Some(pos) = self
+        let pos = self
             .st
             .posted
             .iter()
-            .position(|p| envelope_matches(&env, p.src, p.tag, p.context))
-        {
+            .position(|p| envelope_matches(&env, p.src, p.tag, p.context));
+        self.metrics.add(
+            Metric::MatchAttempts,
+            pos.map_or(self.st.posted.len(), |p| p + 1) as u64,
+        );
+        if let Some(pos) = pos {
             let p = self.st.posted.remove(pos).unwrap();
             let n = data.len().min(p.cap);
             // SAFETY: posted window is caller-guaranteed stable until the
@@ -505,17 +596,28 @@ impl PacketSink for DeviceSink<'_> {
             }
             p.req.complete_with(env.src, env.tag, n);
         } else {
-            self.st.unexpected.push_back(Unexpected::Eager { env, data: data.to_vec() });
+            self.st.unexpected.push_back(Unexpected::Eager {
+                env,
+                data: data.to_vec(),
+            });
+            self.metrics
+                .record_max(Metric::UnexpectedQueuePeak, self.st.unexpected.len() as u64);
         }
     }
 
     fn on_rts(&mut self, env: Envelope) {
-        if let Some(pos) = self
+        self.metrics.bump(Metric::RndvRtsIn);
+        self.metrics.event(EventKind::RndvRts, env.sreq, env.len);
+        let pos = self
             .st
             .posted
             .iter()
-            .position(|p| envelope_matches(&env, p.src, p.tag, p.context))
-        {
+            .position(|p| envelope_matches(&env, p.src, p.tag, p.context));
+        self.metrics.add(
+            Metric::MatchAttempts,
+            pos.map_or(self.st.posted.len(), |p| p + 1) as u64,
+        );
+        if let Some(pos) = pos {
             let p = self.st.posted.remove(pos).unwrap();
             if env.len as usize > p.cap {
                 p.req.mark_truncated();
@@ -523,7 +625,12 @@ impl PacketSink for DeviceSink<'_> {
             let rreq_id = p.req.id();
             self.st.active_recvs.insert(
                 rreq_id,
-                ActiveRecv { ptr: p.ptr, cap: p.cap, env, req: p.req },
+                ActiveRecv {
+                    ptr: p.ptr,
+                    cap: p.cap,
+                    env,
+                    req: p.req,
+                },
             );
             self.deferred.push(Deferred::Frame {
                 dst: env.gsrc as usize,
@@ -531,14 +638,18 @@ impl PacketSink for DeviceSink<'_> {
             });
         } else {
             self.st.unexpected.push_back(Unexpected::Rts { env });
+            self.metrics
+                .record_max(Metric::UnexpectedQueuePeak, self.st.unexpected.len() as u64);
         }
     }
 
     fn on_cts(&mut self, sreq: u64, rreq: u64) {
+        self.metrics.bump(Metric::RndvCtsIn);
         let ps = match self.st.pending_sends.remove(&sreq) {
             Some(p) => p,
             None => return, // duplicate CTS; ignore
         };
+        self.metrics.event(EventKind::RndvCts, sreq, ps.len as u64);
         debug_assert_ne!(ps.dst_global, self.my_rank, "self-sends bypass the wire");
         self.deferred.push(Deferred::RawWindow {
             dst: ps.dst_global,
@@ -565,6 +676,8 @@ impl PacketSink for DeviceSink<'_> {
     fn on_rndv_complete(&mut self, rreq: u64, total: usize) {
         if let Some(ar) = self.st.active_recvs.remove(&rreq) {
             let n = total.min(ar.cap);
+            self.metrics.bump(Metric::RndvDone);
+            self.metrics.event(EventKind::RndvDone, rreq, total as u64);
             ar.req.complete_with(ar.env.src, ar.env.tag, n);
         }
     }
@@ -591,7 +704,15 @@ mod tests {
     }
 
     fn env(src: u32, gsrc: u32, tag: i32) -> Envelope {
-        Envelope { src, gsrc, tag, context: 0, len: 0, sreq: 0, flags: 0 }
+        Envelope {
+            src,
+            gsrc,
+            tag,
+            context: 0,
+            len: 0,
+            sreq: 0,
+            flags: 0,
+        }
     }
 
     /// Test wrapper: the slice window outlives every drive loop below.
@@ -650,10 +771,15 @@ mod tests {
 
     #[test]
     fn rendezvous_large_message() {
-        let (d0, d1) = duo_with(DeviceConfig { eager_threshold: 1024 });
+        let (d0, d1) = duo_with(DeviceConfig {
+            eager_threshold: 1024,
+        });
         let data: Vec<u8> = (0..100_000u32).map(|i| (i % 253) as u8).collect();
         let sreq = send(&d0, 1, env(0, 0, 9), &data, false).unwrap();
-        assert!(!sreq.is_complete(), "rendezvous send cannot complete before CTS");
+        assert!(
+            !sreq.is_complete(),
+            "rendezvous send cannot complete before CTS"
+        );
         let mut buf = vec![0u8; data.len()];
         let rreq = recv(&d1, 0, 9, 0, &mut buf).unwrap();
         drive(&d0, &d1);
@@ -665,7 +791,9 @@ mod tests {
 
     #[test]
     fn rendezvous_unexpected_rts_then_recv() {
-        let (d0, d1) = duo_with(DeviceConfig { eager_threshold: 64 });
+        let (d0, d1) = duo_with(DeviceConfig {
+            eager_threshold: 64,
+        });
         let data = vec![0xA5u8; 4096];
         let sreq = send(&d0, 1, env(0, 0, 2), &data, false).unwrap();
         // Let the RTS land unexpected.
@@ -714,7 +842,10 @@ mod tests {
             let r = recv(&d1, 0, 1, 0, &mut buf[..8]).unwrap();
             drive(&d0, &d1);
             assert!(r.is_complete());
-            assert_eq!(buf, [i; 8], "messages with equal envelopes must not overtake");
+            assert_eq!(
+                buf, [i; 8],
+                "messages with equal envelopes must not overtake"
+            );
         }
     }
 
@@ -724,7 +855,10 @@ mod tests {
         let data = [9u8; 32];
         let sreq = send(&d0, 1, env(0, 0, 7), &data[..32], true).unwrap();
         drive(&d0, &d1);
-        assert!(!sreq.is_complete(), "ssend must wait for the receiver to match");
+        assert!(
+            !sreq.is_complete(),
+            "ssend must wait for the receiver to match"
+        );
         let mut buf = [0u8; 32];
         let rreq = recv(&d1, 0, 7, 0, &mut buf[..32]).unwrap();
         drive(&d0, &d1);
@@ -784,7 +918,10 @@ mod tests {
         let data = [8u8; 24];
         send(&d0, 1, env(0, 0, 6), &data[..24], false).unwrap();
         drive(&d0, &d1);
-        let st = d1.iprobe(ANY_SOURCE, ANY_TAG, 0).unwrap().expect("message probed");
+        let st = d1
+            .iprobe(ANY_SOURCE, ANY_TAG, 0)
+            .unwrap()
+            .expect("message probed");
         assert_eq!(st.count, 24);
         assert_eq!(st.tag, 6);
         // Still there.
@@ -793,7 +930,10 @@ mod tests {
         let r = recv(&d1, 0, 6, 0, &mut buf[..24]).unwrap();
         drive(&d0, &d1);
         assert!(r.is_complete());
-        assert!(d1.iprobe(0, 6, 0).unwrap().is_none(), "consumed by the receive");
+        assert!(
+            d1.iprobe(0, 6, 0).unwrap().is_none(),
+            "consumed by the receive"
+        );
     }
 
     #[test]

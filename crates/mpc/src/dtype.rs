@@ -159,7 +159,11 @@ fn apply_one<T: Reducible>(op: ReduceOp, a: T, b: T, is_int: bool) -> T {
 /// Both buffers are raw bytes holding elements of `dtype`.
 pub fn reduce_in_place(op: ReduceOp, dtype: DType, acc: &mut [u8], input: &[u8]) {
     assert_eq!(acc.len(), input.len(), "reduction buffer length mismatch");
-    assert_eq!(acc.len() % dtype.size(), 0, "buffer not a whole number of elements");
+    assert_eq!(
+        acc.len() % dtype.size(),
+        0,
+        "buffer not a whole number of elements"
+    );
     match dtype {
         DType::U8 => reduce_arm!(op, u8, acc, input, true),
         DType::I8 => reduce_arm!(op, i8, acc, input, true),
@@ -202,7 +206,12 @@ mod tests {
     fn sum_reduction_i32() {
         let mut acc = vec![1i32, 2, 3, 4];
         let inp = vec![10i32, 20, 30, 40];
-        reduce_in_place(ReduceOp::Sum, DType::I32, as_bytes_mut(&mut acc), as_bytes(&inp));
+        reduce_in_place(
+            ReduceOp::Sum,
+            DType::I32,
+            as_bytes_mut(&mut acc),
+            as_bytes(&inp),
+        );
         assert_eq!(acc, vec![11, 22, 33, 44]);
     }
 
@@ -211,9 +220,19 @@ mod tests {
         let mut acc = vec![1.0f64, 9.0];
         let inp = vec![5.0f64, 2.0];
         let mut acc2 = acc.clone();
-        reduce_in_place(ReduceOp::Min, DType::F64, as_bytes_mut(&mut acc), as_bytes(&inp));
+        reduce_in_place(
+            ReduceOp::Min,
+            DType::F64,
+            as_bytes_mut(&mut acc),
+            as_bytes(&inp),
+        );
         assert_eq!(acc, vec![1.0, 2.0]);
-        reduce_in_place(ReduceOp::Max, DType::F64, as_bytes_mut(&mut acc2), as_bytes(&inp));
+        reduce_in_place(
+            ReduceOp::Max,
+            DType::F64,
+            as_bytes_mut(&mut acc2),
+            as_bytes(&inp),
+        );
         assert_eq!(acc2, vec![5.0, 9.0]);
     }
 

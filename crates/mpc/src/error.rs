@@ -30,7 +30,10 @@ impl fmt::Display for MpcError {
         match self {
             MpcError::InvalidRank(r) => write!(f, "invalid rank {r}"),
             MpcError::Truncation { message, buffer } => {
-                write!(f, "message of {message} bytes truncated to {buffer}-byte buffer")
+                write!(
+                    f,
+                    "message of {message} bytes truncated to {buffer}-byte buffer"
+                )
             }
             MpcError::Transport(e) => write!(f, "transport failure: {e}"),
             MpcError::Shutdown => write!(f, "communicator shut down"),
@@ -61,7 +64,10 @@ mod tests {
     #[test]
     fn display_variants() {
         assert!(MpcError::InvalidRank(9).to_string().contains("9"));
-        let t = MpcError::Truncation { message: 100, buffer: 10 };
+        let t = MpcError::Truncation {
+            message: 100,
+            buffer: 10,
+        };
         assert!(t.to_string().contains("100") && t.to_string().contains("10"));
         assert!(MpcError::Shutdown.to_string().contains("shut down"));
     }

@@ -25,12 +25,16 @@ impl Group {
         if seen.windows(2).any(|w| w[0] == w[1]) {
             return Err(MpcError::Protocol("duplicate rank in group".into()));
         }
-        Ok(Group { members: Arc::new(members) })
+        Ok(Group {
+            members: Arc::new(members),
+        })
     }
 
     /// The group of a communicator (`MPI_Comm_group`).
     pub fn of(comm: &Comm) -> Group {
-        Group { members: Arc::clone(comm.group()) }
+        Group {
+            members: Arc::clone(comm.group()),
+        }
     }
 
     /// Number of members.
@@ -51,7 +55,10 @@ impl Group {
 
     /// Global rank of group rank `r` (`MPI_Group_translate_ranks`).
     pub fn global_of(&self, r: usize) -> MpcResult<usize> {
-        self.members.get(r).copied().ok_or(MpcError::InvalidRank(r as i32))
+        self.members
+            .get(r)
+            .copied()
+            .ok_or(MpcError::InvalidRank(r as i32))
     }
 
     /// Members in group order.
@@ -95,7 +102,9 @@ impl Group {
                 m.push(g);
             }
         }
-        Group { members: Arc::new(m) }
+        Group {
+            members: Arc::new(m),
+        }
     }
 
     /// Intersection, ordered as in `self` (`MPI_Group_intersection`).
@@ -106,7 +115,9 @@ impl Group {
             .copied()
             .filter(|g| other.members.contains(g))
             .collect();
-        Group { members: Arc::new(m) }
+        Group {
+            members: Arc::new(m),
+        }
     }
 
     /// Difference: members of `self` not in `other`
@@ -118,7 +129,9 @@ impl Group {
             .copied()
             .filter(|g| !other.members.contains(g))
             .collect();
-        Group { members: Arc::new(m) }
+        Group {
+            members: Arc::new(m),
+        }
     }
 }
 
@@ -136,7 +149,9 @@ impl Comm {
         // Rank 0 of the parent allocates the context pair for everyone.
         let mut ctx = [0u32; 1];
         if self.rank() == 0 {
-            ctx[0] = self.ctx_alloc().fetch_add(2, std::sync::atomic::Ordering::Relaxed);
+            ctx[0] = self
+                .ctx_alloc()
+                .fetch_add(2, std::sync::atomic::Ordering::Relaxed);
         }
         self.bcast_slice(&mut ctx, 0)?;
         let me = self.global_rank(self.rank())?;
@@ -232,7 +247,10 @@ mod tests {
             }
             // A world-context probe on rank 2 must see nothing.
             if world.rank() == 2 {
-                assert!(world.iprobe(crate::ANY_SOURCE, crate::ANY_TAG).unwrap().is_none());
+                assert!(world
+                    .iprobe(crate::Source::Any, crate::ANY_TAG)
+                    .unwrap()
+                    .is_none());
             }
             world.barrier().unwrap();
         })

@@ -35,18 +35,20 @@
 
 pub mod channel;
 pub mod comm;
-pub mod group;
 pub mod device;
 pub mod dtype;
 pub mod error;
+pub mod group;
 pub mod packet;
 pub mod request;
+pub mod source;
 pub mod universe;
 
 pub use comm::Comm;
-pub use group::Group;
-pub use device::{Device, DeviceConfig, ANY_SOURCE, ANY_TAG};
+pub use device::{Device, DeviceConfig, ANY_TAG};
 pub use dtype::{DType, MpcPrim, ReduceOp};
 pub use error::{MpcError, MpcResult};
+pub use group::Group;
 pub use request::{Request, Status};
+pub use source::Source;
 pub use universe::{Proc, Universe};

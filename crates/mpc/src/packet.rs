@@ -92,7 +92,10 @@ impl Envelope {
     /// Decode from the start of `b`.
     pub fn decode(b: &[u8]) -> MpcResult<Envelope> {
         if b.len() < ENVELOPE_LEN {
-            return Err(MpcError::Protocol(format!("short envelope: {} bytes", b.len())));
+            return Err(MpcError::Protocol(format!(
+                "short envelope: {} bytes",
+                b.len()
+            )));
         }
         Ok(Envelope {
             src: u32::from_le_bytes(b[0..4].try_into().unwrap()),
@@ -168,7 +171,15 @@ mod tests {
     use super::*;
 
     fn env() -> Envelope {
-        Envelope { src: 3, gsrc: 3, tag: -7, context: 11, len: 5, sreq: 0xDEAD_BEEF, flags: env_flags::SYNC }
+        Envelope {
+            src: 3,
+            gsrc: 3,
+            tag: -7,
+            context: 11,
+            len: 5,
+            sreq: 0xDEAD_BEEF,
+            flags: env_flags::SYNC,
+        }
     }
 
     #[test]
@@ -184,7 +195,10 @@ mod tests {
 
     #[test]
     fn short_envelope_is_protocol_error() {
-        assert!(matches!(Envelope::decode(&[0u8; 5]), Err(MpcError::Protocol(_))));
+        assert!(matches!(
+            Envelope::decode(&[0u8; 5]),
+            Err(MpcError::Protocol(_))
+        ));
     }
 
     #[test]

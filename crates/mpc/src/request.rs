@@ -110,7 +110,15 @@ mod tests {
         assert!(r.is_complete());
         assert!(!r.in_flight());
         let s = r.status();
-        assert_eq!(s, Status { source: 2, tag: 9, count: 128, truncated: false });
+        assert_eq!(
+            s,
+            Status {
+                source: 2,
+                tag: 9,
+                count: 128,
+                truncated: false
+            }
+        );
     }
 
     #[test]

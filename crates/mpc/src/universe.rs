@@ -195,7 +195,12 @@ impl Universe {
                         rank,
                         Arc::clone(&universe.inner.ctx_alloc),
                     );
-                    body(Proc { universe, device, world, parent: None });
+                    body(Proc {
+                        universe,
+                        device,
+                        world,
+                        parent: None,
+                    });
                 }));
             }
             for h in handles {
@@ -217,12 +222,7 @@ impl Universe {
     /// all members receive the parent↔children [`InterComm`]. The children
     /// receive a `Proc` whose world communicator spans the new processes
     /// and whose [`Proc::parent`] is the children↔parents intercomm.
-    pub fn spawn_children<F>(
-        &self,
-        comm: &Comm,
-        count: usize,
-        entry: F,
-    ) -> MpcResult<InterComm>
+    pub fn spawn_children<F>(&self, comm: &Comm, count: usize, entry: F) -> MpcResult<InterComm>
     where
         F: Fn(Proc) + Send + Sync + 'static,
     {
@@ -261,7 +261,12 @@ impl Universe {
                         local_rank: i,
                         remote: parent_group,
                     };
-                    entry(Proc { universe, device, world, parent: Some(parent) });
+                    entry(Proc {
+                        universe,
+                        device,
+                        world,
+                        parent: Some(parent),
+                    });
                 });
                 self.inner.children.lock().push(handle);
             }
@@ -323,21 +328,32 @@ impl InterComm {
             .ok_or(MpcError::InvalidRank(remote_rank as i32))?;
         // SAFETY: `buf` is borrowed across the wait below.
         let req: Request = unsafe {
-            self.device.isend_raw(g, self.envelope(tag), buf.as_ptr(), buf.len(), false)?
+            self.device
+                .isend_raw(g, self.envelope(tag), buf.as_ptr(), buf.len(), false)?
         };
         self.device.wait_with(&req, || {})?;
         Ok(())
     }
 
-    /// Blocking receive from a remote-group rank (or [`crate::ANY_SOURCE`]).
-    pub fn recv_bytes(&self, buf: &mut [u8], remote_rank: i32, tag: i32) -> MpcResult<Status> {
+    /// Blocking receive from a remote-group rank (or [`crate::Source::Any`]).
+    pub fn recv_bytes(
+        &self,
+        buf: &mut [u8],
+        remote_rank: impl Into<crate::Source>,
+        tag: i32,
+    ) -> MpcResult<Status> {
+        let src = remote_rank.into().to_device();
         // SAFETY: `buf` is borrowed across the wait below.
         let req = unsafe {
-            self.device.irecv_raw(remote_rank, tag, self.context, buf.as_mut_ptr(), buf.len())?
+            self.device
+                .irecv_raw(src, tag, self.context, buf.as_mut_ptr(), buf.len())?
         };
         let status = self.device.wait_with(&req, || {})?;
         if status.truncated {
-            return Err(MpcError::Truncation { message: status.count, buffer: buf.len() });
+            return Err(MpcError::Truncation {
+                message: status.count,
+                buffer: buf.len(),
+            });
         }
         Ok(status)
     }
@@ -346,8 +362,9 @@ impl InterComm {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::device::{ANY_SOURCE, ANY_TAG};
+    use crate::device::ANY_TAG;
     use crate::dtype::ReduceOp;
+    use crate::source::Source;
     use std::sync::atomic::AtomicUsize;
 
     #[test]
@@ -370,7 +387,10 @@ mod tests {
 
     #[test]
     fn two_rank_pingpong_tcp() {
-        let cfg = UniverseConfig { channel: ChannelKind::Tcp, ..Default::default() };
+        let cfg = UniverseConfig {
+            channel: ChannelKind::Tcp,
+            ..Default::default()
+        };
         Universe::run_with(2, cfg, |proc| {
             let world = proc.world();
             let data: Vec<u8> = (0..10_000u32).map(|i| (i % 251) as u8).collect();
@@ -447,7 +467,9 @@ mod tests {
                 None
             };
             let mut part = [0u8; 4];
-            world.scatter_bytes(send.as_deref(), &mut part, root).unwrap();
+            world
+                .scatter_bytes(send.as_deref(), &mut part, root)
+                .unwrap();
             let expect: Vec<u8> = (0..4u8).map(|i| (world.rank() * 4) as u8 + i).collect();
             assert_eq!(&part, expect.as_slice());
             // Transform and gather back.
@@ -455,7 +477,11 @@ mod tests {
                 *b = b.wrapping_add(1);
             }
             let mut gathered = vec![0u8; 4 * n];
-            let recv = if world.rank() == root { Some(&mut gathered[..]) } else { None };
+            let recv = if world.rank() == root {
+                Some(&mut gathered[..])
+            } else {
+                None
+            };
             world.gather_bytes(&part, recv, root).unwrap();
             if world.rank() == root {
                 let expect: Vec<u8> = (0..(4 * n) as u8).map(|b| b.wrapping_add(1)).collect();
@@ -473,13 +499,24 @@ mod tests {
             let send = [r + 1, 10 * (r + 1)];
             let mut out = [0i64; 2];
             world
-                .reduce_slice(&send, if world.rank() == 0 { Some(&mut out[..]) } else { None }, ReduceOp::Sum, 0)
+                .reduce_slice(
+                    &send,
+                    if world.rank() == 0 {
+                        Some(&mut out[..])
+                    } else {
+                        None
+                    },
+                    ReduceOp::Sum,
+                    0,
+                )
                 .unwrap();
             if world.rank() == 0 {
                 assert_eq!(out, [10, 100]);
             }
             let mut all = [0i64; 2];
-            world.allreduce_slice(&send, &mut all, ReduceOp::Max).unwrap();
+            world
+                .allreduce_slice(&send, &mut all, ReduceOp::Max)
+                .unwrap();
             assert_eq!(all, [4, 40]);
         })
         .unwrap();
@@ -550,7 +587,8 @@ mod tests {
             assert_eq!(half.size(), 2);
             // Ranks within the half follow the key order (== world order).
             let mut sum = [0i32];
-            half.allreduce_slice(&[world.rank() as i32], &mut sum, ReduceOp::Sum).unwrap();
+            half.allreduce_slice(&[world.rank() as i32], &mut sum, ReduceOp::Sum)
+                .unwrap();
             if color == 0 {
                 assert_eq!(sum[0], 2);
             } else {
@@ -568,13 +606,15 @@ mod tests {
                 let mut seen = [false; 3];
                 for _ in 0..2 {
                     let mut buf = [0u8; 1];
-                    let st = world.recv_bytes(&mut buf, ANY_SOURCE, ANY_TAG).unwrap();
+                    let st = world.recv_bytes(&mut buf, Source::Any, ANY_TAG).unwrap();
                     assert_eq!(buf[0] as u32, st.source);
                     seen[st.source as usize] = true;
                 }
                 assert!(seen[1] && seen[2]);
             } else {
-                world.send_bytes(&[world.rank() as u8], 0, world.rank() as i32).unwrap();
+                world
+                    .send_bytes(&[world.rank() as u8], 0, world.rank() as i32)
+                    .unwrap();
             }
         })
         .unwrap();
@@ -587,10 +627,12 @@ mod tests {
             if world.rank() == 0 {
                 world.send_bytes(&[9u8; 77], 1, 3).unwrap();
             } else {
-                let st = world.probe(ANY_SOURCE, ANY_TAG).unwrap();
+                let st = world.probe(Source::Any, ANY_TAG).unwrap();
                 assert_eq!(st.count, 77);
                 let mut buf = vec![0u8; st.count];
-                world.recv_bytes(&mut buf, st.source as i32, st.tag).unwrap();
+                world
+                    .recv_bytes(&mut buf, st.source as usize, st.tag)
+                    .unwrap();
                 assert_eq!(buf, vec![9u8; 77]);
             }
         })
@@ -610,18 +652,24 @@ mod tests {
                     let mut sum = [0i32];
                     child
                         .world()
-                        .allreduce_slice(&[child.world().rank() as i32 + 1], &mut sum, ReduceOp::Sum)
+                        .allreduce_slice(
+                            &[child.world().rank() as i32 + 1],
+                            &mut sum,
+                            ReduceOp::Sum,
+                        )
                         .unwrap();
                     assert_eq!(sum[0], 3);
                     // Report to the parent with the same local rank.
                     let payload = [child.world().rank() as u8 + 100];
-                    parent.send_bytes(&payload, child.world().rank(), 5).unwrap();
+                    parent
+                        .send_bytes(&payload, child.world().rank(), 5)
+                        .unwrap();
                 })
                 .unwrap();
             assert_eq!(inter.remote_size(), 2);
             // Parent r receives from child r.
             let mut buf = [0u8; 1];
-            inter.recv_bytes(&mut buf, world.rank() as i32, 5).unwrap();
+            inter.recv_bytes(&mut buf, world.rank(), 5).unwrap();
             assert_eq!(buf[0], world.rank() as u8 + 100);
         })
         .unwrap();
@@ -650,7 +698,9 @@ mod tests {
             let other = 1 - me;
             let send = [me as u8; 32];
             let mut recv = [0u8; 32];
-            world.sendrecv_bytes(&send, other, &mut recv, other as i32, 4).unwrap();
+            world
+                .sendrecv_bytes(&send, other, &mut recv, other, 4)
+                .unwrap();
             assert_eq!(recv, [other as u8; 32]);
         })
         .unwrap();

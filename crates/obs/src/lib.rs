@@ -1,0 +1,822 @@
+//! Observability for the Motor stack: a lock-free per-rank metrics
+//! registry plus a fixed-capacity event-trace ring.
+//!
+//! The paper's argument is a *measured* cost structure — FCall vs
+//! P/Invoke/JNI transitions, pin-avoidance, eager vs rendezvous — so every
+//! layer (channel, device, comm, pinning, serializer, buffer pool, GC)
+//! reports into one [`MetricsRegistry`]. Hot paths pay exactly one relaxed
+//! atomic RMW per counter bump and never take a lock:
+//!
+//! * **Counters** ([`Metric`]) are monotonic `AtomicU64`s, except a few
+//!   high-water marks (`*_peak`) maintained with a CAS max-loop and merged
+//!   across ranks by `max` rather than `+`.
+//! * **Histograms** ([`Hist`]) are 64 log2 buckets of `AtomicU64` — a
+//!   value `v` lands in bucket `ceil(log2(v+1))`, so bucket 0 is exactly 0,
+//!   bucket 1 is 1, bucket k covers `(2^(k-1), 2^k]`.
+//! * **Events** go to a fixed-capacity ring stamped by a monotonically
+//!   increasing sequence; writers claim a slot with one `fetch_add` and
+//!   publish with a release store, old entries are overwritten.
+//!
+//! [`MetricsRegistry::snapshot`] is wait-free for writers; snapshots can be
+//! [`diff`](MetricsSnapshot::diff)-ed (what happened between two points),
+//! [`merge`](MetricsSnapshot::merge)-d (across ranks or across the device-
+//! and VM-side registries of one rank), and exported as CSV or JSON.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Number of log2 buckets per histogram (covers the full u64 range).
+pub const HIST_BUCKETS: usize = 64;
+
+/// Default capacity of the event-trace ring.
+pub const DEFAULT_EVENT_CAPACITY: usize = 4096;
+
+macro_rules! define_metrics {
+    ($( $(#[$doc:meta])* $variant:ident => $name:literal ),+ $(,)?) => {
+        /// Monotonic counter identifiers. `*Peak` entries are high-water
+        /// marks (merged by `max`, bumped with [`MetricsRegistry::record_max`]).
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+        #[repr(usize)]
+        pub enum Metric {
+            $( $(#[$doc])* $variant ),+
+        }
+
+        impl Metric {
+            /// Number of defined counters.
+            pub const COUNT: usize = [$(Metric::$variant),+].len();
+            /// Every counter, in declaration (= export) order.
+            pub const ALL: [Metric; Self::COUNT] = [$(Metric::$variant),+];
+
+            /// Stable export name (CSV column / JSON key).
+            pub fn name(self) -> &'static str {
+                match self {
+                    $( Metric::$variant => $name ),+
+                }
+            }
+        }
+    };
+}
+
+define_metrics! {
+    // ---- channel layer (frames on the wire) ----
+    /// Frames written to the link by `pump_out`.
+    ChanFramesOut => "chan_frames_out",
+    /// Payload bytes written to the link.
+    ChanBytesOut => "chan_bytes_out",
+    /// Frames fully received by `pump_in`.
+    ChanFramesIn => "chan_frames_in",
+    /// Payload bytes received from the link.
+    ChanBytesIn => "chan_bytes_in",
+
+    // ---- device layer (CH3-style protocol engine) ----
+    /// Sends that took the eager path (payload rides the first frame).
+    SendsEager => "sends_eager",
+    /// Sends that took the rendezvous path (RTS/CTS handshake).
+    SendsRndv => "sends_rndv",
+    /// Synchronous-mode sends (eager-sync with explicit ack).
+    SendsSync => "sends_sync",
+    /// Loopback sends delivered without touching a link.
+    SendsSelf => "sends_self",
+    /// Receives that had to be queued on the posted queue.
+    RecvsPosted => "recvs_posted",
+    /// Receives satisfied from the unexpected queue.
+    RecvsUnexpected => "recvs_unexpected",
+    /// Envelope comparisons while matching posted/unexpected queues.
+    MatchAttempts => "match_attempts",
+    /// Rendezvous ready-to-send control packets received.
+    RndvRtsIn => "rndv_rts_in",
+    /// Rendezvous clear-to-send control packets received.
+    RndvCtsIn => "rndv_cts_in",
+    /// Rendezvous transfers fully completed.
+    RndvDone => "rndv_done",
+    /// High-water mark of the posted-receive queue.
+    PostedQueuePeak => "posted_queue_peak",
+    /// High-water mark of the unexpected-message queue.
+    UnexpectedQueuePeak => "unexpected_queue_peak",
+    /// Progress-engine pump invocations.
+    ProgressPolls => "progress_polls",
+
+    // ---- comm layer (per-collective call counts) ----
+    /// `barrier` calls.
+    CollBarrier => "coll_barrier",
+    /// `bcast` calls.
+    CollBcast => "coll_bcast",
+    /// `scatter` calls.
+    CollScatter => "coll_scatter",
+    /// `scatterv` calls.
+    CollScatterv => "coll_scatterv",
+    /// `gather` calls.
+    CollGather => "coll_gather",
+    /// `gatherv` calls.
+    CollGatherv => "coll_gatherv",
+    /// `allgather` calls.
+    CollAllgather => "coll_allgather",
+    /// `reduce` calls.
+    CollReduce => "coll_reduce",
+    /// `allreduce` calls.
+    CollAllreduce => "coll_allreduce",
+    /// `scan` calls.
+    CollScan => "coll_scan",
+    /// `alltoall` calls.
+    CollAlltoall => "coll_alltoall",
+
+    // ---- System.MP.OO (object-passing operations) ----
+    /// `osend`/`osend_range` calls.
+    OompOsends => "oomp_osends",
+    /// `orecv` calls.
+    OompOrecvs => "oomp_orecvs",
+    /// Object-graph collective calls (`obcast`/`oscatter`/`ogather`).
+    OompCollectives => "oomp_collectives",
+
+    // ---- serializer ----
+    /// Object graphs serialized.
+    SerOps => "ser_ops",
+    /// Objects walked while serializing.
+    SerObjects => "ser_objects",
+    /// Wire bytes produced by the serializer.
+    SerBytes => "ser_bytes",
+    /// Visited-structure probes while serializing.
+    SerVisitedProbes => "ser_visited_probes",
+    /// Object graphs deserialized.
+    DeserOps => "deser_ops",
+    /// Wire bytes consumed by the deserializer.
+    DeserBytes => "deser_bytes",
+
+    // ---- transfer buffer pool ----
+    /// Pool lookups.
+    PoolGets => "pool_gets",
+    /// Lookups satisfied by a buffer that already fit.
+    PoolHits => "pool_hits",
+    /// Lookups that reused a buffer but had to grow it.
+    PoolPartialHits => "pool_partial_hits",
+    /// Lookups that allocated fresh.
+    PoolMisses => "pool_misses",
+    /// Buffers returned to the pool.
+    PoolPuts => "pool_puts",
+    /// Buffers discarded by the GC-epoch trim.
+    PoolTrimmed => "pool_trimmed",
+
+    // ---- safepoint ----
+    /// Safepoint polls that found a GC pending (the slow path).
+    SafepointStalls => "safepoint_stalls",
+
+    // ---- GC bridge (copied from GcStats at snapshot time) ----
+    /// Minor collections.
+    GcMinorCollections => "gc_minor_collections",
+    /// Full collections.
+    GcFullCollections => "gc_full_collections",
+    /// Objects promoted young -> elder.
+    GcObjectsPromoted => "gc_objects_promoted",
+    /// Bytes promoted young -> elder.
+    GcBytesPromoted => "gc_bytes_promoted",
+    /// Pinned blocks promoted in place.
+    GcPinnedBlockPromotions => "gc_pinned_block_promotions",
+    /// Hard pins taken.
+    GcPins => "gc_pins",
+    /// Hard pins released.
+    GcUnpins => "gc_unpins",
+    /// Conditional pins registered (non-blocking ops).
+    GcCondPinsRegistered => "gc_cond_pins_registered",
+    /// Conditional pins still in flight when a GC resolved them.
+    GcCondPinsHeld => "gc_cond_pins_held",
+    /// Conditional pins found complete and discarded at mark.
+    GcCondPinsReleased => "gc_cond_pins_released",
+    /// Pins avoided because the buffer was elder.
+    GcPinsAvoidedElder => "gc_pins_avoided_elder",
+    /// Pins avoided by the fast-blocking-completion path.
+    GcPinsAvoidedFastBlocking => "gc_pins_avoided_fast_blocking",
+    /// Objects swept.
+    GcObjectsSwept => "gc_objects_swept",
+    /// Bytes swept.
+    GcBytesSwept => "gc_bytes_swept",
+}
+
+impl Metric {
+    /// High-water marks merge by `max` instead of `+` and survive `diff`.
+    pub fn is_peak(self) -> bool {
+        matches!(self, Metric::PostedQueuePeak | Metric::UnexpectedQueuePeak)
+    }
+
+    /// GC-bridge counters are copied wholesale from [`GcStats`]-style
+    /// snapshots rather than bumped through the registry.
+    pub fn is_gc_bridge(self) -> bool {
+        (self as usize) >= (Metric::GcMinorCollections as usize)
+    }
+}
+
+macro_rules! define_hists {
+    ($( $(#[$doc:meta])* $variant:ident => $name:literal ),+ $(,)?) => {
+        /// Log2-bucket histogram identifiers.
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+        #[repr(usize)]
+        pub enum Hist {
+            $( $(#[$doc])* $variant ),+
+        }
+
+        impl Hist {
+            /// Number of defined histograms.
+            pub const COUNT: usize = [$(Hist::$variant),+].len();
+            /// Every histogram, in declaration (= export) order.
+            pub const ALL: [Hist; Self::COUNT] = [$(Hist::$variant),+];
+
+            /// Stable export name.
+            pub fn name(self) -> &'static str {
+                match self {
+                    $( Hist::$variant => $name ),+
+                }
+            }
+        }
+    };
+}
+
+define_hists! {
+    /// Payload size of eager-path sends (bytes).
+    EagerSendBytes => "eager_send_bytes",
+    /// Payload size of rendezvous-path sends (bytes).
+    RndvSendBytes => "rndv_send_bytes",
+    /// Blocking-wait latency at the device (nanoseconds).
+    WaitNanos => "wait_nanos",
+    /// Time a mutator stalled at a safepoint for GC (nanoseconds).
+    SafepointStallNanos => "safepoint_stall_nanos",
+    /// Serialized object-graph sizes (wire bytes per osend).
+    SerializedGraphBytes => "serialized_graph_bytes",
+}
+
+/// Bucket index for a value: 0 holds exactly 0, bucket k covers
+/// `(2^(k-1), 2^k]`.
+pub fn log2_bucket(value: u64) -> usize {
+    if value == 0 {
+        0
+    } else {
+        ((64 - (value - 1).leading_zeros()) as usize).clamp(1, HIST_BUCKETS - 1)
+    }
+}
+
+/// Kinds of entries in the event-trace ring.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u64)]
+pub enum EventKind {
+    /// A blocking operation started (`a` = request/op id, `b` = peer|tag).
+    OpBegin = 0,
+    /// A blocking operation finished (`a` = request/op id, `b` = nanos).
+    OpEnd = 1,
+    /// Rendezvous RTS observed (`a` = send id, `b` = payload bytes).
+    RndvRts = 2,
+    /// Rendezvous CTS observed (`a` = send id, `b` = payload bytes).
+    RndvCts = 3,
+    /// Rendezvous transfer completed (`a` = send id, `b` = payload bytes).
+    RndvDone = 4,
+    /// A mutator stalled at a safepoint (`a` = nanos stalled, `b` unused).
+    SafepointStall = 5,
+    /// A collection started (`a` = 0 minor / 1 full, `b` = epoch).
+    GcBegin = 6,
+    /// A collection finished (`a` = 0 minor / 1 full, `b` = nanos).
+    GcEnd = 7,
+}
+
+impl EventKind {
+    /// Stable export name.
+    pub fn name(self) -> &'static str {
+        match self {
+            EventKind::OpBegin => "op_begin",
+            EventKind::OpEnd => "op_end",
+            EventKind::RndvRts => "rndv_rts",
+            EventKind::RndvCts => "rndv_cts",
+            EventKind::RndvDone => "rndv_done",
+            EventKind::SafepointStall => "safepoint_stall",
+            EventKind::GcBegin => "gc_begin",
+            EventKind::GcEnd => "gc_end",
+        }
+    }
+
+    fn from_u64(v: u64) -> Option<EventKind> {
+        Some(match v {
+            0 => EventKind::OpBegin,
+            1 => EventKind::OpEnd,
+            2 => EventKind::RndvRts,
+            3 => EventKind::RndvCts,
+            4 => EventKind::RndvDone,
+            5 => EventKind::SafepointStall,
+            6 => EventKind::GcBegin,
+            7 => EventKind::GcEnd,
+            _ => return None,
+        })
+    }
+}
+
+/// One recorded trace entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// Global sequence number (monotonic per registry, 1-based).
+    pub seq: u64,
+    /// Nanoseconds since the registry was created.
+    pub t_nanos: u64,
+    /// What happened.
+    pub kind: EventKind,
+    /// Kind-specific payload.
+    pub a: u64,
+    /// Kind-specific payload.
+    pub b: u64,
+}
+
+struct EventSlot {
+    // 0 = empty; otherwise the 1-based sequence number, published last
+    // with Release so readers that Acquire it see the payload stores.
+    seq: AtomicU64,
+    t_nanos: AtomicU64,
+    kind: AtomicU64,
+    a: AtomicU64,
+    b: AtomicU64,
+}
+
+impl EventSlot {
+    fn empty() -> Self {
+        EventSlot {
+            seq: AtomicU64::new(0),
+            t_nanos: AtomicU64::new(0),
+            kind: AtomicU64::new(0),
+            a: AtomicU64::new(0),
+            b: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Lock-free per-rank metrics: counters, histograms, event ring.
+pub struct MetricsRegistry {
+    counters: Vec<AtomicU64>,
+    hists: Vec<AtomicU64>, // Hist::COUNT * HIST_BUCKETS, row-major
+    slots: Vec<EventSlot>,
+    next_seq: AtomicU64,
+    epoch: Instant,
+}
+
+impl fmt::Debug for MetricsRegistry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("MetricsRegistry")
+            .field("events_seen", &self.next_seq.load(Ordering::Relaxed))
+            .finish_non_exhaustive()
+    }
+}
+
+impl Default for MetricsRegistry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MetricsRegistry {
+    /// Registry with the default event-ring capacity.
+    pub fn new() -> Self {
+        Self::with_event_capacity(DEFAULT_EVENT_CAPACITY)
+    }
+
+    /// Registry with an explicit event-ring capacity (rounded up to 1).
+    pub fn with_event_capacity(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        MetricsRegistry {
+            counters: (0..Metric::COUNT).map(|_| AtomicU64::new(0)).collect(),
+            hists: (0..Hist::COUNT * HIST_BUCKETS)
+                .map(|_| AtomicU64::new(0))
+                .collect(),
+            slots: (0..capacity).map(|_| EventSlot::empty()).collect(),
+            next_seq: AtomicU64::new(0),
+            epoch: Instant::now(),
+        }
+    }
+
+    /// Add 1 to a counter. One relaxed RMW; no locks.
+    #[inline]
+    pub fn bump(&self, m: Metric) {
+        self.add(m, 1);
+    }
+
+    /// Add `n` to a counter.
+    #[inline]
+    pub fn add(&self, m: Metric, n: u64) {
+        self.counters[m as usize].fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Raise a high-water mark to at least `v` (CAS max-loop).
+    #[inline]
+    pub fn record_max(&self, m: Metric, v: u64) {
+        let c = &self.counters[m as usize];
+        let mut cur = c.load(Ordering::Relaxed);
+        while cur < v {
+            match c.compare_exchange_weak(cur, v, Ordering::Relaxed, Ordering::Relaxed) {
+                Ok(_) => break,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Overwrite a counter (used by the GC bridge at snapshot time).
+    #[inline]
+    pub fn set(&self, m: Metric, v: u64) {
+        self.counters[m as usize].store(v, Ordering::Relaxed);
+    }
+
+    /// Current value of a counter.
+    #[inline]
+    pub fn get(&self, m: Metric) -> u64 {
+        self.counters[m as usize].load(Ordering::Relaxed)
+    }
+
+    /// Record `value` into a histogram's log2 bucket.
+    #[inline]
+    pub fn record(&self, h: Hist, value: u64) {
+        let idx = (h as usize) * HIST_BUCKETS + log2_bucket(value);
+        self.hists[idx].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Nanoseconds since this registry was created (event clock).
+    #[inline]
+    pub fn now_nanos(&self) -> u64 {
+        self.epoch.elapsed().as_nanos() as u64
+    }
+
+    /// Append an event to the trace ring. Lock-free: one `fetch_add`
+    /// claims a slot, a release store publishes it; the oldest entry in
+    /// the slot is overwritten.
+    pub fn event(&self, kind: EventKind, a: u64, b: u64) {
+        let seq = self.next_seq.fetch_add(1, Ordering::Relaxed) + 1;
+        let slot = &self.slots[(seq - 1) as usize % self.slots.len()];
+        // Invalidate, write payload, publish. A torn read (reader between
+        // the two seq stores) is discarded by the reader's re-check.
+        slot.seq.store(0, Ordering::Release);
+        slot.t_nanos.store(self.now_nanos(), Ordering::Relaxed);
+        slot.kind.store(kind as u64, Ordering::Relaxed);
+        slot.a.store(a, Ordering::Relaxed);
+        slot.b.store(b, Ordering::Relaxed);
+        slot.seq.store(seq, Ordering::Release);
+    }
+
+    /// Consistent-enough copy of everything. Wait-free for writers; events
+    /// caught mid-write are skipped.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let counters: Vec<u64> = self
+            .counters
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect();
+        let hists: Vec<u64> = self
+            .hists
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect();
+        let mut events = Vec::new();
+        for slot in &self.slots {
+            let seq = slot.seq.load(Ordering::Acquire);
+            if seq == 0 {
+                continue;
+            }
+            let (t, k, a, b) = (
+                slot.t_nanos.load(Ordering::Relaxed),
+                slot.kind.load(Ordering::Relaxed),
+                slot.a.load(Ordering::Relaxed),
+                slot.b.load(Ordering::Relaxed),
+            );
+            if slot.seq.load(Ordering::Acquire) != seq {
+                continue; // overwritten while reading
+            }
+            if let Some(kind) = EventKind::from_u64(k) {
+                events.push(Event {
+                    seq,
+                    t_nanos: t,
+                    kind,
+                    a,
+                    b,
+                });
+            }
+        }
+        events.sort_by_key(|e| e.seq);
+        MetricsSnapshot {
+            counters,
+            hists,
+            events,
+            events_through: self.next_seq.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Per-bucket view of one histogram inside a snapshot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistSnapshot {
+    /// `buckets[k]` counts values in `(2^(k-1), 2^k]` (bucket 0: exactly 0).
+    pub buckets: [u64; HIST_BUCKETS],
+}
+
+impl HistSnapshot {
+    /// Total number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// Upper bound of the highest non-empty bucket (0 if empty).
+    pub fn max_bound(&self) -> u64 {
+        match self.buckets.iter().rposition(|&c| c > 0) {
+            Some(0) | None => 0,
+            Some(k) => 1u64 << k,
+        }
+    }
+}
+
+/// Point-in-time copy of a [`MetricsRegistry`]; also the unit of
+/// aggregation across ranks and layers.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct MetricsSnapshot {
+    counters: Vec<u64>,
+    hists: Vec<u64>,
+    events: Vec<Event>,
+    events_through: u64,
+}
+
+impl MetricsSnapshot {
+    /// An all-zero snapshot (identity for [`merge`](Self::merge)).
+    pub fn empty() -> Self {
+        MetricsSnapshot {
+            counters: vec![0; Metric::COUNT],
+            hists: vec![0; Hist::COUNT * HIST_BUCKETS],
+            events: Vec::new(),
+            events_through: 0,
+        }
+    }
+
+    /// Value of one counter.
+    pub fn get(&self, m: Metric) -> u64 {
+        self.counters.get(m as usize).copied().unwrap_or(0)
+    }
+
+    /// View of one histogram.
+    pub fn hist(&self, h: Hist) -> HistSnapshot {
+        let mut buckets = [0u64; HIST_BUCKETS];
+        let base = (h as usize) * HIST_BUCKETS;
+        for (k, b) in buckets.iter_mut().enumerate() {
+            *b = self.hists.get(base + k).copied().unwrap_or(0);
+        }
+        HistSnapshot { buckets }
+    }
+
+    /// Recorded trace events, oldest first.
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// What happened between `earlier` and `self`: counters and histogram
+    /// buckets subtract (saturating), peaks keep the later high-water mark,
+    /// and only events newer than `earlier` survive.
+    pub fn diff(&self, earlier: &MetricsSnapshot) -> MetricsSnapshot {
+        let mut out = Self::empty();
+        for m in Metric::ALL {
+            let i = m as usize;
+            out.counters[i] = if m.is_peak() {
+                self.counters[i]
+            } else {
+                self.counters[i].saturating_sub(earlier.counters.get(i).copied().unwrap_or(0))
+            };
+        }
+        for (i, slot) in out.hists.iter_mut().enumerate() {
+            *slot = self.hists[i].saturating_sub(earlier.hists.get(i).copied().unwrap_or(0));
+        }
+        out.events = self
+            .events
+            .iter()
+            .filter(|e| e.seq > earlier.events_through)
+            .copied()
+            .collect();
+        out.events_through = self.events_through;
+        out
+    }
+
+    /// Fold `other` into `self`: counters and buckets add, peaks take the
+    /// max, event streams concatenate (kept in per-source order).
+    pub fn merge(&mut self, other: &MetricsSnapshot) {
+        for m in Metric::ALL {
+            let i = m as usize;
+            let o = other.counters.get(i).copied().unwrap_or(0);
+            if m.is_peak() {
+                self.counters[i] = self.counters[i].max(o);
+            } else {
+                self.counters[i] += o;
+            }
+        }
+        for (i, slot) in self.hists.iter_mut().enumerate() {
+            *slot += other.hists.get(i).copied().unwrap_or(0);
+        }
+        self.events.extend_from_slice(&other.events);
+        self.events_through = self.events_through.max(other.events_through);
+    }
+
+    /// Merged copy (see [`merge`](Self::merge)).
+    pub fn merged(&self, other: &MetricsSnapshot) -> MetricsSnapshot {
+        let mut out = self.clone();
+        out.merge(other);
+        out
+    }
+
+    /// Copy a GC-stats snapshot into the `gc_*` bridge counters. The
+    /// arguments follow `GcStatsSnapshot` field order; a slice keeps
+    /// `motor-obs` free of a dependency on the runtime crate.
+    pub fn set_gc_bridge(&mut self, values: &[(Metric, u64)]) {
+        for &(m, v) in values {
+            debug_assert!(m.is_gc_bridge(), "{} is not a GC bridge counter", m.name());
+            self.counters[m as usize] = v;
+        }
+    }
+
+    /// Header for [`csv_row`](Self::csv_row): `label` + every counter name
+    /// + `<hist>_count`/`<hist>_max` per histogram.
+    pub fn csv_header() -> String {
+        let mut cols = vec!["label".to_string()];
+        cols.extend(Metric::ALL.iter().map(|m| m.name().to_string()));
+        for h in Hist::ALL {
+            cols.push(format!("{}_count", h.name()));
+            cols.push(format!("{}_max", h.name()));
+        }
+        cols.join(",")
+    }
+
+    /// One wide CSV row under [`csv_header`](Self::csv_header).
+    pub fn csv_row(&self, label: &str) -> String {
+        let mut cols = vec![label.to_string()];
+        cols.extend(Metric::ALL.iter().map(|m| self.get(*m).to_string()));
+        for h in Hist::ALL {
+            let hs = self.hist(h);
+            cols.push(hs.count().to_string());
+            cols.push(hs.max_bound().to_string());
+        }
+        cols.join(",")
+    }
+
+    /// The whole snapshot as a JSON object (counters, histogram buckets,
+    /// events). Hand-rolled: values are all integers or names.
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\"counters\":{");
+        for (i, m) in Metric::ALL.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!("\"{}\":{}", m.name(), self.get(*m)));
+        }
+        s.push_str("},\"hists\":{");
+        for (i, h) in Hist::ALL.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let hs = self.hist(*h);
+            let last = hs.buckets.iter().rposition(|&c| c > 0).map_or(0, |k| k + 1);
+            let buckets: Vec<String> = hs.buckets[..last].iter().map(|c| c.to_string()).collect();
+            s.push_str(&format!("\"{}\":[{}]", h.name(), buckets.join(",")));
+        }
+        s.push_str("},\"events\":[");
+        for (i, e) in self.events.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!(
+                "{{\"seq\":{},\"t_nanos\":{},\"kind\":\"{}\",\"a\":{},\"b\":{}}}",
+                e.seq,
+                e.t_nanos,
+                e.kind.name(),
+                e.a,
+                e.b
+            ));
+        }
+        s.push_str("]}");
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn log2_bucket_boundaries() {
+        assert_eq!(log2_bucket(0), 0);
+        assert_eq!(log2_bucket(1), 1);
+        assert_eq!(log2_bucket(2), 1);
+        assert_eq!(log2_bucket(3), 2);
+        assert_eq!(log2_bucket(4), 2);
+        assert_eq!(log2_bucket(5), 3);
+        assert_eq!(log2_bucket(1024), 10);
+        assert_eq!(log2_bucket(1025), 11);
+        assert_eq!(log2_bucket(u64::MAX), 63);
+    }
+
+    #[test]
+    fn counters_and_peaks() {
+        let r = MetricsRegistry::new();
+        r.bump(Metric::SendsEager);
+        r.add(Metric::SendsEager, 4);
+        r.record_max(Metric::PostedQueuePeak, 3);
+        r.record_max(Metric::PostedQueuePeak, 2);
+        let s = r.snapshot();
+        assert_eq!(s.get(Metric::SendsEager), 5);
+        assert_eq!(s.get(Metric::PostedQueuePeak), 3);
+    }
+
+    #[test]
+    fn diff_subtracts_counters_but_keeps_peaks() {
+        let r = MetricsRegistry::new();
+        r.add(Metric::ChanBytesOut, 100);
+        r.record_max(Metric::UnexpectedQueuePeak, 7);
+        let a = r.snapshot();
+        r.add(Metric::ChanBytesOut, 50);
+        r.event(EventKind::RndvRts, 1, 2);
+        let b = r.snapshot();
+        let d = b.diff(&a);
+        assert_eq!(d.get(Metric::ChanBytesOut), 50);
+        assert_eq!(d.get(Metric::UnexpectedQueuePeak), 7);
+        assert_eq!(d.events().len(), 1);
+        assert_eq!(d.events()[0].kind, EventKind::RndvRts);
+    }
+
+    #[test]
+    fn merge_adds_and_maxes() {
+        let r1 = MetricsRegistry::new();
+        let r2 = MetricsRegistry::new();
+        r1.add(Metric::SendsRndv, 2);
+        r1.record_max(Metric::PostedQueuePeak, 4);
+        r2.add(Metric::SendsRndv, 3);
+        r2.record_max(Metric::PostedQueuePeak, 9);
+        r1.record(Hist::EagerSendBytes, 100);
+        r2.record(Hist::EagerSendBytes, 100);
+        let mut m = r1.snapshot();
+        m.merge(&r2.snapshot());
+        assert_eq!(m.get(Metric::SendsRndv), 5);
+        assert_eq!(m.get(Metric::PostedQueuePeak), 9);
+        assert_eq!(m.hist(Hist::EagerSendBytes).count(), 2);
+    }
+
+    #[test]
+    fn event_ring_overwrites_oldest() {
+        let r = MetricsRegistry::with_event_capacity(4);
+        for i in 0..10u64 {
+            r.event(EventKind::OpBegin, i, 0);
+        }
+        let s = r.snapshot();
+        let seqs: Vec<u64> = s.events().iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![7, 8, 9, 10]);
+        assert!(s.events().iter().all(|e| e.kind == EventKind::OpBegin));
+    }
+
+    #[test]
+    fn histogram_summary() {
+        let r = MetricsRegistry::new();
+        for v in [0u64, 1, 100, 70_000] {
+            r.record(Hist::RndvSendBytes, v);
+        }
+        let h = r.snapshot().hist(Hist::RndvSendBytes);
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.max_bound(), 131_072);
+    }
+
+    #[test]
+    fn concurrent_bumps_are_not_lost() {
+        let r = Arc::new(MetricsRegistry::new());
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                let r = Arc::clone(&r);
+                std::thread::spawn(move || {
+                    for i in 0..10_000u64 {
+                        r.bump(Metric::MatchAttempts);
+                        if i % 64 == 0 {
+                            r.event(EventKind::OpEnd, i, 0);
+                        }
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(r.snapshot().get(Metric::MatchAttempts), 40_000);
+    }
+
+    #[test]
+    fn csv_and_json_are_well_formed() {
+        let r = MetricsRegistry::new();
+        r.bump(Metric::CollBarrier);
+        r.record(Hist::WaitNanos, 1500);
+        r.event(EventKind::SafepointStall, 12, 0);
+        let s = r.snapshot();
+        let header = MetricsSnapshot::csv_header();
+        let row = s.csv_row("rank0");
+        assert_eq!(header.split(',').count(), row.split(',').count());
+        assert!(header.starts_with("label,"));
+        assert!(row.starts_with("rank0,"));
+        let json = s.to_json();
+        assert!(json.contains("\"coll_barrier\":1"));
+        assert!(json.contains("\"kind\":\"safepoint_stall\""));
+    }
+
+    #[test]
+    fn gc_bridge_sets_exact_values() {
+        let mut s = MetricsSnapshot::empty();
+        s.set_gc_bridge(&[(Metric::GcPins, 10), (Metric::GcPinsAvoidedElder, 3)]);
+        assert_eq!(s.get(Metric::GcPins), 10);
+        assert_eq!(s.get(Metric::GcPinsAvoidedElder), 3);
+    }
+}

@@ -16,7 +16,9 @@ pub struct Stopwatch {
 impl Stopwatch {
     /// Start a new stopwatch at the current instant.
     pub fn start() -> Self {
-        Stopwatch { start: Instant::now() }
+        Stopwatch {
+            start: Instant::now(),
+        }
     }
 
     /// Elapsed wall time since the stopwatch was started.

@@ -45,7 +45,10 @@ pub struct ShmLink {
 pub fn shm_pair(capacity: usize) -> (ShmLink, ShmLink) {
     let (a_tx, b_rx) = ring(capacity);
     let (b_tx, a_rx) = ring(capacity);
-    (ShmLink { tx: a_tx, rx: a_rx }, ShmLink { tx: b_tx, rx: b_rx })
+    (
+        ShmLink { tx: a_tx, rx: a_rx },
+        ShmLink { tx: b_tx, rx: b_rx },
+    )
 }
 
 impl ByteLink for ShmLink {
@@ -72,7 +75,10 @@ impl TcpLink {
     fn new(stream: TcpStream) -> PalResult<Self> {
         stream.set_nonblocking(true)?;
         stream.set_nodelay(true)?;
-        Ok(TcpLink { stream, peer_gone: false })
+        Ok(TcpLink {
+            stream,
+            peer_gone: false,
+        })
     }
 }
 

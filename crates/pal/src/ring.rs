@@ -64,7 +64,12 @@ pub fn ring(capacity: usize) -> (RingProducer, RingConsumer) {
         tail: CachePadded::new(AtomicUsize::new(0)),
         closed: AtomicBool::new(false),
     });
-    (RingProducer { ring: Arc::clone(&ring) }, RingConsumer { ring })
+    (
+        RingProducer {
+            ring: Arc::clone(&ring),
+        },
+        RingConsumer { ring },
+    )
 }
 
 impl RingProducer {
@@ -104,7 +109,9 @@ impl RingProducer {
                 std::ptr::copy_nonoverlapping(src.as_ptr().add(first), base, n - first);
             }
         }
-        self.ring.tail.store(tail.wrapping_add(n), Ordering::Release);
+        self.ring
+            .tail
+            .store(tail.wrapping_add(n), Ordering::Release);
         Ok(n)
     }
 
@@ -164,7 +171,9 @@ impl RingConsumer {
                 std::ptr::copy_nonoverlapping(base, dst.as_mut_ptr().add(first), n - first);
             }
         }
-        self.ring.head.store(head.wrapping_add(n), Ordering::Release);
+        self.ring
+            .head
+            .store(head.wrapping_add(n), Ordering::Release);
         Ok(n)
     }
 

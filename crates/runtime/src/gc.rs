@@ -193,7 +193,10 @@ pub fn minor(ctx: &mut CollectCtx<'_>) {
                 // Close any open free run.
                 if let Some(start) = run_start.take() {
                     Heap::stamp_free(start, run_len);
-                    free_blocks.push(FreeBlock { addr: start, size: run_len });
+                    free_blocks.push(FreeBlock {
+                        addr: start,
+                        size: run_len,
+                    });
                     run_len = 0;
                 }
                 // Clear the scan-dedup mark.
@@ -207,7 +210,10 @@ pub fn minor(ctx: &mut CollectCtx<'_>) {
         }
         if let Some(start) = run_start {
             Heap::stamp_free(start, run_len);
-            free_blocks.push(FreeBlock { addr: start, size: run_len });
+            free_blocks.push(FreeBlock {
+                addr: start,
+                size: run_len,
+            });
         }
         let freed: usize = free_blocks.iter().map(|b| b.size).sum();
         ctx.heap.promote_young_block();
@@ -285,7 +291,10 @@ pub fn full(ctx: &mut CollectCtx<'_>) {
                 ctx.heap.update_flags(addr, 0, obj_flags::MARK);
                 if let Some(start) = run_start.take() {
                     Heap::stamp_free(start, run_len);
-                    free_blocks.push(FreeBlock { addr: start, size: run_len });
+                    free_blocks.push(FreeBlock {
+                        addr: start,
+                        size: run_len,
+                    });
                     run_len = 0;
                 }
             } else {
@@ -303,7 +312,10 @@ pub fn full(ctx: &mut CollectCtx<'_>) {
         }
         if let Some(start) = run_start {
             Heap::stamp_free(start, run_len);
-            free_blocks.push(FreeBlock { addr: start, size: run_len });
+            free_blocks.push(FreeBlock {
+                addr: start,
+                size: run_len,
+            });
         }
     }
     GcStats::add(&ctx.stats.objects_swept, swept_objects);

@@ -43,7 +43,10 @@ impl Segment {
     /// Allocate a zeroed segment of at least `bytes` capacity.
     pub fn new(bytes: usize) -> Self {
         let words = bytes.div_ceil(8);
-        Segment { mem: vec![0u64; words.max(8)].into_boxed_slice(), bump: 0 }
+        Segment {
+            mem: vec![0u64; words.max(8)].into_boxed_slice(),
+            bump: 0,
+        }
     }
 
     /// Base address of the segment memory.
@@ -97,7 +100,10 @@ impl Segment {
     /// Iterate over the headers of all allocations in this segment,
     /// including `FREE` filler blocks.
     pub fn walk(&self) -> SegmentWalker<'_> {
-        SegmentWalker { seg: self, offset: 0 }
+        SegmentWalker {
+            seg: self,
+            offset: 0,
+        }
     }
 }
 
@@ -176,7 +182,13 @@ impl Heap {
     /// Create a heap with the given configuration.
     pub fn new(config: HeapConfig) -> Self {
         let young = Segment::new(config.young_bytes);
-        Heap { config, young, old: Vec::new(), free_list: Vec::new(), old_bytes_used: 0 }
+        Heap {
+            config,
+            young,
+            old: Vec::new(),
+            free_list: Vec::new(),
+            old_bytes_used: 0,
+        }
     }
 
     /// Heap configuration.
@@ -225,7 +237,11 @@ impl Heap {
 
     /// Allocate directly in the elder generation (promotions and large
     /// objects).
-    pub fn alloc_old(&mut self, size: usize, mut header: ObjHeader) -> Result<usize, AllocPressure> {
+    pub fn alloc_old(
+        &mut self,
+        size: usize,
+        mut header: ObjHeader,
+    ) -> Result<usize, AllocPressure> {
         header.flags |= obj_flags::IN_OLD;
         if self.old_bytes_used + size > self.config.old_soft_limit {
             return Err(AllocPressure::NeedsFull);
@@ -245,15 +261,29 @@ impl Heap {
             let remainder = block.size - size;
             if remainder >= HEADER_SIZE {
                 // Split: keep the tail as a smaller free block.
-                let tail = FreeBlock { addr: block.addr + size, size: remainder };
+                let tail = FreeBlock {
+                    addr: block.addr + size,
+                    size: remainder,
+                };
                 Self::stamp_free(tail.addr, tail.size);
                 self.free_list[pos] = tail;
             } else {
                 // Too small to split; hand out the whole block.
                 self.free_list.swap_remove(pos);
             }
-            let got = if remainder >= HEADER_SIZE { size } else { block.size };
-            Self::stamp(block.addr, got, ObjHeader { size: got as u32, ..header });
+            let got = if remainder >= HEADER_SIZE {
+                size
+            } else {
+                block.size
+            };
+            Self::stamp(
+                block.addr,
+                got,
+                ObjHeader {
+                    size: got as u32,
+                    ..header
+                },
+            );
             self.old_bytes_used += got;
             return Ok(block.addr);
         }
@@ -302,7 +332,12 @@ impl Heap {
         unsafe {
             std::ptr::write(
                 addr as *mut ObjHeader,
-                ObjHeader { mt: u32::MAX, flags: obj_flags::FREE, size: size as u32, extra: 0 },
+                ObjHeader {
+                    mt: u32::MAX,
+                    flags: obj_flags::FREE,
+                    size: size as u32,
+                    extra: 0,
+                },
             );
         }
     }
@@ -389,7 +424,12 @@ mod tests {
     use super::*;
 
     fn hdr(mt: u32) -> ObjHeader {
-        ObjHeader { mt, flags: 0, size: 0, extra: 0 }
+        ObjHeader {
+            mt,
+            flags: 0,
+            size: 0,
+            extra: 0,
+        }
     }
 
     #[test]
@@ -481,11 +521,21 @@ mod tests {
         let c = heap.alloc_old(64, hdr(3)).unwrap();
         assert_eq!(c, a);
         assert_eq!(heap.free_list().len(), 1);
-        assert_eq!(heap.free_list()[0], FreeBlock { addr: a + 64, size: 64 });
+        assert_eq!(
+            heap.free_list()[0],
+            FreeBlock {
+                addr: a + 64,
+                size: 64
+            }
+        );
         // The remainder is handed out whole when it can't be split.
         let d = heap.alloc_old(56, hdr(4)).unwrap();
         assert_eq!(d, a + 64);
-        assert_eq!(heap.header(d).size, 64, "unsplittable remainder handed out whole");
+        assert_eq!(
+            heap.header(d).size,
+            64,
+            "unsplittable remainder handed out whole"
+        );
         assert!(heap.free_list().is_empty());
     }
 

@@ -144,7 +144,11 @@ mod tests {
     #[test]
     fn class_size_includes_header() {
         let mut reg = TypeRegistry::new();
-        let id = reg.define_class("P").prim("x", ElemKind::F64).prim("y", ElemKind::F64).build();
+        let id = reg
+            .define_class("P")
+            .prim("x", ElemKind::F64)
+            .prim("y", ElemKind::F64)
+            .build();
         let mt = reg.table(id);
         assert_eq!(class_alloc_size(mt), HEADER_SIZE + 16);
     }

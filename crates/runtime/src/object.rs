@@ -75,7 +75,9 @@ impl ObjectRef {
     /// As [`ObjectRef::read_prim`]; the slot must be a reference slot.
     #[inline]
     pub unsafe fn read_ref_at(self, offset: usize) -> ObjectRef {
-        ObjectRef(std::ptr::read(self.payload_ptr().add(offset) as *const usize))
+        ObjectRef(std::ptr::read(
+            self.payload_ptr().add(offset) as *const usize
+        ))
     }
 
     /// Write a reference field at a payload offset (no write barrier — the
@@ -134,7 +136,9 @@ impl ObjectRef {
     /// Must be an `MdArray` of the given rank.
     pub unsafe fn md_dims(self, rank: u8) -> Vec<u32> {
         let p = self.payload_ptr() as *const u32;
-        (0..rank as usize).map(|i| std::ptr::read(p.add(i))).collect()
+        (0..rank as usize)
+            .map(|i| std::ptr::read(p.add(i)))
+            .collect()
     }
 
     /// Pointer and byte length of an md-array's contiguous element data.
@@ -165,7 +169,9 @@ impl ObjectRef {
     pub unsafe fn forwarded(self) -> Option<ObjectRef> {
         let h = self.header();
         if h.flags & obj_flags::FORWARDED != 0 {
-            Some(ObjectRef(std::ptr::read(self.payload_ptr() as *const usize)))
+            Some(ObjectRef(
+                std::ptr::read(self.payload_ptr() as *const usize),
+            ))
         } else {
             None
         }
@@ -211,7 +217,15 @@ mod tests {
     fn prim_read_write_roundtrip() {
         let mut heap = mk_heap();
         let addr = heap
-            .alloc(64, ObjHeader { mt: 0, flags: 0, size: 0, extra: 0 })
+            .alloc(
+                64,
+                ObjHeader {
+                    mt: 0,
+                    flags: 0,
+                    size: 0,
+                    extra: 0,
+                },
+            )
             .unwrap();
         let obj = ObjectRef(addr);
         unsafe {
@@ -225,8 +239,30 @@ mod tests {
     #[test]
     fn ref_slots_and_null() {
         let mut heap = mk_heap();
-        let a = ObjectRef(heap.alloc(32, ObjHeader { mt: 0, flags: 0, size: 0, extra: 0 }).unwrap());
-        let b = ObjectRef(heap.alloc(32, ObjHeader { mt: 0, flags: 0, size: 0, extra: 0 }).unwrap());
+        let a = ObjectRef(
+            heap.alloc(
+                32,
+                ObjHeader {
+                    mt: 0,
+                    flags: 0,
+                    size: 0,
+                    extra: 0,
+                },
+            )
+            .unwrap(),
+        );
+        let b = ObjectRef(
+            heap.alloc(
+                32,
+                ObjHeader {
+                    mt: 0,
+                    flags: 0,
+                    size: 0,
+                    extra: 0,
+                },
+            )
+            .unwrap(),
+        );
         unsafe {
             assert!(a.read_ref_at(0).is_null(), "fresh slots are null");
             a.write_ref_at(0, b);
@@ -240,7 +276,15 @@ mod tests {
         let mut heap = mk_heap();
         let size = prim_array_alloc_size(ElemKind::I32, 10);
         let addr = heap
-            .alloc(size, ObjHeader { mt: 0, flags: 0, size: 0, extra: 10 })
+            .alloc(
+                size,
+                ObjHeader {
+                    mt: 0,
+                    flags: 0,
+                    size: 0,
+                    extra: 10,
+                },
+            )
             .unwrap();
         let arr = ObjectRef(addr);
         unsafe {
@@ -257,8 +301,30 @@ mod tests {
     #[test]
     fn forwarding_roundtrip() {
         let mut heap = mk_heap();
-        let a = ObjectRef(heap.alloc(32, ObjHeader { mt: 5, flags: 0, size: 0, extra: 0 }).unwrap());
-        let b = ObjectRef(heap.alloc(32, ObjHeader { mt: 5, flags: 0, size: 0, extra: 0 }).unwrap());
+        let a = ObjectRef(
+            heap.alloc(
+                32,
+                ObjHeader {
+                    mt: 5,
+                    flags: 0,
+                    size: 0,
+                    extra: 0,
+                },
+            )
+            .unwrap(),
+        );
+        let b = ObjectRef(
+            heap.alloc(
+                32,
+                ObjHeader {
+                    mt: 5,
+                    flags: 0,
+                    size: 0,
+                    extra: 0,
+                },
+            )
+            .unwrap(),
+        );
         unsafe {
             assert!(a.forwarded().is_none());
             a.forward_to(b);
@@ -281,14 +347,24 @@ mod tests {
         let c = ObjectRef(
             heap.alloc(
                 crate::layout::class_alloc_size(reg.table(cls)),
-                ObjHeader { mt: cls.0, flags: 0, size: 0, extra: 0 },
+                ObjHeader {
+                    mt: cls.0,
+                    flags: 0,
+                    size: 0,
+                    extra: 0,
+                },
             )
             .unwrap(),
         );
         let a = ObjectRef(
             heap.alloc(
                 crate::layout::obj_array_alloc_size(3),
-                ObjHeader { mt: oa.0, flags: 0, size: 0, extra: 3 },
+                ObjHeader {
+                    mt: oa.0,
+                    flags: 0,
+                    size: 0,
+                    extra: 3,
+                },
             )
             .unwrap(),
         );
@@ -307,7 +383,15 @@ mod tests {
         let mut heap = mk_heap();
         let size = crate::layout::md_array_alloc_size(ElemKind::F32, &[3, 4]);
         let addr = heap
-            .alloc(size, ObjHeader { mt: 0, flags: 0, size: 0, extra: 12 })
+            .alloc(
+                size,
+                ObjHeader {
+                    mt: 0,
+                    flags: 0,
+                    size: 0,
+                    extra: 12,
+                },
+            )
             .unwrap();
         let md = ObjectRef(addr);
         unsafe {

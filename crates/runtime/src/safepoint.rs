@@ -16,8 +16,12 @@
 //! other cooperative thread has parked at a poll; it then has exclusive
 //! heap access.
 
-use parking_lot::{Condvar, Mutex};
 use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::Instant;
+
+use motor_obs::{EventKind, Hist, Metric, MetricsRegistry};
+use parking_lot::{Condvar, Mutex};
 
 #[derive(Debug, Default)]
 struct SpInner {
@@ -39,12 +43,29 @@ pub struct Safepoint {
     gc_requested: AtomicBool,
     inner: Mutex<SpInner>,
     cvar: Condvar,
+    /// Stall accounting sink; unattached safepoints go unmetered.
+    metrics: OnceLock<Arc<MetricsRegistry>>,
 }
 
 impl Safepoint {
     /// Create a coordinator with no attached threads.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Report safepoint stalls into `registry` from now on (first attach
+    /// wins).
+    pub fn attach_metrics(&self, registry: Arc<MetricsRegistry>) {
+        let _ = self.metrics.set(registry);
+    }
+
+    fn record_stall(&self, since: Instant) {
+        if let Some(r) = self.metrics.get() {
+            let ns = since.elapsed().as_nanos() as u64;
+            r.bump(Metric::SafepointStalls);
+            r.record(Hist::SafepointStallNanos, ns);
+            r.event(EventKind::SafepointStall, ns, 0);
+        }
     }
 
     /// Attach the calling thread (cooperative).
@@ -74,12 +95,20 @@ impl Safepoint {
 
     #[cold]
     fn poll_slow(&self) {
-        let mut g = self.inner.lock();
-        while g.collecting {
-            g.parked += 1;
-            self.cvar.notify_all();
-            self.cvar.wait(&mut g);
-            g.parked -= 1;
+        let t0 = Instant::now();
+        let mut stalled = false;
+        {
+            let mut g = self.inner.lock();
+            while g.collecting {
+                stalled = true;
+                g.parked += 1;
+                self.cvar.notify_all();
+                self.cvar.wait(&mut g);
+                g.parked -= 1;
+            }
+        }
+        if stalled {
+            self.record_stall(t0);
         }
     }
 
@@ -94,12 +123,15 @@ impl Safepoint {
         if g.collecting {
             // Someone else is collecting: park like a poll and report that
             // a collection happened.
+            let t0 = Instant::now();
             while g.collecting {
                 g.parked += 1;
                 self.cvar.notify_all();
                 self.cvar.wait(&mut g);
                 g.parked -= 1;
             }
+            drop(g);
+            self.record_stall(t0);
             return false;
         }
         g.collecting = true;
@@ -212,7 +244,10 @@ mod tests {
         std::thread::sleep(Duration::from_millis(10));
         let t0 = std::time::Instant::now();
         assert!(sp.try_begin_gc());
-        assert!(t0.elapsed() < Duration::from_millis(80), "collector should not wait for native thread");
+        assert!(
+            t0.elapsed() < Duration::from_millis(80),
+            "collector should not wait for native thread"
+        );
         sp.end_gc();
         peer.join().unwrap();
         sp.deregister();
@@ -240,7 +275,10 @@ mod tests {
         });
         let epoch_after_exit = main_in_native.join().unwrap();
         collector.join().unwrap();
-        assert_eq!(epoch_after_exit, 1, "exit_native returned only after the collection");
+        assert_eq!(
+            epoch_after_exit, 1,
+            "exit_native returned only after the collection"
+        );
         sp.deregister();
     }
 

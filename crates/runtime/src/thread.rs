@@ -52,7 +52,10 @@ impl MotorThread {
     /// Attach the calling thread to a VM.
     pub fn attach(vm: Arc<Vm>) -> MotorThread {
         vm.safepoint().register();
-        MotorThread { vm, native_depth: Cell::new(0) }
+        MotorThread {
+            vm,
+            native_depth: Cell::new(0),
+        }
     }
 
     /// The VM this thread is attached to.
@@ -139,11 +142,21 @@ impl MotorThread {
         let size = {
             let reg = self.vm.registry();
             let mt = reg.table(class);
-            assert!(matches!(mt.kind, TypeKind::Class), "alloc_instance requires a class type");
+            assert!(
+                matches!(mt.kind, TypeKind::Class),
+                "alloc_instance requires a class type"
+            );
             layout::class_alloc_size(mt)
         };
-        let addr =
-            self.alloc_with_retry(size, ObjHeader { mt: class.0, flags: 0, size: 0, extra: 0 });
+        let addr = self.alloc_with_retry(
+            size,
+            ObjHeader {
+                mt: class.0,
+                flags: 0,
+                size: 0,
+                extra: 0,
+            },
+        );
         self.vm.state().handles.create(addr)
     }
 
@@ -153,7 +166,12 @@ impl MotorThread {
         let size = layout::prim_array_alloc_size(kind, len);
         let addr = self.alloc_with_retry(
             size,
-            ObjHeader { mt: class.0, flags: 0, size: 0, extra: len as u32 },
+            ObjHeader {
+                mt: class.0,
+                flags: 0,
+                size: 0,
+                extra: len as u32,
+            },
         );
         self.vm.state().handles.create(addr)
     }
@@ -181,7 +199,12 @@ impl MotorThread {
         let size = layout::obj_array_alloc_size(len);
         let addr = self.alloc_with_retry(
             size,
-            ObjHeader { mt: class.0, flags: 0, size: 0, extra: len as u32 },
+            ObjHeader {
+                mt: class.0,
+                flags: 0,
+                size: 0,
+                extra: len as u32,
+            },
         );
         self.vm.state().handles.create(addr)
     }
@@ -202,7 +225,12 @@ impl MotorThread {
         let size = layout::md_array_alloc_size(kind, dims);
         let addr = self.alloc_with_retry(
             size,
-            ObjHeader { mt: class.0, flags: 0, size: 0, extra: count as u32 },
+            ObjHeader {
+                mt: class.0,
+                flags: 0,
+                size: 0,
+                extra: count as u32,
+            },
         );
         // Write the dimension header.
         let obj = ObjectRef(addr);
@@ -308,7 +336,12 @@ impl MotorThread {
             .0
     }
 
-    fn field_offset_checked(&self, h: Handle, field: usize, want: Option<ElemKind>) -> (usize, usize) {
+    fn field_offset_checked(
+        &self,
+        h: Handle,
+        field: usize,
+        want: Option<ElemKind>,
+    ) -> (usize, usize) {
         let addr = self.vm.handle_addr(h);
         assert!(addr != 0, "field access on null handle");
         let reg = self.vm.registry();
@@ -412,11 +445,7 @@ impl MotorThread {
         assert!(start + dst.len() <= len, "array read out of bounds");
         // SAFETY: bounds checked; element type checked.
         unsafe {
-            std::ptr::copy_nonoverlapping(
-                (p as *const T).add(start),
-                dst.as_mut_ptr(),
-                dst.len(),
-            );
+            std::ptr::copy_nonoverlapping((p as *const T).add(start), dst.as_mut_ptr(), dst.len());
         }
     }
 
@@ -483,7 +512,10 @@ impl MotorThread {
         assert_eq!(indices.len(), dims.len(), "index rank mismatch");
         let mut flat = 0usize;
         for (i, (&ix, &d)) in indices.iter().zip(dims.iter()).enumerate() {
-            assert!(ix < d, "md index {ix} out of bounds for dim {i} of size {d}");
+            assert!(
+                ix < d,
+                "md index {ix} out of bounds for dim {i} of size {d}"
+            );
             flat = flat * d as usize + ix as usize;
         }
         flat
@@ -576,8 +608,11 @@ mod tests {
         let cls = point_class(&vm);
         let t = MotorThread::attach(vm);
         let h = t.alloc_instance(cls);
-        let (fx, fy, fid) =
-            (t.field_index(cls, "x"), t.field_index(cls, "y"), t.field_index(cls, "id"));
+        let (fx, fy, fid) = (
+            t.field_index(cls, "x"),
+            t.field_index(cls, "y"),
+            t.field_index(cls, "id"),
+        );
         t.set_prim::<f64>(h, fx, 1.5);
         t.set_prim::<f64>(h, fy, -2.5);
         t.set_prim::<i32>(h, fid, 42);
@@ -647,9 +682,16 @@ mod tests {
         assert!(t.is_young(keep));
         t.collect_minor();
         let addr_after = vm.handle_addr(keep);
-        assert_ne!(addr_before, addr_after, "survivor was copied to the elder generation");
+        assert_ne!(
+            addr_before, addr_after,
+            "survivor was copied to the elder generation"
+        );
         assert!(!t.is_young(keep), "survivor promoted");
-        assert_eq!(t.get_prim::<i32>(keep, fid), 1234, "contents preserved across the move");
+        assert_eq!(
+            t.get_prim::<i32>(keep, fid),
+            1234,
+            "contents preserved across the move"
+        );
         assert_eq!(vm.stats_snapshot().minor_collections, 1);
         assert!(vm.stats_snapshot().objects_promoted >= 1);
     }
@@ -686,8 +728,11 @@ mod tests {
         let vm = small_vm();
         let mut reg = vm.registry_mut();
         let arr = reg.prim_array(ElemKind::I32);
-        let node =
-            reg.define_class("Node").prim("tag", ElemKind::I32).transportable("data", arr).build();
+        let node = reg
+            .define_class("Node")
+            .prim("tag", ElemKind::I32)
+            .transportable("data", arr)
+            .build();
         let oa = reg.obj_array(node);
         drop(reg);
         let t = MotorThread::attach(Arc::clone(&vm));
@@ -726,7 +771,10 @@ mod tests {
         let vm = small_vm();
         let mut reg = vm.registry_mut();
         let arr = reg.prim_array(ElemKind::I32);
-        let holder = reg.define_class("Holder").transportable("data", arr).build();
+        let holder = reg
+            .define_class("Holder")
+            .transportable("data", arr)
+            .build();
         drop(reg);
         let t = MotorThread::attach(Arc::clone(&vm));
         let hold = t.alloc_instance(holder);
@@ -762,7 +810,10 @@ mod tests {
         t.collect_minor();
         let addr_after = vm.handle_addr(h);
         assert_eq!(addr_before, addr_after, "pinned object must not move");
-        assert!(!t.is_young(h), "whole young block was assigned to the elder generation");
+        assert!(
+            !t.is_young(h),
+            "whole young block was assigned to the elder generation"
+        );
         let snap = vm.stats_snapshot();
         assert_eq!(snap.pinned_block_promotions, 1);
         t.unpin(tok);
@@ -834,7 +885,11 @@ mod tests {
         }
         t.collect_full();
         let snap = vm.stats_snapshot();
-        assert!(snap.objects_swept >= 10, "swept {} objects", snap.objects_swept);
+        assert!(
+            snap.objects_swept >= 10,
+            "swept {} objects",
+            snap.objects_swept
+        );
         assert!(snap.bytes_swept > 0);
     }
 
@@ -851,8 +906,11 @@ mod tests {
         // (first-fit may also bump; accept either, but the free list must
         // have been populated).
         assert!(
-            vm.state().heap.free_list().iter().any(|b| b.addr <= dead_addr
-                && dead_addr < b.addr + b.size),
+            vm.state()
+                .heap
+                .free_list()
+                .iter()
+                .any(|b| b.addr <= dead_addr && dead_addr < b.addr + b.size),
             "swept object's space is on the free list"
         );
     }
@@ -862,7 +920,10 @@ mod tests {
         let vm = small_vm(); // young = 4096, threshold = 2048
         let t = MotorThread::attach(Arc::clone(&vm));
         let h = t.alloc_prim_array(ElemKind::U8, 3000);
-        assert!(!t.is_young(h), "large object allocated directly in elder generation");
+        assert!(
+            !t.is_young(h),
+            "large object allocated directly in elder generation"
+        );
         let addr_before = vm.handle_addr(h);
         t.collect_minor();
         assert_eq!(vm.handle_addr(h), addr_before, "elder objects never move");
@@ -873,12 +934,18 @@ mod tests {
         let vm = small_vm();
         let mut reg = vm.registry_mut();
         let arr = reg.prim_array(ElemKind::I32);
-        let cls = reg.define_class("HasRef").transportable("data", arr).build();
+        let cls = reg
+            .define_class("HasRef")
+            .transportable("data", arr)
+            .build();
         drop(reg);
         let t = MotorThread::attach(vm);
         let h = t.alloc_instance(cls);
         let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| t.raw_data_window(h)));
-        assert!(r.is_err(), "object-model integrity: refs must not be exposed raw");
+        assert!(
+            r.is_err(),
+            "object-model integrity: refs must not be exposed raw"
+        );
     }
 
     #[test]

@@ -269,8 +269,12 @@ impl<'r> ClassBuilder<'r> {
     /// Register the class and return its id.
     pub fn build(self) -> ClassId {
         let size = (self.next_offset + 7) & !7;
-        let ref_offsets: Vec<u32> =
-            self.fields.iter().filter(|f| f.is_ref()).map(|f| f.offset).collect();
+        let ref_offsets: Vec<u32> = self
+            .fields
+            .iter()
+            .filter(|f| f.is_ref())
+            .map(|f| f.offset)
+            .collect();
         let has_refs = !ref_offsets.is_empty();
         self.registry.insert(MethodTable {
             name: self.name,

@@ -133,7 +133,10 @@ mod tests {
 
     fn vm_small() -> Arc<Vm> {
         Vm::new(VmConfig {
-            heap: HeapConfig { young_bytes: 8 * 1024, ..Default::default() },
+            heap: HeapConfig {
+                young_bytes: 8 * 1024,
+                ..Default::default()
+            },
         })
     }
 

@@ -8,6 +8,7 @@
 use std::collections::HashSet;
 use std::sync::Arc;
 
+use motor_obs::{EventKind, MetricsRegistry};
 use parking_lot::{Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 use crate::gc;
@@ -43,11 +44,15 @@ pub struct Vm {
     registry: RwLock<TypeRegistry>,
     safepoint: Safepoint,
     stats: GcStats,
+    metrics: Arc<MetricsRegistry>,
 }
 
 impl Vm {
     /// Create a VM with the given configuration.
     pub fn new(config: VmConfig) -> Arc<Vm> {
+        let metrics = Arc::new(MetricsRegistry::new());
+        let safepoint = Safepoint::new();
+        safepoint.attach_metrics(Arc::clone(&metrics));
         Arc::new(Vm {
             state: Mutex::new(VmState {
                 heap: Heap::new(config.heap),
@@ -56,8 +61,9 @@ impl Vm {
                 remset: HashSet::new(),
             }),
             registry: RwLock::new(TypeRegistry::new()),
-            safepoint: Safepoint::new(),
+            safepoint,
             stats: GcStats::new(),
+            metrics,
         })
     }
 
@@ -79,6 +85,12 @@ impl Vm {
     /// GC / pinning counters.
     pub fn stats(&self) -> &GcStats {
         &self.stats
+    }
+
+    /// Runtime-side metrics registry (safepoint stalls, serializer and
+    /// buffer-pool traffic, GC trace events).
+    pub fn metrics(&self) -> &Arc<MetricsRegistry> {
+        &self.metrics
     }
 
     /// Snapshot of the counters.
@@ -103,7 +115,12 @@ impl Vm {
     pub(crate) fn collect_exclusive(&self, kind: AllocPressure) {
         let mut st = self.state.lock();
         let reg = self.registry.read();
-        let VmState { heap, handles, pins, remset } = &mut *st;
+        let VmState {
+            heap,
+            handles,
+            pins,
+            remset,
+        } = &mut *st;
         let mut ctx = gc::CollectCtx {
             heap,
             handles,
@@ -112,10 +129,19 @@ impl Vm {
             registry: &reg,
             stats: &self.stats,
         };
+        let full = matches!(kind, AllocPressure::NeedsFull);
+        let t0 = std::time::Instant::now();
+        self.metrics
+            .event(EventKind::GcBegin, full as u64, self.safepoint.epoch());
         match kind {
             AllocPressure::NeedsMinor => gc::minor(&mut ctx),
             AllocPressure::NeedsFull => gc::full(&mut ctx),
         }
+        self.metrics.event(
+            EventKind::GcEnd,
+            full as u64,
+            t0.elapsed().as_nanos() as u64,
+        );
     }
 
     /// Current address behind a handle (0 = null). The address is only
@@ -139,7 +165,11 @@ mod tests {
     #[test]
     fn registry_definitions_visible_through_vm() {
         let vm = Vm::with_defaults();
-        let id = vm.registry_mut().define_class("P").prim("x", crate::types::ElemKind::I32).build();
+        let id = vm
+            .registry_mut()
+            .define_class("P")
+            .prim("x", crate::types::ElemKind::I32)
+            .build();
         assert_eq!(vm.registry().by_name("P"), Some(id));
     }
 }

@@ -9,9 +9,7 @@
 //!
 //! Run with: `cargo run --example dynamic_spawn`
 
-use motor::core::cluster::{run_cluster_default, spawn_motor_children, ClusterConfig};
-use motor::mpc::ReduceOp;
-use motor::runtime::ElemKind;
+use motor::prelude::*;
 
 fn define_types(reg: &mut motor::runtime::TypeRegistry) {
     let arr = reg.prim_array(ElemKind::F64);
@@ -29,12 +27,8 @@ fn main() {
         println!("[parent {rank}] up");
 
         // Collectively spawn three Motor children.
-        let inter = spawn_motor_children(
-            proc,
-            3,
-            ClusterConfig::default(),
-            define_types,
-            |child| {
+        let inter =
+            spawn_motor_children(proc, 3, ClusterConfig::default(), define_types, |child| {
                 let t = child.thread();
                 let world = child.mp();
                 let me = world.rank();
@@ -68,9 +62,8 @@ fn main() {
                 assert_eq!(parent.remote_size(), 2);
                 child.osend_inter(parent, rep, me % 2, 4).unwrap();
                 println!("[child {me}] reported partial {partial}");
-            },
-        )
-        .expect("spawn");
+            })
+            .expect("spawn");
 
         // Parent i receives from the children whose index ≡ i (mod 2).
         let t = proc.thread();
@@ -83,7 +76,7 @@ fn main() {
         let expecting = if rank == 0 { vec![0, 2] } else { vec![1] };
         let mut total = 0.0;
         for _ in &expecting {
-            let (rep, from) = proc.orecv_inter(&inter, motor::core::ANY_SOURCE, 4).unwrap();
+            let (rep, from) = proc.orecv_inter(&inter, Source::Any, 4).unwrap();
             let child = t.get_prim::<i32>(rep, fc);
             let partial = t.get_prim::<f64>(rep, fp);
             assert!(expecting.contains(&(child as usize)));

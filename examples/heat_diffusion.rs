@@ -7,9 +7,7 @@
 //!
 //! Run with: `cargo run --example heat_diffusion`
 
-use motor::core::cluster::run_cluster_default;
-use motor::mpc::ReduceOp;
-use motor::runtime::ElemKind;
+use motor::prelude::*;
 
 /// Domain cells per rank (interior, excluding the two halo cells).
 const LOCAL: usize = 64;
@@ -65,9 +63,9 @@ fn main() {
                     t.prim_write(send_cell, 0, &v);
                     if send_first {
                         mp.send(send_cell, peer, 1).unwrap();
-                        mp.recv(recv_cell, peer as i32, 1).unwrap();
+                        mp.recv(recv_cell, peer, 1).unwrap();
                     } else {
-                        mp.recv(recv_cell, peer as i32, 1).unwrap();
+                        mp.recv(recv_cell, peer, 1).unwrap();
                         mp.send(send_cell, peer, 1).unwrap();
                     }
                     let mut h = [0f64];
@@ -119,8 +117,11 @@ fn main() {
             let mut cur = vec![0f64; LOCAL + 2];
             t.prim_read(field, 0, &mut cur);
             t.prim_write(interior, 0, &cur[1..=LOCAL]);
-            let full =
-                if rank == 0 { Some(t.alloc_prim_array(ElemKind::F64, LOCAL * n)) } else { None };
+            let full = if rank == 0 {
+                Some(t.alloc_prim_array(ElemKind::F64, LOCAL * n))
+            } else {
+                None
+            };
             mp.gather(interior, full, 0).unwrap();
             if rank == 0 {
                 let full = full.unwrap();
@@ -128,9 +129,7 @@ fn main() {
                 t.prim_read(full, 0, &mut all);
                 let total: f64 = all.iter().sum();
                 let peak = all.iter().cloned().fold(0.0, f64::max);
-                println!(
-                    "final: residual {residual:.6}, total heat {total:.3}, peak {peak:.3}"
-                );
+                println!("final: residual {residual:.6}, total heat {total:.3}, peak {peak:.3}");
                 assert!(peak < 1000.0, "heat must have diffused");
                 assert!(total > 0.0, "heat must remain in the domain");
                 // The spike must have spread symmetrically around its site.

@@ -8,9 +8,7 @@
 //!
 //! Run with: `cargo run --example nbody`
 
-use motor::core::cluster::run_cluster_default;
-use motor::mpc::ReduceOp;
-use motor::runtime::ElemKind;
+use motor::prelude::*;
 
 const RANKS: usize = 4;
 const PER_RANK: usize = 16;

@@ -8,8 +8,7 @@
 //!
 //! Run with: `cargo run --example object_trees`
 
-use motor::core::cluster::run_cluster_default;
-use motor::runtime::{ClassId, ElemKind};
+use motor::prelude::*;
 
 const RANKS: usize = 4;
 /// Elements in the scattered array (must divide evenly by RANKS).
@@ -82,7 +81,10 @@ fn main() {
                 assert!(!t.is_null(child), "transportable chain arrived");
                 assert_eq!(t.get_prim::<i32>(child, ftag), 1000 + tag);
                 let side = t.get_ref(e, fnext2);
-                assert!(t.is_null(side), "non-transportable reference arrived as null");
+                assert!(
+                    t.is_null(side),
+                    "non-transportable reference arrived as null"
+                );
                 // Transform: negate the tag, square the data.
                 t.set_prim::<i32>(e, ftag, -tag);
                 let data = t.get_ref(e, farr);

@@ -7,8 +7,7 @@
 //!
 //! Run with: `cargo run --example quickstart`
 
-use motor::core::cluster::run_cluster_default;
-use motor::runtime::{ClassId, ElemKind};
+use motor::prelude::*;
 
 fn main() {
     run_cluster_default(

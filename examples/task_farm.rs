@@ -8,9 +8,7 @@
 //!
 //! Run with: `cargo run --example task_farm`
 
-use motor::core::cluster::run_cluster_default;
-use motor::core::ANY_SOURCE;
-use motor::runtime::ElemKind;
+use motor::prelude::*;
 
 const RANKS: usize = 4; // 1 master + 3 workers
 const TASKS: usize = 12;
@@ -44,8 +42,10 @@ fn main() {
                 t.field_index(task_cls, "exponent"),
                 t.field_index(task_cls, "samples"),
             );
-            let (r_id, r_value) =
-                (t.field_index(result_cls, "id"), t.field_index(result_cls, "value"));
+            let (r_id, r_value) = (
+                t.field_index(result_cls, "id"),
+                t.field_index(result_cls, "value"),
+            );
 
             if mp.rank() == 0 {
                 // ---- master ----
@@ -62,14 +62,23 @@ fn main() {
                 }
                 // Farm: collect a result, hand out the next task.
                 while outstanding > 0 {
-                    let (res, st) = oomp.orecv(ANY_SOURCE, TAG_RESULT).unwrap();
+                    let (res, st) = oomp.orecv(Source::Any, TAG_RESULT).unwrap();
                     outstanding -= 1;
                     let id = t.get_prim::<i32>(res, r_id) as usize;
                     done[id] = t.get_prim::<f64>(res, r_value);
                     t.release(res);
-                    println!("[master] task {id} done by worker {} -> {:.4}", st.source, done[id]);
+                    println!(
+                        "[master] task {id} done by worker {} -> {:.4}",
+                        st.source, done[id]
+                    );
                     if next_task < TASKS {
-                        send_task(proc, task_cls, (f_id, f_exp, f_samples), next_task, st.source);
+                        send_task(
+                            proc,
+                            task_cls,
+                            (f_id, f_exp, f_samples),
+                            next_task,
+                            st.source,
+                        );
                         next_task += 1;
                         outstanding += 1;
                     }
@@ -82,17 +91,14 @@ fn main() {
                 // Verify: task k computes sum(samples^exponent).
                 for (k, v) in done.iter().enumerate() {
                     let expect = expected(k);
-                    assert!(
-                        (v - expect).abs() < 1e-9,
-                        "task {k}: {v} != {expect}"
-                    );
+                    assert!((v - expect).abs() < 1e-9, "task {k}: {v} != {expect}");
                 }
                 println!("[master] all {TASKS} tasks verified");
             } else {
                 // ---- worker ----
                 loop {
                     // Poll for either a task object or the stop signal.
-                    let st = mp.probe(0, motor::core::ANY_TAG).unwrap();
+                    let st = mp.probe(0, ANY_TAG).unwrap();
                     if st.tag == TAG_STOP {
                         let sink = t.alloc_prim_array(ElemKind::U8, 1);
                         mp.recv(sink, 0, TAG_STOP).unwrap();
@@ -123,8 +129,8 @@ fn main() {
 
 /// Master-side task construction and OSend.
 fn send_task(
-    proc: &motor::core::MotorProc,
-    task_cls: motor::runtime::ClassId,
+    proc: &MotorProc,
+    task_cls: ClassId,
     fields: (usize, usize, usize),
     k: usize,
     worker: usize,

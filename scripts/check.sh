@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# CI gate: formatting, lints (warnings are errors), and the full test
+# suite. Runs fully offline (see README "Offline builds").
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy --workspace (deny warnings)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo test --workspace"
+cargo test --workspace -q
+
+echo "OK"

@@ -1,0 +1,108 @@
+//! Offline stand-in for the subset of `crossbeam` that Motor uses:
+//! `thread::scope` (over `std::thread::scope`, available since Rust 1.63)
+//! and `utils::CachePadded`.
+//!
+//! One behavioral difference from real crossbeam: a panic in an unjoined
+//! scoped thread propagates as a panic out of `scope` (std semantics)
+//! instead of an `Err`. Motor joins every handle and `expect`s the result,
+//! so the observable outcome — a propagated panic — is the same.
+
+pub mod thread {
+    use std::any::Any;
+
+    /// Scope handle passed to the closure; `spawn` runs a thread that may
+    /// borrow from the enclosing stack frame.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Handle to a scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        pub fn join(self) -> Result<T, Box<dyn Any + Send + 'static>> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a scoped thread. The closure receives a placeholder scope
+        /// argument (crossbeam passes the scope for nested spawns; Motor
+        /// never uses it).
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&()) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            ScopedJoinHandle {
+                inner: self.inner.spawn(move || f(&())),
+            }
+        }
+    }
+
+    /// Create a scope for spawning borrowing threads.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+pub mod utils {
+    use std::ops::{Deref, DerefMut};
+
+    /// Pads and aligns a value to (at least) a cache-line boundary so
+    /// adjacent atomics do not false-share.
+    #[derive(Debug, Default, Clone, Copy)]
+    #[repr(align(128))]
+    pub struct CachePadded<T> {
+        value: T,
+    }
+
+    impl<T> CachePadded<T> {
+        pub const fn new(value: T) -> Self {
+            CachePadded { value }
+        }
+
+        pub fn into_inner(self) -> T {
+            self.value
+        }
+    }
+
+    impl<T> Deref for CachePadded<T> {
+        type Target = T;
+        fn deref(&self) -> &T {
+            &self.value
+        }
+    }
+
+    impl<T> DerefMut for CachePadded<T> {
+        fn deref_mut(&mut self) -> &mut T {
+            &mut self.value
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scope_joins_and_borrows() {
+        let data = [1u32, 2, 3];
+        let sum = crate::thread::scope(|s| {
+            let h = s.spawn(|_| data.iter().sum::<u32>());
+            h.join().unwrap()
+        })
+        .unwrap();
+        assert_eq!(sum, 6);
+    }
+
+    #[test]
+    fn cache_padded_is_aligned() {
+        let v = crate::utils::CachePadded::new(7u64);
+        assert_eq!(*v, 7);
+        assert_eq!(std::mem::align_of_val(&v), 128);
+    }
+}

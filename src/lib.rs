@@ -24,5 +24,35 @@ pub use motor_baselines as baselines;
 pub use motor_core as core;
 pub use motor_interp as interp;
 pub use motor_mpc as mpc;
+pub use motor_obs as obs;
 pub use motor_pal as pal;
 pub use motor_runtime as runtime;
+
+/// Everything a typical Motor program needs, in one import.
+///
+/// ```
+/// use motor::prelude::*;
+///
+/// let metrics = run_cluster_default(2, |_types| {}, |proc| {
+///     let mp = proc.mp();
+///     let buf = proc.thread().alloc_prim_array(ElemKind::U8, 8);
+///     if mp.rank() == 0 {
+///         mp.send(buf, 1, 0).unwrap();
+///     } else {
+///         mp.recv(buf, Source::Rank(0), 0).unwrap();
+///     }
+/// })
+/// .unwrap();
+/// assert!(metrics.aggregate().get(Metric::ChanFramesOut) > 0);
+/// ```
+pub mod prelude {
+    pub use motor_core::cluster::{
+        run_cluster, run_cluster_default, spawn_motor_children, ClusterConfig,
+        ClusterConfigBuilder, ClusterMetrics, MotorProc,
+    };
+    pub use motor_core::{Mp, MpRequest, MpStatus, Oomp, PinPolicy, ANY_TAG};
+    pub use motor_mpc::universe::ChannelKind;
+    pub use motor_mpc::{ReduceOp, Source};
+    pub use motor_obs::{EventKind, Hist, Metric, MetricsSnapshot};
+    pub use motor_runtime::{ClassId, ElemKind, Handle};
+}

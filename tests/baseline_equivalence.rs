@@ -19,8 +19,11 @@ fn define_linked(reg: &mut motor::runtime::TypeRegistry) {
 }
 
 fn build_list(t: &MotorThread, node: ClassId, n: usize) -> Handle {
-    let (ftag, farr, fnext) =
-        (t.field_index(node, "tag"), t.field_index(node, "array"), t.field_index(node, "next"));
+    let (ftag, farr, fnext) = (
+        t.field_index(node, "tag"),
+        t.field_index(node, "array"),
+        t.field_index(node, "next"),
+    );
     let mut head = t.null_handle();
     for i in (0..n).rev() {
         let h = t.alloc_instance(node);
@@ -37,8 +40,11 @@ fn build_list(t: &MotorThread, node: ClassId, n: usize) -> Handle {
 }
 
 fn check_list(t: &MotorThread, node: ClassId, head: Handle, n: usize) {
-    let (ftag, farr, fnext) =
-        (t.field_index(node, "tag"), t.field_index(node, "array"), t.field_index(node, "next"));
+    let (ftag, farr, fnext) = (
+        t.field_index(node, "tag"),
+        t.field_index(node, "array"),
+        t.field_index(node, "next"),
+    );
     let mut cur = t.clone_handle(head);
     for i in 0..n as i32 {
         assert!(!t.is_null(cur));
@@ -58,38 +64,34 @@ fn check_list(t: &MotorThread, node: ClassId, head: Handle, n: usize) {
 
 #[test]
 fn all_serializers_roundtrip_the_same_list() {
-    run_cluster_default(
-        1,
-        define_linked,
-        |proc| {
-            let t = proc.thread();
-            let node = proc.vm().registry().by_name("LinkedArray").unwrap();
-            let head = build_list(t, node, 20);
+    run_cluster_default(1, define_linked, |proc| {
+        let t = proc.thread();
+        let node = proc.vm().registry().by_name("LinkedArray").unwrap();
+        let head = build_list(t, node, 20);
 
-            // Motor custom serializer.
-            let ser = Serializer::new(t);
-            let (bytes, _) = ser.serialize(head).unwrap();
-            let m = ser.deserialize(&bytes).unwrap();
-            check_list(t, node, m, 20);
-            t.release(m);
+        // Motor custom serializer.
+        let ser = Serializer::new(t);
+        let (bytes, _) = ser.serialize(head).unwrap();
+        let m = ser.deserialize(&bytes).unwrap();
+        check_list(t, node, m, 20);
+        t.release(m);
 
-            // CLI BinaryFormatter analog, both hosts.
-            for host in [HostProfile::Sscli, HostProfile::Net] {
-                let f = CliFormatter::new(t, host);
-                let blob = f.serialize(head).unwrap();
-                let c = f.deserialize(&blob).unwrap();
-                check_list(t, node, c, 20);
-                t.release(c);
-            }
-
-            // Java ObjectOutputStream analog.
-            let j = JavaSerializer::new(t);
-            let stream = j.serialize(head).unwrap();
-            let c = j.deserialize(&stream).unwrap();
+        // CLI BinaryFormatter analog, both hosts.
+        for host in [HostProfile::Sscli, HostProfile::Net] {
+            let f = CliFormatter::new(t, host);
+            let blob = f.serialize(head).unwrap();
+            let c = f.deserialize(&blob).unwrap();
             check_list(t, node, c, 20);
             t.release(c);
-        },
-    )
+        }
+
+        // Java ObjectOutputStream analog.
+        let j = JavaSerializer::new(t);
+        let stream = j.serialize(head).unwrap();
+        let c = j.deserialize(&stream).unwrap();
+        check_list(t, node, c, 20);
+        t.release(c);
+    })
     .unwrap();
 }
 
@@ -140,30 +142,26 @@ fn all_bindings_deliver_identical_buffers() {
 
 #[test]
 fn object_transport_equivalent_across_wrappers() {
-    run_cluster_default(
-        2,
-        define_linked,
-        |proc| {
-            let t = proc.thread();
-            let node = proc.vm().registry().by_name("LinkedArray").unwrap();
-            let oomp = proc.oomp();
-            let indiana = Indiana::new(t, proc.comm().clone(), HostProfile::Sscli);
-            let java = MpiJava::new(t, proc.comm().clone());
-            if oomp.rank() == 0 {
-                let head = build_list(t, node, 10);
-                oomp.osend(head, 1, 0).unwrap();
-                indiana.send_object(head, 1, 1).unwrap();
-                java.send_object(head, 1, 2).unwrap();
-            } else {
-                let (a, _) = oomp.orecv(0, 0).unwrap();
-                check_list(t, node, a, 10);
-                let b = indiana.recv_object(0, 1).unwrap();
-                check_list(t, node, b, 10);
-                let c = java.recv_object(0, 2).unwrap();
-                check_list(t, node, c, 10);
-            }
-        },
-    )
+    run_cluster_default(2, define_linked, |proc| {
+        let t = proc.thread();
+        let node = proc.vm().registry().by_name("LinkedArray").unwrap();
+        let oomp = proc.oomp();
+        let indiana = Indiana::new(t, proc.comm().clone(), HostProfile::Sscli);
+        let java = MpiJava::new(t, proc.comm().clone());
+        if oomp.rank() == 0 {
+            let head = build_list(t, node, 10);
+            oomp.osend(head, 1, 0).unwrap();
+            indiana.send_object(head, 1, 1).unwrap();
+            java.send_object(head, 1, 2).unwrap();
+        } else {
+            let (a, _) = oomp.orecv(0, 0).unwrap();
+            check_list(t, node, a, 10);
+            let b = indiana.recv_object(0, 1).unwrap();
+            check_list(t, node, b, 10);
+            let c = java.recv_object(0, 2).unwrap();
+            check_list(t, node, c, 10);
+        }
+    })
     .unwrap();
 }
 
@@ -173,30 +171,29 @@ fn motor_transportable_semantics_differ_from_serializable() {
     // serializers: Motor's opt-in Transportable vs opt-out Serializable
     // (paper §4.2.2). `next2` travels with BinaryFormatter/Java but not
     // with Motor.
-    run_cluster_default(
-        1,
-        define_linked,
-        |proc| {
-            let t = proc.thread();
-            let node = proc.vm().registry().by_name("LinkedArray").unwrap();
-            let (ftag, fnext2) = (t.field_index(node, "tag"), t.field_index(node, "next2"));
-            let a = t.alloc_instance(node);
-            let b = t.alloc_instance(node);
-            t.set_prim::<i32>(b, ftag, 42);
-            t.set_ref(a, fnext2, b);
+    run_cluster_default(1, define_linked, |proc| {
+        let t = proc.thread();
+        let node = proc.vm().registry().by_name("LinkedArray").unwrap();
+        let (ftag, fnext2) = (t.field_index(node, "tag"), t.field_index(node, "next2"));
+        let a = t.alloc_instance(node);
+        let b = t.alloc_instance(node);
+        t.set_prim::<i32>(b, ftag, 42);
+        t.set_ref(a, fnext2, b);
 
-            let ser = Serializer::new(t);
-            let (bytes, _) = ser.serialize(a).unwrap();
-            let m = ser.deserialize(&bytes).unwrap();
-            assert!(t.is_null(t.get_ref(m, fnext2)), "Motor: opt-in, next2 nulled");
+        let ser = Serializer::new(t);
+        let (bytes, _) = ser.serialize(a).unwrap();
+        let m = ser.deserialize(&bytes).unwrap();
+        assert!(
+            t.is_null(t.get_ref(m, fnext2)),
+            "Motor: opt-in, next2 nulled"
+        );
 
-            let f = CliFormatter::new(t, HostProfile::Net);
-            let blob = f.serialize(a).unwrap();
-            let c = f.deserialize(&blob).unwrap();
-            let n2 = t.get_ref(c, fnext2);
-            assert!(!t.is_null(n2), "BinaryFormatter: opt-out, next2 travels");
-            assert_eq!(t.get_prim::<i32>(n2, ftag), 42);
-        },
-    )
+        let f = CliFormatter::new(t, HostProfile::Net);
+        let blob = f.serialize(a).unwrap();
+        let c = f.deserialize(&blob).unwrap();
+        let n2 = t.get_ref(c, fnext2);
+        assert!(!t.is_null(n2), "BinaryFormatter: opt-out, next2 travels");
+        assert_eq!(t.get_prim::<i32>(n2, ftag), 42);
+    })
     .unwrap();
 }

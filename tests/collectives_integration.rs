@@ -130,30 +130,26 @@ fn define_linked(reg: &mut motor::runtime::TypeRegistry) {
 
 #[test]
 fn obcast_distributes_object_trees() {
-    run_cluster_default(
-        3,
-        define_linked,
-        |proc| {
-            let oomp = proc.oomp();
-            let t = proc.thread();
-            let node = proc.vm().registry().by_name("LinkedArray").unwrap();
-            let (ftag, fnext) = (t.field_index(node, "tag"), t.field_index(node, "next"));
-            let input = if oomp.rank() == 0 {
-                let a = t.alloc_instance(node);
-                let b = t.alloc_instance(node);
-                t.set_prim::<i32>(a, ftag, 1);
-                t.set_prim::<i32>(b, ftag, 2);
-                t.set_ref(a, fnext, b);
-                Some(a)
-            } else {
-                None
-            };
-            let tree = oomp.obcast(input, 0).unwrap();
-            assert_eq!(t.get_prim::<i32>(tree, ftag), 1);
-            let next = t.get_ref(tree, fnext);
-            assert_eq!(t.get_prim::<i32>(next, ftag), 2);
-        },
-    )
+    run_cluster_default(3, define_linked, |proc| {
+        let oomp = proc.oomp();
+        let t = proc.thread();
+        let node = proc.vm().registry().by_name("LinkedArray").unwrap();
+        let (ftag, fnext) = (t.field_index(node, "tag"), t.field_index(node, "next"));
+        let input = if oomp.rank() == 0 {
+            let a = t.alloc_instance(node);
+            let b = t.alloc_instance(node);
+            t.set_prim::<i32>(a, ftag, 1);
+            t.set_prim::<i32>(b, ftag, 2);
+            t.set_ref(a, fnext, b);
+            Some(a)
+        } else {
+            None
+        };
+        let tree = oomp.obcast(input, 0).unwrap();
+        assert_eq!(t.get_prim::<i32>(tree, ftag), 1);
+        let next = t.get_ref(tree, fnext);
+        assert_eq!(t.get_prim::<i32>(next, ftag), 2);
+    })
     .unwrap();
 }
 
@@ -161,49 +157,45 @@ fn obcast_distributes_object_trees() {
 fn oscatter_ogather_roundtrip_across_ranks() {
     const N: usize = 4;
     const TOTAL: usize = 12;
-    run_cluster_default(
-        N,
-        define_linked,
-        |proc| {
-            let oomp = proc.oomp();
-            let t = proc.thread();
-            let node = proc.vm().registry().by_name("LinkedArray").unwrap();
-            let ftag = t.field_index(node, "tag");
-            let input = if oomp.rank() == 0 {
-                let arr = t.alloc_obj_array(node, TOTAL);
-                for i in 0..TOTAL {
-                    let e = t.alloc_instance(node);
-                    t.set_prim::<i32>(e, ftag, i as i32);
-                    t.obj_array_set(arr, i, e);
-                    t.release(e);
-                }
-                Some(arr)
-            } else {
-                None
-            };
-            let mine = oomp.oscatter(input, 0).unwrap();
-            assert_eq!(t.array_len(mine), TOTAL / N);
-            for i in 0..TOTAL / N {
-                let e = t.obj_array_get(mine, i);
-                let tag = t.get_prim::<i32>(e, ftag);
-                assert_eq!(tag as usize, oomp.rank() * (TOTAL / N) + i);
-                t.set_prim::<i32>(e, ftag, tag + 100);
+    run_cluster_default(N, define_linked, |proc| {
+        let oomp = proc.oomp();
+        let t = proc.thread();
+        let node = proc.vm().registry().by_name("LinkedArray").unwrap();
+        let ftag = t.field_index(node, "tag");
+        let input = if oomp.rank() == 0 {
+            let arr = t.alloc_obj_array(node, TOTAL);
+            for i in 0..TOTAL {
+                let e = t.alloc_instance(node);
+                t.set_prim::<i32>(e, ftag, i as i32);
+                t.obj_array_set(arr, i, e);
                 t.release(e);
             }
-            let full = oomp.ogather(mine, 0).unwrap();
-            if oomp.rank() == 0 {
-                let full = full.unwrap();
-                assert_eq!(t.array_len(full), TOTAL);
-                for i in 0..TOTAL {
-                    let e = t.obj_array_get(full, i);
-                    assert_eq!(t.get_prim::<i32>(e, ftag), i as i32 + 100);
-                    t.release(e);
-                }
-            } else {
-                assert!(full.is_none());
+            Some(arr)
+        } else {
+            None
+        };
+        let mine = oomp.oscatter(input, 0).unwrap();
+        assert_eq!(t.array_len(mine), TOTAL / N);
+        for i in 0..TOTAL / N {
+            let e = t.obj_array_get(mine, i);
+            let tag = t.get_prim::<i32>(e, ftag);
+            assert_eq!(tag as usize, oomp.rank() * (TOTAL / N) + i);
+            t.set_prim::<i32>(e, ftag, tag + 100);
+            t.release(e);
+        }
+        let full = oomp.ogather(mine, 0).unwrap();
+        if oomp.rank() == 0 {
+            let full = full.unwrap();
+            assert_eq!(t.array_len(full), TOTAL);
+            for i in 0..TOTAL {
+                let e = t.obj_array_get(full, i);
+                assert_eq!(t.get_prim::<i32>(e, ftag), i as i32 + 100);
+                t.release(e);
             }
-        },
-    )
+        } else {
+            assert!(full.is_none());
+        }
+    })
     .unwrap();
 }
 
@@ -211,40 +203,36 @@ fn oscatter_ogather_roundtrip_across_ranks() {
 fn osend_any_source_pairs_size_and_data() {
     // Two senders interleave OSends to one receiver with ANY_SOURCE: the
     // size/data pairing must never mix senders.
-    run_cluster_default(
-        3,
-        define_linked,
-        |proc| {
-            let oomp = proc.oomp();
-            let t = proc.thread();
-            let node = proc.vm().registry().by_name("LinkedArray").unwrap();
-            let (ftag, farr) = (t.field_index(node, "tag"), t.field_index(node, "array"));
-            if oomp.rank() == 0 {
-                let mut seen = [0usize; 3];
-                for _ in 0..10 {
-                    let (h, st) = oomp.orecv(motor::core::ANY_SOURCE, 5).unwrap();
-                    let tag = t.get_prim::<i32>(h, ftag) as usize;
-                    assert_eq!(tag, st.source, "payload identifies its sender");
-                    // The array length also encodes the sender.
-                    let arr = t.get_ref(h, farr);
-                    assert_eq!(t.array_len(arr), st.source * 10);
-                    seen[st.source] += 1;
-                    t.release(arr);
-                    t.release(h);
-                }
-                assert_eq!(seen, [0, 5, 5]);
-            } else {
-                for _ in 0..5 {
-                    let e = t.alloc_instance(node);
-                    t.set_prim::<i32>(e, ftag, oomp.rank() as i32);
-                    let a = t.alloc_prim_array(ElemKind::I32, oomp.rank() * 10);
-                    t.set_ref(e, farr, a);
-                    oomp.osend(e, 0, 5).unwrap();
-                    t.release(e);
-                    t.release(a);
-                }
+    run_cluster_default(3, define_linked, |proc| {
+        let oomp = proc.oomp();
+        let t = proc.thread();
+        let node = proc.vm().registry().by_name("LinkedArray").unwrap();
+        let (ftag, farr) = (t.field_index(node, "tag"), t.field_index(node, "array"));
+        if oomp.rank() == 0 {
+            let mut seen = [0usize; 3];
+            for _ in 0..10 {
+                let (h, st) = oomp.orecv(motor::core::Source::Any, 5).unwrap();
+                let tag = t.get_prim::<i32>(h, ftag) as usize;
+                assert_eq!(tag, st.source, "payload identifies its sender");
+                // The array length also encodes the sender.
+                let arr = t.get_ref(h, farr);
+                assert_eq!(t.array_len(arr), st.source * 10);
+                seen[st.source] += 1;
+                t.release(arr);
+                t.release(h);
             }
-        },
-    )
+            assert_eq!(seen, [0, 5, 5]);
+        } else {
+            for _ in 0..5 {
+                let e = t.alloc_instance(node);
+                t.set_prim::<i32>(e, ftag, oomp.rank() as i32);
+                let a = t.alloc_prim_array(ElemKind::I32, oomp.rank() * 10);
+                t.set_ref(e, farr, a);
+                oomp.osend(e, 0, 5).unwrap();
+                t.release(e);
+                t.release(a);
+            }
+        }
+    })
     .unwrap();
 }

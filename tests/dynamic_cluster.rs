@@ -38,8 +38,10 @@ fn spawned_children_have_worlds_and_parents() {
                 // Report to parent of the same index.
                 let t = child.thread();
                 let cls = child.vm().registry().by_name("Packet").unwrap();
-                let (ff, fp) =
-                    (t.field_index(cls, "from_child"), t.field_index(cls, "payload"));
+                let (ff, fp) = (
+                    t.field_index(cls, "from_child"),
+                    t.field_index(cls, "payload"),
+                );
                 let pkt = t.alloc_instance(cls);
                 t.set_prim::<i32>(pkt, ff, child.rank() as i32);
                 let data = t.alloc_prim_array(ElemKind::I32, 4);
@@ -52,8 +54,11 @@ fn spawned_children_have_worlds_and_parents() {
         // Each parent hears from the child with its own index.
         let t = proc.thread();
         let cls = proc.vm().registry().by_name("Packet").unwrap();
-        let (ff, fp) = (t.field_index(cls, "from_child"), t.field_index(cls, "payload"));
-        let (pkt, from) = proc.orecv_inter(&inter, proc.rank() as i32, 3).unwrap();
+        let (ff, fp) = (
+            t.field_index(cls, "from_child"),
+            t.field_index(cls, "payload"),
+        );
+        let (pkt, from) = proc.orecv_inter(&inter, proc.rank(), 3).unwrap();
         assert_eq!(from, proc.rank());
         assert_eq!(t.get_prim::<i32>(pkt, ff) as usize, proc.rank());
         let data = t.get_ref(pkt, fp);
@@ -71,12 +76,8 @@ fn children_vms_are_isolated_heaps() {
     // child must not show up in the parent's counters.
     run_cluster_default(1, define_types, |proc| {
         let parent_minor_before = proc.vm().stats_snapshot().minor_collections;
-        let inter = spawn_motor_children(
-            proc,
-            1,
-            ClusterConfig::default(),
-            define_types,
-            |child| {
+        let inter =
+            spawn_motor_children(proc, 1, ClusterConfig::default(), define_types, |child| {
                 let t = child.thread();
                 for _ in 0..2000 {
                     let h = t.alloc_prim_array(ElemKind::U8, 512);
@@ -88,9 +89,8 @@ fn children_vms_are_isolated_heaps() {
                 );
                 let parent = child.parent_comm().unwrap();
                 parent.send_bytes(&[1u8], 0, 0).unwrap();
-            },
-        )
-        .unwrap();
+            })
+            .unwrap();
         let mut done = [0u8; 1];
         inter.recv_bytes(&mut done, 0, 0).unwrap();
         assert_eq!(

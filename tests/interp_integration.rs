@@ -15,10 +15,21 @@ fn sum_sq_module() -> Module {
     f.op(Op::PushI(0)).op(Op::Store(1));
     f.op(Op::PushI(0)).op(Op::Store(2));
     f.bind(top);
-    f.op(Op::Load(2)).op(Op::Load(0)).op(Op::ArrLen).op(Op::CmpLt).br_false(done);
-    f.op(Op::Load(0)).op(Op::Load(2)).op(Op::LdElemI).op(Op::Dup).op(Op::Mul);
+    f.op(Op::Load(2))
+        .op(Op::Load(0))
+        .op(Op::ArrLen)
+        .op(Op::CmpLt)
+        .br_false(done);
+    f.op(Op::Load(0))
+        .op(Op::Load(2))
+        .op(Op::LdElemI)
+        .op(Op::Dup)
+        .op(Op::Mul);
     f.op(Op::Load(1)).op(Op::Add).op(Op::Store(1));
-    f.op(Op::Load(2)).op(Op::PushI(1)).op(Op::Add).op(Op::Store(2));
+    f.op(Op::Load(2))
+        .op(Op::PushI(1))
+        .op(Op::Add)
+        .op(Op::Store(2));
     f.br(top);
     f.bind(done);
     f.op(Op::Load(1)).op(Op::Ret);
@@ -55,7 +66,9 @@ fn il_computes_on_received_buffers() {
                 let module = sum_sq_module();
                 let interp = Interp::new(t, &module);
                 let r = interp.call(0, &[Value::R(buf)]).unwrap();
-                let Some(Value::I(sum)) = r else { panic!("expected int result") };
+                let Some(Value::I(sum)) = r else {
+                    panic!("expected int result")
+                };
                 let res = t.alloc_prim_array(ElemKind::I64, 1);
                 t.prim_write(res, 0, &[sum]);
                 mp.send(res, 0, 1).unwrap();
@@ -85,10 +98,16 @@ fn il_allocation_churn_with_concurrent_messaging() {
             let done = f.label();
             f.op(Op::PushI(0)).op(Op::Store(1));
             f.bind(top);
-            f.op(Op::Load(1)).op(Op::Load(0)).op(Op::CmpLt).br_false(done);
+            f.op(Op::Load(1))
+                .op(Op::Load(0))
+                .op(Op::CmpLt)
+                .br_false(done);
             f.op(Op::New(cls)).op(Op::Store(2));
             f.op(Op::Load(2)).op(Op::Load(1)).op(Op::StFldI(0));
-            f.op(Op::Load(1)).op(Op::PushI(1)).op(Op::Add).op(Op::Store(1));
+            f.op(Op::Load(1))
+                .op(Op::PushI(1))
+                .op(Op::Add)
+                .op(Op::Store(1));
             f.br(top);
             f.bind(done);
             f.op(Op::Load(1)).op(Op::Ret);

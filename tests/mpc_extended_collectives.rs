@@ -28,7 +28,9 @@ fn gatherv_concatenates_ragged_contributions() {
         let total: usize = counts.iter().sum();
         if r == 2 {
             let mut all = vec![0u8; total];
-            world.gatherv_bytes(&mine, Some((&mut all, &counts)), 2).unwrap();
+            world
+                .gatherv_bytes(&mine, Some((&mut all, &counts)), 2)
+                .unwrap();
             let mut off = 0;
             for (src, &c) in counts.iter().enumerate() {
                 assert_eq!(&all[off..off + c], vec![src as u8; c].as_slice());
@@ -55,7 +57,9 @@ fn scatterv_distributes_ragged_chunks_including_empty() {
             for (dst, &c) in counts.iter().enumerate() {
                 flat.extend(std::iter::repeat_n(dst as u8 + 40, c));
             }
-            world.scatterv_bytes(Some((&flat, &counts)), &mut mine, 0).unwrap();
+            world
+                .scatterv_bytes(Some((&flat, &counts)), &mut mine, 0)
+                .unwrap();
         } else {
             world.scatterv_bytes(None, &mut mine, 0).unwrap();
         }
@@ -105,7 +109,8 @@ fn random_traffic_stress_across_ranks() {
         let world = proc.world();
         let me = world.rank();
         // Interleave sends and receives; sizes vary eager↔rendezvous.
-        let size_of = |from: usize, to: usize, k: usize| 1 + ((from * 7919 + to * 104729 + k * 31) % 90_000);
+        let size_of =
+            |from: usize, to: usize, k: usize| 1 + ((from * 7919 + to * 104729 + k * 31) % 90_000);
         crossbeam::thread::scope(|s| {
             let w2 = world.clone();
             let sender = s.spawn(move |_| {
@@ -127,7 +132,7 @@ fn random_traffic_stress_across_ranks() {
                 for k in 0..MSGS_PER_PAIR {
                     let sz = size_of(from, me, k);
                     let mut buf = vec![0u8; sz];
-                    let st = world.recv_bytes(&mut buf, from as i32, k as i32).unwrap();
+                    let st = world.recv_bytes(&mut buf, from, k as i32).unwrap();
                     assert_eq!(st.count, sz);
                     assert!(buf.iter().all(|&b| b == (k % 251) as u8));
                 }

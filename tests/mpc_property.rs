@@ -3,7 +3,7 @@
 //! a sequential oracle.
 
 use motor::mpc::universe::Universe;
-use motor::mpc::{ReduceOp, ANY_SOURCE, ANY_TAG};
+use motor::mpc::{ReduceOp, Source, ANY_TAG};
 use proptest::prelude::*;
 
 proptest! {
@@ -89,7 +89,7 @@ proptest! {
                 let mut got = Vec::new();
                 for _ in 0..tags2.len() {
                     let mut b = [0u8; 1];
-                    let st = world.recv_bytes(&mut b, ANY_SOURCE, ANY_TAG).unwrap();
+                    let st = world.recv_bytes(&mut b, Source::Any, ANY_TAG).unwrap();
                     assert_eq!(st.tag as u8, b[0], "tag/payload consistency");
                     got.push(st.tag);
                 }

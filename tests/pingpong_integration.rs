@@ -28,7 +28,10 @@ fn motor_pingpong_over_shm() {
                     mp.recv(buf, 1, round as i32).unwrap();
                     let mut back = vec![0i64; 256];
                     t.prim_read(buf, 0, &mut back);
-                    assert!(back.iter().enumerate().all(|(i, &v)| v == i as i64 * round + 1));
+                    assert!(back
+                        .iter()
+                        .enumerate()
+                        .all(|(i, &v)| v == i as i64 * round + 1));
                 } else {
                     mp.recv(buf, 0, round as i32).unwrap();
                     let mut data = vec![0i64; 256];
@@ -48,11 +51,14 @@ fn motor_pingpong_over_shm() {
 #[test]
 fn motor_pingpong_over_tcp() {
     let config = ClusterConfig {
-        universe: UniverseConfig { channel: ChannelKind::Tcp, ..Default::default() },
+        ranks: 2,
+        universe: UniverseConfig {
+            channel: ChannelKind::Tcp,
+            ..Default::default()
+        },
         ..Default::default()
     };
     run_cluster(
-        2,
         config,
         |_| {},
         |proc| {
@@ -84,13 +90,16 @@ fn nonblocking_transfer_survives_gc_via_conditional_pin() {
     // still in flight. The conditional pin must keep the buffer alive and
     // unmoved until the data lands.
     let config = ClusterConfig {
+        ranks: 2,
         vm: VmConfig {
-            heap: HeapConfig { young_bytes: 16 * 1024, ..Default::default() },
+            heap: HeapConfig {
+                young_bytes: 16 * 1024,
+                ..Default::default()
+            },
         },
         ..Default::default()
     };
     run_cluster(
-        2,
         config,
         |_| {},
         |proc| {
@@ -148,14 +157,17 @@ fn failure_injection_disabled_pinning_corrupts_unpinned_transfer() {
         let got = Arc::new(Mutex::new(Vec::new()));
         let g = Arc::clone(&got);
         let config = ClusterConfig {
+            ranks: 2,
             vm: VmConfig {
-                heap: HeapConfig { young_bytes: 16 * 1024, ..Default::default() },
+                heap: HeapConfig {
+                    young_bytes: 16 * 1024,
+                    ..Default::default()
+                },
             },
             policy,
             ..Default::default()
         };
         run_cluster(
-            2,
             config,
             |_| {},
             move |proc| {
@@ -206,6 +218,7 @@ fn isend_buffer_protected_while_in_flight() {
     // Sender-side: a rendezvous isend keeps its (young) buffer pinned via
     // the request-status condition even across collections.
     let config = ClusterConfig {
+        ranks: 2,
         vm: VmConfig {
             heap: HeapConfig {
                 // Big young generation so a 100 KiB buffer stays young
@@ -217,7 +230,6 @@ fn isend_buffer_protected_while_in_flight() {
         ..Default::default()
     };
     run_cluster(
-        2,
         config,
         |_| {},
         |proc| {

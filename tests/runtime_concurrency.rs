@@ -12,7 +12,10 @@ use motor::runtime::{verify_heap, ElemKind, MotorThread, Vm, VmConfig};
 #[test]
 fn concurrent_mutators_with_stop_the_world_collections() {
     let vm = Vm::new(VmConfig {
-        heap: HeapConfig { young_bytes: 32 * 1024, ..Default::default() },
+        heap: HeapConfig {
+            young_bytes: 32 * 1024,
+            ..Default::default()
+        },
     });
     const THREADS: usize = 4;
     const PER_THREAD: usize = 400;
@@ -59,7 +62,11 @@ fn concurrent_mutators_with_stop_the_world_collections() {
 
     // Every array was read back exactly once.
     let expect: u64 = (0..THREADS as u64)
-        .map(|t| (0..PER_THREAD as u64).map(|i| t * 1_000_000 + i).sum::<u64>())
+        .map(|t| {
+            (0..PER_THREAD as u64)
+                .map(|i| t * 1_000_000 + i)
+                .sum::<u64>()
+        })
         .sum();
     assert_eq!(checksum.load(Ordering::Relaxed), expect);
     let snap = vm.stats_snapshot();
@@ -74,7 +81,10 @@ fn native_regions_overlap_with_collections() {
     // waiting for the native-mode thread, and its handles must still be
     // valid (and retargeted) when it returns.
     let vm = Vm::new(VmConfig {
-        heap: HeapConfig { young_bytes: 16 * 1024, ..Default::default() },
+        heap: HeapConfig {
+            young_bytes: 16 * 1024,
+            ..Default::default()
+        },
     });
     crossbeam::thread::scope(|s| {
         let vm1 = Arc::clone(&vm);

@@ -35,7 +35,12 @@ fn graph_strategy() -> impl Strategy<Value = GraphSpec> {
             proptest::option::of(0usize..n),
             proptest::option::of(0usize..n),
         )
-            .prop_map(|(tag, array_len, next, side)| NodeSpec { tag, array_len, next, side });
+            .prop_map(|(tag, array_len, next, side)| NodeSpec {
+                tag,
+                array_len,
+                next,
+                side,
+            });
         (proptest::collection::vec(node, n..=n), 0usize..n)
             .prop_map(|(nodes, root)| GraphSpec { nodes, root })
     })
@@ -43,7 +48,10 @@ fn graph_strategy() -> impl Strategy<Value = GraphSpec> {
 
 fn fresh_vm() -> (Arc<Vm>, ClassId) {
     let vm = Vm::new(VmConfig {
-        heap: HeapConfig { young_bytes: 32 * 1024, ..Default::default() },
+        heap: HeapConfig {
+            young_bytes: 32 * 1024,
+            ..Default::default()
+        },
     });
     let node = {
         let mut reg = vm.registry_mut();
