@@ -180,7 +180,10 @@ fn native_pingpong_us(eager_threshold: usize, bytes: usize) -> f64 {
     let result = Arc::new(Mutex::new(0.0f64));
     let r = Arc::clone(&result);
     let config = UniverseConfig {
-        device: DeviceConfig { eager_threshold },
+        device: DeviceConfig {
+            eager_threshold,
+            ..DeviceConfig::default()
+        },
         ..Default::default()
     };
     Universe::run_with(2, config, move |proc| {

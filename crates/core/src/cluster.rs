@@ -11,7 +11,7 @@ use std::sync::Arc;
 
 use motor_mpc::universe::{ChannelKind, Proc, Universe, UniverseConfig};
 use motor_mpc::{Comm, Source};
-use motor_obs::{Metric, MetricsSnapshot};
+use motor_obs::{estimate_clock_offset, ClusterTrace, Metric, MetricsSnapshot};
 use motor_runtime::{MotorThread, TypeRegistry, Vm, VmConfig};
 use parking_lot::Mutex;
 
@@ -99,6 +99,16 @@ impl ClusterConfigBuilder {
         self
     }
 
+    /// Capacity of each rank's event-trace rings (transport-side and
+    /// VM-side). The rings overwrite their oldest entry once full, so a
+    /// long run keeps the *most recent* `n` events per ring; size this to
+    /// cover the window you intend to trace.
+    pub fn event_capacity(mut self, n: usize) -> Self {
+        self.config.universe.device.event_capacity = n;
+        self.config.vm.event_capacity = n;
+        self
+    }
+
     /// Finish building.
     pub fn build(self) -> ClusterConfig {
         self.config
@@ -111,6 +121,14 @@ pub struct ClusterMetrics {
     /// One merged (transport + runtime + GC-bridge) snapshot per rank, in
     /// rank order.
     pub per_rank: Vec<MetricsSnapshot>,
+    /// Per-rank clock-offset estimates (nanoseconds this rank's clock is
+    /// ahead of rank 0's) measured by the startup calibration handshake,
+    /// in rank order. `run_cluster` ranks share one time epoch, so the
+    /// true offset is zero and these record only the handshake's
+    /// measurement noise — a built-in sanity check on edge latencies. A
+    /// genuinely distributed deployment would instead apply them through
+    /// [`motor_obs::MetricsRegistry::set_clock_offset`].
+    pub clock_offset_estimates: Vec<i64>,
 }
 
 impl ClusterMetrics {
@@ -122,6 +140,18 @@ impl ClusterMetrics {
             out.merge(s);
         }
         out
+    }
+
+    /// Merge the per-rank event rings into one cluster timeline: spans,
+    /// matched message edges, calibrated cross-rank time.
+    pub fn trace(&self) -> ClusterTrace {
+        motor_obs::build_cluster_trace(&self.per_rank)
+    }
+
+    /// The cluster timeline in Chrome-trace-event JSON, loadable in
+    /// Perfetto (`ui.perfetto.dev`) or `chrome://tracing`.
+    pub fn chrome_trace_json(&self) -> String {
+        motor_obs::to_chrome_json(&self.trace())
     }
 }
 
@@ -211,6 +241,39 @@ impl MotorProc {
     }
 }
 
+/// Tag reserved for the startup clock-calibration handshake.
+const CLOCK_SYNC_TAG: i32 = 0x43_4c_4b;
+
+/// NTP-style clock-offset handshake against rank 0, run once per rank at
+/// cluster startup before the user body. Each rank r > 0 timestamps a
+/// request (`t0`), rank 0 answers with its own clock reading (`t_peer`),
+/// and r timestamps the reply (`t1`); the estimated offset is
+/// `midpoint(t0, t1) - t_peer` (see [`estimate_clock_offset`]). Returns
+/// how far this rank's clock reads ahead of rank 0's: zero on rank 0, and
+/// pure handshake noise here because `run_cluster` ranks share an epoch.
+fn calibrate_clock(comm: &Comm) -> CoreResult<i64> {
+    if comm.size() <= 1 {
+        return Ok(0);
+    }
+    let reg = comm.device().metrics();
+    if comm.rank() == 0 {
+        for peer in 1..comm.size() {
+            let mut req = [0u8; 1];
+            comm.recv_bytes(&mut req, peer, CLOCK_SYNC_TAG)?;
+            let t_peer = reg.now_nanos();
+            comm.send_bytes(&t_peer.to_le_bytes(), peer, CLOCK_SYNC_TAG)?;
+        }
+        Ok(0)
+    } else {
+        let t0 = reg.now_nanos();
+        comm.send_bytes(&[0u8], 0, CLOCK_SYNC_TAG)?;
+        let mut reply = [0u8; 8];
+        comm.recv_bytes(&mut reply, 0, CLOCK_SYNC_TAG)?;
+        let t1 = reg.now_nanos();
+        Ok(estimate_clock_offset(t0, t1, u64::from_le_bytes(reply)))
+    }
+}
+
 /// Run a Motor program on `config.ranks` ranks. `define_types` is applied
 /// to every rank's fresh type registry before the body starts (all ranks
 /// must know the application classes, as all SPMD programs do); `body` is
@@ -226,10 +289,23 @@ where
     B: Fn(&MotorProc) + Send + Sync,
 {
     let n = config.ranks;
-    let vm_config = config.vm.clone();
+    // One epoch for every rank's registries (transport-side and VM-side),
+    // so event timestamps from different ranks live on a single timebase
+    // and matched send/recv edges have meaningful (non-negative)
+    // latencies. Respect an epoch the caller pinned explicitly.
+    let epoch = std::time::Instant::now();
+    let mut vm_config = config.vm.clone();
+    if vm_config.epoch.is_none() {
+        vm_config.epoch = Some(epoch);
+    }
+    let mut universe = config.universe.clone();
+    if universe.device.epoch.is_none() {
+        universe.device.epoch = Some(epoch);
+    }
     let policy = config.policy;
     let snaps: Mutex<Vec<(usize, MetricsSnapshot)>> = Mutex::new(Vec::with_capacity(n));
-    Universe::run_with(n, config.universe.clone(), |proc| {
+    let offsets: Mutex<Vec<(usize, i64)>> = Mutex::new(Vec::with_capacity(n));
+    Universe::run_with(n, universe, |proc| {
         let vm = Vm::new(vm_config.clone());
         {
             let mut reg = vm.registry_mut();
@@ -239,6 +315,8 @@ where
         let comm = proc.world().clone();
         let pool = Arc::new(BufPool::new());
         pool.attach_metrics(Arc::clone(vm.metrics()));
+        let est = calibrate_clock(&comm).unwrap_or(0);
+        offsets.lock().push((comm.rank(), est));
         let mp = MotorProc {
             vm,
             thread,
@@ -252,8 +330,11 @@ where
     })?;
     let mut per_rank = snaps.into_inner();
     per_rank.sort_by_key(|&(r, _)| r);
+    let mut offs = offsets.into_inner();
+    offs.sort_by_key(|&(r, _)| r);
     Ok(ClusterMetrics {
         per_rank: per_rank.into_iter().map(|(_, s)| s).collect(),
+        clock_offset_estimates: offs.into_iter().map(|(_, o)| o).collect(),
     })
 }
 

@@ -19,6 +19,7 @@
 //! applies the Motor pinning policy of [`crate::pinning`].
 
 use motor_mpc::{Comm, DType, ReduceOp, Request, Source};
+use motor_obs::{span_arg_peer_tag, SpanKind};
 use motor_runtime::{ElemKind, Handle, MotorThread};
 
 use crate::error::{CoreError, CoreResult};
@@ -27,6 +28,15 @@ use crate::pinning::{self, PinPolicy};
 
 /// Re-export of the wildcard tag.
 pub const ANY_TAG: i32 = motor_mpc::ANY_TAG;
+
+/// Peer value recorded in trace span args: the rank, or `u32::MAX` for
+/// a wildcard ([`Source::Any`]) receive.
+fn source_peer(src: Source) -> usize {
+    match src {
+        Source::Rank(r) => r,
+        Source::Any => u32::MAX as usize,
+    }
+}
 
 /// Completion status of a Motor receive (the `MPI::Status` analog).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -193,6 +203,11 @@ impl<'t> Mp<'t> {
 
     /// Blocking standard-mode send of a whole object.
     pub fn send(&self, obj: Handle, dest: usize, tag: i32) -> CoreResult<()> {
+        let _span = self
+            .thread
+            .vm()
+            .metrics()
+            .span(SpanKind::MpSend, span_arg_peer_tag(dest, tag));
         let fc = Fcall::enter(self.thread);
         let (ptr, len) = self.window(&fc, obj)?;
         // SAFETY: window stability is maintained by the pinning policy
@@ -211,6 +226,11 @@ impl<'t> Mp<'t> {
         dest: usize,
         tag: i32,
     ) -> CoreResult<()> {
+        let _span = self
+            .thread
+            .vm()
+            .metrics()
+            .span(SpanKind::MpSend, span_arg_peer_tag(dest, tag));
         let fc = Fcall::enter(self.thread);
         let (ptr, len) = self.range_window(&fc, obj, offset, count)?;
         // SAFETY: as in `send`.
@@ -221,6 +241,11 @@ impl<'t> Mp<'t> {
 
     /// Blocking synchronous-mode send (completes only when matched).
     pub fn ssend(&self, obj: Handle, dest: usize, tag: i32) -> CoreResult<()> {
+        let _span = self
+            .thread
+            .vm()
+            .metrics()
+            .span(SpanKind::MpSsend, span_arg_peer_tag(dest, tag));
         let fc = Fcall::enter(self.thread);
         let (ptr, len) = self.window(&fc, obj)?;
         // SAFETY: as in `send`.
@@ -232,6 +257,12 @@ impl<'t> Mp<'t> {
     /// Blocking receive into a whole object. `src` may be
     /// [`Source::Any`].
     pub fn recv(&self, obj: Handle, src: impl Into<Source>, tag: i32) -> CoreResult<MpStatus> {
+        let src = src.into();
+        let _span = self
+            .thread
+            .vm()
+            .metrics()
+            .span(SpanKind::MpRecv, span_arg_peer_tag(source_peer(src), tag));
         let fc = Fcall::enter(self.thread);
         let (ptr, len) = self.window(&fc, obj)?;
         // SAFETY: as in `send`.
@@ -248,6 +279,12 @@ impl<'t> Mp<'t> {
         src: impl Into<Source>,
         tag: i32,
     ) -> CoreResult<MpStatus> {
+        let src = src.into();
+        let _span = self
+            .thread
+            .vm()
+            .metrics()
+            .span(SpanKind::MpRecv, span_arg_peer_tag(source_peer(src), tag));
         let fc = Fcall::enter(self.thread);
         let (ptr, len) = self.range_window(&fc, obj, offset, count)?;
         // SAFETY: as in `send`.
@@ -262,6 +299,11 @@ impl<'t> Mp<'t> {
     /// Immediate send. The buffer is protected by a conditional pin that
     /// the collector releases once the transport finishes (paper §4.3).
     pub fn isend(&self, obj: Handle, dest: usize, tag: i32) -> CoreResult<MpRequest> {
+        let _span = self
+            .thread
+            .vm()
+            .metrics()
+            .span(SpanKind::MpIsend, span_arg_peer_tag(dest, tag));
         let fc = Fcall::enter(self.thread);
         let (ptr, len) = self.window(&fc, obj)?;
         // SAFETY: the conditional pin registered below keeps the window
@@ -277,6 +319,12 @@ impl<'t> Mp<'t> {
 
     /// Immediate receive.
     pub fn irecv(&self, obj: Handle, src: impl Into<Source>, tag: i32) -> CoreResult<MpRequest> {
+        let src = src.into();
+        let _span = self
+            .thread
+            .vm()
+            .metrics()
+            .span(SpanKind::MpIrecv, span_arg_peer_tag(source_peer(src), tag));
         let fc = Fcall::enter(self.thread);
         let (ptr, len) = self.window(&fc, obj)?;
         // SAFETY: as in `isend`.
@@ -292,6 +340,11 @@ impl<'t> Mp<'t> {
     /// Wait for an immediate operation, polling the collector while
     /// waiting (the `MPI_Wait` analog).
     pub fn wait(&self, req: &mut MpRequest) -> CoreResult<MpStatus> {
+        let _span = self
+            .thread
+            .vm()
+            .metrics()
+            .span(SpanKind::MpWait, req.inner.id());
         let _fc = Fcall::enter(self.thread);
         let st = self.comm.wait_with(&req.inner, || self.thread.poll())?;
         if let Some(tok) = req.hard_pin.take() {
@@ -318,6 +371,11 @@ impl<'t> Mp<'t> {
     pub fn probe(&self, src: impl Into<Source>, tag: i32) -> CoreResult<MpStatus> {
         let fc = Fcall::enter(self.thread);
         let src = src.into();
+        let _span = self
+            .thread
+            .vm()
+            .metrics()
+            .span(SpanKind::MpProbe, span_arg_peer_tag(source_peer(src), tag));
         loop {
             fc.poll();
             if let Some(s) = self.comm.iprobe(src, tag)? {

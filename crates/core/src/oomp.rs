@@ -18,7 +18,7 @@ use std::cell::Cell;
 use std::sync::Arc;
 
 use motor_mpc::{Comm, Source};
-use motor_obs::{Hist, Metric, MetricsRegistry};
+use motor_obs::{span_arg_peer_tag, Hist, Metric, MetricsRegistry, SpanKind};
 use motor_runtime::{Handle, MotorThread};
 
 use crate::bufpool::BufPool;
@@ -126,6 +126,9 @@ impl<'t> Oomp<'t> {
 
     /// Transport an object (tree) to `dest` — the `OSend` of Figure 4.
     pub fn osend(&self, obj: Handle, dest: usize, tag: i32) -> CoreResult<()> {
+        let _span = self
+            .metrics()
+            .span(SpanKind::Osend, span_arg_peer_tag(dest, tag));
         let _fc = Fcall::enter(self.thread);
         self.maintain_pool();
         self.metrics().bump(Metric::OompOsends);
@@ -148,6 +151,9 @@ impl<'t> Oomp<'t> {
         dest: usize,
         tag: i32,
     ) -> CoreResult<()> {
+        let _span = self
+            .metrics()
+            .span(SpanKind::Osend, span_arg_peer_tag(dest, tag));
         let _fc = Fcall::enter(self.thread);
         self.maintain_pool();
         self.metrics().bump(Metric::OompOsends);
@@ -164,10 +170,18 @@ impl<'t> Oomp<'t> {
     /// Receive an object (tree) — the `ORecv` of Figure 4. Returns the
     /// reconstructed root and the message status.
     pub fn orecv(&self, src: impl Into<Source>, tag: i32) -> CoreResult<(Handle, MpStatus)> {
+        let src = src.into();
+        let peer = match src {
+            Source::Rank(r) => r,
+            Source::Any => u32::MAX as usize,
+        };
+        let _span = self
+            .metrics()
+            .span(SpanKind::Orecv, span_arg_peer_tag(peer, tag));
         let _fc = Fcall::enter(self.thread);
         self.maintain_pool();
         self.metrics().bump(Metric::OompOrecvs);
-        let (buf, st) = self.recv_sized(src.into(), tag)?;
+        let (buf, st) = self.recv_sized(src, tag)?;
         let root = self.serializer().deserialize(buf.as_slice())?;
         self.pool.put(buf, self.current_epoch());
         Ok((root, st))
@@ -180,6 +194,7 @@ impl<'t> Oomp<'t> {
     /// Broadcast an object tree from `root`. The root passes `Some(obj)`
     /// and gets its own handle back; other ranks receive the copy.
     pub fn obcast(&self, obj: Option<Handle>, root: usize) -> CoreResult<Handle> {
+        let _span = self.metrics().span(SpanKind::Obcast, root as u64);
         let _fc = Fcall::enter(self.thread);
         self.maintain_pool();
         self.metrics().bump(Metric::OompCollectives);
@@ -209,6 +224,7 @@ impl<'t> Oomp<'t> {
     /// sub-array of `len / size` elements (the split representation in
     /// action, §7.5). The root passes `Some(array)`.
     pub fn oscatter(&self, arr: Option<Handle>, root: usize) -> CoreResult<Handle> {
+        let _span = self.metrics().span(SpanKind::Oscatter, root as u64);
         let _fc = Fcall::enter(self.thread);
         self.maintain_pool();
         self.metrics().bump(Metric::OompCollectives);
@@ -250,6 +266,7 @@ impl<'t> Oomp<'t> {
     /// Gather each rank's array of objects into one array at `root` (rank
     /// order). Returns `Some(full)` at root, `None` elsewhere.
     pub fn ogather(&self, sub: Handle, root: usize) -> CoreResult<Option<Handle>> {
+        let _span = self.metrics().span(SpanKind::Ogather, root as u64);
         let _fc = Fcall::enter(self.thread);
         self.maintain_pool();
         self.metrics().bump(Metric::OompCollectives);

@@ -128,6 +128,7 @@ mod tests {
                 young_bytes: 8192,
                 ..Default::default()
             },
+            ..Default::default()
         });
         let t = MotorThread::attach(Arc::clone(&vm));
         (vm, t)

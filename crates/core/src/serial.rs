@@ -53,7 +53,7 @@
 
 use std::collections::HashMap;
 
-use motor_obs::Metric;
+use motor_obs::{alloc_span_id, EventKind, Metric};
 use motor_runtime::object::ObjectRef;
 use motor_runtime::{ClassId, ElemKind, FieldType, Handle, MotorThread, TypeKind};
 
@@ -394,6 +394,10 @@ impl<'t> Serializer<'t> {
         range_root: Option<RangeRoot>,
     ) -> CoreResult<(Vec<u8>, SerializeStats)> {
         let vm = self.thread.vm();
+        // Trace the whole pass: `a` is a process-unique pass id the trace
+        // merger pairs begin/end on; the end event carries the output size.
+        let pass = alloc_span_id();
+        vm.metrics().event3(EventKind::SerBegin, pass, 0, 0);
         let reg = vm.registry();
         let mut st = SerState {
             reg: &reg,
@@ -541,6 +545,12 @@ impl<'t> Serializer<'t> {
         reg.add(Metric::SerObjects, stats.objects as u64);
         reg.add(Metric::SerBytes, stats.bytes as u64);
         reg.add(Metric::SerVisitedProbes, stats.visited_probes);
+        reg.event3(
+            EventKind::SerEnd,
+            pass,
+            stats.bytes as u64,
+            stats.objects as u64,
+        );
         Ok((out, stats))
     }
 
@@ -550,6 +560,8 @@ impl<'t> Serializer<'t> {
         let reg = self.thread.vm().metrics();
         reg.bump(Metric::DeserOps);
         reg.add(Metric::DeserBytes, data.len() as u64);
+        let pass = alloc_span_id();
+        reg.event3(EventKind::DeserBegin, pass, data.len() as u64, 0);
         let mut r = Reader::new(data);
         let type_count = r.u32()? as usize;
         let vm = self.thread.vm();
@@ -802,6 +814,12 @@ impl<'t> Serializer<'t> {
         for h in handles.into_iter().skip(1) {
             self.thread.release(h);
         }
+        self.thread.vm().metrics().event3(
+            EventKind::DeserEnd,
+            pass,
+            data.len() as u64,
+            object_count as u64,
+        );
         Ok(root)
     }
 }
@@ -1172,6 +1190,7 @@ mod tests {
                 young_bytes: 4096,
                 ..Default::default()
             },
+            ..Default::default()
         });
         let (node, _arr) = {
             let mut reg = vm.registry_mut();

@@ -16,7 +16,8 @@
 use std::collections::VecDeque;
 use std::sync::Arc;
 
-use motor_obs::{Metric, MetricsRegistry};
+use motor_obs::trace::rndv_ctl;
+use motor_obs::{EventKind, Metric, MetricsRegistry};
 use motor_pal::{BoxedLink, PalError};
 
 use crate::error::{MpcError, MpcResult};
@@ -98,6 +99,9 @@ pub struct LinkState {
     /// Per-rank registry for frame/byte accounting (attached by the device
     /// that owns this link; standalone links go unmetered).
     metrics: Option<Arc<MetricsRegistry>>,
+    /// Global rank at the far end (set by the device at wiring time; used
+    /// to stamp sender-side rendezvous completion events).
+    peer: Option<usize>,
 }
 
 // SAFETY: the raw pointers held in `OutItem::Raw` and `InState::Stream`
@@ -118,12 +122,18 @@ impl LinkState {
             },
             scratch: vec![0u8; 16 * 1024],
             metrics: None,
+            peer: None,
         }
     }
 
     /// Report frame/byte traffic into `registry` from now on.
     pub fn attach_metrics(&mut self, registry: Arc<MetricsRegistry>) {
         self.metrics = Some(registry);
+    }
+
+    /// Record which global rank this link reaches.
+    pub fn set_peer(&mut self, peer: usize) {
+        self.peer = Some(peer);
     }
 
     #[inline]
@@ -187,6 +197,16 @@ impl LinkState {
                     let finished = *off == *len;
                     if finished {
                         if let Some(req) = done.take() {
+                            // Sender-side rendezvous completion: the whole
+                            // window has been handed to the transport.
+                            if let (Some(r), Some(peer)) = (&self.metrics, self.peer) {
+                                r.event3(
+                                    EventKind::RndvDone,
+                                    req.id(),
+                                    *len as u64,
+                                    rndv_ctl(peer, true),
+                                );
+                            }
                             req.complete();
                         }
                         self.outq.pop_front();

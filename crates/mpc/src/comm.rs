@@ -14,7 +14,7 @@
 use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Arc;
 
-use motor_obs::Metric;
+use motor_obs::{Metric, SpanKind};
 
 use crate::device::Device;
 use crate::dtype::{as_bytes, as_bytes_mut, reduce_in_place, DType, MpcPrim, ReduceOp};
@@ -320,6 +320,7 @@ impl Comm {
     /// Synchronize all ranks (dissemination algorithm, ⌈log₂ n⌉ rounds).
     pub fn barrier(&self) -> MpcResult<()> {
         self.device.metrics().bump(Metric::CollBarrier);
+        let _span = self.device.metrics().span(SpanKind::Barrier, 0);
         let n = self.size();
         if n == 1 {
             return Ok(());
@@ -352,6 +353,7 @@ impl Comm {
     /// Broadcast `buf` from `root` to every rank (binomial tree).
     pub fn bcast_bytes(&self, buf: &mut [u8], root: usize) -> MpcResult<()> {
         self.device.metrics().bump(Metric::CollBcast);
+        let _span = self.device.metrics().span(SpanKind::Bcast, root as u64);
         let n = self.size();
         if n == 1 {
             return Ok(());
@@ -396,6 +398,7 @@ impl Comm {
         root: usize,
     ) -> MpcResult<()> {
         self.device.metrics().bump(Metric::CollScatter);
+        let _span = self.device.metrics().span(SpanKind::Scatter, root as u64);
         let n = self.size();
         let chunk = recv.len();
         let tag = 1_001;
@@ -426,6 +429,7 @@ impl Comm {
     /// Gather every rank's `send` into root's `recv` (rank-ordered chunks).
     pub fn gather_bytes(&self, send: &[u8], recv: Option<&mut [u8]>, root: usize) -> MpcResult<()> {
         self.device.metrics().bump(Metric::CollGather);
+        let _span = self.device.metrics().span(SpanKind::Gather, root as u64);
         let n = self.size();
         let chunk = send.len();
         let tag = 1_002;
@@ -455,6 +459,7 @@ impl Comm {
     /// order. `recv.len()` must be `send.len() * size`.
     pub fn allgather_bytes(&self, send: &[u8], recv: &mut [u8]) -> MpcResult<()> {
         self.device.metrics().bump(Metric::CollAllgather);
+        let _span = self.device.metrics().span(SpanKind::Allgather, 0);
         let n = self.size();
         let chunk = send.len();
         if recv.len() != chunk * n {
@@ -507,6 +512,7 @@ impl Comm {
         root: usize,
     ) -> MpcResult<()> {
         self.device.metrics().bump(Metric::CollReduce);
+        let _span = self.device.metrics().span(SpanKind::Reduce, root as u64);
         let n = self.size();
         let tag = 1_004;
         if self.rank == root {
@@ -557,6 +563,7 @@ impl Comm {
         op: ReduceOp,
     ) -> MpcResult<()> {
         self.device.metrics().bump(Metric::CollAllreduce);
+        let _span = self.device.metrics().span(SpanKind::Allreduce, 0);
         if self.rank == 0 {
             // Sidestep the aliasing of send/recv at root.
             let mut acc = send.to_vec();
@@ -582,6 +589,7 @@ impl Comm {
     /// `size` chunks of `chunk` bytes each.
     pub fn alltoall_bytes(&self, send: &[u8], recv: &mut [u8], chunk: usize) -> MpcResult<()> {
         self.device.metrics().bump(Metric::CollAlltoall);
+        let _span = self.device.metrics().span(SpanKind::Alltoall, 0);
         let n = self.size();
         if send.len() != chunk * n || recv.len() != chunk * n {
             return Err(MpcError::Protocol("alltoall buffer size mismatch".into()));
@@ -636,6 +644,7 @@ impl Comm {
         op: ReduceOp,
     ) -> MpcResult<()> {
         self.device.metrics().bump(Metric::CollScan);
+        let _span = self.device.metrics().span(SpanKind::Scan, 0);
         assert_eq!(send.len(), recv.len(), "scan buffer length mismatch");
         let tag = 1_005;
         // Linear chain: receive the prefix from the left neighbour, fold in
@@ -672,6 +681,7 @@ impl Comm {
         root: usize,
     ) -> MpcResult<()> {
         self.device.metrics().bump(Metric::CollGatherv);
+        let _span = self.device.metrics().span(SpanKind::Gather, root as u64);
         let tag = 1_006;
         if self.rank == root {
             let (recv, counts) = recv.expect("root must supply buffer and counts");
@@ -706,6 +716,7 @@ impl Comm {
         root: usize,
     ) -> MpcResult<()> {
         self.device.metrics().bump(Metric::CollScatterv);
+        let _span = self.device.metrics().span(SpanKind::Scatter, root as u64);
         let tag = 1_007;
         if self.rank == root {
             let (send, counts) = send.expect("root must supply buffer and counts");

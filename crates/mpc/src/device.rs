@@ -18,6 +18,7 @@ use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+use motor_obs::trace::{rndv_ctl, MSG_RNDV_FLAG};
 use motor_obs::{EventKind, Hist, Metric, MetricsRegistry};
 use parking_lot::Mutex;
 
@@ -37,12 +38,21 @@ pub struct DeviceConfig {
     /// Messages up to this many bytes use the eager protocol; larger ones
     /// rendezvous (MPICH2's `MPIDI_CH3_EAGER_MAX_MSG_SIZE` analog).
     pub eager_threshold: usize,
+    /// Capacity of the metrics event-trace ring (overwrite-on-wrap; see
+    /// [`MetricsRegistry::with_event_capacity`]).
+    pub event_capacity: usize,
+    /// Shared time epoch for event timestamps. Ranks in one address space
+    /// should share an epoch so their traces merge without calibration;
+    /// `None` gives the registry a private epoch.
+    pub epoch: Option<std::time::Instant>,
 }
 
 impl Default for DeviceConfig {
     fn default() -> Self {
         DeviceConfig {
             eager_threshold: 64 * 1024,
+            event_capacity: motor_obs::DEFAULT_EVENT_CAPACITY,
+            epoch: None,
         }
     }
 }
@@ -131,12 +141,16 @@ fn envelope_matches(env: &Envelope, src: i32, tag: i32, context: u32) -> bool {
 impl Device {
     /// Create a device for global rank `rank` with no links.
     pub fn new(rank: usize, config: DeviceConfig) -> Arc<Device> {
+        let metrics = Arc::new(MetricsRegistry::with_epoch(
+            config.epoch.unwrap_or_else(std::time::Instant::now),
+            config.event_capacity,
+        ));
         Arc::new(Device {
             rank,
             state: Mutex::new(DeviceState::default()),
             next_req: AtomicU64::new(1),
             config,
-            metrics: Arc::new(MetricsRegistry::new()),
+            metrics,
         })
     }
 
@@ -158,6 +172,7 @@ impl Device {
     /// Install the link to `peer` (universe wiring).
     pub fn set_link(&self, peer: usize, mut link: LinkState) {
         link.attach_metrics(Arc::clone(&self.metrics));
+        link.set_peer(peer);
         let mut st = self.state.lock();
         if st.links.len() <= peer {
             st.links.resize_with(peer + 1, || None);
@@ -210,9 +225,23 @@ impl Device {
         let data = unsafe { std::slice::from_raw_parts(ptr, len) };
 
         if dst_global == self.rank {
+            self.metrics.event3(
+                EventKind::MsgSend,
+                dst_global as u64,
+                env.tag as i64 as u64,
+                len as u64,
+            );
             self.send_to_self(env, ptr, len, &req);
             return Ok(req);
         }
+        // Stamp the send initiation for cross-rank edge matching; the high
+        // bit of the byte count marks the rendezvous path.
+        self.metrics.event3(
+            EventKind::MsgSend,
+            dst_global as u64,
+            env.tag as i64 as u64,
+            len as u64 | if use_eager { 0 } else { MSG_RNDV_FLAG },
+        );
 
         let mut st = self.state.lock();
         {
@@ -235,7 +264,12 @@ impl Device {
                 link.queue_bytes(packet::encode_rts(&env));
                 self.metrics.bump(Metric::SendsRndv);
                 self.metrics.record(Hist::RndvSendBytes, len as u64);
-                self.metrics.event(EventKind::RndvRts, env.sreq, len as u64);
+                self.metrics.event3(
+                    EventKind::RndvRts,
+                    env.sreq,
+                    len as u64,
+                    rndv_ctl(dst_global, true),
+                );
             }
         }
         // Rendezvous sends await CTS; synchronous eager sends await SyncAck.
@@ -279,6 +313,12 @@ impl Device {
             if len > p.cap {
                 p.req.mark_truncated();
             }
+            self.metrics.event3(
+                EventKind::MsgRecv,
+                env.gsrc as u64,
+                env.tag as i64 as u64,
+                n as u64,
+            );
             p.req.complete_with(env.src, env.tag, n);
             req.complete();
         } else {
@@ -339,6 +379,12 @@ impl Device {
                             packet::encode_sync_ack(env.sreq),
                         )?;
                     }
+                    self.metrics.event3(
+                        EventKind::MsgRecv,
+                        env.gsrc as u64,
+                        env.tag as i64 as u64,
+                        n as u64,
+                    );
                     req.complete_with(env.src, env.tag, n);
                 }
                 Unexpected::Rts { env } => {
@@ -386,6 +432,12 @@ impl Device {
             if ps.len > cap {
                 req.mark_truncated();
             }
+            self.metrics.event3(
+                EventKind::MsgRecv,
+                env.gsrc as u64,
+                env.tag as i64 as u64,
+                n as u64,
+            );
             req.complete_with(env.src, env.tag, n);
             ps.req.complete();
             return Ok(());
@@ -401,6 +453,12 @@ impl Device {
                 env,
                 req: Arc::clone(req),
             },
+        );
+        self.metrics.event3(
+            EventKind::RndvCts,
+            env.sreq,
+            env.len,
+            rndv_ctl(env.gsrc as usize, true),
         );
         Self::queue_frame(
             st,
@@ -594,6 +652,12 @@ impl PacketSink for DeviceSink<'_> {
                     bytes: packet::encode_sync_ack(env.sreq),
                 });
             }
+            self.metrics.event3(
+                EventKind::MsgRecv,
+                env.gsrc as u64,
+                env.tag as i64 as u64,
+                n as u64,
+            );
             p.req.complete_with(env.src, env.tag, n);
         } else {
             self.st.unexpected.push_back(Unexpected::Eager {
@@ -607,7 +671,12 @@ impl PacketSink for DeviceSink<'_> {
 
     fn on_rts(&mut self, env: Envelope) {
         self.metrics.bump(Metric::RndvRtsIn);
-        self.metrics.event(EventKind::RndvRts, env.sreq, env.len);
+        self.metrics.event3(
+            EventKind::RndvRts,
+            env.sreq,
+            env.len,
+            rndv_ctl(env.gsrc as usize, false),
+        );
         let pos = self
             .st
             .posted
@@ -632,6 +701,12 @@ impl PacketSink for DeviceSink<'_> {
                     req: p.req,
                 },
             );
+            self.metrics.event3(
+                EventKind::RndvCts,
+                env.sreq,
+                env.len,
+                rndv_ctl(env.gsrc as usize, true),
+            );
             self.deferred.push(Deferred::Frame {
                 dst: env.gsrc as usize,
                 bytes: packet::encode_cts(env.sreq, rreq_id),
@@ -649,7 +724,12 @@ impl PacketSink for DeviceSink<'_> {
             Some(p) => p,
             None => return, // duplicate CTS; ignore
         };
-        self.metrics.event(EventKind::RndvCts, sreq, ps.len as u64);
+        self.metrics.event3(
+            EventKind::RndvCts,
+            sreq,
+            ps.len as u64,
+            rndv_ctl(ps.dst_global, false),
+        );
         debug_assert_ne!(ps.dst_global, self.my_rank, "self-sends bypass the wire");
         self.deferred.push(Deferred::RawWindow {
             dst: ps.dst_global,
@@ -677,7 +757,18 @@ impl PacketSink for DeviceSink<'_> {
         if let Some(ar) = self.st.active_recvs.remove(&rreq) {
             let n = total.min(ar.cap);
             self.metrics.bump(Metric::RndvDone);
-            self.metrics.event(EventKind::RndvDone, rreq, total as u64);
+            self.metrics.event3(
+                EventKind::RndvDone,
+                ar.env.sreq,
+                total as u64,
+                rndv_ctl(ar.env.gsrc as usize, false),
+            );
+            self.metrics.event3(
+                EventKind::MsgRecv,
+                ar.env.gsrc as u64,
+                ar.env.tag as i64 as u64,
+                n as u64 | MSG_RNDV_FLAG,
+            );
             ar.req.complete_with(ar.env.src, ar.env.tag, n);
         }
     }
@@ -773,6 +864,7 @@ mod tests {
     fn rendezvous_large_message() {
         let (d0, d1) = duo_with(DeviceConfig {
             eager_threshold: 1024,
+            ..DeviceConfig::default()
         });
         let data: Vec<u8> = (0..100_000u32).map(|i| (i % 253) as u8).collect();
         let sreq = send(&d0, 1, env(0, 0, 9), &data, false).unwrap();
@@ -793,6 +885,7 @@ mod tests {
     fn rendezvous_unexpected_rts_then_recv() {
         let (d0, d1) = duo_with(DeviceConfig {
             eager_threshold: 64,
+            ..DeviceConfig::default()
         });
         let data = vec![0xA5u8; 4096];
         let sreq = send(&d0, 1, env(0, 0, 2), &data, false).unwrap();

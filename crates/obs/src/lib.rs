@@ -23,8 +23,19 @@
 //! and VM-side registries of one rank), and exported as CSV or JSON.
 
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{fence, AtomicI64, AtomicU64, Ordering};
 use std::time::Instant;
+
+pub mod export;
+pub mod span;
+pub mod trace;
+
+pub use export::{from_chrome_json, to_chrome_json};
+pub use span::{span_arg_peer_tag, SpanGuard, SpanKind};
+pub use trace::{
+    build_cluster_trace, estimate_clock_offset, ClusterTrace, EdgeKind, MessageEdge, TraceSpan,
+    MSG_RNDV_FLAG,
+};
 
 /// Number of log2 buckets per histogram (covers the full u64 range).
 pub const HIST_BUCKETS: usize = 64;
@@ -254,7 +265,7 @@ pub fn log2_bucket(value: u64) -> usize {
 }
 
 /// Kinds of entries in the event-trace ring.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[repr(u64)]
 pub enum EventKind {
     /// A blocking operation started (`a` = request/op id, `b` = peer|tag).
@@ -273,6 +284,35 @@ pub enum EventKind {
     GcBegin = 6,
     /// A collection finished (`a` = 0 minor / 1 full, `b` = nanos).
     GcEnd = 7,
+    /// A [`span`] opened (`a` = span id, `b` = [`SpanKind`] as u64,
+    /// `c` = kind-specific argument, usually [`span_arg_peer_tag`]).
+    SpanBegin = 8,
+    /// A [`span`] closed (payload mirrors [`EventKind::SpanBegin`]).
+    SpanEnd = 9,
+    /// A point-to-point payload left this rank (`a` = destination global
+    /// rank, `b` = tag as i64, `c` = payload bytes). Stamped when the send
+    /// is initiated; the cross-rank trace matches it FIFO against the
+    /// peer's [`EventKind::MsgRecv`] with the same `(src, dst, tag)`.
+    MsgSend = 10,
+    /// A point-to-point receive completed (`a` = source global rank,
+    /// `b` = tag as i64, `c` = bytes delivered).
+    MsgRecv = 11,
+    /// A buffer was pinned (`a` = object address, `b` = 1 if the pin is
+    /// conditional — released by the collector when the transport
+    /// finishes — 0 for a hard pin).
+    PinAcquire = 12,
+    /// A hard pin was released (`a` = object address).
+    PinRelease = 13,
+    /// A serializer pass started (`a` = pass id from [`alloc_span_id`]).
+    SerBegin = 14,
+    /// A serializer pass finished (`a` = pass id, `b` = wire bytes
+    /// produced, `c` = objects walked).
+    SerEnd = 15,
+    /// A deserializer pass started (`a` = pass id).
+    DeserBegin = 16,
+    /// A deserializer pass finished (`a` = pass id, `b` = wire bytes
+    /// consumed).
+    DeserEnd = 17,
 }
 
 impl EventKind {
@@ -287,6 +327,16 @@ impl EventKind {
             EventKind::SafepointStall => "safepoint_stall",
             EventKind::GcBegin => "gc_begin",
             EventKind::GcEnd => "gc_end",
+            EventKind::SpanBegin => "span_begin",
+            EventKind::SpanEnd => "span_end",
+            EventKind::MsgSend => "msg_send",
+            EventKind::MsgRecv => "msg_recv",
+            EventKind::PinAcquire => "pin_acquire",
+            EventKind::PinRelease => "pin_release",
+            EventKind::SerBegin => "ser_begin",
+            EventKind::SerEnd => "ser_end",
+            EventKind::DeserBegin => "deser_begin",
+            EventKind::DeserEnd => "deser_end",
         }
     }
 
@@ -300,6 +350,16 @@ impl EventKind {
             5 => EventKind::SafepointStall,
             6 => EventKind::GcBegin,
             7 => EventKind::GcEnd,
+            8 => EventKind::SpanBegin,
+            9 => EventKind::SpanEnd,
+            10 => EventKind::MsgSend,
+            11 => EventKind::MsgRecv,
+            12 => EventKind::PinAcquire,
+            13 => EventKind::PinRelease,
+            14 => EventKind::SerBegin,
+            15 => EventKind::SerEnd,
+            16 => EventKind::DeserBegin,
+            17 => EventKind::DeserEnd,
             _ => return None,
         })
     }
@@ -310,7 +370,8 @@ impl EventKind {
 pub struct Event {
     /// Global sequence number (monotonic per registry, 1-based).
     pub seq: u64,
-    /// Nanoseconds since the registry was created.
+    /// Nanoseconds since the registry's epoch (see
+    /// [`MetricsRegistry::with_epoch`] for sharing epochs across ranks).
     pub t_nanos: u64,
     /// What happened.
     pub kind: EventKind,
@@ -318,6 +379,8 @@ pub struct Event {
     pub a: u64,
     /// Kind-specific payload.
     pub b: u64,
+    /// Kind-specific payload (third word; 0 for two-word events).
+    pub c: u64,
 }
 
 struct EventSlot {
@@ -328,6 +391,7 @@ struct EventSlot {
     kind: AtomicU64,
     a: AtomicU64,
     b: AtomicU64,
+    c: AtomicU64,
 }
 
 impl EventSlot {
@@ -338,8 +402,20 @@ impl EventSlot {
             kind: AtomicU64::new(0),
             a: AtomicU64::new(0),
             b: AtomicU64::new(0),
+            c: AtomicU64::new(0),
         }
     }
+}
+
+/// Process-wide span/pass id allocator. Ids must be unique across every
+/// registry of a rank (each rank carries a transport-side *and* a
+/// VM-side registry whose event streams are merged), so they come from
+/// one shared counter rather than per-registry state.
+static NEXT_SPAN_ID: AtomicU64 = AtomicU64::new(1);
+
+/// Allocate a fresh id for a span or serializer pass (1-based).
+pub fn alloc_span_id() -> u64 {
+    NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed)
 }
 
 /// Lock-free per-rank metrics: counters, histograms, event ring.
@@ -349,6 +425,9 @@ pub struct MetricsRegistry {
     slots: Vec<EventSlot>,
     next_seq: AtomicU64,
     epoch: Instant,
+    /// Calibrated offset added to event timestamps when merging this
+    /// rank's trace with its peers' (nanoseconds; see `set_clock_offset`).
+    clock_offset: AtomicI64,
 }
 
 impl fmt::Debug for MetricsRegistry {
@@ -372,7 +451,23 @@ impl MetricsRegistry {
     }
 
     /// Registry with an explicit event-ring capacity (rounded up to 1).
+    ///
+    /// The ring **overwrites on wrap**: once `capacity` events have been
+    /// recorded, each new event replaces the oldest one. Snapshots always
+    /// return the youngest `<= capacity` events, oldest first; counters
+    /// and histograms are unaffected by the wrap.
     pub fn with_event_capacity(capacity: usize) -> Self {
+        Self::with_epoch(Instant::now(), capacity)
+    }
+
+    /// Registry with an explicit time epoch and event-ring capacity.
+    ///
+    /// Every event timestamp is nanoseconds since `epoch`. Registries of
+    /// ranks that share an address space should share one epoch so their
+    /// event streams are directly comparable; registries that cannot
+    /// (separate processes/hosts) keep private epochs and align through
+    /// [`MetricsRegistry::set_clock_offset`] instead.
+    pub fn with_epoch(epoch: Instant, capacity: usize) -> Self {
         let capacity = capacity.max(1);
         MetricsRegistry {
             counters: (0..Metric::COUNT).map(|_| AtomicU64::new(0)).collect(),
@@ -381,8 +476,27 @@ impl MetricsRegistry {
                 .collect(),
             slots: (0..capacity).map(|_| EventSlot::empty()).collect(),
             next_seq: AtomicU64::new(0),
-            epoch: Instant::now(),
+            epoch,
+            clock_offset: AtomicI64::new(0),
         }
+    }
+
+    /// Event-ring capacity (events kept before overwrite-on-wrap).
+    pub fn event_capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Set the calibrated clock offset: nanoseconds to *add* to this
+    /// registry's event timestamps to express them on the cluster
+    /// reference clock (rank 0's). Computed by the `run_cluster` startup
+    /// handshake; zero when ranks share an epoch.
+    pub fn set_clock_offset(&self, nanos: i64) {
+        self.clock_offset.store(nanos, Ordering::Relaxed);
+    }
+
+    /// The calibrated clock offset (see [`Self::set_clock_offset`]).
+    pub fn clock_offset(&self) -> i64 {
+        self.clock_offset.load(Ordering::Relaxed)
     }
 
     /// Add 1 to a counter. One relaxed RMW; no locks.
@@ -435,19 +549,32 @@ impl MetricsRegistry {
         self.epoch.elapsed().as_nanos() as u64
     }
 
+    /// Append a two-word event to the trace ring (see [`Self::event3`]).
+    #[inline]
+    pub fn event(&self, kind: EventKind, a: u64, b: u64) {
+        self.event3(kind, a, b, 0);
+    }
+
     /// Append an event to the trace ring. Lock-free: one `fetch_add`
     /// claims a slot, a release store publishes it; the oldest entry in
-    /// the slot is overwritten.
-    pub fn event(&self, kind: EventKind, a: u64, b: u64) {
+    /// the slot is overwritten (overwrite-on-wrap).
+    ///
+    /// Publication follows the seqlock protocol: invalidate the slot,
+    /// release-fence so the invalidation is ordered before the payload
+    /// stores, write the payload, publish the sequence with a release
+    /// store. A reader that observes a stable non-zero sequence around
+    /// its payload loads (with an acquire fence in between) is guaranteed
+    /// an untorn event.
+    pub fn event3(&self, kind: EventKind, a: u64, b: u64, c: u64) {
         let seq = self.next_seq.fetch_add(1, Ordering::Relaxed) + 1;
         let slot = &self.slots[(seq - 1) as usize % self.slots.len()];
-        // Invalidate, write payload, publish. A torn read (reader between
-        // the two seq stores) is discarded by the reader's re-check.
-        slot.seq.store(0, Ordering::Release);
+        slot.seq.store(0, Ordering::Relaxed);
+        fence(Ordering::Release);
         slot.t_nanos.store(self.now_nanos(), Ordering::Relaxed);
         slot.kind.store(kind as u64, Ordering::Relaxed);
         slot.a.store(a, Ordering::Relaxed);
         slot.b.store(b, Ordering::Relaxed);
+        slot.c.store(c, Ordering::Relaxed);
         slot.seq.store(seq, Ordering::Release);
     }
 
@@ -470,13 +597,18 @@ impl MetricsRegistry {
             if seq == 0 {
                 continue;
             }
-            let (t, k, a, b) = (
+            let (t, k, a, b, c) = (
                 slot.t_nanos.load(Ordering::Relaxed),
                 slot.kind.load(Ordering::Relaxed),
                 slot.a.load(Ordering::Relaxed),
                 slot.b.load(Ordering::Relaxed),
+                slot.c.load(Ordering::Relaxed),
             );
-            if slot.seq.load(Ordering::Acquire) != seq {
+            // Seqlock read validation: the acquire fence orders the payload
+            // loads above before the re-check below, so a matching sequence
+            // proves the payload was not overwritten mid-read.
+            fence(Ordering::Acquire);
+            if slot.seq.load(Ordering::Relaxed) != seq {
                 continue; // overwritten while reading
             }
             if let Some(kind) = EventKind::from_u64(k) {
@@ -486,6 +618,7 @@ impl MetricsRegistry {
                     kind,
                     a,
                     b,
+                    c,
                 });
             }
         }
@@ -495,6 +628,7 @@ impl MetricsRegistry {
             hists,
             events,
             events_through: self.next_seq.load(Ordering::Relaxed),
+            clock_offset_nanos: self.clock_offset(),
         }
     }
 }
@@ -529,6 +663,7 @@ pub struct MetricsSnapshot {
     hists: Vec<u64>,
     events: Vec<Event>,
     events_through: u64,
+    clock_offset_nanos: i64,
 }
 
 impl MetricsSnapshot {
@@ -539,7 +674,15 @@ impl MetricsSnapshot {
             hists: vec![0; Hist::COUNT * HIST_BUCKETS],
             events: Vec::new(),
             events_through: 0,
+            clock_offset_nanos: 0,
         }
+    }
+
+    /// The calibrated clock offset of the registry this snapshot was taken
+    /// from (nanoseconds to add to event times; see
+    /// [`MetricsRegistry::set_clock_offset`]).
+    pub fn clock_offset_nanos(&self) -> i64 {
+        self.clock_offset_nanos
     }
 
     /// Value of one counter.
@@ -585,6 +728,7 @@ impl MetricsSnapshot {
             .copied()
             .collect();
         out.events_through = self.events_through;
+        out.clock_offset_nanos = self.clock_offset_nanos;
         out
     }
 
@@ -605,6 +749,11 @@ impl MetricsSnapshot {
         }
         self.events.extend_from_slice(&other.events);
         self.events_through = self.events_through.max(other.events_through);
+        // Merging the device- and VM-side registries of one rank: both are
+        // calibrated to the same reference, so keep whichever is set.
+        if self.clock_offset_nanos == 0 {
+            self.clock_offset_nanos = other.clock_offset_nanos;
+        }
     }
 
     /// Merged copy (see [`merge`](Self::merge)).
@@ -668,18 +817,22 @@ impl MetricsSnapshot {
             let buckets: Vec<String> = hs.buckets[..last].iter().map(|c| c.to_string()).collect();
             s.push_str(&format!("\"{}\":[{}]", h.name(), buckets.join(",")));
         }
-        s.push_str("},\"events\":[");
+        s.push_str(&format!(
+            "}},\"clock_offset_nanos\":{},\"events\":[",
+            self.clock_offset_nanos
+        ));
         for (i, e) in self.events.iter().enumerate() {
             if i > 0 {
                 s.push(',');
             }
             s.push_str(&format!(
-                "{{\"seq\":{},\"t_nanos\":{},\"kind\":\"{}\",\"a\":{},\"b\":{}}}",
+                "{{\"seq\":{},\"t_nanos\":{},\"kind\":\"{}\",\"a\":{},\"b\":{},\"c\":{}}}",
                 e.seq,
                 e.t_nanos,
                 e.kind.name(),
                 e.a,
-                e.b
+                e.b,
+                e.c
             ));
         }
         s.push_str("]}");
@@ -760,6 +913,84 @@ mod tests {
         let seqs: Vec<u64> = s.events().iter().map(|e| e.seq).collect();
         assert_eq!(seqs, vec![7, 8, 9, 10]);
         assert!(s.events().iter().all(|e| e.kind == EventKind::OpBegin));
+        // Payloads are the newest four writes, oldest first.
+        let payloads: Vec<u64> = s.events().iter().map(|e| e.a).collect();
+        assert_eq!(payloads, vec![6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn wrapped_ring_events_stay_ordered_and_capacity_bounded() {
+        let r = MetricsRegistry::with_event_capacity(8);
+        for i in 0..1000u64 {
+            r.event3(EventKind::OpBegin, i, i * 2, i * 3);
+        }
+        let s = r.snapshot();
+        assert_eq!(s.events().len(), r.event_capacity());
+        // Seqs strictly increase (oldest-first) and timestamps never run
+        // backwards: the snapshot is a coherent suffix of the stream.
+        for w in s.events().windows(2) {
+            assert_eq!(w[1].seq, w[0].seq + 1);
+            assert!(w[1].t_nanos >= w[0].t_nanos);
+        }
+        for e in s.events() {
+            assert_eq!(e.b, e.a * 2);
+            assert_eq!(e.c, e.a * 3);
+        }
+    }
+
+    #[test]
+    fn concurrent_event_writers_never_tear() {
+        // Writers stamp each event with `b = !a` and `c = a ^ SALT`; any
+        // snapshot mixing words from two different writes would break the
+        // invariants. Readers run concurrently against the wrapping ring,
+        // which is exactly when the seqlock has to reject in-flight slots.
+        const SALT: u64 = 0x9e37_79b9_7f4a_7c15;
+        let r = Arc::new(MetricsRegistry::with_event_capacity(16));
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let writers: Vec<_> = (0..4u64)
+            .map(|w| {
+                let r = Arc::clone(&r);
+                std::thread::spawn(move || {
+                    for i in 0..20_000u64 {
+                        let a = (w << 32) | i;
+                        r.event3(EventKind::OpBegin, a, !a, a ^ SALT);
+                    }
+                })
+            })
+            .collect();
+        let readers: Vec<_> = (0..2)
+            .map(|_| {
+                let r = Arc::clone(&r);
+                let stop = Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    let mut seen = 0usize;
+                    while !stop.load(Ordering::Relaxed) {
+                        let s = r.snapshot();
+                        for e in s.events() {
+                            assert_eq!(e.kind, EventKind::OpBegin);
+                            assert_eq!(e.b, !e.a, "torn event payload");
+                            assert_eq!(e.c, e.a ^ SALT, "torn event payload");
+                            seen += 1;
+                        }
+                        // Seqs must be strictly increasing within one
+                        // snapshot even while writers race the cursor.
+                        for w in s.events().windows(2) {
+                            assert!(w[1].seq > w[0].seq);
+                        }
+                    }
+                    seen
+                })
+            })
+            .collect();
+        for t in writers {
+            t.join().unwrap();
+        }
+        stop.store(true, Ordering::Relaxed);
+        for t in readers {
+            assert!(t.join().unwrap() > 0);
+        }
+        // After the dust settles the ring holds the stream's last slots.
+        assert_eq!(r.snapshot().events().len(), r.event_capacity());
     }
 
     #[test]

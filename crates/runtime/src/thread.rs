@@ -302,6 +302,9 @@ impl MotorThread {
         let addr = st.handles.get(h);
         assert!(addr != 0, "pin on null handle");
         crate::stats::GcStats::bump(&self.vm.stats().pins);
+        self.vm
+            .metrics()
+            .event(motor_obs::EventKind::PinAcquire, addr as u64, 0);
         st.pins.pin(addr)
     }
 
@@ -309,17 +312,24 @@ impl MotorThread {
     pub fn unpin(&self, token: PinToken) {
         let mut st = self.vm.state();
         crate::stats::GcStats::bump(&self.vm.stats().unpins);
+        self.vm
+            .metrics()
+            .event(motor_obs::EventKind::PinRelease, token.addr() as u64, 0);
         st.pins.unpin(token);
     }
 
     /// Register a conditional pin: the collector keeps the object pinned
     /// only while `cond.in_flight()` (paper §4.3) and discards the request
-    /// once the operation completes.
+    /// once the operation completes. There is no matching release event —
+    /// the collector drops the pin when the transport reports completion.
     pub fn pin_conditional(&self, h: Handle, cond: Arc<dyn PinCondition>) {
         let mut st = self.vm.state();
         let addr = st.handles.get(h);
         assert!(addr != 0, "pin_conditional on null handle");
         crate::stats::GcStats::bump(&self.vm.stats().conditional_pins_registered);
+        self.vm
+            .metrics()
+            .event(motor_obs::EventKind::PinAcquire, addr as u64, 1);
         st.pins.pin_conditional(addr, cond);
     }
 
@@ -590,6 +600,7 @@ mod tests {
                 old_segment_bytes: 64 * 1024,
                 old_soft_limit: 4 * 1024 * 1024,
             },
+            ..Default::default()
         })
     }
 

@@ -137,6 +137,7 @@ mod tests {
                 young_bytes: 8 * 1024,
                 ..Default::default()
             },
+            ..Default::default()
         })
     }
 

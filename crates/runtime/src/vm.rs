@@ -24,6 +24,13 @@ use crate::types::TypeRegistry;
 pub struct VmConfig {
     /// Heap generation sizing.
     pub heap: HeapConfig,
+    /// Capacity of the VM-side metrics event ring (0 ⇒ the default; the
+    /// ring overwrites its oldest entry once full).
+    pub event_capacity: usize,
+    /// Shared time epoch for event timestamps, so the VM-side trace lines
+    /// up with the transport-side one and with peer ranks in the same
+    /// address space. `None` gives the registry a private epoch.
+    pub epoch: Option<std::time::Instant>,
 }
 
 /// Mutable runtime state guarded by the VM lock.
@@ -50,7 +57,15 @@ pub struct Vm {
 impl Vm {
     /// Create a VM with the given configuration.
     pub fn new(config: VmConfig) -> Arc<Vm> {
-        let metrics = Arc::new(MetricsRegistry::new());
+        let capacity = if config.event_capacity == 0 {
+            motor_obs::DEFAULT_EVENT_CAPACITY
+        } else {
+            config.event_capacity
+        };
+        let metrics = Arc::new(MetricsRegistry::with_epoch(
+            config.epoch.unwrap_or_else(std::time::Instant::now),
+            capacity,
+        ));
         let safepoint = Safepoint::new();
         safepoint.attach_metrics(Arc::clone(&metrics));
         Arc::new(Vm {

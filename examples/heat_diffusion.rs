@@ -6,6 +6,13 @@
 //! `allreduce` — all compile-once-run-anywhere on the Motor VM.
 //!
 //! Run with: `cargo run --example heat_diffusion`
+//!
+//! Set `MOTOR_TRACE=heat.json` to export the run's merged cluster
+//! timeline as Chrome-trace-event JSON — open it at `ui.perfetto.dev`
+//! to see each rank's halo exchanges, collectives, GC pauses and the
+//! flow arrows for every matched message, or feed it to
+//! `motor-trace summary heat.json` for the wait-time breakdown and
+//! cross-rank critical path.
 
 use motor::prelude::*;
 
@@ -19,8 +26,15 @@ const ALPHA: f64 = 0.25;
 const RANKS: usize = 4;
 
 fn main() {
-    run_cluster_default(
-        RANKS,
+    // With MOTOR_TRACE set, keep enough trace-ring headroom for all 200
+    // steps' events (the rings overwrite oldest-first once full).
+    let trace_path = std::env::var("MOTOR_TRACE").ok();
+    let config = ClusterConfig::builder()
+        .ranks(RANKS)
+        .event_capacity(1 << 16)
+        .build();
+    let metrics = run_cluster(
+        config,
         |_reg| {},
         |proc| {
             let mp = proc.mp();
@@ -145,5 +159,14 @@ fn main() {
         },
     )
     .expect("cluster run");
+    if let Some(path) = trace_path {
+        let trace = metrics.trace();
+        std::fs::write(&path, metrics.chrome_trace_json()).expect("write trace");
+        println!(
+            "wrote {path}: {} spans, {} message edges — open at ui.perfetto.dev",
+            trace.spans.len(),
+            trace.edges.len()
+        );
+    }
     println!("heat_diffusion complete");
 }

@@ -13,4 +13,19 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo test --workspace"
 cargo test --workspace -q
 
+echo "==> trace export smoke test (4 ranks)"
+# Record a 4-rank cluster trace, then verify the exported Chrome-trace
+# JSON parses and contains at least one matched message edge by feeding
+# it back through `motor-trace summary`.
+trace_out="$(mktemp -t motor-trace.XXXXXX.json)"
+trap 'rm -f "$trace_out"' EXIT
+cargo run -q -p motor-bench --bin motor-trace -- record "$trace_out" --ranks 4
+summary="$(cargo run -q -p motor-bench --bin motor-trace -- summary "$trace_out")"
+echo "$summary" | head -n 1
+edges="$(echo "$summary" | sed -n 's/.* \([0-9][0-9]*\) message edges.*/\1/p')"
+if [ -z "$edges" ] || [ "$edges" -lt 1 ]; then
+  echo "trace smoke test: expected >= 1 message edge, got '${edges:-parse failure}'" >&2
+  exit 1
+fi
+
 echo "OK"

@@ -53,6 +53,9 @@ pub mod prelude {
     pub use motor_core::{Mp, MpRequest, MpStatus, Oomp, PinPolicy, ANY_TAG};
     pub use motor_mpc::universe::ChannelKind;
     pub use motor_mpc::{ReduceOp, Source};
-    pub use motor_obs::{EventKind, Hist, Metric, MetricsSnapshot};
+    pub use motor_obs::{
+        from_chrome_json, to_chrome_json, ClusterTrace, EventKind, Hist, Metric, MetricsSnapshot,
+        SpanKind,
+    };
     pub use motor_runtime::{ClassId, ElemKind, Handle};
 }

@@ -96,6 +96,7 @@ fn nonblocking_transfer_survives_gc_via_conditional_pin() {
                 young_bytes: 16 * 1024,
                 ..Default::default()
             },
+            ..Default::default()
         },
         ..Default::default()
     };
@@ -163,6 +164,7 @@ fn failure_injection_disabled_pinning_corrupts_unpinned_transfer() {
                     young_bytes: 16 * 1024,
                     ..Default::default()
                 },
+                ..Default::default()
             },
             policy,
             ..Default::default()
@@ -226,6 +228,7 @@ fn isend_buffer_protected_while_in_flight() {
                 young_bytes: 512 * 1024,
                 ..Default::default()
             },
+            ..Default::default()
         },
         ..Default::default()
     };

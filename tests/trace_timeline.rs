@@ -1,0 +1,155 @@
+//! Acceptance test for the cluster trace timeline: a 4-rank run whose
+//! merged trace matches every completed point-to-point operation into a
+//! send→recv edge with non-negative calibrated latency, round-trips
+//! through the Chrome-trace-event export, and yields a critical path made
+//! only of spans that exist in the trace.
+
+use motor::core::cluster::{run_cluster, ClusterConfig};
+use motor::obs::{from_chrome_json, to_chrome_json, EdgeKind, EventKind, SpanKind};
+use motor::runtime::ElemKind;
+
+const RANKS: usize = 4;
+
+/// Eager ring + rendezvous pair + barrier: a little of every transport
+/// path, deterministic message counts.
+fn body(proc: &motor::core::MotorProc) {
+    let mp = proc.mp();
+    let t = proc.thread();
+    let (rank, size) = (mp.rank(), mp.size());
+
+    // Each rank sends one small (eager) message to its right neighbour.
+    let small = t.alloc_prim_array(ElemKind::I64, 32);
+    let right = (rank + 1) % size;
+    let left = (rank + size - 1) % size;
+    if rank % 2 == 0 {
+        mp.send(small, right, 3).unwrap();
+        mp.recv(small, left, 3).unwrap();
+    } else {
+        let tmp = t.alloc_prim_array(ElemKind::I64, 32);
+        mp.recv(tmp, left, 3).unwrap();
+        mp.send(small, right, 3).unwrap();
+        t.release(tmp);
+    }
+
+    // One rendezvous-sized transfer, rank 0 → rank 1.
+    let big_n = 1 << 17;
+    if rank == 0 {
+        let big = t.alloc_prim_array(ElemKind::U8, big_n);
+        mp.send(big, 1, 5).unwrap();
+        t.release(big);
+    } else if rank == 1 {
+        let big = t.alloc_prim_array(ElemKind::U8, big_n);
+        let st = mp.recv(big, 0, 5).unwrap();
+        assert_eq!(st.bytes, big_n);
+        t.release(big);
+    }
+
+    mp.barrier().unwrap();
+    t.release(small);
+}
+
+#[test]
+fn four_rank_trace_matches_every_p2p_op() {
+    let config = ClusterConfig::builder()
+        .ranks(RANKS)
+        .event_capacity(1 << 14)
+        .build();
+    let metrics = run_cluster(config, |_| {}, body).unwrap();
+
+    assert_eq!(metrics.clock_offset_estimates.len(), RANKS);
+    assert_eq!(metrics.clock_offset_estimates[0], 0);
+
+    let trace = metrics.trace();
+    assert_eq!(trace.ranks, RANKS);
+
+    // Every recorded message-completion event is matched into an edge:
+    // the k-th send from (src, dst, tag) pairs with the k-th receive, so
+    // with no ring overwrite the edge count equals the send count equals
+    // the receive count (this includes the startup clock-sync traffic and
+    // any point-to-point legs of the barrier).
+    let sends: usize = metrics
+        .per_rank
+        .iter()
+        .map(|s| {
+            s.events()
+                .iter()
+                .filter(|e| e.kind == EventKind::MsgSend)
+                .count()
+        })
+        .sum();
+    let recvs: usize = metrics
+        .per_rank
+        .iter()
+        .map(|s| {
+            s.events()
+                .iter()
+                .filter(|e| e.kind == EventKind::MsgRecv)
+                .count()
+        })
+        .sum();
+    let payload_edges = trace
+        .edges
+        .iter()
+        .filter(|e| e.kind == EdgeKind::Payload)
+        .count();
+    assert_eq!(sends, recvs, "every send completed with a matching recv");
+    assert_eq!(payload_edges, sends, "every completed p2p op has an edge");
+    assert!(payload_edges > RANKS, "ring + rendezvous at minimum");
+
+    // The rendezvous transfer contributes its control edges too.
+    for kind in [EdgeKind::Rts, EdgeKind::Cts, EdgeKind::Done] {
+        assert!(
+            trace.edges.iter().any(|e| e.kind == kind && e.rndv),
+            "missing rendezvous control edge {:?}",
+            kind
+        );
+    }
+
+    // Calibrated latencies are non-negative on every edge, and the
+    // rendezvous payload edge carries the right byte count.
+    for e in &trace.edges {
+        assert!(
+            e.latency_nanos() >= 0,
+            "negative latency on {:?} edge {} -> {}",
+            e.kind,
+            e.src_rank,
+            e.dst_rank
+        );
+    }
+    let rndv = trace
+        .edges
+        .iter()
+        .find(|e| e.kind == EdgeKind::Payload && e.rndv)
+        .expect("rendezvous payload edge");
+    assert_eq!((rndv.src_rank, rndv.dst_rank), (0, 1));
+    assert_eq!(rndv.bytes, 1 << 17);
+
+    // Explicit operation spans made it into the timeline.
+    for kind in [SpanKind::MpSend, SpanKind::MpRecv, SpanKind::Barrier] {
+        assert!(
+            trace.spans.iter().any(|s| s.kind == kind),
+            "missing {:?} span",
+            kind
+        );
+    }
+
+    // The critical path references only spans that exist, and does work.
+    let ids = trace.span_ids();
+    let cp = trace.critical_path();
+    assert!(!cp.span_ids.is_empty());
+    assert!(cp.total_nanos > 0);
+    for id in &cp.span_ids {
+        assert!(ids.contains(id), "critical-path span {id} not in trace");
+    }
+
+    // Wait accounting covers every rank that waited on the device.
+    let wb = trace.wait_breakdown();
+    assert_eq!(wb.len(), RANKS);
+    assert!(wb.iter().any(|w| w.total_wait_nanos > 0));
+
+    // Perfetto export round-trips losslessly and keeps the edges.
+    let json = to_chrome_json(&trace);
+    let back = from_chrome_json(&json).unwrap();
+    assert_eq!(back, trace);
+    assert!(!back.edges.is_empty());
+}
