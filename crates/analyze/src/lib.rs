@@ -1,0 +1,301 @@
+//! # motor-analyze — load-time static analysis for Motor modules
+//!
+//! The paper's trust model (§2.4) says the VM protects object-model
+//! integrity because "only verifiable code" runs in a trusted context and
+//! "only object types with no object references or arrays of simple
+//! types" may be transported by the regular MPI bindings (§4.2.1). The
+//! runtime enforces the transport rule dynamically with a per-send
+//! registry walk; this crate is the *static* half: a load-time pass that
+//! proves the rule for every transport site in a module, so the dynamic
+//! walk can be elided on the hot path.
+//!
+//! [`load`] is the module front door. It runs the typed IL verifier
+//! (`motor-interp::verify`) and then checks, against the class registry,
+//! that every raw-`Mp` intrinsic site transports either a primitive array
+//! or an instance of a reference-free class, and that no statically-null
+//! buffer reaches a transport. Modules that pass receive the **transport
+//! proof bit**; the interpreter forwards it to the message-passing host,
+//! which switches to the trusted `Mp` bindings (transportability walk
+//! skipped — nullness, which is a runtime property, is still checked).
+//!
+//! The request type-state rule (every `Isend`/`Irecv` reaches `Wait` on
+//! all paths) is enforced by the verifier itself, since it is a
+//! control-flow property of the IL, not of the registry.
+
+use motor_interp::il::{FCallId, Module};
+use motor_interp::verify::{FcallSite, StackTy, VerifiedModule, VerifyError};
+use motor_runtime::{ClassId, TypeRegistry};
+
+/// A static-analysis rejection.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AnalyzeError {
+    /// The module failed typed verification.
+    Verify(VerifyError),
+    /// A transport site violates the paper's raw-transport rules.
+    Transport {
+        /// Function containing the site.
+        func: String,
+        /// Instruction index of the `FCall`.
+        at: usize,
+        /// What is wrong with the buffer.
+        what: String,
+    },
+}
+
+impl std::fmt::Display for AnalyzeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AnalyzeError::Verify(e) => write!(f, "{e}"),
+            AnalyzeError::Transport { func, at, what } => write!(f, "{func}@{at}: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for AnalyzeError {}
+
+impl From<VerifyError> for AnalyzeError {
+    fn from(e: VerifyError) -> Self {
+        AnalyzeError::Verify(e)
+    }
+}
+
+/// The transportable closure of a class: the set of classes reachable
+/// from it through fields carrying the `[Transportable]` bit (paper
+/// §7.5), the class itself included. This is the object set the
+/// serializer would ship for an `Osend` of an instance; it is computed
+/// once at load time from the `FieldDesc` bits, never per message.
+pub fn transport_closure(reg: &TypeRegistry, root: ClassId) -> Vec<ClassId> {
+    let mut seen = vec![root];
+    let mut work = vec![root];
+    while let Some(c) = work.pop() {
+        for fd in &reg.table(c).fields {
+            if !fd.is_transportable() {
+                continue;
+            }
+            if let motor_runtime::FieldType::Ref(next) = fd.ty {
+                if !seen.contains(&next) {
+                    seen.push(next);
+                    work.push(next);
+                }
+            }
+        }
+    }
+    seen
+}
+
+/// Whether a class instance may be handed to the *raw* `Mp` bindings:
+/// its type must carry no object references at all (§4.2.1).
+fn raw_transportable(reg: &TypeRegistry, c: ClassId) -> bool {
+    !reg.table(c).has_refs
+}
+
+fn check_site(func: &str, site: &FcallSite, reg: &TypeRegistry) -> Result<(), AnalyzeError> {
+    let transport_err = |what: String| {
+        Err(AnalyzeError::Transport {
+            func: func.to_string(),
+            at: site.at,
+            what,
+        })
+    };
+    if site.id.is_raw_mp_transport() {
+        match site.buf {
+            Some(StackTy::Arr(_)) => Ok(()),
+            Some(StackTy::Ref(c)) if raw_transportable(reg, c) => Ok(()),
+            Some(StackTy::Ref(c)) => transport_err(format!(
+                "class `{}` contains object references; raw transport would \
+                 compromise object-model integrity (use Osend/Orecv)",
+                reg.table(c).name
+            )),
+            Some(StackTy::ObjArr(c)) => transport_err(format!(
+                "object arrays (`{}[]`) cannot be transported raw (use the \
+                 object-oriented operations)",
+                reg.table(c).name
+            )),
+            Some(StackTy::Null) => transport_err("transport buffer is statically null".to_string()),
+            // The verifier's pop_buf admits only reference-shaped types.
+            Some(other) => transport_err(format!("non-object transport buffer ({other})")),
+            None => Ok(()),
+        }
+    } else if matches!(site.id, FCallId::Osend) {
+        match site.buf {
+            Some(StackTy::Null) => {
+                transport_err("transported object is statically null".to_string())
+            }
+            _ => Ok(()),
+        }
+    } else {
+        Ok(())
+    }
+}
+
+/// Load a module: run the typed verifier, then statically prove the
+/// transport rules for every `FCall` site. On success the returned
+/// [`VerifiedModule`] carries the transport proof, which lets the
+/// interpreter's message-passing host elide its per-send transportability
+/// walk.
+pub fn load(module: Module, reg: &TypeRegistry) -> Result<VerifiedModule, AnalyzeError> {
+    let mut verified = VerifiedModule::verify(module, reg)?;
+    for (f, meta) in verified
+        .module()
+        .functions
+        .iter()
+        .zip(verified.meta().iter())
+    {
+        for site in &meta.fcalls {
+            check_site(&f.name, site, reg)?;
+        }
+    }
+    verified.grant_transport_proof();
+    Ok(verified)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use motor_interp::il::{FnBuilder, Op, TyDesc};
+    use motor_runtime::ElemKind;
+
+    fn module_of(f: motor_interp::il::Function) -> Module {
+        let mut m = Module::new();
+        m.add(f);
+        m
+    }
+
+    #[test]
+    fn prim_array_send_accepted_and_proof_granted() {
+        let mut reg = TypeRegistry::new();
+        reg.prim_array(ElemKind::F64);
+        let mut f = FnBuilder::new("kernel", 1, 1, false);
+        f.params(&[TyDesc::Arr(ElemKind::F64)]);
+        f.op(Op::Load(0))
+            .op(Op::PushI(1))
+            .op(Op::PushI(0))
+            .op(Op::FCall(FCallId::MpSend))
+            .op(Op::Ret);
+        let vm = load(module_of(f.build()), &reg).unwrap();
+        assert!(vm.has_transport_proof());
+    }
+
+    #[test]
+    fn ref_free_class_accepted() {
+        let mut reg = TypeRegistry::new();
+        let plain = reg
+            .define_class("Plain")
+            .prim("x", ElemKind::F64)
+            .prim("y", ElemKind::I64)
+            .build();
+        let mut f = FnBuilder::new("k", 0, 0, false);
+        f.op(Op::New(plain))
+            .op(Op::PushI(0))
+            .op(Op::PushI(7))
+            .op(Op::FCall(FCallId::MpSend))
+            .op(Op::Ret);
+        assert!(load(module_of(f.build()), &reg).is_ok());
+    }
+
+    #[test]
+    fn ref_bearing_class_rejected_with_site_diagnostic() {
+        let mut reg = TypeRegistry::new();
+        let arr = reg.prim_array(ElemKind::I32);
+        let bad = reg
+            .define_class("HasRef")
+            .transportable("data", arr)
+            .build();
+        let mut f = FnBuilder::new("leaky_send", 0, 0, false);
+        f.op(Op::New(bad))
+            .op(Op::PushI(0))
+            .op(Op::PushI(7))
+            .op(Op::FCall(FCallId::MpSend))
+            .op(Op::Ret);
+        let err = load(module_of(f.build()), &reg).unwrap_err();
+        let msg = err.to_string();
+        assert!(
+            msg.contains("leaky_send@3"),
+            "diagnostic names func@pc: {msg}"
+        );
+        assert!(msg.contains("HasRef"), "diagnostic names the class: {msg}");
+    }
+
+    #[test]
+    fn object_array_rejected_for_raw_transport() {
+        let mut reg = TypeRegistry::new();
+        let cls = reg.define_class("Node").prim("v", ElemKind::I32).build();
+        let mut f = FnBuilder::new("k", 0, 0, false);
+        f.op(Op::PushI(4))
+            .op(Op::NewObjArr(cls))
+            .op(Op::PushI(0))
+            .op(Op::FCall(FCallId::MpBcast))
+            .op(Op::Ret);
+        assert!(matches!(
+            load(module_of(f.build()), &reg),
+            Err(AnalyzeError::Transport { .. })
+        ));
+    }
+
+    #[test]
+    fn statically_null_buffer_rejected() {
+        let reg = TypeRegistry::new();
+        let mut f = FnBuilder::new("k", 0, 0, false);
+        f.op(Op::PushNull)
+            .op(Op::PushI(0))
+            .op(Op::PushI(0))
+            .op(Op::FCall(FCallId::MpSend))
+            .op(Op::Ret);
+        assert!(matches!(
+            load(module_of(f.build()), &reg),
+            Err(AnalyzeError::Transport { .. })
+        ));
+    }
+
+    #[test]
+    fn osend_takes_ref_bearing_classes() {
+        // The OO operations serialize the transportable closure, so a
+        // ref-bearing class is fine there.
+        let mut reg = TypeRegistry::new();
+        let arr = reg.prim_array(ElemKind::I32);
+        let linked = reg
+            .define_class("LinkedArray")
+            .transportable("data", arr)
+            .build();
+        let mut f = FnBuilder::new("k", 0, 0, false);
+        f.op(Op::New(linked))
+            .op(Op::PushI(0))
+            .op(Op::PushI(7))
+            .op(Op::FCall(FCallId::Osend))
+            .op(Op::Ret);
+        assert!(load(module_of(f.build()), &reg).is_ok());
+    }
+
+    #[test]
+    fn verify_failures_pass_through() {
+        let mut f = FnBuilder::new("confused", 0, 0, true);
+        f.op(Op::PushF(1.0))
+            .op(Op::PushI(2))
+            .op(Op::Add)
+            .op(Op::Ret);
+        assert!(matches!(
+            load(module_of(f.build()), &TypeRegistry::new()),
+            Err(AnalyzeError::Verify(VerifyError::TypeError { .. }))
+        ));
+    }
+
+    #[test]
+    fn closure_follows_transportable_bits_only() {
+        let mut reg = TypeRegistry::new();
+        let arr = reg.prim_array(ElemKind::I32);
+        let inner = reg.define_class("Inner").transportable("data", arr).build();
+        let outer = reg
+            .define_class("Outer")
+            .transportable("inner", inner)
+            .reference("ignored", inner)
+            .build();
+        let closure = transport_closure(&reg, outer);
+        assert!(closure.contains(&outer));
+        assert!(closure.contains(&inner));
+        assert!(
+            closure.contains(&arr),
+            "transportable array field is in the closure"
+        );
+        assert_eq!(closure.len(), 3);
+    }
+}

@@ -1,0 +1,182 @@
+//! Static-verification ablation: what the load-time proof buys at run
+//! time.
+//!
+//! * **Typed dispatch** — the verifier records the element/field kind of
+//!   every typed access, so the interpreter skips its per-access registry
+//!   lookup (a `RwLock` read + method-table walk). Compared against the
+//!   explicit `unverified` escape hatch, which keeps the dynamic checks.
+//! * **Transport proof** — modules proved transport-safe by
+//!   `motor-analyze` take the trusted `Mp` bindings, eliding the per-send
+//!   transportability walk. Compared against the same module verified but
+//!   without the proof bit.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use motor_bench::protocol::PingPongProtocol;
+use motor_core::cluster::run_cluster_default;
+use motor_interp::{FCallId, FnBuilder, Interp, Module, Op, TyDesc, Value};
+use motor_runtime::{ClassId, ElemKind, MotorThread, Vm, VmConfig};
+use parking_lot::Mutex;
+
+/// `sum_mix(arr, n)`: a loop mixing element loads, field traffic and
+/// stores — every op the verifier can pre-resolve.
+fn sum_mix_module(acc_cls: ClassId) -> Module {
+    let mut f = FnBuilder::new("sum_mix", 2, 4, true);
+    f.params(&[TyDesc::Arr(ElemKind::I64), TyDesc::I64]);
+    let top = f.label();
+    let done = f.label();
+    // local2 = Acc object, local3 = i
+    f.op(Op::New(acc_cls)).op(Op::Store(2));
+    f.op(Op::PushI(0)).op(Op::Store(3));
+    f.bind(top);
+    f.op(Op::Load(3))
+        .op(Op::Load(1))
+        .op(Op::CmpLt)
+        .br_false(done);
+    // acc.v += arr[i % len]
+    f.op(Op::Load(2)).op(Op::Dup).op(Op::LdFldI(0));
+    f.op(Op::Load(0))
+        .op(Op::Load(3))
+        .op(Op::Load(0))
+        .op(Op::ArrLen)
+        .op(Op::Rem)
+        .op(Op::LdElemI)
+        .op(Op::Add)
+        .op(Op::StFldI(0));
+    f.op(Op::Load(3))
+        .op(Op::PushI(1))
+        .op(Op::Add)
+        .op(Op::Store(3));
+    f.br(top);
+    f.bind(done);
+    f.op(Op::Load(2)).op(Op::LdFldI(0)).op(Op::Ret);
+    let mut m = Module::new();
+    m.add(f.build());
+    m
+}
+
+fn bench_typed_dispatch(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_verifier_dispatch");
+    let vm = Vm::new(VmConfig::default());
+    let acc = vm
+        .registry_mut()
+        .define_class("Acc")
+        .prim("v", ElemKind::I64)
+        .build();
+    let m = sum_mix_module(acc);
+    let vmod = motor_analyze::load(m.clone(), &vm.registry()).expect("kernel verifies");
+    let t = MotorThread::attach(Arc::clone(&vm));
+    let arr = t.alloc_prim_array(ElemKind::I64, 64);
+    let data: Vec<i64> = (0..64).collect();
+    t.prim_write(arr, 0, &data);
+    const N: i64 = 10_000;
+
+    g.bench_function("verified_elided_checks", |b| {
+        let interp = Interp::new(&t, &vmod);
+        b.iter(|| {
+            let r = interp.call(0, &[Value::R(arr), Value::I(N)]).unwrap();
+            criterion::black_box(r)
+        });
+    });
+    g.bench_function("unverified_dynamic_checks", |b| {
+        let interp = Interp::unverified(&t, &m);
+        b.iter(|| {
+            let r = interp.call(0, &[Value::R(arr), Value::I(N)]).unwrap();
+            criterion::black_box(r)
+        });
+    });
+    g.finish();
+}
+
+/// FCall ping-pong kernels: rank 0 alternates send/recv, rank 1 mirrors.
+fn pingpong_module() -> Module {
+    let mut send_k = FnBuilder::new("send_k", 2, 2, false);
+    send_k.params(&[TyDesc::Arr(ElemKind::U8), TyDesc::I64]);
+    send_k
+        .op(Op::Load(0))
+        .op(Op::Load(1))
+        .op(Op::PushI(0))
+        .op(Op::FCall(FCallId::MpSend))
+        .op(Op::Ret);
+    let mut recv_k = FnBuilder::new("recv_k", 2, 2, false);
+    recv_k.params(&[TyDesc::Arr(ElemKind::U8), TyDesc::I64]);
+    recv_k
+        .op(Op::Load(0))
+        .op(Op::Load(1))
+        .op(Op::PushI(0))
+        .op(Op::FCall(FCallId::MpRecv))
+        .op(Op::Ret);
+    let mut m = Module::new();
+    m.add(send_k.build());
+    m.add(recv_k.build());
+    m
+}
+
+/// One managed ping-pong over the FCall intrinsics; `proved` selects the
+/// transport-proof (trusted) or the merely-verified (checked) module.
+fn fcall_pingpong_us(proved: bool, bytes: usize) -> f64 {
+    let protocol = PingPongProtocol {
+        warmup: 20,
+        timed: 50,
+        repeats: 1,
+    };
+    let result = Arc::new(Mutex::new(0.0f64));
+    let r = Arc::clone(&result);
+    run_cluster_default(
+        2,
+        |_| {},
+        move |proc| {
+            let t = proc.thread();
+            let vmod = if proved {
+                motor_analyze::load(pingpong_module(), &proc.vm().registry()).unwrap()
+            } else {
+                motor_interp::VerifiedModule::verify(pingpong_module(), &proc.vm().registry())
+                    .unwrap()
+            };
+            assert_eq!(vmod.has_transport_proof(), proved);
+            let host = proc.intrinsics();
+            let interp = Interp::new(t, &vmod).with_host(&host);
+            let buf = t.alloc_prim_array(ElemKind::U8, bytes);
+            if proc.mp().rank() == 0 {
+                let peer = [Value::R(buf), Value::I(1)];
+                let us = protocol.measure(|| {
+                    interp.call(0, &peer).unwrap();
+                    interp.call(1, &peer).unwrap();
+                });
+                *r.lock() = us;
+            } else {
+                let peer = [Value::R(buf), Value::I(0)];
+                for _ in 0..protocol.total_iterations() {
+                    interp.call(1, &peer).unwrap();
+                    interp.call(0, &peer).unwrap();
+                }
+            }
+        },
+    )
+    .unwrap();
+    let v = *result.lock();
+    v
+}
+
+fn bench_transport_proof(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_verifier_transport");
+    g.sample_size(10);
+    for (name, proved) in [("proved_trusted_path", true), ("checked_path", false)] {
+        g.bench_function(name, |b| {
+            b.iter_custom(|iters| {
+                let mut total = Duration::ZERO;
+                for _ in 0..iters {
+                    let us = fcall_pingpong_us(proved, 1024);
+                    total += Duration::from_nanos((us * 1000.0) as u64);
+                }
+                total
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_typed_dispatch, bench_transport_proof);
+criterion_main!(benches);

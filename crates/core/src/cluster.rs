@@ -201,6 +201,13 @@ impl MotorProc {
         Oomp::new(&self.thread, self.comm.clone(), Arc::clone(&self.pool))
     }
 
+    /// The message-passing intrinsic host for interpreted IL: bind it to
+    /// an interpreter with `Interp::with_host` so `Op::FCall` routes into
+    /// this rank's [`Mp`]/[`Oomp`] bindings.
+    pub fn intrinsics(&self) -> crate::fcall::MpIntrinsics<'_> {
+        crate::fcall::MpIntrinsics::new(self.mp(), self.oomp())
+    }
+
     /// The OO buffer pool (diagnostics).
     pub fn pool(&self) -> &Arc<BufPool> {
         &self.pool

@@ -13,9 +13,15 @@
 //! stable until the body explicitly polls — exactly the window the Motor
 //! pinning policy exploits (§7.4).
 
+use std::cell::{Cell, RefCell};
+
+use motor_interp::{FCallId, FcallHost, TrapKind, Value};
+use motor_mpc::Source;
 use motor_runtime::{ClassId, ElemKind, Handle, MotorThread, TypeKind};
 
 use crate::error::{CoreError, CoreResult};
+use crate::mp::{Mp, MpRequest};
+use crate::oomp::Oomp;
 
 /// An active FCall frame.
 pub struct Fcall<'t> {
@@ -89,6 +95,240 @@ impl Drop for Fcall<'_> {
     fn drop(&mut self) {
         // Exit poll.
         self.thread.poll();
+    }
+}
+
+/// Map a binding failure to an interpreter trap. The trap carries a
+/// static category; the detailed message stays on the `CoreError` side.
+fn trap(e: &CoreError) -> TrapKind {
+    TrapKind::Fcall(match e {
+        CoreError::NullBuffer => "null transport buffer",
+        CoreError::ObjectModelIntegrity(_) => {
+            "buffer type contains references; raw transport refused"
+        }
+        CoreError::RangeOutOfBounds { .. } => "transport range out of bounds",
+        CoreError::Mpc(_) => "message passing core failure",
+        CoreError::Serialization(_) => "serialization failure",
+        CoreError::UnknownType(_) => "receiver does not know the transported type",
+    })
+}
+
+fn int_arg(v: Value, what: &'static str) -> Result<i64, TrapKind> {
+    match v {
+        Value::I(i) => Ok(i),
+        _ => Err(TrapKind::Fcall(what)),
+    }
+}
+
+fn arg(args: &[Value], i: usize) -> Result<Value, TrapKind> {
+    args.get(i)
+        .copied()
+        .ok_or(TrapKind::Fcall("missing intrinsic operand"))
+}
+
+/// Negative managed peer values are the wildcard receive source
+/// (`FCALL_ANY_SOURCE`).
+fn source_of(peer: i64) -> Source {
+    if peer < 0 {
+        Source::Any
+    } else {
+        Source::Rank(peer as usize)
+    }
+}
+
+fn dest_of(peer: i64) -> Result<usize, TrapKind> {
+    usize::try_from(peer).map_err(|_| TrapKind::Fcall("destination rank must be non-negative"))
+}
+
+/// The message-passing intrinsic host: routes [`motor_interp::il::Op::FCall`]
+/// from the interpreter into the [`Mp`]/[`Oomp`] bindings, each invocation
+/// an FCall frame with entry/exit polls.
+///
+/// Requests created by `MpIsend`/`MpIrecv` live in a host-side table and
+/// are surfaced to managed code as opaque [`Value::Req`] indices; the
+/// typed verifier's linearity rules guarantee each one reaches `MpWait`
+/// exactly once before its function returns, so the table cannot leak.
+///
+/// When the interpreter runs a module carrying the `motor-analyze`
+/// transport proof, raw transports take the *trusted* bindings and the
+/// per-send transportability walk is elided ([`MpIntrinsics::elided`]
+/// counts them — the measurable win of load-time verification).
+pub struct MpIntrinsics<'t> {
+    mp: Mp<'t>,
+    oomp: Oomp<'t>,
+    requests: RefCell<Vec<Option<MpRequest>>>,
+    elided: Cell<u64>,
+}
+
+impl<'t> MpIntrinsics<'t> {
+    /// Build the host over bound `Mp` and `Oomp` interfaces (one rank).
+    pub fn new(mp: Mp<'t>, oomp: Oomp<'t>) -> MpIntrinsics<'t> {
+        MpIntrinsics {
+            mp,
+            oomp,
+            requests: RefCell::new(Vec::new()),
+            elided: Cell::new(0),
+        }
+    }
+
+    /// Number of requests still in flight (0 after any verified function
+    /// returns, by the request type-state guarantee).
+    pub fn outstanding(&self) -> usize {
+        self.requests
+            .borrow()
+            .iter()
+            .filter(|r| r.is_some())
+            .count()
+    }
+
+    /// How many raw transports ran with the transportability check elided
+    /// under a transport proof.
+    pub fn elided(&self) -> u64 {
+        self.elided.get()
+    }
+
+    fn thread(&self) -> &'t MotorThread {
+        self.mp.thread()
+    }
+
+    /// Decode a transport-buffer operand: a non-null object reference.
+    fn buf_arg(&self, v: Value) -> Result<Handle, TrapKind> {
+        match v {
+            Value::R(h) if !self.thread().is_null(h) => Ok(h),
+            Value::R(_) | Value::Null => Err(TrapKind::NullReference),
+            _ => Err(TrapKind::Fcall("transport buffer must be an object")),
+        }
+    }
+
+    /// Park a request in the table, reusing free slots so long-running
+    /// kernels keep the table bounded.
+    fn park(&self, req: MpRequest) -> u32 {
+        let mut t = self.requests.borrow_mut();
+        match t.iter().position(Option::is_none) {
+            Some(i) => {
+                t[i] = Some(req);
+                i as u32
+            }
+            None => {
+                t.push(Some(req));
+                (t.len() - 1) as u32
+            }
+        }
+    }
+
+    fn take(&self, v: Value) -> Result<MpRequest, TrapKind> {
+        let Value::Req(idx) = v else {
+            return Err(TrapKind::Fcall("MpWait operand must be a request"));
+        };
+        self.requests
+            .borrow_mut()
+            .get_mut(idx as usize)
+            .and_then(Option::take)
+            .ok_or(TrapKind::Fcall("request already completed"))
+    }
+
+    fn note_elided(&self, trusted: bool) -> bool {
+        if trusted {
+            self.elided.set(self.elided.get() + 1);
+        }
+        trusted
+    }
+}
+
+impl FcallHost for MpIntrinsics<'_> {
+    fn fcall(&self, id: FCallId, args: &[Value], trusted: bool) -> Result<Option<Value>, TrapKind> {
+        match id {
+            FCallId::MpSend => {
+                let buf = self.buf_arg(arg(args, 0)?)?;
+                let dest = dest_of(int_arg(arg(args, 1)?, "send dest must be an int")?)?;
+                let tag = int_arg(arg(args, 2)?, "tag must be an int")? as i32;
+                if self.note_elided(trusted) {
+                    self.mp.send_trusted(buf, dest, tag)
+                } else {
+                    self.mp.send(buf, dest, tag)
+                }
+                .map_err(|e| trap(&e))?;
+                Ok(None)
+            }
+            FCallId::MpRecv => {
+                let buf = self.buf_arg(arg(args, 0)?)?;
+                let src = source_of(int_arg(arg(args, 1)?, "recv source must be an int")?);
+                let tag = int_arg(arg(args, 2)?, "tag must be an int")? as i32;
+                if self.note_elided(trusted) {
+                    self.mp.recv_trusted(buf, src, tag)
+                } else {
+                    self.mp.recv(buf, src, tag)
+                }
+                .map_err(|e| trap(&e))?;
+                Ok(None)
+            }
+            FCallId::MpIsend => {
+                let buf = self.buf_arg(arg(args, 0)?)?;
+                let dest = dest_of(int_arg(arg(args, 1)?, "isend dest must be an int")?)?;
+                let tag = int_arg(arg(args, 2)?, "tag must be an int")? as i32;
+                let req = if self.note_elided(trusted) {
+                    self.mp.isend_trusted(buf, dest, tag)
+                } else {
+                    self.mp.isend(buf, dest, tag)
+                }
+                .map_err(|e| trap(&e))?;
+                Ok(Some(Value::Req(self.park(req))))
+            }
+            FCallId::MpIrecv => {
+                let buf = self.buf_arg(arg(args, 0)?)?;
+                let src = source_of(int_arg(arg(args, 1)?, "irecv source must be an int")?);
+                let tag = int_arg(arg(args, 2)?, "tag must be an int")? as i32;
+                let req = if self.note_elided(trusted) {
+                    self.mp.irecv_trusted(buf, src, tag)
+                } else {
+                    self.mp.irecv(buf, src, tag)
+                }
+                .map_err(|e| trap(&e))?;
+                Ok(Some(Value::Req(self.park(req))))
+            }
+            FCallId::MpWait => {
+                let mut req = self.take(arg(args, 0)?)?;
+                self.mp.wait(&mut req).map_err(|e| trap(&e))?;
+                Ok(None)
+            }
+            FCallId::MpBarrier => {
+                self.mp.barrier().map_err(|e| trap(&e))?;
+                Ok(None)
+            }
+            FCallId::MpBcast => {
+                let buf = self.buf_arg(arg(args, 0)?)?;
+                let root = dest_of(int_arg(arg(args, 1)?, "bcast root must be an int")?)?;
+                if self.note_elided(trusted) {
+                    self.mp.bcast_trusted(buf, root)
+                } else {
+                    self.mp.bcast(buf, root)
+                }
+                .map_err(|e| trap(&e))?;
+                Ok(None)
+            }
+            FCallId::Osend => {
+                let obj = self.buf_arg(arg(args, 0)?)?;
+                let dest = dest_of(int_arg(arg(args, 1)?, "osend dest must be an int")?)?;
+                let tag = int_arg(arg(args, 2)?, "tag must be an int")? as i32;
+                self.oomp.osend(obj, dest, tag).map_err(|e| trap(&e))?;
+                Ok(None)
+            }
+            FCallId::Orecv(class) => {
+                let src = source_of(int_arg(arg(args, 0)?, "orecv source must be an int")?);
+                let tag = int_arg(arg(args, 1)?, "tag must be an int")? as i32;
+                let (h, _st) = self.oomp.orecv(src, tag).map_err(|e| trap(&e))?;
+                // Arrival type check: the deserialized root must be of the
+                // declared class — the one dynamic check object transport
+                // keeps, because the wire type is the sender's claim.
+                if self.thread().class_of(h) != class {
+                    self.thread().release(h);
+                    return Err(TrapKind::Fcall(
+                        "received object class does not match Orecv declaration",
+                    ));
+                }
+                Ok(Some(Value::R(h)))
+            }
+        }
     }
 }
 

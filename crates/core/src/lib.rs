@@ -62,6 +62,7 @@ pub use cluster::{
     MotorProc,
 };
 pub use error::{CoreError, CoreResult};
+pub use fcall::MpIntrinsics;
 pub use motor_mpc::Source;
 pub use mp::{Mp, MpRequest, MpStatus, ANY_TAG};
 pub use oomp::Oomp;

@@ -160,6 +160,25 @@ impl<'t> Mp<'t> {
         Ok(fc.data_window(obj))
     }
 
+    /// Window resolution for a *statically proven* buffer: the
+    /// `motor-analyze` transport pass already established that every value
+    /// reaching this site has a reference-free, transportable class, so
+    /// the per-send registry walk is elided. Nullness stays a runtime
+    /// property and is still checked.
+    fn resolve_window(
+        &self,
+        fc: &Fcall<'_>,
+        obj: Handle,
+        trusted: bool,
+    ) -> CoreResult<(*mut u8, usize)> {
+        if trusted {
+            fc.check_not_null(obj)?;
+            Ok(fc.data_window(obj))
+        } else {
+            self.window(fc, obj)
+        }
+    }
+
     /// Validate and resolve an array sub-range window (element offset and
     /// count), per the array overloads of §4.2.1.
     fn range_window(
@@ -203,13 +222,23 @@ impl<'t> Mp<'t> {
 
     /// Blocking standard-mode send of a whole object.
     pub fn send(&self, obj: Handle, dest: usize, tag: i32) -> CoreResult<()> {
+        self.send_impl(obj, dest, tag, false)
+    }
+
+    /// `send` with the transportability check elided (statically proven
+    /// buffer; used by [`crate::fcall::MpIntrinsics`]).
+    pub(crate) fn send_trusted(&self, obj: Handle, dest: usize, tag: i32) -> CoreResult<()> {
+        self.send_impl(obj, dest, tag, true)
+    }
+
+    fn send_impl(&self, obj: Handle, dest: usize, tag: i32, trusted: bool) -> CoreResult<()> {
         let _span = self
             .thread
             .vm()
             .metrics()
             .span(SpanKind::MpSend, span_arg_peer_tag(dest, tag));
         let fc = Fcall::enter(self.thread);
-        let (ptr, len) = self.window(&fc, obj)?;
+        let (ptr, len) = self.resolve_window(&fc, obj, trusted)?;
         // SAFETY: window stability is maintained by the pinning policy
         // inside `finish_blocking` (no poll happens before the pin).
         let req = unsafe { self.comm.isend_ptr(ptr, len, dest, tag)? };
@@ -257,14 +286,28 @@ impl<'t> Mp<'t> {
     /// Blocking receive into a whole object. `src` may be
     /// [`Source::Any`].
     pub fn recv(&self, obj: Handle, src: impl Into<Source>, tag: i32) -> CoreResult<MpStatus> {
-        let src = src.into();
+        self.recv_impl(obj, src.into(), tag, false)
+    }
+
+    /// `recv` with the transportability check elided (statically proven
+    /// buffer).
+    pub(crate) fn recv_trusted(
+        &self,
+        obj: Handle,
+        src: impl Into<Source>,
+        tag: i32,
+    ) -> CoreResult<MpStatus> {
+        self.recv_impl(obj, src.into(), tag, true)
+    }
+
+    fn recv_impl(&self, obj: Handle, src: Source, tag: i32, trusted: bool) -> CoreResult<MpStatus> {
         let _span = self
             .thread
             .vm()
             .metrics()
             .span(SpanKind::MpRecv, span_arg_peer_tag(source_peer(src), tag));
         let fc = Fcall::enter(self.thread);
-        let (ptr, len) = self.window(&fc, obj)?;
+        let (ptr, len) = self.resolve_window(&fc, obj, trusted)?;
         // SAFETY: as in `send`.
         let req = unsafe { self.comm.irecv_ptr(ptr, len, src, tag)? };
         self.finish_blocking(obj, req)
@@ -299,13 +342,34 @@ impl<'t> Mp<'t> {
     /// Immediate send. The buffer is protected by a conditional pin that
     /// the collector releases once the transport finishes (paper §4.3).
     pub fn isend(&self, obj: Handle, dest: usize, tag: i32) -> CoreResult<MpRequest> {
+        self.isend_impl(obj, dest, tag, false)
+    }
+
+    /// `isend` with the transportability check elided (statically proven
+    /// buffer).
+    pub(crate) fn isend_trusted(
+        &self,
+        obj: Handle,
+        dest: usize,
+        tag: i32,
+    ) -> CoreResult<MpRequest> {
+        self.isend_impl(obj, dest, tag, true)
+    }
+
+    fn isend_impl(
+        &self,
+        obj: Handle,
+        dest: usize,
+        tag: i32,
+        trusted: bool,
+    ) -> CoreResult<MpRequest> {
         let _span = self
             .thread
             .vm()
             .metrics()
             .span(SpanKind::MpIsend, span_arg_peer_tag(dest, tag));
         let fc = Fcall::enter(self.thread);
-        let (ptr, len) = self.window(&fc, obj)?;
+        let (ptr, len) = self.resolve_window(&fc, obj, trusted)?;
         // SAFETY: the conditional pin registered below keeps the window
         // stable for the transport's lifetime; no poll intervenes.
         let req = unsafe { self.comm.isend_ptr(ptr, len, dest, tag)? };
@@ -319,14 +383,34 @@ impl<'t> Mp<'t> {
 
     /// Immediate receive.
     pub fn irecv(&self, obj: Handle, src: impl Into<Source>, tag: i32) -> CoreResult<MpRequest> {
-        let src = src.into();
+        self.irecv_impl(obj, src.into(), tag, false)
+    }
+
+    /// `irecv` with the transportability check elided (statically proven
+    /// buffer).
+    pub(crate) fn irecv_trusted(
+        &self,
+        obj: Handle,
+        src: impl Into<Source>,
+        tag: i32,
+    ) -> CoreResult<MpRequest> {
+        self.irecv_impl(obj, src.into(), tag, true)
+    }
+
+    fn irecv_impl(
+        &self,
+        obj: Handle,
+        src: Source,
+        tag: i32,
+        trusted: bool,
+    ) -> CoreResult<MpRequest> {
         let _span = self
             .thread
             .vm()
             .metrics()
             .span(SpanKind::MpIrecv, span_arg_peer_tag(source_peer(src), tag));
         let fc = Fcall::enter(self.thread);
-        let (ptr, len) = self.window(&fc, obj)?;
+        let (ptr, len) = self.resolve_window(&fc, obj, trusted)?;
         // SAFETY: as in `isend`.
         let req = unsafe { self.comm.irecv_ptr(ptr, len, src, tag)? };
         let hard_pin = pinning::pin_for_nonblocking(self.thread, self.policy, obj, &req);
@@ -410,8 +494,18 @@ impl<'t> Mp<'t> {
 
     /// Broadcast a whole object from `root`.
     pub fn bcast(&self, obj: Handle, root: usize) -> CoreResult<()> {
+        self.bcast_impl(obj, root, false)
+    }
+
+    /// `bcast` with the transportability check elided (statically proven
+    /// buffer).
+    pub(crate) fn bcast_trusted(&self, obj: Handle, root: usize) -> CoreResult<()> {
+        self.bcast_impl(obj, root, true)
+    }
+
+    fn bcast_impl(&self, obj: Handle, root: usize, trusted: bool) -> CoreResult<()> {
         let fc = Fcall::enter(self.thread);
-        let (ptr, len) = self.window(&fc, obj)?;
+        let (ptr, len) = self.resolve_window(&fc, obj, trusted)?;
         let pin = self.pin_for_collective(obj);
         // SAFETY: window pinned (or elder/stable) for the duration.
         let buf = unsafe { std::slice::from_raw_parts_mut(ptr, len) };

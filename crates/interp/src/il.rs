@@ -7,6 +7,112 @@
 
 use motor_runtime::{ClassId, ElemKind};
 
+/// Declared static type of a function parameter or return value.
+///
+/// The typed verifier ([`crate::verify`]) checks every call site and
+/// `Ret` against these declarations and seeds argument locals from them.
+/// Requests ([`Op::FCall`] with [`FCallId::MpIsend`]/[`FCallId::MpIrecv`])
+/// are deliberately absent: a request is function-local and must be
+/// consumed by `MpWait` before the function exits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TyDesc {
+    /// 64-bit integer.
+    I64,
+    /// 64-bit float.
+    F64,
+    /// Reference to an instance of the class (nullable).
+    Ref(ClassId),
+    /// One-dimensional primitive array of the element kind (nullable).
+    Arr(ElemKind),
+    /// One-dimensional object array of the class (nullable).
+    ObjArr(ClassId),
+}
+
+/// Message-passing intrinsics callable from IL via [`Op::FCall`].
+///
+/// These are the paper's `System.MP` / `System.OOMP` entry points surfaced
+/// to managed code; the interpreter routes them through a
+/// [`crate::interp::FcallHost`] (implemented by `motor-core` over its
+/// `Mp`/`Oomp` bindings, each an FCall frame with entry/exit GC polls).
+/// Stack conventions (arguments pushed left to right, so the rightmost is
+/// on top; `peer` is an integer rank, or `-1` for a wildcard receive
+/// source):
+///
+/// | id         | pops                     | pushes        |
+/// |------------|--------------------------|---------------|
+/// | `MpSend`   | `buf, dest, tag`         | —             |
+/// | `MpRecv`   | `buf, src, tag`          | —             |
+/// | `MpIsend`  | `buf, dest, tag`         | request       |
+/// | `MpIrecv`  | `buf, src, tag`          | request       |
+/// | `MpWait`   | `request`                | —             |
+/// | `MpBarrier`| —                        | —             |
+/// | `MpBcast`  | `buf, root`              | —             |
+/// | `Osend`    | `obj, dest, tag`         | —             |
+/// | `Orecv(c)` | `src, tag`               | object of `c` |
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FCallId {
+    /// Blocking standard-mode send of a whole object (raw `Mp`).
+    MpSend,
+    /// Blocking receive into a whole object (raw `Mp`).
+    MpRecv,
+    /// Immediate send; pushes a request that must reach `MpWait`.
+    MpIsend,
+    /// Immediate receive; pushes a request that must reach `MpWait`.
+    MpIrecv,
+    /// Complete an immediate operation.
+    MpWait,
+    /// Barrier across the communicator.
+    MpBarrier,
+    /// Broadcast a whole object from `root`.
+    MpBcast,
+    /// Object-tree transport via the serializer (`Oomp::osend`).
+    Osend,
+    /// Object-tree receive; the deserialized root must be of the declared
+    /// class (checked once on arrival).
+    Orecv(ClassId),
+}
+
+impl FCallId {
+    /// Number of stack operands popped.
+    pub fn arity(self) -> usize {
+        match self {
+            FCallId::MpBarrier => 0,
+            FCallId::MpWait => 1,
+            FCallId::MpBcast | FCallId::Orecv(_) => 2,
+            FCallId::MpSend
+            | FCallId::MpRecv
+            | FCallId::MpIsend
+            | FCallId::MpIrecv
+            | FCallId::Osend => 3,
+        }
+    }
+
+    /// Whether a value is pushed on completion.
+    pub fn pushes(self) -> bool {
+        matches!(
+            self,
+            FCallId::MpIsend | FCallId::MpIrecv | FCallId::Orecv(_)
+        )
+    }
+
+    /// Whether this intrinsic transports via the *raw* `Mp` bindings,
+    /// whose buffers must be reference-free (paper §4.2.1).
+    pub fn is_raw_mp_transport(self) -> bool {
+        matches!(
+            self,
+            FCallId::MpSend
+                | FCallId::MpRecv
+                | FCallId::MpIsend
+                | FCallId::MpIrecv
+                | FCallId::MpBcast
+        )
+    }
+}
+
+/// Wildcard receive source for [`FCallId::MpRecv`] / [`FCallId::MpIrecv`]
+/// (the managed-level `MPI_ANY_SOURCE`).
+pub const FCALL_ANY_SOURCE: i64 = -1;
+
 /// One IL instruction. Branch offsets are relative to the *next*
 /// instruction (offset 0 falls through).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -115,6 +221,12 @@ pub enum Op {
     StElemR,
     /// `[arr] → [len]`.
     ArrLen,
+
+    // --- message passing ---
+    /// Invoke a message-passing intrinsic; see [`FCallId`] for stack
+    /// conventions. Executed through the bound
+    /// [`crate::interp::FcallHost`].
+    FCall(FCallId),
 }
 
 /// A function body.
@@ -128,6 +240,13 @@ pub struct Function {
     pub locals: u16,
     /// Whether the function returns a value.
     pub returns_value: bool,
+    /// Declared parameter types, one per argument. The typed verifier
+    /// requires `params.len() == argc`; [`FnBuilder`] defaults every
+    /// parameter to [`TyDesc::I64`].
+    pub params: Vec<TyDesc>,
+    /// Declared return type; `Some` iff `returns_value`. Defaults to
+    /// [`TyDesc::I64`] for value-returning functions.
+    pub ret: Option<TyDesc>,
     /// The instruction stream.
     pub code: Vec<Op>,
 }
@@ -171,6 +290,8 @@ pub struct FnBuilder {
     argc: u16,
     locals: u16,
     returns_value: bool,
+    params: Vec<TyDesc>,
+    ret: Option<TyDesc>,
     code: Vec<Op>,
     /// label id → bound instruction index.
     labels: Vec<Option<usize>>,
@@ -180,7 +301,9 @@ pub struct FnBuilder {
 
 impl FnBuilder {
     /// Start a function with `argc` arguments and `locals` total locals
-    /// (must be >= argc).
+    /// (must be >= argc). Parameters and the return value default to
+    /// [`TyDesc::I64`]; declare other types with [`FnBuilder::params`] and
+    /// [`FnBuilder::ret_ty`].
     pub fn new(name: &str, argc: u16, locals: u16, returns_value: bool) -> FnBuilder {
         assert!(locals >= argc, "locals include arguments");
         FnBuilder {
@@ -188,10 +311,26 @@ impl FnBuilder {
             argc,
             locals,
             returns_value,
+            params: vec![TyDesc::I64; argc as usize],
+            ret: returns_value.then_some(TyDesc::I64),
             code: Vec::new(),
             labels: Vec::new(),
             fixups: Vec::new(),
         }
+    }
+
+    /// Declare the parameter types (length must equal `argc`).
+    pub fn params(&mut self, params: &[TyDesc]) -> &mut Self {
+        assert_eq!(params.len(), self.argc as usize, "one type per argument");
+        self.params = params.to_vec();
+        self
+    }
+
+    /// Declare the return type (the function must return a value).
+    pub fn ret_ty(&mut self, ty: TyDesc) -> &mut Self {
+        assert!(self.returns_value, "void function cannot declare a return");
+        self.ret = Some(ty);
+        self
     }
 
     /// Emit an instruction.
@@ -252,6 +391,8 @@ impl FnBuilder {
             argc: self.argc,
             locals: self.locals,
             returns_value: self.returns_value,
+            params: self.params,
+            ret: self.ret,
             code: self.code,
         }
     }

@@ -9,7 +9,8 @@
 
 use motor_runtime::{ElemKind, Handle, MotorThread};
 
-use crate::il::{Function, Module, Op};
+use crate::il::{FCallId, Function, Module, Op};
+use crate::verify::{FuncMeta, VerifiedModule};
 
 /// Straight-line instruction budget between forced polls.
 const POLL_INTERVAL: u32 = 256;
@@ -25,6 +26,11 @@ pub enum Value {
     R(Handle),
     /// The null reference.
     Null,
+    /// An in-flight message-passing request: an index into the bound
+    /// [`FcallHost`]'s request table. Created by `MpIsend`/`MpIrecv`,
+    /// consumed by `MpWait`; the verifier guarantees it never escapes the
+    /// function that created it.
+    Req(u32),
 }
 
 impl Value {
@@ -57,6 +63,9 @@ pub enum TrapKind {
     UnknownFunction(u16),
     /// Evaluation stack underflow.
     StackUnderflow,
+    /// A message-passing intrinsic failed (no host bound, bad arguments,
+    /// transport refused, or a communicator error).
+    Fcall(&'static str),
 }
 
 impl std::fmt::Display for TrapKind {
@@ -68,14 +77,44 @@ impl std::fmt::Display for TrapKind {
             TrapKind::TypeMismatch(m) => write!(f, "type mismatch: {m}"),
             TrapKind::UnknownFunction(i) => write!(f, "unknown function {i}"),
             TrapKind::StackUnderflow => write!(f, "stack underflow"),
+            TrapKind::Fcall(m) => write!(f, "fcall: {m}"),
         }
     }
 }
 
+/// Host for the message-passing intrinsics ([`Op::FCall`]).
+///
+/// Implemented by `motor-core` over its `Mp`/`Oomp` bindings; each call
+/// runs as an FCall frame with entry/exit GC polls (paper §5.1). The
+/// interpreter owns the operand handles (frame arena); the host only
+/// borrows them for the duration of the call.
+pub trait FcallHost {
+    /// Execute intrinsic `id`. `args` holds the popped operands in push
+    /// order (e.g. `[buf, peer, tag]` for the transport ops). `trusted`
+    /// carries the module's transport proof: when set, the host may elide
+    /// its per-call transportability walk because the `motor-analyze`
+    /// pass already vouched for every buffer reaching this site.
+    fn fcall(&self, id: FCallId, args: &[Value], trusted: bool) -> Result<Option<Value>, TrapKind>;
+}
+
 /// The interpreter bound to a managed thread and module.
+///
+/// The normal entry point is [`Interp::new`] over a [`VerifiedModule`]:
+/// the typed verifier's side tables let the hot loop skip the registry
+/// lock and dynamic kind checks on every field/element access, and the
+/// transport-proof bit is forwarded to the [`FcallHost`].
+/// [`Interp::unverified`] is the explicit escape hatch for code that has
+/// not been through the verifier; it keeps every dynamic check.
 pub struct Interp<'t, 'm> {
     thread: &'t MotorThread,
     module: &'m Module,
+    /// Per-function verifier side tables, parallel to `module.functions`
+    /// (`None` for unverified modules).
+    meta: Option<&'m [FuncMeta]>,
+    /// Bound message-passing host for `Op::FCall`.
+    host: Option<&'m dyn FcallHost>,
+    /// The module's transport proof (granted by `motor-analyze`).
+    trusted: bool,
 }
 
 /// One activation frame's handle arena: handles minted during the call,
@@ -102,9 +141,34 @@ impl Arena {
 }
 
 impl<'t, 'm> Interp<'t, 'm> {
-    /// Create an interpreter.
-    pub fn new(thread: &'t MotorThread, module: &'m Module) -> Self {
-        Interp { thread, module }
+    /// Create an interpreter over a verified module (the default path).
+    pub fn new(thread: &'t MotorThread, verified: &'m VerifiedModule) -> Self {
+        Interp {
+            thread,
+            module: verified.module(),
+            meta: Some(verified.meta()),
+            host: None,
+            trusted: verified.has_transport_proof(),
+        }
+    }
+
+    /// Escape hatch: interpret a module that has *not* been through the
+    /// typed verifier. Every dynamic type check stays on, and message
+    /// transports are never trusted.
+    pub fn unverified(thread: &'t MotorThread, module: &'m Module) -> Self {
+        Interp {
+            thread,
+            module,
+            meta: None,
+            host: None,
+            trusted: false,
+        }
+    }
+
+    /// Bind the message-passing host used by `Op::FCall`.
+    pub fn with_host(mut self, host: &'m dyn FcallHost) -> Self {
+        self.host = Some(host);
+        self
     }
 
     /// Call function `idx` with `args`. Returns its value (or `None` for
@@ -116,6 +180,7 @@ impl<'t, 'm> Interp<'t, 'm> {
             .functions
             .get(idx as usize)
             .ok_or(TrapKind::UnknownFunction(idx))?;
+        let meta = self.meta.map(|m| &m[idx as usize]);
         assert_eq!(
             args.len(),
             f.argc as usize,
@@ -127,7 +192,7 @@ impl<'t, 'm> Interp<'t, 'm> {
         locals.resize(f.locals as usize, Value::I(0));
         let mut stack: Vec<Value> = Vec::with_capacity(16);
         let mut arena = Arena::new();
-        let result = self.run(f, &mut locals, &mut stack, &mut arena);
+        let result = self.run(f, meta, &mut locals, &mut stack, &mut arena);
         match result {
             Ok(ret) => {
                 // Transfer the return handle out of the arena by cloning.
@@ -154,6 +219,7 @@ impl<'t, 'm> Interp<'t, 'm> {
     fn run(
         &self,
         f: &Function,
+        meta: Option<&FuncMeta>,
         locals: &mut [Value],
         stack: &mut Vec<Value>,
         arena: &mut Arena,
@@ -166,8 +232,17 @@ impl<'t, 'm> Interp<'t, 'm> {
                 stack.pop().ok_or(TrapKind::StackUnderflow)?
             };
         }
+        // Statically resolved field/element kind for the instruction at
+        // `pc` (verified modules only): replaces the registry lock +
+        // dynamic kind check on the access fast path.
+        macro_rules! hint {
+            ($pc:expr) => {
+                meta.and_then(|m| m.kinds[$pc])
+            };
+        }
         while pc < code.len() {
             let op = code[pc];
+            let op_pc = pc;
             pc += 1;
             since_poll += 1;
             if since_poll >= POLL_INTERVAL {
@@ -346,20 +421,30 @@ impl<'t, 'm> Interp<'t, 'm> {
                 }
                 Op::LdFldI(fi) => {
                     let h = self.ref_val(pop!())?;
-                    stack.push(Value::I(self.load_int_field(h, fi as usize)?));
+                    stack.push(Value::I(self.load_int_field(
+                        h,
+                        fi as usize,
+                        hint!(op_pc),
+                    )?));
                 }
                 Op::StFldI(fi) => {
                     let v = pop!().as_i()?;
                     let h = self.ref_val(pop!())?;
-                    self.store_int_field(h, fi as usize, v)?;
+                    self.store_int_field(h, fi as usize, v, hint!(op_pc))?;
                 }
                 Op::LdFldF(fi) => {
                     let h = self.ref_val(pop!())?;
+                    if hint!(op_pc).is_none() {
+                        self.check_f64_field(h, fi as usize)?;
+                    }
                     stack.push(Value::F(self.thread.get_prim::<f64>(h, fi as usize)));
                 }
                 Op::StFldF(fi) => {
                     let v = pop!().as_f()?;
                     let h = self.ref_val(pop!())?;
+                    if hint!(op_pc).is_none() {
+                        self.check_f64_field(h, fi as usize)?;
+                    }
                     self.thread.set_prim::<f64>(h, fi as usize, v);
                 }
                 Op::LdFldR(fi) => {
@@ -402,18 +487,21 @@ impl<'t, 'm> Interp<'t, 'm> {
                 Op::LdElemI => {
                     let idx = pop!().as_i()?;
                     let h = self.ref_val(pop!())?;
-                    stack.push(Value::I(self.load_int_elem(h, idx)?));
+                    stack.push(Value::I(self.load_int_elem(h, idx, hint!(op_pc))?));
                 }
                 Op::StElemI => {
                     let v = pop!().as_i()?;
                     let idx = pop!().as_i()?;
                     let h = self.ref_val(pop!())?;
-                    self.store_int_elem(h, idx, v)?;
+                    self.store_int_elem(h, idx, v, hint!(op_pc))?;
                 }
                 Op::LdElemF => {
                     let idx = pop!().as_i()?;
                     let h = self.ref_val(pop!())?;
                     self.bounds(h, idx)?;
+                    if hint!(op_pc).is_none() {
+                        self.check_f64_elem(h)?;
+                    }
                     let mut out = [0f64];
                     self.thread.prim_read(h, idx as usize, &mut out);
                     stack.push(Value::F(out[0]));
@@ -423,6 +511,9 @@ impl<'t, 'm> Interp<'t, 'm> {
                     let idx = pop!().as_i()?;
                     let h = self.ref_val(pop!())?;
                     self.bounds(h, idx)?;
+                    if hint!(op_pc).is_none() {
+                        self.check_f64_elem(h)?;
+                    }
                     self.thread.prim_write(h, idx as usize, &[v]);
                 }
                 Op::LdElemR => {
@@ -453,6 +544,24 @@ impl<'t, 'm> Interp<'t, 'm> {
                 Op::ArrLen => {
                     let h = self.ref_val(pop!())?;
                     stack.push(Value::I(self.thread.array_len(h) as i64));
+                }
+                Op::FCall(id) => {
+                    let host = self
+                        .host
+                        .ok_or(TrapKind::Fcall("no message-passing host bound"))?;
+                    let n = id.arity();
+                    if stack.len() < n {
+                        return Err(TrapKind::StackUnderflow);
+                    }
+                    let args: Vec<Value> = stack.split_off(stack.len() - n);
+                    let ret = host.fcall(id, &args, self.trusted)?;
+                    if let Some(v) = ret {
+                        if let Value::R(h) = v {
+                            // Received objects are owned by this frame.
+                            arena.track(h);
+                        }
+                        stack.push(v);
+                    }
                 }
             }
         }
@@ -485,10 +594,39 @@ impl<'t, 'm> Interp<'t, 'm> {
         }
     }
 
-    fn load_int_elem(&self, h: Handle, idx: i64) -> Result<i64, TrapKind> {
+    /// Reject non-f64 fields on the unverified `LdFldF`/`StFldF` path
+    /// (verified modules carry the kind in their side table instead).
+    fn check_f64_field(&self, h: Handle, fi: usize) -> Result<(), TrapKind> {
+        let vm = self.thread.vm();
+        let reg = vm.registry();
+        match reg
+            .table(self.thread.class_of(h))
+            .fields
+            .get(fi)
+            .map(|f| f.ty)
+        {
+            Some(motor_runtime::FieldType::Prim(ElemKind::F64)) => Ok(()),
+            Some(_) => Err(TrapKind::TypeMismatch("float access to non-f64 field")),
+            None => Err(TrapKind::TypeMismatch("field index out of range")),
+        }
+    }
+
+    /// Reject non-f64 arrays on the unverified `LdElemF`/`StElemF` path.
+    fn check_f64_elem(&self, h: Handle) -> Result<(), TrapKind> {
+        match self.elem_kind(h) {
+            ElemKind::F64 => Ok(()),
+            _ => Err(TrapKind::TypeMismatch("float access to non-f64 array")),
+        }
+    }
+
+    fn load_int_elem(&self, h: Handle, idx: i64, hint: Option<ElemKind>) -> Result<i64, TrapKind> {
         self.bounds(h, idx)?;
         let idx = idx as usize;
-        Ok(match self.elem_kind(h) {
+        let kind = match hint {
+            Some(k) => k,
+            None => self.elem_kind(h),
+        };
+        Ok(match kind {
             ElemKind::Bool | ElemKind::U8 => {
                 let mut o = [0u8];
                 self.thread.prim_read(h, idx, &mut o);
@@ -530,10 +668,20 @@ impl<'t, 'm> Interp<'t, 'm> {
         })
     }
 
-    fn store_int_elem(&self, h: Handle, idx: i64, v: i64) -> Result<(), TrapKind> {
+    fn store_int_elem(
+        &self,
+        h: Handle,
+        idx: i64,
+        v: i64,
+        hint: Option<ElemKind>,
+    ) -> Result<(), TrapKind> {
         self.bounds(h, idx)?;
         let idx = idx as usize;
-        match self.elem_kind(h) {
+        let kind = match hint {
+            Some(k) => k,
+            None => self.elem_kind(h),
+        };
+        match kind {
             ElemKind::Bool | ElemKind::U8 => self.thread.prim_write(h, idx, &[v as u8]),
             ElemKind::I8 => self.thread.prim_write(h, idx, &[v as i8]),
             ElemKind::I16 => self.thread.prim_write(h, idx, &[v as i16]),
@@ -548,14 +696,28 @@ impl<'t, 'm> Interp<'t, 'm> {
         Ok(())
     }
 
-    fn load_int_field(&self, h: Handle, fi: usize) -> Result<i64, TrapKind> {
-        let vm = self.thread.vm();
-        let kind = {
-            let reg = vm.registry();
-            match reg.table(self.thread.class_of(h)).fields[fi].ty {
-                motor_runtime::FieldType::Prim(k) => k,
-                motor_runtime::FieldType::Ref(_) => {
-                    return Err(TrapKind::TypeMismatch("LdFldI on reference field"))
+    fn load_int_field(
+        &self,
+        h: Handle,
+        fi: usize,
+        hint: Option<ElemKind>,
+    ) -> Result<i64, TrapKind> {
+        let kind = match hint {
+            Some(k) => k,
+            None => {
+                let vm = self.thread.vm();
+                let reg = vm.registry();
+                match reg
+                    .table(self.thread.class_of(h))
+                    .fields
+                    .get(fi)
+                    .map(|f| f.ty)
+                {
+                    Some(motor_runtime::FieldType::Prim(k)) => k,
+                    Some(motor_runtime::FieldType::Ref(_)) => {
+                        return Err(TrapKind::TypeMismatch("LdFldI on reference field"))
+                    }
+                    None => return Err(TrapKind::TypeMismatch("field index out of range")),
                 }
             }
         };
@@ -573,14 +735,29 @@ impl<'t, 'm> Interp<'t, 'm> {
         })
     }
 
-    fn store_int_field(&self, h: Handle, fi: usize, v: i64) -> Result<(), TrapKind> {
-        let vm = self.thread.vm();
-        let kind = {
-            let reg = vm.registry();
-            match reg.table(self.thread.class_of(h)).fields[fi].ty {
-                motor_runtime::FieldType::Prim(k) => k,
-                motor_runtime::FieldType::Ref(_) => {
-                    return Err(TrapKind::TypeMismatch("StFldI on reference field"))
+    fn store_int_field(
+        &self,
+        h: Handle,
+        fi: usize,
+        v: i64,
+        hint: Option<ElemKind>,
+    ) -> Result<(), TrapKind> {
+        let kind = match hint {
+            Some(k) => k,
+            None => {
+                let vm = self.thread.vm();
+                let reg = vm.registry();
+                match reg
+                    .table(self.thread.class_of(h))
+                    .fields
+                    .get(fi)
+                    .map(|f| f.ty)
+                {
+                    Some(motor_runtime::FieldType::Prim(k)) => k,
+                    Some(motor_runtime::FieldType::Ref(_)) => {
+                        return Err(TrapKind::TypeMismatch("StFldI on reference field"))
+                    }
+                    None => return Err(TrapKind::TypeMismatch("field index out of range")),
                 }
             }
         };
@@ -603,7 +780,7 @@ impl<'t, 'm> Interp<'t, 'm> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::il::{FnBuilder, Module};
+    use crate::il::{FnBuilder, Module, TyDesc};
     use motor_runtime::heap::HeapConfig;
     use motor_runtime::{Vm, VmConfig};
     use std::sync::Arc;
@@ -616,6 +793,10 @@ mod tests {
             },
             ..Default::default()
         })
+    }
+
+    fn verified(m: Module, vm: &Vm) -> VerifiedModule {
+        VerifiedModule::verify(m, &vm.registry()).expect("test module must verify")
     }
 
     #[test]
@@ -644,8 +825,9 @@ mod tests {
         let mut m = Module::new();
         let idx = m.add(f.build());
         let vm = vm_small();
+        let vmod = verified(m, &vm);
         let t = motor_runtime::MotorThread::attach(vm);
-        let i = Interp::new(&t, &m);
+        let i = Interp::new(&t, &vmod);
         let r = i.call(idx, &[Value::I(100)]).unwrap();
         assert_eq!(r, Some(Value::I(5050)));
     }
@@ -669,8 +851,9 @@ mod tests {
         let idx = m.add(f.build());
         assert_eq!(idx, 0);
         let vm = vm_small();
+        let vmod = verified(m, &vm);
         let t = motor_runtime::MotorThread::attach(vm);
-        let i = Interp::new(&t, &m);
+        let i = Interp::new(&t, &vmod);
         assert_eq!(
             i.call(0, &[Value::I(10)]).unwrap(),
             Some(Value::I(3_628_800))
@@ -680,13 +863,15 @@ mod tests {
     #[test]
     fn float_math() {
         let mut f = FnBuilder::new("avg", 2, 2, true);
+        f.params(&[TyDesc::F64, TyDesc::F64]).ret_ty(TyDesc::F64);
         f.op(Op::Load(0)).op(Op::Load(1)).op(Op::FAdd);
         f.op(Op::PushF(2.0)).op(Op::FDiv).op(Op::Ret);
         let mut m = Module::new();
         let idx = m.add(f.build());
         let vm = vm_small();
+        let vmod = verified(m, &vm);
         let t = motor_runtime::MotorThread::attach(vm);
-        let i = Interp::new(&t, &m);
+        let i = Interp::new(&t, &vmod);
         assert_eq!(
             i.call(idx, &[Value::F(3.0), Value::F(4.0)]).unwrap(),
             Some(Value::F(3.5))
@@ -700,8 +885,9 @@ mod tests {
         let mut m = Module::new();
         let idx = m.add(f.build());
         let vm = vm_small();
+        let vmod = verified(m, &vm);
         let t = motor_runtime::MotorThread::attach(vm);
-        let i = Interp::new(&t, &m);
+        let i = Interp::new(&t, &vmod);
         assert_eq!(
             i.call(idx, &[Value::I(1), Value::I(0)]),
             Err(TrapKind::DivideByZero)
@@ -727,8 +913,9 @@ mod tests {
         f.op(Op::Add).op(Op::Ret);
         let mut m = Module::new();
         let idx = m.add(f.build());
+        let vmod = verified(m, &vm);
         let t = motor_runtime::MotorThread::attach(vm);
-        let i = Interp::new(&t, &m);
+        let i = Interp::new(&t, &vmod);
         assert_eq!(i.call(idx, &[]).unwrap(), Some(Value::I(9)));
     }
 
@@ -785,11 +972,6 @@ mod tests {
         f.op(Op::Load(0)).op(Op::Ret);
         let mut m = Module::new();
         let idx = m.add(f.build());
-        let vm = vm_small();
-        let t = motor_runtime::MotorThread::attach(vm);
-        let i = Interp::new(&t, &m);
-        // 0+1+4+9+16 = 30
-        assert_eq!(i.call(idx, &[Value::I(5)]).unwrap(), Some(Value::I(30)));
         // Out-of-range traps.
         let mut g = FnBuilder::new("oob", 0, 1, true);
         g.op(Op::PushI(2))
@@ -800,7 +982,12 @@ mod tests {
             .op(Op::LdElemI)
             .op(Op::Ret);
         let gi = m.add(g.build());
-        let i = Interp::new(&t, &m);
+        let vm = vm_small();
+        let vmod = verified(m, &vm);
+        let t = motor_runtime::MotorThread::attach(vm);
+        let i = Interp::new(&t, &vmod);
+        // 0+1+4+9+16 = 30
+        assert_eq!(i.call(idx, &[Value::I(5)]).unwrap(), Some(Value::I(30)));
         assert_eq!(i.call(gi, &[]), Err(TrapKind::IndexOutOfRange));
     }
 
@@ -860,8 +1047,9 @@ mod tests {
         f.op(Op::Load(2)).op(Op::Ret);
         let mut m = Module::new();
         let idx = m.add(f.build());
+        let vmod = verified(m, &vm);
         let t = motor_runtime::MotorThread::attach(Arc::clone(&vm));
-        let i = Interp::new(&t, &m);
+        let i = Interp::new(&t, &vmod);
         let n = 2000i64;
         assert_eq!(i.call(idx, &[Value::I(n)]).unwrap(), Some(Value::I(n)));
         assert!(
@@ -899,8 +1087,9 @@ mod tests {
         f.op(Op::Add).op(Op::Ret);
         let mut m = Module::new();
         let idx = m.add(f.build());
+        let vmod = verified(m, &vm);
         let t = motor_runtime::MotorThread::attach(vm);
-        let i = Interp::new(&t, &m);
+        let i = Interp::new(&t, &vmod);
         assert_eq!(i.call(idx, &[]).unwrap(), Some(Value::I(43)));
     }
 
@@ -917,8 +1106,9 @@ mod tests {
         f.op(Op::PushNull).op(Op::LdFldI(0)).op(Op::Ret);
         let mut m = Module::new();
         let idx = m.add(f.build());
+        let vmod = verified(m, &vm);
         let t = motor_runtime::MotorThread::attach(vm);
-        let i = Interp::new(&t, &m);
+        let i = Interp::new(&t, &vmod);
         assert_eq!(i.call(idx, &[]), Err(TrapKind::NullReference));
     }
 

@@ -18,6 +18,6 @@ pub mod il;
 pub mod interp;
 pub mod verify;
 
-pub use il::{FnBuilder, Function, Module, Op};
-pub use interp::{Interp, TrapKind, Value};
-pub use verify::verify_module;
+pub use il::{FCallId, FnBuilder, Function, Module, Op, TyDesc, FCALL_ANY_SOURCE};
+pub use interp::{FcallHost, Interp, TrapKind, Value};
+pub use verify::{verify_module, FcallSite, FuncMeta, StackTy, VerifiedModule, VerifyError};

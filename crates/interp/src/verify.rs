@@ -1,16 +1,93 @@
-//! A lightweight IL verifier.
+//! The typed IL verifier.
 //!
 //! The CLI requires loaded code to be verifiable before it may run in a
-//! trusted context; this verifier enforces the structural properties the
-//! interpreter relies on: branch targets inside the function, local
-//! indices in range, call targets present, and a consistent evaluation
-//! stack depth along every path (merge points must agree).
+//! trusted context. This verifier performs a typed abstract
+//! interpretation over the evaluation stack and locals (the classic
+//! CIL/JVM dataflow discipline) and enforces, at module load time,
+//! everything the interpreter would otherwise have to check (or trap on)
+//! dynamically:
+//!
+//! * structural properties — branch targets inside the function, local
+//!   indices in range, call targets present, consistent stack depth;
+//! * **type safety** — every operand has the abstract type its opcode
+//!   needs ([`StackTy`]: `Int`, `Float`, `Null`, `Ref(class)`,
+//!   `Arr(elem)`, `ObjArr(class)`, `Req`), field and element accesses
+//!   are checked against the runtime type registry, and control-flow
+//!   merges must join to a single type;
+//! * **request type-state** — message-passing requests produced by
+//!   `MpIsend`/`MpIrecv` are *linear*: they may not be duplicated or
+//!   discarded, may not cross function boundaries, and must reach an
+//!   `MpWait` on every control-flow path before the function exits.
+//!   This is the static guarantee backing the GC's lazy-unpin contract
+//!   (paper §4.3): no pinned transport buffer can leak past its window.
+//!
+//! Verification produces a [`VerifiedModule`] carrying per-instruction
+//! side tables ([`FuncMeta`]): the statically resolved field/element kind
+//! for every typed access (letting the interpreter skip its registry
+//! lookups and dynamic kind checks on the hot path) and the buffer type
+//! at every [`Op::FCall`] site (consumed by the `motor-analyze`
+//! transport-safety pass).
 
 use std::collections::HashMap;
 
-use crate::il::{Function, Module, Op};
+use motor_runtime::{ClassId, ElemKind, FieldType, TypeKind, TypeRegistry};
 
-/// Verification failures.
+use crate::il::{FCallId, Function, Module, Op, TyDesc};
+
+/// Abstract type of one evaluation-stack slot (or local) as tracked by
+/// the verifier's dataflow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StackTy {
+    /// 64-bit integer.
+    Int,
+    /// 64-bit float.
+    Float,
+    /// The null reference (bottom of the reference lattice: joins with
+    /// any reference-shaped type).
+    Null,
+    /// Reference to an instance of exactly this class (nullable).
+    Ref(ClassId),
+    /// One-dimensional primitive array (nullable).
+    Arr(ElemKind),
+    /// One-dimensional object array (nullable).
+    ObjArr(ClassId),
+    /// An in-flight message-passing request created at instruction
+    /// `origin`. Linear: never duplicated, never dropped, consumed by
+    /// `MpWait`.
+    Req {
+        /// Instruction index of the `MpIsend`/`MpIrecv` that created it.
+        origin: u32,
+    },
+}
+
+impl std::fmt::Display for StackTy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StackTy::Int => write!(f, "int"),
+            StackTy::Float => write!(f, "float"),
+            StackTy::Null => write!(f, "null"),
+            StackTy::Ref(c) => write!(f, "ref(class {})", c.0),
+            StackTy::Arr(k) => write!(f, "{k:?}[]"),
+            StackTy::ObjArr(c) => write!(f, "ref(class {})[]", c.0),
+            StackTy::Req { origin } => write!(f, "request(from pc {origin})"),
+        }
+    }
+}
+
+/// Abstract type of a local variable slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum LocalTy {
+    /// Holds a value of the given type.
+    Val(StackTy),
+    /// Held a request that was loaded (moved) onto the stack.
+    Moved,
+    /// Paths merged with incompatible (non-request) types; unusable until
+    /// overwritten.
+    Conflict,
+}
+
+/// Verification failures. `Display` renders `func@pc: message` so every
+/// diagnostic points at the offending instruction.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum VerifyError {
     /// A branch leaves the function body.
@@ -34,6 +111,27 @@ pub enum VerifyError {
     },
     /// A value-returning function can fall off the end.
     MissingReturn { func: String },
+    /// An operand (or field/element access) has the wrong type.
+    TypeError {
+        func: String,
+        at: usize,
+        what: String,
+    },
+    /// Two paths merge with incompatible stack slot types.
+    MergeConflict {
+        func: String,
+        at: usize,
+        what: String,
+    },
+    /// A message-passing request escapes without reaching `MpWait`.
+    RequestLeak {
+        func: String,
+        at: usize,
+        origin: usize,
+    },
+    /// The declared signature is malformed (arity/type mismatch or a
+    /// declaration naming an unknown class).
+    BadSignature { func: String, what: String },
 }
 
 impl std::fmt::Display for VerifyError {
@@ -55,50 +153,874 @@ impl std::fmt::Display for VerifyError {
             VerifyError::MissingReturn { func } => {
                 write!(f, "{func}: value-returning function may fall off the end")
             }
+            VerifyError::TypeError { func, at, what } => write!(f, "{func}@{at}: {what}"),
+            VerifyError::MergeConflict { func, at, what } => {
+                write!(f, "{func}@{at}: merge conflict: {what}")
+            }
+            VerifyError::RequestLeak { func, at, origin } => write!(
+                f,
+                "{func}@{at}: request created at pc {origin} is never waited on this path"
+            ),
+            VerifyError::BadSignature { func, what } => write!(f, "{func}: bad signature: {what}"),
         }
     }
 }
 
-/// Net stack effect and pop count of one instruction.
-fn effect(op: &Op, module: &Module) -> (usize, usize) {
-    // (pops, pushes)
-    match op {
-        Op::PushI(_) | Op::PushF(_) | Op::PushNull => (0, 1),
-        Op::Dup => (1, 2),
-        Op::Pop => (1, 0),
-        Op::Load(_) => (0, 1),
-        Op::Store(_) => (1, 0),
-        Op::Add
-        | Op::Sub
-        | Op::Mul
-        | Op::Div
-        | Op::Rem
-        | Op::FAdd
-        | Op::FSub
-        | Op::FMul
-        | Op::FDiv
-        | Op::CmpEq
-        | Op::CmpLt
-        | Op::CmpLe => (2, 1),
-        Op::Neg | Op::I2F | Op::F2I => (1, 1),
-        Op::Br(_) => (0, 0),
-        Op::BrTrue(_) | Op::BrFalse(_) => (1, 0),
-        Op::Call(i) => {
-            let callee = &module.functions[*i as usize];
-            (callee.argc as usize, callee.returns_value as usize)
-        }
-        Op::Ret => (0, 0), // handled specially
-        Op::New(_) => (0, 1),
-        Op::LdFldI(_) | Op::LdFldF(_) | Op::LdFldR(_) => (1, 1),
-        Op::StFldI(_) | Op::StFldF(_) | Op::StFldR(_) => (2, 0),
-        Op::NewArr(_) | Op::NewObjArr(_) => (1, 1),
-        Op::LdElemI | Op::LdElemF | Op::LdElemR => (2, 1),
-        Op::StElemI | Op::StElemF | Op::StElemR => (3, 0),
-        Op::ArrLen => (1, 1),
+/// An [`Op::FCall`] site discovered by verification, with the statically
+/// inferred buffer type (None for buffer-less intrinsics like `MpWait`,
+/// `MpBarrier` and `Orecv`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FcallSite {
+    /// Instruction index of the `FCall`.
+    pub at: usize,
+    /// Which intrinsic.
+    pub id: FCallId,
+    /// Static type of the transported buffer argument, if any.
+    pub buf: Option<StackTy>,
+}
+
+/// Per-function verification side tables.
+#[derive(Debug, Clone, Default)]
+pub struct FuncMeta {
+    /// For each instruction: the statically resolved primitive kind of the
+    /// field or array element it accesses (`LdFldI`/`StFldI`/`LdFldF`/
+    /// `StFldF`/`LdElemI`/`StElemI`), or `None` where resolution was not
+    /// possible (e.g. a definitely-null receiver, which traps before any
+    /// kind is consulted). The interpreter reads this instead of taking
+    /// the registry lock and re-validating the kind.
+    pub kinds: Vec<Option<ElemKind>>,
+    /// Every `FCall` site with its inferred buffer type, in pc order.
+    pub fcalls: Vec<FcallSite>,
+}
+
+/// A module that passed typed verification, plus the proof artifacts the
+/// interpreter and the transport analysis consume.
+#[derive(Debug, Clone)]
+pub struct VerifiedModule {
+    module: Module,
+    meta: Vec<FuncMeta>,
+    transport_proof: bool,
+}
+
+impl VerifiedModule {
+    /// Verify `module` against the class registry, producing the verified
+    /// wrapper with its side tables.
+    pub fn verify(module: Module, reg: &TypeRegistry) -> Result<VerifiedModule, VerifyError> {
+        let meta = verify_with_meta(&module, reg)?;
+        Ok(VerifiedModule {
+            module,
+            meta,
+            transport_proof: false,
+        })
+    }
+
+    /// The verified code.
+    pub fn module(&self) -> &Module {
+        &self.module
+    }
+
+    /// Per-function side tables, parallel to `module().functions`.
+    pub fn meta(&self) -> &[FuncMeta] {
+        &self.meta
+    }
+
+    /// Whether the `motor-analyze` transport-safety pass vouched for every
+    /// `FCall` buffer in this module. When set, the interpreter tells the
+    /// message-passing host to elide its per-send transportability walk.
+    pub fn has_transport_proof(&self) -> bool {
+        self.transport_proof
+    }
+
+    /// Record that the transport-safety pass accepted this module. Called
+    /// by `motor-analyze::load` after its checks; granting it without
+    /// running the pass forfeits the paper's object-model-integrity
+    /// guarantee for raw transports.
+    pub fn grant_transport_proof(&mut self) {
+        self.transport_proof = true;
+    }
+
+    /// Unwrap the module (dropping the proofs).
+    pub fn into_module(self) -> Module {
+        self.module
     }
 }
 
-fn verify_function(f: &Function, module: &Module) -> Result<(), VerifyError> {
+/// Verify every function in a module (discarding the side tables).
+pub fn verify_module(module: &Module, reg: &TypeRegistry) -> Result<(), VerifyError> {
+    verify_with_meta(module, reg).map(|_| ())
+}
+
+fn verify_with_meta(module: &Module, reg: &TypeRegistry) -> Result<Vec<FuncMeta>, VerifyError> {
+    module
+        .functions
+        .iter()
+        .map(|f| verify_function(f, module, reg))
+        .collect()
+}
+
+/// One dataflow state: the evaluation stack and every local's type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct State {
+    stack: Vec<StackTy>,
+    locals: Vec<LocalTy>,
+}
+
+fn class_ok(reg: &TypeRegistry, c: ClassId) -> bool {
+    (c.0 as usize) < reg.len() && matches!(reg.table(c).kind, TypeKind::Class)
+}
+
+/// Whether `ty` satisfies the declared type `d` (Null satisfies any
+/// reference-shaped declaration).
+fn matches_decl(ty: StackTy, d: TyDesc) -> bool {
+    match (ty, d) {
+        (StackTy::Int, TyDesc::I64) | (StackTy::Float, TyDesc::F64) => true,
+        (StackTy::Null, TyDesc::Ref(_) | TyDesc::Arr(_) | TyDesc::ObjArr(_)) => true,
+        (StackTy::Ref(a), TyDesc::Ref(b)) => a == b,
+        (StackTy::Arr(a), TyDesc::Arr(b)) => a == b,
+        (StackTy::ObjArr(a), TyDesc::ObjArr(b)) => a == b,
+        _ => false,
+    }
+}
+
+fn decl_to_ty(d: TyDesc) -> StackTy {
+    match d {
+        TyDesc::I64 => StackTy::Int,
+        TyDesc::F64 => StackTy::Float,
+        TyDesc::Ref(c) => StackTy::Ref(c),
+        TyDesc::Arr(k) => StackTy::Arr(k),
+        TyDesc::ObjArr(c) => StackTy::ObjArr(c),
+    }
+}
+
+/// Join two stack slot types; `None` means incompatible.
+fn join_stack(a: StackTy, b: StackTy) -> Option<StackTy> {
+    use StackTy::*;
+    match (a, b) {
+        _ if a == b => Some(a),
+        (Req { origin: x }, Req { origin: y }) => Some(Req { origin: x.min(y) }),
+        (Null, t @ (Ref(_) | Arr(_) | ObjArr(_))) | (t @ (Ref(_) | Arr(_) | ObjArr(_)), Null) => {
+            Some(t)
+        }
+        _ => None,
+    }
+}
+
+/// Whether a stack/local type carries a live request.
+fn is_req(t: StackTy) -> bool {
+    matches!(t, StackTy::Req { .. })
+}
+
+struct Verifier<'a> {
+    f: &'a Function,
+    module: &'a Module,
+    reg: &'a TypeRegistry,
+    kinds: Vec<Option<ElemKind>>,
+    fcalls: HashMap<usize, FcallSite>,
+}
+
+impl Verifier<'_> {
+    fn name(&self) -> String {
+        self.f.name.clone()
+    }
+
+    fn type_err(&self, at: usize, what: impl Into<String>) -> VerifyError {
+        VerifyError::TypeError {
+            func: self.name(),
+            at,
+            what: what.into(),
+        }
+    }
+
+    fn pop(&self, at: usize, st: &mut State) -> Result<StackTy, VerifyError> {
+        st.stack.pop().ok_or(VerifyError::Underflow {
+            func: self.name(),
+            at,
+        })
+    }
+
+    fn pop_int(&self, at: usize, st: &mut State, what: &str) -> Result<(), VerifyError> {
+        match self.pop(at, st)? {
+            StackTy::Int => Ok(()),
+            other => Err(self.type_err(at, format!("{what}: expected int, found {other}"))),
+        }
+    }
+
+    fn pop_float(&self, at: usize, st: &mut State, what: &str) -> Result<(), VerifyError> {
+        match self.pop(at, st)? {
+            StackTy::Float => Ok(()),
+            other => Err(self.type_err(at, format!("{what}: expected float, found {other}"))),
+        }
+    }
+
+    /// Pop a class-instance receiver: `Ref(c)` (returning the class) or
+    /// `Null` (returning `None`; the interpreter traps NullReference
+    /// before any type information is consulted).
+    fn pop_obj(
+        &self,
+        at: usize,
+        st: &mut State,
+        what: &str,
+    ) -> Result<Option<ClassId>, VerifyError> {
+        match self.pop(at, st)? {
+            StackTy::Ref(c) => Ok(Some(c)),
+            StackTy::Null => Ok(None),
+            other => Err(self.type_err(
+                at,
+                format!("{what}: expected object reference, found {other}"),
+            )),
+        }
+    }
+
+    /// Look up field `fi` of class `c`; `Ok(None)` when the receiver is
+    /// statically null.
+    fn field_ty(
+        &self,
+        at: usize,
+        c: Option<ClassId>,
+        fi: u16,
+        op: &str,
+    ) -> Result<Option<FieldType>, VerifyError> {
+        let Some(c) = c else { return Ok(None) };
+        let mt = self.reg.table(c);
+        let Some(fd) = mt.fields.get(fi as usize) else {
+            return Err(self.type_err(at, format!("{op}: class `{}` has no field {fi}", mt.name)));
+        };
+        Ok(Some(fd.ty))
+    }
+
+    /// Record a statically resolved access kind for the interpreter's
+    /// fast path.
+    fn resolve_kind(&mut self, at: usize, k: ElemKind) {
+        self.kinds[at] = Some(k);
+    }
+
+    /// Pop the transported-buffer operand of an `FCall`: any
+    /// reference-shaped value. Transport *legality* (ref-free closure for
+    /// raw `Mp`) is the `motor-analyze` pass's job; the buffer type is
+    /// recorded for it in the side table.
+    fn pop_buf(&self, at: usize, st: &mut State, what: &str) -> Result<StackTy, VerifyError> {
+        match self.pop(at, st)? {
+            t @ (StackTy::Ref(_) | StackTy::Arr(_) | StackTy::ObjArr(_) | StackTy::Null) => Ok(t),
+            other => Err(self.type_err(
+                at,
+                format!("{what}: expected a transportable object, found {other}"),
+            )),
+        }
+    }
+
+    /// Fail if the state carries a live request (function exit paths).
+    fn check_no_requests(&self, at: usize, st: &State) -> Result<(), VerifyError> {
+        let leaked = st
+            .stack
+            .iter()
+            .copied()
+            .chain(st.locals.iter().filter_map(|l| match l {
+                LocalTy::Val(t) => Some(*t),
+                _ => None,
+            }))
+            .find_map(|t| match t {
+                StackTy::Req { origin } => Some(origin),
+                _ => None,
+            });
+        match leaked {
+            Some(origin) => Err(VerifyError::RequestLeak {
+                func: self.name(),
+                at,
+                origin: origin as usize,
+            }),
+            None => Ok(()),
+        }
+    }
+
+    /// Join `incoming` into the recorded state at `pc`. Returns whether
+    /// the state changed (and the target must be re-analyzed).
+    fn join_into(
+        &self,
+        pc: usize,
+        states: &mut HashMap<usize, State>,
+        incoming: State,
+    ) -> Result<bool, VerifyError> {
+        let Some(existing) = states.get_mut(&pc) else {
+            states.insert(pc, incoming);
+            return Ok(true);
+        };
+        if existing.stack.len() != incoming.stack.len() {
+            return Err(VerifyError::DepthMismatch {
+                func: self.name(),
+                at: pc,
+                a: existing.stack.len(),
+                b: incoming.stack.len(),
+            });
+        }
+        let mut changed = false;
+        for (i, b) in incoming.stack.iter().copied().enumerate() {
+            let a = existing.stack[i];
+            let j = join_stack(a, b).ok_or_else(|| VerifyError::MergeConflict {
+                func: self.name(),
+                at: pc,
+                what: format!("stack slot {i}: {a} vs {b}"),
+            })?;
+            if j != a {
+                existing.stack[i] = j;
+                changed = true;
+            }
+        }
+        for (i, b) in incoming.locals.iter().copied().enumerate() {
+            let a = existing.locals[i];
+            let j = self.join_local(pc, i, a, b)?;
+            if j != a {
+                existing.locals[i] = j;
+                changed = true;
+            }
+        }
+        Ok(changed)
+    }
+
+    fn join_local(
+        &self,
+        pc: usize,
+        slot: usize,
+        a: LocalTy,
+        b: LocalTy,
+    ) -> Result<LocalTy, VerifyError> {
+        use LocalTy::*;
+        // Request divergence between paths is always an error: one path
+        // holds (or consumed) a request where the other does not, so some
+        // path either leaks or double-waits it.
+        let req_err = |origin: u32| {
+            Err(VerifyError::RequestLeak {
+                func: self.name(),
+                at: pc,
+                origin: origin as usize,
+            })
+        };
+        match (a, b) {
+            _ if a == b => Ok(a),
+            (Val(StackTy::Req { origin }), other) | (other, Val(StackTy::Req { origin }))
+                if other != Val(StackTy::Req { origin }) =>
+            {
+                match other {
+                    Val(StackTy::Req { origin: o2 }) => Ok(Val(StackTy::Req {
+                        origin: origin.min(o2),
+                    })),
+                    _ => req_err(origin),
+                }
+            }
+            (Val(x), Val(y)) => Ok(match join_stack(x, y) {
+                Some(j) => Val(j),
+                None => Conflict,
+            }),
+            (Moved, Val(t)) | (Val(t), Moved) => {
+                debug_assert!(!is_req(t), "handled above");
+                let _ = slot;
+                Ok(Conflict)
+            }
+            (Conflict, _) | (_, Conflict) | (Moved, Moved) => Ok(Conflict),
+        }
+    }
+
+    /// Execute one instruction over the abstract state; returns the
+    /// successor pcs to propagate to (`None` target = function exit).
+    fn step(&mut self, pc: usize, st: &mut State) -> Result<smallvec::Succ, VerifyError> {
+        use StackTy::*;
+        let op = self.f.code[pc];
+        let next = smallvec::Succ::one(pc + 1);
+        match op {
+            Op::PushI(_) => st.stack.push(Int),
+            Op::PushF(_) => st.stack.push(Float),
+            Op::PushNull => st.stack.push(Null),
+            Op::Dup => {
+                let &t = st.stack.last().ok_or(VerifyError::Underflow {
+                    func: self.name(),
+                    at: pc,
+                })?;
+                if is_req(t) {
+                    return Err(self.type_err(pc, "Dup: requests are linear (cannot duplicate)"));
+                }
+                st.stack.push(t);
+            }
+            Op::Pop => {
+                let t = self.pop(pc, st)?;
+                if let Req { origin } = t {
+                    return Err(VerifyError::RequestLeak {
+                        func: self.name(),
+                        at: pc,
+                        origin: origin as usize,
+                    });
+                }
+            }
+            Op::Load(i) => {
+                let slot = &mut st.locals[i as usize];
+                match *slot {
+                    LocalTy::Val(t) => {
+                        if is_req(t) {
+                            // Loading a request *moves* it out of the
+                            // local, preserving linearity.
+                            *slot = LocalTy::Moved;
+                        }
+                        st.stack.push(t);
+                    }
+                    LocalTy::Moved => {
+                        return Err(self.type_err(
+                            pc,
+                            format!("Load: local {i} holds a request already moved to the stack"),
+                        ))
+                    }
+                    LocalTy::Conflict => {
+                        return Err(self.type_err(
+                            pc,
+                            format!("Load: local {i} has incompatible types on merged paths"),
+                        ))
+                    }
+                }
+            }
+            Op::Store(i) => {
+                let v = self.pop(pc, st)?;
+                if let LocalTy::Val(Req { origin }) = st.locals[i as usize] {
+                    return Err(VerifyError::RequestLeak {
+                        func: self.name(),
+                        at: pc,
+                        origin: origin as usize,
+                    });
+                }
+                st.locals[i as usize] = LocalTy::Val(v);
+            }
+            Op::Add | Op::Sub | Op::Mul | Op::Div | Op::Rem => {
+                self.pop_int(pc, st, "integer arithmetic")?;
+                self.pop_int(pc, st, "integer arithmetic")?;
+                st.stack.push(Int);
+            }
+            Op::Neg => {
+                self.pop_int(pc, st, "Neg")?;
+                st.stack.push(Int);
+            }
+            Op::FAdd | Op::FSub | Op::FMul | Op::FDiv => {
+                self.pop_float(pc, st, "float arithmetic")?;
+                self.pop_float(pc, st, "float arithmetic")?;
+                st.stack.push(Float);
+            }
+            Op::I2F => {
+                self.pop_int(pc, st, "I2F")?;
+                st.stack.push(Float);
+            }
+            Op::F2I => {
+                self.pop_float(pc, st, "F2I")?;
+                st.stack.push(Int);
+            }
+            Op::CmpEq => {
+                let b = self.pop(pc, st)?;
+                let a = self.pop(pc, st)?;
+                let ok = matches!((a, b), (Int, Int) | (Float, Float))
+                    || (matches!(a, Null | Ref(_) | Arr(_) | ObjArr(_))
+                        && matches!(b, Null | Ref(_) | Arr(_) | ObjArr(_)));
+                if !ok {
+                    return Err(self.type_err(pc, format!("CmpEq: incomparable {a} vs {b}")));
+                }
+                st.stack.push(Int);
+            }
+            Op::CmpLt | Op::CmpLe => {
+                let b = self.pop(pc, st)?;
+                let a = self.pop(pc, st)?;
+                if !matches!((a, b), (Int, Int) | (Float, Float)) {
+                    return Err(self.type_err(pc, format!("ordered compare: {a} vs {b}")));
+                }
+                st.stack.push(Int);
+            }
+            Op::Br(r) => {
+                return Ok(smallvec::Succ::one((pc as i64 + 1 + r as i64) as usize));
+            }
+            Op::BrTrue(r) | Op::BrFalse(r) => {
+                self.pop_int(pc, st, "branch condition")?;
+                return Ok(smallvec::Succ::two(
+                    (pc as i64 + 1 + r as i64) as usize,
+                    pc + 1,
+                ));
+            }
+            Op::Call(t) => {
+                let callee = &self.module.functions[t as usize];
+                for (i, &d) in callee.params.iter().enumerate().rev() {
+                    let got = self.pop(pc, st)?;
+                    if !matches_decl(got, d) {
+                        return Err(self.type_err(
+                            pc,
+                            format!(
+                                "Call `{}` argument {i}: expected {d:?}, found {got}",
+                                callee.name
+                            ),
+                        ));
+                    }
+                }
+                if let Some(r) = callee.ret {
+                    st.stack.push(decl_to_ty(r));
+                }
+            }
+            Op::Ret => {
+                if self.f.returns_value {
+                    let got = self.pop(pc, st)?;
+                    let d = self.f.ret.expect("checked in signature pass");
+                    if !matches_decl(got, d) {
+                        return Err(self.type_err(pc, format!("Ret: expected {d:?}, found {got}")));
+                    }
+                }
+                self.check_no_requests(pc, st)?;
+                return Ok(smallvec::Succ::none());
+            }
+            Op::New(c) => {
+                if !class_ok(self.reg, c) {
+                    return Err(self.type_err(pc, format!("New: class {} unknown", c.0)));
+                }
+                st.stack.push(Ref(c));
+            }
+            Op::LdFldI(fi) => {
+                let c = self.pop_obj(pc, st, "LdFldI")?;
+                match self.field_ty(pc, c, fi, "LdFldI")? {
+                    None => {}
+                    Some(FieldType::Prim(k)) if !matches!(k, ElemKind::F32 | ElemKind::F64) => {
+                        self.resolve_kind(pc, k)
+                    }
+                    Some(FieldType::Prim(_)) => {
+                        return Err(self.type_err(pc, "LdFldI on a float field"))
+                    }
+                    Some(FieldType::Ref(_)) => {
+                        return Err(self.type_err(pc, "LdFldI on a reference field"))
+                    }
+                }
+                st.stack.push(Int);
+            }
+            Op::StFldI(fi) => {
+                self.pop_int(pc, st, "StFldI value")?;
+                let c = self.pop_obj(pc, st, "StFldI")?;
+                match self.field_ty(pc, c, fi, "StFldI")? {
+                    None => {}
+                    Some(FieldType::Prim(k)) if !matches!(k, ElemKind::F32 | ElemKind::F64) => {
+                        self.resolve_kind(pc, k)
+                    }
+                    Some(FieldType::Prim(_)) => {
+                        return Err(self.type_err(pc, "StFldI on a float field"))
+                    }
+                    Some(FieldType::Ref(_)) => {
+                        return Err(self.type_err(pc, "StFldI on a reference field"))
+                    }
+                }
+            }
+            Op::LdFldF(fi) => {
+                let c = self.pop_obj(pc, st, "LdFldF")?;
+                match self.field_ty(pc, c, fi, "LdFldF")? {
+                    None => {}
+                    Some(FieldType::Prim(ElemKind::F64)) => self.resolve_kind(pc, ElemKind::F64),
+                    Some(other) => {
+                        return Err(
+                            self.type_err(pc, format!("LdFldF on a non-f64 field ({other:?})"))
+                        )
+                    }
+                }
+                st.stack.push(Float);
+            }
+            Op::StFldF(fi) => {
+                self.pop_float(pc, st, "StFldF value")?;
+                let c = self.pop_obj(pc, st, "StFldF")?;
+                match self.field_ty(pc, c, fi, "StFldF")? {
+                    None => {}
+                    Some(FieldType::Prim(ElemKind::F64)) => self.resolve_kind(pc, ElemKind::F64),
+                    Some(other) => {
+                        return Err(
+                            self.type_err(pc, format!("StFldF on a non-f64 field ({other:?})"))
+                        )
+                    }
+                }
+            }
+            Op::LdFldR(fi) => {
+                let c = self.pop_obj(pc, st, "LdFldR")?;
+                match self.field_ty(pc, c, fi, "LdFldR")? {
+                    // Statically-null receiver: traps before pushing; the
+                    // successor state still needs a slot, call it Null.
+                    None => st.stack.push(Null),
+                    Some(FieldType::Ref(target)) => {
+                        if !class_ok(self.reg, target) {
+                            return Err(self.type_err(
+                                pc,
+                                format!("LdFldR: field names unknown class {}", target.0),
+                            ));
+                        }
+                        st.stack.push(Ref(target));
+                    }
+                    Some(FieldType::Prim(_)) => {
+                        return Err(self.type_err(pc, "LdFldR on a primitive field"))
+                    }
+                }
+            }
+            Op::StFldR(fi) => {
+                let v = self.pop(pc, st)?;
+                let c = self.pop_obj(pc, st, "StFldR")?;
+                match self.field_ty(pc, c, fi, "StFldR")? {
+                    None => {}
+                    Some(FieldType::Ref(target)) if !matches!(v, Null) && v != Ref(target) => {
+                        return Err(self.type_err(
+                            pc,
+                            format!("StFldR: field expects ref(class {}), found {v}", target.0),
+                        ));
+                    }
+                    Some(FieldType::Ref(_)) => {}
+                    Some(FieldType::Prim(_)) => {
+                        return Err(self.type_err(pc, "StFldR on a primitive field"))
+                    }
+                }
+            }
+            Op::NewArr(k) => {
+                self.pop_int(pc, st, "NewArr length")?;
+                st.stack.push(Arr(k));
+            }
+            Op::NewObjArr(c) => {
+                if !class_ok(self.reg, c) {
+                    return Err(self.type_err(pc, format!("NewObjArr: class {} unknown", c.0)));
+                }
+                self.pop_int(pc, st, "NewObjArr length")?;
+                st.stack.push(ObjArr(c));
+            }
+            Op::LdElemI => {
+                self.pop_int(pc, st, "LdElemI index")?;
+                match self.pop(pc, st)? {
+                    Arr(k) if !matches!(k, ElemKind::F32 | ElemKind::F64) => {
+                        self.resolve_kind(pc, k)
+                    }
+                    Arr(k) => {
+                        return Err(
+                            self.type_err(pc, format!("LdElemI on a {k:?} array (use LdElemF)"))
+                        )
+                    }
+                    Null => {}
+                    other => {
+                        return Err(self.type_err(
+                            pc,
+                            format!("LdElemI: expected primitive array, found {other}"),
+                        ))
+                    }
+                }
+                st.stack.push(Int);
+            }
+            Op::StElemI => {
+                self.pop_int(pc, st, "StElemI value")?;
+                self.pop_int(pc, st, "StElemI index")?;
+                match self.pop(pc, st)? {
+                    Arr(k) if !matches!(k, ElemKind::F32 | ElemKind::F64) => {
+                        self.resolve_kind(pc, k)
+                    }
+                    Arr(k) => {
+                        return Err(
+                            self.type_err(pc, format!("StElemI into a {k:?} array (use StElemF)"))
+                        )
+                    }
+                    Null => {}
+                    other => {
+                        return Err(self.type_err(
+                            pc,
+                            format!("StElemI: expected primitive array, found {other}"),
+                        ))
+                    }
+                }
+            }
+            Op::LdElemF => {
+                self.pop_int(pc, st, "LdElemF index")?;
+                match self.pop(pc, st)? {
+                    Arr(ElemKind::F64) => self.resolve_kind(pc, ElemKind::F64),
+                    Null => {}
+                    other => {
+                        return Err(self
+                            .type_err(pc, format!("LdElemF: expected f64 array, found {other}")))
+                    }
+                }
+                st.stack.push(Float);
+            }
+            Op::StElemF => {
+                self.pop_float(pc, st, "StElemF value")?;
+                self.pop_int(pc, st, "StElemF index")?;
+                match self.pop(pc, st)? {
+                    Arr(ElemKind::F64) => self.resolve_kind(pc, ElemKind::F64),
+                    Null => {}
+                    other => {
+                        return Err(self
+                            .type_err(pc, format!("StElemF: expected f64 array, found {other}")))
+                    }
+                }
+            }
+            Op::LdElemR => {
+                self.pop_int(pc, st, "LdElemR index")?;
+                match self.pop(pc, st)? {
+                    ObjArr(c) => st.stack.push(Ref(c)),
+                    Null => st.stack.push(Null),
+                    other => {
+                        return Err(self.type_err(
+                            pc,
+                            format!("LdElemR: expected object array, found {other}"),
+                        ))
+                    }
+                }
+            }
+            Op::StElemR => {
+                let v = self.pop(pc, st)?;
+                self.pop_int(pc, st, "StElemR index")?;
+                match self.pop(pc, st)? {
+                    ObjArr(c) => {
+                        if !matches!(v, Null) && v != Ref(c) {
+                            return Err(self.type_err(
+                                pc,
+                                format!("StElemR: array expects ref(class {}), found {v}", c.0),
+                            ));
+                        }
+                    }
+                    Null => {
+                        if !matches!(v, Null | Ref(_)) {
+                            return Err(self.type_err(
+                                pc,
+                                format!("StElemR: value must be a reference, found {v}"),
+                            ));
+                        }
+                    }
+                    other => {
+                        return Err(self.type_err(
+                            pc,
+                            format!("StElemR: expected object array, found {other}"),
+                        ))
+                    }
+                }
+            }
+            Op::ArrLen => {
+                match self.pop(pc, st)? {
+                    Arr(_) | ObjArr(_) | Null => {}
+                    other => {
+                        return Err(
+                            self.type_err(pc, format!("ArrLen: expected array, found {other}"))
+                        )
+                    }
+                }
+                st.stack.push(Int);
+            }
+            Op::FCall(id) => {
+                let mut buf = None;
+                match id {
+                    FCallId::MpSend | FCallId::MpRecv | FCallId::MpIsend | FCallId::MpIrecv => {
+                        self.pop_int(pc, st, "FCall tag")?;
+                        self.pop_int(pc, st, "FCall peer")?;
+                        buf = Some(self.pop_buf(pc, st, "FCall buffer")?);
+                        if matches!(id, FCallId::MpIsend | FCallId::MpIrecv) {
+                            st.stack.push(Req { origin: pc as u32 });
+                        }
+                    }
+                    FCallId::MpWait => match self.pop(pc, st)? {
+                        Req { .. } => {}
+                        other => {
+                            return Err(self.type_err(
+                                pc,
+                                format!("MpWait: expected a request, found {other}"),
+                            ))
+                        }
+                    },
+                    FCallId::MpBarrier => {}
+                    FCallId::MpBcast => {
+                        self.pop_int(pc, st, "MpBcast root")?;
+                        buf = Some(self.pop_buf(pc, st, "MpBcast buffer")?);
+                    }
+                    FCallId::Osend => {
+                        self.pop_int(pc, st, "Osend tag")?;
+                        self.pop_int(pc, st, "Osend dest")?;
+                        buf = Some(self.pop_buf(pc, st, "Osend object")?);
+                    }
+                    FCallId::Orecv(c) => {
+                        self.pop_int(pc, st, "Orecv tag")?;
+                        self.pop_int(pc, st, "Orecv source")?;
+                        if (c.0 as usize) >= self.reg.len() {
+                            return Err(self.type_err(pc, format!("Orecv: class {} unknown", c.0)));
+                        }
+                        st.stack.push(match self.reg.table(c).kind {
+                            TypeKind::Class => Ref(c),
+                            TypeKind::PrimArray(k) => Arr(k),
+                            TypeKind::ObjArray(e) => ObjArr(e),
+                            TypeKind::MdArray { .. } => {
+                                return Err(self.type_err(
+                                    pc,
+                                    "Orecv of multidimensional arrays is not expressible in IL",
+                                ))
+                            }
+                        });
+                    }
+                }
+                self.fcalls.insert(pc, FcallSite { at: pc, id, buf });
+            }
+        }
+        Ok(next)
+    }
+}
+
+/// Tiny fixed successor set (0, 1 or 2 targets) to avoid allocating per
+/// instruction.
+mod smallvec {
+    pub struct Succ {
+        targets: [usize; 2],
+        len: u8,
+    }
+
+    impl Succ {
+        pub fn none() -> Succ {
+            Succ {
+                targets: [0; 2],
+                len: 0,
+            }
+        }
+        pub fn one(a: usize) -> Succ {
+            Succ {
+                targets: [a, 0],
+                len: 1,
+            }
+        }
+        pub fn two(a: usize, b: usize) -> Succ {
+            Succ {
+                targets: [a, b],
+                len: 2,
+            }
+        }
+        pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+            self.targets[..self.len as usize].iter().copied()
+        }
+    }
+}
+
+fn check_signature(f: &Function, reg: &TypeRegistry) -> Result<(), VerifyError> {
+    let bad = |what: String| VerifyError::BadSignature {
+        func: f.name.clone(),
+        what,
+    };
+    if f.params.len() != f.argc as usize {
+        return Err(bad(format!(
+            "{} declared parameter types for {} arguments",
+            f.params.len(),
+            f.argc
+        )));
+    }
+    if f.ret.is_some() != f.returns_value {
+        return Err(bad("return declaration disagrees with returns_value".into()));
+    }
+    if f.locals < f.argc {
+        return Err(bad("locals must include arguments".into()));
+    }
+    for d in f.params.iter().chain(f.ret.iter()) {
+        match *d {
+            TyDesc::Ref(c) | TyDesc::ObjArr(c) => {
+                if !class_ok(reg, c) {
+                    return Err(bad(format!("declaration names unknown class {}", c.0)));
+                }
+            }
+            TyDesc::I64 | TyDesc::F64 | TyDesc::Arr(_) => {}
+        }
+    }
+    Ok(())
+}
+
+fn verify_function(
+    f: &Function,
+    module: &Module,
+    reg: &TypeRegistry,
+) -> Result<FuncMeta, VerifyError> {
+    check_signature(f, reg)?;
     let n = f.code.len();
     let name = || f.name.clone();
     // First pass: structural checks + branch targets.
@@ -127,67 +1049,63 @@ fn verify_function(f: &Function, module: &Module) -> Result<(), VerifyError> {
             _ => {}
         }
     }
-    // Second pass: abstract stack-depth interpretation (worklist).
-    let mut depth_at: HashMap<usize, usize> = HashMap::new();
-    let mut work: Vec<(usize, usize)> = vec![(0, 0)];
+    // Second pass: typed abstract interpretation (worklist to a fixpoint;
+    // the lattice is flat apart from Null-joins and local Conflicts, so
+    // every slot changes at most twice).
+    let mut v = Verifier {
+        f,
+        module,
+        reg,
+        kinds: vec![None; n],
+        fcalls: HashMap::new(),
+    };
+    let mut locals: Vec<LocalTy> = f
+        .params
+        .iter()
+        .map(|&d| LocalTy::Val(decl_to_ty(d)))
+        .collect();
+    // Non-argument locals are zero-initialized integers in the
+    // interpreter.
+    locals.resize(f.locals as usize, LocalTy::Val(StackTy::Int));
+    let entry = State {
+        stack: Vec::new(),
+        locals,
+    };
+    let mut states: HashMap<usize, State> = HashMap::new();
+    let mut work: Vec<usize> = Vec::new();
     let mut can_fall_off = false;
-    while let Some((pc, depth)) = work.pop() {
-        if pc >= n {
-            can_fall_off = true;
-            continue;
-        }
-        if let Some(&d) = depth_at.get(&pc) {
-            if d != depth {
-                return Err(VerifyError::DepthMismatch {
-                    func: name(),
-                    at: pc,
-                    a: d,
-                    b: depth,
-                });
+    if n == 0 {
+        can_fall_off = true;
+    } else {
+        states.insert(0, entry);
+        work.push(0);
+    }
+    while let Some(pc) = work.pop() {
+        let mut st = states.get(&pc).expect("state exists for queued pc").clone();
+        let succ = v.step(pc, &mut st)?;
+        for t in succ.iter() {
+            if t >= n {
+                can_fall_off = true;
+                if f.returns_value {
+                    return Err(VerifyError::MissingReturn { func: name() });
+                }
+                v.check_no_requests(pc, &st)?;
+                continue;
             }
-            continue;
-        }
-        depth_at.insert(pc, depth);
-        let op = &f.code[pc];
-        if matches!(op, Op::Ret) {
-            let need = f.returns_value as usize;
-            if depth < need {
-                return Err(VerifyError::Underflow {
-                    func: name(),
-                    at: pc,
-                });
+            if v.join_into(t, &mut states, st.clone())? {
+                work.push(t);
             }
-            continue;
-        }
-        let (pops, pushes) = effect(op, module);
-        if depth < pops {
-            return Err(VerifyError::Underflow {
-                func: name(),
-                at: pc,
-            });
-        }
-        let next = depth - pops + pushes;
-        match op {
-            Op::Br(r) => work.push(((pc as i64 + 1 + *r as i64) as usize, next)),
-            Op::BrTrue(r) | Op::BrFalse(r) => {
-                work.push(((pc as i64 + 1 + *r as i64) as usize, next));
-                work.push((pc + 1, next));
-            }
-            _ => work.push((pc + 1, next)),
         }
     }
     if can_fall_off && f.returns_value {
         return Err(VerifyError::MissingReturn { func: name() });
     }
-    Ok(())
-}
-
-/// Verify every function in a module.
-pub fn verify_module(module: &Module) -> Result<(), VerifyError> {
-    for f in &module.functions {
-        verify_function(f, module)?;
-    }
-    Ok(())
+    let mut fcalls: Vec<FcallSite> = v.fcalls.into_values().collect();
+    fcalls.sort_by_key(|s| s.at);
+    Ok(FuncMeta {
+        kinds: v.kinds,
+        fcalls,
+    })
 }
 
 #[cfg(test)]
@@ -201,6 +1119,10 @@ mod tests {
         m
     }
 
+    fn empty_reg() -> TypeRegistry {
+        TypeRegistry::new()
+    }
+
     #[test]
     fn valid_function_passes() {
         let mut f = FnBuilder::new("ok", 1, 2, true);
@@ -209,7 +1131,7 @@ mod tests {
         f.op(Op::PushI(1)).op(Op::Ret);
         f.bind(done);
         f.op(Op::PushI(0)).op(Op::Ret);
-        assert_eq!(verify_module(&module_of(f.build())), Ok(()));
+        assert_eq!(verify_module(&module_of(f.build()), &empty_reg()), Ok(()));
     }
 
     #[test]
@@ -219,10 +1141,12 @@ mod tests {
             argc: 0,
             locals: 0,
             returns_value: false,
+            params: vec![],
+            ret: None,
             code: vec![Op::Br(100)],
         };
         assert!(matches!(
-            verify_module(&module_of(f)),
+            verify_module(&module_of(f), &empty_reg()),
             Err(VerifyError::BranchOutOfRange { .. })
         ));
     }
@@ -234,10 +1158,12 @@ mod tests {
             argc: 0,
             locals: 1,
             returns_value: false,
+            params: vec![],
+            ret: None,
             code: vec![Op::Load(3), Op::Pop],
         };
         assert!(matches!(
-            verify_module(&module_of(f)),
+            verify_module(&module_of(f), &empty_reg()),
             Err(VerifyError::BadLocal { .. })
         ));
     }
@@ -249,10 +1175,12 @@ mod tests {
             argc: 0,
             locals: 0,
             returns_value: false,
+            params: vec![],
+            ret: None,
             code: vec![Op::Add],
         };
         assert!(matches!(
-            verify_module(&module_of(f)),
+            verify_module(&module_of(f), &empty_reg()),
             Err(VerifyError::Underflow { .. })
         ));
     }
@@ -265,6 +1193,8 @@ mod tests {
             argc: 1,
             locals: 1,
             returns_value: false,
+            params: vec![TyDesc::I64],
+            ret: None,
             code: vec![
                 Op::Load(0),
                 Op::BrTrue(1), // skip the extra push
@@ -272,7 +1202,7 @@ mod tests {
                 Op::Pop,       // merge point: depth 1 vs 0
             ],
         };
-        let r = verify_module(&module_of(f));
+        let r = verify_module(&module_of(f), &empty_reg());
         assert!(
             matches!(
                 r,
@@ -289,10 +1219,12 @@ mod tests {
             argc: 0,
             locals: 0,
             returns_value: true,
+            params: vec![],
+            ret: Some(TyDesc::I64),
             code: vec![Op::PushI(1), Op::Pop],
         };
         assert!(matches!(
-            verify_module(&module_of(f)),
+            verify_module(&module_of(f), &empty_reg()),
             Err(VerifyError::MissingReturn { .. })
         ));
     }
@@ -314,7 +1246,7 @@ mod tests {
             .op(Op::Call(0))
             .op(Op::Ret);
         m.add(caller.build());
-        assert_eq!(verify_module(&m), Ok(()));
+        assert_eq!(verify_module(&m, &empty_reg()), Ok(()));
         // A caller providing one argument underflows.
         let mut bad = FnBuilder::new("bad_caller", 0, 0, true);
         bad.op(Op::PushI(1)).op(Op::Call(0)).op(Op::Ret);
@@ -328,8 +1260,137 @@ mod tests {
         m2.add(callee.build());
         m2.add(bad.build());
         assert!(matches!(
-            verify_module(&m2),
+            verify_module(&m2, &empty_reg()),
             Err(VerifyError::Underflow { .. })
         ));
+    }
+
+    #[test]
+    fn float_int_confusion_rejected() {
+        // PushF then integer Add.
+        let mut f = FnBuilder::new("bad", 0, 0, true);
+        f.op(Op::PushF(1.0))
+            .op(Op::PushI(2))
+            .op(Op::Add)
+            .op(Op::Ret);
+        assert!(matches!(
+            verify_module(&module_of(f.build()), &empty_reg()),
+            Err(VerifyError::TypeError { .. })
+        ));
+    }
+
+    #[test]
+    fn typed_field_access_resolves_kinds() {
+        let mut reg = TypeRegistry::new();
+        let cls = reg
+            .define_class("Pt")
+            .prim("x", ElemKind::I32)
+            .prim("y", ElemKind::F64)
+            .build();
+        let mut f = FnBuilder::new("mk", 0, 1, true);
+        f.op(Op::New(cls)).op(Op::Store(0));
+        f.op(Op::Load(0)).op(Op::PushI(7)).op(Op::StFldI(0));
+        f.op(Op::Load(0)).op(Op::PushF(2.5)).op(Op::StFldF(1));
+        f.op(Op::Load(0)).op(Op::LdFldI(0)).op(Op::Ret);
+        let vm = VerifiedModule::verify(module_of(f.build()), &reg).unwrap();
+        let kinds = &vm.meta()[0].kinds;
+        // StFldI at pc 4, StFldF at pc 7, LdFldI at pc 9.
+        assert_eq!(kinds[4], Some(ElemKind::I32));
+        assert_eq!(kinds[7], Some(ElemKind::F64));
+        assert_eq!(kinds[9], Some(ElemKind::I32));
+    }
+
+    #[test]
+    fn field_kind_confusion_rejected() {
+        let mut reg = TypeRegistry::new();
+        let cls = reg
+            .define_class("Pt")
+            .prim("x", ElemKind::I32)
+            .prim("y", ElemKind::F64)
+            .build();
+        // LdFldI on the float field.
+        let mut f = FnBuilder::new("bad", 0, 1, true);
+        f.op(Op::New(cls)).op(Op::LdFldI(1)).op(Op::Ret);
+        let r = verify_module(&module_of(f.build()), &reg);
+        assert!(
+            matches!(&r, Err(VerifyError::TypeError { what, .. }) if what.contains("float")),
+            "got {r:?}"
+        );
+    }
+
+    #[test]
+    fn incompatible_merge_rejected() {
+        let mut reg = TypeRegistry::new();
+        let cls = reg.define_class("C").prim("x", ElemKind::I64).build();
+        // One path leaves an int on the stack, the other a reference.
+        let mut f = FnBuilder::new("bad", 1, 1, false);
+        let other = f.label();
+        let join = f.label();
+        f.op(Op::Load(0)).br_true(other);
+        f.op(Op::PushI(1)).br(join);
+        f.bind(other);
+        f.op(Op::New(cls));
+        f.bind(join);
+        f.op(Op::Pop).op(Op::Ret);
+        assert!(matches!(
+            verify_module(&module_of(f.build()), &reg),
+            Err(VerifyError::MergeConflict { .. })
+        ));
+    }
+
+    #[test]
+    fn request_must_be_waited_on_every_path() {
+        // irecv; if (flag) wait; ret  — the fall-through path leaks.
+        let mut f = FnBuilder::new("leaky", 1, 2, false);
+        let wait = f.label();
+        let done = f.label();
+        f.op(Op::PushNull)
+            .op(Op::PushI(0))
+            .op(Op::PushI(0))
+            .op(Op::FCall(FCallId::MpIrecv))
+            .op(Op::Store(1));
+        f.op(Op::Load(0)).br_true(wait);
+        f.br(done);
+        f.bind(wait);
+        f.op(Op::Load(1)).op(Op::FCall(FCallId::MpWait));
+        f.bind(done);
+        f.op(Op::Ret);
+        assert!(matches!(
+            verify_module(&module_of(f.build()), &empty_reg()),
+            Err(VerifyError::RequestLeak { .. })
+        ));
+    }
+
+    #[test]
+    fn request_waited_on_all_paths_passes() {
+        let mut f = FnBuilder::new("ok", 0, 1, false);
+        f.op(Op::PushNull)
+            .op(Op::PushI(0))
+            .op(Op::PushI(0))
+            .op(Op::FCall(FCallId::MpIrecv))
+            .op(Op::FCall(FCallId::MpWait))
+            .op(Op::Ret);
+        assert_eq!(verify_module(&module_of(f.build()), &empty_reg()), Ok(()));
+    }
+
+    #[test]
+    fn request_cannot_be_dropped_or_duplicated() {
+        for bad_op in [Op::Pop, Op::Dup] {
+            let mut f = FnBuilder::new("bad", 0, 0, false);
+            f.op(Op::PushNull)
+                .op(Op::PushI(0))
+                .op(Op::PushI(0))
+                .op(Op::FCall(FCallId::MpIsend))
+                .op(bad_op)
+                .op(Op::Ret);
+            let r = verify_module(&module_of(f.build()), &empty_reg());
+            assert!(
+                matches!(
+                    r,
+                    Err(VerifyError::RequestLeak { .. }) | Err(VerifyError::TypeError { .. })
+                ),
+                "{bad_op:?}: got {r:?}"
+            );
+        }
     }
 }

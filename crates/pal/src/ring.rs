@@ -34,6 +34,8 @@ struct Ring {
 // consumer only reads slots in `[head, tail)`; the head/tail handoff uses
 // Release/Acquire so the byte writes happen-before the matching reads.
 unsafe impl Sync for Ring {}
+// SAFETY: all fields are plain bytes, atomics, or owned heap storage; nothing
+// in `Ring` is tied to the thread that allocated it.
 unsafe impl Send for Ring {}
 
 impl Ring {

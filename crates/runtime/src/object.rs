@@ -228,6 +228,8 @@ mod tests {
             )
             .unwrap();
         let obj = ObjectRef(addr);
+        // SAFETY: `addr` is a live 64-byte allocation and the offsets
+        // written stay inside it.
         unsafe {
             obj.write_prim::<f64>(0, 3.25);
             obj.write_prim::<i32>(8, -7);
@@ -263,6 +265,8 @@ mod tests {
             )
             .unwrap(),
         );
+        // SAFETY: both objects are live allocations and slot 0 lies inside
+        // their 32-byte payloads.
         unsafe {
             assert!(a.read_ref_at(0).is_null(), "fresh slots are null");
             a.write_ref_at(0, b);
@@ -287,6 +291,8 @@ mod tests {
             )
             .unwrap();
         let arr = ObjectRef(addr);
+        // SAFETY: the allocation was sized for a 10-element i32 array and
+        // the header length matches, so the data window covers the writes.
         unsafe {
             assert_eq!(arr.array_len(), 10);
             let (p, bytes) = arr.prim_array_data(4);
@@ -325,6 +331,8 @@ mod tests {
             )
             .unwrap(),
         );
+        // SAFETY: both headers are live; forwarding only rewrites `a`'s
+        // header word.
         unsafe {
             assert!(a.forwarded().is_none());
             a.forward_to(b);
@@ -368,6 +376,8 @@ mod tests {
             )
             .unwrap(),
         );
+        // SAFETY: `c` and `a` were allocated with the exact layout their
+        // method tables describe, so the visitor stays inside them.
         unsafe {
             let mut class_slots = 0;
             for_each_ref_slot(c, reg.table(cls), |_| class_slots += 1);
@@ -394,6 +404,8 @@ mod tests {
             )
             .unwrap();
         let md = ObjectRef(addr);
+        // SAFETY: the allocation was sized for a 3x4 f32 md-array; the dim
+        // words and the data window written here are inside it.
         unsafe {
             // Write the dims the way the allocator does.
             let p = md.payload_ptr() as *mut u32;

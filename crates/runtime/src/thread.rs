@@ -534,6 +534,8 @@ impl MotorThread {
     /// Read one element of a multidimensional array.
     pub fn md_get<T: Prim>(&self, h: Handle, indices: &[u32]) -> T {
         let flat = self.md_flat_index(h, indices);
+        // SAFETY: `Prim` types are plain integer/float scalars, for which
+        // the all-zero bit pattern is a valid value.
         let mut out = [unsafe { std::mem::zeroed::<T>() }];
         self.prim_read(h, flat, &mut out);
         out[0]

@@ -207,7 +207,8 @@ mod tests {
         }
         let err = verify_heap(&vm).unwrap_err();
         assert!(err.contains("dangling reference"), "{err}");
-        // Repair so drop paths stay sane.
+        // SAFETY: writes back a null reference to the slot corrupted
+        // above; repairs the heap so drop paths stay sane.
         unsafe {
             crate::object::ObjectRef(addr).write_ref_at(0, crate::object::ObjectRef(0));
         }

@@ -10,6 +10,12 @@ cargo fmt --all -- --check
 echo "==> cargo clippy --workspace (deny warnings)"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> cargo clippy: SAFETY comments on unsafe blocks (runtime + pal)"
+# The two crates holding the raw-pointer object model and the SPSC byte
+# rings must justify every unsafe block.
+cargo clippy -p motor-runtime -p motor-pal --all-targets -- \
+  -D warnings -D clippy::undocumented-unsafe-blocks
+
 echo "==> cargo test --workspace"
 cargo test --workspace -q
 

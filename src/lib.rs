@@ -15,11 +15,15 @@
 //! * [`core`] — Motor proper: the runtime-integrated `System.MP` bindings,
 //!   the GC-aware pinning policy, and the extended object-oriented
 //!   operations with the split-capable serializer.
+//! * [`analyze`] — load-time static analysis: the typed IL verifier plus
+//!   the transport-safety pass that lets the interpreter elide dynamic
+//!   object-model checks on proved modules.
 //! * [`baselines`] — the managed-wrapper comparison systems (Indiana-style
 //!   P/Invoke bindings, mpiJava-style JNI bindings and serializers).
 //!
 //! See `README.md` for a quickstart and `DESIGN.md` for the architecture.
 
+pub use motor_analyze as analyze;
 pub use motor_baselines as baselines;
 pub use motor_core as core;
 pub use motor_interp as interp;

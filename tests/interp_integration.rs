@@ -3,12 +3,13 @@
 //! interpreter's safepoint polls keeping the collector live.
 
 use motor::core::cluster::run_cluster_default;
-use motor::interp::{FnBuilder, Interp, Module, Op, Value};
+use motor::interp::{FnBuilder, Interp, Module, Op, TyDesc, Value};
 use motor::runtime::ElemKind;
 
 /// Build `sum_sq(arr) -> i64`: managed loop over a managed array.
 fn sum_sq_module() -> Module {
     let mut f = FnBuilder::new("sum_sq", 1, 3, true);
+    f.params(&[TyDesc::Arr(ElemKind::I64)]);
     let top = f.label();
     let done = f.label();
     // local1 = acc, local2 = i
@@ -35,7 +36,6 @@ fn sum_sq_module() -> Module {
     f.op(Op::Load(1)).op(Op::Ret);
     let mut m = Module::new();
     m.add(f.build());
-    motor::interp::verify_module(&m).expect("verifiable IL");
     m
 }
 
@@ -62,8 +62,10 @@ fn il_computes_on_received_buffers() {
                 assert_eq!(out[0], expect);
             } else {
                 mp.recv(buf, 0, 0).unwrap();
-                // Run managed code over the received managed array.
-                let module = sum_sq_module();
+                // Run managed code over the received managed array;
+                // the module goes through load-time analysis first.
+                let module = motor::analyze::load(sum_sq_module(), &proc.vm().registry())
+                    .expect("verifiable IL");
                 let interp = Interp::new(t, &module);
                 let r = interp.call(0, &[Value::R(buf)]).unwrap();
                 let Some(Value::I(sum)) = r else {
@@ -113,6 +115,7 @@ fn il_allocation_churn_with_concurrent_messaging() {
             f.op(Op::Load(1)).op(Op::Ret);
             let mut m = Module::new();
             let idx = m.add(f.build());
+            let m = motor::analyze::load(m, &proc.vm().registry()).expect("verifiable IL");
             let interp = Interp::new(t, &m);
 
             let buf = t.alloc_prim_array(ElemKind::I32, 16);
