@@ -14,22 +14,34 @@
 //! `ui.perfetto.dev`. `summary` re-loads such a file (every field needed
 //! for analysis round-trips through the export) and prints the per-rank
 //! wait accounting plus the cross-rank critical path.
+//!
+//! `doctor` runs the same workload under the `motor-doctor` watchdog and
+//! writes a flight record. With `--inject-deadlock` the last rank posts a
+//! receive no one will ever send to; the watchdog must diagnose it, write
+//! the flight record and abort the process with exit code 86 — the CI
+//! liveness gate in `scripts/check.sh`.
 
 use std::collections::HashMap;
+use std::time::Duration;
 
 use motor_core::cluster::{run_cluster, ClusterConfig};
 use motor_core::Source;
-use motor_obs::{from_chrome_json, ClusterTrace};
+use motor_obs::{from_chrome_json, ClusterTrace, DoctorConfig};
 use motor_runtime::{ElemKind, TypeRegistry};
+
+/// Exit code the doctor uses to abort an injected-deadlock run.
+const DOCTOR_ABORT_CODE: i32 = 86;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let code = match args.first().map(String::as_str) {
         Some("record") => record(&args[1..]),
         Some("summary") => summary(&args[1..]),
+        Some("doctor") => doctor(&args[1..]),
         _ => {
             eprintln!("usage: motor-trace record <out.json> [--ranks N]");
             eprintln!("       motor-trace summary <trace.json>");
+            eprintln!("       motor-trace doctor <record.json> [--ranks N] [--inject-deadlock]");
             2
         }
     };
@@ -90,6 +102,74 @@ fn record(args: &[String]) -> i32 {
         json.len()
     );
     0
+}
+
+fn doctor(args: &[String]) -> i32 {
+    let Some(out) = args.first() else {
+        eprintln!("doctor: missing flight-record output path");
+        return 2;
+    };
+    let mut ranks = 4usize;
+    let mut inject = false;
+    let mut it = args[1..].iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--ranks" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) if n >= 2 => ranks = n,
+                _ => {
+                    eprintln!("doctor: --ranks needs an integer >= 2");
+                    return 2;
+                }
+            },
+            "--inject-deadlock" => inject = true,
+            other => {
+                eprintln!("doctor: unknown argument `{other}`");
+                return 2;
+            }
+        }
+    }
+
+    let cfg = DoctorConfig {
+        scan_interval: Duration::from_millis(25),
+        stall_deadline: Duration::from_millis(400),
+        record_path: Some(out.clone()),
+        // The injected deadlock can never resolve: once diagnosed and
+        // recorded, abort the whole process so the CI gate terminates.
+        exit_code: inject.then_some(DOCTOR_ABORT_CODE),
+        record_on_exit: true,
+        ..DoctorConfig::default()
+    };
+    let config = ClusterConfig::builder()
+        .ranks(ranks)
+        .event_capacity(1 << 14)
+        .doctor(cfg)
+        .build();
+    let metrics = match run_cluster(config, define_types, |proc| {
+        demo_body(proc);
+        if inject && proc.rank() == proc.size() - 1 {
+            // A receive no rank will ever send to: the watchdog must blame
+            // this rank and op, then abort with DOCTOR_ABORT_CODE.
+            let t = proc.thread();
+            let buf = t.alloc_prim_array(ElemKind::U8, 16);
+            let _ = proc.mp().recv(buf, 0, 0x0dead);
+        }
+    }) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("doctor: cluster run failed: {e:?}");
+            return 1;
+        }
+    };
+    if metrics.anomalies.is_empty() {
+        eprintln!("doctor: healthy run, no anomalies; flight record at {out}");
+        0
+    } else {
+        eprintln!(
+            "doctor: {} anomalie(s) diagnosed; flight record at {out}",
+            metrics.anomalies.len()
+        );
+        1
+    }
 }
 
 fn define_types(reg: &mut TypeRegistry) {
@@ -191,6 +271,15 @@ fn print_summary(trace: &ClusterTrace) {
         trace.spans.len(),
         trace.edges.len()
     );
+    for (rank, dropped) in trace.dropped_events.iter().enumerate() {
+        if *dropped > 0 {
+            println!(
+                "  WARNING: rank {rank} overwrote {dropped} events before export — \
+                 the timeline has a blind spot; raise the ring size \
+                 (ClusterConfig::builder().event_capacity)"
+            );
+        }
+    }
 
     let mut by_kind: HashMap<&'static str, (usize, u64)> = HashMap::new();
     for e in &trace.edges {

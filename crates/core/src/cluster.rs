@@ -11,11 +11,12 @@ use std::sync::Arc;
 
 use motor_mpc::universe::{ChannelKind, Proc, Universe, UniverseConfig};
 use motor_mpc::{Comm, Source};
-use motor_obs::{estimate_clock_offset, ClusterTrace, Metric, MetricsSnapshot};
+use motor_obs::{estimate_clock_offset, Anomaly, ClusterTrace, DoctorConfig, MetricsSnapshot};
 use motor_runtime::{MotorThread, TypeRegistry, Vm, VmConfig};
 use parking_lot::Mutex;
 
 use crate::bufpool::BufPool;
+use crate::doctor::{DoctorServer, RankTicket};
 use crate::error::CoreResult;
 use crate::mp::Mp;
 use crate::oomp::Oomp;
@@ -33,6 +34,9 @@ pub struct ClusterConfig {
     pub universe: UniverseConfig,
     /// Pinning policy applied by the `System.MP` bindings.
     pub policy: PinPolicy,
+    /// Health watchdog (`motor-doctor`): `None` disables it unless the
+    /// `MOTOR_DOCTOR` environment variable asks for one at run time.
+    pub doctor: Option<DoctorConfig>,
 }
 
 impl Default for ClusterConfig {
@@ -42,6 +46,7 @@ impl Default for ClusterConfig {
             vm: VmConfig::default(),
             universe: UniverseConfig::default(),
             policy: PinPolicy::default(),
+            doctor: None,
         }
     }
 }
@@ -109,6 +114,18 @@ impl ClusterConfigBuilder {
         self
     }
 
+    /// Enable the `motor-doctor` watchdog: a monitor thread that scans
+    /// every rank's live in-flight op table, diagnoses stalls, deadlock
+    /// suspects, pin leaks and GC pressure, and emits a flight record on
+    /// anomaly. Runs with the given tuning; see
+    /// [`DoctorConfig`](motor_obs::DoctorConfig). The `MOTOR_DOCTOR`
+    /// environment variable enables it too (config wins when both are
+    /// set).
+    pub fn doctor(mut self, cfg: DoctorConfig) -> Self {
+        self.config.doctor = Some(cfg);
+        self
+    }
+
     /// Finish building.
     pub fn build(self) -> ClusterConfig {
         self.config
@@ -129,6 +146,9 @@ pub struct ClusterMetrics {
     /// genuinely distributed deployment would instead apply them through
     /// [`motor_obs::MetricsRegistry::set_clock_offset`].
     pub clock_offset_estimates: Vec<i64>,
+    /// Anomalies the `motor-doctor` watchdog diagnosed during the run
+    /// (always empty when the doctor was not enabled).
+    pub anomalies: Vec<Anomaly>,
 }
 
 impl ClusterMetrics {
@@ -163,6 +183,7 @@ pub struct MotorProc {
     pool: Arc<BufPool>,
     policy: PinPolicy,
     proc_: Proc,
+    doctor: Option<(Arc<DoctorServer>, RankTicket)>,
 }
 
 impl MotorProc {
@@ -218,33 +239,17 @@ impl MotorProc {
         &self.proc_
     }
 
+    /// The `motor-doctor` watchdog monitoring this rank, if one is
+    /// enabled (on-demand flight records, manual scans).
+    pub fn doctor(&self) -> Option<&Arc<DoctorServer>> {
+        self.doctor.as_ref().map(|(d, _)| d)
+    }
+
     /// Merged metrics for this rank: the transport-side registry (channel,
     /// device, collectives), the runtime-side registry (safepoints,
     /// serializer, buffer pool) and the GC counters bridged in.
     pub fn metrics(&self) -> MetricsSnapshot {
-        let mut snap = self.comm.device().metrics().snapshot();
-        snap.merge(&self.vm.metrics().snapshot());
-        let gc = self.vm.stats_snapshot();
-        snap.set_gc_bridge(&[
-            (Metric::GcMinorCollections, gc.minor_collections),
-            (Metric::GcFullCollections, gc.full_collections),
-            (Metric::GcObjectsPromoted, gc.objects_promoted),
-            (Metric::GcBytesPromoted, gc.bytes_promoted),
-            (Metric::GcPinnedBlockPromotions, gc.pinned_block_promotions),
-            (Metric::GcPins, gc.pins),
-            (Metric::GcUnpins, gc.unpins),
-            (Metric::GcCondPinsRegistered, gc.conditional_pins_registered),
-            (Metric::GcCondPinsHeld, gc.conditional_pins_held),
-            (Metric::GcCondPinsReleased, gc.conditional_pins_released),
-            (Metric::GcPinsAvoidedElder, gc.pins_avoided_elder),
-            (
-                Metric::GcPinsAvoidedFastBlocking,
-                gc.pins_avoided_fast_blocking,
-            ),
-            (Metric::GcObjectsSwept, gc.objects_swept),
-            (Metric::GcBytesSwept, gc.bytes_swept),
-        ]);
-        snap
+        crate::doctor::merged_metrics(self.comm.device(), &self.vm)
     }
 }
 
@@ -310,9 +315,17 @@ where
         universe.device.epoch = Some(epoch);
     }
     let policy = config.policy;
+    // A doctor requested explicitly wins; otherwise the MOTOR_DOCTOR
+    // environment variable may enable one at run time.
+    let doctor = config
+        .doctor
+        .clone()
+        .or_else(DoctorConfig::from_env)
+        .map(DoctorServer::new);
+    let watchdog = doctor.as_ref().map(DoctorServer::start);
     let snaps: Mutex<Vec<(usize, MetricsSnapshot)>> = Mutex::new(Vec::with_capacity(n));
     let offsets: Mutex<Vec<(usize, i64)>> = Mutex::new(Vec::with_capacity(n));
-    Universe::run_with(n, universe, |proc| {
+    let result = Universe::run_with(n, universe, |proc| {
         let vm = Vm::new(vm_config.clone());
         {
             let mut reg = vm.registry_mut();
@@ -322,6 +335,17 @@ where
         let comm = proc.world().clone();
         let pool = Arc::new(BufPool::new());
         pool.attach_metrics(Arc::clone(vm.metrics()));
+        // Register with the watchdog before the calibration handshake so
+        // even a startup deadlock is visible.
+        let ticket = doctor.as_ref().map(|d| {
+            let t = d.register(
+                comm.rank(),
+                format!("rank {}", comm.rank()),
+                Arc::clone(comm.device()),
+                Arc::clone(&vm),
+            );
+            (Arc::clone(d), t)
+        });
         let est = calibrate_clock(&comm).unwrap_or(0);
         offsets.lock().push((comm.rank(), est));
         let mp = MotorProc {
@@ -331,10 +355,28 @@ where
             pool,
             policy,
             proc_: proc,
+            doctor: ticket,
         };
         body(&mp);
         snaps.lock().push((mp.rank(), mp.metrics()));
-    })?;
+        if let Some((d, t)) = &mp.doctor {
+            d.mark_done(*t);
+        }
+    });
+    let anomalies = match &doctor {
+        Some(d) => {
+            d.stop();
+            if let Some(h) = watchdog {
+                let _ = h.join();
+            }
+            if d.config().record_on_exit {
+                d.write_record(&d.flight_record());
+            }
+            d.anomalies()
+        }
+        None => Vec::new(),
+    };
+    result?;
     let mut per_rank = snaps.into_inner();
     per_rank.sort_by_key(|&(r, _)| r);
     let mut offs = offsets.into_inner();
@@ -342,6 +384,7 @@ where
     Ok(ClusterMetrics {
         per_rank: per_rank.into_iter().map(|(_, s)| s).collect(),
         clock_offset_estimates: offs.into_iter().map(|(_, o)| o).collect(),
+        anomalies,
     })
 }
 
@@ -380,11 +423,23 @@ where
 {
     let vm_config = config.vm.clone();
     let policy = config.policy;
+    // Children join the parent's watchdog in a fresh spawn group: their
+    // world ranks restart at 0, so peer cross-matching must not mix them
+    // with the parents' world.
+    let doctor = proc.doctor().map(Arc::clone);
+    let group = doctor.as_ref().map_or(0, |d| d.alloc_group());
     let inter = proc
         .proc_
         .universe()
         .spawn_children(proc.comm(), count, move |child: Proc| {
-            let vm = Vm::new(vm_config.clone());
+            let mut vm_config = vm_config.clone();
+            if vm_config.epoch.is_none() {
+                // Share the child device's timebase so VM-side and
+                // device-side timestamps (events *and* in-flight ops)
+                // stay comparable within the child.
+                vm_config.epoch = Some(child.world().device().metrics().epoch());
+            }
+            let vm = Vm::new(vm_config);
             {
                 let mut reg = vm.registry_mut();
                 define_types(&mut reg);
@@ -393,6 +448,16 @@ where
             let comm = child.world().clone();
             let pool = Arc::new(BufPool::new());
             pool.attach_metrics(Arc::clone(vm.metrics()));
+            let ticket = doctor.as_ref().map(|d| {
+                let t = d.register_in_group(
+                    group,
+                    comm.rank(),
+                    format!("child {}.{}", group, comm.rank()),
+                    Arc::clone(comm.device()),
+                    Arc::clone(&vm),
+                );
+                (Arc::clone(d), t)
+            });
             let mp = MotorProc {
                 vm,
                 thread,
@@ -400,8 +465,12 @@ where
                 pool,
                 policy,
                 proc_: child,
+                doctor: ticket,
             };
             entry(&mp);
+            if let Some((d, t)) = &mp.doctor {
+                d.mark_done(*t);
+            }
         })?;
     Ok(inter)
 }

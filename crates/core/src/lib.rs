@@ -50,6 +50,7 @@
 
 pub mod bufpool;
 pub mod cluster;
+pub mod doctor;
 pub mod error;
 pub mod fcall;
 pub mod mp;
@@ -61,6 +62,7 @@ pub use cluster::{
     run_cluster, run_cluster_default, ClusterConfig, ClusterConfigBuilder, ClusterMetrics,
     MotorProc,
 };
+pub use doctor::{DoctorServer, RankTicket};
 pub use error::{CoreError, CoreResult};
 pub use fcall::MpIntrinsics;
 pub use motor_mpc::Source;

@@ -18,8 +18,10 @@
 //! transfers zero-copy out of / into the object's instance data, and
 //! applies the Motor pinning policy of [`crate::pinning`].
 
+use std::sync::Arc;
+
 use motor_mpc::{Comm, DType, ReduceOp, Request, Source};
-use motor_obs::{span_arg_peer_tag, SpanKind};
+use motor_obs::{span_arg_peer_tag, MetricsRegistry, SpanKind, INFLIGHT_NONE};
 use motor_runtime::{ElemKind, Handle, MotorThread};
 
 use crate::error::{CoreError, CoreResult};
@@ -62,10 +64,17 @@ impl From<motor_mpc::Status> for MpStatus {
 /// A Motor non-blocking request (the `MPI::Request` analog). Holds the
 /// buffer handle alive for the duration; under the wrapper (`Always`)
 /// policy it also carries the hard pin to release at completion.
+///
+/// An outstanding request also stays registered in the VM registry's
+/// live in-flight table (as `mp_isend`/`mp_irecv`) until it completes or
+/// is dropped, so the `motor-doctor` watchdog can see non-blocking
+/// operations that were initiated but never waited on.
 pub struct MpRequest {
     inner: Request,
     buf: Handle,
     hard_pin: Option<motor_runtime::PinToken>,
+    registry: Arc<MetricsRegistry>,
+    inflight: usize,
 }
 
 impl MpRequest {
@@ -82,6 +91,19 @@ impl MpRequest {
     /// The underlying transport request (tests / pin conditions).
     pub fn inner(&self) -> &Request {
         &self.inner
+    }
+
+    /// Deregister from the in-flight table (idempotent; the slot must not
+    /// be released twice or a later op's registration could be clobbered).
+    fn finish_inflight(&mut self) {
+        self.registry
+            .op_end(std::mem::replace(&mut self.inflight, INFLIGHT_NONE));
+    }
+}
+
+impl Drop for MpRequest {
+    fn drop(&mut self) {
+        self.finish_inflight();
     }
 }
 
@@ -374,10 +396,14 @@ impl<'t> Mp<'t> {
         // stable for the transport's lifetime; no poll intervenes.
         let req = unsafe { self.comm.isend_ptr(ptr, len, dest, tag)? };
         let hard_pin = pinning::pin_for_nonblocking(self.thread, self.policy, obj, &req);
+        let registry = Arc::clone(self.thread.vm().metrics());
+        let inflight = registry.op_begin(SpanKind::MpIsend, span_arg_peer_tag(dest, tag));
         Ok(MpRequest {
             inner: req,
             buf: obj,
             hard_pin,
+            registry,
+            inflight,
         })
     }
 
@@ -414,10 +440,15 @@ impl<'t> Mp<'t> {
         // SAFETY: as in `isend`.
         let req = unsafe { self.comm.irecv_ptr(ptr, len, src, tag)? };
         let hard_pin = pinning::pin_for_nonblocking(self.thread, self.policy, obj, &req);
+        let registry = Arc::clone(self.thread.vm().metrics());
+        let inflight =
+            registry.op_begin(SpanKind::MpIrecv, span_arg_peer_tag(source_peer(src), tag));
         Ok(MpRequest {
             inner: req,
             buf: obj,
             hard_pin,
+            registry,
+            inflight,
         })
     }
 
@@ -431,6 +462,7 @@ impl<'t> Mp<'t> {
             .span(SpanKind::MpWait, req.inner.id());
         let _fc = Fcall::enter(self.thread);
         let st = self.comm.wait_with(&req.inner, || self.thread.poll())?;
+        req.finish_inflight();
         if let Some(tok) = req.hard_pin.take() {
             self.thread.unpin(tok);
         }
@@ -442,6 +474,7 @@ impl<'t> Mp<'t> {
         let _fc = Fcall::enter(self.thread);
         match self.comm.test(&req.inner)? {
             Some(st) => {
+                req.finish_inflight();
                 if let Some(tok) = req.hard_pin.take() {
                     self.thread.unpin(tok);
                 }

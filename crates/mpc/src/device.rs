@@ -19,7 +19,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use motor_obs::trace::{rndv_ctl, MSG_RNDV_FLAG};
-use motor_obs::{EventKind, Hist, Metric, MetricsRegistry};
+use motor_obs::{EventKind, Hist, Metric, MetricsRegistry, SpanKind};
 use parking_lot::Mutex;
 
 use crate::channel::{LinkState, PacketSink, RndvDest};
@@ -564,6 +564,9 @@ impl Device {
             }
             moved = true;
         }
+        if moved {
+            self.metrics.note_progress();
+        }
         Ok(moved)
     }
 
@@ -573,16 +576,26 @@ impl Device {
     pub fn wait_with(&self, req: &Request, mut yield_poll: impl FnMut()) -> MpcResult<Status> {
         let start = self.metrics.now_nanos();
         self.metrics.event(EventKind::OpBegin, req.id(), 0);
+        let inflight = self.metrics.op_begin(SpanKind::DeviceWait, req.id());
         let mut backoff = motor_pal::Backoff::new();
         loop {
             yield_poll();
             if req.is_complete() {
                 let waited = self.metrics.now_nanos().saturating_sub(start);
+                self.metrics.op_end(inflight);
                 self.metrics.record(Hist::WaitNanos, waited);
                 self.metrics.event(EventKind::OpEnd, req.id(), waited);
                 return Ok(req.status());
             }
-            if self.progress()? {
+            let moved = match self.progress() {
+                Ok(m) => m,
+                Err(e) => {
+                    self.metrics.op_end(inflight);
+                    return Err(e);
+                }
+            };
+            if moved {
+                self.metrics.op_beat(inflight);
                 backoff.reset();
             } else {
                 backoff.snooze();

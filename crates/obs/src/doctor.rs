@@ -1,0 +1,1086 @@
+//! Live health: the per-rank **in-flight op table**, anomaly
+//! classification, and the **flight record**.
+//!
+//! The metrics registry and trace ring are passive — they answer "what
+//! happened" after a run ends. A rank stuck in a blocking `Wait` with no
+//! matching sender, a pin leaked past its transfer, or GC pressure
+//! starving progress is invisible until then (or forever, if the run
+//! never ends). This module is the active half:
+//!
+//! * [`InflightTable`] — a lock-free slot table where every blocking
+//!   `System.MP`/`System.MP.OO` operation, collective, and outstanding
+//!   `Isend`/`Irecv` registers entry, heartbeats, and exit, so at any
+//!   instant a rank can report *what am I doing, since when, waiting on
+//!   whom*. Publication reuses the seqlock discipline of the event ring:
+//!   writers claim a slot with one CAS and publish a generation token
+//!   with a release store; readers validate the token around their loads.
+//! * [`classify`] — the watchdog's pure decision procedure: given one
+//!   [`RankHealth`] observation per rank it reports [`Anomaly`]s —
+//!   *stall*, *deadlock suspect*, *pin leak*, *GC pressure*.
+//! * [`FlightRecord`] — the crash-dump analog: anomalies + per-rank
+//!   metrics snapshots + in-flight tables, serialized to JSON
+//!   ([`FlightRecord::to_json`]) with a one-screen human diagnosis
+//!   ([`FlightRecord::diagnosis`]).
+//!
+//! The classification is deliberately conservative: a *stall* requires
+//! both the op and the whole rank to have made no observable progress
+//! past the deadline, and a *deadlock suspect* additionally requires the
+//! blamed peer to show no matching activity (or a wait-for cycle).
+
+use std::sync::atomic::{fence, AtomicU64, Ordering};
+use std::time::Duration;
+
+use crate::span::{span_arg_unpack, SpanKind};
+use crate::{Hist, Metric, MetricsSnapshot};
+
+/// Default number of slots in an [`InflightTable`].
+pub const DEFAULT_INFLIGHT_CAPACITY: usize = 128;
+
+/// Sentinel slot index meaning "not registered" (table was full, or the
+/// op chose not to register). All table operations ignore it.
+pub const INFLIGHT_NONE: usize = usize::MAX;
+
+// Slot states: 0 = free, CLAIMING = a writer is mid-publish, >= FIRST_TOKEN
+// = published generation token.
+const CLAIMING: u64 = 1;
+const FIRST_TOKEN: u64 = 2;
+
+struct InflightSlot {
+    /// Seqlock word: free / claiming / published token (see above).
+    state: AtomicU64,
+    kind: AtomicU64,
+    arg: AtomicU64,
+    since_nanos: AtomicU64,
+    beat_nanos: AtomicU64,
+    beats: AtomicU64,
+}
+
+impl InflightSlot {
+    fn empty() -> Self {
+        InflightSlot {
+            state: AtomicU64::new(0),
+            kind: AtomicU64::new(0),
+            arg: AtomicU64::new(0),
+            since_nanos: AtomicU64::new(0),
+            beat_nanos: AtomicU64::new(0),
+            beats: AtomicU64::new(0),
+        }
+    }
+}
+
+/// One published entry of an [`InflightTable`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InflightOp {
+    /// Generation token (unique per registration within one table).
+    pub token: u64,
+    /// What the op is.
+    pub kind: SpanKind,
+    /// Kind-specific argument — [`crate::span_arg_peer_tag`] for
+    /// point-to-point ops, the root rank for rooted collectives.
+    pub arg: u64,
+    /// Registry clock when the op entered (nanoseconds since epoch).
+    pub since_nanos: u64,
+    /// Registry clock of the last heartbeat (= `since_nanos` if none).
+    pub beat_nanos: u64,
+    /// Number of heartbeats recorded.
+    pub beats: u64,
+}
+
+impl InflightOp {
+    /// The `(peer, tag)` pair packed in `arg` (meaningful for
+    /// point-to-point kinds; see [`crate::span_arg_peer_tag`]).
+    pub fn peer_tag(&self) -> (usize, i32) {
+        span_arg_unpack(self.arg)
+    }
+
+    /// Nanoseconds since the op entered, as of `now_nanos`.
+    pub fn age_nanos(&self, now_nanos: u64) -> u64 {
+        now_nanos.saturating_sub(self.since_nanos)
+    }
+
+    /// Nanoseconds since the op last showed a sign of life.
+    pub fn idle_nanos(&self, now_nanos: u64) -> u64 {
+        now_nanos.saturating_sub(self.beat_nanos.max(self.since_nanos))
+    }
+
+    /// Whether this kind blocks the rank until a peer acts (the stall /
+    /// deadlock candidates). Outstanding `Isend`/`Irecv` registrations
+    /// are *not* blocking — the rank is free to compute past them.
+    pub fn is_blocking(&self) -> bool {
+        !matches!(self.kind, SpanKind::MpIsend | SpanKind::MpIrecv)
+    }
+}
+
+/// Lock-free in-flight op table: fixed slots, seqlock-published entries.
+///
+/// Writers ([`begin`](Self::begin) / [`beat`](Self::beat) /
+/// [`end`](Self::end)) never block; if every slot is taken the
+/// registration is dropped and counted in
+/// [`overflows`](Self::overflows). Readers ([`snapshot`](Self::snapshot))
+/// are wait-free and skip entries caught mid-publish.
+pub struct InflightTable {
+    slots: Vec<InflightSlot>,
+    cursor: AtomicU64,
+    next_token: AtomicU64,
+    overflows: AtomicU64,
+    /// Registry clock of the last heartbeat anywhere in this table — the
+    /// rank-wide "last sign of progress" the watchdog compares against.
+    last_beat: AtomicU64,
+}
+
+impl InflightTable {
+    /// Table with `capacity` slots (rounded up to 1).
+    pub fn new(capacity: usize) -> Self {
+        InflightTable {
+            slots: (0..capacity.max(1))
+                .map(|_| InflightSlot::empty())
+                .collect(),
+            cursor: AtomicU64::new(0),
+            next_token: AtomicU64::new(FIRST_TOKEN),
+            overflows: AtomicU64::new(0),
+            last_beat: AtomicU64::new(0),
+        }
+    }
+
+    /// Register an op. Returns the claimed slot index, or
+    /// [`INFLIGHT_NONE`] if the table is full (the drop is counted).
+    pub fn begin(&self, kind: SpanKind, arg: u64, now_nanos: u64) -> usize {
+        let hint = self.cursor.fetch_add(1, Ordering::Relaxed) as usize;
+        for i in 0..self.slots.len() {
+            let idx = (hint + i) % self.slots.len();
+            let slot = &self.slots[idx];
+            if slot
+                .state
+                .compare_exchange(0, CLAIMING, Ordering::Acquire, Ordering::Relaxed)
+                .is_err()
+            {
+                continue;
+            }
+            let token = self.next_token.fetch_add(1, Ordering::Relaxed);
+            slot.kind.store(kind as u64, Ordering::Relaxed);
+            slot.arg.store(arg, Ordering::Relaxed);
+            slot.since_nanos.store(now_nanos, Ordering::Relaxed);
+            slot.beat_nanos.store(now_nanos, Ordering::Relaxed);
+            slot.beats.store(0, Ordering::Relaxed);
+            slot.state.store(token, Ordering::Release);
+            return idx;
+        }
+        self.overflows.fetch_add(1, Ordering::Relaxed);
+        INFLIGHT_NONE
+    }
+
+    /// Record a sign of life on a registered op (and on the whole table).
+    pub fn beat(&self, idx: usize, now_nanos: u64) {
+        self.last_beat.store(now_nanos, Ordering::Relaxed);
+        if let Some(slot) = self.slots.get(idx) {
+            slot.beat_nanos.store(now_nanos, Ordering::Relaxed);
+            slot.beats.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Record table-wide progress without a specific op (e.g. the device
+    /// progress engine moved bytes while polling).
+    pub fn note_progress(&self, now_nanos: u64) {
+        self.last_beat.store(now_nanos, Ordering::Relaxed);
+    }
+
+    /// Deregister an op (idempotent on [`INFLIGHT_NONE`]).
+    pub fn end(&self, idx: usize) {
+        if let Some(slot) = self.slots.get(idx) {
+            slot.state.store(0, Ordering::Release);
+        }
+    }
+
+    /// Registrations dropped because the table was full.
+    pub fn overflows(&self) -> u64 {
+        self.overflows.load(Ordering::Relaxed)
+    }
+
+    /// Registry clock of the last heartbeat anywhere in the table.
+    pub fn last_beat_nanos(&self) -> u64 {
+        self.last_beat.load(Ordering::Relaxed)
+    }
+
+    /// Wait-free copy of every published entry. Entries caught mid-claim
+    /// or recycled while being read are skipped (seqlock validation).
+    pub fn snapshot(&self) -> Vec<InflightOp> {
+        let mut out = Vec::new();
+        for slot in &self.slots {
+            let token = slot.state.load(Ordering::Acquire);
+            if token < FIRST_TOKEN {
+                continue;
+            }
+            let (k, arg, since, beat, beats) = (
+                slot.kind.load(Ordering::Relaxed),
+                slot.arg.load(Ordering::Relaxed),
+                slot.since_nanos.load(Ordering::Relaxed),
+                slot.beat_nanos.load(Ordering::Relaxed),
+                slot.beats.load(Ordering::Relaxed),
+            );
+            // Seqlock read validation, as in the event ring: the acquire
+            // fence orders the payload loads before the re-check, so a
+            // matching token proves the slot was not recycled mid-read.
+            fence(Ordering::Acquire);
+            if slot.state.load(Ordering::Relaxed) != token {
+                continue;
+            }
+            if let Some(kind) = SpanKind::from_u64(k) {
+                out.push(InflightOp {
+                    token,
+                    kind,
+                    arg,
+                    since_nanos: since,
+                    beat_nanos: beat,
+                    beats,
+                });
+            }
+        }
+        out.sort_by_key(|op| op.token);
+        out
+    }
+}
+
+/// Watchdog tuning and flight-record policy. Build one directly, or parse
+/// the `MOTOR_DOCTOR` environment variable with
+/// [`DoctorConfig::from_env`].
+#[derive(Debug, Clone)]
+pub struct DoctorConfig {
+    /// How often the watchdog scans every rank's table.
+    pub scan_interval: Duration,
+    /// No observable progress for this long while blocked → *stall*.
+    pub stall_deadline: Duration,
+    /// A hard pin older than this with no transport op in flight →
+    /// *pin leak*.
+    pub pin_leak_deadline: Duration,
+    /// Fraction of wall time stalled at safepoints → *GC pressure*.
+    pub gc_stall_ratio: f64,
+    /// Where to write the flight-record JSON (on anomaly, and at shutdown
+    /// when [`record_on_exit`](Self::record_on_exit) is set).
+    pub record_path: Option<String>,
+    /// Terminate the process with this code after the first anomaly's
+    /// flight record is written (CI liveness gates); `None` keeps running.
+    pub exit_code: Option<i32>,
+    /// Also emit a flight record when the cluster shuts down cleanly.
+    pub record_on_exit: bool,
+}
+
+impl Default for DoctorConfig {
+    fn default() -> Self {
+        DoctorConfig {
+            scan_interval: Duration::from_millis(50),
+            stall_deadline: Duration::from_secs(2),
+            pin_leak_deadline: Duration::from_secs(2),
+            gc_stall_ratio: 0.5,
+            record_path: None,
+            exit_code: None,
+            record_on_exit: false,
+        }
+    }
+}
+
+impl DoctorConfig {
+    /// Parse a `MOTOR_DOCTOR` value. `"1"`/`"on"` yield the defaults;
+    /// otherwise a comma list of `key=value` pairs: `deadline_ms`,
+    /// `interval_ms`, `pin_ms`, `gc_ratio`, `record=<path>`,
+    /// `abort=<exit code>`, `record_on_exit=0|1`. Unknown keys are
+    /// ignored so old commands keep working.
+    pub fn parse(spec: &str) -> DoctorConfig {
+        let mut cfg = DoctorConfig::default();
+        for part in spec.split(',') {
+            let part = part.trim();
+            let (key, value) = match part.split_once('=') {
+                Some(kv) => kv,
+                None => continue, // bare "1"/"on" enable the defaults
+            };
+            match key {
+                "deadline_ms" => {
+                    if let Ok(ms) = value.parse() {
+                        cfg.stall_deadline = Duration::from_millis(ms);
+                        cfg.pin_leak_deadline = Duration::from_millis(ms);
+                    }
+                }
+                "interval_ms" => {
+                    if let Ok(ms) = value.parse() {
+                        cfg.scan_interval = Duration::from_millis(ms);
+                    }
+                }
+                "pin_ms" => {
+                    if let Ok(ms) = value.parse() {
+                        cfg.pin_leak_deadline = Duration::from_millis(ms);
+                    }
+                }
+                "gc_ratio" => {
+                    if let Ok(r) = value.parse() {
+                        cfg.gc_stall_ratio = r;
+                    }
+                }
+                "record" => cfg.record_path = Some(value.to_string()),
+                "abort" => cfg.exit_code = value.parse().ok(),
+                "record_on_exit" => cfg.record_on_exit = value != "0",
+                _ => {}
+            }
+        }
+        cfg
+    }
+
+    /// The configuration requested by the `MOTOR_DOCTOR` environment
+    /// variable, if set (empty/`"0"`/`"off"` mean disabled).
+    pub fn from_env() -> Option<DoctorConfig> {
+        match std::env::var("MOTOR_DOCTOR") {
+            Ok(v) if !v.is_empty() && v != "0" && v != "off" => Some(Self::parse(&v)),
+            _ => None,
+        }
+    }
+}
+
+/// One watchdog observation of one rank — everything [`classify`] needs.
+#[derive(Debug, Clone)]
+pub struct RankHealth {
+    /// World rank (or slot index for dynamically spawned processes).
+    pub rank: usize,
+    /// Human label (`"rank 2"`, `"child 0"`, ...).
+    pub label: String,
+    /// Whether the rank's body has returned.
+    pub done: bool,
+    /// Registry clock at scan time (nanoseconds since the shared epoch).
+    pub now_nanos: u64,
+    /// Registry clock of the rank's last observable progress (max over
+    /// its tables' [`InflightTable::last_beat_nanos`]; 0 if none yet).
+    pub last_progress_nanos: u64,
+    /// Merged in-flight ops from the rank's transport- and VM-side tables.
+    pub inflight: Vec<InflightOp>,
+    /// Device queue depths `(posted, unexpected, pending_sends,
+    /// active_recvs)`.
+    pub queue_depths: (usize, usize, usize, usize),
+    /// Hard pins currently held.
+    pub hard_pins: usize,
+    /// Conditional pin requests currently registered.
+    pub cond_pins: usize,
+    /// Age of the oldest hard pin in nanoseconds (0 when none).
+    pub oldest_pin_nanos: u64,
+    /// Estimated nanoseconds stalled at safepoints since the last scan.
+    pub safepoint_stall_nanos: u64,
+    /// Wall nanoseconds covered by `safepoint_stall_nanos` (scan window).
+    pub window_nanos: u64,
+}
+
+/// What kind of trouble the watchdog diagnosed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AnomalyKind {
+    /// A blocking op made no observable progress past the deadline.
+    Stall,
+    /// A stall whose blamed peer shows no matching activity, or a
+    /// wait-for cycle among stalled ranks.
+    DeadlockSuspect,
+    /// A hard pin outlived every transport operation on its rank.
+    PinLeak,
+    /// Safepoint stalls consumed more than the configured fraction of
+    /// wall time.
+    GcPressure,
+}
+
+impl AnomalyKind {
+    /// Stable export name.
+    pub fn name(self) -> &'static str {
+        match self {
+            AnomalyKind::Stall => "stall",
+            AnomalyKind::DeadlockSuspect => "deadlock_suspect",
+            AnomalyKind::PinLeak => "pin_leak",
+            AnomalyKind::GcPressure => "gc_pressure",
+        }
+    }
+}
+
+/// One diagnosed problem, blaming a rank (and op, when there is one).
+#[derive(Debug, Clone)]
+pub struct Anomaly {
+    /// Classification.
+    pub kind: AnomalyKind,
+    /// The blamed rank.
+    pub rank: usize,
+    /// The blamed rank's label.
+    pub label: String,
+    /// The stuck op, for stall/deadlock anomalies.
+    pub op: Option<InflightOp>,
+    /// Peer the op waits on, when the op kind carries one.
+    pub peer: Option<usize>,
+    /// Nanoseconds the condition has persisted.
+    pub age_nanos: u64,
+    /// One-line human explanation.
+    pub detail: String,
+}
+
+impl Anomaly {
+    /// Stable dedup key: one report per (kind, rank, op token).
+    pub fn key(&self) -> (AnomalyKind, usize, u64) {
+        (
+            self.kind,
+            self.rank,
+            self.op.as_ref().map_or(0, |o| o.token),
+        )
+    }
+}
+
+/// Point-to-point kinds whose `arg` names the peer being waited on.
+fn waits_on_peer(kind: SpanKind) -> bool {
+    matches!(
+        kind,
+        SpanKind::MpSend
+            | SpanKind::MpSsend
+            | SpanKind::MpRecv
+            | SpanKind::MpProbe
+            | SpanKind::Osend
+            | SpanKind::Orecv
+    )
+}
+
+/// Collective kinds (every live rank must enter them).
+fn is_collective(kind: SpanKind) -> bool {
+    matches!(
+        kind,
+        SpanKind::Barrier
+            | SpanKind::Bcast
+            | SpanKind::Scatter
+            | SpanKind::Gather
+            | SpanKind::Allgather
+            | SpanKind::Reduce
+            | SpanKind::Allreduce
+            | SpanKind::Scan
+            | SpanKind::Alltoall
+            | SpanKind::Obcast
+            | SpanKind::Oscatter
+            | SpanKind::Ogather
+    )
+}
+
+/// The oldest blocking op a rank is stuck in past the deadline, if the
+/// rank as a whole has also shown no progress for that long.
+fn stalled_op(h: &RankHealth, deadline_nanos: u64) -> Option<&InflightOp> {
+    if h.done {
+        return None;
+    }
+    let rank_idle = h.now_nanos.saturating_sub(h.last_progress_nanos);
+    if h.last_progress_nanos != 0 && rank_idle <= deadline_nanos {
+        return None;
+    }
+    h.inflight
+        .iter()
+        .filter(|op| op.is_blocking() && op.idle_nanos(h.now_nanos) > deadline_nanos)
+        .max_by_key(|op| op.age_nanos(h.now_nanos))
+}
+
+/// Kinds that ship data to the peer (can complete the peer's receive).
+fn is_send_kind(kind: SpanKind) -> bool {
+    matches!(
+        kind,
+        SpanKind::MpSend | SpanKind::MpSsend | SpanKind::MpIsend | SpanKind::Osend
+    )
+}
+
+/// Kinds that consume data from the peer (can complete the peer's send).
+fn is_recv_kind(kind: SpanKind) -> bool {
+    matches!(
+        kind,
+        SpanKind::MpRecv | SpanKind::MpIrecv | SpanKind::MpProbe | SpanKind::Orecv
+    )
+}
+
+/// Whether `peer`'s observation shows activity that could still complete
+/// `rank`'s wait of kind `our_kind`: an in-flight op of the *opposite
+/// direction* addressed to `rank` (a send satisfies our recv and vice
+/// versa), or transport frames still queued for delivery.
+fn peer_matches(peer: &RankHealth, rank: usize, our_kind: SpanKind) -> bool {
+    if peer.queue_depths.2 > 0 {
+        return true; // pending sends may still be addressed to the waiter
+    }
+    peer.inflight.iter().any(|op| {
+        op.peer_tag().0 == rank
+            && if is_recv_kind(our_kind) {
+                is_send_kind(op.kind)
+            } else {
+                is_recv_kind(op.kind)
+            }
+    })
+}
+
+/// The watchdog's decision procedure: one pass over the latest
+/// observations, returning every anomaly found (empty when healthy).
+/// Pure — all timing comes from the observations — so it is directly
+/// unit-testable with synthetic [`RankHealth`] values.
+pub fn classify(health: &[RankHealth], cfg: &DoctorConfig) -> Vec<Anomaly> {
+    let deadline = cfg.stall_deadline.as_nanos() as u64;
+    let pin_deadline = cfg.pin_leak_deadline.as_nanos() as u64;
+    let mut out = Vec::new();
+
+    // Wait-for edges rank -> peer for cycle detection among stalled ranks.
+    let mut waits_for: Vec<Option<usize>> = vec![None; health.len()];
+    let any_done = health.iter().any(|h| h.done);
+
+    for (i, h) in health.iter().enumerate() {
+        if let Some(op) = stalled_op(h, deadline) {
+            let age = op.idle_nanos(h.now_nanos);
+            let (peer, _tag) = op.peer_tag();
+            let peer = (waits_on_peer(op.kind) && peer < health.len()).then_some(peer);
+            if let Some(p) = peer {
+                // Wait-for edge only when the peer is *not* already acting
+                // toward us — a matched pair is slow, not deadlocked.
+                if !peer_matches(&health[p], h.rank, op.kind) {
+                    waits_for[i] = Some(p);
+                }
+            }
+            let (kind, detail) = match peer {
+                // Peer exited, or is itself stuck with nothing addressed
+                // to us: nobody can complete this wait.
+                Some(p) if health[p].done && !peer_matches(&health[p], h.rank, op.kind) => (
+                    AnomalyKind::DeadlockSuspect,
+                    format!(
+                        "{} waits on {} which exited with no matching activity",
+                        op.kind.name(),
+                        health[p].label
+                    ),
+                ),
+                Some(p)
+                    if stalled_op(&health[p], deadline).is_some()
+                        && !peer_matches(&health[p], h.rank, op.kind) =>
+                {
+                    (
+                        AnomalyKind::DeadlockSuspect,
+                        format!(
+                            "{} waits on {} which is itself stuck with no matching activity",
+                            op.kind.name(),
+                            health[p].label
+                        ),
+                    )
+                }
+                // A collective some ranks already exited past can never
+                // complete for the ranks still inside it.
+                None if is_collective(op.kind) && any_done => (
+                    AnomalyKind::DeadlockSuspect,
+                    format!(
+                        "stuck in collective {} while other ranks already exited",
+                        op.kind.name()
+                    ),
+                ),
+                _ => (
+                    AnomalyKind::Stall,
+                    format!("no progress in {} past the deadline", op.kind.name()),
+                ),
+            };
+            out.push(Anomaly {
+                kind,
+                rank: h.rank,
+                label: h.label.clone(),
+                op: Some(op.clone()),
+                peer,
+                age_nanos: age,
+                detail,
+            });
+        }
+
+        if !h.done && h.hard_pins > 0 && h.oldest_pin_nanos > pin_deadline && h.inflight.is_empty()
+        {
+            out.push(Anomaly {
+                kind: AnomalyKind::PinLeak,
+                rank: h.rank,
+                label: h.label.clone(),
+                op: None,
+                peer: None,
+                age_nanos: h.oldest_pin_nanos,
+                detail: format!(
+                    "{} hard pin(s) held with no transport op in flight",
+                    h.hard_pins
+                ),
+            });
+        }
+
+        if h.window_nanos > 0 {
+            let ratio = h.safepoint_stall_nanos as f64 / h.window_nanos as f64;
+            if ratio > cfg.gc_stall_ratio {
+                out.push(Anomaly {
+                    kind: AnomalyKind::GcPressure,
+                    rank: h.rank,
+                    label: h.label.clone(),
+                    op: None,
+                    peer: None,
+                    age_nanos: h.safepoint_stall_nanos,
+                    detail: format!(
+                        "{:.0}% of the last {} ms stalled at safepoints",
+                        ratio * 100.0,
+                        h.window_nanos / 1_000_000
+                    ),
+                });
+            }
+        }
+    }
+
+    // Upgrade wait-for cycles to deadlock suspects: r0 -> r1 -> ... -> r0
+    // can never resolve regardless of queue contents.
+    let mut on_cycle = vec![false; waits_for.len()];
+    for (start, cycle_flag) in on_cycle.iter_mut().enumerate() {
+        let mut cur = start;
+        for _ in 0..=waits_for.len() {
+            match waits_for[cur] {
+                Some(next) if next == start => {
+                    *cycle_flag = true;
+                    break;
+                }
+                Some(next) => cur = next,
+                None => break,
+            }
+        }
+    }
+    for (i, h) in health.iter().enumerate() {
+        if !on_cycle[i] {
+            continue;
+        }
+        for a in out
+            .iter_mut()
+            .filter(|a| a.kind == AnomalyKind::Stall && a.rank == h.rank)
+        {
+            a.kind = AnomalyKind::DeadlockSuspect;
+            a.detail = format!("wait-for cycle: {}", a.detail);
+        }
+    }
+    out
+}
+
+/// One rank's contribution to a [`FlightRecord`].
+#[derive(Debug, Clone)]
+pub struct RankFlight {
+    /// World rank (or spawn slot).
+    pub rank: usize,
+    /// Human label.
+    pub label: String,
+    /// Whether the rank's body had returned when the record was cut.
+    pub done: bool,
+    /// In-flight ops at record time.
+    pub inflight: Vec<InflightOp>,
+    /// Device queue depths `(posted, unexpected, pending_sends,
+    /// active_recvs)`.
+    pub queue_depths: (usize, usize, usize, usize),
+    /// Merged metrics snapshot (transport + VM registries).
+    pub snapshot: MetricsSnapshot,
+}
+
+/// Everything needed to diagnose a run after the fact: anomalies, every
+/// rank's metrics + trace-ring drain + in-flight table.
+#[derive(Debug, Clone)]
+pub struct FlightRecord {
+    /// Shared-epoch clock when the record was cut (nanoseconds).
+    pub t_nanos: u64,
+    /// Diagnosed anomalies (empty for an on-demand record of a healthy
+    /// cluster).
+    pub anomalies: Vec<Anomaly>,
+    /// Per-rank state, in rank order.
+    pub ranks: Vec<RankFlight>,
+}
+
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn inflight_json(ops: &[InflightOp]) -> String {
+    let items: Vec<String> = ops
+        .iter()
+        .map(|op| {
+            let (peer, tag) = op.peer_tag();
+            format!(
+                "{{\"kind\":\"{}\",\"arg\":{},\"peer\":{},\"tag\":{},\
+                 \"since_nanos\":{},\"beat_nanos\":{},\"beats\":{}}}",
+                op.kind.name(),
+                op.arg,
+                peer,
+                tag,
+                op.since_nanos,
+                op.beat_nanos,
+                op.beats
+            )
+        })
+        .collect();
+    format!("[{}]", items.join(","))
+}
+
+impl FlightRecord {
+    /// The record as one JSON object (hand-rolled like every exporter in
+    /// this crate; see `DESIGN.md` "Offline builds").
+    pub fn to_json(&self) -> String {
+        let anomalies: Vec<String> = self
+            .anomalies
+            .iter()
+            .map(|a| {
+                format!(
+                    "{{\"kind\":\"{}\",\"rank\":{},\"label\":\"{}\",\"op\":{},\
+                     \"peer\":{},\"age_nanos\":{},\"detail\":\"{}\"}}",
+                    a.kind.name(),
+                    a.rank,
+                    esc(&a.label),
+                    a.op.as_ref()
+                        .map_or("null".into(), |o| format!("\"{}\"", o.kind.name())),
+                    a.peer.map_or("null".into(), |p| p.to_string()),
+                    a.age_nanos,
+                    esc(&a.detail)
+                )
+            })
+            .collect();
+        let ranks: Vec<String> = self
+            .ranks
+            .iter()
+            .map(|r| {
+                let (p, u, s, a) = r.queue_depths;
+                format!(
+                    "{{\"rank\":{},\"label\":\"{}\",\"done\":{},\
+                     \"queues\":{{\"posted\":{p},\"unexpected\":{u},\
+                     \"pending_sends\":{s},\"active_recvs\":{a}}},\
+                     \"inflight\":{},\"metrics\":{}}}",
+                    r.rank,
+                    esc(&r.label),
+                    r.done,
+                    inflight_json(&r.inflight),
+                    r.snapshot.to_json()
+                )
+            })
+            .collect();
+        format!(
+            "{{\"motor_flight_record\":1,\"t_nanos\":{},\"anomalies\":[{}],\"ranks\":[{}]}}",
+            self.t_nanos,
+            anomalies.join(","),
+            ranks.join(",")
+        )
+    }
+
+    /// A one-screen human diagnosis naming the blamed ranks and ops.
+    pub fn diagnosis(&self) -> String {
+        let mut s = format!(
+            "motor-doctor: {} anomal{} across {} rank(s) at t={:.3}s\n",
+            self.anomalies.len(),
+            if self.anomalies.len() == 1 {
+                "y"
+            } else {
+                "ies"
+            },
+            self.ranks.len(),
+            self.t_nanos as f64 / 1e9
+        );
+        for a in &self.anomalies {
+            let op = a.op.as_ref().map_or(String::new(), |o| {
+                let (peer, tag) = o.peer_tag();
+                format!(" in {}(peer={peer}, tag={tag})", o.kind.name())
+            });
+            s.push_str(&format!(
+                "  [{}] {}{}: {} ({} ms)\n",
+                a.kind.name(),
+                a.label,
+                op,
+                a.detail,
+                a.age_nanos / 1_000_000
+            ));
+        }
+        for r in &self.ranks {
+            let doing = if r.done {
+                "done".to_string()
+            } else if r.inflight.is_empty() {
+                "computing (no op in flight)".to_string()
+            } else {
+                r.inflight
+                    .iter()
+                    .map(|op| {
+                        let (peer, tag) = op.peer_tag();
+                        if waits_on_peer(op.kind) {
+                            format!("{}(peer={peer}, tag={tag})", op.kind.name())
+                        } else {
+                            op.kind.name().to_string()
+                        }
+                    })
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            };
+            let (p, u, ps, ar) = r.queue_depths;
+            let wait = r.snapshot.hist(Hist::WaitNanos);
+            s.push_str(&format!(
+                "  {}: {} | queues p/u/s/r={p}/{u}/{ps}/{ar} | waits={} p50={}ns p99={}ns | events dropped={}\n",
+                r.label,
+                doing,
+                wait.count(),
+                wait.percentile(0.50),
+                wait.percentile(0.99),
+                r.snapshot.get(Metric::TraceEventsDropped),
+            ));
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span_arg_peer_tag;
+
+    fn op(kind: SpanKind, peer: usize, tag: i32, since: u64, beat: u64) -> InflightOp {
+        InflightOp {
+            token: 2,
+            kind,
+            arg: span_arg_peer_tag(peer, tag),
+            since_nanos: since,
+            beat_nanos: beat,
+            beats: 0,
+        }
+    }
+
+    fn healthy(rank: usize, now: u64) -> RankHealth {
+        RankHealth {
+            rank,
+            label: format!("rank {rank}"),
+            done: false,
+            now_nanos: now,
+            last_progress_nanos: now,
+            inflight: Vec::new(),
+            queue_depths: (0, 0, 0, 0),
+            hard_pins: 0,
+            cond_pins: 0,
+            oldest_pin_nanos: 0,
+            safepoint_stall_nanos: 0,
+            window_nanos: 1_000_000_000,
+        }
+    }
+
+    fn cfg_ms(deadline_ms: u64) -> DoctorConfig {
+        DoctorConfig {
+            stall_deadline: Duration::from_millis(deadline_ms),
+            pin_leak_deadline: Duration::from_millis(deadline_ms),
+            ..DoctorConfig::default()
+        }
+    }
+
+    #[test]
+    fn table_begin_beat_end_roundtrip() {
+        let t = InflightTable::new(4);
+        let idx = t.begin(SpanKind::MpRecv, span_arg_peer_tag(1, 9), 100);
+        assert_ne!(idx, INFLIGHT_NONE);
+        t.beat(idx, 250);
+        let snap = t.snapshot();
+        assert_eq!(snap.len(), 1);
+        assert_eq!(snap[0].kind, SpanKind::MpRecv);
+        assert_eq!(snap[0].peer_tag(), (1, 9));
+        assert_eq!(snap[0].since_nanos, 100);
+        assert_eq!(snap[0].beat_nanos, 250);
+        assert_eq!(snap[0].beats, 1);
+        assert_eq!(t.last_beat_nanos(), 250);
+        t.end(idx);
+        assert!(t.snapshot().is_empty());
+    }
+
+    #[test]
+    fn table_overflow_is_counted_not_fatal() {
+        let t = InflightTable::new(2);
+        let a = t.begin(SpanKind::Barrier, 0, 1);
+        let b = t.begin(SpanKind::Barrier, 0, 2);
+        let c = t.begin(SpanKind::Barrier, 0, 3);
+        assert_ne!(a, INFLIGHT_NONE);
+        assert_ne!(b, INFLIGHT_NONE);
+        assert_eq!(c, INFLIGHT_NONE);
+        assert_eq!(t.overflows(), 1);
+        t.beat(c, 9); // ignored, no panic
+        t.end(c);
+        t.end(a);
+        assert_ne!(t.begin(SpanKind::Barrier, 0, 4), INFLIGHT_NONE);
+    }
+
+    #[test]
+    fn table_concurrent_register_and_snapshot() {
+        use std::sync::Arc;
+        let t = Arc::new(InflightTable::new(8));
+        let stop = Arc::new(AtomicU64::new(0));
+        let writers: Vec<_> = (0..4)
+            .map(|w| {
+                let t = Arc::clone(&t);
+                std::thread::spawn(move || {
+                    for i in 0..10_000u64 {
+                        let idx = t.begin(SpanKind::MpSend, span_arg_peer_tag(w, 7), i);
+                        t.beat(idx, i + 1);
+                        t.end(idx);
+                    }
+                })
+            })
+            .collect();
+        let reader = {
+            let (t, stop) = (Arc::clone(&t), Arc::clone(&stop));
+            std::thread::spawn(move || {
+                while stop.load(Ordering::Relaxed) == 0 {
+                    for opn in t.snapshot() {
+                        // Entries are never torn: kind/arg always pair up.
+                        assert_eq!(opn.kind, SpanKind::MpSend);
+                        assert_eq!(opn.peer_tag().1, 7);
+                    }
+                }
+            })
+        };
+        for w in writers {
+            w.join().unwrap();
+        }
+        stop.store(1, Ordering::Relaxed);
+        reader.join().unwrap();
+        assert!(t.snapshot().is_empty());
+    }
+
+    #[test]
+    fn healthy_cluster_has_no_anomalies() {
+        let now = 10_000_000_000;
+        let mut hs: Vec<RankHealth> = (0..4).map(|r| healthy(r, now)).collect();
+        // A recv that is old but recently heartbeat-ed is not stalled.
+        hs[1]
+            .inflight
+            .push(op(SpanKind::MpRecv, 0, 5, 1_000, now - 1_000_000));
+        assert!(classify(&hs, &cfg_ms(500)).is_empty());
+    }
+
+    #[test]
+    fn unmatched_recv_with_exited_peer_is_deadlock_suspect() {
+        let now = 10_000_000_000;
+        let mut hs: Vec<RankHealth> = (0..4).map(|r| healthy(r, now)).collect();
+        hs[2]
+            .inflight
+            .push(op(SpanKind::MpRecv, 1, 99, 1_000, 1_000));
+        hs[2].last_progress_nanos = 1_000;
+        for r in [0, 1, 3] {
+            hs[r].done = true;
+        }
+        let anomalies = classify(&hs, &cfg_ms(500));
+        assert_eq!(anomalies.len(), 1);
+        let a = &anomalies[0];
+        assert_eq!(a.kind, AnomalyKind::DeadlockSuspect);
+        assert_eq!(a.rank, 2);
+        assert_eq!(a.peer, Some(1));
+        assert_eq!(a.op.as_ref().unwrap().kind, SpanKind::MpRecv);
+    }
+
+    #[test]
+    fn stalled_recv_with_matching_peer_send_stays_stall() {
+        let now = 10_000_000_000;
+        let mut hs: Vec<RankHealth> = (0..2).map(|r| healthy(r, now)).collect();
+        hs[0].inflight.push(op(SpanKind::MpRecv, 1, 3, 0, 0));
+        hs[0].last_progress_nanos = 0;
+        // Peer is stuck too, but *is* addressing us — slow, not deadlocked
+        // beyond doubt: stays a stall, not a suspect. (peer 1 sends to 0.)
+        hs[1].inflight.push(op(SpanKind::MpSend, 0, 3, 0, 0));
+        hs[1].last_progress_nanos = 0;
+        let anomalies = classify(&hs, &cfg_ms(500));
+        assert_eq!(anomalies.len(), 2);
+        assert!(anomalies.iter().all(|a| a.kind == AnomalyKind::Stall));
+    }
+
+    #[test]
+    fn wait_for_cycle_is_deadlock_suspect() {
+        let now = 10_000_000_000;
+        let mut hs: Vec<RankHealth> = (0..2).map(|r| healthy(r, now)).collect();
+        // 0 recvs from 1 on tag 1, 1 recvs from 0 on tag 2: a cycle with
+        // no pending data anywhere.
+        hs[0].inflight.push(op(SpanKind::MpRecv, 1, 1, 0, 0));
+        hs[0].last_progress_nanos = 0;
+        hs[1].inflight.push(op(SpanKind::MpRecv, 0, 2, 0, 0));
+        hs[1].last_progress_nanos = 0;
+        let anomalies = classify(&hs, &cfg_ms(500));
+        assert_eq!(anomalies.len(), 2);
+        assert!(anomalies
+            .iter()
+            .all(|a| a.kind == AnomalyKind::DeadlockSuspect));
+    }
+
+    #[test]
+    fn collective_mismatch_is_deadlock_suspect() {
+        let now = 10_000_000_000;
+        let mut hs: Vec<RankHealth> = (0..3).map(|r| healthy(r, now)).collect();
+        hs[0].inflight.push(op(SpanKind::Barrier, 0, 0, 0, 0));
+        hs[0].last_progress_nanos = 0;
+        hs[1].done = true;
+        hs[2].done = true;
+        let anomalies = classify(&hs, &cfg_ms(500));
+        assert_eq!(anomalies.len(), 1);
+        assert_eq!(anomalies[0].kind, AnomalyKind::DeadlockSuspect);
+        assert_eq!(anomalies[0].rank, 0);
+    }
+
+    #[test]
+    fn pin_leak_and_gc_pressure() {
+        let now = 10_000_000_000;
+        let mut hs = vec![healthy(0, now)];
+        hs[0].hard_pins = 2;
+        hs[0].oldest_pin_nanos = 3_000_000_000;
+        hs[0].safepoint_stall_nanos = 900_000_000;
+        hs[0].window_nanos = 1_000_000_000;
+        let anomalies = classify(&hs, &cfg_ms(500));
+        assert_eq!(anomalies.len(), 2);
+        assert!(anomalies.iter().any(|a| a.kind == AnomalyKind::PinLeak));
+        assert!(anomalies.iter().any(|a| a.kind == AnomalyKind::GcPressure));
+        // A pin guarded by an in-flight op is not a leak.
+        hs[0].inflight.push(op(SpanKind::MpIsend, 1, 0, 0, now));
+        let anomalies = classify(&hs, &cfg_ms(500));
+        assert!(anomalies.iter().all(|a| a.kind != AnomalyKind::PinLeak));
+    }
+
+    #[test]
+    fn outstanding_irecv_alone_never_stalls() {
+        let now = 10_000_000_000;
+        let mut hs = vec![healthy(0, now), healthy(1, now)];
+        // Rank computes forever with a posted irecv; not a stall — the
+        // rank is not blocked (but it also reports no heartbeats).
+        hs[0].inflight.push(op(SpanKind::MpIrecv, 1, 4, 0, 0));
+        hs[0].last_progress_nanos = 0;
+        assert!(classify(&hs, &cfg_ms(500)).is_empty());
+    }
+
+    #[test]
+    fn flight_record_json_and_diagnosis() {
+        let now = 5_000_000_000;
+        let anomalies = vec![Anomaly {
+            kind: AnomalyKind::DeadlockSuspect,
+            rank: 2,
+            label: "rank 2".into(),
+            op: Some(op(SpanKind::MpRecv, 1, 99, 0, 0)),
+            peer: Some(1),
+            age_nanos: 700_000_000,
+            detail: "mp_recv waits on rank 1 which exited with no matching activity".into(),
+        }];
+        let rec = FlightRecord {
+            t_nanos: now,
+            anomalies,
+            ranks: vec![RankFlight {
+                rank: 2,
+                label: "rank 2".into(),
+                done: false,
+                inflight: vec![op(SpanKind::MpRecv, 1, 99, 0, 0)],
+                queue_depths: (1, 0, 0, 0),
+                snapshot: MetricsSnapshot::empty(),
+            }],
+        };
+        let json = rec.to_json();
+        crate::export::json::parse(&json).expect("flight record is valid JSON");
+        assert!(json.contains("\"kind\":\"deadlock_suspect\""));
+        assert!(json.contains("\"rank\":2"));
+        assert!(json.contains("\"op\":\"mp_recv\""));
+        let diag = rec.diagnosis();
+        assert!(diag.contains("deadlock_suspect"));
+        assert!(diag.contains("rank 2"));
+        assert!(diag.contains("mp_recv(peer=1, tag=99)"));
+    }
+
+    #[test]
+    fn doctor_config_parse() {
+        let cfg = DoctorConfig::parse("deadline_ms=250,interval_ms=10,record=/tmp/x.json,abort=86");
+        assert_eq!(cfg.stall_deadline, Duration::from_millis(250));
+        assert_eq!(cfg.scan_interval, Duration::from_millis(10));
+        assert_eq!(cfg.record_path.as_deref(), Some("/tmp/x.json"));
+        assert_eq!(cfg.exit_code, Some(86));
+        let on = DoctorConfig::parse("1");
+        assert_eq!(on.stall_deadline, DoctorConfig::default().stall_deadline);
+    }
+}

@@ -69,9 +69,11 @@ pub fn to_chrome_json(trace: &ClusterTrace) -> String {
             micros(e.t_recv),
         ));
     }
+    let dropped: Vec<String> = trace.dropped_events.iter().map(|d| d.to_string()).collect();
     format!(
-        "{{\"displayTimeUnit\":\"ns\",\"motorRanks\":{},\"traceEvents\":[{}]}}",
+        "{{\"displayTimeUnit\":\"ns\",\"motorRanks\":{},\"motorDropped\":[{}],\"traceEvents\":[{}]}}",
         trace.ranks,
+        dropped.join(","),
         ev.join(",")
     )
 }
@@ -99,6 +101,11 @@ pub fn from_chrome_json(text: &str) -> Result<ClusterTrace, String> {
         ranks: root.get("motorRanks").and_then(|v| v.as_u64()).unwrap_or(0) as usize,
         spans: Vec::new(),
         edges: Vec::new(),
+        dropped_events: root
+            .get("motorDropped")
+            .and_then(|v| v.as_array())
+            .map(|a| a.iter().filter_map(|v| v.as_u64()).collect())
+            .unwrap_or_default(),
     };
     for e in events {
         let ph = e.get("ph").and_then(|v| v.as_str()).unwrap_or("");
@@ -168,6 +175,9 @@ pub fn from_chrome_json(text: &str) -> Result<ClusterTrace, String> {
             _ => {} // "f" flow ends and "M" metadata carry no extra state
         }
     }
+    // Older files without `motorDropped` (and traces whose rank count grew
+    // while parsing) report zero drops for the missing ranks.
+    trace.dropped_events.resize(trace.ranks, 0);
     Ok(trace)
 }
 

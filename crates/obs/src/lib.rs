@@ -26,12 +26,19 @@ use std::fmt;
 use std::sync::atomic::{fence, AtomicI64, AtomicU64, Ordering};
 use std::time::Instant;
 
+pub mod doctor;
 pub mod export;
+pub mod prom;
 pub mod span;
 pub mod trace;
 
+pub use doctor::{
+    classify, Anomaly, AnomalyKind, DoctorConfig, FlightRecord, InflightOp, InflightTable,
+    RankFlight, RankHealth, INFLIGHT_NONE,
+};
 pub use export::{from_chrome_json, to_chrome_json};
-pub use span::{span_arg_peer_tag, SpanGuard, SpanKind};
+pub use prom::{check_prometheus_text, to_prometheus};
+pub use span::{span_arg_peer_tag, span_arg_unpack, SpanGuard, SpanKind};
 pub use trace::{
     build_cluster_trace, estimate_clock_offset, ClusterTrace, EdgeKind, MessageEdge, TraceSpan,
     MSG_RNDV_FLAG,
@@ -171,6 +178,14 @@ define_metrics! {
     // ---- safepoint ----
     /// Safepoint polls that found a GC pending (the slow path).
     SafepointStalls => "safepoint_stalls",
+
+    // ---- observability self-monitoring ----
+    /// Trace-ring events overwritten before they could be snapshotted
+    /// (computed at snapshot time from the ring cursor, so a truncated
+    /// timeline is never mistaken for a complete one).
+    TraceEventsDropped => "trace_events_dropped",
+    /// In-flight op registrations dropped because the table was full.
+    InflightOverflows => "inflight_overflows",
 
     // ---- GC bridge (copied from GcStats at snapshot time) ----
     /// Minor collections.
@@ -418,7 +433,8 @@ pub fn alloc_span_id() -> u64 {
     NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed)
 }
 
-/// Lock-free per-rank metrics: counters, histograms, event ring.
+/// Lock-free per-rank metrics: counters, histograms, event ring, and the
+/// live in-flight op table scanned by `motor-doctor`.
 pub struct MetricsRegistry {
     counters: Vec<AtomicU64>,
     hists: Vec<AtomicU64>, // Hist::COUNT * HIST_BUCKETS, row-major
@@ -428,6 +444,8 @@ pub struct MetricsRegistry {
     /// Calibrated offset added to event timestamps when merging this
     /// rank's trace with its peers' (nanoseconds; see `set_clock_offset`).
     clock_offset: AtomicI64,
+    /// What this rank is doing right now (see [`doctor::InflightTable`]).
+    inflight: doctor::InflightTable,
 }
 
 impl fmt::Debug for MetricsRegistry {
@@ -478,7 +496,46 @@ impl MetricsRegistry {
             next_seq: AtomicU64::new(0),
             epoch,
             clock_offset: AtomicI64::new(0),
+            inflight: doctor::InflightTable::new(doctor::DEFAULT_INFLIGHT_CAPACITY),
         }
+    }
+
+    /// Register an in-flight op in this registry's live table; pair with
+    /// [`Self::op_end`]. Spans do this automatically — use these directly
+    /// only for registrations that outlive a stack frame (outstanding
+    /// `Isend`/`Irecv`, device-level waits).
+    #[inline]
+    pub fn op_begin(&self, kind: SpanKind, arg: u64) -> usize {
+        self.inflight.begin(kind, arg, self.now_nanos())
+    }
+
+    /// Heartbeat a registered op: the op (and the rank) made progress.
+    #[inline]
+    pub fn op_beat(&self, slot: usize) {
+        self.inflight.beat(slot, self.now_nanos());
+    }
+
+    /// Deregister an in-flight op.
+    #[inline]
+    pub fn op_end(&self, slot: usize) {
+        self.inflight.end(slot);
+    }
+
+    /// Record rank-wide progress without a specific op (the device's
+    /// progress engine moved bytes).
+    #[inline]
+    pub fn note_progress(&self) {
+        self.inflight.note_progress(self.now_nanos());
+    }
+
+    /// Wait-free copy of the live in-flight op table.
+    pub fn inflight_ops(&self) -> Vec<doctor::InflightOp> {
+        self.inflight.snapshot()
+    }
+
+    /// Registry clock of the last heartbeat on this registry's table.
+    pub fn last_progress_nanos(&self) -> u64 {
+        self.inflight.last_beat_nanos()
     }
 
     /// Event-ring capacity (events kept before overwrite-on-wrap).
@@ -543,6 +600,25 @@ impl MetricsRegistry {
         self.hists[idx].fetch_add(1, Ordering::Relaxed);
     }
 
+    /// The instant this registry's timestamps count from. Builders that
+    /// create further registries for the same rank group (e.g. dynamic
+    /// spawning) should reuse it so all timestamps stay comparable.
+    pub fn epoch(&self) -> Instant {
+        self.epoch
+    }
+
+    /// Cheap copy of one histogram's buckets (no event-ring drain) — lets
+    /// a monitor thread poll a single histogram without paying for a full
+    /// [`Self::snapshot`].
+    pub fn hist_snapshot(&self, h: Hist) -> HistSnapshot {
+        let base = (h as usize) * HIST_BUCKETS;
+        let mut buckets = [0u64; HIST_BUCKETS];
+        for (k, b) in buckets.iter_mut().enumerate() {
+            *b = self.hists[base + k].load(Ordering::Relaxed);
+        }
+        HistSnapshot { buckets }
+    }
+
     /// Nanoseconds since this registry was created (event clock).
     #[inline]
     pub fn now_nanos(&self) -> u64 {
@@ -581,7 +657,7 @@ impl MetricsRegistry {
     /// Consistent-enough copy of everything. Wait-free for writers; events
     /// caught mid-write are skipped.
     pub fn snapshot(&self) -> MetricsSnapshot {
-        let counters: Vec<u64> = self
+        let mut counters: Vec<u64> = self
             .counters
             .iter()
             .map(|c| c.load(Ordering::Relaxed))
@@ -623,11 +699,18 @@ impl MetricsRegistry {
             }
         }
         events.sort_by_key(|e| e.seq);
+        let events_through = self.next_seq.load(Ordering::Relaxed);
+        // Self-monitoring: events the wrap already overwrote, and in-flight
+        // registrations the table had to drop. Derived here rather than
+        // bumped on the hot path.
+        counters[Metric::TraceEventsDropped as usize] =
+            events_through.saturating_sub(self.slots.len() as u64);
+        counters[Metric::InflightOverflows as usize] = self.inflight.overflows();
         MetricsSnapshot {
             counters,
             hists,
             events,
-            events_through: self.next_seq.load(Ordering::Relaxed),
+            events_through,
             clock_offset_nanos: self.clock_offset(),
         }
     }
@@ -652,6 +735,63 @@ impl HistSnapshot {
             Some(0) | None => 0,
             Some(k) => 1u64 << k,
         }
+    }
+
+    /// Estimated p-quantile (`p` in `[0, 1]`) by linear interpolation
+    /// inside the log2 bucket holding the quantile rank. Bucket 0 is
+    /// exactly 0; bucket k spans `(2^(k-1), 2^k]`, so the estimate is
+    /// within a factor of 2 of the true order statistic. Returns 0 on an
+    /// empty histogram.
+    pub fn percentile(&self, p: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let target = ((p.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut cumulative = 0u64;
+        for (k, &c) in self.buckets.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let before = cumulative;
+            cumulative += c;
+            if cumulative >= target {
+                if k == 0 {
+                    return 0;
+                }
+                let lo = if k == 1 { 1 } else { (1u64 << (k - 1)) + 1 };
+                let hi = 1u64 << k;
+                // Midpoint convention: the j-th of c values sits at
+                // (j - 0.5) / c of the bucket span, so a lone value
+                // estimates the bucket's middle, not its upper bound.
+                let frac = ((target - before) as f64 - 0.5) / c as f64;
+                return lo + ((hi - lo) as f64 * frac) as u64;
+            }
+        }
+        self.max_bound()
+    }
+
+    /// Estimated sum of every recorded value (bucket-midpoint estimate,
+    /// the same convention the Prometheus exporter uses for `_sum`).
+    pub fn estimated_sum(&self) -> f64 {
+        let mut sum = 0.0;
+        for (k, &c) in self.buckets.iter().enumerate() {
+            if c > 0 && k > 0 {
+                let hi = (1u64 << k) as f64;
+                sum += c as f64 * (hi / 2.0 + hi) / 2.0;
+            }
+        }
+        sum
+    }
+
+    /// Median estimate (see [`Self::percentile`]).
+    pub fn p50(&self) -> u64 {
+        self.percentile(0.50)
+    }
+
+    /// 99th-percentile estimate (see [`Self::percentile`]).
+    pub fn p99(&self) -> u64 {
+        self.percentile(0.99)
     }
 }
 
@@ -688,6 +828,12 @@ impl MetricsSnapshot {
     /// Value of one counter.
     pub fn get(&self, m: Metric) -> u64 {
         self.counters.get(m as usize).copied().unwrap_or(0)
+    }
+
+    /// Estimated p-quantile of one histogram (see
+    /// [`HistSnapshot::percentile`]).
+    pub fn percentile(&self, h: Hist, p: f64) -> u64 {
+        self.hist(h).percentile(p)
     }
 
     /// View of one histogram.
@@ -773,13 +919,16 @@ impl MetricsSnapshot {
         }
     }
 
-    /// Header for [`csv_row`](Self::csv_row): `label` + every counter name
-    /// + `<hist>_count`/`<hist>_max` per histogram.
+    /// Header for [`csv_row`](Self::csv_row): `label`, every counter name,
+    /// and `<hist>_count`/`<hist>_p50`/`<hist>_p99`/`<hist>_max` per
+    /// histogram.
     pub fn csv_header() -> String {
         let mut cols = vec!["label".to_string()];
         cols.extend(Metric::ALL.iter().map(|m| m.name().to_string()));
         for h in Hist::ALL {
             cols.push(format!("{}_count", h.name()));
+            cols.push(format!("{}_p50", h.name()));
+            cols.push(format!("{}_p99", h.name()));
             cols.push(format!("{}_max", h.name()));
         }
         cols.join(",")
@@ -792,6 +941,8 @@ impl MetricsSnapshot {
         for h in Hist::ALL {
             let hs = self.hist(h);
             cols.push(hs.count().to_string());
+            cols.push(hs.p50().to_string());
+            cols.push(hs.p99().to_string());
             cols.push(hs.max_bound().to_string());
         }
         cols.join(",")
@@ -815,7 +966,15 @@ impl MetricsSnapshot {
             let hs = self.hist(*h);
             let last = hs.buckets.iter().rposition(|&c| c > 0).map_or(0, |k| k + 1);
             let buckets: Vec<String> = hs.buckets[..last].iter().map(|c| c.to_string()).collect();
-            s.push_str(&format!("\"{}\":[{}]", h.name(), buckets.join(",")));
+            s.push_str(&format!(
+                "\"{}\":{{\"buckets\":[{}],\"count\":{},\"p50\":{},\"p99\":{},\"max\":{}}}",
+                h.name(),
+                buckets.join(","),
+                hs.count(),
+                hs.p50(),
+                hs.p99(),
+                hs.max_bound()
+            ));
         }
         s.push_str(&format!(
             "}},\"clock_offset_nanos\":{},\"events\":[",
@@ -1049,5 +1208,145 @@ mod tests {
         s.set_gc_bridge(&[(Metric::GcPins, 10), (Metric::GcPinsAvoidedElder, 3)]);
         assert_eq!(s.get(Metric::GcPins), 10);
         assert_eq!(s.get(Metric::GcPinsAvoidedElder), 3);
+    }
+
+    #[test]
+    fn diff_underflow_on_restarted_registry_saturates() {
+        // A "later" snapshot from a restarted (fresh) registry reads lower
+        // than the earlier one; diff must clamp at zero, not wrap.
+        let old = MetricsRegistry::new();
+        old.add(Metric::ChanBytesOut, 500);
+        old.record(Hist::EagerSendBytes, 64);
+        let earlier = old.snapshot();
+        let restarted = MetricsRegistry::new();
+        restarted.add(Metric::ChanBytesOut, 20);
+        let d = restarted.snapshot().diff(&earlier);
+        assert_eq!(d.get(Metric::ChanBytesOut), 0);
+        assert_eq!(d.hist(Hist::EagerSendBytes).count(), 0);
+    }
+
+    #[test]
+    fn merge_device_and_vm_side_registries() {
+        // One rank's two registries: the transport side carries queue
+        // peaks and a calibrated clock offset, the VM side carries
+        // safepoint data with offset zero. The merge must add counters,
+        // max the peaks, keep the nonzero offset, and preserve both event
+        // streams.
+        let device = MetricsRegistry::new();
+        device.add(Metric::SendsEager, 3);
+        device.record_max(Metric::PostedQueuePeak, 5);
+        device.set_clock_offset(1234);
+        device.event(EventKind::MsgSend, 1, 0);
+        let vm = MetricsRegistry::new();
+        vm.add(Metric::SafepointStalls, 2);
+        vm.record_max(Metric::PostedQueuePeak, 1);
+        vm.event(EventKind::SafepointStall, 9, 0);
+        let mut merged = device.snapshot();
+        merged.merge(&vm.snapshot());
+        assert_eq!(merged.get(Metric::SendsEager), 3);
+        assert_eq!(merged.get(Metric::SafepointStalls), 2);
+        assert_eq!(merged.get(Metric::PostedQueuePeak), 5, "peaks max, not add");
+        assert_eq!(merged.clock_offset_nanos(), 1234);
+        assert_eq!(merged.events().len(), 2);
+        // Merging in the other direction keeps the (only) nonzero offset.
+        let mut other = vm.snapshot();
+        other.merge(&device.snapshot());
+        assert_eq!(other.clock_offset_nanos(), 1234);
+    }
+
+    #[test]
+    fn merge_peaks_by_max_survives_diff_and_empty_identity() {
+        let r1 = MetricsRegistry::new();
+        r1.record_max(Metric::UnexpectedQueuePeak, 9);
+        let r2 = MetricsRegistry::new();
+        r2.record_max(Metric::UnexpectedQueuePeak, 4);
+        let mut m = MetricsSnapshot::empty();
+        m.merge(&r1.snapshot());
+        m.merge(&r2.snapshot());
+        assert_eq!(m.get(Metric::UnexpectedQueuePeak), 9);
+        // diff against a snapshot with a *higher* earlier peak still keeps
+        // the later high-water mark (peaks are levels, not rates).
+        let d = r2.snapshot().diff(&r1.snapshot());
+        assert_eq!(d.get(Metric::UnexpectedQueuePeak), 4);
+    }
+
+    #[test]
+    fn dropped_ring_events_are_counted() {
+        let r = MetricsRegistry::with_event_capacity(4);
+        for i in 0..10u64 {
+            r.event(EventKind::OpBegin, i, 0);
+        }
+        let s = r.snapshot();
+        assert_eq!(s.get(Metric::TraceEventsDropped), 6);
+        assert_eq!(s.events().len(), 4);
+        // A ring that never wrapped reports zero.
+        let quiet = MetricsRegistry::with_event_capacity(64);
+        quiet.event(EventKind::OpBegin, 1, 0);
+        assert_eq!(quiet.snapshot().get(Metric::TraceEventsDropped), 0);
+    }
+
+    #[test]
+    fn percentile_interpolates_log2_buckets() {
+        let r = MetricsRegistry::new();
+        for _ in 0..50 {
+            r.record(Hist::WaitNanos, 100); // bucket 7: (64, 128]
+        }
+        for _ in 0..50 {
+            r.record(Hist::WaitNanos, 1000); // bucket 10: (512, 1024]
+        }
+        let h = r.snapshot().hist(Hist::WaitNanos);
+        let p50 = h.p50();
+        assert!((65..=128).contains(&p50), "p50 = {p50}");
+        let p99 = h.p99();
+        assert!((513..=1024).contains(&p99), "p99 = {p99}");
+        assert!(h.percentile(0.25) <= p50);
+        // Degenerate cases.
+        assert_eq!(
+            HistSnapshot {
+                buckets: [0; HIST_BUCKETS]
+            }
+            .p50(),
+            0
+        );
+        let zeros = MetricsRegistry::new();
+        zeros.record(Hist::WaitNanos, 0);
+        assert_eq!(zeros.snapshot().hist(Hist::WaitNanos).p99(), 0);
+        let ones = MetricsRegistry::new();
+        ones.record(Hist::WaitNanos, 1);
+        assert_eq!(ones.snapshot().percentile(Hist::WaitNanos, 0.5), 1);
+    }
+
+    #[test]
+    fn csv_and_json_carry_percentiles() {
+        let r = MetricsRegistry::new();
+        for _ in 0..10 {
+            r.record(Hist::WaitNanos, 100);
+        }
+        let header = MetricsSnapshot::csv_header();
+        assert!(header.contains("wait_nanos_p50"));
+        assert!(header.contains("wait_nanos_p99"));
+        let s = r.snapshot();
+        assert_eq!(header.split(',').count(), s.csv_row("x").split(',').count());
+        let json = s.to_json();
+        assert!(json.contains("\"p50\":"));
+        assert!(json.contains("\"p99\":"));
+        export::json::parse(&json).expect("snapshot JSON parses");
+    }
+
+    #[test]
+    fn spans_register_in_the_inflight_table() {
+        let r = MetricsRegistry::new();
+        assert!(r.inflight_ops().is_empty());
+        {
+            let g = r.span(span::SpanKind::MpRecv, span::span_arg_peer_tag(3, 7));
+            let ops = r.inflight_ops();
+            assert_eq!(ops.len(), 1);
+            assert_eq!(ops[0].kind, span::SpanKind::MpRecv);
+            assert_eq!(ops[0].peer_tag(), (3, 7));
+            g.heartbeat();
+            assert_eq!(r.inflight_ops()[0].beats, 1);
+            assert!(r.last_progress_nanos() > 0);
+        }
+        assert!(r.inflight_ops().is_empty());
     }
 }

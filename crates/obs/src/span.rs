@@ -142,11 +142,17 @@ pub fn span_arg_unpack(arg: u64) -> (usize, i32) {
 }
 
 /// An open span; dropping it stamps the end event.
+///
+/// Opening a span also registers the operation in the registry's live
+/// in-flight table (see [`crate::doctor`]), so every spanned operation is
+/// visible to the `motor-doctor` watchdog while it runs; dropping the
+/// guard deregisters it.
 pub struct SpanGuard<'r> {
     registry: &'r MetricsRegistry,
     id: u64,
     kind: SpanKind,
     arg: u64,
+    inflight: usize,
 }
 
 impl SpanGuard<'_> {
@@ -160,10 +166,18 @@ impl SpanGuard<'_> {
     pub fn set_arg(&mut self, arg: u64) {
         self.arg = arg;
     }
+
+    /// Report a sign of life to the in-flight table: the operation is
+    /// still advancing (call from polling loops so a long-but-live wait
+    /// is not mistaken for a stall).
+    pub fn heartbeat(&self) {
+        self.registry.op_beat(self.inflight);
+    }
 }
 
 impl Drop for SpanGuard<'_> {
     fn drop(&mut self) {
+        self.registry.op_end(self.inflight);
         self.registry
             .event3(EventKind::SpanEnd, self.id, self.kind as u64, self.arg);
     }
@@ -179,6 +193,7 @@ impl MetricsRegistry {
             id,
             kind,
             arg,
+            inflight: self.op_begin(kind, arg),
         }
     }
 }

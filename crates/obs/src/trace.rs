@@ -196,6 +196,10 @@ pub struct ClusterTrace {
     pub spans: Vec<TraceSpan>,
     /// All matched message pairs.
     pub edges: Vec<MessageEdge>,
+    /// Per-rank count of ring events overwritten before the snapshot was
+    /// taken ([`crate::Metric::TraceEventsDropped`]). Nonzero entries mean
+    /// the timeline is a *suffix* of the run, not the whole of it.
+    pub dropped_events: Vec<u64>,
 }
 
 impl SpanKind {
@@ -223,6 +227,10 @@ pub fn build_cluster_trace(snaps: &[MetricsSnapshot]) -> ClusterTrace {
         ranks: snaps.len(),
         spans: Vec::new(),
         edges: Vec::new(),
+        dropped_events: snaps
+            .iter()
+            .map(|s| s.get(crate::Metric::TraceEventsDropped))
+            .collect(),
     };
 
     // Synthetic span ids must not collide with real ones.

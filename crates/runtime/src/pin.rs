@@ -23,6 +23,7 @@
 
 use std::collections::HashMap;
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// Status oracle for a conditional pin request. Implemented by transport
 /// requests: `true` while the underlying operation is still using the
@@ -64,6 +65,10 @@ pub struct ConditionalPin {
 pub struct PinTable {
     /// Hard pin reference counts by object address.
     hard: HashMap<usize, u32>,
+    /// When each address first became hard-pinned (cleared on last unpin).
+    /// A pin that stays here long after its operation should have finished
+    /// is a pin leak; the doctor watchdog reads the oldest age.
+    hard_since: HashMap<usize, Instant>,
     /// Outstanding conditional pin requests.
     conditional: Vec<ConditionalPin>,
 }
@@ -76,7 +81,11 @@ impl PinTable {
 
     /// Add a hard pin on `addr`; returns the token.
     pub fn pin(&mut self, addr: usize) -> PinToken {
-        *self.hard.entry(addr).or_insert(0) += 1;
+        let n = self.hard.entry(addr).or_insert(0);
+        if *n == 0 {
+            self.hard_since.insert(addr, Instant::now());
+        }
+        *n += 1;
         PinToken { addr }
     }
 
@@ -90,6 +99,7 @@ impl PinTable {
             }
             Some(_) => {
                 self.hard.remove(&token.addr);
+                self.hard_since.remove(&token.addr);
                 true
             }
             None => {
@@ -129,6 +139,17 @@ impl PinTable {
     /// Number of outstanding conditional requests (diagnostics).
     pub fn conditional_len(&self) -> usize {
         self.conditional.len()
+    }
+
+    /// Number of distinct hard-pinned addresses (diagnostics).
+    pub fn hard_len(&self) -> usize {
+        self.hard.len()
+    }
+
+    /// Age of the longest-held hard pin, if any (diagnostics; the doctor
+    /// watchdog compares this against its pin-leak deadline).
+    pub fn oldest_hard_pin_age(&self) -> Option<Duration> {
+        self.hard_since.values().map(Instant::elapsed).max()
     }
 
     /// Whether any pin (hard, or conditional whose state is unknown until
@@ -172,6 +193,24 @@ mod tests {
         assert!(held.is_empty());
         assert_eq!(released, 1);
         assert!(t.is_empty());
+    }
+
+    #[test]
+    fn pin_age_tracks_first_pin_and_clears_on_last_unpin() {
+        let mut t = PinTable::new();
+        assert_eq!(t.hard_len(), 0);
+        assert!(t.oldest_hard_pin_age().is_none());
+        let a = t.pin(0x40);
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        let b = t.pin(0x40); // refcount bump must not reset the clock
+        let age = t.oldest_hard_pin_age().expect("pinned");
+        assert!(age >= std::time::Duration::from_millis(2));
+        assert_eq!(t.hard_len(), 1);
+        t.unpin(a);
+        assert!(t.oldest_hard_pin_age().is_some(), "still one pin left");
+        t.unpin(b);
+        assert!(t.oldest_hard_pin_age().is_none());
+        assert_eq!(t.hard_len(), 0);
     }
 
     #[test]

@@ -20,7 +20,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, OnceLock};
 use std::time::Instant;
 
-use motor_obs::{EventKind, Hist, Metric, MetricsRegistry};
+use motor_obs::{EventKind, Hist, Metric, MetricsRegistry, SpanKind, INFLIGHT_NONE};
 use parking_lot::{Condvar, Mutex};
 
 #[derive(Debug, Default)]
@@ -97,10 +97,16 @@ impl Safepoint {
     fn poll_slow(&self) {
         let t0 = Instant::now();
         let mut stalled = false;
+        let mut inflight = INFLIGHT_NONE;
         {
             let mut g = self.inner.lock();
             while g.collecting {
-                stalled = true;
+                if !stalled {
+                    stalled = true;
+                    if let Some(r) = self.metrics.get() {
+                        inflight = r.op_begin(SpanKind::SafepointStall, 0);
+                    }
+                }
                 g.parked += 1;
                 self.cvar.notify_all();
                 self.cvar.wait(&mut g);
@@ -108,6 +114,9 @@ impl Safepoint {
             }
         }
         if stalled {
+            if let Some(r) = self.metrics.get() {
+                r.op_end(inflight);
+            }
             self.record_stall(t0);
         }
     }

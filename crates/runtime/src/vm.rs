@@ -118,6 +118,18 @@ impl Vm {
         &self.safepoint
     }
 
+    /// Pin-table diagnostics for the doctor watchdog:
+    /// `(hard_pins, conditional_pins, oldest_hard_pin_age)`. Takes the
+    /// state lock briefly; safe to call from a monitor thread.
+    pub fn pin_diagnostics(&self) -> (usize, usize, Option<std::time::Duration>) {
+        let st = self.state.lock();
+        (
+            st.pins.hard_len(),
+            st.pins.conditional_len(),
+            st.pins.oldest_hard_pin_age(),
+        )
+    }
+
     /// Lock the mutable state. Internal to the runtime crate and the
     /// trusted integration layer (the FCall analog); user code goes through
     /// `MotorThread`.

@@ -8,6 +8,13 @@
 //! Motor object transport.
 //!
 //! Run with: `cargo run --example dynamic_spawn`
+//!
+//! Runs under the `motor-doctor` watchdog. Spawned children register with
+//! the parents' watchdog in their own spawn group, so a child stuck in
+//! its world's `allreduce` — or a parent blocked forever in
+//! `orecv_inter` because a child died before reporting — gets diagnosed
+//! instead of hanging silently. Tune via `MOTOR_DOCTOR`, e.g.
+//! `MOTOR_DOCTOR=deadline_ms=500,record=spawn.json`.
 
 use motor::prelude::*;
 
@@ -21,7 +28,11 @@ fn define_types(reg: &mut motor::runtime::TypeRegistry) {
 }
 
 fn main() {
-    run_cluster_default(2, define_types, |proc| {
+    let config = ClusterConfig::builder()
+        .ranks(2)
+        .doctor(DoctorConfig::from_env().unwrap_or_default())
+        .build();
+    let metrics = run_cluster(config, define_types, |proc| {
         let mp = proc.mp();
         let rank = mp.rank();
         println!("[parent {rank}] up");
@@ -95,5 +106,10 @@ fn main() {
         println!("[parent {rank}] local total {total}");
     })
     .expect("cluster run");
-    println!("dynamic_spawn complete");
+    assert!(
+        metrics.anomalies.is_empty(),
+        "doctor diagnosed anomalies: {:?}",
+        metrics.anomalies
+    );
+    println!("dynamic_spawn complete (doctor: no anomalies)");
 }

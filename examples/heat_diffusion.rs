@@ -13,6 +13,15 @@
 //! flow arrows for every matched message, or feed it to
 //! `motor-trace summary heat.json` for the wait-time breakdown and
 //! cross-rank critical path.
+//!
+//! Set `MOTOR_DOCTOR=1` to run under the live health watchdog: every
+//! blocking operation registers in a per-rank in-flight table, and a
+//! monitor thread diagnoses stalls, deadlock suspects, pin leaks and GC
+//! pressure while the stencil runs. `MOTOR_DOCTOR=deadline_ms=500,record=
+//! heat_flight.json` tightens the stall deadline and dumps a flight
+//! record (metrics + trace rings + in-flight tables as JSON) on anomaly;
+//! `record_on_exit=1` writes one even for a healthy run. See
+//! `DESIGN.md` § Observability.
 
 use motor::prelude::*;
 

@@ -7,6 +7,12 @@
 //! extended object-oriented operations exist for (paper §4.2.2).
 //!
 //! Run with: `cargo run --example task_farm`
+//!
+//! Runs under the `motor-doctor` watchdog: irregular master/worker
+//! traffic is exactly where a lost poison message or a worker stuck in
+//! `ORecv` turns into a silent hang, so the doctor's in-flight table and
+//! stall diagnosis stay on. Tune it (or dump a flight record) through
+//! `MOTOR_DOCTOR`, e.g. `MOTOR_DOCTOR=deadline_ms=500,record=farm.json`.
 
 use motor::prelude::*;
 
@@ -17,8 +23,11 @@ const TAG_RESULT: i32 = 2;
 const TAG_STOP: i32 = 3;
 
 fn main() {
-    run_cluster_default(
-        RANKS,
+    let metrics = run_cluster(
+        ClusterConfig::builder()
+            .ranks(RANKS)
+            .doctor(DoctorConfig::from_env().unwrap_or_default())
+            .build(),
         |reg| {
             let arr = reg.prim_array(ElemKind::F64);
             reg.define_class("Task")
@@ -124,7 +133,12 @@ fn main() {
         },
     )
     .expect("cluster run");
-    println!("task_farm complete");
+    assert!(
+        metrics.anomalies.is_empty(),
+        "doctor diagnosed anomalies: {:?}",
+        metrics.anomalies
+    );
+    println!("task_farm complete (doctor: no anomalies)");
 }
 
 /// Master-side task construction and OSend.

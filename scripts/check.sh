@@ -24,13 +24,39 @@ echo "==> trace export smoke test (4 ranks)"
 # JSON parses and contains at least one matched message edge by feeding
 # it back through `motor-trace summary`.
 trace_out="$(mktemp -t motor-trace.XXXXXX.json)"
-trap 'rm -f "$trace_out"' EXIT
+flight_out="$(mktemp -t motor-flight.XXXXXX.json)"
+trap 'rm -f "$trace_out" "$flight_out"' EXIT
 cargo run -q -p motor-bench --bin motor-trace -- record "$trace_out" --ranks 4
 summary="$(cargo run -q -p motor-bench --bin motor-trace -- summary "$trace_out")"
 echo "$summary" | head -n 1
 edges="$(echo "$summary" | sed -n 's/.* \([0-9][0-9]*\) message edges.*/\1/p')"
 if [ -z "$edges" ] || [ "$edges" -lt 1 ]; then
   echo "trace smoke test: expected >= 1 message edge, got '${edges:-parse failure}'" >&2
+  exit 1
+fi
+
+echo "==> doctor smoke test (4 ranks, injected deadlock)"
+# A 4-rank run where the last rank posts a receive nobody will send to.
+# The watchdog must diagnose it, write a flight record and abort with
+# exit code 86 well inside the hard timeout (the timeout is the backstop
+# against the doctor itself deadlocking).
+doctor_bin="target/debug/motor-trace"
+cargo build -q -p motor-bench --bin motor-trace
+rm -f "$flight_out"
+set +e
+timeout 60 "$doctor_bin" doctor "$flight_out" --ranks 4 --inject-deadlock
+doctor_rc=$?
+set -e
+if [ "$doctor_rc" -ne 86 ]; then
+  echo "doctor smoke test: expected abort code 86, got $doctor_rc" >&2
+  exit 1
+fi
+if ! grep -q '"motor_flight_record":1' "$flight_out"; then
+  echo "doctor smoke test: flight record missing or malformed" >&2
+  exit 1
+fi
+if ! grep -q '"deadlock_suspect"' "$flight_out"; then
+  echo "doctor smoke test: flight record does not name the deadlock" >&2
   exit 1
 fi
 

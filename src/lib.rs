@@ -54,12 +54,13 @@ pub mod prelude {
         run_cluster, run_cluster_default, spawn_motor_children, ClusterConfig,
         ClusterConfigBuilder, ClusterMetrics, MotorProc,
     };
-    pub use motor_core::{Mp, MpRequest, MpStatus, Oomp, PinPolicy, ANY_TAG};
+    pub use motor_core::{DoctorServer, Mp, MpRequest, MpStatus, Oomp, PinPolicy, ANY_TAG};
     pub use motor_mpc::universe::ChannelKind;
     pub use motor_mpc::{ReduceOp, Source};
     pub use motor_obs::{
-        from_chrome_json, to_chrome_json, ClusterTrace, EventKind, Hist, Metric, MetricsSnapshot,
-        SpanKind,
+        check_prometheus_text, from_chrome_json, to_chrome_json, to_prometheus, Anomaly,
+        AnomalyKind, ClusterTrace, DoctorConfig, EventKind, FlightRecord, Hist, InflightOp, Metric,
+        MetricsSnapshot, SpanKind,
     };
     pub use motor_runtime::{ClassId, ElemKind, Handle};
 }
