@@ -104,6 +104,14 @@ impl ClusterConfigBuilder {
         self
     }
 
+    /// Custom link factory: every inter-rank link pair comes from this
+    /// closure instead of the built-in shm/tcp channels. This is how
+    /// motor-sim injects fault-carrying `SimLink`s under a full cluster.
+    pub fn link_factory(mut self, factory: motor_mpc::LinkFactory) -> Self {
+        self.config.universe.link_factory = Some(factory);
+        self
+    }
+
     /// Capacity of each rank's event-trace rings (transport-side and
     /// VM-side). The rings overwrite their oldest entry once full, so a
     /// long run keeps the *most recent* `n` events per ring; size this to

@@ -135,6 +135,7 @@ impl RankHooks {
             oldest_pin_nanos: oldest_pin.map_or(0, |d| d.as_nanos() as u64),
             safepoint_stall_nanos: stall_nanos,
             window_nanos,
+            links_dropped: dreg.get(Metric::LinksDropped),
         }
     }
 

@@ -167,6 +167,20 @@ impl LinkState {
         !self.outq.is_empty()
     }
 
+    /// Drop everything still queued and return the requests bound to
+    /// zero-copy windows. Called when the link dies: those requests can
+    /// never complete and their waiters must fail over to `PeerClosed`
+    /// instead of spinning on a queue nobody will ever flush again.
+    pub fn take_undelivered_reqs(&mut self) -> Vec<Request> {
+        self.outq
+            .drain(..)
+            .filter_map(|item| match item {
+                OutItem::Raw { done, .. } => done,
+                OutItem::Bytes { .. } => None,
+            })
+            .collect()
+    }
+
     /// Flush as much outgoing data as the link accepts. Returns `true` if
     /// any bytes moved.
     pub fn pump_out(&mut self) -> MpcResult<bool> {

@@ -752,11 +752,14 @@ impl Comm {
     /// status (`MPI_Waitany`).
     pub fn waitany(&self, reqs: &[Request]) -> MpcResult<(usize, Status)> {
         assert!(!reqs.is_empty(), "waitany on an empty request list");
-        let mut backoff = motor_pal::Backoff::new();
+        let mut backoff = motor_pal::Backoff::with_config(self.device.wait_backoff());
         loop {
             for (i, r) in reqs.iter().enumerate() {
                 if r.is_complete() {
                     return Ok((i, r.status()));
+                }
+                if let Some(peer) = r.failed_peer() {
+                    return Err(MpcError::PeerClosed(peer));
                 }
             }
             if self.device.progress()? {

@@ -45,6 +45,10 @@ pub struct DeviceConfig {
     /// should share an epoch so their traces merge without calibration;
     /// `None` gives the registry a private epoch.
     pub epoch: Option<std::time::Instant>,
+    /// Backoff ladder used by `wait` loops (spin → yield → sleep).
+    /// Simulation pins this to [`motor_pal::BackoffConfig::no_sleep`] so
+    /// waits never couple virtual time to the host scheduler.
+    pub wait_backoff: motor_pal::BackoffConfig,
 }
 
 impl Default for DeviceConfig {
@@ -53,6 +57,7 @@ impl Default for DeviceConfig {
             eager_threshold: 64 * 1024,
             event_capacity: motor_obs::DEFAULT_EVENT_CAPACITY,
             epoch: None,
+            wait_backoff: motor_pal::BackoffConfig::default_ladder(),
         }
     }
 }
@@ -117,10 +122,19 @@ enum Deferred {
 #[derive(Default)]
 struct DeviceState {
     links: Vec<Option<LinkState>>,
+    /// Peers whose link died (index = global rank). Distinguishes "never
+    /// wired" (`InvalidRank`) from "wired, then closed" (`PeerClosed`).
+    dead: Vec<bool>,
     posted: VecDeque<PostedRecv>,
     unexpected: VecDeque<Unexpected>,
     pending_sends: HashMap<u64, PendingSend>,
     active_recvs: HashMap<u64, ActiveRecv>,
+}
+
+impl DeviceState {
+    fn is_dead(&self, peer: usize) -> bool {
+        self.dead.get(peer).copied().unwrap_or(false)
+    }
 }
 
 /// One process's message-passing device.
@@ -167,6 +181,11 @@ impl Device {
     /// The eager/rendezvous switchover point.
     pub fn eager_threshold(&self) -> usize {
         self.config.eager_threshold
+    }
+
+    /// The backoff ladder configured for wait loops.
+    pub fn wait_backoff(&self) -> motor_pal::BackoffConfig {
+        self.config.wait_backoff
     }
 
     /// Install the link to `peer` (universe wiring).
@@ -244,6 +263,9 @@ impl Device {
         );
 
         let mut st = self.state.lock();
+        if st.is_dead(dst_global) {
+            return Err(MpcError::PeerClosed(dst_global));
+        }
         {
             let link = match st.links.get_mut(dst_global) {
                 Some(Some(link)) => link,
@@ -392,6 +414,13 @@ impl Device {
                 }
             }
         } else {
+            // Nothing buffered from the peer and its link is gone: this
+            // receive can never be satisfied. Only context 0 (the world
+            // communicator) is checked — there comm rank equals global
+            // rank, which is what the dead-peer table is indexed by.
+            if context == 0 && src >= 0 && st.is_dead(src as usize) {
+                return Err(MpcError::PeerClosed(src as usize));
+            }
             st.posted.push_back(PostedRecv {
                 src,
                 tag,
@@ -468,12 +497,14 @@ impl Device {
     }
 
     fn queue_frame(st: &mut DeviceState, dst: usize, bytes: Vec<u8>) -> MpcResult<()> {
-        match st.links.get_mut(dst) {
-            Some(Some(link)) => {
-                link.queue_bytes(bytes);
-                Ok(())
-            }
-            _ => Err(MpcError::InvalidRank(dst as i32)),
+        if let Some(Some(link)) = st.links.get_mut(dst) {
+            link.queue_bytes(bytes);
+            return Ok(());
+        }
+        if st.is_dead(dst) {
+            Err(MpcError::PeerClosed(dst))
+        } else {
+            Err(MpcError::InvalidRank(dst as i32))
         }
     }
 
@@ -536,9 +567,19 @@ impl Device {
                     st.links[i] = Some(link);
                 }
                 (Err(MpcError::Transport(_)), _) | (_, Err(MpcError::Transport(_))) => {
-                    // Peer gone: drop the link; in-flight operations to it
-                    // will never complete (as with a failed MPI process).
+                    // Peer gone: drop the link and fail every in-flight
+                    // operation bound to it so waiters surface
+                    // `MpcError::PeerClosed` instead of spinning forever.
+                    // That includes requests bound to windows still queued
+                    // on this link (post-CTS rendezvous data): they left
+                    // `pending_sends` when the CTS arrived, so only the
+                    // channel queue still knows them.
+                    for req in link.take_undelivered_reqs() {
+                        req.fail(i);
+                    }
                     st.links[i] = None;
+                    self.fail_peer_ops(&mut st, i);
+                    moved = true;
                 }
                 (Err(e), _) | (_, Err(e)) => return Err(e),
             }
@@ -570,6 +611,46 @@ impl Device {
         Ok(moved)
     }
 
+    /// Tear down everything that depended on the now-dead link to `peer`:
+    /// mark the peer dead and fail every in-flight operation bound to it.
+    /// Posted receives are failed only for context 0 (the world
+    /// communicator), where comm rank equals the global rank indexing the
+    /// dead-peer table; wildcard receives stay posted — another peer may
+    /// still satisfy them.
+    fn fail_peer_ops(&self, st: &mut DeviceState, peer: usize) {
+        if st.dead.len() <= peer {
+            st.dead.resize(peer + 1, false);
+        }
+        if !st.dead[peer] {
+            st.dead[peer] = true;
+            self.metrics.bump(Metric::LinksDropped);
+        }
+        st.pending_sends.retain(|_, ps| {
+            if ps.dst_global == peer {
+                ps.req.fail(peer);
+                false
+            } else {
+                true
+            }
+        });
+        st.active_recvs.retain(|_, ar| {
+            if ar.env.gsrc as usize == peer {
+                ar.req.fail(peer);
+                false
+            } else {
+                true
+            }
+        });
+        st.posted.retain(|p| {
+            if p.context == 0 && p.src == peer as i32 {
+                p.req.fail(peer);
+                false
+            } else {
+                true
+            }
+        });
+    }
+
     /// Drive progress until `req` completes, invoking `yield_poll` each
     /// lap — the hook where Motor parks for pending collections and where
     /// the native baseline does nothing.
@@ -577,7 +658,7 @@ impl Device {
         let start = self.metrics.now_nanos();
         self.metrics.event(EventKind::OpBegin, req.id(), 0);
         let inflight = self.metrics.op_begin(SpanKind::DeviceWait, req.id());
-        let mut backoff = motor_pal::Backoff::new();
+        let mut backoff = motor_pal::Backoff::with_config(self.config.wait_backoff);
         loop {
             yield_poll();
             if req.is_complete() {
@@ -586,6 +667,10 @@ impl Device {
                 self.metrics.record(Hist::WaitNanos, waited);
                 self.metrics.event(EventKind::OpEnd, req.id(), waited);
                 return Ok(req.status());
+            }
+            if let Some(peer) = req.failed_peer() {
+                self.metrics.op_end(inflight);
+                return Err(MpcError::PeerClosed(peer));
             }
             let moved = match self.progress() {
                 Ok(m) => m,
@@ -603,12 +688,30 @@ impl Device {
         }
     }
 
+    /// Flush until a full pass moves nothing — the `MPI_Finalize`-style
+    /// drain a rank performs when its body returns. Buffered eager sends
+    /// complete as soon as the copy is queued on the channel, so frames
+    /// can still sit in an outgoing queue when the caller stops driving
+    /// progress; over transports that accept only partial writes (real
+    /// sockets under backpressure, fault-injected simulation links) those
+    /// frames would otherwise never reach the peer.
+    pub fn drain(&self) -> MpcResult<()> {
+        while self.progress()? {}
+        Ok(())
+    }
+
     /// Test without blocking; returns the status if complete.
     pub fn test(&self, req: &Request) -> MpcResult<Option<Status>> {
         if req.is_complete() {
             return Ok(Some(req.status()));
         }
+        if let Some(peer) = req.failed_peer() {
+            return Err(MpcError::PeerClosed(peer));
+        }
         self.progress()?;
+        if let Some(peer) = req.failed_peer() {
+            return Err(MpcError::PeerClosed(peer));
+        }
         Ok(if req.is_complete() {
             Some(req.status())
         } else {

@@ -16,6 +16,9 @@ pub enum MpcError {
     },
     /// The transport link failed.
     Transport(motor_pal::PalError),
+    /// The link to a peer (global rank) closed while operations toward it
+    /// were in flight; those operations will never complete.
+    PeerClosed(usize),
     /// The communicator/universe is shutting down.
     Shutdown,
     /// Malformed packet on the wire (corruption or protocol bug).
@@ -36,6 +39,9 @@ impl fmt::Display for MpcError {
                 )
             }
             MpcError::Transport(e) => write!(f, "transport failure: {e}"),
+            MpcError::PeerClosed(p) => {
+                write!(f, "link to peer rank {p} closed with operations in flight")
+            }
             MpcError::Shutdown => write!(f, "communicator shut down"),
             MpcError::Protocol(s) => write!(f, "protocol violation: {s}"),
         }
@@ -70,6 +76,7 @@ mod tests {
         };
         assert!(t.to_string().contains("100") && t.to_string().contains("10"));
         assert!(MpcError::Shutdown.to_string().contains("shut down"));
+        assert!(MpcError::PeerClosed(3).to_string().contains("rank 3"));
     }
 
     #[test]

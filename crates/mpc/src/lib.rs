@@ -51,4 +51,4 @@ pub use error::{MpcError, MpcResult};
 pub use group::Group;
 pub use request::{Request, Status};
 pub use source::Source;
-pub use universe::{Proc, Universe};
+pub use universe::{LinkFactory, Proc, Universe};

@@ -31,6 +31,10 @@ pub struct RequestState {
     tag: AtomicI32,
     count: AtomicU64,
     truncated: AtomicBool,
+    /// Global rank of a peer whose link died while this op was in flight
+    /// (-1 = none). A failed request never completes; `wait`/`test` turn
+    /// this marker into `MpcError::PeerClosed` instead of spinning forever.
+    failed_peer: AtomicI32,
 }
 
 impl RequestState {
@@ -43,6 +47,7 @@ impl RequestState {
             tag: AtomicI32::new(0),
             count: AtomicU64::new(0),
             truncated: AtomicBool::new(false),
+            failed_peer: AtomicI32::new(-1),
         })
     }
 
@@ -82,6 +87,20 @@ impl RequestState {
         self.complete.store(true, Ordering::Release);
     }
 
+    /// Mark the operation as permanently failed because the link to
+    /// `peer` (global rank) closed. Deliberately does NOT set `complete`:
+    /// the buffer was never safely transferred, and `wait`/`test` report
+    /// the failure as an error rather than a success.
+    pub fn fail(&self, peer: usize) {
+        self.failed_peer.store(peer as i32, Ordering::Release);
+    }
+
+    /// The peer whose link failure doomed this operation, if any.
+    pub fn failed_peer(&self) -> Option<usize> {
+        let p = self.failed_peer.load(Ordering::Acquire);
+        (p >= 0).then_some(p as usize)
+    }
+
     /// Completion status (valid once complete).
     pub fn status(&self) -> Status {
         Status {
@@ -119,6 +138,15 @@ mod tests {
                 truncated: false
             }
         );
+    }
+
+    #[test]
+    fn fail_marks_peer_without_completing() {
+        let r = RequestState::new(3);
+        assert_eq!(r.failed_peer(), None);
+        r.fail(2);
+        assert_eq!(r.failed_peer(), Some(2));
+        assert!(!r.is_complete());
     }
 
     #[test]

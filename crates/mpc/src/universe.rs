@@ -31,8 +31,14 @@ pub enum ChannelKind {
     Tcp,
 }
 
+/// Builds the link pair wiring global ranks `(a, b)` — `a`'s end first.
+/// Lets a test harness substitute fault-injecting links (e.g. motor-sim's
+/// `SimLink`) for the built-in shm/tcp channels without the universe
+/// knowing anything about them.
+pub type LinkFactory = Arc<dyn Fn(usize, usize) -> MpcResult<(LinkState, LinkState)> + Send + Sync>;
+
 /// Universe construction parameters.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct UniverseConfig {
     /// Transport used between ranks.
     pub channel: ChannelKind,
@@ -40,6 +46,20 @@ pub struct UniverseConfig {
     pub ring_capacity: usize,
     /// Device tuning.
     pub device: DeviceConfig,
+    /// When set, overrides [`channel`](Self::channel): every link pair
+    /// comes from this factory instead.
+    pub link_factory: Option<LinkFactory>,
+}
+
+impl std::fmt::Debug for UniverseConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("UniverseConfig")
+            .field("channel", &self.channel)
+            .field("ring_capacity", &self.ring_capacity)
+            .field("device", &self.device)
+            .field("link_factory", &self.link_factory.as_ref().map(|_| "<fn>"))
+            .finish()
+    }
 }
 
 impl Default for UniverseConfig {
@@ -48,6 +68,7 @@ impl Default for UniverseConfig {
             channel: ChannelKind::Shm,
             ring_capacity: 256 * 1024,
             device: DeviceConfig::default(),
+            link_factory: None,
         }
     }
 }
@@ -118,7 +139,14 @@ impl Universe {
         }
     }
 
-    fn make_link_pair(config: &UniverseConfig) -> MpcResult<(LinkState, LinkState)> {
+    fn make_link_pair(
+        config: &UniverseConfig,
+        a: usize,
+        b: usize,
+    ) -> MpcResult<(LinkState, LinkState)> {
+        if let Some(factory) = &config.link_factory {
+            return factory(a, b);
+        }
         Ok(match config.channel {
             ChannelKind::Shm => {
                 let (a, b) = motor_pal::link::shm_pair(config.ring_capacity);
@@ -144,7 +172,7 @@ impl Universe {
         // New ↔ existing links.
         for (i, nd) in fresh.iter().enumerate() {
             for (g, od) in devices.iter().enumerate() {
-                let (a, b) = Self::make_link_pair(&self.inner.config)?;
+                let (a, b) = Self::make_link_pair(&self.inner.config, base + i, g)?;
                 nd.set_link(g, a);
                 od.set_link(base + i, b);
             }
@@ -152,7 +180,7 @@ impl Universe {
         // New ↔ new links.
         for i in 0..count {
             for j in (i + 1)..count {
-                let (a, b) = Self::make_link_pair(&self.inner.config)?;
+                let (a, b) = Self::make_link_pair(&self.inner.config, base + i, base + j)?;
                 fresh[i].set_link(base + j, a);
                 fresh[j].set_link(base + i, b);
             }
@@ -197,10 +225,14 @@ impl Universe {
                     );
                     body(Proc {
                         universe,
-                        device,
+                        device: Arc::clone(&device),
                         world,
                         parent: None,
                     });
+                    // Finalize-style drain: buffered eager sends complete
+                    // when queued, so over partial-write transports frames
+                    // may still sit in the channel when the body returns.
+                    let _ = device.drain();
                 }));
             }
             for h in handles {
@@ -263,10 +295,11 @@ impl Universe {
                     };
                     entry(Proc {
                         universe,
-                        device,
+                        device: Arc::clone(&device),
                         world,
                         parent: Some(parent),
                     });
+                    let _ = device.drain();
                 });
                 self.inner.children.lock().push(handle);
             }

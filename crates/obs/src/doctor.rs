@@ -362,6 +362,9 @@ pub struct RankHealth {
     pub safepoint_stall_nanos: u64,
     /// Wall nanoseconds covered by `safepoint_stall_nanos` (scan window).
     pub window_nanos: u64,
+    /// Cumulative links dropped after transport failures
+    /// ([`crate::Metric::LinksDropped`]).
+    pub links_dropped: u64,
 }
 
 /// What kind of trouble the watchdog diagnosed.
@@ -377,6 +380,9 @@ pub enum AnomalyKind {
     /// Safepoint stalls consumed more than the configured fraction of
     /// wall time.
     GcPressure,
+    /// A transport link died and was dropped; operations bound to that
+    /// peer were failed with `PeerClosed`.
+    LinkDrop,
 }
 
 impl AnomalyKind {
@@ -387,6 +393,7 @@ impl AnomalyKind {
             AnomalyKind::DeadlockSuspect => "deadlock_suspect",
             AnomalyKind::PinLeak => "pin_leak",
             AnomalyKind::GcPressure => "gc_pressure",
+            AnomalyKind::LinkDrop => "link_drop",
         }
     }
 }
@@ -589,6 +596,21 @@ pub fn classify(health: &[RankHealth], cfg: &DoctorConfig) -> Vec<Anomaly> {
                 detail: format!(
                     "{} hard pin(s) held with no transport op in flight",
                     h.hard_pins
+                ),
+            });
+        }
+
+        if h.links_dropped > 0 {
+            out.push(Anomaly {
+                kind: AnomalyKind::LinkDrop,
+                rank: h.rank,
+                label: h.label.clone(),
+                op: None,
+                peer: None,
+                age_nanos: 0,
+                detail: format!(
+                    "{} transport link(s) dropped; bound operations failed with PeerClosed",
+                    h.links_dropped
                 ),
             });
         }
@@ -850,6 +872,7 @@ mod tests {
             oldest_pin_nanos: 0,
             safepoint_stall_nanos: 0,
             window_nanos: 1_000_000_000,
+            links_dropped: 0,
         }
     }
 
@@ -1025,6 +1048,19 @@ mod tests {
         hs[0].inflight.push(op(SpanKind::MpIsend, 1, 0, 0, now));
         let anomalies = classify(&hs, &cfg_ms(500));
         assert!(anomalies.iter().all(|a| a.kind != AnomalyKind::PinLeak));
+    }
+
+    #[test]
+    fn link_drop_is_reported() {
+        let now = 10_000_000_000;
+        let mut hs = vec![healthy(0, now), healthy(1, now)];
+        hs[1].links_dropped = 1;
+        let anomalies = classify(&hs, &cfg_ms(500));
+        assert_eq!(anomalies.len(), 1);
+        assert_eq!(anomalies[0].kind, AnomalyKind::LinkDrop);
+        assert_eq!(anomalies[0].rank, 1);
+        assert_eq!(anomalies[0].kind.name(), "link_drop");
+        assert!(anomalies[0].detail.contains("PeerClosed"));
     }
 
     #[test]

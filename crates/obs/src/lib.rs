@@ -114,6 +114,9 @@ define_metrics! {
     UnexpectedQueuePeak => "unexpected_queue_peak",
     /// Progress-engine pump invocations.
     ProgressPolls => "progress_polls",
+    /// Links dropped after a transport failure (peer closed mid-stream);
+    /// each drop fails every in-flight operation bound to that peer.
+    LinksDropped => "links_dropped",
 
     // ---- comm layer (per-collective call counts) ----
     /// `barrier` calls.

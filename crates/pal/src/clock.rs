@@ -5,7 +5,76 @@
 //! never touch `std::time` directly (the SSCLI PAL similarly virtualises
 //! `QueryPerformanceCounter`).
 
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// A source of monotonic ticks.
+///
+/// Production code reads the host monotonic clock; deterministic simulation
+/// substitutes a [`VirtualClock`] whose time only advances when the
+/// scheduler says so. A "tick" is deliberately unitless — the simulation
+/// harness decides what one tick means (it uses them as scheduler steps and
+/// reports them as nanoseconds when building flight records).
+pub trait TickSource: Send + Sync {
+    /// Current tick count. Must be monotonic per source.
+    fn now_ticks(&self) -> u64;
+}
+
+/// A manually-advanced clock for deterministic simulation.
+///
+/// Time stands still until [`advance`](VirtualClock::advance) is called, so
+/// two runs with the same seed observe the exact same timestamps.
+#[derive(Debug, Default)]
+pub struct VirtualClock {
+    ticks: AtomicU64,
+}
+
+impl VirtualClock {
+    /// A fresh clock at tick zero, shareable across ranks.
+    pub fn new() -> Arc<Self> {
+        Arc::new(VirtualClock::default())
+    }
+
+    /// Advance virtual time by `n` ticks, returning the new time.
+    pub fn advance(&self, n: u64) -> u64 {
+        self.ticks.fetch_add(n, Ordering::AcqRel) + n
+    }
+}
+
+impl TickSource for VirtualClock {
+    fn now_ticks(&self) -> u64 {
+        self.ticks.load(Ordering::Acquire)
+    }
+}
+
+/// The host monotonic clock as a [`TickSource`] (ticks are nanoseconds
+/// since the source was created).
+#[derive(Debug)]
+pub struct HostTicks {
+    origin: Instant,
+}
+
+impl HostTicks {
+    /// A tick source anchored at the current instant.
+    pub fn new() -> Self {
+        HostTicks {
+            origin: Instant::now(),
+        }
+    }
+}
+
+impl Default for HostTicks {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TickSource for HostTicks {
+    fn now_ticks(&self) -> u64 {
+        self.origin.elapsed().as_nanos() as u64
+    }
+}
 
 /// A monotonic stopwatch.
 #[derive(Debug, Clone, Copy)]
@@ -72,5 +141,24 @@ mod tests {
         std::thread::sleep(Duration::from_millis(1));
         let f = sw.elapsed_micros_f64();
         assert!(f >= 1000.0);
+    }
+
+    #[test]
+    fn virtual_clock_only_moves_on_advance() {
+        let c = VirtualClock::new();
+        assert_eq!(c.now_ticks(), 0);
+        assert_eq!(c.now_ticks(), 0);
+        assert_eq!(c.advance(3), 3);
+        assert_eq!(c.now_ticks(), 3);
+        c.advance(7);
+        assert_eq!(c.now_ticks(), 10);
+    }
+
+    #[test]
+    fn host_ticks_are_monotonic() {
+        let h = HostTicks::new();
+        let a = h.now_ticks();
+        let b = h.now_ticks();
+        assert!(b >= a);
     }
 }

@@ -29,6 +29,7 @@ pub mod link;
 pub mod poll;
 pub mod ring;
 
+pub use clock::{HostTicks, TickSource, VirtualClock};
 pub use error::{PalError, PalResult};
 pub use link::{shm_pair, tcp_pair, BoxedLink, ByteLink};
-pub use poll::{polling_wait, Backoff};
+pub use poll::{polling_wait, polling_wait_with, Backoff, BackoffConfig};

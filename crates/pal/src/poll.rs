@@ -6,20 +6,77 @@
 //! runtime when a garbage collection is required" (§7.1). [`polling_wait`]
 //! is that loop, generic over the yield callback so the runtime layer can
 //! plug in its safepoint poll and the native baseline can plug in nothing.
+//!
+//! The wait escalates through a configurable three-stage ladder
+//! ([`BackoffConfig`]): spin (exponentially more `spin_loop` hints) →
+//! yield the OS thread → sleep a fixed interval. Latency-sensitive runs
+//! can disable the sleep stage entirely; simulation harnesses can pin the
+//! ladder to pure spinning so virtual time is never coupled to the host
+//! scheduler.
 
-/// Exponential spin/yield backoff, reset on progress.
+use std::time::Duration;
+
+/// Tuning for the spin → yield → sleep wait ladder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BackoffConfig {
+    /// Laps spent spinning (lap `k` issues `2^k` `spin_loop` hints) before
+    /// escalating to `thread::yield_now`.
+    pub spin_limit: u32,
+    /// Laps spent yielding before escalating to sleeping. Ignored when
+    /// [`sleep`](Self::sleep) is `None`.
+    pub yield_limit: u32,
+    /// Sleep interval once the ladder is fully escalated; `None` keeps
+    /// yielding forever (the pre-ladder behaviour).
+    pub sleep: Option<Duration>,
+}
+
+impl BackoffConfig {
+    /// The default ladder: 6 spin laps, 64 yield laps, then 100 µs sleeps.
+    /// The sleep stage only engages after a wait has already burned ~70
+    /// laps without progress, so fast-path latency is unaffected while
+    /// long waits stop monopolising a core.
+    pub const fn default_ladder() -> Self {
+        BackoffConfig {
+            spin_limit: 6,
+            yield_limit: 64,
+            sleep: Some(Duration::from_micros(100)),
+        }
+    }
+
+    /// Spin/yield only — never sleep. For latency-critical waits and for
+    /// deterministic simulation, where an OS sleep would couple virtual
+    /// time to the host scheduler.
+    pub const fn no_sleep() -> Self {
+        BackoffConfig {
+            spin_limit: 6,
+            yield_limit: u32::MAX,
+            sleep: None,
+        }
+    }
+}
+
+impl Default for BackoffConfig {
+    fn default() -> Self {
+        Self::default_ladder()
+    }
+}
+
+/// Exponential spin/yield/sleep backoff, reset on progress.
 #[derive(Debug, Default)]
 pub struct Backoff {
+    config: BackoffConfig,
     step: u32,
 }
 
 impl Backoff {
-    /// Spin threshold before falling back to `thread::yield_now`.
-    const SPIN_LIMIT: u32 = 6;
-
-    /// Create a fresh backoff.
+    /// A fresh backoff with the default ladder.
     pub fn new() -> Self {
-        Backoff { step: 0 }
+        Backoff::default()
+    }
+
+    /// A fresh backoff with an explicit ladder.
+    pub fn with_config(config: BackoffConfig) -> Self {
+        Backoff { config, step: 0 }
     }
 
     /// Reset after the waited-for condition made progress.
@@ -28,23 +85,39 @@ impl Backoff {
     }
 
     /// Wait a little: spin with exponentially more `spin_loop` hints, then
-    /// start yielding the OS thread.
+    /// yield the OS thread, then (if configured) sleep.
     pub fn snooze(&mut self) {
-        if self.step <= Self::SPIN_LIMIT {
-            for _ in 0..(1u32 << self.step) {
+        let c = &self.config;
+        if self.step <= c.spin_limit {
+            for _ in 0..(1u32 << self.step.min(16)) {
                 std::hint::spin_loop();
             }
-        } else {
+        } else if self.config.sleep.is_none()
+            || self.step <= c.spin_limit.saturating_add(c.yield_limit)
+        {
             std::thread::yield_now();
+        } else if let Some(d) = c.sleep {
+            std::thread::sleep(d);
         }
-        if self.step <= Self::SPIN_LIMIT {
-            self.step += 1;
+        if !self.is_sleeping() {
+            self.step = self.step.saturating_add(1);
         }
     }
 
-    /// True once the backoff has escalated to OS-level yielding.
+    /// True once the backoff has escalated past pure spinning (to OS-level
+    /// yielding or sleeping).
     pub fn is_yielding(&self) -> bool {
-        self.step > Self::SPIN_LIMIT
+        self.step > self.config.spin_limit
+    }
+
+    /// True once the backoff has escalated to OS sleeps.
+    pub fn is_sleeping(&self) -> bool {
+        self.config.sleep.is_some()
+            && self.step
+                > self
+                    .config
+                    .spin_limit
+                    .saturating_add(self.config.yield_limit)
     }
 }
 
@@ -54,8 +127,17 @@ impl Backoff {
 /// a pending garbage collection; the loop guarantees it runs at least once
 /// even if `done` is immediately true, matching the paper's FCall
 /// discipline (poll on entry, poll while waiting, poll on exit).
-pub fn polling_wait(mut done: impl FnMut() -> bool, mut yield_poll: impl FnMut()) {
-    let mut backoff = Backoff::new();
+pub fn polling_wait(done: impl FnMut() -> bool, yield_poll: impl FnMut()) {
+    polling_wait_with(BackoffConfig::default(), done, yield_poll)
+}
+
+/// [`polling_wait`] with an explicit backoff ladder.
+pub fn polling_wait_with(
+    config: BackoffConfig,
+    mut done: impl FnMut() -> bool,
+    mut yield_poll: impl FnMut(),
+) {
+    let mut backoff = Backoff::with_config(config);
     loop {
         yield_poll();
         if done() {
@@ -108,5 +190,49 @@ mod tests {
         assert!(b.is_yielding());
         b.reset();
         assert!(!b.is_yielding());
+    }
+
+    #[test]
+    fn ladder_reaches_sleep_stage_and_stays() {
+        let mut b = Backoff::with_config(BackoffConfig {
+            spin_limit: 2,
+            yield_limit: 3,
+            sleep: Some(Duration::from_nanos(1)),
+        });
+        for _ in 0..6 {
+            assert!(!b.is_sleeping());
+            b.snooze();
+        }
+        b.snooze();
+        assert!(b.is_sleeping());
+        // Saturated: further snoozes keep sleeping.
+        b.snooze();
+        assert!(b.is_sleeping());
+        b.reset();
+        assert!(!b.is_yielding() && !b.is_sleeping());
+    }
+
+    #[test]
+    fn no_sleep_ladder_never_sleeps() {
+        let mut b = Backoff::with_config(BackoffConfig::no_sleep());
+        for _ in 0..100_000 {
+            b.snooze();
+        }
+        assert!(b.is_yielding());
+        assert!(!b.is_sleeping());
+    }
+
+    #[test]
+    fn polling_wait_with_honors_config() {
+        let mut n = 0u32;
+        polling_wait_with(
+            BackoffConfig::no_sleep(),
+            || {
+                n += 1;
+                n > 20
+            },
+            || {},
+        );
+        assert!(n > 20);
     }
 }

@@ -1,0 +1,145 @@
+//! `SimFabric` — fault-injecting links under a *threaded* cluster.
+//!
+//! [`SimNet`](crate::net::SimNet) owns the schedule and the clock; that is
+//! the fully deterministic mode. But the conformance suite also needs to
+//! exercise the real multi-threaded stack — `Universe::run_with` and
+//! `motor-core`'s `run_cluster` — with faulty wires underneath. A
+//! `SimFabric` packages a seed and a [`FaultPlan`] into the
+//! [`LinkFactory`] those entry points accept. Wires run with
+//! `advance_on_idle`, so latency steps and stall windows resolve without
+//! an external stepper; chunk caps and jitter stay exactly as seeded.
+
+use std::sync::Arc;
+
+use motor_mpc::channel::LinkState;
+use motor_mpc::LinkFactory;
+use motor_pal::VirtualClock;
+use parking_lot::Mutex;
+
+use crate::fault::FaultPlan;
+use crate::link::{sim_pair, LinkControl};
+use crate::rng::SimRng;
+
+/// Severance controls for every wired pair, keyed `(lo rank, hi rank)`.
+type ControlTable = Arc<Mutex<Vec<((usize, usize), LinkControl)>>>;
+
+/// A seeded source of simulated links for threaded universes/clusters.
+pub struct SimFabric {
+    seed: u64,
+    plan: FaultPlan,
+    clock: Arc<VirtualClock>,
+    controls: ControlTable,
+}
+
+impl SimFabric {
+    /// A fabric whose every wire follows `plan`, with jitter streams
+    /// forked deterministically from `seed` per rank pair.
+    pub fn new(seed: u64, plan: FaultPlan) -> SimFabric {
+        SimFabric {
+            seed,
+            plan,
+            clock: VirtualClock::new(),
+            controls: Arc::new(Mutex::new(Vec::new())),
+        }
+    }
+
+    /// The seed this fabric derives wires from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The fabric-wide virtual clock (advanced lazily by idle reads).
+    pub fn clock(&self) -> &Arc<VirtualClock> {
+        &self.clock
+    }
+
+    /// Sever the link between global ranks `a` and `b`, wherever the
+    /// universe wired it.
+    pub fn close_link(&self, a: usize, b: usize) {
+        let key = (a.min(b), a.max(b));
+        for (k, ctl) in self.controls.lock().iter() {
+            if *k == key {
+                ctl.close();
+            }
+        }
+    }
+
+    /// The [`LinkFactory`] to hand to `UniverseConfig::link_factory` or
+    /// `ClusterConfigBuilder::link_factory`. Each rank pair gets an
+    /// independent RNG stream derived from the fabric seed and the pair,
+    /// so wiring order cannot change the fault schedule.
+    pub fn factory(&self) -> LinkFactory {
+        let seed = self.seed;
+        let plan = self.plan.clone();
+        let clock = Arc::clone(&self.clock);
+        let controls = Arc::clone(&self.controls);
+        Arc::new(move |a: usize, b: usize| {
+            let key = (a.min(b), a.max(b));
+            // Pair-keyed seed: independent of the order the universe asks
+            // for links in.
+            let mut rng = SimRng::new(
+                seed ^ (key.0 as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                    ^ (key.1 as u64).wrapping_mul(0xC2B2_AE3D_27D4_EB4F),
+            );
+            let (la, lb, ctl) = sim_pair(&clock, plan.clone(), plan.clone(), &mut rng, true);
+            controls.lock().push((key, ctl));
+            Ok((LinkState::new(Box::new(la)), LinkState::new(Box::new(lb))))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use motor_mpc::universe::{Universe, UniverseConfig};
+
+    #[test]
+    fn threaded_pingpong_over_sim() {
+        let fabric = SimFabric::new(2, FaultPlan::trickle(3));
+        let cfg = UniverseConfig {
+            link_factory: Some(fabric.factory()),
+            ..UniverseConfig::default()
+        };
+        Universe::run_with(2, cfg, |proc| {
+            let world = proc.world();
+            if world.rank() == 0 {
+                world.send_bytes(&[9u8; 16], 1, 0).unwrap();
+            } else {
+                let mut buf = [0u8; 16];
+                world.recv_bytes(&mut buf, 0, 0).unwrap();
+                assert_eq!(buf, [9u8; 16]);
+            }
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn universe_runs_over_simulated_trickle_links() {
+        let fabric = SimFabric::new(11, FaultPlan::trickle(3));
+        let cfg = UniverseConfig {
+            link_factory: Some(fabric.factory()),
+            ..UniverseConfig::default()
+        };
+        Universe::run_with(3, cfg, |proc| {
+            let world = proc.world();
+            let mine = [world.rank() as u8 + 1; 4];
+            let mut all = vec![0u8; 4 * world.size()];
+            world.allgather_bytes(&mine, &mut all).unwrap();
+            for r in 0..world.size() {
+                assert_eq!(&all[4 * r..4 * r + 4], [r as u8 + 1; 4]);
+            }
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn fabric_close_link_severs_wires() {
+        let fabric = SimFabric::new(3, FaultPlan::clean());
+        let fac = fabric.factory();
+        let (mut a, _b) = fac(0, 1).unwrap();
+        // Rank order must not matter for the lookup.
+        fabric.close_link(1, 0);
+        a.queue_bytes(vec![0u8; 8]);
+        assert!(a.pump_out().is_err(), "severed wire rejects traffic");
+    }
+}

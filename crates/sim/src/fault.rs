@@ -1,0 +1,104 @@
+//! The fault catalog: what a simulated wire is allowed to do to traffic.
+//!
+//! A [`FaultPlan`] configures one *direction* of a simulated link, so
+//! asymmetric behaviour (e.g. a stalling forward path over a healthy
+//! return path) is expressed by giving the two directions of a pair
+//! different plans. All faults are deterministic per seed: a chunk size
+//! drawn under jitter comes from the wire's own forked RNG stream.
+
+/// Fault injection parameters for one wire direction.
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    /// Maximum bytes accepted per `try_write` (`None` = unlimited). `1`
+    /// trickles the stream a byte at a time, the harshest exercise of the
+    /// channel layer's partial-I/O resumption.
+    pub write_chunk: Option<usize>,
+    /// Maximum bytes returned per `try_read` (`None` = unlimited).
+    pub read_chunk: Option<usize>,
+    /// Randomize each chunk in `1..=cap` instead of always using the cap.
+    pub jitter: bool,
+    /// Every byte becomes readable only this many virtual ticks after it
+    /// was written (a latency step).
+    pub latency_ticks: u64,
+    /// When nonzero, reads return 0 bytes during alternating windows of
+    /// this many ticks (the wire "hiccups": on for one window, stalled for
+    /// the next). Writes are unaffected — an asymmetric stall.
+    pub stall_period: u64,
+    /// Close the wire after this many bytes have been accepted for
+    /// transmission; queued-but-undelivered bytes are dropped, so the
+    /// reader observes a mid-message disconnect.
+    pub close_after: Option<u64>,
+}
+
+impl FaultPlan {
+    /// A faultless wire: unlimited chunks, zero latency, never closes.
+    pub fn clean() -> FaultPlan {
+        FaultPlan {
+            write_chunk: None,
+            read_chunk: None,
+            jitter: false,
+            latency_ticks: 0,
+            stall_period: 0,
+            close_after: None,
+        }
+    }
+
+    /// Byte-trickle: both directions of I/O capped at `max` bytes per
+    /// call, with jitter in `1..=max` (pass 1 for strict one-byte I/O).
+    pub fn trickle(max: usize) -> FaultPlan {
+        FaultPlan {
+            write_chunk: Some(max),
+            read_chunk: Some(max),
+            jitter: max > 1,
+            ..FaultPlan::clean()
+        }
+    }
+
+    /// Add a latency step of `ticks` per byte.
+    pub fn with_latency(mut self, ticks: u64) -> FaultPlan {
+        self.latency_ticks = ticks;
+        self
+    }
+
+    /// Add alternating stall windows of `period` ticks on the read side.
+    pub fn with_stall(mut self, period: u64) -> FaultPlan {
+        self.stall_period = period;
+        self
+    }
+
+    /// Close the wire after `bytes` accepted bytes.
+    pub fn with_close_after(mut self, bytes: u64) -> FaultPlan {
+        self.close_after = Some(bytes);
+        self
+    }
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan::clean()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_compose() {
+        let p = FaultPlan::trickle(4).with_latency(3).with_stall(10);
+        assert_eq!(p.write_chunk, Some(4));
+        assert_eq!(p.read_chunk, Some(4));
+        assert!(p.jitter);
+        assert_eq!(p.latency_ticks, 3);
+        assert_eq!(p.stall_period, 10);
+        assert_eq!(p.close_after, None);
+        let q = FaultPlan::clean().with_close_after(100);
+        assert_eq!(q.close_after, Some(100));
+        assert!(!q.jitter);
+    }
+
+    #[test]
+    fn strict_one_byte_trickle_has_no_jitter() {
+        assert!(!FaultPlan::trickle(1).jitter);
+    }
+}

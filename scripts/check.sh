@@ -19,6 +19,16 @@ cargo clippy -p motor-runtime -p motor-pal --all-targets -- \
 echo "==> cargo test --workspace"
 cargo test --workspace -q
 
+echo "==> sim conformance suite (fixed seed matrix)"
+# Deterministic-simulation gate: the MPI-semantics conformance suite over
+# fault-injecting links, pinned to the frozen seed matrix so a mutation
+# caught once stays caught on every run. A failure prints its seed and
+# the one-line repro command (MOTOR_SIM_SEEDS=<seed> cargo test ...).
+MOTOR_SIM_SEEDS="1,7,42,1234,0xdeadbeef,0x5eed5eed" \
+  cargo test -q -p motor-sim
+MOTOR_SIM_SEEDS="1,7,42,1234,0xdeadbeef,0x5eed5eed" \
+  cargo test -q --test sim_conformance
+
 echo "==> trace export smoke test (4 ranks)"
 # Record a 4-rank cluster trace, then verify the exported Chrome-trace
 # JSON parses and contains at least one matched message edge by feeding

@@ -4,7 +4,18 @@
 
 use motor::mpc::universe::Universe;
 use motor::mpc::{ReduceOp, Source, ANY_TAG};
+use motor_sim::SimRng;
 use proptest::prelude::*;
+
+/// Seed-deterministic Fisher–Yates shuffle of `0..n`.
+fn shuffled(n: usize, seed: u64) -> Vec<usize> {
+    let mut rng = SimRng::new(seed);
+    let mut order: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        order.swap(i, rng.below(i as u64 + 1) as usize);
+    }
+    order
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
@@ -41,6 +52,68 @@ proptest! {
                         buf.iter().all(|&b| b == (i % 251) as u8),
                         "message {i} overtaken or corrupted"
                     );
+                }
+            }
+        })
+        .unwrap();
+    }
+
+    /// Request linearity under random Isend/Irecv/Wait interleavings:
+    /// however the per-seed shuffle orders the waits relative to posting
+    /// order, every request completes exactly once, its status matches its
+    /// own message, and re-observing a completed request (`test` after
+    /// `wait`) is an immediate no-op with the same outcome. This is the
+    /// dynamic side of the linearity discipline `motor-analyze`'s verifier
+    /// enforces statically on managed code (every request waited along
+    /// every path, none waited twice into a different buffer).
+    #[test]
+    fn random_wait_interleavings_preserve_request_linearity(
+        sizes in proptest::collection::vec(1usize..100_000, 1..10),
+        seed in any::<u64>(),
+    ) {
+        let sizes2 = sizes.clone();
+        Universe::run(2, move |proc| {
+            let world = proc.world();
+            let n = sizes2.len();
+            if world.rank() == 0 {
+                let bufs: Vec<Vec<u8>> = sizes2
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &sz)| vec![(i + 1) as u8; sz])
+                    .collect();
+                let reqs: Vec<_> = bufs
+                    .iter()
+                    .map(|b| {
+                        // SAFETY: `bufs` outlives every wait below.
+                        unsafe { world.isend_ptr(b.as_ptr(), b.len(), 1, 3).unwrap() }
+                    })
+                    .collect();
+                for &i in &shuffled(n, seed) {
+                    world.wait(&reqs[i]).unwrap();
+                    // Linearity: the request stays completed; observing it
+                    // again does not block, re-fire, or change anything.
+                    assert!(world.test(&reqs[i]).unwrap().is_some());
+                }
+            } else {
+                let mut bufs: Vec<Vec<u8>> = sizes2.iter().map(|&sz| vec![0u8; sz]).collect();
+                // Post in order (non-overtaking pairs buffer i with
+                // message i); *wait* in an independently shuffled order.
+                let reqs: Vec<_> = bufs
+                    .iter_mut()
+                    .map(|b| {
+                        // SAFETY: `bufs` outlives every wait below.
+                        unsafe { world.irecv_ptr(b.as_mut_ptr(), b.len(), 0, 3).unwrap() }
+                    })
+                    .collect();
+                for &i in &shuffled(n, seed ^ 0x9E37_79B9_7F4A_7C15) {
+                    let st = world.wait(&reqs[i]).unwrap();
+                    assert_eq!(st.count, sizes2[i], "request {i} got its own message");
+                    assert!(
+                        bufs[i].iter().all(|&b| b == (i + 1) as u8),
+                        "request {i} buffer filled by its own message"
+                    );
+                    let again = world.test(&reqs[i]).unwrap().expect("still complete");
+                    assert_eq!(again.count, st.count, "idempotent observation");
                 }
             }
         })
