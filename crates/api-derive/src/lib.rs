@@ -1,0 +1,390 @@
+//! `#[derive(Transportable)]` — compile-time split-representation serializers.
+//!
+//! The managed serializer (`motor-core::serial`) walks class metadata at run
+//! time, consulting the per-field Transportable bit.  This derive performs the
+//! same traversal decision *at compile time* over a plain Rust struct and
+//! emits straight-line `write_fields`/`read_fields` bodies, so a native peer
+//! can exchange objects with managed ranks at zero reflective overhead
+//! (paper §7.5: the split representation moves type discovery out of the
+//! per-record path; the derive moves it out of run time entirely).
+//!
+//! Supported field shapes (mirroring the managed object model):
+//!
+//! | Rust field                  | managed field          | wire form        |
+//! |-----------------------------|------------------------|------------------|
+//! | `bool u8 i8 i16 u16 i32 …`  | primitive              | raw LE bytes     |
+//! | `#[transportable] Vec<P>`   | transportable prim `[]`| object reference |
+//! | `#[transportable] Option<Vec<P>>` | same, nullable   | reference / NULL |
+//! | `#[transportable] Option<Box<T>>` | transportable ref| reference / NULL |
+//! | `Vec<P>` / `Option<..>` (no attr) | non-transportable ref | always NULL |
+//! | `#[transportable(skip)] T: Default` | (absent)       | (absent)         |
+//!
+//! Reference-shaped fields *without* `#[transportable]` mirror the managed
+//! semantics for references whose class lacks the Transportable attribute:
+//! the field exists in the type table (ref entry, bit = 0), is sent as NULL,
+//! and is restored as `Default::default()` on receive.  Any other field type
+//! is rejected at compile time — that is deliberate: transport surface must
+//! be explicit, not inferred.
+//!
+//! This crate intentionally has **no dependencies** (no `syn`/`quote`): the
+//! accepted grammar — a non-generic struct with named fields — is small
+//! enough to hand-parse from the raw token stream.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Primitive types the wire format understands, with their managed
+/// `ElemKind` tags (must stay in sync with `motor-runtime::ElemKind::tag`).
+const PRIMS: &[(&str, u8)] = &[
+    ("bool", 0),
+    ("u8", 1),
+    ("i8", 2),
+    ("i16", 3),
+    ("u16", 4),
+    ("i32", 6),
+    ("u32", 7),
+    ("i64", 8),
+    ("u64", 9),
+    ("f32", 10),
+    ("f64", 11),
+];
+
+fn prim_tag(ty: &str) -> Option<u8> {
+    PRIMS.iter().find(|(n, _)| *n == ty).map(|(_, t)| *t)
+}
+
+/// How a single field travels (or doesn't).
+enum FieldKind {
+    /// Inline primitive value.
+    Prim { ty: String },
+    /// `Vec<P>` — reference to a primitive array record.
+    PrimArray,
+    /// `Option<Vec<P>>` — nullable reference to a primitive array record.
+    OptPrimArray,
+    /// `Option<Box<T>>` — nullable reference to a class record.
+    ClassRef { ty: String },
+    /// Reference-shaped field without `#[transportable]`: on the wire as a
+    /// ref entry with the bit clear, always NULL, `Default` on receive.
+    NullRef,
+    /// `#[transportable(skip)]`: not on the wire at all.
+    Skip,
+}
+
+struct Field {
+    name: String,
+    kind: FieldKind,
+}
+
+struct Parsed {
+    name: String,
+    fields: Vec<Field>,
+}
+
+#[proc_macro_derive(Transportable, attributes(transportable))]
+pub fn derive_transportable(input: TokenStream) -> TokenStream {
+    match parse_struct(input) {
+        Ok(p) => generate(&p)
+            .parse()
+            .expect("derive(Transportable): generated code must parse"),
+        Err(msg) => format!("compile_error!({msg:?});").parse().unwrap(),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// parsing
+// ---------------------------------------------------------------------------
+
+/// Flatten a token tree back to source text with no spaces, so type
+/// comparisons are purely textual (`Option < Box < T > >` → `Option<Box<T>>`).
+fn flat(tt: &TokenTree) -> String {
+    match tt {
+        TokenTree::Ident(i) => i.to_string(),
+        TokenTree::Punct(p) => p.to_string(),
+        TokenTree::Literal(l) => l.to_string(),
+        TokenTree::Group(g) => {
+            let (open, close) = match g.delimiter() {
+                Delimiter::Parenthesis => ("(", ")"),
+                Delimiter::Brace => ("{", "}"),
+                Delimiter::Bracket => ("[", "]"),
+                Delimiter::None => ("", ""),
+            };
+            let inner: String = g.stream().into_iter().map(|t| flat(&t)).collect();
+            format!("{open}{inner}{close}")
+        }
+    }
+}
+
+fn parse_struct(input: TokenStream) -> Result<Parsed, String> {
+    let mut iter = input.into_iter().peekable();
+
+    // Skip outer attributes and visibility until the `struct` keyword.
+    let mut name = None;
+    while let Some(tt) = iter.next() {
+        match &tt {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                // attribute: consume the following [...] group
+                iter.next();
+            }
+            TokenTree::Ident(i) if i.to_string() == "struct" => {
+                match iter.next() {
+                    Some(TokenTree::Ident(n)) => name = Some(n.to_string()),
+                    _ => return Err("derive(Transportable): expected struct name".into()),
+                }
+                break;
+            }
+            _ => {} // visibility tokens, `pub(crate)` groups, etc.
+        }
+    }
+    let name = name.ok_or("derive(Transportable) only supports structs")?;
+
+    // Generic parameters are not supported: the type entry must name one
+    // concrete managed class.
+    let body = match iter.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+            return Err(format!(
+                "derive(Transportable): `{name}` is generic; transportable classes must be concrete types"
+            ));
+        }
+        _ => {
+            return Err(format!(
+                "derive(Transportable): `{name}` must be a struct with named fields (tuple and unit structs have no managed class layout)"
+            ));
+        }
+    };
+
+    let mut fields = Vec::new();
+    let mut toks = body.into_iter().peekable();
+    loop {
+        // field := attrs* vis? name ':' type ','?
+        let mut transportable = false;
+        let mut skip = false;
+        let fname;
+        loop {
+            match toks.next() {
+                None => return Ok(Parsed { name, fields }),
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    if let Some(TokenTree::Group(g)) = toks.next() {
+                        let txt: String = g.stream().into_iter().map(|t| flat(&t)).collect();
+                        if txt == "transportable" {
+                            transportable = true;
+                        } else if txt == "transportable(skip)" {
+                            skip = true;
+                        } else if txt.starts_with("transportable") {
+                            return Err(format!(
+                                "derive(Transportable): unknown attribute form `#[{txt}]`; use `#[transportable]` or `#[transportable(skip)]`"
+                            ));
+                        }
+                    }
+                }
+                Some(TokenTree::Ident(i)) if i.to_string() == "pub" => {
+                    // optional `(crate)` / `(super)` restriction group
+                    if let Some(TokenTree::Group(g)) = toks.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            toks.next();
+                        }
+                    }
+                }
+                Some(TokenTree::Ident(i)) => {
+                    fname = i.to_string();
+                    break;
+                }
+                Some(other) => {
+                    return Err(format!(
+                        "derive(Transportable): unexpected token `{}` in field list",
+                        flat(&other)
+                    ));
+                }
+            }
+        }
+        match toks.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            _ => {
+                return Err(format!(
+                    "derive(Transportable): expected `:` after field `{fname}`"
+                ))
+            }
+        }
+        // Collect the type: everything until a top-level `,`.
+        let mut ty = String::new();
+        let mut depth = 0i32;
+        loop {
+            match toks.peek() {
+                None => break,
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' && depth == 0 => {
+                    toks.next();
+                    break;
+                }
+                Some(tt) => {
+                    if let TokenTree::Punct(p) = tt {
+                        match p.as_char() {
+                            '<' => depth += 1,
+                            '>' => depth -= 1,
+                            _ => {}
+                        }
+                    }
+                    ty.push_str(&flat(tt));
+                    toks.next();
+                }
+            }
+        }
+
+        let kind = classify(&name, &fname, &ty, transportable, skip)?;
+        fields.push(Field { name: fname, kind });
+    }
+}
+
+fn inner_of<'a>(ty: &'a str, wrapper: &str) -> Option<&'a str> {
+    let open = format!("{wrapper}<");
+    if ty.starts_with(&open) && ty.ends_with('>') {
+        Some(&ty[open.len()..ty.len() - 1])
+    } else {
+        None
+    }
+}
+
+fn classify(
+    sname: &str,
+    fname: &str,
+    ty: &str,
+    transportable: bool,
+    skip: bool,
+) -> Result<FieldKind, String> {
+    if skip {
+        return Ok(FieldKind::Skip);
+    }
+    if prim_tag(ty).is_some() {
+        if transportable {
+            return Err(format!(
+                "derive(Transportable): primitive field `{sname}.{fname}` is always sent inline; remove `#[transportable]`"
+            ));
+        }
+        return Ok(FieldKind::Prim { ty: ty.to_string() });
+    }
+
+    // Reference-shaped field?
+    let ref_shape = if let Some(elem) = inner_of(ty, "Vec") {
+        prim_tag(elem).map(|_| FieldKind::PrimArray)
+    } else if let Some(inner) = inner_of(ty, "Option") {
+        if let Some(elem) = inner_of(inner, "Vec") {
+            prim_tag(elem).map(|_| FieldKind::OptPrimArray)
+        } else {
+            inner_of(inner, "Box").map(|t| FieldKind::ClassRef { ty: t.to_string() })
+        }
+    } else {
+        None
+    };
+
+    match (ref_shape, transportable) {
+        (Some(kind), true) => Ok(kind),
+        (Some(_), false) => Ok(FieldKind::NullRef),
+        (None, _) => Err(format!(
+            "derive(Transportable): field `{sname}.{fname}: {ty}` is not transportable; \
+             use a primitive, `Vec<prim>`, `Option<Vec<prim>>`, or `Option<Box<T: Transportable>>`, \
+             or exclude it with `#[transportable(skip)]`"
+        )),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// code generation
+// ---------------------------------------------------------------------------
+
+fn generate(p: &Parsed) -> String {
+    let name = &p.name;
+    let wire_fields: Vec<&Field> = p
+        .fields
+        .iter()
+        .filter(|f| !matches!(f.kind, FieldKind::Skip))
+        .collect();
+    let nfields = wire_fields.len();
+
+    // -- type table entry ---------------------------------------------------
+    let mut entry = String::new();
+    for f in &wire_fields {
+        match &f.kind {
+            FieldKind::Prim { ty } => {
+                entry += &format!(
+                    "::motor_api::wire::prim_field::<{ty}>(out, {:?});\n",
+                    f.name
+                );
+            }
+            FieldKind::PrimArray | FieldKind::OptPrimArray | FieldKind::ClassRef { .. } => {
+                entry += &format!("::motor_api::wire::ref_field(out, {:?}, true);\n", f.name);
+            }
+            FieldKind::NullRef => {
+                entry += &format!("::motor_api::wire::ref_field(out, {:?}, false);\n", f.name);
+            }
+            FieldKind::Skip => unreachable!(),
+        }
+    }
+
+    // -- write_fields -------------------------------------------------------
+    let mut write = String::new();
+    for f in &wire_fields {
+        let fname = &f.name;
+        match &f.kind {
+            FieldKind::Prim { .. } => write += &format!("enc.put_prim(self.{fname});\n"),
+            FieldKind::PrimArray => write += &format!("enc.put_prim_array(&self.{fname});\n"),
+            FieldKind::OptPrimArray => {
+                write += &format!("enc.put_opt_prim_array(&self.{fname});\n")
+            }
+            FieldKind::ClassRef { .. } => write += &format!("enc.put_class_ref(&self.{fname});\n"),
+            FieldKind::NullRef => write += "enc.put_null_ref();\n",
+            FieldKind::Skip => unreachable!(),
+        }
+    }
+
+    // -- read_fields --------------------------------------------------------
+    let mut read = String::new();
+    for f in &p.fields {
+        let fname = &f.name;
+        match &f.kind {
+            FieldKind::Prim { .. } => read += &format!("{fname}: r.prim()?,\n"),
+            FieldKind::PrimArray => read += &format!("{fname}: r.prim_array()?,\n"),
+            FieldKind::OptPrimArray => read += &format!("{fname}: r.opt_prim_array()?,\n"),
+            FieldKind::ClassRef { ty } => read += &format!("{fname}: r.class_ref::<{ty}>()?,\n"),
+            FieldKind::NullRef => read += &format!("{fname}: r.null_ref()?,\n"),
+            FieldKind::Skip => read += &format!("{fname}: ::core::default::Default::default(),\n"),
+        }
+    }
+
+    format!(
+        r#"
+#[automatically_derived]
+impl ::motor_api::Transportable for {name} {{
+    const TYPE_NAME: &'static str = {name:?};
+
+    fn type_entry(out: &mut ::std::vec::Vec<u8>) {{
+        ::motor_api::wire::class_entry_header(out, {name:?}, {nfields}u16);
+        {entry}
+    }}
+
+    fn write_fields<'mw>(&'mw self, enc: &mut ::motor_api::wire::Encoder<'mw>) {{
+        {write}
+    }}
+
+    fn read_fields(r: &mut ::motor_api::wire::FieldReader<'_, '_>) -> ::std::result::Result<Self, ::motor_api::Error> {{
+        ::std::result::Result::Ok({name} {{
+            {read}
+        }})
+    }}
+}}
+
+#[automatically_derived]
+impl ::motor_api::wire::Node for {name} {{
+    fn addr(&self) -> usize {{
+        self as *const {name} as usize
+    }}
+    fn type_key(&self) -> ::motor_api::wire::TypeKey {{
+        ::motor_api::wire::TypeKey::Class(<{name} as ::motor_api::Transportable>::TYPE_NAME)
+    }}
+    fn type_entry(&self, out: &mut ::std::vec::Vec<u8>) {{
+        <{name} as ::motor_api::Transportable>::type_entry(out)
+    }}
+    fn write_record<'mw>(&'mw self, enc: &mut ::motor_api::wire::Encoder<'mw>) {{
+        <{name} as ::motor_api::Transportable>::write_fields(self, enc)
+    }}
+}}
+"#
+    )
+}

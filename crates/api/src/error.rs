@@ -1,0 +1,139 @@
+//! The unified user-facing error surface (satellite of the API redesign):
+//! one enum covering transport faults, runtime faults, and decode faults,
+//! while keeping the conditions user code genuinely branches on —
+//! peer-closed and truncation — as first-class variants instead of burying
+//! them inside nested wrappers.
+
+use motor_core::CoreError;
+use motor_mpc::MpcError;
+use std::fmt;
+
+/// Result alias for all `motor-api` operations.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors surfaced by the typed Motor API.
+#[derive(Debug)]
+pub enum Error {
+    /// The peer rank exited or closed its endpoint mid-operation.  Kept
+    /// distinguishable (not folded into a generic transport error) because
+    /// resilient applications branch on it — see [`Error::is_peer_closed`].
+    PeerClosed {
+        /// The global rank that went away.
+        rank: usize,
+    },
+    /// An incoming message was larger than the receive buffer.
+    Truncated {
+        /// Message size in bytes.
+        message: usize,
+        /// Buffer capacity in bytes.
+        buffer: usize,
+    },
+    /// Any other message-passing-core fault (invalid rank, shutdown, …).
+    Transport(MpcError),
+    /// A fault from the managed runtime bindings (null buffer, range
+    /// bounds, object-model integrity, …).
+    Runtime(CoreError),
+    /// A received representation did not decode into the requested Rust
+    /// type (layout mismatch, truncated bytes, cyclic graph, …).
+    Decode(String),
+}
+
+impl Error {
+    /// True when the failure means the peer rank is gone — the condition
+    /// fault-tolerant applications retry or reroute on.
+    pub fn is_peer_closed(&self) -> bool {
+        matches!(self, Error::PeerClosed { .. })
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::PeerClosed { rank } => write!(f, "peer rank {rank} closed"),
+            Error::Truncated { message, buffer } => {
+                write!(
+                    f,
+                    "message of {message} bytes truncated into {buffer}-byte buffer"
+                )
+            }
+            Error::Transport(e) => write!(f, "transport: {e}"),
+            Error::Runtime(e) => write!(f, "runtime: {e}"),
+            Error::Decode(s) => write!(f, "decode: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Transport(e) => Some(e),
+            Error::Runtime(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<MpcError> for Error {
+    fn from(e: MpcError) -> Self {
+        match e {
+            MpcError::PeerClosed(rank) => Error::PeerClosed { rank },
+            MpcError::Truncation { message, buffer } => Error::Truncated { message, buffer },
+            other => Error::Transport(other),
+        }
+    }
+}
+
+impl From<CoreError> for Error {
+    fn from(e: CoreError) -> Self {
+        // Lift the conditions users branch on out of the nesting.
+        match e {
+            CoreError::Mpc(m) => m.into(),
+            CoreError::Serialization(s) => Error::Decode(s),
+            CoreError::UnknownType(t) => {
+                Error::Decode(format!("receiver does not know type `{t}`"))
+            }
+            other => Error::Runtime(other),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn peer_closed_stays_distinguishable() {
+        let e: Error = MpcError::PeerClosed(3).into();
+        assert!(e.is_peer_closed());
+        assert!(e.to_string().contains("rank 3"));
+
+        // ...even when it arrives wrapped in a CoreError.
+        let e: Error = CoreError::Mpc(MpcError::PeerClosed(7)).into();
+        assert!(matches!(e, Error::PeerClosed { rank: 7 }));
+    }
+
+    #[test]
+    fn truncation_carries_sizes() {
+        let e: Error = MpcError::Truncation {
+            message: 64,
+            buffer: 16,
+        }
+        .into();
+        assert!(matches!(
+            e,
+            Error::Truncated {
+                message: 64,
+                buffer: 16
+            }
+        ));
+        assert!(!e.is_peer_closed());
+    }
+
+    #[test]
+    fn serialization_faults_become_decode() {
+        let e: Error = CoreError::Serialization("bad table".into()).into();
+        assert!(matches!(e, Error::Decode(_)));
+        let e: Error = CoreError::UnknownType("Ghost".into()).into();
+        assert!(e.to_string().contains("Ghost"));
+    }
+}

@@ -1,0 +1,47 @@
+//! Compile-fail cases for the derive and the request discipline.
+//!
+//! No `trybuild` in the offline tree, so each case is a stand-alone
+//! fixture crate under `tests/ui/<case>/` (its own `[workspace]`, a
+//! path dependency on `motor-api`) that `cargo check` must reject with
+//! a diagnostic containing the expected substring.  All cases share one
+//! scratch target dir so the dependency graph compiles once.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn check_fails_with(case: &str, expected: &str) {
+    let fixture = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/ui")
+        .join(case);
+    let target = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join("ui-scratch");
+    let out = Command::new(env!("CARGO"))
+        .args(["check", "--offline", "--quiet"])
+        .current_dir(&fixture)
+        .env("CARGO_TARGET_DIR", &target)
+        .output()
+        .unwrap_or_else(|e| panic!("case {case}: failed to spawn cargo: {e}"));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        !out.status.success(),
+        "case {case}: expected the fixture to fail to compile, but it built:\n{stderr}"
+    );
+    assert!(
+        stderr.contains(expected),
+        "case {case}: diagnostic does not mention {expected:?}:\n{stderr}"
+    );
+}
+
+#[test]
+fn non_transportable_field_is_rejected_at_the_field() {
+    check_fails_with("non_transportable_field", "is not transportable");
+}
+
+#[test]
+fn non_transportable_field_names_the_offender() {
+    check_fails_with("non_transportable_field", "Bad.name: String");
+}
+
+#[test]
+fn discarded_pending_send_is_rejected() {
+    check_fails_with("dropped_request", "must be completed with wait()");
+}

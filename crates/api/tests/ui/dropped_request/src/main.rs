@@ -1,0 +1,17 @@
+//! Must fail to compile: discarding the `PendingSend` returned by
+//! `isend_slice` abandons an issued request, so the `#[must_use]`
+//! lint — denied here, as in any crate serious about the linear
+//! request discipline — rejects it.
+
+#![deny(unused_must_use)]
+#![allow(dead_code)]
+
+use motor_api::comm::Comm;
+use motor_api::{Communicator, Result};
+
+fn leak<C: Comm>(comm: &Communicator<'_, C>, data: &[i32]) -> Result<()> {
+    comm.isend_slice(data, 1, 0)?;
+    Ok(())
+}
+
+fn main() {}

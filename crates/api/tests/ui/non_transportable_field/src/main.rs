@@ -1,0 +1,13 @@
+//! Must fail to compile: `String` has no wire representation, and the
+//! derive should say so at the offending field rather than at a distant
+//! trait bound.
+
+use motor_api::Transportable;
+
+#[derive(Transportable)]
+struct Bad {
+    id: i32,
+    name: String,
+}
+
+fn main() {}

@@ -1,0 +1,42 @@
+//! Criterion bench for the typed-API ablation (DESIGN.md § typed API).
+//!
+//! Compares the `Communicator` managed-array ping-pong against the
+//! hand-written `Mp` loop it delegates to, at three buffer sizes.  The
+//! asserted 2% gate lives in the `apps` binary (`apps run`); this bench
+//! exists for profiling the two paths side by side.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use motor_bench::apps::ablation_api;
+
+fn bench_ablation_api(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_api");
+    g.sample_size(10);
+    for &bytes in &[1024usize, 16 * 1024, 128 * 1024] {
+        g.bench_with_input(BenchmarkId::new("hand_mp", bytes), &bytes, |b, &bytes| {
+            b.iter_custom(|iters| {
+                let mut total = Duration::ZERO;
+                for _ in 0..iters {
+                    let (hand, _) = ablation_api(bytes, 10, 30, 1);
+                    total += Duration::from_nanos((hand * 1000.0) as u64);
+                }
+                total
+            });
+        });
+        g.bench_with_input(BenchmarkId::new("typed_api", bytes), &bytes, |b, &bytes| {
+            b.iter_custom(|iters| {
+                let mut total = Duration::ZERO;
+                for _ in 0..iters {
+                    let (_, api) = ablation_api(bytes, 10, 30, 1);
+                    total += Duration::from_nanos((api * 1000.0) as u64);
+                }
+                total
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_ablation_api);
+criterion_main!(benches);

@@ -1,0 +1,593 @@
+//! Application benchmark workloads on the typed `motor-api` surface.
+//!
+//! Three kernels exercise the API the way applications do, each
+//! self-verifying and deterministic:
+//!
+//! * [`cg`] — an NPB-style conjugate-gradient solve on a 2-D Laplacian:
+//!   `allgather_slice` for the shared direction vector, scalar
+//!   `allreduce` for the dot products.
+//! * [`bfs`] — level-synchronous breadth-first search on a synthetic
+//!   graph, exchanging frontiers as `#[derive(Transportable)]` objects
+//!   through `gather_objs`/`bcast_obj`.
+//! * [`pipeline`] — a streaming pipeline whose compute stages are
+//!   **dynamically spawned** Motor child VMs: stage 1 streams typed
+//!   slices to stage 2 inside the children's world; stage 2 reports
+//!   batches to the parent over the intercommunicator object transport.
+//!
+//! [`ablation_api`] measures the typed front-end against hand-written
+//! `Mp` calls in the same process (paired, interleaved repeats): the
+//! managed-array operations monomorphize to the same handle calls, so
+//! the ratio must stay within a few percent.
+//!
+//! Every workload returns an [`AppResult`] which serializes to the
+//! `BENCH_<workload>.json` artifact consumed by the CI regression gate
+//! (see the `apps` binary).
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use motor_api::{Communicator, Transportable};
+use motor_core::cluster::{run_cluster, spawn_motor_children, ClusterConfig};
+use motor_mpc::{ReduceOp, Source};
+use motor_pal::clock::Stopwatch;
+use motor_runtime::{ElemKind, TypeRegistry};
+
+/// One workload's outcome: the timing metric, a correctness checksum and
+/// the configuration that produced it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AppResult {
+    /// Workload name (`cg`, `bfs`, `pipeline`, `ablation_api`).
+    pub workload: &'static str,
+    /// Mean microseconds per iteration (the gated metric).
+    pub us_per_iter: f64,
+    /// Deterministic correctness checksum (must reproduce across runs
+    /// with the same config).
+    pub checksum: f64,
+    /// Human-readable configuration string; the gate refuses to compare
+    /// results from different configs.
+    pub config: String,
+}
+
+impl AppResult {
+    /// The `BENCH_<workload>.json` artifact body.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"motor_bench_app\":1,\"workload\":\"{}\",\"us_per_iter\":{:.3},\
+             \"checksum\":{:.6},\"config\":\"{}\"}}\n",
+            self.workload, self.us_per_iter, self.checksum, self.config
+        )
+    }
+
+    /// Parse an artifact written by [`AppResult::to_json`] (no serde in
+    /// the tree; the format is flat and fully under our control).
+    pub fn from_json(s: &str) -> Option<AppResult> {
+        fn str_field(s: &str, key: &str) -> Option<String> {
+            let pat = format!("\"{key}\":\"");
+            let start = s.find(&pat)? + pat.len();
+            let end = s[start..].find('"')? + start;
+            Some(s[start..end].to_string())
+        }
+        fn num_field(s: &str, key: &str) -> Option<f64> {
+            let pat = format!("\"{key}\":");
+            let start = s.find(&pat)? + pat.len();
+            let end = s[start..]
+                .find([',', '}'])
+                .map(|e| e + start)
+                .unwrap_or(s.len());
+            s[start..end].trim().parse().ok()
+        }
+        let workload = match str_field(s, "workload")?.as_str() {
+            "cg" => "cg",
+            "bfs" => "bfs",
+            "pipeline" => "pipeline",
+            "ablation_api" => "ablation_api",
+            _ => return None,
+        };
+        Some(AppResult {
+            workload,
+            us_per_iter: num_field(s, "us_per_iter")?,
+            checksum: num_field(s, "checksum")?,
+            config: str_field(s, "config")?,
+        })
+    }
+}
+
+/// Sizing knobs shared by the workloads.
+#[derive(Debug, Clone, Copy)]
+pub struct AppConfig {
+    /// Ranks in the cluster (CG and BFS).
+    pub ranks: usize,
+    /// Problem scale: CG grid side, BFS vertices-per-rank multiplier,
+    /// pipeline batch length.
+    pub scale: usize,
+    /// Timed iterations (CG iterations, BFS sweeps, pipeline batches).
+    pub iters: usize,
+}
+
+impl AppConfig {
+    /// Full-size configuration for the artifact run.
+    pub fn full() -> AppConfig {
+        AppConfig {
+            ranks: 4,
+            scale: 32,
+            iters: 40,
+        }
+    }
+
+    /// Reduced configuration for CI smoke and unit tests.
+    pub fn quick() -> AppConfig {
+        AppConfig {
+            ranks: 2,
+            scale: 8,
+            iters: 8,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// CG: NPB-style conjugate gradient
+// ---------------------------------------------------------------------
+
+/// Conjugate gradient on the 2-D 5-point Laplacian (diagonally shifted,
+/// so SPD) over a `scale × scale` grid, rows block-partitioned.  Per
+/// iteration: one `allgather_slice` of the direction vector and two
+/// scalar `allreduce`s for the dot products.
+pub fn cg(cfg: AppConfig) -> AppResult {
+    let g = cfg.scale;
+    let n = g * g;
+    assert_eq!(n % cfg.ranks, 0, "grid rows must split evenly");
+    let iters = cfg.iters;
+    let out = Arc::new(Mutex::new((0.0f64, 0.0f64)));
+    let o = Arc::clone(&out);
+    run_cluster(
+        ClusterConfig::builder().ranks(cfg.ranks).build(),
+        |_reg| {},
+        move |proc| {
+            let comm = Communicator::bind(proc.mp());
+            let rank = comm.rank();
+            let rows = n / comm.size();
+            let row0 = rank * rows;
+
+            // A·v for the owned row block; `v` is the full vector.
+            let spmv = |v: &[f64], out: &mut [f64]| {
+                for (li, o) in out.iter_mut().enumerate() {
+                    let i = row0 + li;
+                    let (x, y) = (i % g, i / g);
+                    let mut acc = (4.1) * v[i];
+                    if x > 0 {
+                        acc -= v[i - 1];
+                    }
+                    if x + 1 < g {
+                        acc -= v[i + 1];
+                    }
+                    if y > 0 {
+                        acc -= v[i - g];
+                    }
+                    if y + 1 < g {
+                        acc -= v[i + g];
+                    }
+                    *o = acc;
+                }
+            };
+            let dot = |a: &[f64], b: &[f64]| -> f64 { a.iter().zip(b).map(|(x, y)| x * y).sum() };
+
+            // b = 1, x = 0, r = b, p = r.
+            let mut x = vec![0f64; rows];
+            let mut r = vec![1f64; rows];
+            let mut p = r.clone();
+            let mut p_global = vec![0f64; n];
+            let mut q = vec![0f64; rows];
+            let mut rho = comm.allreduce(dot(&r, &r), ReduceOp::Sum).unwrap();
+            let rho0 = rho;
+
+            let sw = Stopwatch::start();
+            for _ in 0..iters {
+                comm.allgather_slice(&p, &mut p_global).unwrap();
+                spmv(&p_global, &mut q);
+                let pq = comm.allreduce(dot(&p, &q), ReduceOp::Sum).unwrap();
+                let alpha = rho / pq;
+                for i in 0..rows {
+                    x[i] += alpha * p[i];
+                    r[i] -= alpha * q[i];
+                }
+                let rho_new = comm.allreduce(dot(&r, &r), ReduceOp::Sum).unwrap();
+                let beta = rho_new / rho;
+                rho = rho_new;
+                for i in 0..rows {
+                    p[i] = r[i] + beta * p[i];
+                }
+            }
+            let us = sw.elapsed_micros_f64() / iters as f64;
+
+            if rank == 0 {
+                assert!(
+                    rho < rho0 * 1e-6,
+                    "CG must converge: rho {rho} vs rho0 {rho0}"
+                );
+                *o.lock() = (us, rho.sqrt());
+            }
+        },
+    )
+    .unwrap();
+    let (us, checksum) = *out.lock();
+    AppResult {
+        workload: "cg",
+        us_per_iter: us,
+        checksum,
+        config: format!("ranks={},n={},iters={}", cfg.ranks, n, iters),
+    }
+}
+
+// ---------------------------------------------------------------------
+// BFS: level-synchronous frontier exchange as transportable objects
+// ---------------------------------------------------------------------
+
+/// A BFS frontier shipped between ranks as a transportable object.
+#[derive(Transportable, Debug, Default)]
+struct Frontier {
+    level: i32,
+    #[transportable]
+    verts: Vec<i64>,
+}
+
+/// Out-neighbours of vertex `v` in the synthetic graph.
+fn bfs_neighbors(v: i64, n: i64) -> [i64; 3] {
+    [(v + 1) % n, (v + n - 1) % n, (3 * v + 7) % n]
+}
+
+/// Sequential reference: sum of finite BFS distances from vertex 0.
+fn bfs_reference(n: i64) -> f64 {
+    let mut dist = vec![-1i64; n as usize];
+    dist[0] = 0;
+    let mut frontier = vec![0i64];
+    while !frontier.is_empty() {
+        let mut next = Vec::new();
+        for &v in &frontier {
+            for w in bfs_neighbors(v, n) {
+                if dist[w as usize] < 0 {
+                    dist[w as usize] = dist[v as usize] + 1;
+                    next.push(w);
+                }
+            }
+        }
+        frontier = next;
+    }
+    dist.iter().map(|&d| d.max(0) as f64).sum()
+}
+
+/// Level-synchronous BFS over `ranks * scale * 32` vertices, 1-D
+/// partitioned.  Each level the candidate owners mark their discoveries,
+/// the per-rank frontier contributions travel as
+/// `#[derive(Transportable)]` objects (`gather_objs`), and the merged
+/// frontier returns via `bcast_obj`; an `allreduce` detects termination.
+pub fn bfs(cfg: AppConfig) -> AppResult {
+    let n = (cfg.ranks * cfg.scale * 32) as i64;
+    let sweeps = cfg.iters;
+    let out = Arc::new(Mutex::new((0.0f64, 0.0f64)));
+    let o = Arc::clone(&out);
+    run_cluster(
+        ClusterConfig::builder().ranks(cfg.ranks).build(),
+        |_reg| {},
+        move |proc| {
+            let comm = Communicator::bind(proc.mp());
+            let rank = comm.rank();
+            let per = n as usize / comm.size();
+            let own0 = (rank * per) as i64;
+            let owns = |v: i64| -> bool { v >= own0 && v < own0 + per as i64 };
+
+            let mut checksum = 0.0;
+            let sw = Stopwatch::start();
+            for _ in 0..sweeps {
+                let mut dist = vec![-1i64; per];
+                if owns(0) {
+                    dist[(0 - own0) as usize] = 0;
+                }
+                let mut frontier = vec![0i64];
+                let mut level = 0i32;
+                while !frontier.is_empty() {
+                    // Owners of the candidate vertices mark and collect.
+                    let mut local_next = Vec::new();
+                    for &v in &frontier {
+                        for w in bfs_neighbors(v, n) {
+                            if owns(w) && dist[(w - own0) as usize] < 0 {
+                                dist[(w - own0) as usize] = (level + 1) as i64;
+                                local_next.push(w);
+                            }
+                        }
+                    }
+                    // Frontier contributions travel as objects.
+                    let mine = [Frontier {
+                        level,
+                        verts: local_next,
+                    }];
+                    let gathered = comm.gather_objs(&mine, 0).unwrap();
+                    let merged = gathered.map(|parts| Frontier {
+                        level,
+                        verts: parts.into_iter().flat_map(|f| f.verts).collect(),
+                    });
+                    frontier = comm
+                        .bcast_obj(merged.as_ref(), 0)
+                        .unwrap()
+                        .map(|f| f.verts)
+                        .unwrap_or_else(|| merged.unwrap().verts);
+                    level += 1;
+                }
+                let local_sum: f64 = dist.iter().map(|&d| d.max(0) as f64).sum();
+                checksum = comm.allreduce(local_sum, ReduceOp::Sum).unwrap();
+            }
+            let us = sw.elapsed_micros_f64() / sweeps as f64;
+            if rank == 0 {
+                assert_eq!(
+                    checksum,
+                    bfs_reference(n),
+                    "BFS distances must match reference"
+                );
+                *o.lock() = (us, checksum);
+            }
+        },
+    )
+    .unwrap();
+    let (us, checksum) = *out.lock();
+    AppResult {
+        workload: "bfs",
+        us_per_iter: us,
+        checksum,
+        config: format!("ranks={},vertices={n},sweeps={sweeps}", cfg.ranks),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Pipeline: dynamically spawned stages streaming typed slices
+// ---------------------------------------------------------------------
+
+fn define_batch(reg: &mut TypeRegistry) {
+    let arr = reg.prim_array(ElemKind::F64);
+    reg.define_class("Batch")
+        .prim("seq", ElemKind::I32)
+        .transportable("data", arr)
+        .build();
+}
+
+/// A two-stage streaming pipeline whose stages are **spawned at
+/// runtime** (§7 dynamic process management): the parent spawns two
+/// Motor child VMs; stage 1 generates and pre-scales batches, streaming
+/// them to stage 2 with typed slices inside the children's world; stage
+/// 2 finishes each batch and reports it to the parent as a managed
+/// object over the parent↔children intercommunicator.
+pub fn pipeline(cfg: AppConfig) -> AppResult {
+    let batch_len = cfg.scale * 32;
+    let batches = cfg.iters;
+    let out = Arc::new(Mutex::new((0.0f64, 0.0f64)));
+    let o = Arc::clone(&out);
+    run_cluster(
+        ClusterConfig::builder().ranks(1).build(),
+        define_batch,
+        move |proc| {
+            let inter = spawn_motor_children(
+                proc,
+                2,
+                ClusterConfig::default(),
+                define_batch,
+                move |child| {
+                    let world = Communicator::bind(child.mp());
+                    if world.rank() == 0 {
+                        // Stage 1: generate, pre-scale, stream onward.
+                        let mut buf = vec![0f64; batch_len];
+                        for b in 0..batches {
+                            for (j, x) in buf.iter_mut().enumerate() {
+                                *x = 2.0 * (b * batch_len + j) as f64;
+                            }
+                            world.send_slice(&buf, 1, 1).unwrap();
+                        }
+                    } else {
+                        // Stage 2: finish each batch, report to parent.
+                        let t = child.thread();
+                        let cls = child.vm().registry().by_name("Batch").unwrap();
+                        let (fseq, fdata) = (t.field_index(cls, "seq"), t.field_index(cls, "data"));
+                        let parent = child.parent_comm().expect("spawned child has a parent");
+                        let mut buf = vec![0f64; batch_len];
+                        for b in 0..batches {
+                            world.recv_into(&mut buf, 0, 1).unwrap();
+                            for x in buf.iter_mut() {
+                                *x += 1.0;
+                            }
+                            let rep = t.alloc_instance(cls);
+                            t.set_prim::<i32>(rep, fseq, b as i32);
+                            let arr = t.alloc_prim_array(ElemKind::F64, batch_len);
+                            t.prim_write(arr, 0, &buf);
+                            t.set_ref(rep, fdata, arr);
+                            child.osend_inter(parent, rep, 0, 9).unwrap();
+                            t.release(rep);
+                            t.release(arr);
+                        }
+                    }
+                },
+            )
+            .expect("spawn pipeline stages");
+
+            // Parent: sink. Receive every batch, time the stream.
+            let t = proc.thread();
+            let cls = proc.vm().registry().by_name("Batch").unwrap();
+            let (fseq, fdata) = (t.field_index(cls, "seq"), t.field_index(cls, "data"));
+            let mut total = 0.0f64;
+            let mut data = vec![0f64; batch_len];
+            let sw = Stopwatch::start();
+            for b in 0..batches {
+                let (rep, _) = proc.orecv_inter(&inter, Source::Any, 9).unwrap();
+                assert_eq!(t.get_prim::<i32>(rep, fseq), b as i32, "in-order stream");
+                let arr = t.get_ref(rep, fdata);
+                t.prim_read(arr, 0, &mut data);
+                total += data.iter().sum::<f64>();
+                t.release(arr);
+                t.release(rep);
+            }
+            let us = sw.elapsed_micros_f64() / batches as f64;
+
+            // sum over b,j of 2*(b*L+j)+1.
+            let nn = (batches * batch_len) as f64;
+            let expect = nn * (nn - 1.0) + nn;
+            assert_eq!(total, expect, "pipeline checksum");
+            *o.lock() = (us, total);
+        },
+    )
+    .unwrap();
+    let (us, checksum) = *out.lock();
+    AppResult {
+        workload: "pipeline",
+        us_per_iter: us,
+        checksum,
+        config: format!("stages=2,batch_len={batch_len},batches={batches}"),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Ablation: typed API vs hand-written Mp
+// ---------------------------------------------------------------------
+
+/// The zero-cost claim, measured: a managed-array ping-pong through
+/// [`Communicator::send_array`]/[`Communicator::recv_array`] against the
+/// identical hand-written `Mp::send`/`Mp::recv` loop, paired and
+/// interleaved in one cluster so the repeats see the same conditions.
+/// Returns `(hand_us, api_us)` per repeat; the artifact metric is the
+/// best-over-repeats ratio (`api/hand`), gated at 1.02 by the `apps`
+/// binary.
+pub fn ablation_api(bytes: usize, warmup: usize, timed: usize, repeats: usize) -> (f64, f64) {
+    let out = Arc::new(Mutex::new((0.0f64, 0.0f64)));
+    let o = Arc::clone(&out);
+    run_cluster(
+        ClusterConfig::builder().ranks(2).build(),
+        |_reg| {},
+        move |proc| {
+            let mp = proc.mp();
+            let comm = Communicator::bind(proc.mp());
+            let t = proc.thread();
+            let hand_buf = t.alloc_prim_array(ElemKind::U8, bytes);
+            let api_buf = comm.alloc_array::<u8>(bytes);
+            let rank = mp.rank();
+
+            let hand_phase = |timed_out: &mut f64| {
+                if rank == 0 {
+                    for _ in 0..warmup {
+                        mp.send(hand_buf, 1, 0).unwrap();
+                        mp.recv(hand_buf, 1, 0).unwrap();
+                    }
+                    let sw = Stopwatch::start();
+                    for _ in 0..timed {
+                        mp.send(hand_buf, 1, 0).unwrap();
+                        mp.recv(hand_buf, 1, 0).unwrap();
+                    }
+                    *timed_out = timed_out.min(sw.elapsed_micros_f64() / timed as f64);
+                } else {
+                    for _ in 0..warmup + timed {
+                        mp.recv(hand_buf, 0, 0).unwrap();
+                        mp.send(hand_buf, 0, 0).unwrap();
+                    }
+                }
+            };
+            let api_phase = |timed_out: &mut f64| {
+                if rank == 0 {
+                    for _ in 0..warmup {
+                        comm.send_array(&api_buf, 1, 0).unwrap();
+                        comm.recv_array(&api_buf, 1, 0).unwrap();
+                    }
+                    let sw = Stopwatch::start();
+                    for _ in 0..timed {
+                        comm.send_array(&api_buf, 1, 0).unwrap();
+                        comm.recv_array(&api_buf, 1, 0).unwrap();
+                    }
+                    *timed_out = timed_out.min(sw.elapsed_micros_f64() / timed as f64);
+                } else {
+                    for _ in 0..warmup + timed {
+                        comm.recv_array(&api_buf, 0, 0).unwrap();
+                        comm.send_array(&api_buf, 0, 0).unwrap();
+                    }
+                }
+            };
+
+            let mut best_hand = f64::INFINITY;
+            let mut best_api = f64::INFINITY;
+            // Alternate phase order between repeats so clock drift and
+            // cache warm-up cancel instead of biasing one side.
+            for rep in 0..repeats {
+                if rep % 2 == 0 {
+                    hand_phase(&mut best_hand);
+                    api_phase(&mut best_api);
+                } else {
+                    api_phase(&mut best_api);
+                    hand_phase(&mut best_hand);
+                }
+            }
+            if rank == 0 {
+                *o.lock() = (best_hand, best_api);
+            }
+        },
+    )
+    .unwrap();
+    let v = *out.lock();
+    v
+}
+
+/// The ablation as a gated artifact: metric = `api/hand` ratio.
+pub fn ablation_api_result(quick: bool) -> AppResult {
+    let (bytes, warmup, timed, repeats) = if quick {
+        (16 * 1024, 20, 60, 3)
+    } else {
+        (32 * 1024, 100, 200, 5)
+    };
+    let (hand, api) = ablation_api(bytes, warmup, timed, repeats);
+    AppResult {
+        workload: "ablation_api",
+        us_per_iter: api / hand,
+        checksum: 0.0,
+        config: format!("bytes={bytes},timed={timed},repeats={repeats},metric=api_over_hand"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cg_converges_and_reports() {
+        let r = cg(AppConfig::quick());
+        assert!(r.us_per_iter > 0.0);
+        assert!(r.checksum < 1e-2, "converged residual, got {}", r.checksum);
+    }
+
+    #[test]
+    fn bfs_matches_sequential_reference() {
+        let mut cfg = AppConfig::quick();
+        cfg.iters = 2;
+        let r = bfs(cfg);
+        assert!(r.us_per_iter > 0.0);
+        assert_eq!(
+            r.checksum,
+            bfs_reference((cfg.ranks * cfg.scale * 32) as i64)
+        );
+    }
+
+    #[test]
+    fn pipeline_streams_through_spawned_stages() {
+        let mut cfg = AppConfig::quick();
+        cfg.iters = 6;
+        let r = pipeline(cfg);
+        assert!(r.us_per_iter > 0.0);
+        assert!(r.checksum > 0.0);
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let r = AppResult {
+            workload: "cg",
+            us_per_iter: 12.345,
+            checksum: -0.5,
+            config: "ranks=4,n=1024,iters=25".into(),
+        };
+        let back = AppResult::from_json(&r.to_json()).unwrap();
+        assert_eq!(back.workload, r.workload);
+        assert!((back.us_per_iter - r.us_per_iter).abs() < 1e-3);
+        assert!((back.checksum - r.checksum).abs() < 1e-6);
+        assert_eq!(back.config, r.config);
+    }
+}

@@ -1,0 +1,174 @@
+//! Application benchmark artifacts and the CI regression gate.
+//!
+//! ```text
+//! apps run [--quick] [--out DIR]     # run cg/bfs/pipeline/ablation_api,
+//!                                    # write BENCH_<workload>.json to DIR
+//! apps gate <baseline_dir> <new_dir> # fail (exit 1) when any workload
+//!                                    # regressed > 10% vs the baseline
+//! ```
+//!
+//! `run` also enforces the zero-cost gate in place: the typed API's
+//! managed-array ping-pong must stay within 2% of the hand-written `Mp`
+//! loop (`BENCH_ablation_api.json` carries the ratio, retried to shed
+//! scheduler noise).  `gate` compares `us_per_iter` per workload between
+//! two artifact directories; configs must match or the pair is skipped
+//! with a warning (a resize is a new baseline, not a regression).
+
+use std::fs;
+use std::path::Path;
+use std::process::exit;
+
+use motor_bench::apps::{ablation_api_result, bfs, cg, pipeline, AppConfig, AppResult};
+
+/// Fail the `gate` when new/old exceeds this.
+const REGRESSION_LIMIT: f64 = 1.10;
+/// Fail `run` when the typed API exceeds hand-written Mp by more than
+/// this ratio (best over retries).
+const ABLATION_LIMIT: f64 = 1.02;
+/// Ablation retries before declaring the overhead real.
+const ABLATION_RETRIES: usize = 5;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("run") | None => run(&args),
+        Some("gate") => gate(&args),
+        Some(other) => {
+            eprintln!("unknown command `{other}`; use `run` or `gate`");
+            exit(2);
+        }
+    }
+}
+
+fn run(args: &[String]) {
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_dir = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+        .unwrap_or("bench_results")
+        .to_string();
+    fs::create_dir_all(&out_dir).expect("create output dir");
+
+    let cfg = if quick {
+        AppConfig::quick()
+    } else {
+        AppConfig::full()
+    };
+    println!(
+        "## Application workloads ({})\n",
+        if quick { "quick" } else { "full" }
+    );
+    println!("| workload | µs/iter | checksum | config |");
+    println!("|---|---|---|---|");
+
+    let mut results = vec![cg(cfg), bfs(cfg), pipeline(cfg)];
+
+    // Zero-cost ablation: best ratio over retries must clear the gate.
+    let mut abl = ablation_api_result(quick);
+    for _ in 1..ABLATION_RETRIES {
+        if abl.us_per_iter <= ABLATION_LIMIT {
+            break;
+        }
+        let again = ablation_api_result(quick);
+        if again.us_per_iter < abl.us_per_iter {
+            abl = again;
+        }
+    }
+    results.push(abl.clone());
+
+    for r in &results {
+        println!(
+            "| {} | {:.3} | {:.6} | {} |",
+            r.workload, r.us_per_iter, r.checksum, r.config
+        );
+        let path = format!("{out_dir}/BENCH_{}.json", r.workload);
+        fs::write(&path, r.to_json()).expect("write artifact");
+        println!("  wrote {path}");
+    }
+
+    if abl.us_per_iter > ABLATION_LIMIT {
+        let msg = format!(
+            "ablation_api: typed API ping-pong is {:.1}% slower than hand-written Mp \
+             (limit {:.0}%) — the front-end is supposed to monomorphize away",
+            (abl.us_per_iter - 1.0) * 100.0,
+            (ABLATION_LIMIT - 1.0) * 100.0
+        );
+        // The zero-cost claim is about the optimized artifact; debug
+        // builds neither inline nor monomorphize the wrappers away, so
+        // there the ratio is reported but not enforced.
+        if cfg!(debug_assertions) {
+            println!("{msg} (unoptimized build: reported, not enforced)");
+        } else {
+            eprintln!("{msg}");
+            exit(1);
+        }
+    } else {
+        println!(
+            "\nablation_api: typed/hand ratio {:.4} (gate {:.2}) — OK",
+            abl.us_per_iter, ABLATION_LIMIT
+        );
+    }
+}
+
+fn load(dir: &str, workload: &str) -> Option<AppResult> {
+    let path = Path::new(dir).join(format!("BENCH_{workload}.json"));
+    let body = fs::read_to_string(path).ok()?;
+    AppResult::from_json(&body)
+}
+
+fn gate(args: &[String]) {
+    let (old_dir, new_dir) = match (args.get(1), args.get(2)) {
+        (Some(o), Some(n)) => (o.as_str(), n.as_str()),
+        _ => {
+            eprintln!("usage: apps gate <baseline_dir> <new_dir>");
+            exit(2);
+        }
+    };
+    let mut failed = false;
+    let mut compared = 0;
+    for workload in ["cg", "bfs", "pipeline", "ablation_api"] {
+        let Some(new) = load(new_dir, workload) else {
+            eprintln!("gate: {new_dir}/BENCH_{workload}.json missing or unparsable");
+            failed = true;
+            continue;
+        };
+        let Some(old) = load(old_dir, workload) else {
+            println!("gate: no baseline for {workload}; accepting current as baseline");
+            continue;
+        };
+        if old.config != new.config {
+            println!(
+                "gate: {workload} config changed ({} -> {}); skipping comparison",
+                old.config, new.config
+            );
+            continue;
+        }
+        compared += 1;
+        let ratio = new.us_per_iter / old.us_per_iter;
+        let verdict = if ratio > REGRESSION_LIMIT {
+            "REGRESSED"
+        } else {
+            "ok"
+        };
+        println!(
+            "gate: {workload}: {:.3} -> {:.3} µs/iter (x{ratio:.3}) {verdict}",
+            old.us_per_iter, new.us_per_iter
+        );
+        if ratio > REGRESSION_LIMIT {
+            failed = true;
+        }
+    }
+    if failed {
+        eprintln!(
+            "gate: regression beyond {:.0}% (or missing artifacts)",
+            (REGRESSION_LIMIT - 1.0) * 100.0
+        );
+        exit(1);
+    }
+    println!(
+        "gate: {compared} workloads within {:.0}%",
+        (REGRESSION_LIMIT - 1.0) * 100.0
+    );
+}

@@ -17,10 +17,12 @@
 //! plots; `benches/` holds Criterion microbenches for each figure and for
 //! the design-choice ablations listed in DESIGN.md.
 
+pub mod apps;
 pub mod protocol;
 pub mod series;
 pub mod workloads;
 
+pub use apps::{AppConfig, AppResult};
 pub use protocol::{PingPongProtocol, DEFAULT_PROTOCOL};
 pub use series::{fig10_object_pingpong_us, fig9_pingpong_us, Fig10Impl, Fig9Impl};
 pub use workloads::{fig10_object_counts, fig9_buffer_sizes, LinkedListSpec};

@@ -66,6 +66,7 @@ pub use doctor::{DoctorServer, RankTicket};
 pub use error::{CoreError, CoreResult};
 pub use fcall::MpIntrinsics;
 pub use motor_mpc::Source;
+pub use motor_mpc::Tag;
 pub use mp::{Mp, MpRequest, MpStatus, ANY_TAG};
 pub use oomp::Oomp;
 pub use pinning::PinPolicy;

@@ -18,9 +18,10 @@
 //! transfers zero-copy out of / into the object's instance data, and
 //! applies the Motor pinning policy of [`crate::pinning`].
 
+use std::ops::{Bound, RangeBounds};
 use std::sync::Arc;
 
-use motor_mpc::{Comm, DType, ReduceOp, Request, Source};
+use motor_mpc::{Comm, DType, ReduceOp, Request, Source, Tag};
 use motor_obs::{span_arg_peer_tag, MetricsRegistry, SpanKind, INFLIGHT_NONE};
 use motor_runtime::{ElemKind, Handle, MotorThread};
 
@@ -30,6 +31,42 @@ use crate::pinning::{self, PinPolicy};
 
 /// Re-export of the wildcard tag.
 pub const ANY_TAG: i32 = motor_mpc::ANY_TAG;
+
+/// Resolve a `RangeBounds` over an array of `len` elements into an
+/// `(offset, count)` pair, rejecting inverted or overflowing bounds
+/// (out-of-bounds against the actual array length is still checked by
+/// the window resolution).
+pub(crate) fn resolve_bounds(
+    range: impl RangeBounds<usize>,
+    len: usize,
+) -> CoreResult<(usize, usize)> {
+    let start = match range.start_bound() {
+        Bound::Included(&s) => s,
+        Bound::Excluded(&s) => s.checked_add(1).ok_or(CoreError::RangeOutOfBounds {
+            offset: s,
+            count: 0,
+            len,
+        })?,
+        Bound::Unbounded => 0,
+    };
+    let end = match range.end_bound() {
+        Bound::Included(&e) => e.checked_add(1).ok_or(CoreError::RangeOutOfBounds {
+            offset: start,
+            count: e,
+            len,
+        })?,
+        Bound::Excluded(&e) => e,
+        Bound::Unbounded => len,
+    };
+    if start > end || end > len {
+        return Err(CoreError::RangeOutOfBounds {
+            offset: start,
+            count: end.saturating_sub(start),
+            len,
+        });
+    }
+    Ok((start, end - start))
+}
 
 /// Peer value recorded in trace span args: the rank, or `u32::MAX` for
 /// a wildcard ([`Source::Any`]) receive.
@@ -232,33 +269,38 @@ impl<'t> Mp<'t> {
     /// pinning: fast-path test first; pin only if we must enter the
     /// polling wait.
     fn finish_blocking(&self, buf: Handle, req: Request) -> CoreResult<MpStatus> {
-        if let Some(st) = self.comm.test(&req).map_err(CoreError::from)? {
+        if let Some(st) = self.comm.test(&req)? {
             pinning::note_fast_blocking_completion(self.thread, self.policy, buf);
             return Ok(st.into());
         }
         let pin = pinning::pin_for_polling_wait(self.thread, self.policy, buf);
         let st = self.comm.wait_with(&req, || self.thread.poll());
         pinning::release(self.thread, pin);
-        Ok(st.map_err(CoreError::from)?.into())
+        Ok(st?.into())
     }
 
     /// Blocking standard-mode send of a whole object.
-    pub fn send(&self, obj: Handle, dest: usize, tag: i32) -> CoreResult<()> {
-        self.send_impl(obj, dest, tag, false)
+    pub fn send(&self, obj: Handle, dest: usize, tag: impl Into<Tag>) -> CoreResult<()> {
+        self.send_impl(obj, dest, tag.into(), false)
     }
 
     /// `send` with the transportability check elided (statically proven
     /// buffer; used by [`crate::fcall::MpIntrinsics`]).
-    pub(crate) fn send_trusted(&self, obj: Handle, dest: usize, tag: i32) -> CoreResult<()> {
-        self.send_impl(obj, dest, tag, true)
+    pub(crate) fn send_trusted(
+        &self,
+        obj: Handle,
+        dest: usize,
+        tag: impl Into<Tag>,
+    ) -> CoreResult<()> {
+        self.send_impl(obj, dest, tag.into(), true)
     }
 
-    fn send_impl(&self, obj: Handle, dest: usize, tag: i32, trusted: bool) -> CoreResult<()> {
+    fn send_impl(&self, obj: Handle, dest: usize, tag: Tag, trusted: bool) -> CoreResult<()> {
         let _span = self
             .thread
             .vm()
             .metrics()
-            .span(SpanKind::MpSend, span_arg_peer_tag(dest, tag));
+            .span(SpanKind::MpSend, span_arg_peer_tag(dest, tag.to_device()));
         let fc = Fcall::enter(self.thread);
         let (ptr, len) = self.resolve_window(&fc, obj, trusted)?;
         // SAFETY: window stability is maintained by the pinning policy
@@ -268,20 +310,45 @@ impl<'t> Mp<'t> {
         Ok(())
     }
 
-    /// Blocking send of an array sub-range.
+    /// Blocking send of an array sub-range given as a Rust range, e.g.
+    /// `mp.send_sub(buf, 128..384, dest, tag)`.
+    pub fn send_sub(
+        &self,
+        obj: Handle,
+        range: impl RangeBounds<usize>,
+        dest: usize,
+        tag: impl Into<Tag>,
+    ) -> CoreResult<()> {
+        let (offset, count) = resolve_bounds(range, self.thread.array_len(obj))?;
+        self.send_range_impl(obj, offset, count, dest, tag.into())
+    }
+
+    /// Blocking send of an array sub-range (element offset and count).
+    #[deprecated(since = "0.6.0", note = "use `send_sub` with a Rust range instead")]
     pub fn send_range(
         &self,
         obj: Handle,
         offset: usize,
         count: usize,
         dest: usize,
-        tag: i32,
+        tag: impl Into<Tag>,
+    ) -> CoreResult<()> {
+        self.send_range_impl(obj, offset, count, dest, tag.into())
+    }
+
+    fn send_range_impl(
+        &self,
+        obj: Handle,
+        offset: usize,
+        count: usize,
+        dest: usize,
+        tag: Tag,
     ) -> CoreResult<()> {
         let _span = self
             .thread
             .vm()
             .metrics()
-            .span(SpanKind::MpSend, span_arg_peer_tag(dest, tag));
+            .span(SpanKind::MpSend, span_arg_peer_tag(dest, tag.to_device()));
         let fc = Fcall::enter(self.thread);
         let (ptr, len) = self.range_window(&fc, obj, offset, count)?;
         // SAFETY: as in `send`.
@@ -291,12 +358,13 @@ impl<'t> Mp<'t> {
     }
 
     /// Blocking synchronous-mode send (completes only when matched).
-    pub fn ssend(&self, obj: Handle, dest: usize, tag: i32) -> CoreResult<()> {
+    pub fn ssend(&self, obj: Handle, dest: usize, tag: impl Into<Tag>) -> CoreResult<()> {
+        let tag = tag.into();
         let _span = self
             .thread
             .vm()
             .metrics()
-            .span(SpanKind::MpSsend, span_arg_peer_tag(dest, tag));
+            .span(SpanKind::MpSsend, span_arg_peer_tag(dest, tag.to_device()));
         let fc = Fcall::enter(self.thread);
         let (ptr, len) = self.window(&fc, obj)?;
         // SAFETY: as in `send`.
@@ -307,8 +375,13 @@ impl<'t> Mp<'t> {
 
     /// Blocking receive into a whole object. `src` may be
     /// [`Source::Any`].
-    pub fn recv(&self, obj: Handle, src: impl Into<Source>, tag: i32) -> CoreResult<MpStatus> {
-        self.recv_impl(obj, src.into(), tag, false)
+    pub fn recv(
+        &self,
+        obj: Handle,
+        src: impl Into<Source>,
+        tag: impl Into<Tag>,
+    ) -> CoreResult<MpStatus> {
+        self.recv_impl(obj, src.into(), tag.into(), false)
     }
 
     /// `recv` with the transportability check elided (statically proven
@@ -317,17 +390,16 @@ impl<'t> Mp<'t> {
         &self,
         obj: Handle,
         src: impl Into<Source>,
-        tag: i32,
+        tag: impl Into<Tag>,
     ) -> CoreResult<MpStatus> {
-        self.recv_impl(obj, src.into(), tag, true)
+        self.recv_impl(obj, src.into(), tag.into(), true)
     }
 
-    fn recv_impl(&self, obj: Handle, src: Source, tag: i32, trusted: bool) -> CoreResult<MpStatus> {
-        let _span = self
-            .thread
-            .vm()
-            .metrics()
-            .span(SpanKind::MpRecv, span_arg_peer_tag(source_peer(src), tag));
+    fn recv_impl(&self, obj: Handle, src: Source, tag: Tag, trusted: bool) -> CoreResult<MpStatus> {
+        let _span = self.thread.vm().metrics().span(
+            SpanKind::MpRecv,
+            span_arg_peer_tag(source_peer(src), tag.to_device()),
+        );
         let fc = Fcall::enter(self.thread);
         let (ptr, len) = self.resolve_window(&fc, obj, trusted)?;
         // SAFETY: as in `send`.
@@ -335,21 +407,44 @@ impl<'t> Mp<'t> {
         self.finish_blocking(obj, req)
     }
 
-    /// Blocking receive into an array sub-range.
+    /// Blocking receive into an array sub-range given as a Rust range,
+    /// e.g. `mp.recv_sub(buf, ..256, src, tag)`.
+    pub fn recv_sub(
+        &self,
+        obj: Handle,
+        range: impl RangeBounds<usize>,
+        src: impl Into<Source>,
+        tag: impl Into<Tag>,
+    ) -> CoreResult<MpStatus> {
+        let (offset, count) = resolve_bounds(range, self.thread.array_len(obj))?;
+        self.recv_range_impl(obj, offset, count, src.into(), tag.into())
+    }
+
+    /// Blocking receive into an array sub-range (element offset and count).
+    #[deprecated(since = "0.6.0", note = "use `recv_sub` with a Rust range instead")]
     pub fn recv_range(
         &self,
         obj: Handle,
         offset: usize,
         count: usize,
         src: impl Into<Source>,
-        tag: i32,
+        tag: impl Into<Tag>,
     ) -> CoreResult<MpStatus> {
-        let src = src.into();
-        let _span = self
-            .thread
-            .vm()
-            .metrics()
-            .span(SpanKind::MpRecv, span_arg_peer_tag(source_peer(src), tag));
+        self.recv_range_impl(obj, offset, count, src.into(), tag.into())
+    }
+
+    fn recv_range_impl(
+        &self,
+        obj: Handle,
+        offset: usize,
+        count: usize,
+        src: Source,
+        tag: Tag,
+    ) -> CoreResult<MpStatus> {
+        let _span = self.thread.vm().metrics().span(
+            SpanKind::MpRecv,
+            span_arg_peer_tag(source_peer(src), tag.to_device()),
+        );
         let fc = Fcall::enter(self.thread);
         let (ptr, len) = self.range_window(&fc, obj, offset, count)?;
         // SAFETY: as in `send`.
@@ -363,8 +458,8 @@ impl<'t> Mp<'t> {
 
     /// Immediate send. The buffer is protected by a conditional pin that
     /// the collector releases once the transport finishes (paper §4.3).
-    pub fn isend(&self, obj: Handle, dest: usize, tag: i32) -> CoreResult<MpRequest> {
-        self.isend_impl(obj, dest, tag, false)
+    pub fn isend(&self, obj: Handle, dest: usize, tag: impl Into<Tag>) -> CoreResult<MpRequest> {
+        self.isend_impl(obj, dest, tag.into(), false)
     }
 
     /// `isend` with the transportability check elided (statically proven
@@ -373,23 +468,23 @@ impl<'t> Mp<'t> {
         &self,
         obj: Handle,
         dest: usize,
-        tag: i32,
+        tag: impl Into<Tag>,
     ) -> CoreResult<MpRequest> {
-        self.isend_impl(obj, dest, tag, true)
+        self.isend_impl(obj, dest, tag.into(), true)
     }
 
     fn isend_impl(
         &self,
         obj: Handle,
         dest: usize,
-        tag: i32,
+        tag: Tag,
         trusted: bool,
     ) -> CoreResult<MpRequest> {
         let _span = self
             .thread
             .vm()
             .metrics()
-            .span(SpanKind::MpIsend, span_arg_peer_tag(dest, tag));
+            .span(SpanKind::MpIsend, span_arg_peer_tag(dest, tag.to_device()));
         let fc = Fcall::enter(self.thread);
         let (ptr, len) = self.resolve_window(&fc, obj, trusted)?;
         // SAFETY: the conditional pin registered below keeps the window
@@ -397,7 +492,8 @@ impl<'t> Mp<'t> {
         let req = unsafe { self.comm.isend_ptr(ptr, len, dest, tag)? };
         let hard_pin = pinning::pin_for_nonblocking(self.thread, self.policy, obj, &req);
         let registry = Arc::clone(self.thread.vm().metrics());
-        let inflight = registry.op_begin(SpanKind::MpIsend, span_arg_peer_tag(dest, tag));
+        let inflight =
+            registry.op_begin(SpanKind::MpIsend, span_arg_peer_tag(dest, tag.to_device()));
         Ok(MpRequest {
             inner: req,
             buf: obj,
@@ -408,8 +504,13 @@ impl<'t> Mp<'t> {
     }
 
     /// Immediate receive.
-    pub fn irecv(&self, obj: Handle, src: impl Into<Source>, tag: i32) -> CoreResult<MpRequest> {
-        self.irecv_impl(obj, src.into(), tag, false)
+    pub fn irecv(
+        &self,
+        obj: Handle,
+        src: impl Into<Source>,
+        tag: impl Into<Tag>,
+    ) -> CoreResult<MpRequest> {
+        self.irecv_impl(obj, src.into(), tag.into(), false)
     }
 
     /// `irecv` with the transportability check elided (statically proven
@@ -418,31 +519,32 @@ impl<'t> Mp<'t> {
         &self,
         obj: Handle,
         src: impl Into<Source>,
-        tag: i32,
+        tag: impl Into<Tag>,
     ) -> CoreResult<MpRequest> {
-        self.irecv_impl(obj, src.into(), tag, true)
+        self.irecv_impl(obj, src.into(), tag.into(), true)
     }
 
     fn irecv_impl(
         &self,
         obj: Handle,
         src: Source,
-        tag: i32,
+        tag: Tag,
         trusted: bool,
     ) -> CoreResult<MpRequest> {
-        let _span = self
-            .thread
-            .vm()
-            .metrics()
-            .span(SpanKind::MpIrecv, span_arg_peer_tag(source_peer(src), tag));
+        let _span = self.thread.vm().metrics().span(
+            SpanKind::MpIrecv,
+            span_arg_peer_tag(source_peer(src), tag.to_device()),
+        );
         let fc = Fcall::enter(self.thread);
         let (ptr, len) = self.resolve_window(&fc, obj, trusted)?;
         // SAFETY: as in `isend`.
         let req = unsafe { self.comm.irecv_ptr(ptr, len, src, tag)? };
         let hard_pin = pinning::pin_for_nonblocking(self.thread, self.policy, obj, &req);
         let registry = Arc::clone(self.thread.vm().metrics());
-        let inflight =
-            registry.op_begin(SpanKind::MpIrecv, span_arg_peer_tag(source_peer(src), tag));
+        let inflight = registry.op_begin(
+            SpanKind::MpIrecv,
+            span_arg_peer_tag(source_peer(src), tag.to_device()),
+        );
         Ok(MpRequest {
             inner: req,
             buf: obj,
@@ -485,14 +587,14 @@ impl<'t> Mp<'t> {
     }
 
     /// Blocking probe.
-    pub fn probe(&self, src: impl Into<Source>, tag: i32) -> CoreResult<MpStatus> {
+    pub fn probe(&self, src: impl Into<Source>, tag: impl Into<Tag>) -> CoreResult<MpStatus> {
         let fc = Fcall::enter(self.thread);
         let src = src.into();
-        let _span = self
-            .thread
-            .vm()
-            .metrics()
-            .span(SpanKind::MpProbe, span_arg_peer_tag(source_peer(src), tag));
+        let tag = tag.into();
+        let _span = self.thread.vm().metrics().span(
+            SpanKind::MpProbe,
+            span_arg_peer_tag(source_peer(src), tag.to_device()),
+        );
         loop {
             fc.poll();
             if let Some(s) = self.comm.iprobe(src, tag)? {
@@ -502,7 +604,11 @@ impl<'t> Mp<'t> {
     }
 
     /// Non-blocking probe.
-    pub fn iprobe(&self, src: impl Into<Source>, tag: i32) -> CoreResult<Option<MpStatus>> {
+    pub fn iprobe(
+        &self,
+        src: impl Into<Source>,
+        tag: impl Into<Tag>,
+    ) -> CoreResult<Option<MpStatus>> {
         let _fc = Fcall::enter(self.thread);
         Ok(self.comm.iprobe(src, tag)?.map(Into::into))
     }

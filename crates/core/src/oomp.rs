@@ -17,7 +17,9 @@
 use std::cell::Cell;
 use std::sync::Arc;
 
-use motor_mpc::{Comm, Source};
+use std::ops::RangeBounds;
+
+use motor_mpc::{Comm, Source, Tag};
 use motor_obs::{span_arg_peer_tag, Hist, Metric, MetricsRegistry, SpanKind};
 use motor_runtime::{Handle, MotorThread};
 
@@ -97,7 +99,7 @@ impl<'t> Oomp<'t> {
     }
 
     /// Send the size header followed by the data buffer.
-    fn send_sized(&self, bytes: &[u8], dest: usize, tag: i32) -> CoreResult<()> {
+    fn send_sized(&self, bytes: &[u8], dest: usize, tag: Tag) -> CoreResult<()> {
         let size = (bytes.len() as u64).to_le_bytes();
         self.comm.send_bytes(&size, dest, tag)?;
         self.comm.send_bytes(bytes, dest, tag)?;
@@ -106,7 +108,7 @@ impl<'t> Oomp<'t> {
 
     /// Receive a size header, then the data into a pooled buffer. Returns
     /// the buffer and the sender's status.
-    fn recv_sized(&self, src: Source, tag: i32) -> CoreResult<(crate::bufpool::PoolBuf, MpStatus)> {
+    fn recv_sized(&self, src: Source, tag: Tag) -> CoreResult<(crate::bufpool::PoolBuf, MpStatus)> {
         let mut size = [0u8; 8];
         let st = self.comm.recv_bytes(&mut size, src, tag)?;
         let len = u64::from_le_bytes(size) as usize;
@@ -125,10 +127,11 @@ impl<'t> Oomp<'t> {
     // ------------------------------------------------------------------
 
     /// Transport an object (tree) to `dest` — the `OSend` of Figure 4.
-    pub fn osend(&self, obj: Handle, dest: usize, tag: i32) -> CoreResult<()> {
+    pub fn osend(&self, obj: Handle, dest: usize, tag: impl Into<Tag>) -> CoreResult<()> {
+        let tag = tag.into();
         let _span = self
             .metrics()
-            .span(SpanKind::Osend, span_arg_peer_tag(dest, tag));
+            .span(SpanKind::Osend, span_arg_peer_tag(dest, tag.to_device()));
         let _fc = Fcall::enter(self.thread);
         self.maintain_pool();
         self.metrics().bump(Metric::OompOsends);
@@ -141,19 +144,44 @@ impl<'t> Oomp<'t> {
         Ok(())
     }
 
+    /// Transport a sub-range of an array given as a Rust range, e.g.
+    /// `oomp.osend_sub(arr, 1..3, dest, tag)`.
+    pub fn osend_sub(
+        &self,
+        obj: Handle,
+        range: impl RangeBounds<usize>,
+        dest: usize,
+        tag: impl Into<Tag>,
+    ) -> CoreResult<()> {
+        let (offset, count) = crate::mp::resolve_bounds(range, self.thread.array_len(obj))?;
+        self.osend_range_impl(obj, offset, count, dest, tag.into())
+    }
+
     /// Transport a sub-range of an array — `OSend` with offset and
     /// numcomponents (Figure 4).
+    #[deprecated(since = "0.6.0", note = "use `osend_sub` with a Rust range instead")]
     pub fn osend_range(
         &self,
         obj: Handle,
         offset: usize,
         count: usize,
         dest: usize,
-        tag: i32,
+        tag: impl Into<Tag>,
+    ) -> CoreResult<()> {
+        self.osend_range_impl(obj, offset, count, dest, tag.into())
+    }
+
+    fn osend_range_impl(
+        &self,
+        obj: Handle,
+        offset: usize,
+        count: usize,
+        dest: usize,
+        tag: Tag,
     ) -> CoreResult<()> {
         let _span = self
             .metrics()
-            .span(SpanKind::Osend, span_arg_peer_tag(dest, tag));
+            .span(SpanKind::Osend, span_arg_peer_tag(dest, tag.to_device()));
         let _fc = Fcall::enter(self.thread);
         self.maintain_pool();
         self.metrics().bump(Metric::OompOsends);
@@ -169,15 +197,20 @@ impl<'t> Oomp<'t> {
 
     /// Receive an object (tree) — the `ORecv` of Figure 4. Returns the
     /// reconstructed root and the message status.
-    pub fn orecv(&self, src: impl Into<Source>, tag: i32) -> CoreResult<(Handle, MpStatus)> {
+    pub fn orecv(
+        &self,
+        src: impl Into<Source>,
+        tag: impl Into<Tag>,
+    ) -> CoreResult<(Handle, MpStatus)> {
         let src = src.into();
+        let tag = tag.into();
         let peer = match src {
             Source::Rank(r) => r,
             Source::Any => u32::MAX as usize,
         };
         let _span = self
             .metrics()
-            .span(SpanKind::Orecv, span_arg_peer_tag(peer, tag));
+            .span(SpanKind::Orecv, span_arg_peer_tag(peer, tag.to_device()));
         let _fc = Fcall::enter(self.thread);
         self.maintain_pool();
         self.metrics().bump(Metric::OompOrecvs);
@@ -229,7 +262,7 @@ impl<'t> Oomp<'t> {
         self.maintain_pool();
         self.metrics().bump(Metric::OompCollectives);
         let n = self.comm.size();
-        let tag = 2_000;
+        let tag = Tag::new(2_000);
         if self.comm.rank() == root {
             let arr = arr.ok_or(CoreError::NullBuffer)?;
             let len = self.thread.array_len(arr);
@@ -271,7 +304,7 @@ impl<'t> Oomp<'t> {
         self.maintain_pool();
         self.metrics().bump(Metric::OompCollectives);
         let n = self.comm.size();
-        let tag = 2_001;
+        let tag = Tag::new(2_001);
         let ser = self.serializer();
         if self.comm.rank() == root {
             // "For gather operations the deserialization mechanism takes

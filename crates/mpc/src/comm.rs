@@ -22,6 +22,7 @@ use crate::error::{MpcError, MpcResult};
 use crate::packet::Envelope;
 use crate::request::{Request, Status};
 use crate::source::Source;
+use crate::tag::Tag;
 
 /// An intra-communicator.
 #[derive(Clone)]
@@ -115,9 +116,10 @@ impl Comm {
         ptr: *const u8,
         len: usize,
         dest: usize,
-        tag: i32,
+        tag: impl Into<Tag>,
     ) -> MpcResult<Request> {
         let g = self.global_rank(dest)?;
+        let tag = tag.into().to_device();
         // SAFETY: forwarded caller contract.
         unsafe {
             self.device
@@ -135,9 +137,10 @@ impl Comm {
         ptr: *const u8,
         len: usize,
         dest: usize,
-        tag: i32,
+        tag: impl Into<Tag>,
     ) -> MpcResult<Request> {
         let g = self.global_rank(dest)?;
+        let tag = tag.into().to_device();
         // SAFETY: forwarded caller contract.
         unsafe {
             self.device
@@ -154,7 +157,7 @@ impl Comm {
         ptr: *mut u8,
         cap: usize,
         src: impl Into<Source>,
-        tag: i32,
+        tag: impl Into<Tag>,
     ) -> MpcResult<Request> {
         let src = src.into();
         if let Some(r) = src.rank() {
@@ -164,8 +167,13 @@ impl Comm {
         }
         // SAFETY: forwarded caller contract.
         unsafe {
-            self.device
-                .irecv_raw(src.to_device(), tag, self.context, ptr, cap)
+            self.device.irecv_raw(
+                src.to_device(),
+                tag.into().to_device(),
+                self.context,
+                ptr,
+                cap,
+            )
         }
     }
 
@@ -174,7 +182,7 @@ impl Comm {
     // ------------------------------------------------------------------
 
     /// Blocking standard-mode send.
-    pub fn send_bytes(&self, buf: &[u8], dest: usize, tag: i32) -> MpcResult<()> {
+    pub fn send_bytes(&self, buf: &[u8], dest: usize, tag: impl Into<Tag>) -> MpcResult<()> {
         // SAFETY: the borrow of `buf` outlives the wait below.
         let req = unsafe { self.isend_ptr(buf.as_ptr(), buf.len(), dest, tag)? };
         self.wait(&req)?;
@@ -182,7 +190,7 @@ impl Comm {
     }
 
     /// Blocking synchronous-mode send.
-    pub fn ssend_bytes(&self, buf: &[u8], dest: usize, tag: i32) -> MpcResult<()> {
+    pub fn ssend_bytes(&self, buf: &[u8], dest: usize, tag: impl Into<Tag>) -> MpcResult<()> {
         // SAFETY: as above.
         let req = unsafe { self.issend_ptr(buf.as_ptr(), buf.len(), dest, tag)? };
         self.wait(&req)?;
@@ -190,12 +198,12 @@ impl Comm {
     }
 
     /// Blocking receive; returns the message status. `src` may be
-    /// [`Source::Any`]; `tag` may be [`crate::ANY_TAG`].
+    /// [`Source::Any`]; `tag` may be [`Tag::ANY`].
     pub fn recv_bytes(
         &self,
         buf: &mut [u8],
         src: impl Into<Source>,
-        tag: i32,
+        tag: impl Into<Tag>,
     ) -> MpcResult<Status> {
         // SAFETY: the borrow of `buf` outlives the wait below.
         let req = unsafe { self.irecv_ptr(buf.as_mut_ptr(), buf.len(), src, tag)? };
@@ -210,12 +218,22 @@ impl Comm {
     }
 
     /// Blocking typed send.
-    pub fn send_slice<T: MpcPrim>(&self, buf: &[T], dest: usize, tag: i32) -> MpcResult<()> {
+    pub fn send_slice<T: MpcPrim>(
+        &self,
+        buf: &[T],
+        dest: usize,
+        tag: impl Into<Tag>,
+    ) -> MpcResult<()> {
         self.send_bytes(as_bytes(buf), dest, tag)
     }
 
     /// Blocking typed synchronous send.
-    pub fn ssend_slice<T: MpcPrim>(&self, buf: &[T], dest: usize, tag: i32) -> MpcResult<()> {
+    pub fn ssend_slice<T: MpcPrim>(
+        &self,
+        buf: &[T],
+        dest: usize,
+        tag: impl Into<Tag>,
+    ) -> MpcResult<()> {
         self.ssend_bytes(as_bytes(buf), dest, tag)
     }
 
@@ -224,7 +242,7 @@ impl Comm {
         &self,
         buf: &mut [T],
         src: impl Into<Source>,
-        tag: i32,
+        tag: impl Into<Tag>,
     ) -> MpcResult<Status> {
         self.recv_bytes(as_bytes_mut(buf), src, tag)
     }
@@ -236,8 +254,9 @@ impl Comm {
         dest: usize,
         recv: &mut [u8],
         src: impl Into<Source>,
-        tag: i32,
+        tag: impl Into<Tag>,
     ) -> MpcResult<Status> {
+        let tag = tag.into();
         // SAFETY: both borrows outlive the waits.
         let rreq = unsafe { self.irecv_ptr(recv.as_mut_ptr(), recv.len(), src, tag)? };
         let sreq = unsafe { self.isend_ptr(send.as_ptr(), send.len(), dest, tag)? };
@@ -272,8 +291,9 @@ impl Comm {
 
     /// Blocking probe: status of the next matching message without
     /// receiving it.
-    pub fn probe(&self, src: impl Into<Source>, tag: i32) -> MpcResult<Status> {
+    pub fn probe(&self, src: impl Into<Source>, tag: impl Into<Tag>) -> MpcResult<Status> {
         let src = src.into();
+        let tag = tag.into().to_device();
         loop {
             if let Some(s) = self.device.iprobe(src.to_device(), tag, self.context)? {
                 return Ok(s);
@@ -283,9 +303,9 @@ impl Comm {
     }
 
     /// Non-blocking probe.
-    pub fn iprobe(&self, src: impl Into<Source>, tag: i32) -> MpcResult<Option<Status>> {
+    pub fn iprobe(&self, src: impl Into<Source>, tag: impl Into<Tag>) -> MpcResult<Option<Status>> {
         self.device
-            .iprobe(src.into().to_device(), tag, self.context)
+            .iprobe(src.into().to_device(), tag.into().to_device(), self.context)
     }
 
     // ------------------------------------------------------------------

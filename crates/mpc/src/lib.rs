@@ -42,6 +42,7 @@ pub mod group;
 pub mod packet;
 pub mod request;
 pub mod source;
+pub mod tag;
 pub mod universe;
 
 pub use comm::Comm;
@@ -51,4 +52,5 @@ pub use error::{MpcError, MpcResult};
 pub use group::Group;
 pub use request::{Request, Status};
 pub use source::Source;
+pub use tag::Tag;
 pub use universe::{LinkFactory, Proc, Universe};

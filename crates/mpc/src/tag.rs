@@ -1,0 +1,86 @@
+//! Typed message tags.
+//!
+//! Point-to-point and probe operations historically took a bare `i32` tag
+//! with `-1` meaning "any tag" (the `MPI_ANY_TAG` sentinel) — the same
+//! two-encodings problem [`crate::Source`] solved for ranks in PR 1.
+//! [`Tag`] replaces the bare integer across the public `Comm`/`Mp`/`Oomp`
+//! surfaces: a concrete tag or the explicit [`Tag::ANY`] wildcard. Plain
+//! `i32` tags convert implicitly, so `comm.recv_bytes(&mut buf, 3, 7)`
+//! still reads naturally while wildcard receives say what they mean:
+//! `mp.probe(Source::Any, Tag::ANY)`.
+
+use std::fmt;
+
+/// A message tag: a concrete application tag or the receive-side wildcard.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Tag(i32);
+
+impl Tag {
+    /// Match any tag on the receive/probe side (`MPI_ANY_TAG`).
+    pub const ANY: Tag = Tag(crate::device::ANY_TAG);
+
+    /// A concrete tag.
+    pub const fn new(tag: i32) -> Tag {
+        Tag(tag)
+    }
+
+    /// The device-layer wire encoding (`-1` wildcard, tag otherwise).
+    pub const fn to_device(self) -> i32 {
+        self.0
+    }
+
+    /// The concrete tag value, if this is not the wildcard.
+    pub const fn value(self) -> Option<i32> {
+        if self.0 == crate::device::ANY_TAG {
+            None
+        } else {
+            Some(self.0)
+        }
+    }
+
+    /// Whether this is the wildcard.
+    pub const fn is_any(self) -> bool {
+        self.0 == crate::device::ANY_TAG
+    }
+}
+
+impl From<i32> for Tag {
+    fn from(tag: i32) -> Tag {
+        Tag(tag)
+    }
+}
+
+impl fmt::Display for Tag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_any() {
+            f.write_str("any tag")
+        } else {
+            write!(f, "tag {}", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Tag::from(4), Tag::new(4));
+        assert_eq!(Tag::new(4).to_device(), 4);
+        assert_eq!(Tag::ANY.to_device(), crate::device::ANY_TAG);
+        assert_eq!(Tag::new(7).value(), Some(7));
+        assert_eq!(Tag::ANY.value(), None);
+        assert!(Tag::ANY.is_any());
+        assert!(!Tag::new(0).is_any());
+        // The legacy sentinel converts to the wildcard, so call sites
+        // passing the old `ANY_TAG` constant keep their meaning.
+        assert!(Tag::from(crate::ANY_TAG).is_any());
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Tag::new(9).to_string(), "tag 9");
+        assert_eq!(Tag::ANY.to_string(), "any tag");
+    }
+}

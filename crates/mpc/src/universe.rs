@@ -354,11 +354,17 @@ impl InterComm {
     }
 
     /// Blocking send to a remote-group rank.
-    pub fn send_bytes(&self, buf: &[u8], remote_rank: usize, tag: i32) -> MpcResult<()> {
+    pub fn send_bytes(
+        &self,
+        buf: &[u8],
+        remote_rank: usize,
+        tag: impl Into<crate::Tag>,
+    ) -> MpcResult<()> {
         let g = *self
             .remote
             .get(remote_rank)
             .ok_or(MpcError::InvalidRank(remote_rank as i32))?;
+        let tag = tag.into().to_device();
         // SAFETY: `buf` is borrowed across the wait below.
         let req: Request = unsafe {
             self.device
@@ -373,9 +379,10 @@ impl InterComm {
         &self,
         buf: &mut [u8],
         remote_rank: impl Into<crate::Source>,
-        tag: i32,
+        tag: impl Into<crate::Tag>,
     ) -> MpcResult<Status> {
         let src = remote_rank.into().to_device();
+        let tag = tag.into().to_device();
         // SAFETY: `buf` is borrowed across the wait below.
         let req = unsafe {
             self.device

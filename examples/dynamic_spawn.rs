@@ -3,9 +3,9 @@
 //! The MPI-2 functionality the paper implements (§7: "dynamic process
 //! management and dynamic intercommunication routines"): two parent ranks
 //! collectively spawn three children, each a complete Motor VM; the
-//! children solve sub-problems in their own world communicator and report
-//! results back through the parent↔children intercommunicator using the
-//! Motor object transport.
+//! children solve sub-problems in their own world communicator (through
+//! the typed API) and report results back through the parent↔children
+//! intercommunicator using the Motor object transport.
 //!
 //! Run with: `cargo run --example dynamic_spawn`
 //!
@@ -33,28 +33,24 @@ fn main() {
         .doctor(DoctorConfig::from_env().unwrap_or_default())
         .build();
     let metrics = run_cluster(config, define_types, |proc| {
-        let mp = proc.mp();
-        let rank = mp.rank();
+        let rank = proc.mp().rank();
         println!("[parent {rank}] up");
 
         // Collectively spawn three Motor children.
         let inter =
             spawn_motor_children(proc, 3, ClusterConfig::default(), define_types, |child| {
                 let t = child.thread();
-                let world = child.mp();
+                // Children cooperate in their own world through the typed
+                // API: allreduce a checksum so each knows the group is
+                // complete — a one-liner on plain values.
+                let world = Communicator::bind(child.mp());
                 let me = world.rank();
-                // Children cooperate in their own world: allreduce a
-                // checksum so each knows the group is complete.
-                let a = t.alloc_prim_array(ElemKind::I64, 1);
-                let b = t.alloc_prim_array(ElemKind::I64, 1);
-                t.prim_write(a, 0, &[1i64 << me]);
-                world.allreduce(a, b, ReduceOp::Sum).unwrap();
-                let mut mask = [0i64];
-                t.prim_read(b, 0, &mut mask);
-                assert_eq!(mask[0], 0b111, "all three children present");
+                let mask = world.allreduce(1i64 << me, ReduceOp::Sum).unwrap();
+                assert_eq!(mask, 0b111, "all three children present");
 
                 // Each child computes a partial sum and reports to parent
-                // (child i reports to parent i % 2) via object transport.
+                // (child i reports to parent i % 2) via object transport
+                // over the intercommunicator.
                 let inputs: Vec<f64> = (0..8).map(|j| (me * 8 + j) as f64).collect();
                 let partial: f64 = inputs.iter().sum();
                 let cls = child.vm().registry().by_name("Report").unwrap();

@@ -1,9 +1,11 @@
 //! Heat diffusion: a classic 1-D Jacobi stencil with halo exchange.
 //!
 //! The e-Scientist workload the paper's introduction motivates: a domain
-//! decomposed over ranks, nearest-neighbour halo exchange with the regular
-//! (zero-copy) MPI operations on managed arrays, and a global residual via
-//! `allreduce` — all compile-once-run-anywhere on the Motor VM.
+//! decomposed over ranks, nearest-neighbour halo exchange, and a global
+//! residual — written against the typed [`Communicator`]: halos exchange
+//! with `sendrecv_slice` (deadlock-free, no even/odd ordering dance), the
+//! residual is a one-line scalar `allreduce`, and sub-ranges are plain
+//! Rust slicing.
 //!
 //! Run with: `cargo run --example heat_diffusion`
 //!
@@ -46,71 +48,49 @@ fn main() {
         config,
         |_reg| {},
         |proc| {
-            let mp = proc.mp();
-            let t = proc.thread();
-            let rank = mp.rank();
-            let n = mp.size();
+            let comm = Communicator::bind(proc.mp());
+            let rank = comm.rank();
+            let n = comm.size();
 
             // Local field with halo cells at [0] and [LOCAL+1].
-            let field = t.alloc_prim_array(ElemKind::F64, LOCAL + 2);
-            let next = t.alloc_prim_array(ElemKind::F64, LOCAL + 2);
-            // Halo staging buffers (single cells).
-            let send_cell = t.alloc_prim_array(ElemKind::F64, 1);
-            let recv_cell = t.alloc_prim_array(ElemKind::F64, 1);
+            let mut field = vec![0f64; LOCAL + 2];
 
             // Initial condition: a hot spike in the global middle.
             let global_n = LOCAL * n;
             let spike = global_n / 2;
-            let mut init = vec![0f64; LOCAL + 2];
             for i in 0..LOCAL {
-                let g = rank * LOCAL + i;
-                if g == spike {
-                    init[i + 1] = 1000.0;
+                if rank * LOCAL + i == spike {
+                    field[i + 1] = 1000.0;
                 }
             }
-            t.prim_write(field, 0, &init);
 
             let left = if rank > 0 { Some(rank - 1) } else { None };
             let right = if rank + 1 < n { Some(rank + 1) } else { None };
 
             let mut residual = f64::INFINITY;
-            let res_in = t.alloc_prim_array(ElemKind::F64, 1);
-            let res_out = t.alloc_prim_array(ElemKind::F64, 1);
-
             for step in 0..STEPS {
-                // Halo exchange. Ordering avoids deadlock: even ranks send
-                // right first, odd ranks receive first.
-                let exchange = |peer: usize, my_cell: usize, halo: usize, send_first: bool| {
-                    let mut v = [0f64];
-                    t.prim_read(field, my_cell, &mut v);
-                    t.prim_write(send_cell, 0, &v);
-                    if send_first {
-                        mp.send(send_cell, peer, 1).unwrap();
-                        mp.recv(recv_cell, peer, 1).unwrap();
-                    } else {
-                        mp.recv(recv_cell, peer, 1).unwrap();
-                        mp.send(send_cell, peer, 1).unwrap();
-                    }
-                    let mut h = [0f64];
-                    t.prim_read(recv_cell, 0, &mut h);
-                    t.prim_write(field, halo, &h);
-                };
-                let even = rank % 2 == 0;
+                // Halo exchange: a combined send+receive per neighbour —
+                // the library posts the receive first, so no deadlock
+                // choreography is needed.
                 if let Some(p) = right {
-                    exchange(p, LOCAL, LOCAL + 1, even);
+                    let send = [field[LOCAL]];
+                    let mut halo = [0f64];
+                    comm.sendrecv_slice(&send, p, &mut halo, p, 1).unwrap();
+                    field[LOCAL + 1] = halo[0];
                 }
                 if let Some(p) = left {
-                    exchange(p, 1, 0, even);
+                    let send = [field[1]];
+                    let mut halo = [0f64];
+                    comm.sendrecv_slice(&send, p, &mut halo, p, 1).unwrap();
+                    field[0] = halo[0];
                 }
 
                 // Jacobi update on the interior.
-                let mut cur = vec![0f64; LOCAL + 2];
-                t.prim_read(field, 0, &mut cur);
-                let mut new = cur.clone();
+                let mut new = field.clone();
                 let mut local_res = 0.0f64;
                 for i in 1..=LOCAL {
-                    new[i] = cur[i] + ALPHA * (cur[i - 1] - 2.0 * cur[i] + cur[i + 1]);
-                    local_res += (new[i] - cur[i]).abs();
+                    new[i] = field[i] + ALPHA * (field[i - 1] - 2.0 * field[i] + field[i + 1]);
+                    local_res += (new[i] - field[i]).abs();
                 }
                 // Fixed boundaries at the global edges.
                 if left.is_none() {
@@ -119,45 +99,33 @@ fn main() {
                 if right.is_none() {
                     new[LOCAL] = 0.0;
                 }
-                t.prim_write(next, 0, &new);
-                // Swap by copying back (handles are stable names).
-                t.prim_read(next, 0, &mut cur);
-                t.prim_write(field, 0, &cur);
+                field = new;
 
-                // Global residual.
-                t.prim_write(res_in, 0, &[local_res]);
-                mp.allreduce(res_in, res_out, ReduceOp::Sum).unwrap();
-                let mut r = [0f64];
-                t.prim_read(res_out, 0, &mut r);
-                residual = r[0];
+                // Global residual: scalar allreduce.
+                residual = comm.allreduce(local_res, ReduceOp::Sum).unwrap();
                 if rank == 0 && step % 50 == 0 {
                     println!("step {step:4}: residual {residual:.6}");
                 }
             }
 
-            // Gather the full field at rank 0 and sanity-check it.
-            let interior = t.alloc_prim_array(ElemKind::F64, LOCAL);
-            let mut cur = vec![0f64; LOCAL + 2];
-            t.prim_read(field, 0, &mut cur);
-            t.prim_write(interior, 0, &cur[1..=LOCAL]);
-            let full = if rank == 0 {
-                Some(t.alloc_prim_array(ElemKind::F64, LOCAL * n))
+            // Gather the full field at rank 0 and sanity-check it. The
+            // interior is a plain sub-slice — no staging buffer.
+            let mut full = if rank == 0 {
+                vec![0f64; LOCAL * n]
             } else {
-                None
+                Vec::new()
             };
-            mp.gather(interior, full, 0).unwrap();
+            let root_recv = if rank == 0 { Some(&mut full[..]) } else { None };
+            comm.gather_slice(&field[1..=LOCAL], root_recv, 0).unwrap();
             if rank == 0 {
-                let full = full.unwrap();
-                let mut all = vec![0f64; LOCAL * n];
-                t.prim_read(full, 0, &mut all);
-                let total: f64 = all.iter().sum();
-                let peak = all.iter().cloned().fold(0.0, f64::max);
+                let total: f64 = full.iter().sum();
+                let peak = full.iter().cloned().fold(0.0, f64::max);
                 println!("final: residual {residual:.6}, total heat {total:.3}, peak {peak:.3}");
                 assert!(peak < 1000.0, "heat must have diffused");
                 assert!(total > 0.0, "heat must remain in the domain");
                 // The spike must have spread symmetrically around its site.
-                let l = all[spike - 1];
-                let r = all[spike + 1];
+                let l = full[spike - 1];
+                let r = full[spike + 1];
                 assert!((l - r).abs() < 1e-9, "symmetric diffusion: {l} vs {r}");
                 let snap = proc.vm().stats_snapshot();
                 println!(

@@ -1,10 +1,11 @@
 //! N-body: direct-summation gravitational dynamics across ranks.
 //!
 //! Each rank owns a block of particles. Every step, positions are shared
-//! with `gather` + `bcast` (an allgather composed from the Motor
-//! collectives), forces are computed against all particles, and a
-//! leapfrog step advances the local block. Conservation of momentum acts
-//! as the cross-rank correctness check.
+//! with `allgather_slice`, forces are computed against all particles, and
+//! a leapfrog step advances the local block. Conservation of momentum
+//! acts as the cross-rank correctness check.  All buffers are plain Rust
+//! vectors: the typed API stages them through the managed transport
+//! without counts, datatypes, or handle bookkeeping.
 //!
 //! Run with: `cargo run --example nbody`
 
@@ -21,10 +22,9 @@ fn main() {
         RANKS,
         |_reg| {},
         |proc| {
-            let mp = proc.mp();
-            let t = proc.thread();
-            let rank = mp.rank();
-            let n_total = PER_RANK * mp.size();
+            let comm = Communicator::bind(proc.mp());
+            let rank = comm.rank();
+            let n_total = PER_RANK * comm.size();
 
             // Deterministic pseudo-random initial conditions (same scheme
             // on every rank; each extracts its own block).
@@ -56,21 +56,11 @@ fn main() {
             let mut pos = all_pos[3 * my0..3 * (my0 + PER_RANK)].to_vec();
             let mut vel = all_vel[3 * my0..3 * (my0 + PER_RANK)].to_vec();
 
-            // Managed buffers for the exchanges.
-            let local_buf = t.alloc_prim_array(ElemKind::F64, 3 * PER_RANK);
-            let global_buf = t.alloc_prim_array(ElemKind::F64, 3 * n_total);
-            let mom_in = t.alloc_prim_array(ElemKind::F64, 3);
-            let mom_out = t.alloc_prim_array(ElemKind::F64, 3);
-
+            let mut global = vec![0f64; 3 * n_total];
             let mut initial_momentum = [0f64; 3];
             for step in 0..=STEPS {
-                // Allgather positions: gather at root, then broadcast.
-                t.prim_write(local_buf, 0, &pos);
-                let root_recv = if rank == 0 { Some(global_buf) } else { None };
-                mp.gather(local_buf, root_recv, 0).unwrap();
-                mp.bcast(global_buf, 0).unwrap();
-                let mut global = vec![0f64; 3 * n_total];
-                t.prim_read(global_buf, 0, &mut global);
+                // Share all positions with a single allgather.
+                comm.allgather_slice(&pos, &mut global).unwrap();
 
                 // Forces on the local block from all particles (unit mass).
                 let mut acc = vec![0f64; 3 * PER_RANK];
@@ -98,10 +88,9 @@ fn main() {
                         local_mom[d] += vel[3 * li + d];
                     }
                 }
-                t.prim_write(mom_in, 0, &local_mom);
-                mp.allreduce(mom_in, mom_out, ReduceOp::Sum).unwrap();
                 let mut mom = [0f64; 3];
-                t.prim_read(mom_out, 0, &mut mom);
+                comm.allreduce_slice(&local_mom, &mut mom, ReduceOp::Sum)
+                    .unwrap();
                 if step == 0 {
                     initial_momentum = mom;
                 }

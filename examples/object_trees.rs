@@ -1,10 +1,11 @@
-//! Object trees: `Transportable` traversal and OScatter / OGather.
+//! Object trees: `#[derive(Transportable)]` and scatter/gather of objects.
 //!
 //! The capability the paper highlights as unavailable in any other managed
 //! MPI ("the ability to scatter / gather arrays of objects", §1): an array
-//! of `LinkedArray` objects is scattered across ranks via the split
+//! of `LinkedArray` trees is scattered across ranks via the split
 //! serialized representation, transformed in parallel, and gathered back
-//! into a single array at the root.
+//! at the root — all on plain Rust values through the typed API, with the
+//! serializer generated at compile time by `#[derive(Transportable)]`.
 //!
 //! Run with: `cargo run --example object_trees`
 
@@ -14,106 +15,79 @@ const RANKS: usize = 4;
 /// Elements in the scattered array (must divide evenly by RANKS).
 const TOTAL: usize = 16;
 
+/// Mirror of the paper's Figure 5 class: a transportable data array, a
+/// transportable `next` chain, and a non-transportable `next2` side
+/// pointer that must NOT travel (no `#[transportable]` attribute).
+#[derive(Transportable, Debug, Default, PartialEq)]
+struct LinkedArray {
+    tag: i32,
+    #[transportable]
+    array: Vec<i32>,
+    #[transportable]
+    next: Option<Box<LinkedArray>>,
+    next2: Option<Box<LinkedArray>>,
+}
+
 fn main() {
     run_cluster_default(
         RANKS,
-        |reg| {
-            let arr = reg.prim_array(ElemKind::I32);
-            let next_id = ClassId(reg.len() as u32);
-            reg.define_class("LinkedArray")
-                .prim("tag", ElemKind::I32)
-                .transportable("array", arr)
-                .transportable("next", next_id)
-                .reference("next2", next_id) // NOT transportable: stays local
-                .build();
-        },
+        |_reg| {},
         |proc| {
-            let oomp = proc.oomp();
-            let t = proc.thread();
-            let rank = oomp.rank();
-            let node = proc.vm().registry().by_name("LinkedArray").unwrap();
-            let (ftag, farr, fnext, fnext2) = (
-                t.field_index(node, "tag"),
-                t.field_index(node, "array"),
-                t.field_index(node, "next"),
-                t.field_index(node, "next2"),
-            );
+            let comm = Communicator::bind(proc.mp());
+            let rank = comm.rank();
 
-            // Root builds an array of 16 elements; each element also hangs
-            // a private `next` chain of depth 1 and a non-transportable
-            // `next2` that must NOT travel.
-            let input = if rank == 0 {
-                let arr = t.alloc_obj_array(node, TOTAL);
-                for i in 0..TOTAL {
-                    let e = t.alloc_instance(node);
-                    t.set_prim::<i32>(e, ftag, i as i32);
-                    let data = t.alloc_prim_array(ElemKind::I32, 4);
-                    t.prim_write(data, 0, &[i as i32; 4]);
-                    t.set_ref(e, farr, data);
-                    // Transportable chain.
-                    let child = t.alloc_instance(node);
-                    t.set_prim::<i32>(child, ftag, 1000 + i as i32);
-                    t.set_ref(e, fnext, child);
-                    // Non-transportable side pointer (must arrive null).
-                    t.set_ref(e, fnext2, child);
-                    t.obj_array_set(arr, i, e);
-                    t.release(e);
-                    t.release(data);
-                    t.release(child);
-                }
-                Some(arr)
-            } else {
-                None
-            };
+            // Root builds 16 trees; each hangs a transportable `next`
+            // chain of depth 1 and a non-transportable `next2` that stays
+            // behind.
+            let input: Option<Vec<LinkedArray>> = (rank == 0).then(|| {
+                (0..TOTAL as i32)
+                    .map(|i| LinkedArray {
+                        tag: i,
+                        array: vec![i; 4],
+                        next: Some(Box::new(LinkedArray {
+                            tag: 1000 + i,
+                            ..Default::default()
+                        })),
+                        next2: Some(Box::new(LinkedArray {
+                            tag: -1,
+                            ..Default::default()
+                        })),
+                    })
+                    .collect()
+            });
 
-            // --- OScatter: every rank gets TOTAL/RANKS elements.
-            let mine = oomp.oscatter(input, 0).expect("OScatter");
+            // --- Scatter: every rank gets TOTAL/RANKS trees.
+            let mut mine = comm
+                .scatter_objs(input.as_deref(), 0)
+                .expect("scatter_objs");
             let chunk = TOTAL / RANKS;
-            assert_eq!(t.array_len(mine), chunk);
+            assert_eq!(mine.len(), chunk);
             println!("[rank {rank}] received {chunk} object trees");
 
-            // Verify the opt-in semantics and transform.
-            for i in 0..chunk {
-                let e = t.obj_array_get(mine, i);
-                let tag = t.get_prim::<i32>(e, ftag);
-                assert_eq!(tag as usize, rank * chunk + i, "rank-ordered chunks");
-                let child = t.get_ref(e, fnext);
-                assert!(!t.is_null(child), "transportable chain arrived");
-                assert_eq!(t.get_prim::<i32>(child, ftag), 1000 + tag);
-                let side = t.get_ref(e, fnext2);
+            // Verify the opt-in semantics and transform in place.
+            for (i, e) in mine.iter_mut().enumerate() {
+                assert_eq!(e.tag as usize, rank * chunk + i, "rank-ordered chunks");
+                let next = e.next.as_ref().expect("transportable chain arrived");
+                assert_eq!(next.tag, 1000 + e.tag);
                 assert!(
-                    t.is_null(side),
-                    "non-transportable reference arrived as null"
+                    e.next2.is_none(),
+                    "non-transportable reference arrived as default"
                 );
                 // Transform: negate the tag, square the data.
-                t.set_prim::<i32>(e, ftag, -tag);
-                let data = t.get_ref(e, farr);
-                let mut v = vec![0i32; t.array_len(data)];
-                t.prim_read(data, 0, &mut v);
-                for x in v.iter_mut() {
+                e.tag = -e.tag;
+                for x in e.array.iter_mut() {
                     *x *= *x;
                 }
-                t.prim_write(data, 0, &v);
-                t.release(data);
-                t.release(side);
-                t.release(child);
-                t.release(e);
             }
 
-            // --- OGather: reassemble the full array at root.
-            let full = oomp.ogather(mine, 0).expect("OGather");
+            // --- Gather: reassemble the full array at root.
+            let full = comm.gather_objs(&mine, 0).expect("gather_objs");
             if rank == 0 {
                 let full = full.expect("root receives the gathered array");
-                assert_eq!(t.array_len(full), TOTAL);
-                for i in 0..TOTAL {
-                    let e = t.obj_array_get(full, i);
-                    assert_eq!(t.get_prim::<i32>(e, ftag), -(i as i32));
-                    let data = t.get_ref(e, farr);
-                    let mut v = vec![0i32; 4];
-                    t.prim_read(data, 0, &mut v);
-                    assert_eq!(v, vec![(i * i) as i32; 4]);
-                    t.release(data);
-                    t.release(e);
+                assert_eq!(full.len(), TOTAL);
+                for (i, e) in full.iter().enumerate() {
+                    assert_eq!(e.tag, -(i as i32));
+                    assert_eq!(e.array, vec![(i * i) as i32; 4]);
                 }
                 println!("[rank 0] gathered and verified all {TOTAL} transformed trees");
             }

@@ -1,83 +1,92 @@
-//! Quickstart: a two-rank Motor program.
+//! Quickstart: a two-rank Motor program on the typed API.
 //!
-//! Demonstrates the two kinds of message passing the paper defines:
-//! regular MPI operations on managed buffers (zero-copy, datatype-free —
+//! Demonstrates the two kinds of message passing the paper defines —
+//! regular MPI operations on typed buffers (zero-copy, datatype-free —
 //! §4.2.1) and the extended object-oriented operations transporting a tree
-//! of objects via the `Transportable` attribute (§4.2.2).
+//! of objects (§4.2.2) — through [`Communicator`], the safe front-end:
+//! no counts, no datatypes, no raw handles in application code.
 //!
 //! Run with: `cargo run --example quickstart`
 
 use motor::prelude::*;
 
+/// A transportable tree node: `#[derive(Transportable)]` generates the
+/// split-representation serializer (paper §7.5) at compile time.
+#[derive(Transportable, Debug, Default, PartialEq)]
+struct Sample {
+    id: i32,
+    #[transportable]
+    values: Vec<f64>,
+    #[transportable]
+    next: Option<Box<Sample>>,
+}
+
 fn main() {
     run_cluster_default(
         2,
-        // Every rank's VM learns the application classes, like an SPMD
-        // program loading the same assembly everywhere.
-        |reg| {
-            let arr = reg.prim_array(ElemKind::F64);
-            let next_id = ClassId(reg.len() as u32);
-            reg.define_class("Sample")
-                .prim("id", ElemKind::I32)
-                .transportable("values", arr)
-                .transportable("next", next_id)
-                .build();
-        },
+        |_reg| {},
         |proc| {
-            let mp = proc.mp();
-            let t = proc.thread();
-            let rank = mp.rank();
+            let comm = Communicator::bind(proc.mp());
+            let rank = comm.rank();
 
-            // --- Regular MPI: a managed f64 array, no count, no datatype.
-            let buf = t.alloc_prim_array(ElemKind::F64, 8);
+            // --- Regular MPI on a managed typed array: no count, no
+            // datatype, no manual release — ArrayBuf is RAII.
             if rank == 0 {
                 let data: Vec<f64> = (0..8).map(|i| i as f64 * 1.5).collect();
-                t.prim_write(buf, 0, &data);
-                mp.send(buf, 1, 0).expect("send");
+                let buf = comm.array_from(&data);
+                comm.send_array(&buf, 1, 0).expect("send");
                 println!("[rank 0] sent {data:?}");
             } else {
-                let st = mp.recv(buf, 0, 0).expect("recv");
-                let mut data = vec![0f64; 8];
-                t.prim_read(buf, 0, &mut data);
+                let buf = comm.alloc_array::<f64>(8);
+                let st = comm.recv_array(&buf, 0, 0).expect("recv");
+                let data = buf.to_vec();
                 println!("[rank 1] received {} bytes: {data:?}", st.bytes);
                 assert_eq!(data[7], 10.5);
             }
 
-            // --- Extended OO operations: ship a small linked structure.
-            let oomp = proc.oomp();
-            let sample = proc.vm().registry().by_name("Sample").unwrap();
-            let (fid, fvalues, fnext) = (
-                t.field_index(sample, "id"),
-                t.field_index(sample, "values"),
-                t.field_index(sample, "next"),
-            );
+            // --- The same, non-blocking, on a plain Rust slice: the
+            // PendingSend/PendingRecv borrow the buffer until completion
+            // and panic if dropped incomplete (the verifier's linear
+            // request discipline, in the type system).
             if rank == 0 {
-                // head(id=1) -> tail(id=2), each with a values array.
-                let tail = t.alloc_instance(sample);
-                t.set_prim::<i32>(tail, fid, 2);
-                let head = t.alloc_instance(sample);
-                t.set_prim::<i32>(head, fid, 1);
-                let v = t.alloc_prim_array(ElemKind::F64, 3);
-                t.prim_write(v, 0, &[2.5, 3.5, 4.5]);
-                t.set_ref(head, fvalues, v);
-                t.set_ref(head, fnext, tail);
-                oomp.osend(head, 1, 7).expect("OSend");
-                println!("[rank 0] OSent an object tree");
+                let data = [1i32, 2, 3, 4];
+                let pending = comm.isend_slice(&data, 1, 5).expect("isend");
+                pending.wait().expect("wait");
             } else {
-                let (head, _) = oomp.orecv(0, 7).expect("ORecv");
-                let id = t.get_prim::<i32>(head, fid);
-                let next = t.get_ref(head, fnext);
-                let next_id = t.get_prim::<i32>(next, fid);
-                let values = t.get_ref(head, fvalues);
-                let mut v = vec![0f64; t.array_len(values)];
-                t.prim_read(values, 0, &mut v);
-                println!("[rank 1] ORecv tree: head id={id}, next id={next_id}, values={v:?}");
-                assert_eq!((id, next_id), (1, 2));
-                assert_eq!(v, vec![2.5, 3.5, 4.5]);
+                let mut data = [0i32; 4];
+                let pending = comm.irecv_slice(&mut data, 0, 5).expect("irecv");
+                let n = pending.wait().expect("wait");
+                assert_eq!((n, data), (4, [1, 2, 3, 4]));
+                println!("[rank 1] irecv completed: {data:?}");
+            }
+
+            // --- Extended OO operations: ship a small linked structure.
+            // The derive emits exactly the managed serializer's bytes, so
+            // this interoperates with `Oomp::osend`/`orecv` ranks too.
+            if rank == 0 {
+                let tree = Sample {
+                    id: 1,
+                    values: vec![2.5, 3.5, 4.5],
+                    next: Some(Box::new(Sample {
+                        id: 2,
+                        ..Default::default()
+                    })),
+                };
+                comm.send_obj(&tree, 1, 7).expect("send_obj");
+                println!("[rank 0] sent an object tree");
+            } else {
+                let (tree, _) = comm.recv_obj::<Sample>(0, 7).expect("recv_obj");
+                let next_id = tree.next.as_ref().map(|n| n.id);
+                println!(
+                    "[rank 1] received tree: head id={}, next id={next_id:?}, values={:?}",
+                    tree.id, tree.values
+                );
+                assert_eq!((tree.id, next_id), (1, Some(2)));
+                assert_eq!(tree.values, vec![2.5, 3.5, 4.5]);
             }
 
             // GC statistics: the pinning policy at work.
-            mp.barrier().unwrap();
+            comm.barrier().unwrap();
             let snap = proc.vm().stats_snapshot();
             println!(
                 "[rank {rank}] minor GCs: {}, pins: {}, pins avoided (elder): {}, \

@@ -1,18 +1,20 @@
 //! Task farm: master/worker scheduling with object transport.
 //!
-//! The master OSends *task objects* (a class with parameters and a
-//! `Transportable` data array) to whichever worker is idle, receives
-//! result objects back with `ANY_SOURCE`, and shuts workers down with a
-//! poison tag — the kind of irregular, structured-data communication the
-//! extended object-oriented operations exist for (paper §4.2.2).
+//! The master sends *task objects* (a struct with parameters and a
+//! transportable data array) to whichever worker is idle, receives result
+//! objects back with `Source::Any`, and shuts workers down with a poison
+//! tag — the kind of irregular, structured-data communication the
+//! extended object-oriented operations exist for (paper §4.2.2).  Tasks
+//! and results are plain Rust structs: `#[derive(Transportable)]`
+//! generates their wire form, and `send_obj`/`recv_obj` move them.
 //!
 //! Run with: `cargo run --example task_farm`
 //!
 //! Runs under the `motor-doctor` watchdog: irregular master/worker
 //! traffic is exactly where a lost poison message or a worker stuck in
-//! `ORecv` turns into a silent hang, so the doctor's in-flight table and
-//! stall diagnosis stay on. Tune it (or dump a flight record) through
-//! `MOTOR_DOCTOR`, e.g. `MOTOR_DOCTOR=deadline_ms=500,record=farm.json`.
+//! a receive turns into a silent hang, so the doctor's in-flight table
+//! and stall diagnosis stay on. Tune it (or dump a flight record)
+//! through `MOTOR_DOCTOR`, e.g. `MOTOR_DOCTOR=deadline_ms=500,record=farm.json`.
 
 use motor::prelude::*;
 
@@ -22,80 +24,64 @@ const TAG_TASK: i32 = 1;
 const TAG_RESULT: i32 = 2;
 const TAG_STOP: i32 = 3;
 
+#[derive(Transportable, Debug, Default)]
+struct Task {
+    id: i32,
+    exponent: i32,
+    #[transportable]
+    samples: Vec<f64>,
+}
+
+#[derive(Transportable, Debug, Default)]
+struct TaskResult {
+    id: i32,
+    value: f64,
+}
+
 fn main() {
     let metrics = run_cluster(
         ClusterConfig::builder()
             .ranks(RANKS)
             .doctor(DoctorConfig::from_env().unwrap_or_default())
             .build(),
-        |reg| {
-            let arr = reg.prim_array(ElemKind::F64);
-            reg.define_class("Task")
-                .prim("id", ElemKind::I32)
-                .prim("exponent", ElemKind::I32)
-                .transportable("samples", arr)
-                .build();
-            reg.define_class("TaskResult")
-                .prim("id", ElemKind::I32)
-                .prim("value", ElemKind::F64)
-                .build();
-        },
+        |_reg| {},
         |proc| {
-            let oomp = proc.oomp();
-            let mp = proc.mp();
-            let t = proc.thread();
-            let task_cls = proc.vm().registry().by_name("Task").unwrap();
-            let result_cls = proc.vm().registry().by_name("TaskResult").unwrap();
-            let (f_id, f_exp, f_samples) = (
-                t.field_index(task_cls, "id"),
-                t.field_index(task_cls, "exponent"),
-                t.field_index(task_cls, "samples"),
-            );
-            let (r_id, r_value) = (
-                t.field_index(result_cls, "id"),
-                t.field_index(result_cls, "value"),
-            );
+            let comm = Communicator::bind(proc.mp());
 
-            if mp.rank() == 0 {
+            if comm.rank() == 0 {
                 // ---- master ----
                 let mut next_task = 0usize;
                 let mut done = [f64::NAN; TASKS];
                 let mut outstanding = 0usize;
                 // Prime every worker with one task.
-                for w in 1..mp.size() {
+                for w in 1..comm.size() {
                     if next_task < TASKS {
-                        send_task(proc, task_cls, (f_id, f_exp, f_samples), next_task, w);
+                        comm.send_obj(&make_task(next_task), w, TAG_TASK).unwrap();
                         next_task += 1;
                         outstanding += 1;
                     }
                 }
                 // Farm: collect a result, hand out the next task.
                 while outstanding > 0 {
-                    let (res, st) = oomp.orecv(Source::Any, TAG_RESULT).unwrap();
+                    let (res, st) = comm
+                        .recv_obj::<TaskResult>(Source::Any, TAG_RESULT)
+                        .unwrap();
                     outstanding -= 1;
-                    let id = t.get_prim::<i32>(res, r_id) as usize;
-                    done[id] = t.get_prim::<f64>(res, r_value);
-                    t.release(res);
+                    done[res.id as usize] = res.value;
                     println!(
-                        "[master] task {id} done by worker {} -> {:.4}",
-                        st.source, done[id]
+                        "[master] task {} done by worker {} -> {:.4}",
+                        res.id, st.source, res.value
                     );
                     if next_task < TASKS {
-                        send_task(
-                            proc,
-                            task_cls,
-                            (f_id, f_exp, f_samples),
-                            next_task,
-                            st.source,
-                        );
+                        comm.send_obj(&make_task(next_task), st.source as usize, TAG_TASK)
+                            .unwrap();
                         next_task += 1;
                         outstanding += 1;
                     }
                 }
                 // Poison every worker.
-                let stop = t.alloc_prim_array(ElemKind::U8, 1);
-                for w in 1..mp.size() {
-                    mp.send(stop, w, TAG_STOP).unwrap();
+                for w in 1..comm.size() {
+                    comm.send_slice(&[0u8], w, TAG_STOP).unwrap();
                 }
                 // Verify: task k computes sum(samples^exponent).
                 for (k, v) in done.iter().enumerate() {
@@ -107,27 +93,17 @@ fn main() {
                 // ---- worker ----
                 loop {
                     // Poll for either a task object or the stop signal.
-                    let st = mp.probe(0, ANY_TAG).unwrap();
+                    let st = comm.probe(0, Tag::ANY).unwrap();
                     if st.tag == TAG_STOP {
-                        let sink = t.alloc_prim_array(ElemKind::U8, 1);
-                        mp.recv(sink, 0, TAG_STOP).unwrap();
+                        let mut sink = [0u8; 1];
+                        comm.recv_into(&mut sink, 0, TAG_STOP).unwrap();
                         break;
                     }
-                    let (task, _) = oomp.orecv(0, TAG_TASK).unwrap();
-                    let id = t.get_prim::<i32>(task, f_id);
-                    let exp = t.get_prim::<i32>(task, f_exp);
-                    let samples = t.get_ref(task, f_samples);
-                    let mut data = vec![0f64; t.array_len(samples)];
-                    t.prim_read(samples, 0, &mut data);
-                    let value: f64 = data.iter().map(|x| x.powi(exp)).sum();
+                    let (task, _) = comm.recv_obj::<Task>(0, TAG_TASK).unwrap();
+                    let value: f64 = task.samples.iter().map(|x| x.powi(task.exponent)).sum();
                     // Ship a result object back.
-                    let res = t.alloc_instance(result_cls);
-                    t.set_prim::<i32>(res, r_id, id);
-                    t.set_prim::<f64>(res, r_value, value);
-                    oomp.osend(res, 0, TAG_RESULT).unwrap();
-                    t.release(res);
-                    t.release(task);
-                    t.release(samples);
+                    comm.send_obj(&TaskResult { id: task.id, value }, 0, TAG_RESULT)
+                        .unwrap();
                 }
             }
         },
@@ -141,26 +117,13 @@ fn main() {
     println!("task_farm complete (doctor: no anomalies)");
 }
 
-/// Master-side task construction and OSend.
-fn send_task(
-    proc: &MotorProc,
-    task_cls: ClassId,
-    fields: (usize, usize, usize),
-    k: usize,
-    worker: usize,
-) {
-    let t = proc.thread();
-    let (f_id, f_exp, f_samples) = fields;
-    let task = t.alloc_instance(task_cls);
-    t.set_prim::<i32>(task, f_id, k as i32);
-    t.set_prim::<i32>(task, f_exp, (k % 3 + 1) as i32);
-    let samples = t.alloc_prim_array(ElemKind::F64, 8);
-    let data: Vec<f64> = (0..8).map(|i| (k + i) as f64 * 0.5).collect();
-    t.prim_write(samples, 0, &data);
-    t.set_ref(task, f_samples, samples);
-    proc.oomp().osend(task, worker, TAG_TASK).unwrap();
-    t.release(task);
-    t.release(samples);
+/// Task `k`: raise 8 samples to the k-dependent exponent and sum.
+fn make_task(k: usize) -> Task {
+    Task {
+        id: k as i32,
+        exponent: (k % 3 + 1) as i32,
+        samples: (0..8).map(|i| (k + i) as f64 * 0.5).collect(),
+    }
 }
 
 /// Reference result for task `k`.

@@ -35,7 +35,8 @@ echo "==> trace export smoke test (4 ranks)"
 # it back through `motor-trace summary`.
 trace_out="$(mktemp -t motor-trace.XXXXXX.json)"
 flight_out="$(mktemp -t motor-flight.XXXXXX.json)"
-trap 'rm -f "$trace_out" "$flight_out"' EXIT
+bench_out="$(mktemp -d -t motor-bench.XXXXXX)"
+trap 'rm -rf "$trace_out" "$flight_out" "$bench_out"' EXIT
 cargo run -q -p motor-bench --bin motor-trace -- record "$trace_out" --ranks 4
 summary="$(cargo run -q -p motor-bench --bin motor-trace -- summary "$trace_out")"
 echo "$summary" | head -n 1
@@ -69,5 +70,19 @@ if ! grep -q '"deadlock_suspect"' "$flight_out"; then
   echo "doctor smoke test: flight record does not name the deadlock" >&2
   exit 1
 fi
+
+echo "==> bench artifact smoke test (apps run --quick + self-gate)"
+# The application workloads (CG, BFS, pipeline) plus the typed-API
+# ablation must run to completion at quick scale and emit one
+# BENCH_<workload>.json each; `apps gate` against itself then proves the
+# artifacts parse and the regression gate accepts an identical run.
+cargo run -q -p motor-bench --bin apps -- run --quick --out "$bench_out"
+for w in cg bfs pipeline ablation_api; do
+  if [ ! -s "$bench_out/BENCH_$w.json" ]; then
+    echo "bench smoke test: missing artifact BENCH_$w.json" >&2
+    exit 1
+  fi
+done
+cargo run -q -p motor-bench --bin apps -- gate "$bench_out" "$bench_out"
 
 echo "OK"

@@ -15,6 +15,8 @@
 //! * [`core`] — Motor proper: the runtime-integrated `System.MP` bindings,
 //!   the GC-aware pinning policy, and the extended object-oriented
 //!   operations with the split-capable serializer.
+//! * [`api`] — the typed Rust front-end: `Communicator`, typed pending
+//!   operations, `#[derive(Transportable)]` compile-time serializers.
 //! * [`analyze`] — load-time static analysis: the typed IL verifier plus
 //!   the transport-safety pass that lets the interpreter elide dynamic
 //!   object-model checks on proved modules.
@@ -24,6 +26,7 @@
 //! See `README.md` for a quickstart and `DESIGN.md` for the architecture.
 
 pub use motor_analyze as analyze;
+pub use motor_api as api;
 pub use motor_baselines as baselines;
 pub use motor_core as core;
 pub use motor_interp as interp;
@@ -50,13 +53,16 @@ pub use motor_runtime as runtime;
 /// assert!(metrics.aggregate().get(Metric::ChanFramesOut) > 0);
 /// ```
 pub mod prelude {
+    pub use motor_api::{
+        ArrayBuf, Communicator, PendingArray, PendingRecv, PendingSend, Transportable,
+    };
     pub use motor_core::cluster::{
         run_cluster, run_cluster_default, spawn_motor_children, ClusterConfig,
         ClusterConfigBuilder, ClusterMetrics, MotorProc,
     };
     pub use motor_core::{DoctorServer, Mp, MpRequest, MpStatus, Oomp, PinPolicy, ANY_TAG};
     pub use motor_mpc::universe::ChannelKind;
-    pub use motor_mpc::{ReduceOp, Source};
+    pub use motor_mpc::{ReduceOp, Source, Tag};
     pub use motor_obs::{
         check_prometheus_text, from_chrome_json, to_chrome_json, to_prometheus, Anomaly,
         AnomalyKind, ClusterTrace, DoctorConfig, EventKind, FlightRecord, Hist, InflightOp, Metric,
