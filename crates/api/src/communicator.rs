@@ -27,6 +27,7 @@ use crate::Transportable;
 use motor_core::fcall::Fcall;
 use motor_core::Mp;
 use motor_mpc::{MpcPrim, ReduceOp, Source, Status, Tag};
+use motor_obs::{PhaseScope, TimeBucket};
 use motor_runtime::MotorThread;
 
 /// Tags used by the object scatter/gather collectives; must match
@@ -97,6 +98,23 @@ impl<'t, C: Comm> Communicator<'t, C> {
         self.mp.as_ref().map(|m| Fcall::enter(m.thread()))
     }
 
+    /// Account a blocking communication call to the profiler's comm-wait
+    /// bucket when bound to a managed rank (no-op otherwise). The typed
+    /// front-end talks to the transport directly, so without this the
+    /// rank's wall-clock partition would file all its waits as compute.
+    fn comm_scope(&self) -> Option<PhaseScope<'_>> {
+        self.mp
+            .as_ref()
+            .map(|m| m.phase_scope(TimeBucket::CommWait))
+    }
+
+    /// As [`comm_scope`](Self::comm_scope), for progress polls (probe).
+    fn progress_scope(&self) -> Option<PhaseScope<'_>> {
+        self.mp
+            .as_ref()
+            .map(|m| m.phase_scope(TimeBucket::Progress))
+    }
+
     // ------------------------------------------------------------------
     // typed point-to-point
     // ------------------------------------------------------------------
@@ -110,6 +128,7 @@ impl<'t, C: Comm> Communicator<'t, C> {
         dest: usize,
         tag: impl Into<Tag>,
     ) -> Result<()> {
+        let _phase = self.comm_scope();
         let _fc = self.fcall();
         self.comm.send_bytes(as_bytes(buf), dest, tag.into())
     }
@@ -121,6 +140,7 @@ impl<'t, C: Comm> Communicator<'t, C> {
         src: impl Into<Source>,
         tag: impl Into<Tag>,
     ) -> Result<usize> {
+        let _phase = self.comm_scope();
         let _fc = self.fcall();
         let st = self
             .comm
@@ -180,6 +200,7 @@ impl<'t, C: Comm> Communicator<'t, C> {
         src: impl Into<Source>,
         tag: impl Into<Tag>,
     ) -> Result<usize> {
+        let _phase = self.comm_scope();
         let _fc = self.fcall();
         let tag = tag.into();
         let rbytes = as_bytes_mut(recv);
@@ -206,12 +227,14 @@ impl<'t, C: Comm> Communicator<'t, C> {
 
     /// Blocking probe for a matching message.
     pub fn probe(&self, src: impl Into<Source>, tag: impl Into<Tag>) -> Result<Status> {
+        let _phase = self.progress_scope();
         let _fc = self.fcall();
         self.comm.probe(src.into(), tag.into())
     }
 
     /// Non-blocking probe.
     pub fn iprobe(&self, src: impl Into<Source>, tag: impl Into<Tag>) -> Result<Option<Status>> {
+        let _phase = self.progress_scope();
         self.comm.iprobe(src.into(), tag.into())
     }
 
@@ -221,12 +244,14 @@ impl<'t, C: Comm> Communicator<'t, C> {
 
     /// Synchronize all ranks.
     pub fn barrier(&self) -> Result<()> {
+        let _phase = self.comm_scope();
         let _fc = self.fcall();
         self.comm.barrier()
     }
 
     /// Broadcast `buf` from `root` into every rank's `buf`.
     pub fn bcast_slice<T: MpcPrim>(&self, buf: &mut [T], root: usize) -> Result<()> {
+        let _phase = self.comm_scope();
         let _fc = self.fcall();
         self.comm.bcast_bytes(as_bytes_mut(buf), root)
     }
@@ -239,6 +264,7 @@ impl<'t, C: Comm> Communicator<'t, C> {
         recv: &mut [T],
         root: usize,
     ) -> Result<()> {
+        let _phase = self.comm_scope();
         let _fc = self.fcall();
         self.comm
             .scatter_bytes(send.map(as_bytes), as_bytes_mut(recv), root)
@@ -251,6 +277,7 @@ impl<'t, C: Comm> Communicator<'t, C> {
         recv: Option<&mut [T]>,
         root: usize,
     ) -> Result<()> {
+        let _phase = self.comm_scope();
         let _fc = self.fcall();
         self.comm
             .gather_bytes(as_bytes(send), recv.map(as_bytes_mut), root)
@@ -258,6 +285,7 @@ impl<'t, C: Comm> Communicator<'t, C> {
 
     /// Gather every rank's `send` into every rank's `recv`.
     pub fn allgather_slice<T: MpcPrim>(&self, send: &[T], recv: &mut [T]) -> Result<()> {
+        let _phase = self.comm_scope();
         let _fc = self.fcall();
         self.comm
             .allgather_bytes(as_bytes(send), as_bytes_mut(recv))
@@ -270,6 +298,7 @@ impl<'t, C: Comm> Communicator<'t, C> {
         recv: &mut [T],
         op: ReduceOp,
     ) -> Result<()> {
+        let _phase = self.comm_scope();
         let _fc = self.fcall();
         self.comm
             .allreduce_bytes(as_bytes(send), as_bytes_mut(recv), T::DTYPE, op)
@@ -317,6 +346,7 @@ impl<'t, C: Comm> Communicator<'t, C> {
         dest: usize,
         tag: impl Into<Tag>,
     ) -> Result<()> {
+        let _phase = self.comm_scope();
         let _fc = self.fcall();
         let bytes = wire::encode(obj);
         self.send_sized(&bytes, dest, tag.into())
@@ -329,6 +359,7 @@ impl<'t, C: Comm> Communicator<'t, C> {
         src: impl Into<Source>,
         tag: impl Into<Tag>,
     ) -> Result<(T, Status)> {
+        let _phase = self.comm_scope();
         let _fc = self.fcall();
         let (bytes, st) = self.recv_sized(src.into(), tag.into())?;
         Ok((wire::decode(&bytes)?, st))
@@ -338,6 +369,7 @@ impl<'t, C: Comm> Communicator<'t, C> {
     /// `Some(obj)` and receives `None` back (it already owns the value);
     /// every other rank receives `Some(copy)`.
     pub fn bcast_obj<T: Transportable>(&self, obj: Option<&T>, root: usize) -> Result<Option<T>> {
+        let _phase = self.comm_scope();
         let _fc = self.fcall();
         if self.comm.rank() == root {
             let obj = obj.ok_or(Error::Runtime(motor_core::CoreError::NullBuffer))?;
@@ -364,6 +396,7 @@ impl<'t, C: Comm> Communicator<'t, C> {
         send: Option<&[T]>,
         root: usize,
     ) -> Result<Vec<T>> {
+        let _phase = self.comm_scope();
         let _fc = self.fcall();
         let n = self.comm.size();
         if self.comm.rank() == root {
@@ -398,6 +431,7 @@ impl<'t, C: Comm> Communicator<'t, C> {
     /// `Some(all)` at root, `None` elsewhere.  Interoperable with managed
     /// ranks in the same `Oomp::ogather`.
     pub fn gather_objs<T: Transportable>(&self, send: &[T], root: usize) -> Result<Option<Vec<T>>> {
+        let _phase = self.comm_scope();
         let _fc = self.fcall();
         let n = self.comm.size();
         if self.comm.rank() == root {

@@ -16,8 +16,24 @@ use crate::comm::Comm;
 use crate::error::{Error, Result};
 use motor_core::fcall::Fcall;
 use motor_mpc::Status;
+use motor_obs::TimeBucket;
 use motor_runtime::MotorThread;
 use std::marker::PhantomData;
+
+/// Open the profiler's in-flight window for an async op issued from a
+/// managed rank; the matching [`async_done`] fires exactly once when the
+/// request reaches its completion (wait, successful test, or forget).
+fn async_issue(thread: Option<&MotorThread>) {
+    if let Some(t) = thread {
+        t.vm().metrics().async_op_begin();
+    }
+}
+
+fn async_done(thread: Option<&MotorThread>) {
+    if let Some(t) = thread {
+        t.vm().metrics().async_op_end();
+    }
+}
 
 /// An in-flight typed send.  Must be completed with [`PendingSend::wait`]
 /// (or driven to completion with [`PendingSend::test`]); dropping an
@@ -34,6 +50,7 @@ pub struct PendingSend<'a, C: Comm> {
 
 impl<'a, C: Comm> PendingSend<'a, C> {
     pub(crate) fn new(comm: &'a C, thread: Option<&'a MotorThread>, req: C::Request) -> Self {
+        async_issue(thread);
         PendingSend {
             comm,
             thread,
@@ -46,18 +63,29 @@ impl<'a, C: Comm> PendingSend<'a, C> {
     pub fn wait(mut self) -> Result<()> {
         let req = self.req.take().expect("pending send already completed");
         let _fc = self.thread.map(Fcall::enter);
-        self.comm.wait(&req)?;
+        let res = {
+            let _phase = self
+                .thread
+                .map(|t| t.vm().metrics().phase_scope(TimeBucket::CommWait));
+            self.comm.wait(&req)
+        };
+        async_done(self.thread);
+        res?;
         Ok(())
     }
 
     /// Poll for completion; returns `true` once complete (after which the
     /// value is disarmed and may be dropped).
     pub fn test(&mut self) -> Result<bool> {
+        let _phase = self
+            .thread
+            .map(|t| t.vm().metrics().phase_scope(TimeBucket::Progress));
         match &self.req {
             None => Ok(true),
             Some(req) => {
                 if self.comm.test(req)?.is_some() {
                     self.req = None;
+                    async_done(self.thread);
                     Ok(true)
                 } else {
                     Ok(false)
@@ -70,7 +98,9 @@ impl<'a, C: Comm> PendingSend<'a, C> {
     /// transport may still deliver the message; this only defuses the
     /// drop-bomb.  Deliberately loud in source — every use is greppable.
     pub fn forget(mut self) {
-        self.req = None;
+        if self.req.take().is_some() {
+            async_done(self.thread);
+        }
     }
 }
 
@@ -102,6 +132,7 @@ impl<'a, C: Comm, T> PendingRecv<'a, C, T> {
         req: C::Request,
         buf_len: usize,
     ) -> Self {
+        async_issue(thread);
         PendingRecv {
             comm,
             thread,
@@ -126,12 +157,21 @@ impl<'a, C: Comm, T> PendingRecv<'a, C, T> {
     pub fn wait(mut self) -> Result<usize> {
         let req = self.req.take().expect("pending receive already completed");
         let _fc = self.thread.map(Fcall::enter);
-        let st = self.comm.wait(&req)?;
-        self.check(st)
+        let res = {
+            let _phase = self
+                .thread
+                .map(|t| t.vm().metrics().phase_scope(TimeBucket::CommWait));
+            self.comm.wait(&req)
+        };
+        async_done(self.thread);
+        self.check(res?)
     }
 
     /// Poll for completion; `Some(elements)` once the message has landed.
     pub fn test(&mut self) -> Result<Option<usize>> {
+        let _phase = self
+            .thread
+            .map(|t| t.vm().metrics().phase_scope(TimeBucket::Progress));
         match &self.req {
             None => Err(Error::Decode(
                 "pending receive polled after completion".into(),
@@ -140,6 +180,7 @@ impl<'a, C: Comm, T> PendingRecv<'a, C, T> {
                 None => Ok(None),
                 Some(st) => {
                     self.req = None;
+                    async_done(self.thread);
                     self.check(st).map(Some)
                 }
             },
@@ -148,7 +189,9 @@ impl<'a, C: Comm, T> PendingRecv<'a, C, T> {
 
     /// Explicitly abandon the receive (see [`PendingSend::forget`]).
     pub fn forget(mut self) {
-        self.req = None;
+        if self.req.take().is_some() {
+            async_done(self.thread);
+        }
     }
 }
 

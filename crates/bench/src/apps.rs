@@ -24,20 +24,27 @@
 //! (see the `apps` binary).
 
 use std::sync::Arc;
+use std::time::Duration;
 
 use parking_lot::Mutex;
 
 use motor_api::{Communicator, Transportable};
-use motor_core::cluster::{run_cluster, spawn_motor_children, ClusterConfig};
+use motor_core::cluster::{run_cluster, spawn_motor_children, ClusterConfig, MotorProc};
 use motor_mpc::{ReduceOp, Source};
+use motor_obs::export::json;
 use motor_pal::clock::Stopwatch;
+use motor_profile::{FoldedStacks, ProfTarget, ProfileSection, RankProfile, Sampler};
 use motor_runtime::{ElemKind, TypeRegistry};
+
+/// Sampling period of the per-rank profiler during app workloads.
+const SAMPLE_PERIOD: Duration = Duration::from_micros(250);
 
 /// One workload's outcome: the timing metric, a correctness checksum and
 /// the configuration that produced it.
 #[derive(Debug, Clone, PartialEq)]
 pub struct AppResult {
-    /// Workload name (`cg`, `bfs`, `pipeline`, `ablation_api`).
+    /// Workload name (`cg`, `bfs`, `pipeline`, `ablation_api`,
+    /// `ablation_profile`, `ablation_overlap`).
     pub workload: &'static str,
     /// Mean microseconds per iteration (the gated metric).
     pub us_per_iter: f64,
@@ -47,50 +54,150 @@ pub struct AppResult {
     /// Human-readable configuration string; the gate refuses to compare
     /// results from different configs.
     pub config: String,
+    /// Per-rank continuous-profiling section (time buckets, overlap,
+    /// samples), when the workload ran with the profiler attached.
+    pub profile: Option<ProfileSection>,
+    /// Rendered folded stacks for the flamegraph artifact, when sampled.
+    /// Not part of the JSON body — the `apps` binary writes it to
+    /// `BENCH_<workload>.folded` alongside.
+    pub folded: Option<String>,
 }
 
 impl AppResult {
     /// The `BENCH_<workload>.json` artifact body.
     pub fn to_json(&self) -> String {
-        format!(
+        let mut out = format!(
             "{{\"motor_bench_app\":1,\"workload\":\"{}\",\"us_per_iter\":{:.3},\
-             \"checksum\":{:.6},\"config\":\"{}\"}}\n",
+             \"checksum\":{:.6},\"config\":\"{}\"",
             self.workload, self.us_per_iter, self.checksum, self.config
-        )
+        );
+        if let Some(p) = &self.profile {
+            out.push_str(",\"profile\":");
+            out.push_str(&p.to_json());
+        }
+        out.push_str("}\n");
+        out
     }
 
     /// Parse an artifact written by [`AppResult::to_json`] (no serde in
-    /// the tree; the format is flat and fully under our control).
+    /// the tree; the vendored `motor_obs::export::json` parser does).
     pub fn from_json(s: &str) -> Option<AppResult> {
-        fn str_field(s: &str, key: &str) -> Option<String> {
-            let pat = format!("\"{key}\":\"");
-            let start = s.find(&pat)? + pat.len();
-            let end = s[start..].find('"')? + start;
-            Some(s[start..end].to_string())
-        }
-        fn num_field(s: &str, key: &str) -> Option<f64> {
-            let pat = format!("\"{key}\":");
-            let start = s.find(&pat)? + pat.len();
-            let end = s[start..]
-                .find([',', '}'])
-                .map(|e| e + start)
-                .unwrap_or(s.len());
-            s[start..end].trim().parse().ok()
-        }
-        let workload = match str_field(s, "workload")?.as_str() {
+        let v = json::parse(s.trim_end()).ok()?;
+        let workload = match v.get("workload")?.as_str()? {
             "cg" => "cg",
             "bfs" => "bfs",
             "pipeline" => "pipeline",
             "ablation_api" => "ablation_api",
+            "ablation_profile" => "ablation_profile",
+            "ablation_overlap" => "ablation_overlap",
             _ => return None,
+        };
+        let num = |key: &str| -> Option<f64> {
+            match v.get(key)? {
+                json::Value::Num(n) => Some(*n),
+                _ => None,
+            }
         };
         Some(AppResult {
             workload,
-            us_per_iter: num_field(s, "us_per_iter")?,
-            checksum: num_field(s, "checksum")?,
-            config: str_field(s, "config")?,
+            us_per_iter: num("us_per_iter")?,
+            checksum: num("checksum")?,
+            config: v.get("config")?.as_str()?.to_string(),
+            profile: v
+                .get("profile")
+                .map(ProfileSection::from_value)
+                .transpose()
+                .ok()?,
+            folded: None,
         })
     }
+}
+
+// ---------------------------------------------------------------------
+// Per-rank profiling harness
+// ---------------------------------------------------------------------
+
+/// What each profiled rank leaves behind: `(rank, wall nanoseconds,
+/// bucket/overlap totals windowed to that wall interval, folded stacks)`.
+type ProfSink = Arc<Mutex<Vec<(usize, u64, motor_obs::PhaseSnapshot, FoldedStacks)>>>;
+
+/// Start profiling one rank of an app workload: arms a [`Sampler`] over
+/// the rank's VM-side registry (time-bucket accounting is already live —
+/// `run_cluster` called `profile_start`) and a wall-clock stopwatch for
+/// the coverage denominator. The phase clock runs from cluster entry to
+/// teardown — wider than the stopwatch — so the bucket totals reported
+/// are the *delta* between a start and finish snapshot, windowed to the
+/// same interval the stopwatch measures.
+struct RankProf {
+    rank: usize,
+    sw: Stopwatch,
+    registry: Arc<motor_obs::MetricsRegistry>,
+    base: motor_obs::PhaseSnapshot,
+    sampler: Sampler,
+    sink: ProfSink,
+}
+
+impl RankProf {
+    fn start(proc: &MotorProc, rank: usize, sink: &ProfSink) -> RankProf {
+        let registry = Arc::clone(proc.vm().metrics());
+        let sampler = Sampler::spawn(
+            vec![ProfTarget {
+                rank,
+                registry: Arc::clone(&registry),
+                hot: None,
+            }],
+            SAMPLE_PERIOD,
+        );
+        let base = registry.phase_snapshot();
+        RankProf {
+            rank,
+            sw: Stopwatch::start(),
+            registry,
+            base,
+            sampler,
+            sink: Arc::clone(sink),
+        }
+    }
+
+    fn finish(self) {
+        let wall = self.sw.elapsed().as_nanos() as u64;
+        let end = self.registry.phase_snapshot();
+        let mut window = motor_obs::PhaseSnapshot::default();
+        for (i, b) in window.bucket_nanos.iter_mut().enumerate() {
+            *b = end.bucket_nanos[i].saturating_sub(self.base.bucket_nanos[i]);
+        }
+        window.inflight_nanos = end.inflight_nanos.saturating_sub(self.base.inflight_nanos);
+        window.overlap_nanos = end.overlap_nanos.saturating_sub(self.base.overlap_nanos);
+        let (folded, _rounds) = self.sampler.stop();
+        self.sink.lock().push((self.rank, wall, window, folded));
+    }
+}
+
+/// Assemble the `profile` section from the per-rank sink and the cluster
+/// metrics `run_cluster` returned: bucket/overlap/sample counters come
+/// from each rank's merged snapshot, the wall denominator and folded
+/// stacks from the rank's own harness.
+fn build_profile(
+    sink: &ProfSink,
+    per_rank: &[motor_obs::MetricsSnapshot],
+) -> (ProfileSection, String) {
+    let mut entries = sink.lock().clone();
+    entries.sort_by_key(|&(r, _, _, _)| r);
+    let mut section = ProfileSection::default();
+    let mut folded = FoldedStacks::new();
+    for (rank, wall, window, f) in entries {
+        if let Some(snap) = per_rank.get(rank) {
+            let mut rp = RankProfile::from_snapshot(rank, wall, snap);
+            // Replace the whole-run phase totals with the stopwatch-
+            // windowed deltas so coverage compares like against like.
+            rp.bucket_nanos = window.bucket_nanos;
+            rp.inflight_nanos = window.inflight_nanos;
+            rp.overlap_nanos = window.overlap_nanos;
+            section.ranks.push(rp);
+        }
+        folded.merge(&f);
+    }
+    (section, folded.render())
 }
 
 /// Sizing knobs shared by the workloads.
@@ -140,12 +247,15 @@ pub fn cg(cfg: AppConfig) -> AppResult {
     let iters = cfg.iters;
     let out = Arc::new(Mutex::new((0.0f64, 0.0f64)));
     let o = Arc::clone(&out);
-    run_cluster(
+    let sink: ProfSink = Arc::new(Mutex::new(Vec::new()));
+    let s = Arc::clone(&sink);
+    let metrics = run_cluster(
         ClusterConfig::builder().ranks(cfg.ranks).build(),
         |_reg| {},
         move |proc| {
             let comm = Communicator::bind(proc.mp());
             let rank = comm.rank();
+            let prof = RankProf::start(proc, rank, &s);
             let rows = n / comm.size();
             let row0 = rank * rows;
 
@@ -207,15 +317,19 @@ pub fn cg(cfg: AppConfig) -> AppResult {
                 );
                 *o.lock() = (us, rho.sqrt());
             }
+            prof.finish();
         },
     )
     .unwrap();
     let (us, checksum) = *out.lock();
+    let (profile, folded) = build_profile(&sink, &metrics.per_rank);
     AppResult {
         workload: "cg",
         us_per_iter: us,
         checksum,
         config: format!("ranks={},n={},iters={}", cfg.ranks, n, iters),
+        profile: Some(profile),
+        folded: Some(folded),
     }
 }
 
@@ -266,12 +380,15 @@ pub fn bfs(cfg: AppConfig) -> AppResult {
     let sweeps = cfg.iters;
     let out = Arc::new(Mutex::new((0.0f64, 0.0f64)));
     let o = Arc::clone(&out);
-    run_cluster(
+    let sink: ProfSink = Arc::new(Mutex::new(Vec::new()));
+    let s = Arc::clone(&sink);
+    let metrics = run_cluster(
         ClusterConfig::builder().ranks(cfg.ranks).build(),
         |_reg| {},
         move |proc| {
             let comm = Communicator::bind(proc.mp());
             let rank = comm.rank();
+            let prof = RankProf::start(proc, rank, &s);
             let per = n as usize / comm.size();
             let own0 = (rank * per) as i64;
             let owns = |v: i64| -> bool { v >= own0 && v < own0 + per as i64 };
@@ -325,15 +442,19 @@ pub fn bfs(cfg: AppConfig) -> AppResult {
                 );
                 *o.lock() = (us, checksum);
             }
+            prof.finish();
         },
     )
     .unwrap();
     let (us, checksum) = *out.lock();
+    let (profile, folded) = build_profile(&sink, &metrics.per_rank);
     AppResult {
         workload: "bfs",
         us_per_iter: us,
         checksum,
         config: format!("ranks={},vertices={n},sweeps={sweeps}", cfg.ranks),
+        profile: Some(profile),
+        folded: Some(folded),
     }
 }
 
@@ -360,10 +481,13 @@ pub fn pipeline(cfg: AppConfig) -> AppResult {
     let batches = cfg.iters;
     let out = Arc::new(Mutex::new((0.0f64, 0.0f64)));
     let o = Arc::clone(&out);
-    run_cluster(
+    let sink: ProfSink = Arc::new(Mutex::new(Vec::new()));
+    let s = Arc::clone(&sink);
+    let metrics = run_cluster(
         ClusterConfig::builder().ranks(1).build(),
         define_batch,
         move |proc| {
+            let prof = RankProf::start(proc, 0, &s);
             let inter = spawn_motor_children(
                 proc,
                 2,
@@ -429,15 +553,19 @@ pub fn pipeline(cfg: AppConfig) -> AppResult {
             let expect = nn * (nn - 1.0) + nn;
             assert_eq!(total, expect, "pipeline checksum");
             *o.lock() = (us, total);
+            prof.finish();
         },
     )
     .unwrap();
     let (us, checksum) = *out.lock();
+    let (profile, folded) = build_profile(&sink, &metrics.per_rank);
     AppResult {
         workload: "pipeline",
         us_per_iter: us,
         checksum,
         config: format!("stages=2,batch_len={batch_len},batches={batches}"),
+        profile: Some(profile),
+        folded: Some(folded),
     }
 }
 
@@ -541,6 +669,206 @@ pub fn ablation_api_result(quick: bool) -> AppResult {
         us_per_iter: api / hand,
         checksum: 0.0,
         config: format!("bytes={bytes},timed={timed},repeats={repeats},metric=api_over_hand"),
+        profile: None,
+        folded: None,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Ablation: comm/compute overlap baseline
+// ---------------------------------------------------------------------
+
+/// The overlap baseline (ROADMAP: overlap-aware scheduling starts here):
+/// two ranks exchange arrays with `isend`/`irecv`, run a compute kernel
+/// while the transfers are in flight, then `wait`. The time-bucket
+/// machinery measures how much of the in-flight interval coincided with
+/// computation; the artifact's checksum **is** the measured aggregate
+/// overlap ratio, so future scheduling work has a number to move.
+pub fn ablation_overlap(cfg: AppConfig) -> AppResult {
+    let len = cfg.scale * 256;
+    let iters = cfg.iters * 4;
+    let out = Arc::new(Mutex::new(0.0f64));
+    let o = Arc::clone(&out);
+    let sink: ProfSink = Arc::new(Mutex::new(Vec::new()));
+    let s = Arc::clone(&sink);
+    let metrics = run_cluster(
+        ClusterConfig::builder().ranks(2).build(),
+        |_reg| {},
+        move |proc| {
+            let mp = proc.mp();
+            let rank = mp.rank();
+            let peer = 1 - rank;
+            let prof = RankProf::start(proc, rank, &s);
+            let t = proc.thread();
+            let send_buf = t.alloc_prim_array(ElemKind::F64, len);
+            let recv_buf = t.alloc_prim_array(ElemKind::F64, len);
+            let seed = vec![rank as f64 + 1.0; len];
+            t.prim_write(send_buf, 0, &seed);
+
+            // The overlapped compute kernel: enough floating-point work
+            // to outlast the transfer, entirely local.
+            let mut acc = vec![0.0f64; len];
+            let compute = |acc: &mut [f64]| {
+                for (i, a) in acc.iter_mut().enumerate() {
+                    let x = (i % 97) as f64 + 1.0;
+                    *a += x * 1.000001 + *a * 1e-9;
+                }
+            };
+
+            let sw = Stopwatch::start();
+            for _ in 0..iters {
+                let mut rs = mp.irecv(recv_buf, peer, 7).unwrap();
+                let mut ss = mp.isend(send_buf, peer, 7).unwrap();
+                compute(&mut acc);
+                mp.wait(&mut ss).unwrap();
+                mp.wait(&mut rs).unwrap();
+            }
+            let us = sw.elapsed_micros_f64() / iters as f64;
+            let mut got = vec![0.0f64; len];
+            t.prim_read(recv_buf, 0, &mut got);
+            assert!(
+                got.iter().all(|&x| x == peer as f64 + 1.0),
+                "overlap exchange must deliver the peer's payload"
+            );
+            if rank == 0 {
+                *o.lock() = us;
+            }
+            prof.finish();
+        },
+    )
+    .unwrap();
+    let us = *out.lock();
+    let (profile, folded) = build_profile(&sink, &metrics.per_rank);
+    let overlap = profile.overlap_ratio().unwrap_or(0.0);
+    AppResult {
+        workload: "ablation_overlap",
+        us_per_iter: us,
+        checksum: overlap,
+        config: format!("ranks=2,len={len},iters={iters},metric=checksum_is_overlap_ratio"),
+        profile: Some(profile),
+        folded: Some(folded),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Ablation: profiling on vs off
+// ---------------------------------------------------------------------
+
+/// The profiler's cost, measured: the same IL kernel interpreted with no
+/// profiler attached vs. with the full stack on (IL hotness hooks live
+/// plus a sampler thread reading them). Paired and interleaved like
+/// [`ablation_api`]; returns `(off_us, on_us)` best-over-repeats. The
+/// `apps` binary gates the ratio at 1.02 in release builds.
+///
+/// (With the interpreter's `profile` feature compiled out entirely the
+/// hooks do not exist — the dispatch loop is byte-identical to the
+/// pre-profiler interpreter. This bench measures the *enabled* path.)
+pub fn ablation_profile(trips: i64, reps: usize, repeats: usize) -> (f64, f64) {
+    use motor_interp::il::{FnBuilder, Module, Op, PROFILE_NAMES};
+    use motor_interp::interp::Interp;
+    use motor_interp::verify::VerifiedModule;
+    use motor_obs::{IlHot, MetricsRegistry};
+    use motor_runtime::{MotorThread, Vm, VmConfig};
+
+    // kernel(): a `trips`-iteration integer loop with a body heavy
+    // enough to look like real IL (≈14 dispatched ops per trip).
+    let mut f = FnBuilder::new("kernel", 0, 2, true);
+    let top = f.label();
+    let done = f.label();
+    f.op(Op::PushI(trips)).op(Op::Store(0));
+    f.op(Op::PushI(0)).op(Op::Store(1));
+    f.bind(top);
+    f.op(Op::Load(0))
+        .op(Op::PushI(0))
+        .op(Op::CmpLe)
+        .br_true(done);
+    f.op(Op::Load(1))
+        .op(Op::Load(0))
+        .op(Op::PushI(3))
+        .op(Op::Mul)
+        .op(Op::PushI(1))
+        .op(Op::Sub)
+        .op(Op::Add)
+        .op(Op::Store(1));
+    f.op(Op::Load(0))
+        .op(Op::PushI(1))
+        .op(Op::Sub)
+        .op(Op::Store(0));
+    f.br(top);
+    f.bind(done);
+    f.op(Op::Load(1)).op(Op::Ret);
+    let mut m = Module::new();
+    let kernel = m.add(f.build());
+
+    let vm = Vm::new(VmConfig::default());
+    let vmod = VerifiedModule::verify(m, &vm.registry()).expect("kernel verifies");
+    let t = MotorThread::attach(vm);
+
+    let names: Vec<String> = vmod
+        .module()
+        .functions
+        .iter()
+        .map(|f| f.name.clone())
+        .collect();
+    let off = Interp::new(&t, &vmod);
+    let hot = Arc::new(IlHot::new(names, PROFILE_NAMES.to_vec()));
+    let on = Interp::new(&t, &vmod).with_profiler(Arc::clone(&hot));
+
+    let registry = Arc::new(MetricsRegistry::new());
+    registry.profile_start();
+    let sampler = Sampler::spawn(
+        vec![ProfTarget {
+            rank: 0,
+            registry,
+            hot: Some(Arc::clone(&hot)),
+        }],
+        SAMPLE_PERIOD,
+    );
+
+    let time_phase = |i: &Interp, best: &mut f64| {
+        // One warmup call, then the timed repetitions.
+        i.call(kernel, &[]).unwrap();
+        let sw = Stopwatch::start();
+        for _ in 0..reps {
+            i.call(kernel, &[]).unwrap();
+        }
+        *best = best.min(sw.elapsed_micros_f64() / reps as f64);
+    };
+
+    let mut best_off = f64::INFINITY;
+    let mut best_on = f64::INFINITY;
+    for rep in 0..repeats {
+        if rep % 2 == 0 {
+            time_phase(&off, &mut best_off);
+            time_phase(&on, &mut best_on);
+        } else {
+            time_phase(&on, &mut best_on);
+            time_phase(&off, &mut best_off);
+        }
+    }
+    let (_folded, _) = sampler.stop();
+    (best_off, best_on)
+}
+
+/// The profiling-cost ablation as a gated artifact: metric = `on/off`
+/// ratio.
+pub fn ablation_profile_result(quick: bool) -> AppResult {
+    // Sized so one timed phase is long enough (tens of milliseconds)
+    // that scheduler noise stays well under the 2% gate; best-of pairs
+    // over `repeats` shed the rest.
+    let (trips, reps, repeats) = if quick {
+        (4_000, 50, 7)
+    } else {
+        (10_000, 60, 9)
+    };
+    let (off, on) = ablation_profile(trips, reps, repeats);
+    AppResult {
+        workload: "ablation_profile",
+        us_per_iter: on / off,
+        checksum: 0.0,
+        config: format!("trips={trips},reps={reps},repeats={repeats},metric=on_over_off"),
+        profile: None,
+        folded: None,
     }
 }
 
@@ -553,6 +881,55 @@ mod tests {
         let r = cg(AppConfig::quick());
         assert!(r.us_per_iter > 0.0);
         assert!(r.checksum < 1e-2, "converged residual, got {}", r.checksum);
+        // The profile section is live: every rank present, buckets
+        // accounting for ≥95% of the rank's measured wall clock, samples
+        // flowing into the counters, and the folded artifact parseable.
+        let p = r.profile.as_ref().expect("cg carries a profile section");
+        assert_eq!(p.ranks.len(), AppConfig::quick().ranks);
+        assert!(
+            p.min_coverage() >= 0.95,
+            "bucket coverage {:.3} below 95%",
+            p.min_coverage()
+        );
+        assert!(p.ranks.iter().all(|r| r.samples > 0), "sampler sampled");
+        let folded = FoldedStacks::parse(r.folded.as_deref().unwrap()).unwrap();
+        assert!(folded.total() > 0);
+        // CG spends real time in comm_wait (two allreduces + an
+        // allgather per iteration).
+        let buckets = p.bucket_totals();
+        assert!(
+            buckets[motor_obs::TimeBucket::CommWait as usize] > 0,
+            "collectives must accrue comm_wait time, got {buckets:?}"
+        );
+    }
+
+    #[test]
+    fn overlap_ablation_measures_a_ratio() {
+        let mut cfg = AppConfig::quick();
+        cfg.iters = 4;
+        let r = ablation_overlap(cfg);
+        assert!(r.us_per_iter > 0.0);
+        let p = r.profile.as_ref().expect("overlap carries a profile");
+        let inflight: u64 = p.ranks.iter().map(|r| r.inflight_nanos).sum();
+        assert!(inflight > 0, "isend/irecv intervals must be tracked");
+        // The kernel computes while transfers are in flight, so a real
+        // (non-zero) overlap ratio must come out.
+        assert!(
+            r.checksum > 0.0 && r.checksum <= 1.0,
+            "measured overlap ratio, got {}",
+            r.checksum
+        );
+    }
+
+    #[test]
+    fn profile_ablation_runs_and_reports() {
+        let (off, on) = ablation_profile(500, 5, 2);
+        assert!(off > 0.0 && on > 0.0);
+        // No gating here (debug build); the release `apps run` enforces
+        // the 2% limit. Just prove both paths execute the same kernel.
+        let r = ablation_profile_result(true);
+        assert!(r.us_per_iter > 0.0);
+        assert_eq!(r.workload, "ablation_profile");
     }
 
     #[test]
@@ -583,11 +960,40 @@ mod tests {
             us_per_iter: 12.345,
             checksum: -0.5,
             config: "ranks=4,n=1024,iters=25".into(),
+            profile: None,
+            folded: None,
         };
         let back = AppResult::from_json(&r.to_json()).unwrap();
         assert_eq!(back.workload, r.workload);
         assert!((back.us_per_iter - r.us_per_iter).abs() < 1e-3);
         assert!((back.checksum - r.checksum).abs() < 1e-6);
         assert_eq!(back.config, r.config);
+        assert!(back.profile.is_none());
+    }
+
+    #[test]
+    fn json_roundtrip_with_profile() {
+        let r = AppResult {
+            workload: "pipeline",
+            us_per_iter: 3.0,
+            checksum: 1.0,
+            config: "stages=2".into(),
+            profile: Some(ProfileSection {
+                ranks: vec![RankProfile {
+                    rank: 0,
+                    wall_nanos: 1_000,
+                    bucket_nanos: [500, 300, 100, 50, 50],
+                    inflight_nanos: 200,
+                    overlap_nanos: 100,
+                    samples: 9,
+                    top_functions: Vec::new(),
+                    op_mix: Vec::new(),
+                }],
+            }),
+            folded: None,
+        };
+        let back = AppResult::from_json(&r.to_json()).unwrap();
+        assert_eq!(back.profile, r.profile);
+        assert_eq!(back.profile.unwrap().overlap_ratio(), Some(0.5));
     }
 }

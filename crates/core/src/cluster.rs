@@ -365,6 +365,11 @@ where
             proc_: proc,
             doctor: ticket,
         };
+        // Arm time-bucket accounting on the rank's own (VM-side) registry:
+        // from here to the exit snapshot every classified span and phase
+        // scope attributes this rank's wall clock, so the prof_* counters
+        // in the collected snapshots partition the body's run time.
+        mp.vm.metrics().profile_start();
         body(&mp);
         snaps.lock().push((mp.rank(), mp.metrics()));
         if let Some((d, t)) = &mp.doctor {

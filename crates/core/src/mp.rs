@@ -22,7 +22,7 @@ use std::ops::{Bound, RangeBounds};
 use std::sync::Arc;
 
 use motor_mpc::{Comm, DType, ReduceOp, Request, Source, Tag};
-use motor_obs::{span_arg_peer_tag, MetricsRegistry, SpanKind, INFLIGHT_NONE};
+use motor_obs::{span_arg_peer_tag, MetricsRegistry, SpanKind, TimeBucket, INFLIGHT_NONE};
 use motor_runtime::{ElemKind, Handle, MotorThread};
 
 use crate::error::{CoreError, CoreResult};
@@ -112,6 +112,13 @@ pub struct MpRequest {
     hard_pin: Option<motor_runtime::PinToken>,
     registry: Arc<MetricsRegistry>,
     inflight: usize,
+    /// Whether this request still holds an open interval in the
+    /// profiler's in-flight overlap clock (`async_op_begin` was called
+    /// and the matching `async_op_end` has not run yet). Tracked
+    /// separately from `inflight` because the doctor's in-flight table
+    /// can be full (`INFLIGHT_NONE`) while overlap accounting still
+    /// wants to see the operation.
+    async_live: bool,
 }
 
 impl MpRequest {
@@ -135,6 +142,9 @@ impl MpRequest {
     fn finish_inflight(&mut self) {
         self.registry
             .op_end(std::mem::replace(&mut self.inflight, INFLIGHT_NONE));
+        if std::mem::take(&mut self.async_live) {
+            self.registry.async_op_end();
+        }
     }
 }
 
@@ -150,6 +160,19 @@ pub struct Mp<'t> {
     thread: &'t MotorThread,
     comm: Comm,
     policy: PinPolicy,
+}
+
+impl Mp<'_> {
+    /// Enter a profiling time bucket on this rank's VM-side registry —
+    /// the registry whose phase machine `run_cluster` arms. Layers that
+    /// talk to the transport directly (the typed `motor-api` front-end)
+    /// use this to classify their blocking communication time; without
+    /// it the device-side spans they trigger cannot reach the rank's
+    /// wall-clock partition.
+    #[inline]
+    pub fn phase_scope(&self, bucket: TimeBucket) -> motor_obs::PhaseScope<'_> {
+        self.thread.vm().metrics().phase_scope(bucket)
+    }
 }
 
 /// Map a managed element kind to a wire datatype.
@@ -494,12 +517,14 @@ impl<'t> Mp<'t> {
         let registry = Arc::clone(self.thread.vm().metrics());
         let inflight =
             registry.op_begin(SpanKind::MpIsend, span_arg_peer_tag(dest, tag.to_device()));
+        registry.async_op_begin();
         Ok(MpRequest {
             inner: req,
             buf: obj,
             hard_pin,
             registry,
             inflight,
+            async_live: true,
         })
     }
 
@@ -545,12 +570,14 @@ impl<'t> Mp<'t> {
             SpanKind::MpIrecv,
             span_arg_peer_tag(source_peer(src), tag.to_device()),
         );
+        registry.async_op_begin();
         Ok(MpRequest {
             inner: req,
             buf: obj,
             hard_pin,
             registry,
             inflight,
+            async_live: true,
         })
     }
 
@@ -573,6 +600,7 @@ impl<'t> Mp<'t> {
 
     /// Test an immediate operation (the `MPI_Test` analog).
     pub fn test(&self, req: &mut MpRequest) -> CoreResult<Option<MpStatus>> {
+        let _phase = self.thread.vm().metrics().phase_scope(TimeBucket::Progress);
         let _fc = Fcall::enter(self.thread);
         match self.comm.test(&req.inner)? {
             Some(st) => {
@@ -609,6 +637,7 @@ impl<'t> Mp<'t> {
         src: impl Into<Source>,
         tag: impl Into<Tag>,
     ) -> CoreResult<Option<MpStatus>> {
+        let _phase = self.thread.vm().metrics().phase_scope(TimeBucket::Progress);
         let _fc = Fcall::enter(self.thread);
         Ok(self.comm.iprobe(src, tag)?.map(Into::into))
     }
@@ -626,6 +655,10 @@ impl<'t> Mp<'t> {
 
     /// Barrier across the communicator.
     pub fn barrier(&self) -> CoreResult<()> {
+        // Collective spans are recorded on the device-side registry, so
+        // the VM-side time-bucket clock needs an explicit scope here
+        // (same for the other collectives below).
+        let _phase = self.thread.vm().metrics().phase_scope(TimeBucket::CommWait);
         let _fc = Fcall::enter(self.thread);
         self.comm.barrier()?;
         Ok(())
@@ -643,6 +676,7 @@ impl<'t> Mp<'t> {
     }
 
     fn bcast_impl(&self, obj: Handle, root: usize, trusted: bool) -> CoreResult<()> {
+        let _phase = self.thread.vm().metrics().phase_scope(TimeBucket::CommWait);
         let fc = Fcall::enter(self.thread);
         let (ptr, len) = self.resolve_window(&fc, obj, trusted)?;
         let pin = self.pin_for_collective(obj);
@@ -657,6 +691,7 @@ impl<'t> Mp<'t> {
     /// Scatter equal chunks of root's array into every rank's array.
     /// `send` is significant at root only; `recv.len * size == send.len`.
     pub fn scatter(&self, send: Option<Handle>, recv: Handle, root: usize) -> CoreResult<()> {
+        let _phase = self.thread.vm().metrics().phase_scope(TimeBucket::CommWait);
         let fc = Fcall::enter(self.thread);
         let (rptr, rlen) = self.window(&fc, recv)?;
         let rpin = self.pin_for_collective(recv);
@@ -687,6 +722,7 @@ impl<'t> Mp<'t> {
 
     /// Gather every rank's array into root's array (rank-ordered chunks).
     pub fn gather(&self, send: Handle, recv: Option<Handle>, root: usize) -> CoreResult<()> {
+        let _phase = self.thread.vm().metrics().phase_scope(TimeBucket::CommWait);
         let fc = Fcall::enter(self.thread);
         let (sptr, slen) = self.window(&fc, send)?;
         let spin = self.pin_for_collective(send);
@@ -718,6 +754,7 @@ impl<'t> Mp<'t> {
     /// Elementwise allreduce over primitive arrays (datatype inferred from
     /// the managed element kind — no `MPI_Datatype` parameter, §4.2.1).
     pub fn allreduce(&self, send: Handle, recv: Handle, op: ReduceOp) -> CoreResult<()> {
+        let _phase = self.thread.vm().metrics().phase_scope(TimeBucket::CommWait);
         let fc = Fcall::enter(self.thread);
         let kind = fc
             .elem_kind(send)

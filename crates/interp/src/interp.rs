@@ -15,6 +15,17 @@ use crate::verify::{FuncMeta, VerifiedModule};
 /// Straight-line instruction budget between forced polls.
 const POLL_INTERVAL: u32 = 256;
 
+/// Instructions between opcode-mix samples (`profile` feature). Prime and
+/// unrelated to [`POLL_INTERVAL`] — the poll countdown resets on every
+/// back edge, so a tight loop would never reach a poll-based sample; this
+/// countdown never resets early, and the prime stride keeps it from
+/// phase-locking onto loop bodies of a round length. Sized so the
+/// sample-path work (two relaxed stores) amortizes to well under 1% of
+/// the dispatch cost — `BENCH_ablation_profile.json` gates the total
+/// profiler overhead at 2%.
+#[cfg(feature = "profile")]
+const SAMPLE_INTERVAL: u32 = 251;
+
 /// A value on the evaluation stack or in a local slot.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Value {
@@ -115,6 +126,9 @@ pub struct Interp<'t, 'm> {
     host: Option<&'m dyn FcallHost>,
     /// The module's transport proof (granted by `motor-analyze`).
     trusted: bool,
+    /// IL hotness table fed by the dispatch loop (None = hooks dormant).
+    #[cfg(feature = "profile")]
+    prof: Option<std::sync::Arc<motor_obs::IlHot>>,
 }
 
 /// One activation frame's handle arena: handles minted during the call,
@@ -149,6 +163,8 @@ impl<'t, 'm> Interp<'t, 'm> {
             meta: Some(verified.meta()),
             host: None,
             trusted: verified.has_transport_proof(),
+            #[cfg(feature = "profile")]
+            prof: None,
         }
     }
 
@@ -162,12 +178,26 @@ impl<'t, 'm> Interp<'t, 'm> {
             meta: None,
             host: None,
             trusted: false,
+            #[cfg(feature = "profile")]
+            prof: None,
         }
     }
 
     /// Bind the message-passing host used by `Op::FCall`.
     pub fn with_host(mut self, host: &'m dyn FcallHost) -> Self {
         self.host = Some(host);
+        self
+    }
+
+    /// Attach an IL hotness table: the dispatch loop then counts every
+    /// invocation and loop back edge, samples the opcode mix every
+    /// [`SAMPLE_INTERVAL`] instructions, and keeps the sampler-visible
+    /// current-function/pc and shadow stack up to date. The table should
+    /// be built with one name per module function (same indexing as
+    /// `Op::Call`) and [`crate::il::PROFILE_NAMES`] for the opcodes.
+    #[cfg(feature = "profile")]
+    pub fn with_profiler(mut self, prof: std::sync::Arc<motor_obs::IlHot>) -> Self {
+        self.prof = Some(prof);
         self
     }
 
@@ -192,7 +222,15 @@ impl<'t, 'm> Interp<'t, 'm> {
         locals.resize(f.locals as usize, Value::I(0));
         let mut stack: Vec<Value> = Vec::with_capacity(16);
         let mut arena = Arena::new();
-        let result = self.run(f, meta, &mut locals, &mut stack, &mut arena);
+        #[cfg(feature = "profile")]
+        if let Some(p) = &self.prof {
+            p.on_call(idx as u32);
+        }
+        let result = self.run(f, meta, idx, &mut locals, &mut stack, &mut arena);
+        #[cfg(feature = "profile")]
+        if let Some(p) = &self.prof {
+            p.on_return();
+        }
         match result {
             Ok(ret) => {
                 // Transfer the return handle out of the arena by cloning.
@@ -220,13 +258,22 @@ impl<'t, 'm> Interp<'t, 'm> {
         &self,
         f: &Function,
         meta: Option<&FuncMeta>,
+        fidx: u16,
         locals: &mut [Value],
         stack: &mut Vec<Value>,
         arena: &mut Arena,
     ) -> Result<Option<Value>, TrapKind> {
+        #[cfg(not(feature = "profile"))]
+        let _ = fidx;
         let code = &f.code;
         let mut pc: usize = 0;
         let mut since_poll: u32 = 0;
+        #[cfg(feature = "profile")]
+        let mut since_sample: u32 = SAMPLE_INTERVAL;
+        // Hoisted once: keeps the per-op profiler check a register test
+        // instead of a field reload inside the dispatch loop.
+        #[cfg(feature = "profile")]
+        let prof = self.prof.as_deref();
         macro_rules! pop {
             () => {
                 stack.pop().ok_or(TrapKind::StackUnderflow)?
@@ -248,6 +295,14 @@ impl<'t, 'm> Interp<'t, 'm> {
             if since_poll >= POLL_INTERVAL {
                 since_poll = 0;
                 self.thread.poll();
+            }
+            #[cfg(feature = "profile")]
+            if let Some(p) = prof {
+                since_sample -= 1;
+                if since_sample == 0 {
+                    since_sample = SAMPLE_INTERVAL;
+                    p.sample_op(op.profile_index(), fidx as u32, op_pc as u32);
+                }
             }
             match op {
                 Op::PushI(v) => stack.push(Value::I(v)),
@@ -367,6 +422,10 @@ impl<'t, 'm> Interp<'t, 'm> {
                         // Backward-branch safepoint (the JIT poll).
                         self.thread.poll();
                         since_poll = 0;
+                        #[cfg(feature = "profile")]
+                        if let Some(p) = prof {
+                            p.on_backedge(fidx as u32, op_pc as u32);
+                        }
                     }
                     pc = (pc as i64 + rel as i64) as usize;
                 }
@@ -376,6 +435,10 @@ impl<'t, 'm> Interp<'t, 'm> {
                         if rel < 0 {
                             self.thread.poll();
                             since_poll = 0;
+                            #[cfg(feature = "profile")]
+                            if let Some(p) = prof {
+                                p.on_backedge(fidx as u32, op_pc as u32);
+                            }
                         }
                         pc = (pc as i64 + rel as i64) as usize;
                     }
@@ -386,6 +449,10 @@ impl<'t, 'm> Interp<'t, 'm> {
                         if rel < 0 {
                             self.thread.poll();
                             since_poll = 0;
+                            #[cfg(feature = "profile")]
+                            if let Some(p) = prof {
+                                p.on_backedge(fidx as u32, op_pc as u32);
+                            }
                         }
                         pc = (pc as i64 + rel as i64) as usize;
                     }
@@ -1113,4 +1180,70 @@ mod tests {
     }
 
     use motor_runtime::ElemKind;
+
+    #[cfg(feature = "profile")]
+    #[test]
+    fn profiler_hooks_count_calls_backedges_and_ops() {
+        use crate::il::PROFILE_NAMES;
+        use motor_obs::IlHot;
+        use std::sync::Arc;
+
+        // leaf(): a 100-trip empty loop — the hot function.
+        let mut leaf = FnBuilder::new("leaf", 0, 1, true);
+        let top = leaf.label();
+        let done = leaf.label();
+        leaf.op(Op::PushI(100)).op(Op::Store(0));
+        leaf.bind(top);
+        leaf.op(Op::Load(0))
+            .op(Op::PushI(0))
+            .op(Op::CmpLe)
+            .br_true(done);
+        leaf.op(Op::Load(0))
+            .op(Op::PushI(1))
+            .op(Op::Sub)
+            .op(Op::Store(0));
+        leaf.br(top);
+        leaf.bind(done);
+        leaf.op(Op::PushI(0)).op(Op::Ret);
+        // driver(): calls leaf() 5 times.
+        let mut m = Module::new();
+        let leaf_idx = m.add(leaf.build());
+        let mut driver = FnBuilder::new("driver", 0, 1, true);
+        for _ in 0..5 {
+            driver.op(Op::Call(leaf_idx)).op(Op::Pop);
+        }
+        driver.op(Op::PushI(0)).op(Op::Ret);
+        let driver_idx = m.add(driver.build());
+
+        let vm = vm_small();
+        let vmod = verified(m, &vm);
+        let t = motor_runtime::MotorThread::attach(vm);
+        let prof = Arc::new(IlHot::new(
+            vmod.module()
+                .functions
+                .iter()
+                .map(|f| f.name.clone())
+                .collect(),
+            PROFILE_NAMES.to_vec(),
+        ));
+        let i = Interp::new(&t, &vmod).with_profiler(Arc::clone(&prof));
+        i.call(driver_idx, &[]).unwrap();
+
+        let hot = prof.hottest().expect("something ran");
+        assert_eq!(hot.name, "leaf", "the loop function must rank hottest");
+        assert_eq!(hot.calls, 5);
+        assert_eq!(hot.backedges, 5 * 100);
+        let by_name: std::collections::HashMap<_, _> = prof
+            .top_functions()
+            .into_iter()
+            .map(|f| (f.name.clone(), f))
+            .collect();
+        assert_eq!(by_name["driver"].calls, 1);
+        assert_eq!(by_name["driver"].backedges, 0);
+        // ~500 loop trips × 6 ops each: the sampled mix must have fired.
+        assert!(prof.op_counts().iter().sum::<u64>() > 0, "op mix sampled");
+        // Interpreter idle again: stack unwound, no current frame.
+        assert_eq!(prof.current(), None);
+        assert!(prof.stack_snapshot().is_empty());
+    }
 }

@@ -70,10 +70,13 @@ pub fn to_chrome_json(trace: &ClusterTrace) -> String {
         ));
     }
     let dropped: Vec<String> = trace.dropped_events.iter().map(|d| d.to_string()).collect();
+    let orphaned: Vec<String> = trace.orphaned_ends.iter().map(|d| d.to_string()).collect();
     format!(
-        "{{\"displayTimeUnit\":\"ns\",\"motorRanks\":{},\"motorDropped\":[{}],\"traceEvents\":[{}]}}",
+        "{{\"displayTimeUnit\":\"ns\",\"motorRanks\":{},\"motorDropped\":[{}],\
+         \"motorOrphaned\":[{}],\"traceEvents\":[{}]}}",
         trace.ranks,
         dropped.join(","),
+        orphaned.join(","),
         ev.join(",")
     )
 }
@@ -103,6 +106,11 @@ pub fn from_chrome_json(text: &str) -> Result<ClusterTrace, String> {
         edges: Vec::new(),
         dropped_events: root
             .get("motorDropped")
+            .and_then(|v| v.as_array())
+            .map(|a| a.iter().filter_map(|v| v.as_u64()).collect())
+            .unwrap_or_default(),
+        orphaned_ends: root
+            .get("motorOrphaned")
             .and_then(|v| v.as_array())
             .map(|a| a.iter().filter_map(|v| v.as_u64()).collect())
             .unwrap_or_default(),
@@ -175,9 +183,10 @@ pub fn from_chrome_json(text: &str) -> Result<ClusterTrace, String> {
             _ => {} // "f" flow ends and "M" metadata carry no extra state
         }
     }
-    // Older files without `motorDropped` (and traces whose rank count grew
-    // while parsing) report zero drops for the missing ranks.
+    // Older files without `motorDropped`/`motorOrphaned` (and traces whose
+    // rank count grew while parsing) report zeroes for the missing ranks.
     trace.dropped_events.resize(trace.ranks, 0);
+    trace.orphaned_ends.resize(trace.ranks, 0);
     Ok(trace)
 }
 

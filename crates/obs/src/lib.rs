@@ -28,6 +28,7 @@ use std::time::Instant;
 
 pub mod doctor;
 pub mod export;
+pub mod profile;
 pub mod prom;
 pub mod span;
 pub mod trace;
@@ -37,6 +38,7 @@ pub use doctor::{
     RankFlight, RankHealth, INFLIGHT_NONE,
 };
 pub use export::{from_chrome_json, to_chrome_json};
+pub use profile::{FuncHotness, IlHot, PhaseSnapshot, PhaseStats, TimeBucket, N_BUCKETS};
 pub use prom::{check_prometheus_text, to_prometheus};
 pub use span::{span_arg_peer_tag, span_arg_unpack, SpanGuard, SpanKind};
 pub use trace::{
@@ -190,6 +192,27 @@ define_metrics! {
     /// In-flight op registrations dropped because the table was full.
     InflightOverflows => "inflight_overflows",
 
+    // ---- continuous profiling (time buckets / overlap; synthesized
+    // ---- from PhaseStats at snapshot time, see profile.rs) ----
+    /// Wall clock spent computing (the default bucket).
+    ProfComputeNanos => "prof_compute_nanos",
+    /// Wall clock spent in blocking communication (ops, waits, probes,
+    /// collectives, rendezvous).
+    ProfCommWaitNanos => "prof_comm_wait_nanos",
+    /// Wall clock spent driving explicit non-blocking progress
+    /// (`test`/`iprobe`).
+    ProfProgressNanos => "prof_progress_nanos",
+    /// Wall clock spent in GC pauses and safepoint stalls.
+    ProfGcNanos => "prof_gc_nanos",
+    /// Wall clock spent (de)serializing object graphs.
+    ProfSerializeNanos => "prof_serialize_nanos",
+    /// Union of in-flight non-blocking op intervals.
+    ProfInflightNanos => "prof_inflight_nanos",
+    /// Portion of `prof_inflight_nanos` that overlapped computation.
+    ProfOverlapNanos => "prof_overlap_nanos",
+    /// Interpreter-state samples taken by the profiler thread.
+    ProfSamples => "prof_samples",
+
     // ---- GC bridge (copied from GcStats at snapshot time) ----
     /// Minor collections.
     GcMinorCollections => "gc_minor_collections",
@@ -232,6 +255,16 @@ impl Metric {
     pub fn is_gc_bridge(self) -> bool {
         (self as usize) >= (Metric::GcMinorCollections as usize)
     }
+
+    /// The synthesized phase counter for each [`profile::TimeBucket`],
+    /// in bucket order (see [`MetricsSnapshot::bucket_nanos`]).
+    pub const BUCKET_METRICS: [Metric; profile::N_BUCKETS] = [
+        Metric::ProfComputeNanos,
+        Metric::ProfCommWaitNanos,
+        Metric::ProfProgressNanos,
+        Metric::ProfGcNanos,
+        Metric::ProfSerializeNanos,
+    ];
 }
 
 macro_rules! define_hists {
@@ -331,6 +364,11 @@ pub enum EventKind {
     /// A deserializer pass finished (`a` = pass id, `b` = wire bytes
     /// consumed).
     DeserEnd = 17,
+    /// A profiler sample of the rank's interpreter state
+    /// (`a` = `(func + 1) << 32 | pc`, 0 when no IL is running;
+    /// `b` = the native [`profile::TimeBucket`] index at the sample;
+    /// `c` = IL shadow-stack depth).
+    ProfSample = 18,
 }
 
 impl EventKind {
@@ -355,6 +393,7 @@ impl EventKind {
             EventKind::SerEnd => "ser_end",
             EventKind::DeserBegin => "deser_begin",
             EventKind::DeserEnd => "deser_end",
+            EventKind::ProfSample => "prof_sample",
         }
     }
 
@@ -378,6 +417,7 @@ impl EventKind {
             15 => EventKind::SerEnd,
             16 => EventKind::DeserBegin,
             17 => EventKind::DeserEnd,
+            18 => EventKind::ProfSample,
             _ => return None,
         })
     }
@@ -449,6 +489,9 @@ pub struct MetricsRegistry {
     clock_offset: AtomicI64,
     /// What this rank is doing right now (see [`doctor::InflightTable`]).
     inflight: doctor::InflightTable,
+    /// Time-bucket and overlap accounting (see [`profile::PhaseStats`]).
+    /// Dormant (all transitions no-ops) until [`Self::profile_start`].
+    phases: profile::PhaseStats,
 }
 
 impl fmt::Debug for MetricsRegistry {
@@ -500,7 +543,52 @@ impl MetricsRegistry {
             epoch,
             clock_offset: AtomicI64::new(0),
             inflight: doctor::InflightTable::new(doctor::DEFAULT_INFLIGHT_CAPACITY),
+            phases: profile::PhaseStats::new(),
         }
+    }
+
+    /// Start this registry's time-bucket accounting: from now on every
+    /// classified span open/close transitions the rank's phase, and
+    /// [`Self::snapshot`] carries `prof_*` counters that partition the
+    /// wall clock since this call. Call once per rank, on the rank's own
+    /// thread, before the body runs (`run_cluster` does). Idempotent.
+    pub fn profile_start(&self) {
+        self.phases.start_at(self.now_nanos());
+    }
+
+    /// The phase machine (explicit-timestamp transitions for virtual-
+    /// clock tests, current-bucket queries by the sampler).
+    pub fn phases(&self) -> &profile::PhaseStats {
+        &self.phases
+    }
+
+    /// Enter a time bucket outside the span layer (e.g. collective
+    /// wrappers, progress polls). The guard pops on drop; no ring events
+    /// are written, so this is cheap enough for per-`test` polling.
+    #[inline]
+    pub fn phase_scope(&self, bucket: profile::TimeBucket) -> PhaseScope<'_> {
+        PhaseScope {
+            registry: self,
+            pushed: self.phases.push_at(bucket, self.now_nanos()),
+        }
+    }
+
+    /// A non-blocking operation went in flight (overlap accounting).
+    #[inline]
+    pub fn async_op_begin(&self) {
+        self.phases.async_begin_at(self.now_nanos());
+    }
+
+    /// A non-blocking operation completed (overlap accounting).
+    #[inline]
+    pub fn async_op_end(&self) {
+        self.phases.async_end_at(self.now_nanos());
+    }
+
+    /// Live time-bucket totals as of now (zeroes before
+    /// [`Self::profile_start`]).
+    pub fn phase_snapshot(&self) -> profile::PhaseSnapshot {
+        self.phases.read_at(self.now_nanos())
     }
 
     /// Register an in-flight op in this registry's live table; pair with
@@ -709,12 +797,37 @@ impl MetricsRegistry {
         counters[Metric::TraceEventsDropped as usize] =
             events_through.saturating_sub(self.slots.len() as u64);
         counters[Metric::InflightOverflows as usize] = self.inflight.overflows();
+        // Time-bucket / overlap attribution: materialized from the phase
+        // machine here (including the still-open segment) rather than
+        // bumped on the hot path, so the buckets partition the wall clock
+        // exactly up to this snapshot.
+        let prof = self.phases.read_at(self.now_nanos());
+        for (bucket, metric) in profile::TimeBucket::ALL.iter().zip(Metric::BUCKET_METRICS) {
+            counters[metric as usize] = prof.bucket_nanos[*bucket as usize];
+        }
+        counters[Metric::ProfInflightNanos as usize] = prof.inflight_nanos;
+        counters[Metric::ProfOverlapNanos as usize] = prof.overlap_nanos;
         MetricsSnapshot {
             counters,
             hists,
             events,
             events_through,
             clock_offset_nanos: self.clock_offset(),
+        }
+    }
+}
+
+/// An entered time bucket (see [`MetricsRegistry::phase_scope`]);
+/// dropping it returns the rank to the enclosing bucket.
+pub struct PhaseScope<'r> {
+    registry: &'r MetricsRegistry,
+    pushed: bool,
+}
+
+impl Drop for PhaseScope<'_> {
+    fn drop(&mut self) {
+        if self.pushed {
+            self.registry.phases.pop_at(self.registry.now_nanos());
         }
     }
 }
@@ -831,6 +944,28 @@ impl MetricsSnapshot {
     /// Value of one counter.
     pub fn get(&self, m: Metric) -> u64 {
         self.counters.get(m as usize).copied().unwrap_or(0)
+    }
+
+    /// Per-bucket phase nanos carried by this snapshot, in
+    /// [`profile::TimeBucket::ALL`] order. Zeroes unless the registry had
+    /// [`MetricsRegistry::profile_start`] called.
+    pub fn bucket_nanos(&self) -> [u64; profile::N_BUCKETS] {
+        let mut out = [0u64; profile::N_BUCKETS];
+        for (slot, m) in out.iter_mut().zip(Metric::BUCKET_METRICS) {
+            *slot = self.get(m);
+        }
+        out
+    }
+
+    /// Comm/compute overlap ratio: the fraction of in-flight
+    /// non-blocking-op time that coincided with computation. `None` when
+    /// nothing was ever in flight.
+    pub fn overlap_ratio(&self) -> Option<f64> {
+        let inflight = self.get(Metric::ProfInflightNanos);
+        if inflight == 0 {
+            return None;
+        }
+        Some(self.get(Metric::ProfOverlapNanos) as f64 / inflight as f64)
     }
 
     /// Estimated p-quantile of one histogram (see
@@ -1317,6 +1452,61 @@ mod tests {
         let ones = MetricsRegistry::new();
         ones.record(Hist::WaitNanos, 1);
         assert_eq!(ones.snapshot().percentile(Hist::WaitNanos, 0.5), 1);
+    }
+
+    #[test]
+    fn percentile_edge_cases() {
+        // Empty histogram: every quantile is 0, including the extremes
+        // and out-of-range p values (clamped, not panicking).
+        let empty = HistSnapshot {
+            buckets: [0; HIST_BUCKETS],
+        };
+        for p in [0.0, 0.5, 1.0, -3.0, 42.0] {
+            assert_eq!(empty.percentile(p), 0, "empty hist, p = {p}");
+        }
+        assert_eq!(empty.count(), 0);
+        assert_eq!(empty.max_bound(), 0);
+
+        // Single occupied bucket: every quantile lands inside that
+        // bucket's span, and p=0/p=1 don't escape it.
+        let r = MetricsRegistry::new();
+        for _ in 0..7 {
+            r.record(Hist::WaitNanos, 100); // bucket 7: (64, 128]
+        }
+        let h = r.snapshot().hist(Hist::WaitNanos);
+        for p in [0.0, 0.01, 0.5, 0.99, 1.0] {
+            let v = h.percentile(p);
+            assert!((65..=128).contains(&v), "single bucket, p = {p}, v = {v}");
+        }
+        assert_eq!(h.max_bound(), 128);
+
+        // Saturated top bucket: values beyond 2^(HIST_BUCKETS-1) clamp
+        // into the last bucket; the interpolation must not overflow and
+        // the estimate stays within the bucket's (huge) span.
+        assert_eq!(log2_bucket(u64::MAX), HIST_BUCKETS - 1);
+        let r = MetricsRegistry::new();
+        r.record(Hist::WaitNanos, u64::MAX);
+        r.record(Hist::WaitNanos, u64::MAX - 1);
+        let h = r.snapshot().hist(Hist::WaitNanos);
+        let top_lo = (1u64 << (HIST_BUCKETS - 2)) + 1;
+        let top_hi = 1u64 << (HIST_BUCKETS - 1);
+        for p in [0.5, 0.99, 1.0] {
+            let v = h.percentile(p);
+            assert!(
+                (top_lo..=top_hi).contains(&v),
+                "saturated bucket, p = {p}, v = {v}"
+            );
+        }
+        assert_eq!(h.max_bound(), top_hi);
+
+        // Mixed: a zero plus a saturated value — p0 pins to bucket 0,
+        // p100 to the top bucket.
+        let r = MetricsRegistry::new();
+        r.record(Hist::WaitNanos, 0);
+        r.record(Hist::WaitNanos, u64::MAX);
+        let h = r.snapshot().hist(Hist::WaitNanos);
+        assert_eq!(h.percentile(0.0), 0);
+        assert!(h.percentile(1.0) >= top_lo);
     }
 
     #[test]

@@ -1,0 +1,569 @@
+//! Continuous-profiling primitives: per-rank time-bucket accounting,
+//! comm/compute overlap tracking, and the IL hotness table.
+//!
+//! Everything here is lock-free and built for a **single writer** — the
+//! rank thread — with any number of concurrent readers (the sampling
+//! profiler thread, `motor-doctor`, snapshot collection). Writes are
+//! relaxed atomics; a racing reader can observe a slightly stale value
+//! but never a torn or corrupt one.
+//!
+//! # Time buckets
+//!
+//! [`PhaseStats`] classifies a rank's wall clock into the five
+//! [`TimeBucket`]s by piggybacking on the span layer: opening a span
+//! whose [`SpanKind`](crate::SpanKind) classifies to a bucket pushes
+//! that bucket onto a small phase stack; dropping the guard pops it.
+//! Time accrues to whatever bucket is on top — [`TimeBucket::Compute`]
+//! whenever nothing else is — so the buckets always partition the wall
+//! clock exactly, from [`PhaseStats::start_at`] to the moment of
+//! observation. Nesting attributes correctly: a GC pause inside an
+//! `mp_wait` bills the pause to `gc`, not `comm_wait`.
+//!
+//! # Overlap
+//!
+//! The same flush points maintain two more accumulators: the union of
+//! in-flight non-blocking op intervals (`inflight_nanos`, while
+//! [`PhaseStats::async_begin_at`]..[`PhaseStats::async_end_at`] nesting
+//! is non-zero) and the portion of that union spent in the `compute`
+//! bucket (`overlap_nanos`). Their ratio is the comm/compute overlap
+//! ratio — the headline metric for asynchronous-progress work.
+//!
+//! Every transition method takes an explicit `now` timestamp so the
+//! whole machine runs unchanged under `motor-sim`'s virtual clock; the
+//! [`MetricsRegistry`](crate::MetricsRegistry) wrappers feed it the
+//! registry clock.
+
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
+
+/// Number of [`TimeBucket`]s.
+pub const N_BUCKETS: usize = 5;
+
+/// Maximum phase-nesting depth tracked exactly; deeper nesting keeps
+/// billing the bucket at the cap (and still pops correctly).
+const MAX_PHASE_DEPTH: usize = 32;
+
+/// Maximum IL shadow-stack depth captured for flamegraph samples.
+pub const MAX_IL_STACK: usize = 64;
+
+/// Where a slice of a rank's wall clock went.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(usize)]
+pub enum TimeBucket {
+    /// Application code between message-passing / runtime phases (the
+    /// default: whatever is not claimed by another bucket).
+    Compute = 0,
+    /// Blocking communication: point-to-point ops, waits, probes,
+    /// collectives, rendezvous handshakes.
+    CommWait = 1,
+    /// Explicit non-blocking progress (`test`/`iprobe` polling).
+    Progress = 2,
+    /// Garbage collection pauses and safepoint stalls.
+    Gc = 3,
+    /// Object-graph (de)serialization passes.
+    Serialize = 4,
+}
+
+impl TimeBucket {
+    /// Every bucket, in index order.
+    pub const ALL: [TimeBucket; N_BUCKETS] = [
+        TimeBucket::Compute,
+        TimeBucket::CommWait,
+        TimeBucket::Progress,
+        TimeBucket::Gc,
+        TimeBucket::Serialize,
+    ];
+
+    /// Stable export name (Prometheus label / JSON key).
+    pub fn name(self) -> &'static str {
+        match self {
+            TimeBucket::Compute => "compute",
+            TimeBucket::CommWait => "comm_wait",
+            TimeBucket::Progress => "progress",
+            TimeBucket::Gc => "gc",
+            TimeBucket::Serialize => "serialize",
+        }
+    }
+}
+
+/// Observed totals of a [`PhaseStats`] at one instant.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PhaseSnapshot {
+    /// Nanoseconds accrued per [`TimeBucket`] (index order).
+    pub bucket_nanos: [u64; N_BUCKETS],
+    /// Union of in-flight non-blocking op intervals (nanoseconds).
+    pub inflight_nanos: u64,
+    /// Portion of `inflight_nanos` spent computing (nanoseconds).
+    pub overlap_nanos: u64,
+}
+
+impl PhaseSnapshot {
+    /// Total accounted wall clock: the buckets partition the window from
+    /// `start_at` to the observation instant, so this *is* the window.
+    pub fn wall_nanos(&self) -> u64 {
+        self.bucket_nanos.iter().sum()
+    }
+
+    /// Comm/compute overlap ratio: the fraction of in-flight op time
+    /// that overlapped computation. `None` when nothing was in flight.
+    pub fn overlap_ratio(&self) -> Option<f64> {
+        if self.inflight_nanos == 0 {
+            None
+        } else {
+            Some(self.overlap_nanos as f64 / self.inflight_nanos as f64)
+        }
+    }
+}
+
+/// Online per-rank time-bucket and overlap accounting (see module docs).
+#[derive(Debug)]
+pub struct PhaseStats {
+    started: AtomicBool,
+    last_flush: AtomicU64,
+    cur: AtomicUsize,
+    depth: AtomicUsize,
+    stack: [AtomicUsize; MAX_PHASE_DEPTH],
+    bucket_nanos: [AtomicU64; N_BUCKETS],
+    async_ops: AtomicU64,
+    inflight_nanos: AtomicU64,
+    overlap_nanos: AtomicU64,
+}
+
+impl Default for PhaseStats {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PhaseStats {
+    /// A fresh, not-yet-started accounting machine (all transitions are
+    /// no-ops until [`Self::start_at`]).
+    pub fn new() -> PhaseStats {
+        PhaseStats {
+            started: AtomicBool::new(false),
+            last_flush: AtomicU64::new(0),
+            cur: AtomicUsize::new(TimeBucket::Compute as usize),
+            depth: AtomicUsize::new(0),
+            stack: std::array::from_fn(|_| AtomicUsize::new(0)),
+            bucket_nanos: std::array::from_fn(|_| AtomicU64::new(0)),
+            async_ops: AtomicU64::new(0),
+            inflight_nanos: AtomicU64::new(0),
+            overlap_nanos: AtomicU64::new(0),
+        }
+    }
+
+    /// Whether accounting has started.
+    #[inline]
+    pub fn started(&self) -> bool {
+        self.started.load(Ordering::Relaxed)
+    }
+
+    /// Close the open segment `[last_flush, now)` into the accumulators.
+    #[inline]
+    fn flush_to(&self, now: u64) {
+        let last = self.last_flush.load(Ordering::Relaxed);
+        let dt = now.saturating_sub(last);
+        if dt > 0 {
+            let cur = self.cur.load(Ordering::Relaxed).min(N_BUCKETS - 1);
+            self.bucket_nanos[cur].fetch_add(dt, Ordering::Relaxed);
+            if self.async_ops.load(Ordering::Relaxed) > 0 {
+                self.inflight_nanos.fetch_add(dt, Ordering::Relaxed);
+                if cur == TimeBucket::Compute as usize {
+                    self.overlap_nanos.fetch_add(dt, Ordering::Relaxed);
+                }
+            }
+        }
+        self.last_flush.store(now, Ordering::Relaxed);
+    }
+
+    /// Start the accounting clock: everything from `now` on is
+    /// classified. Idempotent (a second start is ignored).
+    pub fn start_at(&self, now: u64) {
+        if self.started.swap(true, Ordering::Relaxed) {
+            return;
+        }
+        self.last_flush.store(now, Ordering::Relaxed);
+        self.cur
+            .store(TimeBucket::Compute as usize, Ordering::Relaxed);
+        self.depth.store(0, Ordering::Relaxed);
+    }
+
+    /// Enter `bucket` (e.g. a classified span opened). Returns whether
+    /// the push was recorded — the caller must pop iff it was.
+    #[inline]
+    pub fn push_at(&self, bucket: TimeBucket, now: u64) -> bool {
+        if !self.started() {
+            return false;
+        }
+        self.flush_to(now);
+        let d = self.depth.load(Ordering::Relaxed);
+        if d < MAX_PHASE_DEPTH {
+            self.stack[d].store(self.cur.load(Ordering::Relaxed), Ordering::Relaxed);
+            self.cur.store(bucket as usize, Ordering::Relaxed);
+        }
+        self.depth.store(d + 1, Ordering::Relaxed);
+        true
+    }
+
+    /// Leave the bucket entered by the matching [`Self::push_at`].
+    #[inline]
+    pub fn pop_at(&self, now: u64) {
+        let d = self.depth.load(Ordering::Relaxed);
+        if !self.started() || d == 0 {
+            return;
+        }
+        self.flush_to(now);
+        let d = d - 1;
+        self.depth.store(d, Ordering::Relaxed);
+        if d < MAX_PHASE_DEPTH {
+            self.cur
+                .store(self.stack[d].load(Ordering::Relaxed), Ordering::Relaxed);
+        }
+    }
+
+    /// A non-blocking operation went in flight.
+    #[inline]
+    pub fn async_begin_at(&self, now: u64) {
+        if self.started() {
+            self.flush_to(now);
+        }
+        self.async_ops.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A non-blocking operation completed (or was dropped).
+    #[inline]
+    pub fn async_end_at(&self, now: u64) {
+        if self.started() {
+            self.flush_to(now);
+        }
+        // Saturating decrement: a stray end (e.g. double-completion in a
+        // torn-down cluster) must not wrap the gauge to u64::MAX.
+        let _ = self
+            .async_ops
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| v.checked_sub(1));
+    }
+
+    /// The bucket currently accruing time.
+    #[inline]
+    pub fn current_bucket(&self) -> TimeBucket {
+        TimeBucket::ALL[self.cur.load(Ordering::Relaxed).min(N_BUCKETS - 1)]
+    }
+
+    /// Totals as of `now`, including the still-open segment. Read-only:
+    /// safe to call from any thread while the owner keeps transitioning
+    /// (a racing reader sees totals at most one segment stale).
+    pub fn read_at(&self, now: u64) -> PhaseSnapshot {
+        let mut snap = PhaseSnapshot::default();
+        if !self.started() {
+            return snap;
+        }
+        for (i, b) in self.bucket_nanos.iter().enumerate() {
+            snap.bucket_nanos[i] = b.load(Ordering::Relaxed);
+        }
+        snap.inflight_nanos = self.inflight_nanos.load(Ordering::Relaxed);
+        snap.overlap_nanos = self.overlap_nanos.load(Ordering::Relaxed);
+        let last = self.last_flush.load(Ordering::Relaxed);
+        let dt = now.saturating_sub(last);
+        if dt > 0 {
+            let cur = self.cur.load(Ordering::Relaxed).min(N_BUCKETS - 1);
+            snap.bucket_nanos[cur] += dt;
+            if self.async_ops.load(Ordering::Relaxed) > 0 {
+                snap.inflight_nanos += dt;
+                if cur == TimeBucket::Compute as usize {
+                    snap.overlap_nanos += dt;
+                }
+            }
+        }
+        snap
+    }
+}
+
+/// Per-function hotness counters.
+#[derive(Debug, Default)]
+pub struct FuncHot {
+    /// Invocations of the function.
+    pub calls: AtomicU64,
+    /// Loop back-edges taken inside the function.
+    pub backedges: AtomicU64,
+}
+
+/// One function's hotness, snapshotted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FuncHotness {
+    /// Function name.
+    pub name: String,
+    /// Invocations.
+    pub calls: u64,
+    /// Loop back-edges taken.
+    pub backedges: u64,
+}
+
+/// Lock-free IL hotness table for one interpreter (= one rank thread):
+/// per-function invocation and back-edge counters, a sampled opcode-mix
+/// histogram, and the sampler-visible current state (shadow call stack
+/// plus current function/pc).
+///
+/// The interpreter is the single writer; the sampling profiler thread
+/// reads concurrently. The shadow stack is captured opportunistically —
+/// a sample racing a call/return may drop or duplicate the youngest
+/// frame, which is exactly the tolerance a statistical profiler has
+/// anyway.
+#[derive(Debug)]
+pub struct IlHot {
+    names: Vec<String>,
+    funcs: Vec<FuncHot>,
+    op_names: Vec<&'static str>,
+    op_mix: Vec<AtomicU64>,
+    /// `(func + 1) << 32 | pc`; 0 when idle.
+    cur: AtomicU64,
+    depth: AtomicUsize,
+    stack: [AtomicU32; MAX_IL_STACK],
+}
+
+impl IlHot {
+    /// Table for `names.len()` functions and the given opcode name set.
+    pub fn new(names: Vec<String>, op_names: Vec<&'static str>) -> IlHot {
+        let funcs = (0..names.len()).map(|_| FuncHot::default()).collect();
+        let op_mix = (0..op_names.len()).map(|_| AtomicU64::new(0)).collect();
+        IlHot {
+            names,
+            funcs,
+            op_names,
+            op_mix,
+            cur: AtomicU64::new(0),
+            depth: AtomicUsize::new(0),
+            stack: std::array::from_fn(|_| AtomicU32::new(0)),
+        }
+    }
+
+    #[inline]
+    fn pack(f: u32, pc: u32) -> u64 {
+        ((f as u64 + 1) << 32) | pc as u64
+    }
+
+    /// Function `f` was invoked (interpreter hook).
+    #[inline]
+    pub fn on_call(&self, f: u32) {
+        if let Some(c) = self.funcs.get(f as usize) {
+            // Single-writer (the interpreter thread): a plain load+store
+            // increment compiles to unlocked movs, where fetch_add is a
+            // full `lock xadd` — and this runs on every function entry.
+            c.calls
+                .store(c.calls.load(Ordering::Relaxed) + 1, Ordering::Relaxed);
+        }
+        let d = self.depth.load(Ordering::Relaxed);
+        if d < MAX_IL_STACK {
+            self.stack[d].store(f, Ordering::Relaxed);
+        }
+        self.depth.store(d + 1, Ordering::Relaxed);
+        self.cur.store(Self::pack(f, 0), Ordering::Relaxed);
+    }
+
+    /// The current function returned (interpreter hook).
+    #[inline]
+    pub fn on_return(&self) {
+        let d = self.depth.load(Ordering::Relaxed).saturating_sub(1);
+        self.depth.store(d, Ordering::Relaxed);
+        let cur = if d == 0 || d > MAX_IL_STACK {
+            0
+        } else {
+            Self::pack(self.stack[d - 1].load(Ordering::Relaxed), u32::MAX)
+        };
+        self.cur.store(cur, Ordering::Relaxed);
+    }
+
+    /// A backward branch was taken at `pc` in function `f`.
+    #[inline]
+    pub fn on_backedge(&self, f: u32, pc: u32) {
+        if let Some(c) = self.funcs.get(f as usize) {
+            // Single-writer increment (see `on_call`) — this one runs on
+            // every loop trip of every interpreted function.
+            c.backedges
+                .store(c.backedges.load(Ordering::Relaxed) + 1, Ordering::Relaxed);
+        }
+        self.cur.store(Self::pack(f, pc), Ordering::Relaxed);
+    }
+
+    /// Periodic opcode-mix sample: the interpreter is executing opcode
+    /// `op_idx` at `pc` in function `f`.
+    #[inline]
+    pub fn sample_op(&self, op_idx: usize, f: u32, pc: u32) {
+        if let Some(c) = self.op_mix.get(op_idx) {
+            // Single-writer increment (see `on_call`).
+            c.store(c.load(Ordering::Relaxed) + 1, Ordering::Relaxed);
+        }
+        self.cur.store(Self::pack(f, pc), Ordering::Relaxed);
+    }
+
+    /// Currently executing `(function, pc)`, if the interpreter is live.
+    pub fn current(&self) -> Option<(u32, u32)> {
+        let v = self.cur.load(Ordering::Relaxed);
+        if v == 0 {
+            None
+        } else {
+            Some(((v >> 32) as u32 - 1, v as u32))
+        }
+    }
+
+    /// Opportunistic copy of the shadow call stack, outermost first.
+    /// Frames with out-of-range function indices (torn reads) are
+    /// dropped.
+    pub fn stack_snapshot(&self) -> Vec<u32> {
+        let d = self.depth.load(Ordering::Relaxed).min(MAX_IL_STACK);
+        (0..d)
+            .map(|i| self.stack[i].load(Ordering::Relaxed))
+            .filter(|&f| (f as usize) < self.names.len())
+            .collect()
+    }
+
+    /// Function names, by index.
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// Opcode names, by profile index.
+    pub fn op_names(&self) -> &[&'static str] {
+        &self.op_names
+    }
+
+    /// Sampled opcode-mix counts, by profile index.
+    pub fn op_counts(&self) -> Vec<u64> {
+        self.op_mix
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// Per-function hotness, sorted hottest first (back-edges weigh the
+    /// ranking — a function's loop trips dominate its call count — with
+    /// calls as the tie-breaker).
+    pub fn top_functions(&self) -> Vec<FuncHotness> {
+        let mut v: Vec<FuncHotness> = self
+            .names
+            .iter()
+            .zip(&self.funcs)
+            .map(|(name, f)| FuncHotness {
+                name: name.clone(),
+                calls: f.calls.load(Ordering::Relaxed),
+                backedges: f.backedges.load(Ordering::Relaxed),
+            })
+            .collect();
+        v.sort_by(|a, b| (b.backedges, b.calls, &a.name).cmp(&(a.backedges, a.calls, &b.name)));
+        v
+    }
+
+    /// The hottest function by [`Self::top_functions`] order.
+    pub fn hottest(&self) -> Option<FuncHotness> {
+        self.top_functions().into_iter().next()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_partition_wall_clock() {
+        let p = PhaseStats::new();
+        p.start_at(100);
+        assert!(p.push_at(TimeBucket::CommWait, 200)); // compute 100..200
+        assert!(p.push_at(TimeBucket::Gc, 250)); // comm_wait 200..250
+        p.pop_at(300); // gc 250..300
+        p.pop_at(400); // comm_wait 300..400
+        let s = p.read_at(450); // compute 400..450
+        assert_eq!(s.bucket_nanos[TimeBucket::Compute as usize], 150);
+        assert_eq!(s.bucket_nanos[TimeBucket::CommWait as usize], 150);
+        assert_eq!(s.bucket_nanos[TimeBucket::Gc as usize], 50);
+        assert_eq!(s.wall_nanos(), 350);
+    }
+
+    #[test]
+    fn transitions_before_start_are_noops() {
+        let p = PhaseStats::new();
+        assert!(!p.push_at(TimeBucket::CommWait, 50));
+        p.pop_at(60);
+        assert_eq!(p.read_at(100), PhaseSnapshot::default());
+        p.start_at(100);
+        assert_eq!(p.read_at(150).wall_nanos(), 50);
+    }
+
+    #[test]
+    fn overlap_counts_compute_while_in_flight() {
+        let p = PhaseStats::new();
+        p.start_at(0);
+        p.async_begin_at(100); // compute+inflight from 100
+        assert!(p.push_at(TimeBucket::CommWait, 300)); // overlap 100..300
+        p.pop_at(400); // inflight-but-waiting 300..400
+        p.async_end_at(600); // overlap 400..600
+        let s = p.read_at(1000);
+        assert_eq!(s.inflight_nanos, 500);
+        assert_eq!(s.overlap_nanos, 400);
+        assert_eq!(s.overlap_ratio(), Some(0.8));
+        assert_eq!(s.wall_nanos(), 1000);
+    }
+
+    #[test]
+    fn deep_nesting_saturates_but_stays_paired() {
+        let p = PhaseStats::new();
+        p.start_at(0);
+        for i in 0..(MAX_PHASE_DEPTH + 10) as u64 {
+            assert!(p.push_at(TimeBucket::Serialize, i));
+        }
+        for i in 0..(MAX_PHASE_DEPTH + 10) as u64 {
+            p.pop_at(100 + i);
+        }
+        assert_eq!(p.current_bucket(), TimeBucket::Compute);
+    }
+
+    #[test]
+    fn async_end_never_underflows() {
+        let p = PhaseStats::new();
+        p.start_at(0);
+        p.async_end_at(10);
+        p.async_begin_at(20);
+        p.async_end_at(30);
+        let s = p.read_at(40);
+        assert_eq!(s.inflight_nanos, 10);
+    }
+
+    #[test]
+    fn hotness_table_counts_and_ranks() {
+        let h = IlHot::new(
+            vec!["main".into(), "dot".into(), "axpy".into()],
+            vec!["add", "br"],
+        );
+        h.on_call(0);
+        for _ in 0..10 {
+            h.on_call(1);
+            for pc in 0..100 {
+                h.on_backedge(1, pc);
+            }
+            h.on_return();
+        }
+        h.on_call(2);
+        h.on_backedge(2, 7);
+        h.on_return();
+        h.sample_op(1, 2, 7);
+        h.on_return();
+        let top = h.top_functions();
+        assert_eq!(top[0].name, "dot");
+        assert_eq!(top[0].calls, 10);
+        assert_eq!(top[0].backedges, 1000);
+        assert_eq!(h.hottest().unwrap().name, "dot");
+        assert_eq!(h.op_counts(), vec![0, 1]);
+        assert_eq!(h.current(), None, "returned to idle");
+    }
+
+    #[test]
+    fn shadow_stack_tracks_nesting() {
+        let h = IlHot::new(vec!["a".into(), "b".into()], vec![]);
+        h.on_call(0);
+        h.on_call(1);
+        assert_eq!(h.stack_snapshot(), vec![0, 1]);
+        assert_eq!(h.current(), Some((1, 0)));
+        h.on_return();
+        assert_eq!(h.stack_snapshot(), vec![0]);
+        assert_eq!(h.current(), Some((0, u32::MAX)));
+        h.on_return();
+        assert!(h.stack_snapshot().is_empty());
+    }
+}

@@ -128,6 +128,42 @@ impl SpanKind {
                 | SpanKind::SafepointStall
         )
     }
+
+    /// Which time bucket this span's duration is attributed to in the
+    /// per-rank phase accounting (see [`crate::profile`]). `None` means
+    /// the span is informational only (e.g. pin lifetimes overlap other
+    /// work and must not steal compute time).
+    pub fn bucket(self) -> Option<crate::profile::TimeBucket> {
+        use crate::profile::TimeBucket;
+        match self {
+            SpanKind::MpSend
+            | SpanKind::MpSsend
+            | SpanKind::MpRecv
+            | SpanKind::MpIsend
+            | SpanKind::MpIrecv
+            | SpanKind::MpWait
+            | SpanKind::Barrier
+            | SpanKind::Bcast
+            | SpanKind::Scatter
+            | SpanKind::Gather
+            | SpanKind::Allgather
+            | SpanKind::Reduce
+            | SpanKind::Allreduce
+            | SpanKind::Scan
+            | SpanKind::Alltoall
+            | SpanKind::Osend
+            | SpanKind::Orecv
+            | SpanKind::Obcast
+            | SpanKind::Oscatter
+            | SpanKind::Ogather
+            | SpanKind::DeviceWait
+            | SpanKind::RndvHandshake => Some(TimeBucket::CommWait),
+            SpanKind::MpProbe => Some(TimeBucket::Progress),
+            SpanKind::Serialize | SpanKind::Deserialize => Some(TimeBucket::Serialize),
+            SpanKind::Gc | SpanKind::SafepointStall => Some(TimeBucket::Gc),
+            SpanKind::PinHeld => None,
+        }
+    }
 }
 
 /// Pack a peer rank and a tag into one span argument word
@@ -153,6 +189,7 @@ pub struct SpanGuard<'r> {
     kind: SpanKind,
     arg: u64,
     inflight: usize,
+    phase_pushed: bool,
 }
 
 impl SpanGuard<'_> {
@@ -177,6 +214,9 @@ impl SpanGuard<'_> {
 
 impl Drop for SpanGuard<'_> {
     fn drop(&mut self) {
+        if self.phase_pushed {
+            self.registry.phases().pop_at(self.registry.now_nanos());
+        }
         self.registry.op_end(self.inflight);
         self.registry
             .event3(EventKind::SpanEnd, self.id, self.kind as u64, self.arg);
@@ -185,15 +225,25 @@ impl Drop for SpanGuard<'_> {
 
 impl MetricsRegistry {
     /// Open a span; the returned guard closes it on drop.
+    ///
+    /// When phase accounting is live on this registry
+    /// ([`profile_start`](MetricsRegistry::profile_start)) and the kind
+    /// maps to a time bucket, the span's lifetime is also attributed to
+    /// that bucket.
     pub fn span(&self, kind: SpanKind, arg: u64) -> SpanGuard<'_> {
         let id = alloc_span_id();
         self.event3(EventKind::SpanBegin, id, kind as u64, arg);
+        let phase_pushed = match kind.bucket() {
+            Some(b) => self.phases().push_at(b, self.now_nanos()),
+            None => false,
+        };
         SpanGuard {
             registry: self,
             id,
             kind,
             arg,
             inflight: self.op_begin(kind, arg),
+            phase_pushed,
         }
     }
 }

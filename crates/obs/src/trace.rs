@@ -200,6 +200,11 @@ pub struct ClusterTrace {
     /// taken ([`crate::Metric::TraceEventsDropped`]). Nonzero entries mean
     /// the timeline is a *suffix* of the run, not the whole of it.
     pub dropped_events: Vec<u64>,
+    /// Per-rank count of end-type events (span/serializer/op ends) whose
+    /// begin was already overwritten by ring wraparound. Each one is an
+    /// interval silently missing from [`ClusterTrace::spans`], so any
+    /// nonzero entry means the wait breakdown *under-reports* that rank.
+    pub orphaned_ends: Vec<u64>,
 }
 
 impl SpanKind {
@@ -231,6 +236,7 @@ pub fn build_cluster_trace(snaps: &[MetricsSnapshot]) -> ClusterTrace {
             .iter()
             .map(|s| s.get(crate::Metric::TraceEventsDropped))
             .collect(),
+        orphaned_ends: vec![0; snaps.len()],
     };
 
     // Synthetic span ids must not collide with real ones.
@@ -297,6 +303,8 @@ pub fn build_cluster_trace(snaps: &[MetricsSnapshot]) -> ClusterTrace {
                             t_end: t,
                             arg: e.c,
                         });
+                    } else {
+                        trace.orphaned_ends[rank] += 1;
                     }
                 }
                 EventKind::SerBegin => {
@@ -312,6 +320,8 @@ pub fn build_cluster_trace(snaps: &[MetricsSnapshot]) -> ClusterTrace {
                             t_end: t,
                             arg: e.b,
                         });
+                    } else {
+                        trace.orphaned_ends[rank] += 1;
                     }
                 }
                 EventKind::DeserBegin => {
@@ -327,6 +337,8 @@ pub fn build_cluster_trace(snaps: &[MetricsSnapshot]) -> ClusterTrace {
                             t_end: t,
                             arg: e.b,
                         });
+                    } else {
+                        trace.orphaned_ends[rank] += 1;
                     }
                 }
                 EventKind::OpBegin => {
@@ -342,6 +354,8 @@ pub fn build_cluster_trace(snaps: &[MetricsSnapshot]) -> ClusterTrace {
                             t_end: t,
                             arg: peer_tag,
                         });
+                    } else {
+                        trace.orphaned_ends[rank] += 1;
                     }
                 }
                 EventKind::GcBegin => {
@@ -426,6 +440,8 @@ pub fn build_cluster_trace(snaps: &[MetricsSnapshot]) -> ClusterTrace {
                         }
                     }
                 }
+                // Instantaneous profiler samples; not intervals.
+                EventKind::ProfSample => {}
             }
         }
     }
@@ -517,6 +533,21 @@ impl ClusterTrace {
     /// Every span id present in the trace.
     pub fn span_ids(&self) -> HashSet<u64> {
         self.spans.iter().map(|s| s.id).collect()
+    }
+
+    /// Ranks whose span coverage has gaps — ring wraparound dropped
+    /// events ([`Self::dropped_events`]) or ate the begin of a recorded
+    /// end ([`Self::orphaned_ends`]) — as `(rank, dropped, orphaned)`
+    /// rows. Consumers (e.g. `motor-trace summary`) should warn on any
+    /// row: wait breakdowns computed from this trace are lower bounds.
+    pub fn coverage_gaps(&self) -> Vec<(usize, u64, u64)> {
+        (0..self.ranks)
+            .filter_map(|r| {
+                let dropped = self.dropped_events.get(r).copied().unwrap_or(0);
+                let orphaned = self.orphaned_ends.get(r).copied().unwrap_or(0);
+                (dropped > 0 || orphaned > 0).then_some((r, dropped, orphaned))
+            })
+            .collect()
     }
 
     /// Per-rank wait accounting: how much of each rank's window went to
@@ -766,6 +797,31 @@ mod tests {
         let e = &t.edges[0];
         assert_eq!(cp.span_ids.last(), Some(&e.dst_span.unwrap()));
         assert!(cp.span_ids.contains(&e.src_span.unwrap()));
+    }
+
+    #[test]
+    fn coverage_gaps_flag_orphaned_ends_and_drops() {
+        // A tiny ring plus a long-lived span: the inner spans wrap the
+        // ring and overwrite the outer begin, so the outer end arrives
+        // with its begin already gone.
+        let r = MetricsRegistry::with_epoch(Instant::now(), 8);
+        let outer = r.span(SpanKind::Barrier, 0);
+        for _ in 0..16 {
+            let _g = r.span(SpanKind::Bcast, 0);
+        }
+        drop(outer);
+        let t = build_cluster_trace(&[r.snapshot()]);
+        let gaps = t.coverage_gaps();
+        assert_eq!(gaps.len(), 1, "wraparound must be reported as a gap");
+        let (rank, dropped, orphaned) = gaps[0];
+        assert_eq!(rank, 0);
+        assert!(dropped > 0);
+        assert!(orphaned > 0, "ends without begins must be counted");
+
+        // A clean trace reports no gaps.
+        assert!(build_cluster_trace(&two_rank_snaps())
+            .coverage_gaps()
+            .is_empty());
     }
 
     #[test]

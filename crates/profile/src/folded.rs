@@ -1,0 +1,141 @@
+//! Folded stack accumulation in the `flamegraph.pl` / inferno text
+//! format: one line per distinct stack, frames separated by `;`
+//! (outermost first), a space, then the sample count.
+
+use std::collections::BTreeMap;
+
+/// A multiset of sampled stacks, keyed by their folded representation.
+///
+/// The map is ordered so [`render`](Self::render) output is canonical:
+/// two runs that observe the same samples render byte-identical text
+/// (the determinism tests rely on this).
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct FoldedStacks {
+    counts: BTreeMap<String, u64>,
+}
+
+impl FoldedStacks {
+    /// An empty accumulator.
+    pub fn new() -> FoldedStacks {
+        FoldedStacks::default()
+    }
+
+    /// Record `n` samples of the stack `key` (already `;`-joined,
+    /// outermost frame first).
+    pub fn add(&mut self, key: String, n: u64) {
+        *self.counts.entry(key).or_insert(0) += n;
+    }
+
+    /// Record one sample of the stack given as frames, prefixed with a
+    /// `rankN` root frame so multi-rank profiles fold into one graph.
+    pub fn add_frames(&mut self, rank: usize, frames: &[&str]) {
+        let mut key = format!("rank{rank}");
+        for f in frames {
+            key.push(';');
+            key.push_str(f);
+        }
+        self.add(key, 1);
+    }
+
+    /// Fold another accumulator into this one.
+    pub fn merge(&mut self, other: &FoldedStacks) {
+        for (k, n) in &other.counts {
+            self.add(k.clone(), *n);
+        }
+    }
+
+    /// Total samples across all stacks.
+    pub fn total(&self) -> u64 {
+        self.counts.values().sum()
+    }
+
+    /// Number of distinct stacks.
+    pub fn len(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Whether no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty()
+    }
+
+    /// The `(stack, count)` pairs in canonical (lexicographic) order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counts.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Render as folded text: `stack count\n` per line, canonical order.
+    /// Feed this to `inferno-flamegraph` / `flamegraph.pl` directly.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (k, n) in &self.counts {
+            out.push_str(k);
+            out.push(' ');
+            out.push_str(&n.to_string());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parse folded text back (inverse of [`render`](Self::render);
+    /// blank lines are skipped). Errors name the offending line.
+    pub fn parse(text: &str) -> Result<FoldedStacks, String> {
+        let mut out = FoldedStacks::new();
+        for (i, line) in text.lines().enumerate() {
+            let line = line.trim_end();
+            if line.is_empty() {
+                continue;
+            }
+            let (key, count) = line
+                .rsplit_once(' ')
+                .ok_or_else(|| format!("line {}: no count field: {line:?}", i + 1))?;
+            let n: u64 = count
+                .parse()
+                .map_err(|_| format!("line {}: bad count {count:?}", i + 1))?;
+            if key.is_empty() {
+                return Err(format!("line {}: empty stack", i + 1));
+            }
+            out.add(key.to_string(), n);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_parse_round_trip() {
+        let mut f = FoldedStacks::new();
+        f.add_frames(0, &["main", "cg_iter", "spmv"]);
+        f.add_frames(0, &["main", "cg_iter", "spmv"]);
+        f.add_frames(1, &["main", "cg_iter", "dot"]);
+        f.add("rank0;main 3".rsplit_once(' ').unwrap().0.to_string(), 3);
+        let text = f.render();
+        assert!(text.contains("rank0;main;cg_iter;spmv 2\n"));
+        assert!(text.contains("rank1;main;cg_iter;dot 1\n"));
+        let back = FoldedStacks::parse(&text).unwrap();
+        assert_eq!(back, f);
+        assert_eq!(back.total(), 6);
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a = FoldedStacks::new();
+        a.add("rank0;f".into(), 2);
+        let mut b = FoldedStacks::new();
+        b.add("rank0;f".into(), 3);
+        b.add("rank1;g".into(), 1);
+        a.merge(&b);
+        assert_eq!(a.render(), "rank0;f 5\nrank1;g 1\n");
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(FoldedStacks::parse("justonefield").is_err());
+        assert!(FoldedStacks::parse("stack notanumber").is_err());
+        assert!(FoldedStacks::parse(" 5").is_err());
+        assert!(FoldedStacks::parse("ok 5\n\n").unwrap().total() == 5);
+    }
+}

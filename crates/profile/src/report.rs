@@ -1,0 +1,212 @@
+//! Plain-text report formatters for `motor-trace profile`: tables over a
+//! parsed [`ProfileSection`]. All output is stable (no timestamps, no
+//! map iteration order) so reports diff cleanly across runs.
+
+use std::collections::BTreeMap;
+
+use motor_obs::TimeBucket;
+
+use crate::section::ProfileSection;
+
+/// Per-rank wall-clock partition: one row per rank, nanoseconds and
+/// percentage per bucket, plus coverage of the measured wall clock.
+pub fn report_time_buckets(s: &ProfileSection) -> String {
+    let mut out = String::from("time buckets (per rank)\n");
+    out.push_str(&format!("{:>5} {:>10}", "rank", "wall_ms"));
+    for b in TimeBucket::ALL {
+        out.push_str(&format!(" {:>11}", b.name()));
+    }
+    out.push_str(&format!(" {:>9}\n", "coverage"));
+    for r in &s.ranks {
+        out.push_str(&format!(
+            "{:>5} {:>10.2}",
+            r.rank,
+            r.wall_nanos as f64 / 1e6
+        ));
+        let accounted = r.accounted_nanos().max(1);
+        for n in r.bucket_nanos {
+            out.push_str(&format!(" {:>10.1}%", 100.0 * n as f64 / accounted as f64));
+        }
+        out.push_str(&format!(" {:>8.1}%\n", 100.0 * r.coverage()));
+    }
+    out
+}
+
+/// Comm/compute overlap: in-flight vs. overlapped time per rank and the
+/// aggregate ratio.
+pub fn report_overlap(s: &ProfileSection) -> String {
+    let mut out = String::from("comm/compute overlap\n");
+    out.push_str(&format!(
+        "{:>5} {:>12} {:>12} {:>8}\n",
+        "rank", "inflight_ms", "overlap_ms", "ratio"
+    ));
+    for r in &s.ranks {
+        let ratio = r
+            .overlap_ratio()
+            .map_or("-".to_string(), |x| format!("{x:.3}"));
+        out.push_str(&format!(
+            "{:>5} {:>12.2} {:>12.2} {:>8}\n",
+            r.rank,
+            r.inflight_nanos as f64 / 1e6,
+            r.overlap_nanos as f64 / 1e6,
+            ratio
+        ));
+    }
+    let agg = s
+        .overlap_ratio()
+        .map_or("-".to_string(), |x| format!("{x:.3}"));
+    out.push_str(&format!("aggregate overlap ratio: {agg}\n"));
+    out
+}
+
+/// Hottest IL functions cluster-wide (calls and back-edges summed across
+/// ranks, back-edge order), up to `top`.
+pub fn report_top_functions(s: &ProfileSection, top: usize) -> String {
+    let mut merged: BTreeMap<&str, (u64, u64)> = BTreeMap::new();
+    for r in &s.ranks {
+        for f in &r.top_functions {
+            let e = merged.entry(f.name.as_str()).or_insert((0, 0));
+            e.0 += f.calls;
+            e.1 += f.backedges;
+        }
+    }
+    let mut rows: Vec<(&str, u64, u64)> = merged
+        .into_iter()
+        .map(|(name, (calls, backedges))| (name, calls, backedges))
+        .collect();
+    rows.sort_by(|a, b| (b.2, b.1, a.0).cmp(&(a.2, a.1, b.0)));
+    rows.truncate(top);
+    let mut out = String::from("top IL functions (all ranks)\n");
+    if rows.is_empty() {
+        out.push_str("  (no IL hotness data — run with the interpreter's `profile` feature)\n");
+        return out;
+    }
+    out.push_str(&format!(
+        "{:>12} {:>12}  {}\n",
+        "backedges", "calls", "function"
+    ));
+    for (name, calls, backedges) in rows {
+        out.push_str(&format!("{backedges:>12} {calls:>12}  {name}\n"));
+    }
+    out
+}
+
+/// Sampled opcode mix cluster-wide, hottest first, up to `top`.
+pub fn report_opcode_mix(s: &ProfileSection, top: usize) -> String {
+    let mut merged: BTreeMap<&str, u64> = BTreeMap::new();
+    for r in &s.ranks {
+        for (op, n) in &r.op_mix {
+            *merged.entry(op.as_str()).or_insert(0) += n;
+        }
+    }
+    let total: u64 = merged.values().sum();
+    let mut rows: Vec<(&str, u64)> = merged.into_iter().collect();
+    rows.sort_by(|a, b| (b.1, a.0).cmp(&(a.1, b.0)));
+    rows.truncate(top);
+    let mut out = String::from("sampled opcode mix (all ranks)\n");
+    if rows.is_empty() {
+        out.push_str("  (no opcode samples — run with the interpreter's `profile` feature)\n");
+        return out;
+    }
+    out.push_str(&format!("{:>12} {:>7}  {}\n", "samples", "share", "opcode"));
+    for (op, n) in rows {
+        out.push_str(&format!(
+            "{n:>12} {:>6.1}%  {op}\n",
+            100.0 * n as f64 / total as f64
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::section::RankProfile;
+    use motor_obs::FuncHotness;
+
+    fn section() -> ProfileSection {
+        ProfileSection {
+            ranks: vec![
+                RankProfile {
+                    rank: 0,
+                    wall_nanos: 2_000_000,
+                    bucket_nanos: [1_200_000, 600_000, 50_000, 100_000, 50_000],
+                    inflight_nanos: 700_000,
+                    overlap_nanos: 350_000,
+                    samples: 20,
+                    top_functions: vec![
+                        FuncHotness {
+                            name: "spmv".into(),
+                            calls: 10,
+                            backedges: 9_000,
+                        },
+                        FuncHotness {
+                            name: "dot".into(),
+                            calls: 20,
+                            backedges: 4_000,
+                        },
+                    ],
+                    op_mix: vec![("fmul".into(), 500), ("br_true".into(), 250)],
+                },
+                RankProfile {
+                    rank: 1,
+                    wall_nanos: 2_000_000,
+                    bucket_nanos: [900_000, 1_000_000, 0, 100_000, 0],
+                    inflight_nanos: 0,
+                    overlap_nanos: 0,
+                    samples: 20,
+                    top_functions: vec![FuncHotness {
+                        name: "spmv".into(),
+                        calls: 10,
+                        backedges: 9_500,
+                    }],
+                    op_mix: vec![("fmul".into(), 400)],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn bucket_report_has_rank_rows_and_coverage() {
+        let text = report_time_buckets(&section());
+        assert!(text.contains("comm_wait"));
+        assert!(text.lines().count() >= 4, "{text}");
+        assert!(text.contains("100.0%"), "{text}");
+    }
+
+    #[test]
+    fn overlap_report_shows_ratio_and_dash() {
+        let text = report_overlap(&section());
+        assert!(text.contains("0.500"), "{text}");
+        assert!(text.contains(" -\n"), "{text}");
+        assert!(text.contains("aggregate overlap ratio: 0.500"), "{text}");
+    }
+
+    #[test]
+    fn function_report_merges_ranks() {
+        let text = report_top_functions(&section(), 10);
+        let spmv = text.lines().find(|l| l.contains("spmv")).unwrap();
+        assert!(spmv.contains("18500"), "{text}");
+        // spmv (18.5k backedges) ranks above dot (4k).
+        let spmv_at = text.find("spmv").unwrap();
+        let dot_at = text.find("dot").unwrap();
+        assert!(spmv_at < dot_at);
+    }
+
+    #[test]
+    fn opcode_report_merges_and_caps() {
+        let text = report_opcode_mix(&section(), 1);
+        assert!(text.contains("fmul"), "{text}");
+        assert!(!text.contains("br_true"), "{text}");
+        assert!(text.contains("900"), "{text}");
+    }
+
+    #[test]
+    fn empty_section_reports_hint_not_panic() {
+        let empty = ProfileSection::default();
+        assert!(report_top_functions(&empty, 5).contains("no IL hotness"));
+        assert!(report_opcode_mix(&empty, 5).contains("no opcode samples"));
+        report_time_buckets(&empty);
+        report_overlap(&empty);
+    }
+}

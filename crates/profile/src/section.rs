@@ -1,0 +1,340 @@
+//! The `profile` section of a benchmark artifact: per-rank time-bucket
+//! totals, overlap accounting, sample counts, and (for interpreted
+//! workloads) IL hotness — serializable to the JSON fragment embedded in
+//! `BENCH_<workload>.json` and parseable back for `motor-trace profile`.
+
+use motor_obs::export::json::{self, Value};
+use motor_obs::{FuncHotness, IlHot, Metric, MetricsSnapshot, TimeBucket, N_BUCKETS};
+
+/// How many hottest functions / opcodes a section keeps per rank.
+const TOP_N: usize = 16;
+
+/// One rank's profile.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RankProfile {
+    /// The rank.
+    pub rank: usize,
+    /// Measured wall clock of the rank body (nanoseconds), as timed by
+    /// the harness that built the section — the denominator for
+    /// [`coverage`](Self::coverage).
+    pub wall_nanos: u64,
+    /// Nanoseconds accrued per time bucket, [`TimeBucket::ALL`] order.
+    pub bucket_nanos: [u64; N_BUCKETS],
+    /// Union of in-flight non-blocking op intervals (nanoseconds).
+    pub inflight_nanos: u64,
+    /// Portion of `inflight_nanos` that overlapped computation.
+    pub overlap_nanos: u64,
+    /// Profiler samples taken on this rank.
+    pub samples: u64,
+    /// Hottest functions (back-edge order), when IL hotness was on.
+    pub top_functions: Vec<FuncHotness>,
+    /// Sampled opcode mix `(opcode, count)`, hottest first, when on.
+    pub op_mix: Vec<(String, u64)>,
+}
+
+impl RankProfile {
+    /// Build from a rank's metrics snapshot plus its measured wall time.
+    pub fn from_snapshot(rank: usize, wall_nanos: u64, snap: &MetricsSnapshot) -> RankProfile {
+        RankProfile {
+            rank,
+            wall_nanos,
+            bucket_nanos: snap.bucket_nanos(),
+            inflight_nanos: snap.get(Metric::ProfInflightNanos),
+            overlap_nanos: snap.get(Metric::ProfOverlapNanos),
+            samples: snap.get(Metric::ProfSamples),
+            top_functions: Vec::new(),
+            op_mix: Vec::new(),
+        }
+    }
+
+    /// Attach IL hotness (top functions and opcode mix, truncated to the
+    /// hottest [`TOP_N`]); zero-count entries are dropped.
+    pub fn with_hot(mut self, hot: &IlHot) -> RankProfile {
+        self.top_functions = hot
+            .top_functions()
+            .into_iter()
+            .filter(|f| f.calls > 0 || f.backedges > 0)
+            .take(TOP_N)
+            .collect();
+        let mut mix: Vec<(String, u64)> = hot
+            .op_names()
+            .iter()
+            .zip(hot.op_counts())
+            .filter(|(_, n)| *n > 0)
+            .map(|(name, n)| (name.to_string(), n))
+            .collect();
+        mix.sort_by(|a, b| (b.1, &a.0).cmp(&(a.1, &b.0)));
+        mix.truncate(TOP_N);
+        self.op_mix = mix;
+        self
+    }
+
+    /// Accounted wall clock: sum of the buckets (nanoseconds).
+    pub fn accounted_nanos(&self) -> u64 {
+        self.bucket_nanos.iter().sum()
+    }
+
+    /// Fraction of the measured wall clock the buckets account for
+    /// (1.0 when no wall time was measured — nothing to miss).
+    pub fn coverage(&self) -> f64 {
+        if self.wall_nanos == 0 {
+            1.0
+        } else {
+            self.accounted_nanos() as f64 / self.wall_nanos as f64
+        }
+    }
+
+    /// Comm/compute overlap ratio; `None` when nothing was in flight.
+    pub fn overlap_ratio(&self) -> Option<f64> {
+        if self.inflight_nanos == 0 {
+            None
+        } else {
+            Some(self.overlap_nanos as f64 / self.inflight_nanos as f64)
+        }
+    }
+}
+
+/// The whole-cluster profile section.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ProfileSection {
+    /// Per-rank profiles, rank order.
+    pub ranks: Vec<RankProfile>,
+}
+
+impl ProfileSection {
+    /// Aggregate overlap ratio: all in-flight time vs. all overlapped
+    /// time across ranks. `None` when no rank had anything in flight.
+    pub fn overlap_ratio(&self) -> Option<f64> {
+        let inflight: u64 = self.ranks.iter().map(|r| r.inflight_nanos).sum();
+        if inflight == 0 {
+            return None;
+        }
+        let overlap: u64 = self.ranks.iter().map(|r| r.overlap_nanos).sum();
+        Some(overlap as f64 / inflight as f64)
+    }
+
+    /// The worst per-rank [`RankProfile::coverage`] (1.0 for an empty
+    /// section).
+    pub fn min_coverage(&self) -> f64 {
+        self.ranks
+            .iter()
+            .map(RankProfile::coverage)
+            .fold(1.0, f64::min)
+    }
+
+    /// Cluster-wide bucket totals, [`TimeBucket::ALL`] order.
+    pub fn bucket_totals(&self) -> [u64; N_BUCKETS] {
+        let mut out = [0u64; N_BUCKETS];
+        for r in &self.ranks {
+            for (slot, n) in out.iter_mut().zip(r.bucket_nanos) {
+                *slot += n;
+            }
+        }
+        out
+    }
+
+    /// Serialize as the `profile` JSON object.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"ranks\":[");
+        for (i, r) in self.ranks.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"rank\":{},\"wallNanos\":{},\"buckets\":{{",
+                r.rank, r.wall_nanos
+            ));
+            for (j, (bucket, n)) in TimeBucket::ALL.iter().zip(r.bucket_nanos).enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!("\"{}\":{}", bucket.name(), n));
+            }
+            out.push_str(&format!(
+                "}},\"inflightNanos\":{},\"overlapNanos\":{},\"samples\":{},\"topFunctions\":[",
+                r.inflight_nanos, r.overlap_nanos, r.samples
+            ));
+            for (j, f) in r.top_functions.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!(
+                    "{{\"name\":{},\"calls\":{},\"backedges\":{}}}",
+                    esc(&f.name),
+                    f.calls,
+                    f.backedges
+                ));
+            }
+            out.push_str("],\"opMix\":[");
+            for (j, (op, n)) in r.op_mix.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!("{{\"op\":{},\"count\":{}}}", esc(op), n));
+            }
+            out.push_str("]}");
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Parse a `profile` JSON object (inverse of
+    /// [`to_json`](Self::to_json)).
+    pub fn from_json(text: &str) -> Result<ProfileSection, String> {
+        Self::from_value(&json::parse(text)?)
+    }
+
+    /// Parse from an already-parsed JSON value (e.g. the `profile` member
+    /// of a benchmark artifact).
+    pub fn from_value(v: &Value) -> Result<ProfileSection, String> {
+        let ranks = v
+            .get("ranks")
+            .and_then(Value::as_array)
+            .ok_or("profile: missing ranks array")?;
+        let mut out = ProfileSection::default();
+        for r in ranks {
+            let field =
+                |k: &str| -> Result<u64, String> { num(r, k).ok_or(format!("profile: bad {k}")) };
+            let mut bucket_nanos = [0u64; N_BUCKETS];
+            let buckets = r.get("buckets").ok_or("profile: missing buckets")?;
+            for (slot, bucket) in bucket_nanos.iter_mut().zip(TimeBucket::ALL) {
+                *slot = num(buckets, bucket.name())
+                    .ok_or_else(|| format!("profile: missing bucket {}", bucket.name()))?;
+            }
+            let mut top_functions = Vec::new();
+            for f in r
+                .get("topFunctions")
+                .and_then(Value::as_array)
+                .unwrap_or(&[])
+            {
+                top_functions.push(FuncHotness {
+                    name: f
+                        .get("name")
+                        .and_then(Value::as_str)
+                        .ok_or("profile: function without name")?
+                        .to_string(),
+                    calls: num(f, "calls").unwrap_or(0),
+                    backedges: num(f, "backedges").unwrap_or(0),
+                });
+            }
+            let mut op_mix = Vec::new();
+            for m in r.get("opMix").and_then(Value::as_array).unwrap_or(&[]) {
+                op_mix.push((
+                    m.get("op")
+                        .and_then(Value::as_str)
+                        .ok_or("profile: opMix entry without op")?
+                        .to_string(),
+                    num(m, "count").unwrap_or(0),
+                ));
+            }
+            out.ranks.push(RankProfile {
+                rank: field("rank")? as usize,
+                wall_nanos: field("wallNanos")?,
+                bucket_nanos,
+                inflight_nanos: field("inflightNanos")?,
+                overlap_nanos: field("overlapNanos")?,
+                samples: field("samples")?,
+                top_functions,
+                op_mix,
+            });
+        }
+        Ok(out)
+    }
+}
+
+fn num(v: &Value, key: &str) -> Option<u64> {
+    v.get(key).and_then(Value::as_u64)
+}
+
+/// Minimal JSON string escaping (names are identifiers, but stay honest).
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_section() -> ProfileSection {
+        ProfileSection {
+            ranks: vec![
+                RankProfile {
+                    rank: 0,
+                    wall_nanos: 1_000,
+                    bucket_nanos: [600, 250, 50, 75, 25],
+                    inflight_nanos: 400,
+                    overlap_nanos: 300,
+                    samples: 17,
+                    top_functions: vec![FuncHotness {
+                        name: "spmv".into(),
+                        calls: 100,
+                        backedges: 50_000,
+                    }],
+                    op_mix: vec![("fmul".into(), 900), ("br_true".into(), 450)],
+                },
+                RankProfile {
+                    rank: 1,
+                    wall_nanos: 1_000,
+                    bucket_nanos: [500, 400, 0, 50, 0],
+                    inflight_nanos: 0,
+                    overlap_nanos: 0,
+                    samples: 16,
+                    top_functions: vec![],
+                    op_mix: vec![],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let s = sample_section();
+        let text = s.to_json();
+        let back = ProfileSection::from_json(&text).unwrap();
+        assert_eq!(back, s);
+        // And through a generic parse, as the bench artifact reader does.
+        let v = json::parse(&text).unwrap();
+        assert_eq!(ProfileSection::from_value(&v).unwrap(), s);
+    }
+
+    #[test]
+    fn derived_ratios() {
+        let s = sample_section();
+        assert_eq!(s.ranks[0].accounted_nanos(), 1_000);
+        assert!((s.ranks[0].coverage() - 1.0).abs() < 1e-9);
+        assert!((s.ranks[1].coverage() - 0.95).abs() < 1e-9);
+        assert!((s.min_coverage() - 0.95).abs() < 1e-9);
+        assert_eq!(s.ranks[0].overlap_ratio(), Some(0.75));
+        assert_eq!(s.ranks[1].overlap_ratio(), None);
+        assert_eq!(s.overlap_ratio(), Some(0.75));
+        assert_eq!(s.bucket_totals(), [1_100, 650, 50, 125, 25]);
+    }
+
+    #[test]
+    fn escaped_names_survive() {
+        let mut s = sample_section();
+        s.ranks[0].top_functions[0].name = "weird\"\\name\n".into();
+        let back = ProfileSection::from_json(&s.to_json()).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn from_json_rejects_malformed() {
+        assert!(ProfileSection::from_json("{}").is_err());
+        assert!(ProfileSection::from_json("{\"ranks\":[{}]}").is_err());
+    }
+}

@@ -1,0 +1,113 @@
+//! Satellite: the sampler and the time-bucket accounting are exactly
+//! reproducible under a virtual clock. Two runs with the same seed must
+//! produce byte-identical folded stacks and identical bucket totals —
+//! the profiling pipeline introduces no hidden nondeterminism of its
+//! own (every `PhaseStats` transition takes an explicit timestamp, the
+//! sampler core never consults a clock, and folded rendering is
+//! canonical).
+
+use std::sync::Arc;
+
+use motor_obs::{IlHot, MetricsRegistry, PhaseSnapshot, TimeBucket};
+use motor_pal::clock::{TickSource, VirtualClock};
+use motor_profile::{ProfTarget, SamplerCore};
+
+/// The splitmix64 step — a tiny deterministic RNG for the event script.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+/// Drive one full profiled "run" from a seed on a virtual clock and
+/// return everything observable: folded text, sample rounds, and the
+/// final phase snapshot.
+fn run(seed: u64) -> (String, u64, PhaseSnapshot) {
+    let clock = VirtualClock::new();
+    let registry = Arc::new(MetricsRegistry::new());
+    let hot = Arc::new(IlHot::new(
+        vec!["main".into(), "cg_iter".into(), "spmv".into(), "dot".into()],
+        vec!["add", "fmul", "br_true", "call"],
+    ));
+    let phases = registry.phases();
+    phases.start_at(clock.now_ticks());
+
+    let mut core = SamplerCore::new(vec![ProfTarget {
+        rank: 0,
+        registry: Arc::clone(&registry),
+        hot: Some(Arc::clone(&hot)),
+    }]);
+
+    let mut rng = Rng(seed);
+    let mut depth = 0u32;
+    let mut pushed = 0u32;
+    for step in 0..4_000 {
+        // Advance virtual time by a seed-dependent amount, then apply a
+        // seed-chosen action to the phase machine and the IL state.
+        let now = clock.advance(1 + rng.below(997));
+        match rng.below(10) {
+            0 | 1 => {
+                let bucket = TimeBucket::ALL[rng.below(5) as usize];
+                if phases.push_at(bucket, now) {
+                    pushed += 1;
+                }
+            }
+            2 if pushed > 0 => {
+                phases.pop_at(now);
+                pushed -= 1;
+            }
+            3 => phases.async_begin_at(now),
+            4 => phases.async_end_at(now),
+            5 if depth < 4 => {
+                hot.on_call(depth);
+                depth += 1;
+            }
+            6 if depth > 0 => {
+                hot.on_return();
+                depth -= 1;
+            }
+            7 if depth > 0 => hot.on_backedge(depth - 1, rng.below(64) as u32),
+            8 if depth > 0 => hot.sample_op(rng.below(4) as usize, depth - 1, rng.below(64) as u32),
+            _ => {} // compute: time passes, nothing transitions
+        }
+        if step % 17 == 0 {
+            core.sample_once();
+        }
+    }
+    let snapshot = phases.read_at(clock.now_ticks());
+    let (folded, rounds) = core.finish();
+    (folded.render(), rounds, snapshot)
+}
+
+#[test]
+fn same_seed_reproduces_exactly() {
+    let (folded_a, rounds_a, snap_a) = run(0xC0FFEE);
+    let (folded_b, rounds_b, snap_b) = run(0xC0FFEE);
+    assert_eq!(folded_a, folded_b, "folded stacks must be byte-identical");
+    assert_eq!(rounds_a, rounds_b);
+    assert_eq!(snap_a, snap_b, "bucket totals must be identical");
+    // The run actually exercised the machinery.
+    assert!(rounds_a > 100);
+    assert!(!folded_a.is_empty());
+    assert!(snap_a.wall_nanos() > 0);
+    assert!(snap_a.bucket_nanos.iter().filter(|&&n| n > 0).count() >= 3);
+}
+
+#[test]
+fn different_seeds_diverge() {
+    // Sanity check that the script actually depends on the seed (a
+    // constant-output harness would make the test above vacuous).
+    let (folded_a, _, snap_a) = run(1);
+    let (folded_b, _, snap_b) = run(2);
+    assert!(folded_a != folded_b || snap_a != snap_b);
+}

@@ -19,6 +19,13 @@ cargo clippy -p motor-runtime -p motor-pal --all-targets -- \
 echo "==> cargo test --workspace"
 cargo test --workspace -q
 
+echo "==> interpreter builds with profiling compiled out"
+# The bench crate turns the interpreter's `profile` feature on for the
+# whole workspace (cargo feature unification); checking the crate alone
+# proves the hook-free default configuration still builds — that is the
+# configuration the zero-cost claim is about.
+cargo check -q -p motor-interp
+
 echo "==> sim conformance suite (fixed seed matrix)"
 # Deterministic-simulation gate: the MPI-semantics conformance suite over
 # fault-injecting links, pinned to the frozen seed matrix so a mutation
@@ -77,12 +84,30 @@ echo "==> bench artifact smoke test (apps run --quick + self-gate)"
 # BENCH_<workload>.json each; `apps gate` against itself then proves the
 # artifacts parse and the regression gate accepts an identical run.
 cargo run -q -p motor-bench --bin apps -- run --quick --out "$bench_out"
-for w in cg bfs pipeline ablation_api; do
+for w in cg bfs pipeline ablation_overlap ablation_api ablation_profile; do
   if [ ! -s "$bench_out/BENCH_$w.json" ]; then
     echo "bench smoke test: missing artifact BENCH_$w.json" >&2
     exit 1
   fi
 done
 cargo run -q -p motor-bench --bin apps -- gate "$bench_out" "$bench_out"
+
+echo "==> profile report smoke test (motor-trace profile)"
+# Every app workload artifact carries a profile section; the report must
+# render a time-bucket table, an overlap line and the sampled stacks from
+# the sibling .folded file (written by `apps run` above).
+for w in cg ablation_overlap; do
+  if [ ! -s "$bench_out/BENCH_$w.folded" ]; then
+    echo "profile smoke test: missing folded stacks BENCH_$w.folded" >&2
+    exit 1
+  fi
+  report="$("$doctor_bin" profile "$bench_out/BENCH_$w.json" --top 5)"
+  for needle in "time buckets" "overlap" "sampled stacks"; do
+    if ! echo "$report" | grep -q "$needle"; then
+      echo "profile smoke test: $w report lacks '$needle'" >&2
+      exit 1
+    fi
+  done
+done
 
 echo "OK"
