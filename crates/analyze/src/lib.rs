@@ -18,9 +18,22 @@
 //! which switches to the trusted `Mp` bindings (transportability walk
 //! skipped — nullness, which is a runtime property, is still checked).
 //!
-//! The request type-state rule (every `Isend`/`Irecv` reaches `Wait` on
-//! all paths) is enforced by the verifier itself, since it is a
-//! control-flow property of the IL, not of the registry.
+//! The *per-function* request type-state rule (every `Isend`/`Irecv`
+//! reaches `Wait`, a `Req`-typed call argument or a `Req` return on all
+//! paths) is enforced by the verifier itself, since it is a control-flow
+//! property of the IL. The whole-program half lives in [`lint`]
+//! (**motor-lint**): cross-rank communication matching, interprocedural
+//! request linearity at module boundaries, and the never-transported
+//! escape proof that lets the collector skip pin bookkeeping. Run it
+//! via [`load_with`], or standalone over every in-tree module with the
+//! `motor-analyze` CLI (`cargo run -p motor-bench --bin motor-analyze -- lint`).
+
+pub mod lint;
+mod matcher;
+mod skeleton;
+
+pub use lint::{Diagnostic, LintConfig, LintReport, Severity};
+pub use skeleton::{AbsInt, EvKind, Event, Skeleton};
 
 use motor_interp::il::{FCallId, Module};
 use motor_interp::verify::{FcallSite, StackTy, VerifiedModule, VerifyError};
@@ -40,6 +53,10 @@ pub enum AnalyzeError {
         /// What is wrong with the buffer.
         what: String,
     },
+    /// The lint found a definite communication error and the
+    /// configuration asked for it to be fatal
+    /// ([`LintConfig::fail_on_definite`]).
+    Lint(Diagnostic),
 }
 
 impl std::fmt::Display for AnalyzeError {
@@ -47,6 +64,7 @@ impl std::fmt::Display for AnalyzeError {
         match self {
             AnalyzeError::Verify(e) => write!(f, "{e}"),
             AnalyzeError::Transport { func, at, what } => write!(f, "{func}@{at}: {what}"),
+            AnalyzeError::Lint(d) => write!(f, "{d}"),
         }
     }
 }
@@ -61,22 +79,38 @@ impl From<VerifyError> for AnalyzeError {
 
 /// The transportable closure of a class: the set of classes reachable
 /// from it through fields carrying the `[Transportable]` bit (paper
-/// §7.5), the class itself included. This is the object set the
-/// serializer would ship for an `Osend` of an instance; it is computed
-/// once at load time from the `FieldDesc` bits, never per message.
+/// §7.5) and through object-array element types, the class itself
+/// included. This is the object set the serializer would ship for an
+/// `Osend` of an instance; it is computed once at load time from the
+/// `FieldDesc` bits, never per message. Visited classes are tracked in
+/// a `ClassId`-indexed bitset, so cyclic registries (mutually
+/// transportable classes) terminate in O(classes + fields).
 pub fn transport_closure(reg: &TypeRegistry, root: ClassId) -> Vec<ClassId> {
-    let mut seen = vec![root];
-    let mut work = vec![root];
+    let mut visited = vec![false; reg.len()];
+    let mut seen = Vec::new();
+    let mut work = Vec::new();
+    let mut push = |c: ClassId, seen: &mut Vec<ClassId>, work: &mut Vec<ClassId>| match visited
+        .get_mut(c.0 as usize)
+    {
+        Some(v) if !*v => {
+            *v = true;
+            seen.push(c);
+            work.push(c);
+        }
+        _ => {}
+    };
+    push(root, &mut seen, &mut work);
     while let Some(c) = work.pop() {
-        for fd in &reg.table(c).fields {
+        let table = reg.table(c);
+        if let motor_runtime::TypeKind::ObjArray(elem) = &table.kind {
+            push(*elem, &mut seen, &mut work);
+        }
+        for fd in &table.fields {
             if !fd.is_transportable() {
                 continue;
             }
             if let motor_runtime::FieldType::Ref(next) = fd.ty {
-                if !seen.contains(&next) {
-                    seen.push(next);
-                    work.push(next);
-                }
+                push(next, &mut seen, &mut work);
             }
         }
     }
@@ -128,12 +162,21 @@ fn check_site(func: &str, site: &FcallSite, reg: &TypeRegistry) -> Result<(), An
     }
 }
 
-/// Load a module: run the typed verifier, then statically prove the
-/// transport rules for every `FCall` site. On success the returned
-/// [`VerifiedModule`] carries the transport proof, which lets the
-/// interpreter's message-passing host elide its per-send transportability
-/// walk.
-pub fn load(module: Module, reg: &TypeRegistry) -> Result<VerifiedModule, AnalyzeError> {
+/// Load a module: run the typed verifier, statically prove the
+/// transport rules for every `FCall` site, then run the motor-lint
+/// passes. On success the returned [`VerifiedModule`] carries the
+/// transport proof (the interpreter's message-passing host elides its
+/// per-send transportability walk) and the never-transported escape
+/// proof (the collector elides pinned-set bookkeeping for those
+/// classes); the [`LintReport`] carries the findings as warnings.
+///
+/// With [`LintConfig::fail_on_definite`] set, a definite communication
+/// error rejects the module with [`AnalyzeError::Lint`].
+pub fn load_with(
+    module: Module,
+    reg: &TypeRegistry,
+    cfg: &LintConfig,
+) -> Result<(VerifiedModule, LintReport), AnalyzeError> {
     let mut verified = VerifiedModule::verify(module, reg)?;
     for (f, meta) in verified
         .module()
@@ -145,8 +188,26 @@ pub fn load(module: Module, reg: &TypeRegistry) -> Result<VerifiedModule, Analyz
             check_site(&f.name, site, reg)?;
         }
     }
+    let report = lint::run(verified.module(), verified.meta(), reg, cfg);
+    if cfg.fail_on_definite {
+        if let Some(d) = report
+            .diagnostics
+            .iter()
+            .find(|d| d.severity == Severity::Definite)
+        {
+            return Err(AnalyzeError::Lint(d.clone()));
+        }
+    }
+    verified.set_never_transported(report.never_transported.clone());
     verified.grant_transport_proof();
-    Ok(verified)
+    Ok((verified, report))
+}
+
+/// [`load_with`] under the default [`LintConfig`]: lint findings are
+/// warnings only (dropped here — use [`load_with`] to inspect them),
+/// but the escape proof is still installed on the returned module.
+pub fn load(module: Module, reg: &TypeRegistry) -> Result<VerifiedModule, AnalyzeError> {
+    load_with(module, reg, &LintConfig::default()).map(|(v, _)| v)
 }
 
 #[cfg(test)]
@@ -277,6 +338,112 @@ mod tests {
             load(module_of(f.build()), &TypeRegistry::new()),
             Err(AnalyzeError::Verify(VerifyError::TypeError { .. }))
         ));
+    }
+
+    #[test]
+    fn closure_terminates_on_cyclic_registries() {
+        let mut reg = TypeRegistry::new();
+        // Mutually transportable classes: ids are sequential, so the
+        // second id can be named before its class is built.
+        let a_pred = ClassId(reg.len() as u32);
+        let b_pred = ClassId(reg.len() as u32 + 1);
+        let a = reg
+            .define_class("CycleA")
+            .transportable("b", b_pred)
+            .build();
+        let b = reg
+            .define_class("CycleB")
+            .transportable("a", a_pred)
+            .build();
+        assert_eq!((a, b), (a_pred, b_pred));
+        let closure = transport_closure(&reg, a);
+        assert_eq!(closure.len(), 2, "cycle visited once: {closure:?}");
+        assert!(closure.contains(&a) && closure.contains(&b));
+    }
+
+    #[test]
+    fn closure_follows_object_array_elements() {
+        let mut reg = TypeRegistry::new();
+        let node = reg.define_class("Node").prim("v", ElemKind::I64).build();
+        let arr = reg.obj_array(node);
+        let closure = transport_closure(&reg, arr);
+        assert!(closure.contains(&node), "element type is shipped too");
+    }
+
+    #[test]
+    fn escape_proof_claims_only_untransported_classes() {
+        let mut reg = TypeRegistry::new();
+        reg.prim_array(ElemKind::F64);
+        let sent = reg.define_class("Sent").prim("x", ElemKind::F64).build();
+        let local = reg.define_class("Local").prim("x", ElemKind::I64).build();
+        let mut f = FnBuilder::new("k", 0, 0, false);
+        f.op(Op::New(local))
+            .op(Op::Pop)
+            .op(Op::New(sent))
+            .op(Op::PushI(0))
+            .op(Op::PushI(7))
+            .op(Op::FCall(FCallId::MpSend))
+            .op(Op::Ret);
+        let (vm, report) = load_with(module_of(f.build()), &reg, &LintConfig::default()).unwrap();
+        assert!(vm.never_transported().contains(&local));
+        assert!(!vm.never_transported().contains(&sent));
+        assert_eq!(report.never_transported, vm.never_transported());
+    }
+
+    #[test]
+    fn load_with_reports_definite_comm_errors() {
+        // Rank 1 sends to rank 0; nobody ever receives — every rank
+        // falls straight through to Ret, so the message is unreceived
+        // (possible) but nothing deadlocks.
+        let mut reg = TypeRegistry::new();
+        reg.prim_array(ElemKind::F64);
+        let mut f = FnBuilder::new("main", 2, 2, false);
+        let done = f.label();
+        f.op(Op::Load(0)).op(Op::PushI(1)).op(Op::CmpEq);
+        f.br_false(done);
+        f.op(Op::PushI(4))
+            .op(Op::NewArr(ElemKind::F64))
+            .op(Op::PushI(0))
+            .op(Op::PushI(9))
+            .op(Op::FCall(FCallId::MpSend));
+        f.bind(done);
+        f.op(Op::Ret);
+        let (_, report) = load_with(module_of(f.build()), &reg, &LintConfig::default()).unwrap();
+        assert!(report.comm_checked);
+        assert_eq!(report.definite_count(), 0);
+        assert_eq!(report.possible_count(), 1);
+        assert_eq!(report.diagnostics[0].code, "unmatched-send");
+    }
+
+    #[test]
+    fn fail_on_definite_rejects_a_deadlocking_module() {
+        // Rank 0 receives from rank 1, which never sends: definite.
+        let mut reg = TypeRegistry::new();
+        reg.prim_array(ElemKind::F64);
+        let mut f = FnBuilder::new("main", 2, 2, false);
+        let done = f.label();
+        f.op(Op::Load(0)).op(Op::PushI(0)).op(Op::CmpEq);
+        f.br_false(done);
+        f.op(Op::PushI(4))
+            .op(Op::NewArr(ElemKind::F64))
+            .op(Op::PushI(1))
+            .op(Op::PushI(9))
+            .op(Op::FCall(FCallId::MpRecv));
+        f.bind(done);
+        f.op(Op::Ret);
+        let cfg = LintConfig {
+            fail_on_definite: true,
+            ..LintConfig::default()
+        };
+        let err = load_with(module_of(f.build()), &reg, &cfg).unwrap_err();
+        match err {
+            AnalyzeError::Lint(d) => {
+                assert_eq!(d.severity, Severity::Definite);
+                assert_eq!(d.code, "unmatched-recv");
+                assert_eq!(d.site(), "main@8");
+            }
+            other => panic!("expected lint rejection, got {other:?}"),
+        }
     }
 
     #[test]

@@ -1,0 +1,505 @@
+//! motor-lint: whole-program communication analysis over verified IL.
+//!
+//! Three passes share one interprocedural view of the module (the call
+//! graph plus the verifier's per-function [`FuncMeta`] summaries):
+//!
+//! 1. **Cross-rank match checking** — extract a per-rank communication
+//!    skeleton ([`crate::skeleton`]) and simulate the communicator
+//!    ([`crate::matcher`]), classifying stuck states into the MPI error
+//!    taxonomy. Verdicts are [`Severity::Definite`] only when every
+//!    skeleton is complete with fully-resolved operands.
+//! 2. **Interprocedural request linearity** — the typed verifier proves
+//!    per-function that every request reaches `Wait`, is passed to a
+//!    `Req`-typed callee or is returned; this pass closes the loop at
+//!    the module boundary: entry points must not receive or leak
+//!    request obligations, and call cycles must not circulate them
+//!    forever.
+//! 3. **Never-transported escape proof** — classify instantiated
+//!    classes by reachability to transport `FCall`s; classes the module
+//!    instantiates but provably never transports are reported in
+//!    [`LintReport::never_transported`] and installed into the runtime,
+//!    which then skips pinned-set bookkeeping for them during minor
+//!    collections.
+//!
+//! Every diagnostic carries `func@pc` provenance.
+
+use motor_interp::il::{FCallId, Module, Op, TyDesc};
+use motor_interp::verify::{FuncMeta, StackTy};
+use motor_runtime::{ClassId, TypeRegistry};
+
+use crate::{skeleton, transport_closure};
+
+/// How certain the analysis is that a diagnostic is a real error.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Timing-dependent or imprecision-qualified hazard.
+    Possible,
+    /// The error occurs on every execution the model admits.
+    Definite,
+}
+
+impl std::fmt::Display for Severity {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Severity::Possible => write!(f, "possible"),
+            Severity::Definite => write!(f, "definite"),
+        }
+    }
+}
+
+/// One lint finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Definite or possible.
+    pub severity: Severity,
+    /// Stable machine-readable code (`"root-mismatch"`, `"unmatched-recv"`, …).
+    pub code: &'static str,
+    /// Function containing the anchoring instruction.
+    pub func: String,
+    /// Instruction index within the function.
+    pub at: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl Diagnostic {
+    pub(crate) fn new(
+        severity: Severity,
+        code: &'static str,
+        func: &str,
+        at: usize,
+        message: String,
+    ) -> Self {
+        Diagnostic {
+            severity,
+            code,
+            func: func.to_string(),
+            at,
+            message,
+        }
+    }
+
+    /// `func@pc` provenance string.
+    pub fn site(&self) -> String {
+        format!("{}@{}", self.func, self.at)
+    }
+}
+
+impl std::fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} [{}] {}@{}: {}",
+            self.severity, self.code, self.func, self.at, self.message
+        )
+    }
+}
+
+/// Lint configuration.
+#[derive(Debug, Clone)]
+pub struct LintConfig {
+    /// Communicator size the match checker models.
+    pub ranks: usize,
+    /// Largest payload (bytes) sent eagerly; above it sends rendezvous.
+    pub eager_threshold: u64,
+    /// Entry-function name for the match checker. The comm pass only
+    /// runs when the function exists and follows the in-tree kernel
+    /// convention (integer rank/size parameters at the indices below).
+    pub entry: String,
+    /// Parameter index carrying the rank.
+    pub rank_param: usize,
+    /// Parameter index carrying the communicator size.
+    pub size_param: usize,
+    /// Make [`crate::load_with`] fail on definite diagnostics.
+    pub fail_on_definite: bool,
+    /// Abstract-interpretation step budget per rank.
+    pub step_budget: usize,
+    /// Call-inlining depth bound.
+    pub call_depth: usize,
+}
+
+impl Default for LintConfig {
+    fn default() -> Self {
+        LintConfig {
+            ranks: 4,
+            eager_threshold: 64 * 1024,
+            entry: "main".to_string(),
+            rank_param: 0,
+            size_param: 1,
+            fail_on_definite: false,
+            step_budget: 50_000,
+            call_depth: 32,
+        }
+    }
+}
+
+/// The lint result: findings plus the escape proof.
+#[derive(Debug, Default)]
+pub struct LintReport {
+    /// All findings, definite first.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Classes the module instantiates but provably never transports.
+    pub never_transported: Vec<ClassId>,
+    /// Whether the cross-rank match checker ran (the module has a
+    /// conforming entry function).
+    pub comm_checked: bool,
+}
+
+impl LintReport {
+    /// Number of definite errors.
+    pub fn definite_count(&self) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Definite)
+            .count()
+    }
+
+    /// Number of possible hazards.
+    pub fn possible_count(&self) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Possible)
+            .count()
+    }
+
+    /// No findings at all.
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+}
+
+/// Run all three passes over a verified module's IL and summaries.
+pub fn run(module: &Module, meta: &[FuncMeta], reg: &TypeRegistry, cfg: &LintConfig) -> LintReport {
+    let mut diags = Vec::new();
+    linearity_pass(module, meta, &mut diags);
+    let comm_checked = comm_pass(module, reg, cfg, &mut diags);
+    let never_transported = escape_pass(module, meta, reg);
+    dedup(&mut diags);
+    diags.sort_by_key(|d| std::cmp::Reverse(d.severity));
+    LintReport {
+        diagnostics: diags,
+        never_transported,
+        comm_checked,
+    }
+}
+
+fn dedup(diags: &mut Vec<Diagnostic>) {
+    let mut seen: Vec<(&'static str, String, usize)> = Vec::new();
+    diags.retain(|d| {
+        let key = (d.code, d.func.clone(), d.at);
+        if seen.contains(&key) {
+            false
+        } else {
+            seen.push(key);
+            true
+        }
+    });
+}
+
+// ---------------------------------------------------------------------
+// Pass 1: cross-rank match checking
+// ---------------------------------------------------------------------
+
+/// Returns whether the pass ran (entry convention matched).
+fn comm_pass(
+    module: &Module,
+    reg: &TypeRegistry,
+    cfg: &LintConfig,
+    diags: &mut Vec<Diagnostic>,
+) -> bool {
+    let Some(entry) = module.find(&cfg.entry) else {
+        return false;
+    };
+    let f = &module.functions[entry as usize];
+    let conforming = f.params.len() > cfg.rank_param.max(cfg.size_param)
+        && f.params[cfg.rank_param] == TyDesc::I64
+        && f.params[cfg.size_param] == TyDesc::I64;
+    if !conforming || cfg.ranks == 0 {
+        return false;
+    }
+    let skeletons: Vec<skeleton::Skeleton> = (0..cfg.ranks as i64)
+        .map(|r| skeleton::extract(module, reg, cfg, entry, r, diags))
+        .collect();
+    if skeletons.iter().any(|s| !s.complete) {
+        // An incomplete skeleton means the trailing events are unknown;
+        // matching the known prefix would fabricate mismatches.
+        return true;
+    }
+    let precise = skeletons.iter().all(|s| s.operands_resolved());
+    crate::matcher::check(&skeletons, cfg, precise, diags);
+    true
+}
+
+// ---------------------------------------------------------------------
+// Pass 2: interprocedural request linearity
+// ---------------------------------------------------------------------
+
+/// The verifier guarantees each function discharges its requests via
+/// `Wait`, a `Req`-typed call argument or a `Req` return. Globally that
+/// leaves two holes, both closed here:
+///
+/// * **Entry points** (functions no one in the module calls): a `Req`
+///   parameter can never be produced by the host, and a `Req` return is
+///   never awaited by anyone.
+/// * **Call cycles** that receive or mint requests but contain no
+///   `Wait` and leak no obligation outside the cycle: the request
+///   circulates forever.
+fn linearity_pass(module: &Module, meta: &[FuncMeta], diags: &mut Vec<Diagnostic>) {
+    let n = module.functions.len();
+    let mut callees: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut called = vec![false; n];
+    for (i, f) in module.functions.iter().enumerate() {
+        for op in &f.code {
+            if let Op::Call(idx) = op {
+                let idx = *idx as usize;
+                if idx < n {
+                    callees[i].push(idx);
+                    called[idx] = true;
+                }
+            }
+        }
+    }
+
+    for (i, f) in module.functions.iter().enumerate() {
+        if called[i] {
+            continue;
+        }
+        if let Some(p) = f.params.iter().position(|p| *p == TyDesc::Req) {
+            diags.push(Diagnostic::new(
+                Severity::Definite,
+                "orphan-request",
+                &f.name,
+                0,
+                format!(
+                    "entry function takes a request as parameter {p}, but no \
+                     caller in the module can produce one; the obligation can \
+                     never be discharged"
+                ),
+            ));
+        }
+        if f.ret == Some(TyDesc::Req) {
+            diags.push(Diagnostic::new(
+                Severity::Definite,
+                "escaped-request",
+                &f.name,
+                0,
+                "entry function returns an in-flight request that no caller \
+                 will ever wait on"
+                    .to_string(),
+            ));
+        }
+    }
+
+    let has_wait = |i: usize| {
+        meta.get(i)
+            .map(|m| m.fcalls.iter().any(|s| s.id == FCallId::MpWait))
+            .unwrap_or(false)
+    };
+    let mints_request = |i: usize| {
+        meta.get(i)
+            .map(|m| {
+                m.fcalls
+                    .iter()
+                    .any(|s| matches!(s.id, FCallId::MpIsend | FCallId::MpIrecv))
+            })
+            .unwrap_or(false)
+    };
+
+    for mut scc in sccs(&callees) {
+        scc.sort_unstable(); // anchor diagnostics at the lowest-indexed member
+        let cyclic = scc.len() > 1 || callees[scc[0]].contains(&scc[0]);
+        if !cyclic {
+            continue;
+        }
+        let in_scc = |j: usize| scc.contains(&j);
+        let touches = scc
+            .iter()
+            .any(|&i| mints_request(i) || module.functions[i].params.contains(&TyDesc::Req));
+        if !touches {
+            continue;
+        }
+        let escapes = scc.iter().any(|&i| {
+            if has_wait(i) {
+                return true;
+            }
+            // Handing the obligation to a callee outside the cycle.
+            if callees[i]
+                .iter()
+                .any(|&j| !in_scc(j) && module.functions[j].params.contains(&TyDesc::Req))
+            {
+                return true;
+            }
+            // Returning the obligation to a caller outside the cycle.
+            module.functions[i].ret == Some(TyDesc::Req)
+                && (0..module.functions.len()).any(|k| !in_scc(k) && callees[k].contains(&i))
+        });
+        if !escapes {
+            let names: Vec<&str> = scc
+                .iter()
+                .map(|&i| module.functions[i].name.as_str())
+                .collect();
+            diags.push(Diagnostic::new(
+                Severity::Definite,
+                "request-cycle",
+                &module.functions[scc[0]].name,
+                0,
+                format!(
+                    "requests circulate through the call cycle {{{}}} which \
+                     contains no Wait and leaks no obligation outside it; \
+                     they can never complete",
+                    names.join(", ")
+                ),
+            ));
+        }
+    }
+}
+
+/// Tarjan's strongly-connected components over the call graph.
+fn sccs(callees: &[Vec<usize>]) -> Vec<Vec<usize>> {
+    struct St<'a> {
+        callees: &'a [Vec<usize>],
+        index: Vec<Option<usize>>,
+        low: Vec<usize>,
+        on_stack: Vec<bool>,
+        stack: Vec<usize>,
+        next: usize,
+        out: Vec<Vec<usize>>,
+    }
+    fn visit(st: &mut St, v: usize) {
+        st.index[v] = Some(st.next);
+        st.low[v] = st.next;
+        st.next += 1;
+        st.stack.push(v);
+        st.on_stack[v] = true;
+        for i in 0..st.callees[v].len() {
+            let w = st.callees[v][i];
+            if st.index[w].is_none() {
+                visit(st, w);
+                st.low[v] = st.low[v].min(st.low[w]);
+            } else if st.on_stack[w] {
+                st.low[v] = st.low[v].min(st.index[w].expect("visited"));
+            }
+        }
+        if st.low[v] == st.index[v].expect("set above") {
+            let mut comp = Vec::new();
+            loop {
+                let w = st.stack.pop().expect("stack invariant");
+                st.on_stack[w] = false;
+                comp.push(w);
+                if w == v {
+                    break;
+                }
+            }
+            st.out.push(comp);
+        }
+    }
+    let n = callees.len();
+    let mut st = St {
+        callees,
+        index: vec![None; n],
+        low: vec![0; n],
+        on_stack: vec![false; n],
+        stack: Vec::new(),
+        next: 0,
+        out: Vec::new(),
+    };
+    for v in 0..n {
+        if st.index[v].is_none() {
+            visit(&mut st, v);
+        }
+    }
+    st.out
+}
+
+// ---------------------------------------------------------------------
+// Pass 3: never-transported escape proof
+// ---------------------------------------------------------------------
+
+/// Classes the module instantiates (`New` / `NewArr` / `NewObjArr`) that
+/// no transport `FCall` can ever reach. Raw transports ship exactly the
+/// buffer's class; object transports (`Osend`/`Orecv`) ship its
+/// transportable closure. The verifier's exact stack types (no
+/// subtyping) make the per-site class attribution sound; array classes
+/// the registry has not materialized yet simply go unclaimed (the
+/// runtime default-checks any class without a proof bit).
+fn escape_pass(module: &Module, meta: &[FuncMeta], reg: &TypeRegistry) -> Vec<ClassId> {
+    let len = reg.len();
+    let mut transported = vec![false; len];
+    let mut instantiated = vec![false; len];
+    let mark = |bits: &mut Vec<bool>, c: ClassId| {
+        if let Some(b) = bits.get_mut(c.0 as usize) {
+            *b = true;
+        }
+    };
+    let mark_closure = |bits: &mut Vec<bool>, c: ClassId| {
+        for member in transport_closure(reg, c) {
+            if let Some(b) = bits.get_mut(member.0 as usize) {
+                *b = true;
+            }
+        }
+    };
+
+    for m in meta {
+        for site in &m.fcalls {
+            if site.id.is_raw_mp_transport() {
+                match site.buf {
+                    Some(StackTy::Ref(c)) => mark(&mut transported, c),
+                    Some(StackTy::Arr(k)) => {
+                        if let Some(c) = reg.prim_array_id(k) {
+                            mark(&mut transported, c);
+                        }
+                    }
+                    Some(StackTy::ObjArr(c)) => {
+                        if let Some(a) = reg.obj_array_id(c) {
+                            mark_closure(&mut transported, a);
+                        }
+                    }
+                    _ => {}
+                }
+            } else if matches!(site.id, FCallId::Osend) {
+                match site.buf {
+                    Some(StackTy::Ref(c)) => mark_closure(&mut transported, c),
+                    Some(StackTy::Arr(k)) => {
+                        if let Some(c) = reg.prim_array_id(k) {
+                            mark(&mut transported, c);
+                        }
+                    }
+                    Some(StackTy::ObjArr(c)) => {
+                        if let Some(a) = reg.obj_array_id(c) {
+                            mark_closure(&mut transported, a);
+                        }
+                    }
+                    _ => {}
+                }
+            } else if let FCallId::Orecv(c) = site.id {
+                mark_closure(&mut transported, c);
+            }
+        }
+    }
+
+    for f in &module.functions {
+        for op in &f.code {
+            match op {
+                Op::New(c) => mark(&mut instantiated, *c),
+                Op::NewArr(k) => {
+                    if let Some(c) = reg.prim_array_id(*k) {
+                        mark(&mut instantiated, c);
+                    }
+                }
+                Op::NewObjArr(c) => {
+                    if let Some(a) = reg.obj_array_id(*c) {
+                        mark(&mut instantiated, a);
+                    }
+                    // An object array keeps its elements alive but does
+                    // not by itself instantiate them.
+                }
+                _ => {}
+            }
+        }
+    }
+
+    (0..len)
+        .filter(|&i| instantiated[i] && !transported[i])
+        .map(|i| ClassId(i as u32))
+        .collect()
+}

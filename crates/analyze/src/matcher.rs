@@ -1,0 +1,567 @@
+//! Cross-rank communication matching.
+//!
+//! Takes one [`Skeleton`] per rank and simulates the communicator
+//! deterministically: sends enter per-(source, destination) FIFO
+//! channels, receives (blocking or posted `Irecv`s) match the earliest
+//! compatible send with MPI's non-overtaking order respected, eager
+//! sends (payload ≤ the configured threshold) complete immediately
+//! while larger ones rendezvous — the sender blocks until the message
+//! is consumed. Collectives complete only when every rank arrives.
+//!
+//! When no rank can advance the simulation is *stuck*, and the stuck
+//! state is classified into the paper-level error taxonomy: a collective
+//! some ranks never reach, a broadcast root disagreement, a mutual
+//! rendezvous-send cycle, an unmatched receive. Those are **definite**
+//! when every skeleton was extracted completely with fully resolved
+//! operands, and downgraded to **possible** otherwise. Two hazards are
+//! always merely possible: a wildcard receive with more than one live
+//! candidate (the match order is timing-dependent) and an eager send no
+//! receive ever consumes.
+
+use crate::lint::{Diagnostic, LintConfig, Severity};
+use crate::skeleton::{AbsInt, EvKind, Event, Skeleton};
+use motor_interp::il::FCALL_ANY_SOURCE;
+
+/// The any-tag wildcard on the receive side (mirrors the runtime's
+/// `Tag::ANY`, which shares the `-1` sentinel with any-source).
+const ANY_TAG: i64 = -1;
+
+/// An in-flight message.
+struct Msg {
+    src: usize,
+    tag: AbsInt,
+    rendezvous: bool,
+    consumed: bool,
+    /// Originating event site, for diagnostics.
+    site: String,
+}
+
+/// A posted receive (blocking receives are posted-and-waited atomically).
+struct Posted {
+    from: AbsInt,
+    tag: AbsInt,
+    matched: Option<usize>,
+    /// Request id for `Irecv`; `None` for a blocking receive.
+    req: Option<usize>,
+}
+
+/// What a rank is currently blocked on.
+#[derive(Clone, Copy, PartialEq)]
+enum Blocked {
+    No,
+    /// Rendezvous send: waiting for message `msg` to be consumed.
+    Rendezvous {
+        msg: usize,
+    },
+    /// Blocking receive: waiting for posted receive `posted` to match.
+    RecvWait {
+        posted: usize,
+    },
+    /// `MpWait` on request `req`.
+    Wait {
+        req: usize,
+    },
+    /// Arrived at a collective (the event at the cursor).
+    Collective,
+}
+
+struct Rank<'a> {
+    events: &'a [Event],
+    cursor: usize,
+    blocked: Blocked,
+    /// Request id → index into this rank's sends (for isend) — resolved
+    /// via `req_send`; irecv requests resolve via `Posted::req`.
+    posted: Vec<Posted>,
+    /// Request id → message index in the global message list (isend).
+    req_send: Vec<(usize, usize)>,
+}
+
+impl Rank<'_> {
+    fn done(&self) -> bool {
+        self.cursor >= self.events.len() && self.blocked == Blocked::No
+    }
+}
+
+/// Simulate the skeletons and append diagnostics. `precise` controls
+/// whether stuck-state verdicts are definite.
+pub fn check(skeletons: &[Skeleton], cfg: &LintConfig, precise: bool, diags: &mut Vec<Diagnostic>) {
+    let definite = if precise {
+        Severity::Definite
+    } else {
+        Severity::Possible
+    };
+    let n = skeletons.len();
+    let mut ranks: Vec<Rank> = skeletons
+        .iter()
+        .map(|s| Rank {
+            events: &s.events,
+            cursor: 0,
+            blocked: Blocked::No,
+            posted: Vec::new(),
+            req_send: Vec::new(),
+        })
+        .collect();
+    let mut msgs: Vec<Msg> = Vec::new();
+    // Per-destination list of (global msg index) in arrival order.
+    let mut inbox: Vec<Vec<usize>> = vec![Vec::new(); n];
+
+    // Match every unmatched posted receive of rank `r` against the
+    // earliest compatible in-flight send. Returns true on any match.
+    let try_match =
+        |r: usize, ranks: &mut [Rank], msgs: &mut [Msg], inbox: &[Vec<usize>]| -> bool {
+            let mut progressed = false;
+            for p_idx in 0..ranks[r].posted.len() {
+                if ranks[r].posted[p_idx].matched.is_some() {
+                    continue;
+                }
+                let (from, tag) = (ranks[r].posted[p_idx].from, ranks[r].posted[p_idx].tag);
+                // Earliest unconsumed compatible message per source,
+                // honoring the non-overtaking order within each channel.
+                let mut candidates: Vec<usize> = Vec::new();
+                let mut sources_seen: Vec<usize> = Vec::new();
+                for &m_idx in &inbox[r] {
+                    let m = &msgs[m_idx];
+                    if m.consumed || sources_seen.contains(&m.src) {
+                        continue;
+                    }
+                    let src_ok = match from {
+                        AbsInt::Const(FCALL_ANY_SOURCE) => true,
+                        AbsInt::Const(s) => m.src == s as usize,
+                        AbsInt::Top => true,
+                    };
+                    if src_ok && tag_compatible(tag, m.tag) {
+                        candidates.push(m_idx);
+                        sources_seen.push(m.src);
+                    }
+                }
+                let Some(&chosen) = candidates.iter().min_by_key(|&&m| msgs[m].src) else {
+                    continue;
+                };
+                ranks[r].posted[p_idx].matched = Some(chosen);
+                msgs[chosen].consumed = true;
+                progressed = true;
+            }
+            progressed
+        };
+
+    // Deterministic round-robin simulation.
+    loop {
+        let mut progressed = false;
+        for r in 0..n {
+            loop {
+                let stepped = step(
+                    r,
+                    &mut ranks,
+                    &mut msgs,
+                    &mut inbox,
+                    cfg,
+                    &mut |ranks, msgs, inbox| {
+                        let mut any = false;
+                        for rr in 0..n {
+                            any |= try_match(rr, ranks, msgs, inbox);
+                        }
+                        any
+                    },
+                );
+                if stepped {
+                    progressed = true;
+                } else {
+                    break;
+                }
+            }
+        }
+        // Collective barrier: release when every rank is parked at one.
+        if ranks.iter().all(|rk| rk.blocked == Blocked::Collective) && n > 0 {
+            let arrivals: Vec<&Event> = ranks.iter().map(|rk| &rk.events[rk.cursor]).collect();
+            let barrier_count = arrivals
+                .iter()
+                .filter(|e| matches!(e.kind, EvKind::Barrier))
+                .count();
+            if barrier_count != 0 && barrier_count != n {
+                let b = arrivals
+                    .iter()
+                    .position(|e| matches!(e.kind, EvKind::Barrier))
+                    .expect("counted");
+                let o = arrivals
+                    .iter()
+                    .position(|e| !matches!(e.kind, EvKind::Barrier))
+                    .expect("counted");
+                diags.push(Diagnostic::new(
+                    definite,
+                    "collective-mismatch",
+                    &arrivals[b].func,
+                    arrivals[b].at,
+                    format!(
+                        "collective mismatch: rank {b} is at a barrier while \
+                         rank {o} is at a broadcast ({})",
+                        arrivals[o].site()
+                    ),
+                ));
+                return;
+            }
+            if barrier_count == 0 {
+                // All broadcasts: roots must agree (and resolve).
+                let roots: Vec<AbsInt> = arrivals
+                    .iter()
+                    .map(|e| match e.kind {
+                        EvKind::Bcast { root } => root,
+                        _ => unreachable!("filtered above"),
+                    })
+                    .collect();
+                if let (Some(a), Some(b)) = (roots.first(), roots.iter().find(|r| *r != &roots[0]))
+                {
+                    diags.push(Diagnostic::new(
+                        definite,
+                        "root-mismatch",
+                        &arrivals[0].func,
+                        arrivals[0].at,
+                        format!(
+                            "broadcast root mismatch: rank 0 uses root {a} but \
+                             another rank uses root {b}"
+                        ),
+                    ));
+                    return;
+                }
+            }
+            for rk in ranks.iter_mut() {
+                rk.blocked = Blocked::No;
+                rk.cursor += 1;
+            }
+            progressed = true;
+        }
+        if !progressed {
+            break;
+        }
+    }
+
+    // Post-hoc wildcard hazard: an any-source receive is racy whenever
+    // more than one source produced a compatible message for its rank
+    // over the whole run — the deterministic schedule above picked one,
+    // a real machine may pick another.
+    let mut race_sites: Vec<(String, usize)> = Vec::new();
+    for (r, rk) in ranks.iter().enumerate() {
+        for (p_idx, p) in rk.posted.iter().enumerate() {
+            if p.from != AbsInt::Const(FCALL_ANY_SOURCE) {
+                continue;
+            }
+            let mut sources: Vec<usize> = inbox[r]
+                .iter()
+                .filter(|&&m| tag_compatible(p.tag, msgs[m].tag))
+                .map(|&m| msgs[m].src)
+                .collect();
+            sources.sort_unstable();
+            sources.dedup();
+            if sources.len() > 1 {
+                let ev = recv_event(rk.events, p_idx);
+                race_sites.push((ev.func.clone(), ev.at));
+            }
+        }
+    }
+    for (func, at) in dedup_sites(race_sites) {
+        diags.push(Diagnostic::new(
+            Severity::Possible,
+            "wildcard-race",
+            &func,
+            at,
+            "wildcard receive can match sends from more than one source; \
+             the pairing depends on message timing"
+                .to_string(),
+        ));
+    }
+
+    if ranks.iter().all(|rk| rk.done()) {
+        // Terminated cleanly: flag eager sends nobody received.
+        let mut sites: Vec<(String, usize)> = Vec::new();
+        for m in msgs.iter().filter(|m| !m.consumed) {
+            let (func, at) = split_site(&m.site);
+            sites.push((func, at));
+        }
+        for (func, at) in dedup_sites(sites) {
+            diags.push(Diagnostic::new(
+                Severity::Possible,
+                "unmatched-send",
+                &func,
+                at,
+                "eagerly-sent message is never received by any rank".to_string(),
+            ));
+        }
+        return;
+    }
+
+    // Stuck: classify.
+    let finished: Vec<usize> = (0..n).filter(|&r| ranks[r].done()).collect();
+    let blocked: Vec<usize> = (0..n).filter(|&r| !ranks[r].done()).collect();
+    let all_rendezvous = blocked
+        .iter()
+        .all(|&r| matches!(ranks[r].blocked, Blocked::Rendezvous { .. }));
+    let any_collective = blocked
+        .iter()
+        .any(|&r| ranks[r].blocked == Blocked::Collective);
+
+    if any_collective && !finished.is_empty() {
+        let r = blocked
+            .iter()
+            .copied()
+            .find(|&r| ranks[r].blocked == Blocked::Collective)
+            .expect("checked");
+        let ev = &ranks[r].events[ranks[r].cursor];
+        diags.push(Diagnostic::new(
+            definite,
+            "collective-not-reached",
+            &ev.func,
+            ev.at,
+            format!(
+                "collective reached on some ranks but not others: rank {r} \
+                 waits at the collective while rank {} has already finished",
+                finished[0]
+            ),
+        ));
+        return;
+    }
+    if all_rendezvous && !blocked.is_empty() {
+        let r = blocked[0];
+        if let Blocked::Rendezvous { msg } = ranks[r].blocked {
+            let (func, at) = split_site(&msgs[msg].site);
+            let peers: Vec<String> = blocked.iter().map(|r| r.to_string()).collect();
+            diags.push(Diagnostic::new(
+                definite,
+                "rendezvous-cycle",
+                &func,
+                at,
+                format!(
+                    "mutual blocking sends above the eager threshold ({} bytes): \
+                     ranks {} all wait in rendezvous for a receiver that never \
+                     posts; the exchange deadlocks",
+                    cfg.eager_threshold,
+                    peers.join(", ")
+                ),
+            ));
+            return;
+        }
+    }
+    // Generic deadlock: report the first blocked receive (or wait).
+    for &r in &blocked {
+        let (code, site_ev, what): (&'static str, Event, String) = match ranks[r].blocked {
+            Blocked::RecvWait { posted } => (
+                "unmatched-recv",
+                recv_event(ranks[r].events, posted).clone(),
+                format!("rank {r}: receive is never matched by any send"),
+            ),
+            Blocked::Wait { req } => {
+                let ev = ranks[r].events[..=ranks[r].cursor]
+                    .iter()
+                    .rev()
+                    .find(|e| matches!(e.kind, EvKind::Wait { req: q } if q == req))
+                    .unwrap_or(&ranks[r].events[ranks[r].cursor])
+                    .clone();
+                (
+                    "unmatched-wait",
+                    ev,
+                    format!("rank {r}: wait can never complete (no matching peer operation)"),
+                )
+            }
+            Blocked::Collective => {
+                let ev = ranks[r].events[ranks[r].cursor].clone();
+                (
+                    "collective-not-reached",
+                    ev,
+                    format!("rank {r}: collective is never reached by the remaining ranks"),
+                )
+            }
+            Blocked::Rendezvous { msg } => {
+                let (func, at) = split_site(&msgs[msg].site);
+                (
+                    "rendezvous-cycle",
+                    Event {
+                        func,
+                        at,
+                        kind: EvKind::Barrier,
+                    },
+                    format!("rank {r}: rendezvous send is never consumed by a receive"),
+                )
+            }
+            Blocked::No => continue,
+        };
+        diags.push(Diagnostic::new(
+            definite,
+            code,
+            &site_ev.func,
+            site_ev.at,
+            what,
+        ));
+        return; // one stuck-state diagnostic is enough; the rest follows from it
+    }
+}
+
+/// The global matching pass `step` re-runs after posting new state;
+/// returns whether anything matched.
+type Rematch<'a> = &'a mut dyn FnMut(&mut [Rank], &mut [Msg], &[Vec<usize>]) -> bool;
+
+/// Advance rank `r` by at most one state transition. `rematch` runs the
+/// global matching pass (returns whether anything matched).
+fn step(
+    r: usize,
+    ranks: &mut Vec<Rank>,
+    msgs: &mut Vec<Msg>,
+    inbox: &mut [Vec<usize>],
+    cfg: &LintConfig,
+    rematch: Rematch<'_>,
+) -> bool {
+    match ranks[r].blocked {
+        Blocked::Rendezvous { msg } => {
+            if msgs[msg].consumed {
+                ranks[r].blocked = Blocked::No;
+                ranks[r].cursor += 1;
+                true
+            } else {
+                false
+            }
+        }
+        Blocked::RecvWait { posted } => {
+            if ranks[r].posted[posted].matched.is_some() {
+                ranks[r].blocked = Blocked::No;
+                ranks[r].cursor += 1;
+                true
+            } else {
+                false
+            }
+        }
+        Blocked::Wait { req } => {
+            if request_complete(&ranks[r], msgs, req) {
+                ranks[r].blocked = Blocked::No;
+                ranks[r].cursor += 1;
+                true
+            } else {
+                false
+            }
+        }
+        Blocked::Collective => false,
+        Blocked::No => {
+            if ranks[r].cursor >= ranks[r].events.len() {
+                return false;
+            }
+            let ev = ranks[r].events[ranks[r].cursor].clone();
+            match ev.kind {
+                EvKind::Send {
+                    to,
+                    tag,
+                    bytes,
+                    req,
+                } => {
+                    let Some(dst) = to.konst() else {
+                        // Unresolved destination (imprecise run): drop the
+                        // message; verdicts are already possible-only.
+                        ranks[r].cursor += 1;
+                        return true;
+                    };
+                    let dst = dst as usize;
+                    // Above the eager threshold the payload rendezvouses:
+                    // a blocking send parks here; an isend parks at its
+                    // wait instead (see `request_complete`).
+                    let rendezvous = bytes.map(|b| b > cfg.eager_threshold).unwrap_or(false);
+                    let m_idx = msgs.len();
+                    msgs.push(Msg {
+                        src: r,
+                        tag,
+                        rendezvous,
+                        consumed: false,
+                        site: ev.site(),
+                    });
+                    if dst < inbox.len() {
+                        inbox[dst].push(m_idx);
+                    }
+                    if let Some(q) = req {
+                        ranks[r].req_send.push((q, m_idx));
+                    }
+                    rematch(ranks, msgs, inbox);
+                    if rendezvous && req.is_none() && !msgs[m_idx].consumed {
+                        ranks[r].blocked = Blocked::Rendezvous { msg: m_idx };
+                    } else {
+                        ranks[r].cursor += 1;
+                    }
+                    true
+                }
+                EvKind::Recv { from, tag, req } => {
+                    let p_idx = ranks[r].posted.len();
+                    ranks[r].posted.push(Posted {
+                        from,
+                        tag,
+                        matched: None,
+                        req,
+                    });
+                    rematch(ranks, msgs, inbox);
+                    if req.is_some() {
+                        // Irecv: posting never blocks.
+                        ranks[r].cursor += 1;
+                    } else if ranks[r].posted[p_idx].matched.is_some() {
+                        ranks[r].cursor += 1;
+                    } else {
+                        ranks[r].blocked = Blocked::RecvWait { posted: p_idx };
+                    }
+                    true
+                }
+                EvKind::Wait { req } => {
+                    if request_complete(&ranks[r], msgs, req) {
+                        ranks[r].cursor += 1;
+                    } else {
+                        ranks[r].blocked = Blocked::Wait { req };
+                    }
+                    true
+                }
+                EvKind::Barrier | EvKind::Bcast { .. } => {
+                    ranks[r].blocked = Blocked::Collective;
+                    true
+                }
+            }
+        }
+    }
+}
+
+/// Whether request `req` of rank `rk` has completed: an isend completes
+/// once its message is consumed (or immediately when eager); an irecv
+/// completes once its posted receive matched.
+fn request_complete(rk: &Rank, msgs: &[Msg], req: usize) -> bool {
+    if let Some(&(_, m_idx)) = rk.req_send.iter().find(|&&(q, _)| q == req) {
+        let m = &msgs[m_idx];
+        return !m.rendezvous || m.consumed;
+    }
+    if let Some(p) = rk.posted.iter().find(|p| p.req == Some(req)) {
+        return p.matched.is_some();
+    }
+    // Unknown request (extractor lost it): optimistically complete.
+    true
+}
+
+/// The event behind posted receive `p_idx` (the `p_idx`-th receive in
+/// program order).
+fn recv_event(events: &[Event], p_idx: usize) -> &Event {
+    events
+        .iter()
+        .filter(|e| matches!(e.kind, EvKind::Recv { .. }))
+        .nth(p_idx)
+        .expect("posted receives mirror Recv events in order")
+}
+
+/// Receive-side tag against send-side tag. `-1` on the receive side is
+/// the any-tag wildcard; unresolved tags (imprecise runs) are
+/// optimistically compatible.
+fn tag_compatible(recv_tag: AbsInt, send_tag: AbsInt) -> bool {
+    match (recv_tag, send_tag) {
+        (AbsInt::Const(ANY_TAG), _) => true,
+        (AbsInt::Const(t), AbsInt::Const(mt)) => t == mt,
+        _ => true,
+    }
+}
+
+fn split_site(site: &str) -> (String, usize) {
+    match site.rsplit_once('@') {
+        Some((f, at)) => (f.to_string(), at.parse().unwrap_or(0)),
+        None => (site.to_string(), 0),
+    }
+}
+
+fn dedup_sites(mut sites: Vec<(String, usize)>) -> Vec<(String, usize)> {
+    sites.sort();
+    sites.dedup();
+    sites
+}

@@ -1,0 +1,543 @@
+//! Per-rank communication skeleton extraction.
+//!
+//! The cross-rank match checker needs, for each rank `r` in the modelled
+//! communicator, the *sequence* of communication operations that rank
+//! would perform. Motor IL makes this tractable: entry functions receive
+//! their rank and communicator size as the first two integer arguments
+//! (the convention every in-tree kernel follows), and peers, tags and
+//! roots are ordinary stack values. We therefore run a small abstract
+//! interpreter once per rank with the rank pinned to a constant,
+//! constant-folding integers and following branches concretely wherever
+//! the condition resolves. Loops unroll as they execute (a counted loop
+//! over a constant trip count is fully precise); calls are inlined up to
+//! a depth bound, which also carries `Req`-typed values across call
+//! boundaries so non-blocking operations keep their identity.
+//!
+//! When a branch condition, peer, tag or root fails to resolve to a
+//! constant — data-dependent control flow, heap reads — the skeleton is
+//! marked *imprecise* and every downstream verdict that depends on it is
+//! reported as [`Severity::Possible`] instead of
+//! [`Severity::Definite`](crate::lint::Severity::Definite). Diagnostics
+//! found *during* extraction (a peer outside the communicator on a
+//! fully-resolved path) are definite regardless: the path up to that
+//! point was concretely determined.
+//!
+//! [`Severity::Possible`]: crate::lint::Severity::Possible
+
+use motor_interp::il::{FCallId, Module, Op, FCALL_ANY_SOURCE};
+use motor_runtime::TypeRegistry;
+
+use crate::lint::{Diagnostic, LintConfig, Severity};
+
+/// An integer that is either statically known or unresolved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AbsInt {
+    /// Statically known value.
+    Const(i64),
+    /// Unresolved (data-dependent).
+    Top,
+}
+
+impl AbsInt {
+    /// The constant, if resolved.
+    pub fn konst(self) -> Option<i64> {
+        match self {
+            AbsInt::Const(v) => Some(v),
+            AbsInt::Top => None,
+        }
+    }
+
+    fn map2(self, other: AbsInt, f: impl Fn(i64, i64) -> i64) -> AbsInt {
+        match (self, other) {
+            (AbsInt::Const(a), AbsInt::Const(b)) => AbsInt::Const(f(a, b)),
+            _ => AbsInt::Top,
+        }
+    }
+}
+
+impl std::fmt::Display for AbsInt {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AbsInt::Const(v) => write!(f, "{v}"),
+            AbsInt::Top => write!(f, "?"),
+        }
+    }
+}
+
+/// Abstract stack / local value. Only shapes the skeleton cares about
+/// are distinguished; everything else is `Top`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum AV {
+    /// Integer (possibly constant).
+    Int(AbsInt),
+    /// Primitive array with a possibly-known length (sizes the message
+    /// for the eager/rendezvous decision).
+    Arr {
+        kind: motor_runtime::ElemKind,
+        len: AbsInt,
+    },
+    /// Class instance (sized from the registry).
+    Ref(motor_runtime::ClassId),
+    /// An in-flight request minted by `Isend`/`Irecv` event `id`.
+    Req(usize),
+    /// Anything else (floats, null, object arrays, unknown refs).
+    Top,
+}
+
+impl AV {
+    fn as_int(self) -> AbsInt {
+        match self {
+            AV::Int(v) => v,
+            _ => AbsInt::Top,
+        }
+    }
+}
+
+/// One communication operation a rank performs.
+#[derive(Debug, Clone)]
+pub struct Event {
+    /// Function containing the operation.
+    pub func: String,
+    /// Instruction index of the `FCall`.
+    pub at: usize,
+    /// The operation.
+    pub kind: EvKind,
+}
+
+impl Event {
+    /// `func@pc` provenance string.
+    pub fn site(&self) -> String {
+        format!("{}@{}", self.func, self.at)
+    }
+}
+
+/// The operation kinds the matcher models. Object-oriented transports
+/// (`Osend`/`Orecv`) are excluded: they are layered over the same
+/// point-to-point machinery and their matching is a host concern.
+#[derive(Debug, Clone)]
+pub enum EvKind {
+    /// Point-to-point send. `req` is `Some` for `Isend`.
+    Send {
+        to: AbsInt,
+        tag: AbsInt,
+        bytes: Option<u64>,
+        req: Option<usize>,
+    },
+    /// Point-to-point receive. `from` may be the any-source wildcard
+    /// (`-1`); `tag` may be the any-tag wildcard (`-1`). `req` is `Some`
+    /// for `Irecv`.
+    Recv {
+        from: AbsInt,
+        tag: AbsInt,
+        req: Option<usize>,
+    },
+    /// Complete the non-blocking operation that minted request `req`.
+    Wait { req: usize },
+    /// Barrier across the communicator.
+    Barrier,
+    /// Broadcast from `root`.
+    Bcast { root: AbsInt },
+}
+
+/// One rank's extracted communication sequence.
+#[derive(Debug)]
+pub struct Skeleton {
+    /// The modelled rank.
+    pub rank: i64,
+    /// Operations in program order.
+    pub events: Vec<Event>,
+    /// Whether extraction reached the entry function's return. `false`
+    /// when an unresolved branch, the step budget or the call-depth
+    /// bound stopped it; the event prefix is still concrete.
+    pub complete: bool,
+}
+
+impl Skeleton {
+    /// Whether every matching-relevant operand in every event resolved
+    /// to a constant (any-source / any-tag wildcards count as resolved).
+    pub fn operands_resolved(&self) -> bool {
+        self.events.iter().all(|e| match e.kind {
+            EvKind::Send { to, tag, .. } => to.konst().is_some() && tag.konst().is_some(),
+            EvKind::Recv { from, tag, .. } => from.konst().is_some() && tag.konst().is_some(),
+            EvKind::Bcast { root } => root.konst().is_some(),
+            EvKind::Wait { .. } | EvKind::Barrier => true,
+        })
+    }
+}
+
+/// Extract the skeleton of `entry` for one concrete rank. Diagnostics
+/// discovered on the way (peer out of range on a resolved path) are
+/// appended to `diags`.
+pub fn extract(
+    module: &Module,
+    reg: &TypeRegistry,
+    cfg: &LintConfig,
+    entry: u16,
+    rank: i64,
+    diags: &mut Vec<Diagnostic>,
+) -> Skeleton {
+    let mut ex = Extractor {
+        module,
+        reg,
+        cfg,
+        rank,
+        steps: 0,
+        next_req: 0,
+        events: Vec::new(),
+        complete: true,
+        diags,
+    };
+    let f = &module.functions[entry as usize];
+    let mut args = vec![AV::Top; f.argc as usize];
+    if let Some(a) = args.get_mut(cfg.rank_param) {
+        *a = AV::Int(AbsInt::Const(rank));
+    }
+    if let Some(a) = args.get_mut(cfg.size_param) {
+        *a = AV::Int(AbsInt::Const(cfg.ranks as i64));
+    }
+    ex.exec(entry as usize, args, cfg.call_depth);
+    Skeleton {
+        rank,
+        events: ex.events,
+        complete: ex.complete,
+    }
+}
+
+struct Extractor<'a> {
+    module: &'a Module,
+    reg: &'a TypeRegistry,
+    cfg: &'a LintConfig,
+    rank: i64,
+    steps: usize,
+    next_req: usize,
+    events: Vec<Event>,
+    complete: bool,
+    diags: &'a mut Vec<Diagnostic>,
+}
+
+impl Extractor<'_> {
+    /// Abstractly execute function `fidx`. Returns the return value, or
+    /// `None` when extraction had to stop (the skeleton is then marked
+    /// incomplete).
+    fn exec(&mut self, fidx: usize, args: Vec<AV>, depth: usize) -> Option<Option<AV>> {
+        let f = &self.module.functions[fidx];
+        let mut locals = args;
+        locals.resize(f.locals as usize, AV::Int(AbsInt::Const(0)));
+        let mut stack: Vec<AV> = Vec::new();
+        let mut pc = 0usize;
+        macro_rules! pop {
+            () => {
+                stack.pop().unwrap_or(AV::Top)
+            };
+        }
+        macro_rules! binop {
+            ($f:expr) => {{
+                let b = pop!().as_int();
+                let a = pop!().as_int();
+                stack.push(AV::Int(a.map2(b, $f)));
+            }};
+        }
+        loop {
+            self.steps += 1;
+            if self.steps > self.cfg.step_budget {
+                self.complete = false;
+                return None;
+            }
+            let Some(&op) = f.code.get(pc) else {
+                self.complete = false;
+                return None;
+            };
+            let mut next = pc + 1;
+            match op {
+                Op::PushI(v) => stack.push(AV::Int(AbsInt::Const(v))),
+                Op::PushF(_) | Op::PushNull => stack.push(AV::Top),
+                Op::Dup => {
+                    let t = *stack.last().unwrap_or(&AV::Top);
+                    stack.push(t);
+                }
+                Op::Pop => {
+                    pop!();
+                }
+                Op::Load(i) => stack.push(locals[i as usize]),
+                Op::Store(i) => locals[i as usize] = pop!(),
+                Op::Add => binop!(i64::wrapping_add),
+                Op::Sub => binop!(i64::wrapping_sub),
+                Op::Mul => binop!(i64::wrapping_mul),
+                Op::Div => binop!(|a, b: i64| if b == 0 { 0 } else { a.wrapping_div(b) }),
+                Op::Rem => binop!(|a, b: i64| if b == 0 { 0 } else { a.wrapping_rem(b) }),
+                Op::Neg => {
+                    let a = pop!().as_int();
+                    stack.push(AV::Int(a.map2(AbsInt::Const(0), |a, _| a.wrapping_neg())));
+                }
+                Op::FAdd | Op::FSub | Op::FMul | Op::FDiv => {
+                    pop!();
+                    pop!();
+                    stack.push(AV::Top);
+                }
+                Op::I2F => {
+                    pop!();
+                    stack.push(AV::Top);
+                }
+                Op::F2I => {
+                    pop!();
+                    stack.push(AV::Int(AbsInt::Top));
+                }
+                Op::CmpEq => {
+                    let b = pop!();
+                    let a = pop!();
+                    let r = match (a, b) {
+                        (AV::Int(x), AV::Int(y)) => x.map2(y, |x, y| (x == y) as i64),
+                        _ => AbsInt::Top,
+                    };
+                    stack.push(AV::Int(r));
+                }
+                Op::CmpLt => binop!(|a, b| (a < b) as i64),
+                Op::CmpLe => binop!(|a, b| (a <= b) as i64),
+                Op::Br(rel) => next = (pc as i64 + 1 + rel as i64) as usize,
+                Op::BrTrue(rel) | Op::BrFalse(rel) => {
+                    let want_nonzero = matches!(op, Op::BrTrue(_));
+                    match pop!().as_int() {
+                        AbsInt::Const(c) => {
+                            if (c != 0) == want_nonzero {
+                                next = (pc as i64 + 1 + rel as i64) as usize;
+                            }
+                        }
+                        AbsInt::Top => {
+                            self.complete = false;
+                            return None;
+                        }
+                    }
+                }
+                Op::Call(idx) => {
+                    if depth == 0 {
+                        self.complete = false;
+                        return None;
+                    }
+                    let callee = &self.module.functions[idx as usize];
+                    let argc = callee.argc as usize;
+                    let returns = callee.returns_value;
+                    let mut callee_args = vec![AV::Top; argc];
+                    for slot in callee_args.iter_mut().rev() {
+                        *slot = pop!();
+                    }
+                    let ret = self.exec(idx as usize, callee_args, depth - 1)?;
+                    if returns {
+                        stack.push(ret.unwrap_or(AV::Top));
+                    }
+                }
+                Op::Ret => {
+                    return Some(if f.returns_value { stack.pop() } else { None });
+                }
+                Op::New(c) => stack.push(AV::Ref(c)),
+                Op::NewArr(k) => {
+                    let len = pop!().as_int();
+                    stack.push(AV::Arr { kind: k, len });
+                }
+                Op::NewObjArr(_) => {
+                    pop!();
+                    stack.push(AV::Top);
+                }
+                Op::LdFldI(_) => {
+                    pop!();
+                    stack.push(AV::Int(AbsInt::Top));
+                }
+                Op::LdFldF(_) | Op::LdFldR(_) => {
+                    pop!();
+                    stack.push(AV::Top);
+                }
+                Op::StFldI(_) | Op::StFldF(_) | Op::StFldR(_) => {
+                    pop!();
+                    pop!();
+                }
+                Op::LdElemI => {
+                    pop!();
+                    pop!();
+                    stack.push(AV::Int(AbsInt::Top));
+                }
+                Op::LdElemF | Op::LdElemR => {
+                    pop!();
+                    pop!();
+                    stack.push(AV::Top);
+                }
+                Op::StElemI | Op::StElemF | Op::StElemR => {
+                    pop!();
+                    pop!();
+                    pop!();
+                }
+                Op::ArrLen => {
+                    let a = pop!();
+                    let len = match a {
+                        AV::Arr { len, .. } => len,
+                        _ => AbsInt::Top,
+                    };
+                    stack.push(AV::Int(len));
+                }
+                Op::FCall(id) => {
+                    if !self.fcall(id, &mut stack, &f.name, pc) {
+                        return None;
+                    }
+                }
+            }
+            pc = next;
+        }
+    }
+
+    /// Byte size of a transport buffer, when statically known.
+    fn bytes_of(&self, buf: AV) -> Option<u64> {
+        match buf {
+            AV::Arr { kind, len } => len
+                .konst()
+                .filter(|&n| n >= 0)
+                .map(|n| n as u64 * kind.size() as u64),
+            AV::Ref(c) => Some(self.reg.table(c).instance_size as u64),
+            _ => None,
+        }
+    }
+
+    fn definite(&mut self, func: &str, at: usize, code: &'static str, msg: String) {
+        self.diags
+            .push(Diagnostic::new(Severity::Definite, code, func, at, msg));
+    }
+
+    /// Handle one message-passing intrinsic. Returns `false` when the
+    /// operation is statically erroneous badly enough to stop this
+    /// rank's extraction (the error itself is already recorded).
+    fn fcall(&mut self, id: FCallId, stack: &mut Vec<AV>, func: &str, pc: usize) -> bool {
+        let ranks = self.cfg.ranks as i64;
+        let mut pop = || stack.pop().unwrap_or(AV::Top);
+        match id {
+            FCallId::MpSend | FCallId::MpIsend => {
+                let tag = pop().as_int();
+                let to = pop().as_int();
+                let buf = pop();
+                if let Some(d) = to.konst() {
+                    if d < 0 || d >= ranks {
+                        self.definite(
+                            func,
+                            pc,
+                            "peer-range",
+                            format!(
+                                "rank {}: send targets rank {d}, outside the \
+                                 communicator (size {ranks})",
+                                self.rank
+                            ),
+                        );
+                        self.complete = false;
+                        return false;
+                    }
+                }
+                let req = matches!(id, FCallId::MpIsend).then(|| {
+                    let r = self.next_req;
+                    self.next_req += 1;
+                    r
+                });
+                if let Some(r) = req {
+                    stack.push(AV::Req(r));
+                }
+                let bytes = self.bytes_of(buf);
+                self.events.push(Event {
+                    func: func.to_string(),
+                    at: pc,
+                    kind: EvKind::Send {
+                        to,
+                        tag,
+                        bytes,
+                        req,
+                    },
+                });
+            }
+            FCallId::MpRecv | FCallId::MpIrecv => {
+                let tag = pop().as_int();
+                let from = pop().as_int();
+                let _buf = pop();
+                if let Some(s) = from.konst() {
+                    if s != FCALL_ANY_SOURCE && (s < 0 || s >= ranks) {
+                        self.definite(
+                            func,
+                            pc,
+                            "peer-range",
+                            format!(
+                                "rank {}: receive names source rank {s}, outside \
+                                 the communicator (size {ranks})",
+                                self.rank
+                            ),
+                        );
+                        self.complete = false;
+                        return false;
+                    }
+                }
+                let req = matches!(id, FCallId::MpIrecv).then(|| {
+                    let r = self.next_req;
+                    self.next_req += 1;
+                    r
+                });
+                if let Some(r) = req {
+                    stack.push(AV::Req(r));
+                }
+                self.events.push(Event {
+                    func: func.to_string(),
+                    at: pc,
+                    kind: EvKind::Recv { from, tag, req },
+                });
+            }
+            FCallId::MpWait => {
+                let r = pop();
+                match r {
+                    AV::Req(req) => self.events.push(Event {
+                        func: func.to_string(),
+                        at: pc,
+                        kind: EvKind::Wait { req },
+                    }),
+                    // A request whose origin the extractor lost (stored
+                    // through the heap, beyond the depth bound): the wait
+                    // order is unknown — stop precisely here.
+                    _ => {
+                        self.complete = false;
+                        return false;
+                    }
+                }
+            }
+            FCallId::MpBarrier => self.events.push(Event {
+                func: func.to_string(),
+                at: pc,
+                kind: EvKind::Barrier,
+            }),
+            FCallId::MpBcast => {
+                let root = pop().as_int();
+                let _buf = pop();
+                if let Some(r) = root.konst() {
+                    if r < 0 || r >= ranks {
+                        self.definite(
+                            func,
+                            pc,
+                            "peer-range",
+                            format!(
+                                "rank {}: broadcast root {r} is outside the \
+                                 communicator (size {ranks})",
+                                self.rank
+                            ),
+                        );
+                        self.complete = false;
+                        return false;
+                    }
+                }
+                self.events.push(Event {
+                    func: func.to_string(),
+                    at: pc,
+                    kind: EvKind::Bcast { root },
+                });
+            }
+            FCallId::Osend => {
+                pop();
+                pop();
+                pop();
+            }
+            FCallId::Orecv(c) => {
+                pop();
+                pop();
+                stack.push(AV::Ref(c));
+            }
+        }
+        true
+    }
+}

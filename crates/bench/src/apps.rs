@@ -90,6 +90,7 @@ impl AppResult {
             "ablation_api" => "ablation_api",
             "ablation_profile" => "ablation_profile",
             "ablation_overlap" => "ablation_overlap",
+            "ablation_pins" => "ablation_pins",
             _ => return None,
         };
         let num = |key: &str| -> Option<f64> {
@@ -872,9 +873,153 @@ pub fn ablation_profile_result(quick: bool) -> AppResult {
     }
 }
 
+// ---------------------------------------------------------------------
+// Ablation: never-transported escape proofs on vs off
+// ---------------------------------------------------------------------
+
+/// What motor-lint's escape proofs buy the collector, measured: the same
+/// allocation-churn kernel driven through a deliberately tiny young
+/// generation, once loaded through plain verification (every evacuated
+/// object passes the pinned-set membership check) and once through
+/// `motor_analyze::load` (the never-transported proof lets the
+/// evacuator skip the check for proven classes). Paired and interleaved
+/// like [`ablation_profile`]; returns `(off_us, on_us, pin_checks_elided)`
+/// with the counter read from the proof-carrying VM after all timed
+/// work — zero elisions means the proof never engaged and the run is
+/// meaningless, so callers assert on it.
+pub fn ablation_pins(allocs: i64, reps: usize, repeats: usize) -> (f64, f64, u64) {
+    use motor_interp::il::{FnBuilder, Module, Op};
+    use motor_interp::interp::{Interp, Value};
+    use motor_interp::verify::VerifiedModule;
+    use motor_runtime::heap::HeapConfig;
+    use motor_runtime::{ClassId, MotorThread, Vm, VmConfig};
+
+    // churn(n): allocate and drop n two-field instances — every trip
+    // through the tiny young generation is a minor collection full of
+    // dead Scratch objects the evacuator still has to consider.
+    let churn = |cls: ClassId| -> Module {
+        let mut f = FnBuilder::new("churn", 1, 2, false);
+        let top = f.label();
+        let done = f.label();
+        f.op(Op::PushI(0)).op(Op::Store(1));
+        f.bind(top);
+        f.op(Op::Load(1)).op(Op::Load(0)).op(Op::CmpLt);
+        f.br_false(done);
+        f.op(Op::New(cls)).op(Op::Pop);
+        f.op(Op::Load(1))
+            .op(Op::PushI(1))
+            .op(Op::Add)
+            .op(Op::Store(1));
+        f.br(top);
+        f.bind(done);
+        f.op(Op::Ret);
+        let mut m = Module::new();
+        m.add(f.build());
+        m
+    };
+    let small_vm = || {
+        let vm = Vm::new(VmConfig {
+            heap: HeapConfig {
+                young_bytes: 64 * 1024,
+                ..Default::default()
+            },
+            ..Default::default()
+        });
+        let cls = vm
+            .registry_mut()
+            .define_class("Scratch")
+            .prim("a", ElemKind::I64)
+            .prim("b", ElemKind::F64)
+            .build();
+        (vm, cls)
+    };
+
+    // Two VMs: the proof is per-VM state, so each arm keeps its own
+    // heap and the interleaving stays honest.
+    let (vm_off, cls_off) = small_vm();
+    let vmod_off = {
+        let reg = vm_off.registry();
+        VerifiedModule::verify(churn(cls_off), &reg).expect("churn verifies")
+    };
+    let (vm_on, cls_on) = small_vm();
+    let vmod_on = {
+        let reg = vm_on.registry();
+        motor_analyze::load(churn(cls_on), &reg).expect("churn analyzes")
+    };
+    assert!(
+        vmod_on.never_transported().contains(&cls_on),
+        "escape pass must prove the churn class untransported"
+    );
+
+    let t_off = MotorThread::attach(Arc::clone(&vm_off));
+    let t_on = MotorThread::attach(Arc::clone(&vm_on));
+    let off = Interp::new(&t_off, &vmod_off);
+    let on = Interp::new(&t_on, &vmod_on); // installs the proof bits
+
+    let time_phase = |i: &Interp, best: &mut f64| {
+        i.call(0, &[Value::I(allocs)]).unwrap();
+        let sw = Stopwatch::start();
+        for _ in 0..reps {
+            i.call(0, &[Value::I(allocs)]).unwrap();
+        }
+        *best = best.min(sw.elapsed_micros_f64() / reps as f64);
+    };
+
+    let mut best_off = f64::INFINITY;
+    let mut best_on = f64::INFINITY;
+    for rep in 0..repeats {
+        if rep % 2 == 0 {
+            time_phase(&off, &mut best_off);
+            time_phase(&on, &mut best_on);
+        } else {
+            time_phase(&on, &mut best_on);
+            time_phase(&off, &mut best_off);
+        }
+    }
+    let elided = vm_on.stats_snapshot().pin_checks_elided;
+    (best_off, best_on, elided)
+}
+
+/// The pin-elision ablation as a gated artifact: metric = `on/off`
+/// ratio (the proof must never slow the collector down), checksum =
+/// elided pin checks on the proof-carrying VM.
+pub fn ablation_pins_result(quick: bool) -> AppResult {
+    let (allocs, reps, repeats) = if quick {
+        (20_000, 20, 5)
+    } else {
+        (50_000, 30, 7)
+    };
+    let (off, on, elided) = ablation_pins(allocs, reps, repeats);
+    assert!(
+        elided > 0,
+        "pin-elision ablation ran without the proof engaging"
+    );
+    AppResult {
+        workload: "ablation_pins",
+        us_per_iter: on / off,
+        checksum: elided as f64,
+        config: format!(
+            "allocs={allocs},reps={reps},repeats={repeats},young=64KiB,\
+             metric=on_over_off,checksum_is_pin_checks_elided"
+        ),
+        profile: None,
+        folded: None,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn pins_ablation_elides_and_reports() {
+        let (off, on, elided) = ablation_pins(4_000, 3, 2);
+        assert!(off > 0.0 && on > 0.0);
+        assert!(elided > 0, "tiny young gen must cycle and elide checks");
+        let r = ablation_pins_result(true);
+        assert_eq!(r.workload, "ablation_pins");
+        assert!(r.checksum >= 1.0);
+    }
 
     #[test]
     fn cg_converges_and_reports() {

@@ -23,8 +23,8 @@ use std::path::Path;
 use std::process::exit;
 
 use motor_bench::apps::{
-    ablation_api_result, ablation_overlap, ablation_profile_result, bfs, cg, pipeline, AppConfig,
-    AppResult,
+    ablation_api_result, ablation_overlap, ablation_pins_result, ablation_profile_result, bfs, cg,
+    pipeline, AppConfig, AppResult,
 };
 
 /// Fail the `gate` when new/old exceeds this.
@@ -77,6 +77,8 @@ fn run(args: &[String]) {
     results.push(abl_api.clone());
     let abl_prof = best_over_retries(|| ablation_profile_result(quick));
     results.push(abl_prof.clone());
+    let abl_pins = best_over_retries(|| ablation_pins_result(quick));
+    results.push(abl_pins.clone());
 
     for r in &results {
         println!(
@@ -111,6 +113,11 @@ fn run(args: &[String]) {
         &abl_prof,
         "interpreter with profiler attached vs without — the hooks are supposed \
          to be a handful of relaxed counters",
+    );
+    bad |= enforce_ablation(
+        &abl_pins,
+        "allocation churn with never-transported proofs installed vs without — \
+         skipping pinned-set checks must never cost anything",
     );
     if bad {
         exit(1);
@@ -184,6 +191,7 @@ fn gate(args: &[String]) {
         "ablation_overlap",
         "ablation_api",
         "ablation_profile",
+        "ablation_pins",
     ] {
         let Some(new) = load(new_dir, workload) else {
             eprintln!("gate: {new_dir}/BENCH_{workload}.json missing or unparsable");

@@ -1,0 +1,332 @@
+//! The in-tree IL communication corpus `motor-analyze lint` gates on.
+//!
+//! Each entry is a complete SPMD program in Motor IL following the
+//! whole-program convention the linter analyzes: an entry function
+//! `main(rank, size)` whose first two `I64` parameters carry the rank
+//! and communicator size. All entries are communication-clean by
+//! construction — the CI gate fails if motor-lint ever reports a
+//! definite diagnostic for any of them (a regression in either the
+//! corpus or the analysis).
+//!
+//! [`seeded_deadlock`] is the deliberate counter-example the
+//! `motor-analyze demo` subcommand lints to show a real diagnostic; it
+//! is *not* part of [`corpus`].
+
+use motor_analyze::LintConfig;
+use motor_interp::il::{FCallId, FnBuilder, Module, Op, TyDesc};
+use motor_runtime::{ElemKind, TypeRegistry};
+
+/// One corpus program: a module plus the registry and lint
+/// configuration it is analyzed under.
+pub struct CorpusEntry {
+    /// Human-readable program name, printed by the CLI.
+    pub name: &'static str,
+    /// The IL module; entry function is `main(rank, size)`.
+    pub module: Module,
+    /// Types the module references.
+    pub registry: TypeRegistry,
+    /// Communicator size and thresholds to lint under.
+    pub config: LintConfig,
+}
+
+fn registry() -> TypeRegistry {
+    let mut reg = TypeRegistry::new();
+    reg.prim_array(ElemKind::F64);
+    reg.prim_array(ElemKind::I64);
+    reg
+}
+
+fn cfg(ranks: usize) -> LintConfig {
+    LintConfig {
+        ranks,
+        ..LintConfig::default()
+    }
+}
+
+/// Push a fresh `len`-element f64 buffer.
+fn buf(f: &mut FnBuilder, len: i64) {
+    f.op(Op::PushI(len)).op(Op::NewArr(ElemKind::F64));
+}
+
+/// `(rank + 1) % size` — the right ring neighbour.
+fn push_right(f: &mut FnBuilder) {
+    f.op(Op::Load(0))
+        .op(Op::PushI(1))
+        .op(Op::Add)
+        .op(Op::Load(1))
+        .op(Op::Rem);
+}
+
+/// `(rank - 1 + size) % size` — the left ring neighbour.
+fn push_left(f: &mut FnBuilder) {
+    f.op(Op::Load(0))
+        .op(Op::PushI(1))
+        .op(Op::Sub)
+        .op(Op::Load(1))
+        .op(Op::Add)
+        .op(Op::Load(1))
+        .op(Op::Rem);
+}
+
+/// Eager ring shift: everyone sends a small buffer to the right
+/// neighbour and receives from the left.
+fn ring_shift() -> CorpusEntry {
+    let mut f = FnBuilder::new("main", 2, 2, false);
+    buf(&mut f, 64);
+    push_right(&mut f);
+    f.op(Op::PushI(7)).op(Op::FCall(FCallId::MpSend));
+    buf(&mut f, 64);
+    push_left(&mut f);
+    f.op(Op::PushI(7))
+        .op(Op::FCall(FCallId::MpRecv))
+        .op(Op::Ret);
+    let mut m = Module::new();
+    m.add(f.build());
+    CorpusEntry {
+        name: "ring-shift",
+        module: m,
+        registry: registry(),
+        config: cfg(4),
+    }
+}
+
+/// Broadcast from rank 0, then a barrier.
+fn bcast_barrier() -> CorpusEntry {
+    let mut f = FnBuilder::new("main", 2, 2, false);
+    buf(&mut f, 8);
+    f.op(Op::PushI(0))
+        .op(Op::FCall(FCallId::MpBcast))
+        .op(Op::FCall(FCallId::MpBarrier))
+        .op(Op::Ret);
+    let mut m = Module::new();
+    m.add(f.build());
+    CorpusEntry {
+        name: "bcast-barrier",
+        module: m,
+        registry: registry(),
+        config: cfg(4),
+    }
+}
+
+/// Master/worker gather: rank 0 receives one message from every other
+/// rank in a counted loop; workers each send once.
+fn master_gather() -> CorpusEntry {
+    let mut f = FnBuilder::new("main", 2, 3, false);
+    let send = f.label();
+    let top = f.label();
+    let done = f.label();
+    f.op(Op::Load(0)).op(Op::PushI(0)).op(Op::CmpEq);
+    f.br_false(send);
+    f.op(Op::PushI(1)).op(Op::Store(2));
+    f.bind(top);
+    f.op(Op::Load(2)).op(Op::Load(1)).op(Op::CmpLt);
+    f.br_false(done);
+    buf(&mut f, 16);
+    f.op(Op::Load(2))
+        .op(Op::PushI(5))
+        .op(Op::FCall(FCallId::MpRecv));
+    f.op(Op::Load(2))
+        .op(Op::PushI(1))
+        .op(Op::Add)
+        .op(Op::Store(2));
+    f.br(top);
+    f.bind(send);
+    buf(&mut f, 16);
+    f.op(Op::PushI(0))
+        .op(Op::PushI(5))
+        .op(Op::FCall(FCallId::MpSend));
+    f.bind(done);
+    f.op(Op::Ret);
+    let mut m = Module::new();
+    m.add(f.build());
+    CorpusEntry {
+        name: "master-gather",
+        module: m,
+        registry: registry(),
+        config: cfg(4),
+    }
+}
+
+/// Rendezvous-sized pairwise exchange done right: the irecv is posted
+/// before the blocking send, then waited.
+fn rendezvous_exchange() -> CorpusEntry {
+    let mut f = FnBuilder::new("main", 2, 3, false);
+    buf(&mut f, 16 * 1024);
+    f.op(Op::PushI(1))
+        .op(Op::Load(0))
+        .op(Op::Sub)
+        .op(Op::PushI(3))
+        .op(Op::FCall(FCallId::MpIrecv))
+        .op(Op::Store(2));
+    buf(&mut f, 16 * 1024);
+    f.op(Op::PushI(1))
+        .op(Op::Load(0))
+        .op(Op::Sub)
+        .op(Op::PushI(3))
+        .op(Op::FCall(FCallId::MpSend));
+    f.op(Op::Load(2)).op(Op::FCall(FCallId::MpWait)).op(Op::Ret);
+    let mut m = Module::new();
+    m.add(f.build());
+    CorpusEntry {
+        name: "rendezvous-exchange",
+        module: m,
+        registry: registry(),
+        config: cfg(2),
+    }
+}
+
+/// Ring shift where the isend is posted by a `Req`-returning helper —
+/// exercises the interprocedural request-linearity rules end to end.
+fn isend_via_helper() -> CorpusEntry {
+    let mut main = FnBuilder::new("main", 2, 3, false);
+    push_right(&mut main);
+    main.op(Op::PushI(7)).op(Op::Call(1)).op(Op::Store(2));
+    buf(&mut main, 64);
+    push_left(&mut main);
+    main.op(Op::PushI(7)).op(Op::FCall(FCallId::MpRecv));
+    main.op(Op::Load(2))
+        .op(Op::FCall(FCallId::MpWait))
+        .op(Op::Ret);
+    let mut post = FnBuilder::new("post", 2, 2, true);
+    post.ret_ty(TyDesc::Req);
+    buf(&mut post, 64);
+    post.op(Op::Load(0))
+        .op(Op::Load(1))
+        .op(Op::FCall(FCallId::MpIsend))
+        .op(Op::Ret);
+    let mut m = Module::new();
+    m.add(main.build());
+    m.add(post.build());
+    CorpusEntry {
+        name: "isend-via-helper",
+        module: m,
+        registry: registry(),
+        config: cfg(4),
+    }
+}
+
+/// Pairwise eager exchange: both sides send first, then receive — safe
+/// only because both payloads fit the eager protocol, which the
+/// matcher's rendezvous model verifies.
+fn eager_pairwise() -> CorpusEntry {
+    let mut f = FnBuilder::new("main", 2, 2, false);
+    buf(&mut f, 64);
+    f.op(Op::PushI(1))
+        .op(Op::Load(0))
+        .op(Op::Sub)
+        .op(Op::PushI(9))
+        .op(Op::FCall(FCallId::MpSend));
+    buf(&mut f, 64);
+    f.op(Op::PushI(1))
+        .op(Op::Load(0))
+        .op(Op::Sub)
+        .op(Op::PushI(9))
+        .op(Op::FCall(FCallId::MpRecv))
+        .op(Op::Ret);
+    let mut m = Module::new();
+    m.add(f.build());
+    CorpusEntry {
+        name: "eager-pairwise",
+        module: m,
+        registry: registry(),
+        config: cfg(2),
+    }
+}
+
+/// Multi-phase program mixing everything: a ring shift, a broadcast,
+/// a counted reduce-to-root via sends, and a closing barrier.
+fn multiphase() -> CorpusEntry {
+    let mut f = FnBuilder::new("main", 2, 3, false);
+    // Phase 1: eager ring shift.
+    buf(&mut f, 32);
+    push_right(&mut f);
+    f.op(Op::PushI(1)).op(Op::FCall(FCallId::MpSend));
+    buf(&mut f, 32);
+    push_left(&mut f);
+    f.op(Op::PushI(1)).op(Op::FCall(FCallId::MpRecv));
+    // Phase 2: broadcast the new boundary from rank 0.
+    buf(&mut f, 8);
+    f.op(Op::PushI(0)).op(Op::FCall(FCallId::MpBcast));
+    // Phase 3: everyone but rank 0 sends a partial to the root, which
+    // collects size-1 messages in a counted loop.
+    let send = f.label();
+    let top = f.label();
+    let joined = f.label();
+    f.op(Op::Load(0)).op(Op::PushI(0)).op(Op::CmpEq);
+    f.br_false(send);
+    f.op(Op::PushI(1)).op(Op::Store(2));
+    f.bind(top);
+    f.op(Op::Load(2)).op(Op::Load(1)).op(Op::CmpLt);
+    f.br_false(joined);
+    buf(&mut f, 8);
+    f.op(Op::Load(2))
+        .op(Op::PushI(2))
+        .op(Op::FCall(FCallId::MpRecv));
+    f.op(Op::Load(2))
+        .op(Op::PushI(1))
+        .op(Op::Add)
+        .op(Op::Store(2));
+    f.br(top);
+    f.bind(send);
+    buf(&mut f, 8);
+    f.op(Op::PushI(0))
+        .op(Op::PushI(2))
+        .op(Op::FCall(FCallId::MpSend));
+    f.bind(joined);
+    // Phase 4: closing barrier.
+    f.op(Op::FCall(FCallId::MpBarrier));
+    f.op(Op::Ret);
+    let mut m = Module::new();
+    m.add(f.build());
+    CorpusEntry {
+        name: "multiphase",
+        module: m,
+        registry: registry(),
+        config: cfg(4),
+    }
+}
+
+/// Every clean corpus program. The CI gate (`motor-analyze lint`) runs
+/// motor-lint over each and fails on any definite diagnostic.
+pub fn corpus() -> Vec<CorpusEntry> {
+    vec![
+        ring_shift(),
+        bcast_barrier(),
+        master_gather(),
+        rendezvous_exchange(),
+        isend_via_helper(),
+        eager_pairwise(),
+        multiphase(),
+    ]
+}
+
+/// The deliberate bug `motor-analyze demo` shows: both ranks of a pair
+/// post a rendezvous-sized blocking send before either receives — the
+/// classic head-to-head deadlock, diagnosed with `func@pc` provenance.
+pub fn seeded_deadlock() -> CorpusEntry {
+    let mut f = FnBuilder::new("main", 2, 2, false);
+    // 128 KiB payload: above the 64 KiB eager threshold, so the send
+    // blocks until the matching receive is posted — which never
+    // happens, because the peer is blocked in its own send.
+    buf(&mut f, 16 * 1024);
+    f.op(Op::PushI(1))
+        .op(Op::Load(0))
+        .op(Op::Sub)
+        .op(Op::PushI(4))
+        .op(Op::FCall(FCallId::MpSend));
+    buf(&mut f, 16 * 1024);
+    f.op(Op::PushI(1))
+        .op(Op::Load(0))
+        .op(Op::Sub)
+        .op(Op::PushI(4))
+        .op(Op::FCall(FCallId::MpRecv))
+        .op(Op::Ret);
+    let mut m = Module::new();
+    m.add(f.build());
+    CorpusEntry {
+        name: "seeded-head-to-head-deadlock",
+        module: m,
+        registry: registry(),
+        config: cfg(2),
+    }
+}

@@ -18,6 +18,7 @@
 //! the design-choice ablations listed in DESIGN.md.
 
 pub mod apps;
+pub mod ilcorpus;
 pub mod protocol;
 pub mod series;
 pub mod workloads;

@@ -37,7 +37,7 @@ use parking_lot::{Condvar, Mutex};
 
 /// The GC-bridge pairs merged into a rank's snapshot (the VM's GC
 /// counters live in `GcStats`, not in a `MetricsRegistry`).
-pub(crate) fn gc_bridge_pairs(gc: &GcStatsSnapshot) -> [(Metric, u64); 14] {
+pub(crate) fn gc_bridge_pairs(gc: &GcStatsSnapshot) -> [(Metric, u64); 15] {
     [
         (Metric::GcMinorCollections, gc.minor_collections),
         (Metric::GcFullCollections, gc.full_collections),
@@ -56,6 +56,7 @@ pub(crate) fn gc_bridge_pairs(gc: &GcStatsSnapshot) -> [(Metric, u64); 14] {
         ),
         (Metric::GcObjectsSwept, gc.objects_swept),
         (Metric::GcBytesSwept, gc.bytes_swept),
+        (Metric::GcPinChecksElided, gc.pin_checks_elided),
     ]
 }
 

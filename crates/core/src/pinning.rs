@@ -31,6 +31,7 @@ use std::sync::Arc;
 
 use motor_mpc::Request;
 use motor_runtime::stats::GcStats;
+use motor_runtime::types::ClassId;
 use motor_runtime::{Handle, MotorThread, PinToken};
 
 /// Which pinning behaviour to apply.
@@ -116,6 +117,21 @@ pub fn pin_for_nonblocking(
     }
 }
 
+/// Install never-transported escape proofs (motor-analyze's per-class
+/// bits) into the thread's VM, letting the minor collector skip its
+/// pinned-set membership check for those classes entirely.
+///
+/// Complements the policy above: [`pin_for_polling_wait`] and friends
+/// avoid *creating* unnecessary pins; the proof removes the per-object
+/// *lookup* for classes that can never be transport buffers. The bits
+/// must come from a sound whole-program analysis — an embedder that
+/// pins objects of a proven class by hand (via [`MotorThread::pin`])
+/// invalidates the proof. Installation intersects with any earlier
+/// proof; see [`motor_runtime::Vm::install_never_transported`].
+pub fn install_never_transported(thread: &MotorThread, classes: &[ClassId]) {
+    thread.vm().install_never_transported(classes);
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -189,6 +205,27 @@ mod tests {
         req.complete();
         t.collect_minor();
         assert!(vm.stats_snapshot().conditional_pins_released >= 1);
+    }
+
+    #[test]
+    fn never_transported_proof_elides_pin_checks() {
+        let (vm, t) = setup();
+        let quiet = vm
+            .registry_mut()
+            .define_class("Quiet")
+            .prim("x", ElemKind::I64)
+            .build();
+        let h = t.alloc_instance(quiet);
+        assert_eq!(vm.stats_snapshot().pin_checks_elided, 0);
+        install_never_transported(&t, &[quiet]);
+        t.collect_minor();
+        assert!(vm.stats_snapshot().pin_checks_elided >= 1);
+        // Clearing the proof restores the conservative path.
+        let before = vm.stats_snapshot().pin_checks_elided;
+        vm.clear_never_transported();
+        t.collect_minor();
+        assert_eq!(vm.stats_snapshot().pin_checks_elided, before);
+        let _ = h;
     }
 
     #[test]

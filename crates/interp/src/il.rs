@@ -12,8 +12,14 @@ use motor_runtime::{ClassId, ElemKind};
 /// The typed verifier ([`crate::verify`]) checks every call site and
 /// `Ret` against these declarations and seeds argument locals from them.
 /// Requests ([`Op::FCall`] with [`FCallId::MpIsend`]/[`FCallId::MpIrecv`])
-/// are deliberately absent: a request is function-local and must be
-/// consumed by `MpWait` before the function exits.
+/// may cross call boundaries only through an explicit [`TyDesc::Req`]
+/// declaration: the callee inherits the linearity obligation for a `Req`
+/// parameter, and a `Req` return hands the live request back to the
+/// caller. Within each function the verifier still enforces that every
+/// request is consumed (waited, passed on, or returned) on all paths;
+/// the whole-program `motor-analyze` lint proves the obligation is
+/// discharged globally (no entry point takes or returns a request, no
+/// call cycle hands one around forever).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TyDesc {
     /// 64-bit integer.
@@ -26,6 +32,8 @@ pub enum TyDesc {
     Arr(ElemKind),
     /// One-dimensional object array of the class (nullable).
     ObjArr(ClassId),
+    /// An in-flight message-passing request (linear; never nullable).
+    Req,
 }
 
 /// Message-passing intrinsics callable from IL via [`Op::FCall`].

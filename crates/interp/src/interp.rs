@@ -156,7 +156,16 @@ impl Arena {
 
 impl<'t, 'm> Interp<'t, 'm> {
     /// Create an interpreter over a verified module (the default path).
+    ///
+    /// If the module carries never-transported escape proofs (set by the
+    /// motor-analyze pipeline; plain [`VerifiedModule::verify`] leaves
+    /// them empty), they are installed into the thread's VM here so the
+    /// minor collector can elide pinned-set checks for proven classes.
     pub fn new(thread: &'t MotorThread, verified: &'m VerifiedModule) -> Self {
+        let proven = verified.never_transported();
+        if !proven.is_empty() {
+            thread.vm().install_never_transported(proven);
+        }
         Interp {
             thread,
             module: verified.module(),

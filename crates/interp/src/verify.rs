@@ -16,10 +16,15 @@
 //!   merges must join to a single type;
 //! * **request type-state** — message-passing requests produced by
 //!   `MpIsend`/`MpIrecv` are *linear*: they may not be duplicated or
-//!   discarded, may not cross function boundaries, and must reach an
-//!   `MpWait` on every control-flow path before the function exits.
-//!   This is the static guarantee backing the GC's lazy-unpin contract
-//!   (paper §4.3): no pinned transport buffer can leak past its window.
+//!   discarded, and must be consumed on every control-flow path before
+//!   the function exits — by `MpWait`, by being passed to a callee whose
+//!   parameter is declared [`TyDesc::Req`], or by being returned from a
+//!   function whose return is declared [`TyDesc::Req`]. The per-function
+//!   rule composes: every caller of a `Req`-returning function inherits
+//!   the obligation, and the whole-program `motor-analyze` lint closes
+//!   the loop at module entry points. This is the static guarantee
+//!   backing the GC's lazy-unpin contract (paper §4.3): no pinned
+//!   transport buffer can leak past its window.
 //!
 //! Verification produces a [`VerifiedModule`] carrying per-instruction
 //! side tables ([`FuncMeta`]): the statically resolved field/element kind
@@ -53,12 +58,20 @@ pub enum StackTy {
     ObjArr(ClassId),
     /// An in-flight message-passing request created at instruction
     /// `origin`. Linear: never duplicated, never dropped, consumed by
-    /// `MpWait`.
+    /// `MpWait`, by a `Req`-typed call argument, or by a `Req`-typed
+    /// return.
     Req {
-        /// Instruction index of the `MpIsend`/`MpIrecv` that created it.
+        /// Instruction index of the `MpIsend`/`MpIrecv` that created it,
+        /// or [`REQ_PARAM_ORIGIN_BASE`]` + i` for a request received as
+        /// parameter `i`.
         origin: u32,
     },
 }
+
+/// Origins at or above this base denote a request received as a function
+/// parameter (`origin - REQ_PARAM_ORIGIN_BASE` = the parameter index)
+/// rather than one created by an `MpIsend`/`MpIrecv` in this body.
+pub const REQ_PARAM_ORIGIN_BASE: u32 = 0xFFFF_0000;
 
 impl std::fmt::Display for StackTy {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -69,6 +82,9 @@ impl std::fmt::Display for StackTy {
             StackTy::Ref(c) => write!(f, "ref(class {})", c.0),
             StackTy::Arr(k) => write!(f, "{k:?}[]"),
             StackTy::ObjArr(c) => write!(f, "ref(class {})[]", c.0),
+            StackTy::Req { origin } if *origin >= REQ_PARAM_ORIGIN_BASE => {
+                write!(f, "request(param {})", origin - REQ_PARAM_ORIGIN_BASE)
+            }
             StackTy::Req { origin } => write!(f, "request(from pc {origin})"),
         }
     }
@@ -157,10 +173,20 @@ impl std::fmt::Display for VerifyError {
             VerifyError::MergeConflict { func, at, what } => {
                 write!(f, "{func}@{at}: merge conflict: {what}")
             }
-            VerifyError::RequestLeak { func, at, origin } => write!(
-                f,
-                "{func}@{at}: request created at pc {origin} is never waited on this path"
-            ),
+            VerifyError::RequestLeak { func, at, origin } => {
+                if *origin >= REQ_PARAM_ORIGIN_BASE as usize {
+                    write!(
+                        f,
+                        "{func}@{at}: request received as parameter {} is never consumed on this path",
+                        origin - REQ_PARAM_ORIGIN_BASE as usize
+                    )
+                } else {
+                    write!(
+                        f,
+                        "{func}@{at}: request created at pc {origin} is never waited on this path"
+                    )
+                }
+            }
             VerifyError::BadSignature { func, what } => write!(f, "{func}: bad signature: {what}"),
         }
     }
@@ -200,6 +226,7 @@ pub struct VerifiedModule {
     module: Module,
     meta: Vec<FuncMeta>,
     transport_proof: bool,
+    never_transported: Vec<ClassId>,
 }
 
 impl VerifiedModule {
@@ -211,6 +238,7 @@ impl VerifiedModule {
             module,
             meta,
             transport_proof: false,
+            never_transported: Vec::new(),
         })
     }
 
@@ -237,6 +265,26 @@ impl VerifiedModule {
     /// guarantee for raw transports.
     pub fn grant_transport_proof(&mut self) {
         self.transport_proof = true;
+    }
+
+    /// Classes the `motor-analyze` escape pass proved can never flow to a
+    /// transport `FCall` in this module (empty when the pass has not
+    /// run). Instances of these classes can never be pinned by the
+    /// message-passing layer, so the GC may skip its per-object
+    /// pinned-set check for them ([`Interp::new`] installs the bits into
+    /// the VM).
+    ///
+    /// [`Interp::new`]: crate::interp::Interp::new
+    pub fn never_transported(&self) -> &[ClassId] {
+        &self.never_transported
+    }
+
+    /// Record the escape-proof result. Called by `motor-analyze::load`;
+    /// the bits assert that *no* instance of these classes is ever used
+    /// as a transport buffer (and hence never pinned), so setting them
+    /// without running the pass forfeits GC soundness for pinned buffers.
+    pub fn set_never_transported(&mut self, classes: Vec<ClassId>) {
+        self.never_transported = classes;
     }
 
     /// Unwrap the module (dropping the proofs).
@@ -278,17 +326,24 @@ fn matches_decl(ty: StackTy, d: TyDesc) -> bool {
         (StackTy::Ref(a), TyDesc::Ref(b)) => a == b,
         (StackTy::Arr(a), TyDesc::Arr(b)) => a == b,
         (StackTy::ObjArr(a), TyDesc::ObjArr(b)) => a == b,
+        // A live request satisfies (and is consumed by) a Req declaration;
+        // Null never does — requests are not nullable.
+        (StackTy::Req { .. }, TyDesc::Req) => true,
         _ => false,
     }
 }
 
-fn decl_to_ty(d: TyDesc) -> StackTy {
+/// `origin` is used only for `Req` declarations: the parameter encoding
+/// ([`REQ_PARAM_ORIGIN_BASE`]` + i`) when seeding argument locals, the
+/// call-site pc when typing a `Req`-returning `Op::Call`.
+fn decl_to_ty(d: TyDesc, origin: u32) -> StackTy {
     match d {
         TyDesc::I64 => StackTy::Int,
         TyDesc::F64 => StackTy::Float,
         TyDesc::Ref(c) => StackTy::Ref(c),
         TyDesc::Arr(k) => StackTy::Arr(k),
         TyDesc::ObjArr(c) => StackTy::ObjArr(c),
+        TyDesc::Req => StackTy::Req { origin },
     }
 }
 
@@ -651,7 +706,9 @@ impl Verifier<'_> {
                     }
                 }
                 if let Some(r) = callee.ret {
-                    st.stack.push(decl_to_ty(r));
+                    // A Req return materializes a live request at this
+                    // call site: the caller now owns the obligation.
+                    st.stack.push(decl_to_ty(r, pc as u32));
                 }
             }
             Op::Ret => {
@@ -1009,7 +1066,7 @@ fn check_signature(f: &Function, reg: &TypeRegistry) -> Result<(), VerifyError> 
                     return Err(bad(format!("declaration names unknown class {}", c.0)));
                 }
             }
-            TyDesc::I64 | TyDesc::F64 | TyDesc::Arr(_) => {}
+            TyDesc::I64 | TyDesc::F64 | TyDesc::Arr(_) | TyDesc::Req => {}
         }
     }
     Ok(())
@@ -1062,7 +1119,8 @@ fn verify_function(
     let mut locals: Vec<LocalTy> = f
         .params
         .iter()
-        .map(|&d| LocalTy::Val(decl_to_ty(d)))
+        .enumerate()
+        .map(|(i, &d)| LocalTy::Val(decl_to_ty(d, REQ_PARAM_ORIGIN_BASE + i as u32)))
         .collect();
     // Non-argument locals are zero-initialized integers in the
     // interpreter.
@@ -1371,6 +1429,125 @@ mod tests {
             .op(Op::FCall(FCallId::MpWait))
             .op(Op::Ret);
         assert_eq!(verify_module(&module_of(f.build()), &empty_reg()), Ok(()));
+    }
+
+    #[test]
+    fn request_may_be_passed_to_a_req_typed_callee() {
+        // finish(req) { wait(req) }  — callee owns the obligation.
+        let mut m = Module::new();
+        let mut finish = FnBuilder::new("finish", 1, 1, false);
+        finish.params(&[TyDesc::Req]);
+        finish
+            .op(Op::Load(0))
+            .op(Op::FCall(FCallId::MpWait))
+            .op(Op::Ret);
+        m.add(finish.build());
+        let mut main = FnBuilder::new("main", 0, 0, false);
+        main.op(Op::PushNull)
+            .op(Op::PushI(0))
+            .op(Op::PushI(0))
+            .op(Op::FCall(FCallId::MpIsend))
+            .op(Op::Call(0))
+            .op(Op::Ret);
+        m.add(main.build());
+        assert_eq!(verify_module(&m, &empty_reg()), Ok(()));
+    }
+
+    #[test]
+    fn request_may_be_returned_when_declared() {
+        // start() -> Req { return isend(...) } ; main waits it.
+        let mut m = Module::new();
+        let mut start = FnBuilder::new("start", 0, 0, true);
+        start.ret_ty(TyDesc::Req);
+        start
+            .op(Op::PushNull)
+            .op(Op::PushI(0))
+            .op(Op::PushI(0))
+            .op(Op::FCall(FCallId::MpIrecv))
+            .op(Op::Ret);
+        m.add(start.build());
+        let mut main = FnBuilder::new("main", 0, 0, false);
+        main.op(Op::Call(0))
+            .op(Op::FCall(FCallId::MpWait))
+            .op(Op::Ret);
+        m.add(main.build());
+        assert_eq!(verify_module(&m, &empty_reg()), Ok(()));
+    }
+
+    #[test]
+    fn req_param_must_be_consumed_by_the_callee() {
+        // sink(req) { ret } — drops the parameter request.
+        let mut f = FnBuilder::new("sink", 1, 1, false);
+        f.params(&[TyDesc::Req]);
+        f.op(Op::Ret);
+        let r = verify_module(&module_of(f.build()), &empty_reg());
+        match r {
+            Err(VerifyError::RequestLeak { origin, .. }) => {
+                assert_eq!(origin, REQ_PARAM_ORIGIN_BASE as usize);
+            }
+            other => panic!("expected a parameter-request leak, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn returned_request_binds_the_caller() {
+        // main calls a Req-returning function and pops the result: leak.
+        let mut m = Module::new();
+        let mut start = FnBuilder::new("start", 0, 0, true);
+        start.ret_ty(TyDesc::Req);
+        start
+            .op(Op::PushNull)
+            .op(Op::PushI(0))
+            .op(Op::PushI(0))
+            .op(Op::FCall(FCallId::MpIsend))
+            .op(Op::Ret);
+        m.add(start.build());
+        let mut main = FnBuilder::new("main", 0, 0, false);
+        main.op(Op::Call(0)).op(Op::Pop).op(Op::Ret);
+        m.add(main.build());
+        assert!(matches!(
+            verify_module(&m, &empty_reg()),
+            Err(VerifyError::RequestLeak { .. })
+        ));
+    }
+
+    #[test]
+    fn request_cannot_be_passed_as_non_req_argument() {
+        let mut m = Module::new();
+        let mut callee = FnBuilder::new("int_arg", 1, 1, false);
+        callee.op(Op::Ret);
+        m.add(callee.build());
+        let mut main = FnBuilder::new("main", 0, 0, false);
+        main.op(Op::PushNull)
+            .op(Op::PushI(0))
+            .op(Op::PushI(0))
+            .op(Op::FCall(FCallId::MpIrecv))
+            .op(Op::Call(0))
+            .op(Op::Ret);
+        m.add(main.build());
+        assert!(matches!(
+            verify_module(&m, &empty_reg()),
+            Err(VerifyError::TypeError { .. })
+        ));
+    }
+
+    #[test]
+    fn null_does_not_satisfy_a_req_declaration() {
+        let mut m = Module::new();
+        let mut finish = FnBuilder::new("finish", 1, 1, false);
+        finish.params(&[TyDesc::Req]);
+        finish
+            .op(Op::Load(0))
+            .op(Op::FCall(FCallId::MpWait))
+            .op(Op::Ret);
+        m.add(finish.build());
+        let mut main = FnBuilder::new("main", 0, 0, false);
+        main.op(Op::PushNull).op(Op::Call(0)).op(Op::Ret);
+        m.add(main.build());
+        assert!(matches!(
+            verify_module(&m, &empty_reg()),
+            Err(VerifyError::TypeError { .. })
+        ));
     }
 
     #[test]

@@ -213,6 +213,12 @@ define_metrics! {
     /// Interpreter-state samples taken by the profiler thread.
     ProfSamples => "prof_samples",
 
+    // ---- static analysis (motor-analyze lint) ----
+    /// Definite communication errors reported by the lint passes.
+    LintDefinite => "lint_definite",
+    /// Possible (imprecision-qualified) lint diagnostics reported.
+    LintPossible => "lint_possible",
+
     // ---- GC bridge (copied from GcStats at snapshot time) ----
     /// Minor collections.
     GcMinorCollections => "gc_minor_collections",
@@ -242,6 +248,8 @@ define_metrics! {
     GcObjectsSwept => "gc_objects_swept",
     /// Bytes swept.
     GcBytesSwept => "gc_bytes_swept",
+    /// Pinned-set membership checks elided via never-transported proofs.
+    GcPinChecksElided => "gc_pin_checks_elided",
 }
 
 impl Metric {

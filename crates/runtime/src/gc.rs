@@ -46,6 +46,11 @@ pub struct CollectCtx<'a> {
     pub registry: &'a TypeRegistry,
     /// Counters.
     pub stats: &'a GcStats,
+    /// Per-class never-transported proof bits (indexed by `ClassId`),
+    /// when the static-analysis escape pass installed one. A proven
+    /// class's instances can never be transport buffers, so the minor
+    /// collector skips the pinned-set membership check for them.
+    pub never_transported: Option<&'a [bool]>,
 }
 
 /// Copy-evacuation machinery for a minor collection.
@@ -56,6 +61,8 @@ struct Evacuator<'a> {
     /// and in-place pinned young objects).
     scan: Vec<usize>,
     stats: &'a GcStats,
+    /// Never-transported proof bits (see [`CollectCtx::never_transported`]).
+    never_transported: Option<&'a [bool]>,
 }
 
 impl Evacuator<'_> {
@@ -70,7 +77,21 @@ impl Evacuator<'_> {
             if let Some(f) = obj.forwarded() {
                 return f.0;
             }
-            if self.pinned_young.contains(&addr) {
+            // Escape-proof fast path: a never-transported class's
+            // instances can never be pinned, so the membership probe is
+            // skipped outright (counted, so the ablation can measure the
+            // proof's coverage).
+            let proven_unpinned = self
+                .never_transported
+                .and_then(|bits| bits.get(obj.header().mt as usize).copied())
+                .unwrap_or(false);
+            if proven_unpinned {
+                GcStats::bump(&self.stats.pin_checks_elided);
+                debug_assert!(
+                    !self.pinned_young.contains(&addr),
+                    "object of a never-transported class found in the pinned set"
+                );
+            } else if self.pinned_young.contains(&addr) {
                 // Pinned: stays in place; the block promotion keeps the
                 // address valid. Mark to dedupe the scan.
                 let h = obj.header_mut();
@@ -131,6 +152,7 @@ pub fn minor(ctx: &mut CollectCtx<'_>) {
         pinned_young: &pinned_young,
         scan: Vec::new(),
         stats: ctx.stats,
+        never_transported: ctx.never_transported,
     };
 
     // Roots 1: pins themselves (the transport is using these buffers).

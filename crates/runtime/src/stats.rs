@@ -44,6 +44,11 @@ pub struct GcStats {
     pub objects_swept: AtomicU64,
     /// Bytes reclaimed by full collections.
     pub bytes_swept: AtomicU64,
+    /// Young-object pinned-set membership checks skipped by the minor
+    /// collector because the object's class carries a never-transported
+    /// proof (motor-analyze escape pass): such objects can never be
+    /// transport buffers, hence never pinned.
+    pub pin_checks_elided: AtomicU64,
 }
 
 impl GcStats {
@@ -87,6 +92,7 @@ impl GcStats {
             pins_avoided_fast_blocking: Self::get(&self.pins_avoided_fast_blocking),
             objects_swept: Self::get(&self.objects_swept),
             bytes_swept: Self::get(&self.bytes_swept),
+            pin_checks_elided: Self::get(&self.pin_checks_elided),
         }
     }
 }
@@ -108,6 +114,7 @@ pub struct GcStatsSnapshot {
     pub pins_avoided_fast_blocking: u64,
     pub objects_swept: u64,
     pub bytes_swept: u64,
+    pub pin_checks_elided: u64,
 }
 
 impl GcStatsSnapshot {

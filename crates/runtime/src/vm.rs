@@ -17,7 +17,7 @@ use crate::heap::{AllocPressure, Heap, HeapConfig};
 use crate::pin::PinTable;
 use crate::safepoint::Safepoint;
 use crate::stats::{GcStats, GcStatsSnapshot};
-use crate::types::TypeRegistry;
+use crate::types::{ClassId, TypeRegistry};
 
 /// VM construction parameters.
 #[derive(Debug, Clone, Default)]
@@ -52,6 +52,10 @@ pub struct Vm {
     safepoint: Safepoint,
     stats: GcStats,
     metrics: Arc<MetricsRegistry>,
+    /// Per-class never-transported proof bits (indexed by `ClassId`),
+    /// installed by the static-analysis escape pass. `None` until a
+    /// proof is installed; see [`Vm::install_never_transported`].
+    never_transported: RwLock<Option<Vec<bool>>>,
 }
 
 impl Vm {
@@ -79,6 +83,7 @@ impl Vm {
             safepoint,
             stats: GcStats::new(),
             metrics,
+            never_transported: RwLock::new(None),
         })
     }
 
@@ -118,6 +123,52 @@ impl Vm {
         &self.safepoint
     }
 
+    /// Install a never-transported class proof (the static-analysis
+    /// escape pass's per-class bits). The proof asserts that no instance
+    /// of these classes is ever handed to the transport layer — hence
+    /// never pinned — letting the minor collector skip its per-object
+    /// pinned-set membership check for them.
+    ///
+    /// Installing is *intersecting*: when several verified modules run on
+    /// one VM, a class stays proven only if **every** installed proof
+    /// covers it, so a second module that does transport a class revokes
+    /// the first module's bit. The proof also covers host-side behaviour:
+    /// an embedder that pins objects directly (`MotorThread::pin`) must
+    /// not install proofs for those classes.
+    pub fn install_never_transported(&self, classes: &[ClassId]) {
+        let reg_len = self.registry.read().len();
+        let mut guard = self.never_transported.write();
+        let mut incoming = vec![false; reg_len];
+        for c in classes {
+            if let Some(slot) = incoming.get_mut(c.0 as usize) {
+                *slot = true;
+            }
+        }
+        match &mut *guard {
+            Some(bits) => {
+                // Intersect with the existing proof; classes defined after
+                // the first install default to unproven on both sides.
+                bits.resize(reg_len.max(bits.len()), false);
+                for (i, slot) in bits.iter_mut().enumerate() {
+                    *slot = *slot && incoming.get(i).copied().unwrap_or(false);
+                }
+            }
+            None => *guard = Some(incoming),
+        }
+    }
+
+    /// Drop any installed never-transported proof, restoring the
+    /// conservative default (every young object checked against the
+    /// pinned set).
+    pub fn clear_never_transported(&self) {
+        *self.never_transported.write() = None;
+    }
+
+    /// Copy of the installed never-transported bits (`None` = no proof).
+    pub fn never_transported_bits(&self) -> Option<Vec<bool>> {
+        self.never_transported.read().clone()
+    }
+
     /// Pin-table diagnostics for the doctor watchdog:
     /// `(hard_pins, conditional_pins, oldest_hard_pin_age)`. Takes the
     /// state lock briefly; safe to call from a monitor thread.
@@ -142,6 +193,7 @@ impl Vm {
     pub(crate) fn collect_exclusive(&self, kind: AllocPressure) {
         let mut st = self.state.lock();
         let reg = self.registry.read();
+        let nt = self.never_transported.read();
         let VmState {
             heap,
             handles,
@@ -155,6 +207,7 @@ impl Vm {
             remset,
             registry: &reg,
             stats: &self.stats,
+            never_transported: nt.as_deref(),
         };
         let full = matches!(kind, AllocPressure::NeedsFull);
         let t0 = std::time::Instant::now();
@@ -187,6 +240,35 @@ mod tests {
         let vm = Vm::with_defaults();
         assert_eq!(vm.stats_snapshot().minor_collections, 0);
         assert!(vm.registry().is_empty());
+    }
+
+    #[test]
+    fn never_transported_proofs_intersect_across_installs() {
+        let vm = Vm::with_defaults();
+        let a = vm
+            .registry_mut()
+            .define_class("A")
+            .prim("x", crate::types::ElemKind::I64)
+            .build();
+        let b = vm
+            .registry_mut()
+            .define_class("B")
+            .prim("x", crate::types::ElemKind::I64)
+            .build();
+        assert_eq!(vm.never_transported_bits(), None);
+
+        vm.install_never_transported(&[a, b]);
+        let bits = vm.never_transported_bits().unwrap();
+        assert!(bits[a.0 as usize] && bits[b.0 as usize]);
+
+        // A second module proving only `a` revokes `b`'s bit.
+        vm.install_never_transported(&[a]);
+        let bits = vm.never_transported_bits().unwrap();
+        assert!(bits[a.0 as usize]);
+        assert!(!bits[b.0 as usize]);
+
+        vm.clear_never_transported();
+        assert_eq!(vm.never_transported_bits(), None);
     }
 
     #[test]

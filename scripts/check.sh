@@ -26,6 +26,14 @@ echo "==> interpreter builds with profiling compiled out"
 # configuration the zero-cost claim is about.
 cargo check -q -p motor-interp
 
+echo "==> whole-program IL lint gate (motor-analyze lint)"
+# motor-lint over the in-tree IL corpus: every module must come back
+# with zero definite diagnostics (cross-rank match checking, request
+# linearity, escape proofs), and the demo must still diagnose its
+# seeded deadlock — exit 1 on either regression.
+cargo run -q -p motor-bench --bin motor-analyze -- lint
+cargo run -q -p motor-bench --bin motor-analyze -- demo > /dev/null
+
 echo "==> sim conformance suite (fixed seed matrix)"
 # Deterministic-simulation gate: the MPI-semantics conformance suite over
 # fault-injecting links, pinned to the frozen seed matrix so a mutation
@@ -84,7 +92,7 @@ echo "==> bench artifact smoke test (apps run --quick + self-gate)"
 # BENCH_<workload>.json each; `apps gate` against itself then proves the
 # artifacts parse and the regression gate accepts an identical run.
 cargo run -q -p motor-bench --bin apps -- run --quick --out "$bench_out"
-for w in cg bfs pipeline ablation_overlap ablation_api ablation_profile; do
+for w in cg bfs pipeline ablation_overlap ablation_api ablation_profile ablation_pins; do
   if [ ! -s "$bench_out/BENCH_$w.json" ]; then
     echo "bench smoke test: missing artifact BENCH_$w.json" >&2
     exit 1

@@ -1,0 +1,485 @@
+//! motor-lint seeded-bug corpus: a table of known-bad IL programs that
+//! the whole-program communication analysis must each catch with an
+//! exact diagnostic code and `func@pc` provenance, plus known-good
+//! programs (including the patterns superficially similar to the bad
+//! ones) that must lint clean.
+
+use motor::analyze::{load_with, LintConfig, LintReport, Severity};
+use motor::interp::il::{FCallId, FnBuilder, Function, Module, Op, TyDesc};
+use motor::runtime::{ElemKind, TypeRegistry};
+
+fn registry() -> TypeRegistry {
+    let mut reg = TypeRegistry::new();
+    reg.prim_array(ElemKind::F64);
+    reg.prim_array(ElemKind::I64);
+    reg
+}
+
+fn module_of(fs: Vec<Function>) -> Module {
+    let mut m = Module::new();
+    for f in fs {
+        m.add(f);
+    }
+    m
+}
+
+fn lint(fs: Vec<Function>, cfg: &LintConfig) -> LintReport {
+    let reg = registry();
+    let (_, report) = load_with(module_of(fs), &reg, cfg).expect("corpus modules verify");
+    report
+}
+
+fn cfg_ranks(n: usize) -> LintConfig {
+    LintConfig {
+        ranks: n,
+        ..LintConfig::default()
+    }
+}
+
+/// Push `len` f64s worth of fresh buffer.
+fn buf(f: &mut FnBuilder, len: i64) {
+    f.op(Op::PushI(len)).op(Op::NewArr(ElemKind::F64));
+}
+
+// -------------------------------------------------------------------
+// Known-bad programs
+// -------------------------------------------------------------------
+
+#[test]
+fn bad_corpus_each_case_caught_with_site() {
+    type Builder = fn() -> (Vec<Function>, LintConfig);
+    // (name, builder, expected severity, expected code, expected site)
+    let cases: Vec<(&str, Builder, Severity, &str, &str)> = vec![
+        (
+            "missing barrier on one branch",
+            || {
+                let mut f = FnBuilder::new("main", 2, 2, false);
+                let done = f.label();
+                f.op(Op::Load(0)).op(Op::PushI(0)).op(Op::CmpEq);
+                f.br_false(done);
+                f.op(Op::FCall(FCallId::MpBarrier));
+                f.bind(done);
+                f.op(Op::Ret);
+                (vec![f.build()], cfg_ranks(4))
+            },
+            Severity::Definite,
+            "collective-not-reached",
+            "main@4",
+        ),
+        (
+            "broadcast root depends on rank parity",
+            || {
+                let mut f = FnBuilder::new("main", 2, 2, false);
+                buf(&mut f, 4);
+                f.op(Op::Load(0))
+                    .op(Op::PushI(2))
+                    .op(Op::Rem)
+                    .op(Op::FCall(FCallId::MpBcast))
+                    .op(Op::Ret);
+                (vec![f.build()], cfg_ranks(4))
+            },
+            Severity::Definite,
+            "root-mismatch",
+            "main@5",
+        ),
+        (
+            "mutual rendezvous sends deadlock",
+            || {
+                // Both ranks send 128 KiB (above the 64 KiB eager
+                // threshold) to each other before either receives.
+                let mut f = FnBuilder::new("main", 2, 2, false);
+                buf(&mut f, 16 * 1024);
+                f.op(Op::PushI(1))
+                    .op(Op::Load(0))
+                    .op(Op::Sub)
+                    .op(Op::PushI(7))
+                    .op(Op::FCall(FCallId::MpSend));
+                buf(&mut f, 16 * 1024);
+                f.op(Op::PushI(1))
+                    .op(Op::Load(0))
+                    .op(Op::Sub)
+                    .op(Op::PushI(7))
+                    .op(Op::FCall(FCallId::MpRecv))
+                    .op(Op::Ret);
+                (vec![f.build()], cfg_ranks(2))
+            },
+            Severity::Definite,
+            "rendezvous-cycle",
+            "main@6",
+        ),
+        (
+            "entry function takes an unproducible request",
+            || {
+                let mut f = FnBuilder::new("finish", 1, 1, false);
+                f.params(&[TyDesc::Req]);
+                f.op(Op::Load(0)).op(Op::FCall(FCallId::MpWait)).op(Op::Ret);
+                (vec![f.build()], cfg_ranks(4))
+            },
+            Severity::Definite,
+            "orphan-request",
+            "finish@0",
+        ),
+        (
+            "entry function returns an unawaited request",
+            || {
+                let mut f = FnBuilder::new("launch", 0, 0, true);
+                f.ret_ty(TyDesc::Req);
+                buf(&mut f, 4);
+                f.op(Op::PushI(0))
+                    .op(Op::PushI(7))
+                    .op(Op::FCall(FCallId::MpIsend))
+                    .op(Op::Ret);
+                (vec![f.build()], cfg_ranks(4))
+            },
+            Severity::Definite,
+            "escaped-request",
+            "launch@0",
+        ),
+        (
+            "request circulates a call cycle without a wait",
+            || {
+                // ping(req) calls pong(req); pong(req) calls ping(req).
+                // Each verifies locally (passing to a Req-typed callee
+                // consumes), but globally the request never completes.
+                let mut ping = FnBuilder::new("ping", 1, 1, false);
+                ping.params(&[TyDesc::Req]);
+                ping.op(Op::Load(0)).op(Op::Call(1)).op(Op::Ret);
+                let mut pong = FnBuilder::new("pong", 1, 1, false);
+                pong.params(&[TyDesc::Req]);
+                pong.op(Op::Load(0)).op(Op::Call(0)).op(Op::Ret);
+                (vec![ping.build(), pong.build()], cfg_ranks(4))
+            },
+            Severity::Definite,
+            "request-cycle",
+            "ping@0",
+        ),
+        (
+            "send targets a rank outside the communicator",
+            || {
+                let mut f = FnBuilder::new("main", 2, 2, false);
+                buf(&mut f, 4);
+                f.op(Op::PushI(9))
+                    .op(Op::PushI(7))
+                    .op(Op::FCall(FCallId::MpSend))
+                    .op(Op::Ret);
+                (vec![f.build()], cfg_ranks(4))
+            },
+            Severity::Definite,
+            "peer-range",
+            "main@4",
+        ),
+        (
+            "broadcast root outside the communicator",
+            || {
+                let mut f = FnBuilder::new("main", 2, 2, false);
+                buf(&mut f, 4);
+                f.op(Op::PushI(7))
+                    .op(Op::FCall(FCallId::MpBcast))
+                    .op(Op::Ret);
+                (vec![f.build()], cfg_ranks(4))
+            },
+            Severity::Definite,
+            "peer-range",
+            "main@3",
+        ),
+        (
+            "receive tag never sent",
+            || {
+                // Rank 0 sends tag 1; rank 1 receives tag 2: deadlock.
+                let mut f = FnBuilder::new("main", 2, 2, false);
+                let recv = f.label();
+                let done = f.label();
+                f.op(Op::Load(0)).op(Op::PushI(0)).op(Op::CmpEq);
+                f.br_false(recv);
+                buf(&mut f, 4);
+                f.op(Op::PushI(1))
+                    .op(Op::PushI(1))
+                    .op(Op::FCall(FCallId::MpSend));
+                f.br(done);
+                f.bind(recv);
+                buf(&mut f, 4);
+                f.op(Op::PushI(0))
+                    .op(Op::PushI(2))
+                    .op(Op::FCall(FCallId::MpRecv));
+                f.bind(done);
+                f.op(Op::Ret);
+                (vec![f.build()], cfg_ranks(2))
+            },
+            Severity::Definite,
+            "unmatched-recv",
+            "main@14",
+        ),
+        (
+            "barrier on one rank meets broadcast on the others",
+            || {
+                let mut f = FnBuilder::new("main", 2, 2, false);
+                let bcast = f.label();
+                let done = f.label();
+                f.op(Op::Load(0)).op(Op::PushI(0)).op(Op::CmpEq);
+                f.br_false(bcast);
+                f.op(Op::FCall(FCallId::MpBarrier));
+                f.br(done);
+                f.bind(bcast);
+                buf(&mut f, 4);
+                f.op(Op::PushI(0)).op(Op::FCall(FCallId::MpBcast));
+                f.bind(done);
+                f.op(Op::Ret);
+                (vec![f.build()], cfg_ranks(4))
+            },
+            Severity::Definite,
+            "collective-mismatch",
+            "main@4",
+        ),
+        (
+            "waited irecv that no rank ever sends to",
+            || {
+                let mut f = FnBuilder::new("main", 2, 2, false);
+                buf(&mut f, 4);
+                f.op(Op::PushI(1))
+                    .op(Op::Load(0))
+                    .op(Op::Sub)
+                    .op(Op::PushI(7))
+                    .op(Op::FCall(FCallId::MpIrecv))
+                    .op(Op::FCall(FCallId::MpWait))
+                    .op(Op::Ret);
+                (vec![f.build()], cfg_ranks(2))
+            },
+            Severity::Definite,
+            "unmatched-wait",
+            "main@7",
+        ),
+        (
+            "wildcard receive with competing senders",
+            || {
+                // Ranks 1 and 2 both send tag 7 to rank 0, which
+                // receives twice from any-source.
+                let mut f = FnBuilder::new("main", 2, 2, false);
+                let workers = f.label();
+                let done = f.label();
+                f.op(Op::Load(0)).op(Op::PushI(0)).op(Op::CmpEq);
+                f.br_false(workers);
+                buf(&mut f, 4);
+                f.op(Op::PushI(-1))
+                    .op(Op::PushI(7))
+                    .op(Op::FCall(FCallId::MpRecv));
+                buf(&mut f, 4);
+                f.op(Op::PushI(-1))
+                    .op(Op::PushI(7))
+                    .op(Op::FCall(FCallId::MpRecv));
+                f.br(done);
+                f.bind(workers);
+                f.op(Op::Load(0)).op(Op::PushI(3)).op(Op::CmpEq);
+                f.br_true(done);
+                buf(&mut f, 4);
+                f.op(Op::PushI(0))
+                    .op(Op::PushI(7))
+                    .op(Op::FCall(FCallId::MpSend));
+                f.bind(done);
+                f.op(Op::Ret);
+                (vec![f.build()], cfg_ranks(4))
+            },
+            Severity::Possible,
+            "wildcard-race",
+            "main@8",
+        ),
+        (
+            "eager send no rank ever receives",
+            || {
+                let mut f = FnBuilder::new("main", 2, 2, false);
+                let done = f.label();
+                f.op(Op::Load(0)).op(Op::PushI(1)).op(Op::CmpEq);
+                f.br_false(done);
+                buf(&mut f, 4);
+                f.op(Op::PushI(0))
+                    .op(Op::PushI(9))
+                    .op(Op::FCall(FCallId::MpSend));
+                f.bind(done);
+                f.op(Op::Ret);
+                (vec![f.build()], cfg_ranks(4))
+            },
+            Severity::Possible,
+            "unmatched-send",
+            "main@8",
+        ),
+    ];
+
+    for (name, build, severity, code, site) in cases {
+        let (fs, cfg) = build();
+        let report = lint(fs, &cfg);
+        let hit = report
+            .diagnostics
+            .iter()
+            .find(|d| d.code == code && d.site() == site);
+        assert!(
+            hit.is_some(),
+            "case `{name}`: expected {code} at {site}, got {:?}",
+            report.diagnostics
+        );
+        assert_eq!(
+            hit.expect("checked").severity,
+            severity,
+            "case `{name}` severity"
+        );
+    }
+}
+
+// -------------------------------------------------------------------
+// Known-good programs
+// -------------------------------------------------------------------
+
+#[test]
+fn good_corpus_lints_clean() {
+    type Builder = fn() -> (Vec<Function>, LintConfig);
+    let cases: Vec<(&str, Builder)> = vec![
+        ("eager ring pass", || {
+            // send to (rank+1) % size, receive from (rank-1+size) % size.
+            let mut f = FnBuilder::new("main", 2, 2, false);
+            buf(&mut f, 4);
+            f.op(Op::Load(0))
+                .op(Op::PushI(1))
+                .op(Op::Add)
+                .op(Op::Load(1))
+                .op(Op::Rem)
+                .op(Op::PushI(7))
+                .op(Op::FCall(FCallId::MpSend));
+            buf(&mut f, 4);
+            f.op(Op::Load(0))
+                .op(Op::PushI(1))
+                .op(Op::Sub)
+                .op(Op::Load(1))
+                .op(Op::Add)
+                .op(Op::Load(1))
+                .op(Op::Rem)
+                .op(Op::PushI(7))
+                .op(Op::FCall(FCallId::MpRecv))
+                .op(Op::Ret);
+            (vec![f.build()], cfg_ranks(4))
+        }),
+        ("broadcast then barrier", || {
+            let mut f = FnBuilder::new("main", 2, 2, false);
+            buf(&mut f, 4);
+            f.op(Op::PushI(0))
+                .op(Op::FCall(FCallId::MpBcast))
+                .op(Op::FCall(FCallId::MpBarrier))
+                .op(Op::Ret);
+            (vec![f.build()], cfg_ranks(4))
+        }),
+        ("master gathers from each worker in a counted loop", || {
+            let mut f = FnBuilder::new("main", 2, 3, false);
+            let send = f.label();
+            let top = f.label();
+            let done = f.label();
+            f.op(Op::Load(0)).op(Op::PushI(0)).op(Op::CmpEq);
+            f.br_false(send);
+            f.op(Op::PushI(1)).op(Op::Store(2));
+            f.bind(top);
+            f.op(Op::Load(2)).op(Op::Load(1)).op(Op::CmpLt);
+            f.br_false(done);
+            buf(&mut f, 4);
+            f.op(Op::Load(2))
+                .op(Op::PushI(5))
+                .op(Op::FCall(FCallId::MpRecv));
+            f.op(Op::Load(2))
+                .op(Op::PushI(1))
+                .op(Op::Add)
+                .op(Op::Store(2));
+            f.br(top);
+            f.bind(send);
+            buf(&mut f, 4);
+            f.op(Op::PushI(0))
+                .op(Op::PushI(5))
+                .op(Op::FCall(FCallId::MpSend));
+            f.bind(done);
+            f.op(Op::Ret);
+            (vec![f.build()], cfg_ranks(4))
+        }),
+        ("rendezvous exchange with irecv posted first", || {
+            // The classic correct large-message exchange: post the
+            // irecv, then the (rendezvous) send, then wait.
+            let mut f = FnBuilder::new("main", 2, 3, false);
+            buf(&mut f, 16 * 1024);
+            f.op(Op::PushI(1))
+                .op(Op::Load(0))
+                .op(Op::Sub)
+                .op(Op::PushI(3))
+                .op(Op::FCall(FCallId::MpIrecv))
+                .op(Op::Store(2));
+            buf(&mut f, 16 * 1024);
+            f.op(Op::PushI(1))
+                .op(Op::Load(0))
+                .op(Op::Sub)
+                .op(Op::PushI(3))
+                .op(Op::FCall(FCallId::MpSend));
+            f.op(Op::Load(2)).op(Op::FCall(FCallId::MpWait)).op(Op::Ret);
+            (vec![f.build()], cfg_ranks(2))
+        }),
+        ("isend through a Req-returning helper", || {
+            // main rank-shifts through a helper that posts the
+            // isend and hands the request back; the verifier's
+            // cross-call rule plus the lint prove it completes.
+            let mut main = FnBuilder::new("main", 2, 3, false);
+            main.op(Op::Load(0))
+                .op(Op::PushI(1))
+                .op(Op::Add)
+                .op(Op::Load(1))
+                .op(Op::Rem)
+                .op(Op::PushI(7))
+                .op(Op::Call(1))
+                .op(Op::Store(2));
+            buf(&mut main, 4);
+            main.op(Op::Load(0))
+                .op(Op::PushI(1))
+                .op(Op::Sub)
+                .op(Op::Load(1))
+                .op(Op::Add)
+                .op(Op::Load(1))
+                .op(Op::Rem)
+                .op(Op::PushI(7))
+                .op(Op::FCall(FCallId::MpRecv));
+            main.op(Op::Load(2))
+                .op(Op::FCall(FCallId::MpWait))
+                .op(Op::Ret);
+            let mut post = FnBuilder::new("post", 2, 2, true);
+            post.ret_ty(TyDesc::Req);
+            buf(&mut post, 4);
+            post.op(Op::Load(0))
+                .op(Op::Load(1))
+                .op(Op::FCall(FCallId::MpIsend))
+                .op(Op::Ret);
+            (vec![main.build(), post.build()], cfg_ranks(4))
+        }),
+        ("pairwise exchange below the eager threshold", || {
+            // send-then-recv both ways is safe when both payloads
+            // fit the eager protocol.
+            let mut f = FnBuilder::new("main", 2, 2, false);
+            buf(&mut f, 64);
+            f.op(Op::PushI(1))
+                .op(Op::Load(0))
+                .op(Op::Sub)
+                .op(Op::PushI(7))
+                .op(Op::FCall(FCallId::MpSend));
+            buf(&mut f, 64);
+            f.op(Op::PushI(1))
+                .op(Op::Load(0))
+                .op(Op::Sub)
+                .op(Op::PushI(7))
+                .op(Op::FCall(FCallId::MpRecv))
+                .op(Op::Ret);
+            (vec![f.build()], cfg_ranks(2))
+        }),
+    ];
+
+    for (name, build) in cases {
+        let (fs, cfg) = build();
+        let report = lint(fs, &cfg);
+        assert!(
+            report.comm_checked,
+            "case `{name}`: comm pass should have run"
+        );
+        assert!(
+            report.is_clean(),
+            "case `{name}` should lint clean, got {:?}",
+            report.diagnostics
+        );
+    }
+}
