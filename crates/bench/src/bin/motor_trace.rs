@@ -1,7 +1,9 @@
 //! `motor-trace` — record a cluster trace and inspect exported traces.
 //!
 //! ```text
-//! motor-trace record <out.json> [--ranks N]   run a demo workload, export
+//! motor-trace record <out.json> [--ranks N] [--hold-ms N]
+//!                                             run a demo workload (repeated
+//!                                             until the hold deadline), export
 //!                                             the merged Chrome-trace JSON
 //! motor-trace summary <trace.json>            wait-time breakdown and
 //!                                             critical path of a trace
@@ -47,7 +49,7 @@ fn main() {
         Some("doctor") => doctor(&args[1..]),
         Some("profile") => profile(&args[1..]),
         _ => {
-            eprintln!("usage: motor-trace record <out.json> [--ranks N]");
+            eprintln!("usage: motor-trace record <out.json> [--ranks N] [--hold-ms N]");
             eprintln!("       motor-trace summary <trace.json>");
             eprintln!("       motor-trace doctor <record.json> [--ranks N] [--inject-deadlock]");
             eprintln!("       motor-trace profile <BENCH_workload.json> [--top N]");
@@ -63,6 +65,7 @@ fn record(args: &[String]) -> i32 {
         return 2;
     };
     let mut ranks = 4usize;
+    let mut hold_ms = 0u64;
     let mut it = args[1..].iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -70,6 +73,13 @@ fn record(args: &[String]) -> i32 {
                 Some(n) if n >= 2 => ranks = n,
                 _ => {
                     eprintln!("record: --ranks needs an integer >= 2");
+                    return 2;
+                }
+            },
+            "--hold-ms" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(ms) => hold_ms = ms,
+                None => {
+                    eprintln!("record: --hold-ms needs an integer");
                     return 2;
                 }
             },
@@ -84,7 +94,34 @@ fn record(args: &[String]) -> i32 {
         .ranks(ranks)
         .event_capacity(1 << 14)
         .build();
-    let metrics = match run_cluster(config, define_types, demo_body) {
+    // With --hold-ms the workload repeats until the deadline, so a live
+    // telemetry endpoint (MOTOR_TELEMETRY) has something to watch. Rank 0
+    // owns the clock and tells everyone whether to go again — per-rank
+    // timers could disagree by one iteration and deadlock a collective.
+    let hold = Duration::from_millis(hold_ms);
+    let t0 = std::time::Instant::now();
+    const HOLD_TAG: i32 = 0x484f4c44; // "HOLD"
+    let body = move |proc: &motor_core::MotorProc| {
+        demo_body(proc);
+        let comm = proc.comm();
+        loop {
+            let mut flag = [(comm.rank() == 0 && t0.elapsed() < hold) as u8];
+            if comm.rank() == 0 {
+                for peer in 1..comm.size() {
+                    if comm.send_bytes(&flag, peer, HOLD_TAG).is_err() {
+                        return;
+                    }
+                }
+            } else if comm.recv_bytes(&mut flag, 0, HOLD_TAG).is_err() {
+                return;
+            }
+            if flag[0] == 0 {
+                return;
+            }
+            demo_body(proc);
+        }
+    };
+    let metrics = match run_cluster(config, define_types, body) {
         Ok(m) => m,
         Err(e) => {
             eprintln!("record: cluster run failed: {e:?}");

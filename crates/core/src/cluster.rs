@@ -8,6 +8,7 @@
 //! gets from process boundaries, minus the address-space separation.
 
 use std::sync::Arc;
+use std::time::Duration;
 
 use motor_mpc::universe::{ChannelKind, Proc, Universe, UniverseConfig};
 use motor_mpc::{Comm, Source};
@@ -16,11 +17,12 @@ use motor_runtime::{MotorThread, TypeRegistry, Vm, VmConfig};
 use parking_lot::Mutex;
 
 use crate::bufpool::BufPool;
-use crate::doctor::{DoctorServer, RankTicket};
+use crate::doctor::DoctorServer;
 use crate::error::CoreResult;
 use crate::mp::Mp;
 use crate::oomp::Oomp;
 use crate::pinning::PinPolicy;
+use crate::telemetry::{start_monitor, Collector, RankTicket, TelemetryConfig, TelemetryServer};
 
 /// Configuration of a Motor cluster. Build one with
 /// [`ClusterConfig::builder`] or fill the fields directly.
@@ -37,6 +39,10 @@ pub struct ClusterConfig {
     /// Health watchdog (`motor-doctor`): `None` disables it unless the
     /// `MOTOR_DOCTOR` environment variable asks for one at run time.
     pub doctor: Option<DoctorConfig>,
+    /// Live telemetry endpoint (`/metrics`, `/healthz`, `/flight`,
+    /// `/frames`): `None` disables it unless the `MOTOR_TELEMETRY`
+    /// environment variable asks for one at run time.
+    pub telemetry: Option<TelemetryConfig>,
 }
 
 impl Default for ClusterConfig {
@@ -47,6 +53,7 @@ impl Default for ClusterConfig {
             universe: UniverseConfig::default(),
             policy: PinPolicy::default(),
             doctor: None,
+            telemetry: None,
         }
     }
 }
@@ -134,6 +141,18 @@ impl ClusterConfigBuilder {
         self
     }
 
+    /// Enable the live telemetry endpoint: a monitor thread collects one
+    /// delta frame per tick into a bounded ring, and an in-process HTTP
+    /// listener serves `GET /metrics` (Prometheus text with per-rank
+    /// labels), `/healthz`, `/flight` and `/frames` while the workload
+    /// runs. See [`TelemetryConfig`]; the `MOTOR_TELEMETRY` environment
+    /// variable enables it too (config wins when both are set). Watch it
+    /// with `motor-top`.
+    pub fn telemetry(mut self, cfg: TelemetryConfig) -> Self {
+        self.config.telemetry = Some(cfg);
+        self
+    }
+
     /// Finish building.
     pub fn build(self) -> ClusterConfig {
         self.config
@@ -191,7 +210,11 @@ pub struct MotorProc {
     pool: Arc<BufPool>,
     policy: PinPolicy,
     proc_: Proc,
-    doctor: Option<(Arc<DoctorServer>, RankTicket)>,
+    /// This rank's registration with the shared telemetry collector, when
+    /// monitoring (doctor and/or endpoint) is enabled.
+    monitor: Option<(Arc<Collector>, RankTicket)>,
+    doctor: Option<Arc<DoctorServer>>,
+    telemetry: Option<Arc<TelemetryServer>>,
 }
 
 impl MotorProc {
@@ -250,7 +273,20 @@ impl MotorProc {
     /// The `motor-doctor` watchdog monitoring this rank, if one is
     /// enabled (on-demand flight records, manual scans).
     pub fn doctor(&self) -> Option<&Arc<DoctorServer>> {
-        self.doctor.as_ref().map(|(d, _)| d)
+        self.doctor.as_ref()
+    }
+
+    /// The shared telemetry collector observing this rank, if monitoring
+    /// (doctor and/or endpoint) is enabled.
+    pub fn collector(&self) -> Option<&Arc<Collector>> {
+        self.monitor.as_ref().map(|(c, _)| c)
+    }
+
+    /// The live telemetry endpoint, if one is serving this run (read its
+    /// bound address with [`TelemetryServer::local_addr`] — useful with
+    /// port 0 in tests).
+    pub fn telemetry(&self) -> Option<&Arc<TelemetryServer>> {
+        self.telemetry.as_ref()
     }
 
     /// Merged metrics for this rank: the transport-side registry (channel,
@@ -323,14 +359,52 @@ where
         universe.device.epoch = Some(epoch);
     }
     let policy = config.policy;
-    // A doctor requested explicitly wins; otherwise the MOTOR_DOCTOR
-    // environment variable may enable one at run time.
-    let doctor = config
-        .doctor
-        .clone()
-        .or_else(DoctorConfig::from_env)
-        .map(DoctorServer::new);
-    let watchdog = doctor.as_ref().map(DoctorServer::start);
+    // A doctor/telemetry config requested explicitly wins; otherwise the
+    // MOTOR_DOCTOR / MOTOR_TELEMETRY environment variables may enable
+    // them at run time. The collector (and its monitor thread) exists
+    // only when at least one consumer does — when neither is enabled the
+    // run takes the exact pre-telemetry path.
+    let doctor_cfg = config.doctor.clone().or_else(DoctorConfig::from_env);
+    let telemetry_cfg = config.telemetry.clone().or_else(TelemetryConfig::from_env);
+    let collector = if doctor_cfg.is_some() || telemetry_cfg.is_some() {
+        Some(Collector::new(
+            telemetry_cfg
+                .as_ref()
+                .map_or(motor_obs::DEFAULT_FRAME_CAPACITY, |t| t.frame_capacity),
+        ))
+    } else {
+        None
+    };
+    let doctor = doctor_cfg
+        .map(|cfg| DoctorServer::new(cfg, Arc::clone(collector.as_ref().expect("collector"))));
+    let telemetry = telemetry_cfg.as_ref().and_then(|cfg| {
+        match TelemetryServer::start(
+            cfg,
+            Arc::clone(collector.as_ref().expect("collector")),
+            doctor.clone(),
+        ) {
+            Ok(srv) => Some(srv),
+            Err(e) => {
+                eprintln!(
+                    "motor-telemetry: cannot bind {}: {e}; running without the endpoint",
+                    cfg.addr
+                );
+                None
+            }
+        }
+    });
+    // One monitor loop regardless of how many consumers: tick at the
+    // shortest enabled interval.
+    let monitor = collector.as_ref().map(|c| {
+        let mut interval = Duration::from_secs(3600);
+        if let Some(d) = &doctor {
+            interval = interval.min(d.config().scan_interval);
+        }
+        if let Some(t) = &telemetry_cfg {
+            interval = interval.min(t.interval);
+        }
+        start_monitor(Arc::clone(c), doctor.clone(), interval)
+    });
     let snaps: Mutex<Vec<(usize, MetricsSnapshot)>> = Mutex::new(Vec::with_capacity(n));
     let offsets: Mutex<Vec<(usize, i64)>> = Mutex::new(Vec::with_capacity(n));
     let result = Universe::run_with(n, universe, |proc| {
@@ -343,16 +417,16 @@ where
         let comm = proc.world().clone();
         let pool = Arc::new(BufPool::new());
         pool.attach_metrics(Arc::clone(vm.metrics()));
-        // Register with the watchdog before the calibration handshake so
+        // Register with the collector before the calibration handshake so
         // even a startup deadlock is visible.
-        let ticket = doctor.as_ref().map(|d| {
-            let t = d.register(
+        let ticket = collector.as_ref().map(|c| {
+            let t = c.register(
                 comm.rank(),
                 format!("rank {}", comm.rank()),
                 Arc::clone(comm.device()),
                 Arc::clone(&vm),
             );
-            (Arc::clone(d), t)
+            (Arc::clone(c), t)
         });
         let est = calibrate_clock(&comm).unwrap_or(0);
         offsets.lock().push((comm.rank(), est));
@@ -363,7 +437,9 @@ where
             pool,
             policy,
             proc_: proc,
-            doctor: ticket,
+            monitor: ticket,
+            doctor: doctor.clone(),
+            telemetry: telemetry.clone(),
         };
         // Arm time-bucket accounting on the rank's own (VM-side) registry:
         // from here to the exit snapshot every classified span and phase
@@ -372,16 +448,18 @@ where
         mp.vm.metrics().profile_start();
         body(&mp);
         snaps.lock().push((mp.rank(), mp.metrics()));
-        if let Some((d, t)) = &mp.doctor {
-            d.mark_done(*t);
+        if let Some((c, t)) = &mp.monitor {
+            c.mark_done(*t);
         }
     });
+    if let Some(m) = monitor {
+        m.stop();
+    }
+    if let Some(t) = &telemetry {
+        t.stop();
+    }
     let anomalies = match &doctor {
         Some(d) => {
-            d.stop();
-            if let Some(h) = watchdog {
-                let _ = h.join();
-            }
             if d.config().record_on_exit {
                 d.write_record(&d.flight_record());
             }
@@ -436,11 +514,13 @@ where
 {
     let vm_config = config.vm.clone();
     let policy = config.policy;
-    // Children join the parent's watchdog in a fresh spawn group: their
+    // Children join the parent's monitoring in a fresh spawn group: their
     // world ranks restart at 0, so peer cross-matching must not mix them
     // with the parents' world.
+    let collector = proc.collector().map(Arc::clone);
     let doctor = proc.doctor().map(Arc::clone);
-    let group = doctor.as_ref().map_or(0, |d| d.alloc_group());
+    let telemetry = proc.telemetry().map(Arc::clone);
+    let group = collector.as_ref().map_or(0, |c| c.alloc_group());
     let inter = proc
         .proc_
         .universe()
@@ -461,15 +541,15 @@ where
             let comm = child.world().clone();
             let pool = Arc::new(BufPool::new());
             pool.attach_metrics(Arc::clone(vm.metrics()));
-            let ticket = doctor.as_ref().map(|d| {
-                let t = d.register_in_group(
+            let ticket = collector.as_ref().map(|c| {
+                let t = c.register_in_group(
                     group,
                     comm.rank(),
                     format!("child {}.{}", group, comm.rank()),
                     Arc::clone(comm.device()),
                     Arc::clone(&vm),
                 );
-                (Arc::clone(d), t)
+                (Arc::clone(c), t)
             });
             let mp = MotorProc {
                 vm,
@@ -478,11 +558,13 @@ where
                 pool,
                 policy,
                 proc_: child,
-                doctor: ticket,
+                monitor: ticket,
+                doctor: doctor.clone(),
+                telemetry: telemetry.clone(),
             };
             entry(&mp);
-            if let Some((d, t)) = &mp.doctor {
-                d.mark_done(*t);
+            if let Some((c, t)) = &mp.monitor {
+                c.mark_done(*t);
             }
         })?;
     Ok(inter)

@@ -5,12 +5,16 @@
 //! [`motor_obs::doctor`]): spans register on open, outstanding
 //! `Isend`/`Irecv` requests keep their registration until completion, and
 //! the transport's polling wait heartbeats the table whenever the
-//! progress engine actually moves bytes. The [`DoctorServer`] here is the
-//! other half: a monitor thread that periodically scans every registered
-//! rank's tables, cross-matches waiters against their peers' in-flight
-//! ops and device queues, and classifies anomalies with
-//! [`motor_obs::classify`] — *stall*, *deadlock suspect*, *pin leak*,
-//! *GC pressure*.
+//! progress engine actually moves bytes. The [`DoctorServer`] here is a
+//! *consumer* of the shared telemetry plane: the unified monitor loop
+//! (see [`crate::telemetry::start_monitor`]) takes one
+//! [`Collector::collect`] tick per interval, and hands each tick's
+//! observations to [`DoctorServer::process`], which cross-matches waiters
+//! against their peers' in-flight ops and device queues and classifies
+//! anomalies with [`motor_obs::classify`] — *stall*, *deadlock suspect*,
+//! *pin leak*, *GC pressure*. The doctor no longer takes snapshots of its
+//! own: the watchdog and the `/metrics`-`/frames` endpoints observe the
+//! cluster through the same frames.
 //!
 //! On the first new anomaly (and on demand) it cuts a [`FlightRecord`]:
 //! every rank's merged metrics snapshot, trace-ring drain and in-flight
@@ -21,19 +25,18 @@
 //! [`DoctorConfig::parse`](motor_obs::DoctorConfig::parse)).
 //!
 //! [`ClusterConfigBuilder::doctor`]: crate::cluster::ClusterConfigBuilder::doctor
+//! [`Collector::collect`]: crate::telemetry::Collector::collect
 
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
-use std::thread::JoinHandle;
 
 use motor_mpc::Device;
-use motor_obs::{
-    classify, Anomaly, DoctorConfig, FlightRecord, Hist, Metric, MetricsSnapshot, RankFlight,
-    RankHealth,
-};
+use motor_obs::{Anomaly, DoctorConfig, FlightRecord, Metric, MetricsSnapshot};
 use motor_runtime::stats::GcStatsSnapshot;
 use motor_runtime::Vm;
-use parking_lot::{Condvar, Mutex};
+use parking_lot::Mutex;
+
+use crate::telemetry::{classify_observations, Collector, Observation};
 
 /// The GC-bridge pairs merged into a rank's snapshot (the VM's GC
 /// counters live in `GcStats`, not in a `MetricsRegistry`).
@@ -71,118 +74,27 @@ pub(crate) fn merged_metrics(device: &Device, vm: &Vm) -> MetricsSnapshot {
     snap
 }
 
-/// Safepoint-stall accounting between two scans of one rank.
-#[derive(Default)]
-struct StallWindow {
-    prev_stall_sum: f64,
-    prev_now_nanos: u64,
-}
-
-/// One monitored rank: everything the watchdog reads, all shared-state
-/// and lock-free or briefly-locked so the scan never blocks the rank.
-struct RankHooks {
-    /// Human label (`"rank 2"`, `"child 1"`, ...).
-    label: String,
-    /// Rank within its group (world rank, or child-world rank).
-    rank: usize,
-    /// Spawn group: 0 for the initial world, one per `spawn_children`
-    /// batch after that. Peer cross-matching only happens within a group —
-    /// peer ranks in op arguments are meaningless across worlds.
-    group: usize,
-    device: Arc<Device>,
-    vm: Arc<Vm>,
-    done: AtomicBool,
-    window: Mutex<StallWindow>,
-}
-
-impl RankHooks {
-    fn observe(&self) -> RankHealth {
-        let dreg = self.device.metrics();
-        let vreg = self.vm.metrics();
-        let now = dreg.now_nanos();
-        let mut inflight = dreg.inflight_ops();
-        inflight.extend(vreg.inflight_ops());
-        inflight.sort_by_key(|op| op.token);
-        let (hard_pins, cond_pins, oldest_pin) = self.vm.pin_diagnostics();
-        // Safepoint-stall time over the window since the previous scan,
-        // estimated from the stall histogram's bucket midpoints.
-        let stall_sum = vreg
-            .hist_snapshot(Hist::SafepointStallNanos)
-            .estimated_sum();
-        let (stall_nanos, window_nanos) = {
-            let mut w = self.window.lock();
-            let delta = (stall_sum - w.prev_stall_sum).max(0.0) as u64;
-            let window = now.saturating_sub(w.prev_now_nanos);
-            let first = w.prev_now_nanos == 0;
-            w.prev_stall_sum = stall_sum;
-            w.prev_now_nanos = now;
-            // The first observation has no window yet.
-            if first {
-                (0, 0)
-            } else {
-                (delta, window)
-            }
-        };
-        RankHealth {
-            rank: self.rank,
-            label: self.label.clone(),
-            done: self.done.load(Ordering::Acquire),
-            now_nanos: now,
-            last_progress_nanos: dreg.last_progress_nanos().max(vreg.last_progress_nanos()),
-            inflight,
-            queue_depths: self.device.queue_depths(),
-            hard_pins,
-            cond_pins,
-            oldest_pin_nanos: oldest_pin.map_or(0, |d| d.as_nanos() as u64),
-            safepoint_stall_nanos: stall_nanos,
-            window_nanos,
-            links_dropped: dreg.get(Metric::LinksDropped),
-        }
-    }
-
-    fn flight(&self, health: &RankHealth) -> RankFlight {
-        RankFlight {
-            rank: self.rank,
-            label: self.label.clone(),
-            done: health.done,
-            inflight: health.inflight.clone(),
-            queue_depths: health.queue_depths,
-            snapshot: merged_metrics(&self.device, &self.vm),
-        }
-    }
-}
-
-/// Handle to one registered rank; pass back to
-/// [`DoctorServer::mark_done`] when the rank body returns.
-#[derive(Debug, Clone, Copy)]
-pub struct RankTicket(usize);
-
-/// The cluster watchdog. Create with [`DoctorServer::new`], register
-/// every rank, then [`start`](DoctorServer::start) the monitor thread;
-/// [`stop`](DoctorServer::stop) it when the cluster exits.
+/// The cluster watchdog: anomaly classification, deduplication, and
+/// flight-record policy over a shared [`Collector`]. Create with
+/// [`DoctorServer::new`]; the unified monitor loop feeds it one
+/// [`process`](DoctorServer::process) call per collection tick.
 pub struct DoctorServer {
     cfg: DoctorConfig,
-    ranks: Mutex<Vec<Arc<RankHooks>>>,
-    next_group: AtomicUsize,
+    collector: Arc<Collector>,
     /// Every anomaly diagnosed so far, deduplicated by
     /// [`Anomaly::key`](motor_obs::Anomaly::key).
     anomalies: Mutex<Vec<Anomaly>>,
     records_written: AtomicUsize,
-    stop: Mutex<bool>,
-    stop_cv: Condvar,
 }
 
 impl DoctorServer {
-    /// A server with no ranks registered yet.
-    pub fn new(cfg: DoctorConfig) -> Arc<DoctorServer> {
+    /// A watchdog consuming `collector`'s observations.
+    pub fn new(cfg: DoctorConfig, collector: Arc<Collector>) -> Arc<DoctorServer> {
         Arc::new(DoctorServer {
             cfg,
-            ranks: Mutex::new(Vec::new()),
-            next_group: AtomicUsize::new(1),
+            collector,
             anomalies: Mutex::new(Vec::new()),
             records_written: AtomicUsize::new(0),
-            stop: Mutex::new(false),
-            stop_cv: Condvar::new(),
         })
     }
 
@@ -191,85 +103,19 @@ impl DoctorServer {
         &self.cfg
     }
 
-    /// Register a rank of the initial world (group 0).
-    pub fn register(
-        &self,
-        rank: usize,
-        label: String,
-        device: Arc<Device>,
-        vm: Arc<Vm>,
-    ) -> RankTicket {
-        self.register_in_group(0, rank, label, device, vm)
+    /// The shared collection state this watchdog observes through.
+    pub fn collector(&self) -> &Arc<Collector> {
+        &self.collector
     }
 
-    /// Allocate a fresh spawn group for a `spawn_children` batch.
-    pub fn alloc_group(&self) -> usize {
-        self.next_group.fetch_add(1, Ordering::Relaxed)
-    }
-
-    /// Register a rank of spawn group `group` (see [`Self::alloc_group`]).
-    pub fn register_in_group(
-        &self,
-        group: usize,
-        rank: usize,
-        label: String,
-        device: Arc<Device>,
-        vm: Arc<Vm>,
-    ) -> RankTicket {
-        let mut ranks = self.ranks.lock();
-        ranks.push(Arc::new(RankHooks {
-            label,
-            rank,
-            group,
-            device,
-            vm,
-            done: AtomicBool::new(false),
-            window: Mutex::new(StallWindow::default()),
-        }));
-        RankTicket(ranks.len() - 1)
-    }
-
-    /// Record that a rank's body returned (its silence is no longer
-    /// suspicious, and peers blocked on it can be blamed).
-    pub fn mark_done(&self, ticket: RankTicket) {
-        if let Some(h) = self.ranks.lock().get(ticket.0) {
-            h.done.store(true, Ordering::Release);
-        }
-    }
-
-    /// One watchdog pass: observe every rank, classify per spawn group,
-    /// record and report anomalies not seen before. Returns the *new*
-    /// anomalies (usually called from the monitor thread, but callable
-    /// directly for on-demand checks and tests).
-    pub fn scan(&self) -> Vec<Anomaly> {
-        let hooks: Vec<Arc<RankHooks>> = self.ranks.lock().clone();
-        if hooks.is_empty() {
+    /// Classify one tick's observations, record and report anomalies not
+    /// seen before. Returns the *new* anomalies. Called by the monitor
+    /// loop; callable directly with synthetic observations in tests.
+    pub fn process(&self, obs: &[Observation]) -> Vec<Anomaly> {
+        if obs.is_empty() {
             return Vec::new();
         }
-        let health: Vec<RankHealth> = hooks.iter().map(|h| h.observe()).collect();
-
-        // Classify group by group: `classify` indexes peers by rank, which
-        // is only meaningful within one world.
-        let mut groups: Vec<usize> = hooks.iter().map(|h| h.group).collect();
-        groups.sort_unstable();
-        groups.dedup();
-        let mut found = Vec::new();
-        for g in groups {
-            let mut members: Vec<&RankHealth> = hooks
-                .iter()
-                .zip(&health)
-                .filter(|(h, _)| h.group == g)
-                .map(|(_, obs)| obs)
-                .collect();
-            members.sort_by_key(|m| m.rank);
-            // Skip a group mid-registration: peer indices would be off.
-            if members.iter().enumerate().any(|(i, m)| m.rank != i) {
-                continue;
-            }
-            let members: Vec<RankHealth> = members.into_iter().cloned().collect();
-            found.extend(classify(&members, &self.cfg));
-        }
-
+        let found = classify_observations(obs, &self.cfg);
         let fresh: Vec<Anomaly> = {
             let mut known = self.anomalies.lock();
             let fresh: Vec<Anomaly> = found
@@ -280,7 +126,7 @@ impl DoctorServer {
             fresh
         };
         if !fresh.is_empty() {
-            let record = self.cut_record(&hooks, &health, fresh.clone());
+            let record = self.collector.flight_record_from(obs, fresh.clone());
             eprint!("{}", record.diagnosis());
             self.write_record(&record);
             if let Some(code) = self.cfg.exit_code {
@@ -291,32 +137,17 @@ impl DoctorServer {
         fresh
     }
 
-    /// Cut a flight record of the current state on demand (anomalies seen
-    /// so far included).
-    pub fn flight_record(&self) -> FlightRecord {
-        let hooks: Vec<Arc<RankHooks>> = self.ranks.lock().clone();
-        let health: Vec<RankHealth> = hooks.iter().map(|h| h.observe()).collect();
-        self.cut_record(&hooks, &health, self.anomalies())
+    /// One on-demand watchdog pass: take a fresh collection tick (which
+    /// also pushes a telemetry frame) and classify it.
+    pub fn scan(&self) -> Vec<Anomaly> {
+        let obs = self.collector.collect();
+        self.process(&obs)
     }
 
-    fn cut_record(
-        &self,
-        hooks: &[Arc<RankHooks>],
-        health: &[RankHealth],
-        anomalies: Vec<Anomaly>,
-    ) -> FlightRecord {
-        let t_nanos = hooks.first().map_or(0, |h| h.device.metrics().now_nanos());
-        let mut ranks: Vec<(usize, usize, RankFlight)> = hooks
-            .iter()
-            .zip(health)
-            .map(|(h, obs)| (h.group, h.rank, h.flight(obs)))
-            .collect();
-        ranks.sort_by_key(|&(g, r, _)| (g, r));
-        FlightRecord {
-            t_nanos,
-            anomalies,
-            ranks: ranks.into_iter().map(|(_, _, f)| f).collect(),
-        }
+    /// Cut a flight record of the current state on demand (anomalies seen
+    /// so far included; the doctor's stall windows are not perturbed).
+    pub fn flight_record(&self) -> FlightRecord {
+        self.collector.flight_record(self.anomalies())
     }
 
     /// Write `record` to the configured path, if any.
@@ -340,35 +171,5 @@ impl DoctorServer {
     /// Number of flight records written to disk so far.
     pub fn records_written(&self) -> usize {
         self.records_written.load(Ordering::Relaxed)
-    }
-
-    /// Spawn the monitor thread; it scans every
-    /// [`scan_interval`](motor_obs::DoctorConfig::scan_interval) until
-    /// [`stop`](Self::stop).
-    pub fn start(self: &Arc<Self>) -> JoinHandle<()> {
-        let me = Arc::clone(self);
-        std::thread::Builder::new()
-            .name("motor-doctor".into())
-            .spawn(move || {
-                let mut stopped = me.stop.lock();
-                while !*stopped {
-                    let timed_out = me
-                        .stop_cv
-                        .wait_for(&mut stopped, me.cfg.scan_interval)
-                        .timed_out();
-                    if timed_out && !*stopped {
-                        drop(stopped);
-                        me.scan();
-                        stopped = me.stop.lock();
-                    }
-                }
-            })
-            .expect("spawn motor-doctor thread")
-    }
-
-    /// Ask the monitor thread to exit (idempotent).
-    pub fn stop(&self) {
-        *self.stop.lock() = true;
-        self.stop_cv.notify_all();
     }
 }

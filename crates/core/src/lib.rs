@@ -57,12 +57,13 @@ pub mod mp;
 pub mod oomp;
 pub mod pinning;
 pub mod serial;
+pub mod telemetry;
 
 pub use cluster::{
     run_cluster, run_cluster_default, ClusterConfig, ClusterConfigBuilder, ClusterMetrics,
     MotorProc,
 };
-pub use doctor::{DoctorServer, RankTicket};
+pub use doctor::DoctorServer;
 pub use error::{CoreError, CoreResult};
 pub use fcall::MpIntrinsics;
 pub use motor_mpc::Source;
@@ -71,3 +72,7 @@ pub use mp::{Mp, MpRequest, MpStatus, ANY_TAG};
 pub use oomp::Oomp;
 pub use pinning::PinPolicy;
 pub use serial::{AttrLookup, SerializeStats, Serializer, VisitedStrategy};
+pub use telemetry::{
+    classify_observations, start_monitor, Collector, MonitorHandle, Observation, RankTicket,
+    TelemetryConfig, TelemetryServer,
+};

@@ -1,0 +1,868 @@
+//! The live telemetry plane: shared collection, the frame ring, and the
+//! in-process HTTP scrape endpoint.
+//!
+//! Everything the stack already measures — per-rank metrics registries,
+//! time-bucket accounting, in-flight op tables, heap occupancy — was
+//! post-mortem: collected when `run_cluster` returns. This module makes
+//! it watchable *while the workload runs*:
+//!
+//! * [`Collector`] owns the per-rank hooks (previously private to the
+//!   doctor) and, once per tick, takes every rank's merged snapshot,
+//!   diffs it against the previous tick, and pushes one
+//!   [`TelemetryFrame`] of windowed deltas into a bounded
+//!   [`FrameRing`]. The [`DoctorServer`](crate::doctor::DoctorServer)
+//!   consumes the same observations instead of taking its own — one
+//!   scan, two consumers.
+//! * [`start_monitor`] runs the single collection loop; it ticks at the
+//!   shortest enabled interval and hands each tick's observations to the
+//!   doctor for classification.
+//! * [`TelemetryServer`] is a minimal hand-rolled HTTP/1.1 listener (no
+//!   new dependencies, the same stance as the no-`syn` derive macro)
+//!   serving `GET /metrics` (Prometheus text, per-rank labels, plus
+//!   rate/window gauges from the newest frame), `/healthz` (doctor
+//!   classification as status code + JSON), `/flight` (an on-demand
+//!   flight record without aborting anything), and `/frames` (the delta
+//!   ring as a JSON time series).
+//!
+//! Enable it per run with
+//! [`ClusterConfigBuilder::telemetry`](crate::cluster::ClusterConfigBuilder::telemetry)
+//! or the `MOTOR_TELEMETRY` environment variable; when neither is set
+//! (and no doctor is enabled) none of this exists — no collector, no
+//! thread, no socket — preserving the zero-cost-when-off contract.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use motor_mpc::Device;
+use motor_obs::telemetry::{
+    frame_prometheus, frames_to_json, FrameRing, RankDelta, TelemetryFrame, DEFAULT_FRAME_CAPACITY,
+};
+use motor_obs::{
+    classify, to_prometheus_multi, Anomaly, DoctorConfig, FlightRecord, Hist, Metric,
+    MetricsSnapshot, RankFlight, RankHealth,
+};
+use motor_runtime::Vm;
+use parking_lot::{Condvar, Mutex};
+
+use crate::doctor::{merged_metrics, DoctorServer};
+
+/// Configuration of the telemetry endpoint. Build one directly, or parse
+/// the `MOTOR_TELEMETRY` environment variable with
+/// [`TelemetryConfig::from_env`].
+#[derive(Debug, Clone)]
+pub struct TelemetryConfig {
+    /// Address to bind the HTTP listener to. Use port 0 to let the OS
+    /// pick (read it back with [`TelemetryServer::local_addr`]).
+    pub addr: String,
+    /// Collection-tick interval (one frame per tick).
+    pub interval: Duration,
+    /// Frames the ring retains (the sliding window `/frames` and
+    /// `motor-top` sparklines can see).
+    pub frame_capacity: usize,
+}
+
+impl Default for TelemetryConfig {
+    fn default() -> Self {
+        TelemetryConfig {
+            addr: "127.0.0.1:9612".to_string(),
+            interval: Duration::from_millis(250),
+            frame_capacity: DEFAULT_FRAME_CAPACITY,
+        }
+    }
+}
+
+impl TelemetryConfig {
+    /// Parse a `MOTOR_TELEMETRY` value. `"1"`/`"on"` yield the defaults;
+    /// a bare `host:port` sets the address; otherwise a comma list of
+    /// `key=value` pairs: `addr=<host:port>`, `interval_ms=<n>`,
+    /// `frames=<n>`. Unknown keys are ignored.
+    pub fn parse(spec: &str) -> TelemetryConfig {
+        let mut cfg = TelemetryConfig::default();
+        for part in spec.split(',') {
+            let part = part.trim();
+            match part.split_once('=') {
+                Some(("addr", v)) => cfg.addr = v.to_string(),
+                Some(("interval_ms", v)) => {
+                    if let Ok(ms) = v.parse() {
+                        cfg.interval = Duration::from_millis(ms);
+                    }
+                }
+                Some(("frames", v)) => {
+                    if let Ok(n) = v.parse() {
+                        cfg.frame_capacity = n;
+                    }
+                }
+                Some(_) => {}
+                // A bare token: "1"/"on" keep the defaults, anything with
+                // a colon is a bind address.
+                None if part.contains(':') => cfg.addr = part.to_string(),
+                None => {}
+            }
+        }
+        cfg
+    }
+
+    /// The configuration requested by the `MOTOR_TELEMETRY` environment
+    /// variable, if set (empty/`"0"`/`"off"` mean disabled).
+    pub fn from_env() -> Option<TelemetryConfig> {
+        match std::env::var("MOTOR_TELEMETRY") {
+            Ok(v) if !v.is_empty() && v != "0" && v != "off" => Some(Self::parse(&v)),
+            _ => None,
+        }
+    }
+}
+
+/// Handle to one registered rank; pass back to
+/// [`Collector::mark_done`] when the rank body returns.
+#[derive(Debug, Clone, Copy)]
+pub struct RankTicket(usize);
+
+/// Safepoint-stall accounting between two collection ticks of one rank.
+#[derive(Default)]
+struct StallWindow {
+    prev_stall_sum: f64,
+    prev_now_nanos: u64,
+}
+
+/// One monitored rank: everything the collection tick reads, all
+/// lock-free or briefly-locked so a tick never blocks the rank.
+struct RankHooks {
+    /// Human label (`"rank 2"`, `"child 1.0"`, ...).
+    label: String,
+    /// Rank within its group (world rank, or child-world rank).
+    rank: usize,
+    /// Spawn group: 0 for the initial world, one per `spawn_children`
+    /// batch after that. Peer cross-matching only happens within a group —
+    /// peer ranks in op arguments are meaningless across worlds.
+    group: usize,
+    device: Arc<Device>,
+    vm: Arc<Vm>,
+    done: AtomicBool,
+    /// Stall-window state (mutated by windowed observation only).
+    window: Mutex<StallWindow>,
+    /// Previous tick's merged snapshot, for delta frames (mutated by
+    /// [`Collector::collect`] only).
+    prev: Mutex<Option<MetricsSnapshot>>,
+    /// Last successfully read heap occupancy — kept when a GC holds the
+    /// state lock at tick time, so the gauge never stalls the monitor.
+    heap_used: AtomicU64,
+    heap_capacity: AtomicU64,
+}
+
+impl RankHooks {
+    /// Observe without touching the stall window (on-demand `/flight`
+    /// and exit records must not perturb the doctor's GC-pressure
+    /// windows). Stall fields are zero.
+    fn observe_pure(&self) -> RankHealth {
+        let dreg = self.device.metrics();
+        let vreg = self.vm.metrics();
+        let now = dreg.now_nanos();
+        let mut inflight = dreg.inflight_ops();
+        inflight.extend(vreg.inflight_ops());
+        inflight.sort_by_key(|op| op.token);
+        let (hard_pins, cond_pins, oldest_pin) = self.vm.pin_diagnostics();
+        RankHealth {
+            rank: self.rank,
+            label: self.label.clone(),
+            done: self.done.load(Ordering::Acquire),
+            now_nanos: now,
+            last_progress_nanos: dreg.last_progress_nanos().max(vreg.last_progress_nanos()),
+            inflight,
+            queue_depths: self.device.queue_depths(),
+            hard_pins,
+            cond_pins,
+            oldest_pin_nanos: oldest_pin.map_or(0, |d| d.as_nanos() as u64),
+            safepoint_stall_nanos: 0,
+            window_nanos: 0,
+            links_dropped: dreg.get(Metric::LinksDropped),
+        }
+    }
+
+    /// Observe *and* advance the stall window: safepoint-stall time since
+    /// the previous windowed observation, estimated from the stall
+    /// histogram's bucket midpoints. Called from the collection tick only.
+    fn observe_windowed(&self) -> RankHealth {
+        let mut health = self.observe_pure();
+        let stall_sum = self
+            .vm
+            .metrics()
+            .hist_snapshot(Hist::SafepointStallNanos)
+            .estimated_sum();
+        let mut w = self.window.lock();
+        let delta = (stall_sum - w.prev_stall_sum).max(0.0) as u64;
+        let window = health.now_nanos.saturating_sub(w.prev_now_nanos);
+        let first = w.prev_now_nanos == 0;
+        w.prev_stall_sum = stall_sum;
+        w.prev_now_nanos = health.now_nanos;
+        // The first observation has no window yet.
+        if !first {
+            health.safepoint_stall_nanos = delta;
+            health.window_nanos = window;
+        }
+        health
+    }
+
+    fn flight(&self, health: &RankHealth) -> RankFlight {
+        RankFlight {
+            rank: self.rank,
+            label: self.label.clone(),
+            done: health.done,
+            inflight: health.inflight.clone(),
+            queue_depths: health.queue_depths,
+            snapshot: merged_metrics(&self.device, &self.vm),
+        }
+    }
+
+    /// Refresh the cached heap gauges; keeps the previous reading when a
+    /// GC holds the VM state lock.
+    fn refresh_heap(&self) -> (u64, u64) {
+        if let Some((used, capacity)) = self.vm.heap_usage() {
+            self.heap_used.store(used, Ordering::Relaxed);
+            self.heap_capacity.store(capacity, Ordering::Relaxed);
+            (used, capacity)
+        } else {
+            (
+                self.heap_used.load(Ordering::Relaxed),
+                self.heap_capacity.load(Ordering::Relaxed),
+            )
+        }
+    }
+}
+
+/// One rank's observation from a tick, tagged with its spawn group (the
+/// unit [`classify_observations`] groups by).
+#[derive(Debug, Clone)]
+pub struct Observation {
+    /// Spawn group (0 for the initial world).
+    pub group: usize,
+    /// The observed health.
+    pub health: RankHealth,
+}
+
+/// Classify observations group by group: [`classify`] indexes peers by
+/// rank, which is only meaningful within one world. Groups caught
+/// mid-registration (rank indices not yet contiguous) are skipped.
+pub fn classify_observations(obs: &[Observation], cfg: &DoctorConfig) -> Vec<Anomaly> {
+    let mut groups: Vec<usize> = obs.iter().map(|o| o.group).collect();
+    groups.sort_unstable();
+    groups.dedup();
+    let mut found = Vec::new();
+    for g in groups {
+        let mut members: Vec<&RankHealth> = obs
+            .iter()
+            .filter(|o| o.group == g)
+            .map(|o| &o.health)
+            .collect();
+        members.sort_by_key(|m| m.rank);
+        if members.iter().enumerate().any(|(i, m)| m.rank != i) {
+            continue;
+        }
+        let members: Vec<RankHealth> = members.into_iter().cloned().collect();
+        found.extend(classify(&members, cfg));
+    }
+    found
+}
+
+/// The shared collection state: registered rank hooks, the frame ring,
+/// and the latest observations. One per cluster run, created whenever the
+/// doctor *or* the telemetry endpoint is enabled; both consume its ticks.
+pub struct Collector {
+    ranks: Mutex<Vec<Arc<RankHooks>>>,
+    next_group: AtomicUsize,
+    ring: FrameRing,
+    prev_t_nanos: AtomicU64,
+    latest: Mutex<Vec<Observation>>,
+}
+
+impl Collector {
+    /// A collector with no ranks registered and a ring of
+    /// `frame_capacity` frames.
+    pub fn new(frame_capacity: usize) -> Arc<Collector> {
+        Arc::new(Collector {
+            ranks: Mutex::new(Vec::new()),
+            next_group: AtomicUsize::new(1),
+            ring: FrameRing::new(frame_capacity),
+            prev_t_nanos: AtomicU64::new(0),
+            latest: Mutex::new(Vec::new()),
+        })
+    }
+
+    /// Register a rank of the initial world (group 0).
+    pub fn register(
+        &self,
+        rank: usize,
+        label: String,
+        device: Arc<Device>,
+        vm: Arc<Vm>,
+    ) -> RankTicket {
+        self.register_in_group(0, rank, label, device, vm)
+    }
+
+    /// Allocate a fresh spawn group for a `spawn_children` batch.
+    pub fn alloc_group(&self) -> usize {
+        self.next_group.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Register a rank of spawn group `group` (see [`Self::alloc_group`]).
+    pub fn register_in_group(
+        &self,
+        group: usize,
+        rank: usize,
+        label: String,
+        device: Arc<Device>,
+        vm: Arc<Vm>,
+    ) -> RankTicket {
+        let mut ranks = self.ranks.lock();
+        ranks.push(Arc::new(RankHooks {
+            label,
+            rank,
+            group,
+            device,
+            vm,
+            done: AtomicBool::new(false),
+            window: Mutex::new(StallWindow::default()),
+            prev: Mutex::new(None),
+            heap_used: AtomicU64::new(0),
+            heap_capacity: AtomicU64::new(0),
+        }));
+        RankTicket(ranks.len() - 1)
+    }
+
+    /// Record that a rank's body returned (its silence is no longer
+    /// suspicious, and peers blocked on it can be blamed).
+    pub fn mark_done(&self, ticket: RankTicket) {
+        if let Some(h) = self.ranks.lock().get(ticket.0) {
+            h.done.store(true, Ordering::Release);
+        }
+    }
+
+    /// Number of ranks registered so far (across all groups).
+    pub fn ranks_registered(&self) -> usize {
+        self.ranks.lock().len()
+    }
+
+    /// The delta-frame ring.
+    pub fn ring(&self) -> &FrameRing {
+        &self.ring
+    }
+
+    /// The observations from the most recent tick.
+    pub fn latest_observations(&self) -> Vec<Observation> {
+        self.latest.lock().clone()
+    }
+
+    fn sorted_hooks(&self) -> Vec<Arc<RankHooks>> {
+        let mut hooks: Vec<Arc<RankHooks>> = self.ranks.lock().clone();
+        hooks.sort_by_key(|h| (h.group, h.rank));
+        hooks
+    }
+
+    /// One collection tick: observe every rank (advancing stall windows),
+    /// diff against the previous tick, push one frame of windowed deltas
+    /// into the ring, and return the observations for classification.
+    /// Called from the monitor loop (and on-demand scans) only.
+    pub fn collect(&self) -> Vec<Observation> {
+        let hooks = self.sorted_hooks();
+        if hooks.is_empty() {
+            return Vec::new();
+        }
+        let t_nanos = hooks[0].device.metrics().now_nanos();
+        let prev_t = self.prev_t_nanos.swap(t_nanos, Ordering::Relaxed);
+        let window_nanos = if prev_t == 0 {
+            0
+        } else {
+            t_nanos.saturating_sub(prev_t)
+        };
+        let mut observations = Vec::with_capacity(hooks.len());
+        let mut deltas = Vec::with_capacity(hooks.len());
+        for h in &hooks {
+            let health = h.observe_windowed();
+            let merged = merged_metrics(&h.device, &h.vm);
+            let delta = {
+                let mut prev = h.prev.lock();
+                let d = match prev.as_ref() {
+                    Some(p) => merged.diff(p),
+                    None => merged.clone(),
+                };
+                *prev = Some(merged);
+                d.without_events()
+            };
+            let stalls = delta.hist(Hist::SafepointStallNanos);
+            let (heap_used, heap_capacity) = h.refresh_heap();
+            deltas.push(RankDelta {
+                group: h.group,
+                rank: h.rank,
+                label: h.label.clone(),
+                done: health.done,
+                queue_depths: health.queue_depths,
+                heap_used_bytes: heap_used,
+                heap_capacity_bytes: heap_capacity,
+                gc_stall_p50_nanos: stalls.p50(),
+                gc_stall_p99_nanos: stalls.p99(),
+                delta,
+                inflight: health.inflight.clone(),
+            });
+            observations.push(Observation {
+                group: h.group,
+                health,
+            });
+        }
+        self.ring.push(TelemetryFrame {
+            seq: self.ring.alloc_seq(),
+            t_nanos,
+            window_nanos,
+            ranks: deltas,
+        });
+        *self.latest.lock() = observations.clone();
+        observations
+    }
+
+    /// Cut a flight record from already-taken observations plus fresh
+    /// merged metrics (what the doctor does when a scan finds anomalies).
+    pub(crate) fn flight_record_from(
+        &self,
+        obs: &[Observation],
+        anomalies: Vec<Anomaly>,
+    ) -> FlightRecord {
+        let hooks = self.sorted_hooks();
+        let t_nanos = hooks.first().map_or(0, |h| h.device.metrics().now_nanos());
+        let mut ranks = Vec::with_capacity(obs.len());
+        for o in obs {
+            if let Some(h) = hooks
+                .iter()
+                .find(|h| h.group == o.group && h.rank == o.health.rank)
+            {
+                ranks.push(h.flight(&o.health));
+            }
+        }
+        FlightRecord {
+            t_nanos,
+            anomalies,
+            ranks,
+        }
+    }
+
+    /// Cut an on-demand flight record *without* perturbing the doctor's
+    /// stall windows or the delta ring (the `/flight` endpoint and the
+    /// exit record).
+    pub fn flight_record(&self, anomalies: Vec<Anomaly>) -> FlightRecord {
+        let obs: Vec<Observation> = self
+            .sorted_hooks()
+            .iter()
+            .map(|h| Observation {
+                group: h.group,
+                health: h.observe_pure(),
+            })
+            .collect();
+        self.flight_record_from(&obs, anomalies)
+    }
+
+    /// The `/metrics` document: every rank's merged snapshot rendered as
+    /// one exposition document (each family's `# TYPE` emitted once, one
+    /// sample per rank with `group`/`rank` labels), followed by the
+    /// rate/window gauges from the newest frame. Takes fresh pure
+    /// snapshots — scraping never advances the delta state.
+    pub fn prometheus(&self) -> String {
+        let hooks = self.sorted_hooks();
+        let snaps: Vec<(String, String, MetricsSnapshot)> = hooks
+            .iter()
+            .map(|h| {
+                (
+                    h.group.to_string(),
+                    h.rank.to_string(),
+                    merged_metrics(&h.device, &h.vm),
+                )
+            })
+            .collect();
+        let labels: Vec<[(&str, &str); 2]> = snaps
+            .iter()
+            .map(|(g, r, _)| [("group", g.as_str()), ("rank", r.as_str())])
+            .collect();
+        let labeled: Vec<(&MetricsSnapshot, &[(&str, &str)])> = snaps
+            .iter()
+            .zip(&labels)
+            .map(|((_, _, s), l)| (s, &l[..]))
+            .collect();
+        let mut out = to_prometheus_multi(&labeled);
+        if let Some(frame) = self.ring.latest() {
+            out.push_str(&frame_prometheus(&frame));
+        }
+        out
+    }
+
+    /// The `/frames` document: the delta ring as a JSON time series.
+    pub fn frames_json(&self) -> String {
+        frames_to_json(&self.ring.frames(), self.ring.capacity())
+    }
+
+    /// Total trace-ring events overwritten before they could be
+    /// snapshotted, summed across every rank's registries (surfaced by
+    /// `/healthz` so ring overflow is visible live).
+    pub fn trace_events_dropped(&self) -> u64 {
+        self.sorted_hooks()
+            .iter()
+            .map(|h| {
+                h.device
+                    .metrics()
+                    .snapshot()
+                    .get(Metric::TraceEventsDropped)
+                    + h.vm.metrics().snapshot().get(Metric::TraceEventsDropped)
+            })
+            .sum()
+    }
+}
+
+/// Handle to the monitor loop; [`stop`](MonitorHandle::stop) it when the
+/// cluster exits.
+pub struct MonitorHandle {
+    stop: Arc<(Mutex<bool>, Condvar)>,
+    thread: JoinHandle<()>,
+}
+
+impl MonitorHandle {
+    /// Ask the loop to exit and join it.
+    pub fn stop(self) {
+        {
+            let (lock, cv) = &*self.stop;
+            *lock.lock() = true;
+            cv.notify_all();
+        }
+        let _ = self.thread.join();
+    }
+}
+
+/// Spawn the unified monitor loop: one [`Collector::collect`] tick every
+/// `interval`, each tick's observations handed to the doctor (when one is
+/// enabled) for classification. This replaces the doctor's private scan
+/// thread — there is exactly one observer regardless of how many
+/// consumers are attached.
+pub fn start_monitor(
+    collector: Arc<Collector>,
+    doctor: Option<Arc<DoctorServer>>,
+    interval: Duration,
+) -> MonitorHandle {
+    let stop = Arc::new((Mutex::new(false), Condvar::new()));
+    let stop2 = Arc::clone(&stop);
+    let thread = std::thread::Builder::new()
+        .name("motor-monitor".into())
+        .spawn(move || {
+            let (lock, cv) = &*stop2;
+            let mut stopped = lock.lock();
+            while !*stopped {
+                let timed_out = cv.wait_for(&mut stopped, interval).timed_out();
+                if timed_out && !*stopped {
+                    drop(stopped);
+                    let obs = collector.collect();
+                    if let Some(d) = &doctor {
+                        d.process(&obs);
+                    }
+                    stopped = lock.lock();
+                }
+            }
+        })
+        .expect("spawn motor-monitor thread");
+    MonitorHandle { stop, thread }
+}
+
+/// Route one request path to a response: `(status, reason, content-type,
+/// body)`. Pure (no socket), so the endpoint surface is unit-testable.
+fn respond(
+    path: &str,
+    collector: &Collector,
+    doctor: Option<&DoctorServer>,
+) -> (u16, &'static str, &'static str, String) {
+    const JSON: &str = "application/json";
+    match path {
+        "/metrics" => (
+            200,
+            "OK",
+            "text/plain; version=0.0.4; charset=utf-8",
+            collector.prometheus(),
+        ),
+        "/healthz" => {
+            let anomalies = match doctor {
+                Some(d) => d.anomalies(),
+                // No doctor attached: classify the latest tick's
+                // observations statelessly with default thresholds.
+                None => classify_observations(
+                    &collector.latest_observations(),
+                    &DoctorConfig::default(),
+                ),
+            };
+            let items: Vec<String> = anomalies.iter().map(Anomaly::to_json).collect();
+            let status = if anomalies.is_empty() {
+                "ok"
+            } else {
+                "unhealthy"
+            };
+            let body = format!(
+                "{{\"status\":\"{status}\",\"ranks\":{},\"frames_seen\":{},\
+                 \"trace_events_dropped\":{},\"anomalies\":[{}]}}",
+                collector.ranks_registered(),
+                collector.ring().frames_seen(),
+                collector.trace_events_dropped(),
+                items.join(",")
+            );
+            if anomalies.is_empty() {
+                (200, "OK", JSON, body)
+            } else {
+                (503, "Service Unavailable", JSON, body)
+            }
+        }
+        "/flight" => {
+            let anomalies = doctor.map_or_else(Vec::new, |d| d.anomalies());
+            (
+                200,
+                "OK",
+                JSON,
+                collector.flight_record(anomalies).to_json(),
+            )
+        }
+        "/frames" => (200, "OK", JSON, collector.frames_json()),
+        "/" => (
+            200,
+            "OK",
+            "text/plain; charset=utf-8",
+            "motor telemetry: /metrics /healthz /flight /frames\n".to_string(),
+        ),
+        _ => (
+            404,
+            "Not Found",
+            "text/plain; charset=utf-8",
+            format!("no such endpoint: {path}\n"),
+        ),
+    }
+}
+
+/// Parse the request line of an HTTP/1.x request: `(method, path)` with
+/// any query string stripped.
+fn parse_request_line(head: &str) -> (String, String) {
+    let line = head.lines().next().unwrap_or("");
+    let mut parts = line.split_whitespace();
+    let method = parts.next().unwrap_or("").to_string();
+    let target = parts.next().unwrap_or("/");
+    let path = target.split('?').next().unwrap_or("/").to_string();
+    (method, path)
+}
+
+fn handle_connection(mut stream: TcpStream, collector: &Collector, doctor: Option<&DoctorServer>) {
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
+    let mut head = Vec::new();
+    let mut chunk = [0u8; 1024];
+    // Read until the end of the request headers (we never accept bodies).
+    while !head.windows(4).any(|w| w == b"\r\n\r\n") {
+        if head.len() > 8192 {
+            return; // oversized request: drop the connection
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => head.extend_from_slice(&chunk[..n]),
+            Err(_) => return,
+        }
+    }
+    let (method, path) = parse_request_line(&String::from_utf8_lossy(&head));
+    let (status, reason, ctype, body) = if method == "GET" {
+        respond(&path, collector, doctor)
+    } else {
+        (
+            405,
+            "Method Not Allowed",
+            "text/plain; charset=utf-8",
+            "only GET is supported\n".to_string(),
+        )
+    };
+    let header = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {ctype}\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    let _ = stream.write_all(header.as_bytes());
+    let _ = stream.write_all(body.as_bytes());
+    let _ = stream.flush();
+}
+
+/// The in-process scrape endpoint: a nonblocking accept loop on its own
+/// thread, one short-lived thread per connection (`Connection: close`
+/// always). Scrapes read shared state only — they never advance the
+/// delta ring or the doctor's windows, so two concurrent clients see
+/// consistent, independent responses.
+pub struct TelemetryServer {
+    collector: Arc<Collector>,
+    doctor: Option<Arc<DoctorServer>>,
+    local_addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl TelemetryServer {
+    /// Bind `cfg.addr` and start serving. Fails only on bind errors
+    /// (address in use, permission) — callers decide whether that is
+    /// fatal (`run_cluster` warns and runs on).
+    pub fn start(
+        cfg: &TelemetryConfig,
+        collector: Arc<Collector>,
+        doctor: Option<Arc<DoctorServer>>,
+    ) -> std::io::Result<Arc<TelemetryServer>> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        let local_addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let server = Arc::new(TelemetryServer {
+            collector,
+            doctor,
+            local_addr,
+            stop: Arc::new(AtomicBool::new(false)),
+            accept: Mutex::new(None),
+        });
+        let me = Arc::clone(&server);
+        let thread = std::thread::Builder::new()
+            .name("motor-telemetry".into())
+            .spawn(move || {
+                while !me.stop.load(Ordering::Acquire) {
+                    match listener.accept() {
+                        Ok((stream, _)) => {
+                            let _ = stream.set_nonblocking(false);
+                            let conn = Arc::clone(&me);
+                            let _ = std::thread::Builder::new()
+                                .name("motor-telemetry-conn".into())
+                                .spawn(move || {
+                                    handle_connection(
+                                        stream,
+                                        &conn.collector,
+                                        conn.doctor.as_deref(),
+                                    );
+                                });
+                        }
+                        Err(_) => std::thread::sleep(Duration::from_millis(20)),
+                    }
+                }
+            })
+            .expect("spawn motor-telemetry thread");
+        *server.accept.lock() = Some(thread);
+        Ok(server)
+    }
+
+    /// The bound address (resolves port 0 to the OS-assigned port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Ask the accept loop to exit and join it (idempotent). In-flight
+    /// connection threads finish their response on their own.
+    pub fn stop(&self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(h) = self.accept.lock().take() {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use motor_obs::check_prometheus_text;
+    use motor_obs::export::json;
+
+    #[test]
+    fn config_parse_forms() {
+        let d = TelemetryConfig::parse("1");
+        assert_eq!(d.addr, TelemetryConfig::default().addr);
+        let bare = TelemetryConfig::parse("0.0.0.0:9000");
+        assert_eq!(bare.addr, "0.0.0.0:9000");
+        let kv = TelemetryConfig::parse("addr=127.0.0.1:0,interval_ms=50,frames=16");
+        assert_eq!(kv.addr, "127.0.0.1:0");
+        assert_eq!(kv.interval, Duration::from_millis(50));
+        assert_eq!(kv.frame_capacity, 16);
+        let partial = TelemetryConfig::parse("interval_ms=100");
+        assert_eq!(partial.addr, TelemetryConfig::default().addr);
+        assert_eq!(partial.interval, Duration::from_millis(100));
+    }
+
+    #[test]
+    fn request_line_parsing() {
+        assert_eq!(
+            parse_request_line("GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n"),
+            ("GET".to_string(), "/metrics".to_string())
+        );
+        assert_eq!(
+            parse_request_line("GET /frames?last=5 HTTP/1.1\r\n\r\n"),
+            ("GET".to_string(), "/frames".to_string())
+        );
+        assert_eq!(parse_request_line(""), (String::new(), "/".to_string()));
+    }
+
+    #[test]
+    fn routes_on_an_empty_collector() {
+        // No ranks registered: every endpoint must still answer with
+        // well-formed bodies (a scrape racing cluster startup).
+        let c = Collector::new(8);
+        let (status, _, ctype, body) = respond("/metrics", &c, None);
+        assert_eq!(status, 200);
+        assert!(ctype.starts_with("text/plain"));
+        check_prometheus_text(&body).expect("empty exposition is valid");
+        assert!(body.contains("motor_build_info"));
+
+        let (status, _, _, body) = respond("/healthz", &c, None);
+        assert_eq!(status, 200);
+        let v = json::parse(&body).expect("healthz is valid JSON");
+        assert_eq!(v.get("status").and_then(|x| x.as_str()), Some("ok"));
+        assert_eq!(v.get("ranks").and_then(|x| x.as_u64()), Some(0));
+
+        let (status, _, _, body) = respond("/frames", &c, None);
+        assert_eq!(status, 200);
+        let v = json::parse(&body).expect("frames is valid JSON");
+        assert_eq!(
+            v.get("frames").and_then(|x| x.as_array()).map(|a| a.len()),
+            Some(0)
+        );
+
+        let (status, _, _, body) = respond("/flight", &c, None);
+        assert_eq!(status, 200);
+        let v = json::parse(&body).expect("flight is valid JSON");
+        assert_eq!(
+            v.get("motor_flight_record").and_then(|x| x.as_u64()),
+            Some(1)
+        );
+
+        let (status, _, _, _) = respond("/nope", &c, None);
+        assert_eq!(status, 404);
+    }
+
+    #[test]
+    fn server_binds_and_serves_over_tcp() {
+        // End-to-end over a real socket, without a cluster: bind port 0,
+        // speak minimal HTTP, check the response frame.
+        let c = Collector::new(8);
+        let srv = TelemetryServer::start(
+            &TelemetryConfig {
+                addr: "127.0.0.1:0".to_string(),
+                ..TelemetryConfig::default()
+            },
+            Arc::clone(&c),
+            None,
+        )
+        .expect("bind");
+        let mut stream = TcpStream::connect(srv.local_addr()).expect("connect");
+        stream
+            .write_all(b"GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n")
+            .unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        assert!(response.starts_with("HTTP/1.1 200 OK\r\n"), "{response}");
+        assert!(response.contains("Content-Type: application/json"));
+        assert!(response.contains("\"status\":\"ok\""));
+
+        // Non-GET is rejected without panicking the server.
+        let mut stream = TcpStream::connect(srv.local_addr()).expect("connect");
+        stream
+            .write_all(b"POST /metrics HTTP/1.1\r\nHost: t\r\n\r\n")
+            .unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        assert!(response.starts_with("HTTP/1.1 405"), "{response}");
+        srv.stop();
+    }
+}

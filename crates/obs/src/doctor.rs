@@ -426,6 +426,24 @@ impl Anomaly {
             self.op.as_ref().map_or(0, |o| o.token),
         )
     }
+
+    /// This anomaly as a JSON object (shared by the flight record and the
+    /// telemetry plane's `/healthz` endpoint).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"kind\":\"{}\",\"rank\":{},\"label\":\"{}\",\"op\":{},\
+             \"peer\":{},\"age_nanos\":{},\"detail\":\"{}\"}}",
+            self.kind.name(),
+            self.rank,
+            esc(&self.label),
+            self.op
+                .as_ref()
+                .map_or("null".into(), |o| format!("\"{}\"", o.kind.name())),
+            self.peer.map_or("null".into(), |p| p.to_string()),
+            self.age_nanos,
+            esc(&self.detail)
+        )
+    }
 }
 
 /// Point-to-point kinds whose `arg` names the peer being waited on.
@@ -697,7 +715,7 @@ pub struct FlightRecord {
     pub ranks: Vec<RankFlight>,
 }
 
-fn esc(s: &str) -> String {
+pub(crate) fn esc(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -711,7 +729,7 @@ fn esc(s: &str) -> String {
     out
 }
 
-fn inflight_json(ops: &[InflightOp]) -> String {
+pub(crate) fn inflight_json(ops: &[InflightOp]) -> String {
     let items: Vec<String> = ops
         .iter()
         .map(|op| {
@@ -736,24 +754,7 @@ impl FlightRecord {
     /// The record as one JSON object (hand-rolled like every exporter in
     /// this crate; see `DESIGN.md` "Offline builds").
     pub fn to_json(&self) -> String {
-        let anomalies: Vec<String> = self
-            .anomalies
-            .iter()
-            .map(|a| {
-                format!(
-                    "{{\"kind\":\"{}\",\"rank\":{},\"label\":\"{}\",\"op\":{},\
-                     \"peer\":{},\"age_nanos\":{},\"detail\":\"{}\"}}",
-                    a.kind.name(),
-                    a.rank,
-                    esc(&a.label),
-                    a.op.as_ref()
-                        .map_or("null".into(), |o| format!("\"{}\"", o.kind.name())),
-                    a.peer.map_or("null".into(), |p| p.to_string()),
-                    a.age_nanos,
-                    esc(&a.detail)
-                )
-            })
-            .collect();
+        let anomalies: Vec<String> = self.anomalies.iter().map(Anomaly::to_json).collect();
         let ranks: Vec<String> = self
             .ranks
             .iter()

@@ -31,6 +31,7 @@ pub mod export;
 pub mod profile;
 pub mod prom;
 pub mod span;
+pub mod telemetry;
 pub mod trace;
 
 pub use doctor::{
@@ -39,8 +40,12 @@ pub use doctor::{
 };
 pub use export::{from_chrome_json, to_chrome_json};
 pub use profile::{FuncHotness, IlHot, PhaseSnapshot, PhaseStats, TimeBucket, N_BUCKETS};
-pub use prom::{check_prometheus_text, to_prometheus};
+pub use prom::{check_prometheus_text, to_prometheus, to_prometheus_multi};
 pub use span::{span_arg_peer_tag, span_arg_unpack, SpanGuard, SpanKind};
+pub use telemetry::{
+    frame_prometheus, frame_to_json, frames_to_json, FrameRing, RankDelta, TelemetryFrame,
+    DEFAULT_FRAME_CAPACITY,
+};
 pub use trace::{
     build_cluster_trace, estimate_clock_offset, ClusterTrace, EdgeKind, MessageEdge, TraceSpan,
     MSG_RNDV_FLAG,
@@ -995,6 +1000,14 @@ impl MetricsSnapshot {
     /// Recorded trace events, oldest first.
     pub fn events(&self) -> &[Event] {
         &self.events
+    }
+
+    /// Copy of `self` with the event drain dropped. The telemetry plane's
+    /// delta frames carry counters and histograms only — a bounded ring of
+    /// frames must not retain every rank's event ring many times over.
+    pub fn without_events(mut self) -> MetricsSnapshot {
+        self.events.clear();
+        self
     }
 
     /// What happened between `earlier` and `self`: counters and histogram

@@ -60,60 +60,95 @@ fn bucket_mid(k: usize) -> f64 {
 /// histogram the final cumulative bucket (`le="+Inf"`) and `_count`
 /// equal [`crate::HistSnapshot::count`].
 pub fn to_prometheus(snap: &MetricsSnapshot, labels: &[(&str, &str)]) -> String {
-    let lb = label_block(labels);
-    let mut out = String::new();
+    to_prometheus_multi(&[(snap, labels)])
+}
+
+/// The binary identity gauge: `motor_build_info{version,git} 1`, so a
+/// scrape always says what produced it. `git` comes from the
+/// `MOTOR_GIT_SHA` compile-time environment variable when the build sets
+/// it (CI does), `unknown` otherwise.
+pub fn build_info_prometheus() -> String {
+    format!(
+        "# TYPE motor_build_info gauge\nmotor_build_info{{version=\"{}\",git=\"{}\"}} 1\n",
+        env!("CARGO_PKG_VERSION"),
+        option_env!("MOTOR_GIT_SHA").unwrap_or("unknown")
+    )
+}
+
+/// Render several labeled snapshots (e.g. one per rank) into **one**
+/// exposition document: each `# TYPE` line is emitted exactly once per
+/// family, followed by one sample per snapshot. Concatenating separate
+/// [`to_prometheus`] outputs would repeat the TYPE lines, which real
+/// Prometheus servers reject even though each half is well-formed — this
+/// is what a multi-rank `/metrics` endpoint must serve instead.
+pub fn to_prometheus_multi(snaps: &[(&MetricsSnapshot, &[(&str, &str)])]) -> String {
+    let mut out = build_info_prometheus();
     for m in Metric::ALL {
         let family = format!("motor_{}", m.name());
         let ty = if m.is_peak() { "gauge" } else { "counter" };
         out.push_str(&format!("# TYPE {family} {ty}\n"));
-        out.push_str(&format!("{family}{lb} {}\n", snap.get(m)));
+        for (snap, labels) in snaps {
+            out.push_str(&format!(
+                "{family}{} {}\n",
+                label_block(labels),
+                snap.get(m)
+            ));
+        }
     }
     // Derived profiling gauges: where the rank's wall clock went
     // (fraction per time bucket) and how much non-blocking communication
     // overlapped computation. The raw nanos already travel as prof_*
     // counters above; these save every dashboard the same division.
-    let wall: u64 = snap.bucket_nanos().iter().sum();
     out.push_str("# TYPE motor_profile_bucket_fraction gauge\n");
-    for (bucket, nanos) in TimeBucket::ALL.iter().zip(snap.bucket_nanos()) {
-        let frac = if wall == 0 {
-            0.0
-        } else {
-            nanos as f64 / wall as f64
-        };
-        let mut labels = labels.to_vec();
-        labels.push(("bucket", bucket.name()));
-        out.push_str(&format!(
-            "motor_profile_bucket_fraction{} {frac}\n",
-            label_block(&labels)
-        ));
-    }
-    out.push_str("# TYPE motor_profile_overlap_ratio gauge\n");
-    out.push_str(&format!(
-        "motor_profile_overlap_ratio{lb} {}\n",
-        snap.overlap_ratio().unwrap_or(0.0)
-    ));
-    for h in Hist::ALL {
-        let family = format!("motor_{}", h.name());
-        let hs = snap.hist(h);
-        let total = hs.count();
-        out.push_str(&format!("# TYPE {family} histogram\n"));
-        let last = hs.buckets.iter().rposition(|&c| c > 0).unwrap_or(0);
-        let mut cumulative = 0u64;
-        let mut sum = 0.0f64;
-        for k in 0..=last.min(HIST_BUCKETS - 1) {
-            cumulative += hs.buckets[k];
-            sum += hs.buckets[k] as f64 * bucket_mid(k);
+    for (snap, labels) in snaps {
+        let wall: u64 = snap.bucket_nanos().iter().sum();
+        for (bucket, nanos) in TimeBucket::ALL.iter().zip(snap.bucket_nanos()) {
+            let frac = if wall == 0 {
+                0.0
+            } else {
+                nanos as f64 / wall as f64
+            };
+            let mut labels = labels.to_vec();
+            labels.push(("bucket", bucket.name()));
             out.push_str(&format!(
-                "{family}_bucket{} {cumulative}\n",
-                label_block_with_le(labels, &bucket_upper(k).to_string())
+                "motor_profile_bucket_fraction{} {frac}\n",
+                label_block(&labels)
             ));
         }
+    }
+    out.push_str("# TYPE motor_profile_overlap_ratio gauge\n");
+    for (snap, labels) in snaps {
         out.push_str(&format!(
-            "{family}_bucket{} {total}\n",
-            label_block_with_le(labels, "+Inf")
+            "motor_profile_overlap_ratio{} {}\n",
+            label_block(labels),
+            snap.overlap_ratio().unwrap_or(0.0)
         ));
-        out.push_str(&format!("{family}_sum{lb} {sum}\n"));
-        out.push_str(&format!("{family}_count{lb} {total}\n"));
+    }
+    for h in Hist::ALL {
+        let family = format!("motor_{}", h.name());
+        out.push_str(&format!("# TYPE {family} histogram\n"));
+        for (snap, labels) in snaps {
+            let lb = label_block(labels);
+            let hs = snap.hist(h);
+            let total = hs.count();
+            let last = hs.buckets.iter().rposition(|&c| c > 0).unwrap_or(0);
+            let mut cumulative = 0u64;
+            let mut sum = 0.0f64;
+            for k in 0..=last.min(HIST_BUCKETS - 1) {
+                cumulative += hs.buckets[k];
+                sum += hs.buckets[k] as f64 * bucket_mid(k);
+                out.push_str(&format!(
+                    "{family}_bucket{} {cumulative}\n",
+                    label_block_with_le(labels, &bucket_upper(k).to_string())
+                ));
+            }
+            out.push_str(&format!(
+                "{family}_bucket{} {total}\n",
+                label_block_with_le(labels, "+Inf")
+            ));
+            out.push_str(&format!("{family}_sum{lb} {sum}\n"));
+            out.push_str(&format!("{family}_count{lb} {total}\n"));
+        }
     }
     out
 }
@@ -329,6 +364,60 @@ mod tests {
         assert!(text.contains("motor_profile_overlap_ratio{rank=\"1\"} 0"));
         // Raw nanos counters travel too.
         assert!(text.contains("motor_prof_comm_wait_nanos{rank=\"1\"}"));
+    }
+
+    #[test]
+    fn build_info_always_identifies_the_binary() {
+        let text = to_prometheus(&MetricsRegistry::new().snapshot(), &[]);
+        assert!(text.contains("# TYPE motor_build_info gauge"));
+        assert!(text.contains(&format!(
+            "motor_build_info{{version=\"{}\",git=",
+            env!("CARGO_PKG_VERSION")
+        )));
+        check_prometheus_text(&text).expect("valid exposition format");
+    }
+
+    #[test]
+    fn trace_ring_overflow_is_scrapable() {
+        // The live endpoint must surface ring overflow: overflow the
+        // 4-slot ring and check the counter travels the Prometheus path.
+        let r = MetricsRegistry::with_event_capacity(4);
+        for i in 0..10u64 {
+            r.event(crate::EventKind::OpBegin, i, 0);
+        }
+        let text = to_prometheus(&r.snapshot(), &[("rank", "0")]);
+        assert!(text.contains("# TYPE motor_trace_events_dropped counter"));
+        assert!(text.contains("motor_trace_events_dropped{rank=\"0\"} 6"));
+    }
+
+    #[test]
+    fn multi_rank_exposition_declares_each_family_once() {
+        let r0 = MetricsRegistry::new();
+        let r1 = MetricsRegistry::new();
+        r0.bump(Metric::SendsEager);
+        r1.add(Metric::SendsEager, 3);
+        r1.record(Hist::WaitNanos, 512);
+        let (s0, s1) = (r0.snapshot(), r1.snapshot());
+        let text = to_prometheus_multi(&[
+            (&s0, &[("group", "0"), ("rank", "0")]),
+            (&s1, &[("group", "0"), ("rank", "1")]),
+        ]);
+        check_prometheus_text(&text).expect("valid exposition format");
+        // One TYPE per family even with two snapshots...
+        let type_lines = text
+            .lines()
+            .filter(|l| *l == "# TYPE motor_sends_eager counter")
+            .count();
+        assert_eq!(type_lines, 1);
+        // ...but one sample per rank.
+        assert!(text.contains("motor_sends_eager{group=\"0\",rank=\"0\"} 1"));
+        assert!(text.contains("motor_sends_eager{group=\"0\",rank=\"1\"} 3"));
+        assert!(text.contains("motor_wait_nanos_count{group=\"0\",rank=\"1\"} 1"));
+        let hist_types = text
+            .lines()
+            .filter(|l| *l == "# TYPE motor_wait_nanos histogram")
+            .count();
+        assert_eq!(hist_types, 1);
     }
 
     #[test]

@@ -1,0 +1,366 @@
+//! The live telemetry plane's data model: timestamped **delta frames**
+//! over a bounded ring.
+//!
+//! Post-mortem snapshots answer "what happened"; a live dashboard needs
+//! *rates* and *sliding-window* statistics — msg/s right now, the GC
+//! stall p99 over the last collection window, how the current second's
+//! wall clock split across time buckets. A [`TelemetryFrame`] is one
+//! collection tick: per rank, the [`MetricsSnapshot::diff`] against the
+//! previous tick (so every counter in it is a windowed delta), the live
+//! in-flight op table, queue depths, heap occupancy and the window's
+//! safepoint-stall percentiles. Frames go into a [`FrameRing`] that keeps
+//! the most recent `capacity` ticks, so a late-attaching client
+//! (`motor-top`, the `/frames` endpoint) can reconstruct a time series
+//! without having polled from the start.
+//!
+//! The collection loop that *produces* frames lives in `motor-core`
+//! (`telemetry::Collector`) next to the rank hooks; this module is the
+//! transport-free half — frame structure, ring, JSON wire format, and the
+//! Prometheus rate/window gauges derived from the newest frame — so the
+//! `motor-top` client and the tests share one schema with the server.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::doctor::{inflight_json, InflightOp};
+use crate::{Hist, Metric, MetricsSnapshot};
+
+/// Default number of frames a [`FrameRing`] retains.
+pub const DEFAULT_FRAME_CAPACITY: usize = 240;
+
+/// One rank's contribution to a [`TelemetryFrame`]: windowed deltas plus
+/// the live state that has no meaningful delta (in-flight ops, queues,
+/// heap occupancy).
+#[derive(Debug, Clone)]
+pub struct RankDelta {
+    /// Spawn group (0 for the initial world).
+    pub group: usize,
+    /// Rank within its group.
+    pub rank: usize,
+    /// Human label (`"rank 2"`, `"child 1.0"`, ...).
+    pub label: String,
+    /// Whether the rank's body has returned.
+    pub done: bool,
+    /// Device queue depths `(posted, unexpected, pending_sends,
+    /// active_recvs)` at tick time.
+    pub queue_depths: (usize, usize, usize, usize),
+    /// Live heap bytes in use (young + elder), 0 if unavailable.
+    pub heap_used_bytes: u64,
+    /// Live heap capacity in bytes, 0 if unavailable.
+    pub heap_capacity_bytes: u64,
+    /// p50 of safepoint stalls recorded *within this window* (nanos).
+    pub gc_stall_p50_nanos: u64,
+    /// p99 of safepoint stalls recorded within this window (nanos).
+    pub gc_stall_p99_nanos: u64,
+    /// Counter/histogram deltas over the window
+    /// ([`MetricsSnapshot::diff`] against the previous tick; events
+    /// stripped — the flight record carries full rings).
+    pub delta: MetricsSnapshot,
+    /// The rank's in-flight op table at tick time.
+    pub inflight: Vec<InflightOp>,
+}
+
+impl RankDelta {
+    /// Messages sent in the window (all four send paths).
+    pub fn msgs_out(&self) -> u64 {
+        self.delta.get(Metric::SendsEager)
+            + self.delta.get(Metric::SendsRndv)
+            + self.delta.get(Metric::SendsSync)
+            + self.delta.get(Metric::SendsSelf)
+    }
+
+    /// Messages received (matched) in the window.
+    pub fn msgs_in(&self) -> u64 {
+        self.delta.get(Metric::RecvsPosted) + self.delta.get(Metric::RecvsUnexpected)
+    }
+
+    /// Comm/compute overlap ratio over the window (`None` when nothing
+    /// was in flight during it).
+    pub fn window_overlap_ratio(&self) -> Option<f64> {
+        self.delta.overlap_ratio()
+    }
+}
+
+/// Per-second rate of a windowed count (0 when the window is empty).
+pub fn per_sec(count: u64, window_nanos: u64) -> f64 {
+    if window_nanos == 0 {
+        0.0
+    } else {
+        count as f64 * 1e9 / window_nanos as f64
+    }
+}
+
+/// One collection tick across every registered rank.
+#[derive(Debug, Clone)]
+pub struct TelemetryFrame {
+    /// Monotonic frame number (1-based within one ring).
+    pub seq: u64,
+    /// Shared-epoch clock at the tick (nanoseconds).
+    pub t_nanos: u64,
+    /// Nanoseconds since the previous tick (0 on the first frame, whose
+    /// deltas cover the whole run so far).
+    pub window_nanos: u64,
+    /// Per-rank deltas, in (group, rank) order.
+    pub ranks: Vec<RankDelta>,
+}
+
+/// Bounded ring of the most recent frames. Push-side is the collection
+/// loop; readers (`/frames`, `/metrics` rate gauges, the doctor) take
+/// cheap `Arc` copies.
+pub struct FrameRing {
+    frames: Mutex<VecDeque<Arc<TelemetryFrame>>>,
+    capacity: usize,
+    next_seq: AtomicU64,
+}
+
+impl FrameRing {
+    /// Ring retaining the most recent `capacity` frames (min 1).
+    pub fn new(capacity: usize) -> FrameRing {
+        FrameRing {
+            frames: Mutex::new(VecDeque::new()),
+            capacity: capacity.max(1),
+            next_seq: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of frames retained before overwrite.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Sequence number for the next frame (1-based).
+    pub fn alloc_seq(&self) -> u64 {
+        self.next_seq.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Append a frame, evicting the oldest past capacity.
+    pub fn push(&self, frame: TelemetryFrame) -> Arc<TelemetryFrame> {
+        let frame = Arc::new(frame);
+        let mut q = self.frames.lock().unwrap();
+        if q.len() == self.capacity {
+            q.pop_front();
+        }
+        q.push_back(Arc::clone(&frame));
+        frame
+    }
+
+    /// Every retained frame, oldest first.
+    pub fn frames(&self) -> Vec<Arc<TelemetryFrame>> {
+        self.frames.lock().unwrap().iter().cloned().collect()
+    }
+
+    /// The newest frame, if any tick has happened.
+    pub fn latest(&self) -> Option<Arc<TelemetryFrame>> {
+        self.frames.lock().unwrap().back().cloned()
+    }
+
+    /// Total frames ever pushed (not capped by capacity).
+    pub fn frames_seen(&self) -> u64 {
+        self.next_seq.load(Ordering::Relaxed)
+    }
+}
+
+/// One frame as a JSON object. Counters serialize sparsely (only
+/// non-zero deltas) to keep a full ring's `/frames` response small;
+/// histogram detail is pre-reduced to the stall percentiles.
+pub fn frame_to_json(f: &TelemetryFrame) -> String {
+    let ranks: Vec<String> = f
+        .ranks
+        .iter()
+        .map(|r| {
+            let counters: Vec<String> = Metric::ALL
+                .iter()
+                .filter(|m| r.delta.get(**m) > 0)
+                .map(|m| format!("\"{}\":{}", m.name(), r.delta.get(*m)))
+                .collect();
+            let (p, u, s, a) = r.queue_depths;
+            format!(
+                "{{\"group\":{},\"rank\":{},\"label\":\"{}\",\"done\":{},\
+                 \"queues\":{{\"posted\":{p},\"unexpected\":{u},\
+                 \"pending_sends\":{s},\"active_recvs\":{a}}},\
+                 \"heap_used_bytes\":{},\"heap_capacity_bytes\":{},\
+                 \"gc_stall_p50_nanos\":{},\"gc_stall_p99_nanos\":{},\
+                 \"counters\":{{{}}},\"inflight\":{}}}",
+                r.group,
+                r.rank,
+                crate::doctor::esc(&r.label),
+                r.done,
+                r.heap_used_bytes,
+                r.heap_capacity_bytes,
+                r.gc_stall_p50_nanos,
+                r.gc_stall_p99_nanos,
+                counters.join(","),
+                inflight_json(&r.inflight),
+            )
+        })
+        .collect();
+    format!(
+        "{{\"seq\":{},\"t_nanos\":{},\"window_nanos\":{},\"ranks\":[{}]}}",
+        f.seq,
+        f.t_nanos,
+        f.window_nanos,
+        ranks.join(",")
+    )
+}
+
+/// The whole ring as one JSON document (the `/frames` endpoint body).
+pub fn frames_to_json(frames: &[Arc<TelemetryFrame>], capacity: usize) -> String {
+    let items: Vec<String> = frames.iter().map(|f| frame_to_json(f)).collect();
+    format!(
+        "{{\"motor_frames\":1,\"capacity\":{capacity},\"frames\":[{}]}}",
+        items.join(",")
+    )
+}
+
+fn gauge_family(
+    out: &mut String,
+    family: &str,
+    f: &TelemetryFrame,
+    value: impl Fn(&RankDelta) -> f64,
+) {
+    out.push_str(&format!("# TYPE {family} gauge\n"));
+    for r in &f.ranks {
+        out.push_str(&format!(
+            "{family}{{group=\"{}\",rank=\"{}\"}} {}\n",
+            r.group,
+            r.rank,
+            value(r)
+        ));
+    }
+}
+
+/// Rate and sliding-window gauges derived from the newest frame,
+/// rendered in Prometheus text exposition (appended to `/metrics` after
+/// the cumulative families). Everything here is a gauge: rates go up and
+/// down, window percentiles reset every tick.
+pub fn frame_prometheus(f: &TelemetryFrame) -> String {
+    let w = f.window_nanos;
+    let mut out = String::new();
+    gauge_family(&mut out, "motor_rate_msgs_out_per_sec", f, |r| {
+        per_sec(r.msgs_out(), w)
+    });
+    gauge_family(&mut out, "motor_rate_msgs_in_per_sec", f, |r| {
+        per_sec(r.msgs_in(), w)
+    });
+    gauge_family(&mut out, "motor_rate_bytes_out_per_sec", f, |r| {
+        per_sec(r.delta.get(Metric::ChanBytesOut), w)
+    });
+    gauge_family(&mut out, "motor_rate_bytes_in_per_sec", f, |r| {
+        per_sec(r.delta.get(Metric::ChanBytesIn), w)
+    });
+    gauge_family(&mut out, "motor_window_gc_stall_p50_nanos", f, |r| {
+        r.gc_stall_p50_nanos as f64
+    });
+    gauge_family(&mut out, "motor_window_gc_stall_p99_nanos", f, |r| {
+        r.gc_stall_p99_nanos as f64
+    });
+    gauge_family(&mut out, "motor_window_wait_p99_nanos", f, |r| {
+        r.delta.percentile(Hist::WaitNanos, 0.99) as f64
+    });
+    gauge_family(&mut out, "motor_window_overlap_ratio", f, |r| {
+        r.window_overlap_ratio().unwrap_or(0.0)
+    });
+    gauge_family(&mut out, "motor_heap_used_bytes", f, |r| {
+        r.heap_used_bytes as f64
+    });
+    gauge_family(&mut out, "motor_heap_capacity_bytes", f, |r| {
+        r.heap_capacity_bytes as f64
+    });
+    gauge_family(&mut out, "motor_inflight_ops", f, |r| {
+        r.inflight.len() as f64
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{check_prometheus_text, MetricsRegistry};
+
+    fn delta(rank: usize) -> RankDelta {
+        let r = MetricsRegistry::new();
+        r.add(Metric::SendsEager, 10);
+        r.add(Metric::ChanBytesOut, 4096);
+        r.record(Hist::SafepointStallNanos, 1500);
+        RankDelta {
+            group: 0,
+            rank,
+            label: format!("rank {rank}"),
+            done: false,
+            queue_depths: (1, 0, 2, 0),
+            heap_used_bytes: 1 << 20,
+            heap_capacity_bytes: 1 << 24,
+            gc_stall_p50_nanos: 1100,
+            gc_stall_p99_nanos: 2000,
+            delta: r.snapshot(),
+            inflight: Vec::new(),
+        }
+    }
+
+    fn frame(seq: u64) -> TelemetryFrame {
+        TelemetryFrame {
+            seq,
+            t_nanos: seq * 1_000_000,
+            window_nanos: 1_000_000,
+            ranks: vec![delta(0), delta(1)],
+        }
+    }
+
+    #[test]
+    fn ring_is_bounded_and_ordered() {
+        let ring = FrameRing::new(4);
+        for _ in 0..10 {
+            let seq = ring.alloc_seq();
+            ring.push(frame(seq));
+        }
+        let frames = ring.frames();
+        assert_eq!(frames.len(), 4);
+        let seqs: Vec<u64> = frames.iter().map(|f| f.seq).collect();
+        assert_eq!(seqs, vec![7, 8, 9, 10]);
+        assert_eq!(ring.latest().unwrap().seq, 10);
+        assert_eq!(ring.frames_seen(), 10);
+    }
+
+    #[test]
+    fn frame_json_parses_and_is_sparse() {
+        let f = frame(3);
+        let text = frames_to_json(&[Arc::new(f)], 240);
+        let v = crate::export::json::parse(&text).expect("frames JSON parses");
+        assert_eq!(v.get("motor_frames").and_then(|x| x.as_u64()), Some(1));
+        let frames = v.get("frames").and_then(|x| x.as_array()).unwrap();
+        assert_eq!(frames.len(), 1);
+        let ranks = frames[0].get("ranks").and_then(|x| x.as_array()).unwrap();
+        assert_eq!(ranks.len(), 2);
+        let counters = ranks[0].get("counters").unwrap();
+        assert_eq!(
+            counters.get("sends_eager").and_then(|x| x.as_u64()),
+            Some(10)
+        );
+        // Zero deltas are omitted from the wire format.
+        assert!(counters.get("sends_rndv").is_none());
+        assert_eq!(
+            ranks[1].get("gc_stall_p99_nanos").and_then(|x| x.as_u64()),
+            Some(2000)
+        );
+    }
+
+    #[test]
+    fn rate_math() {
+        let d = delta(0);
+        assert_eq!(d.msgs_out(), 10);
+        // 10 msgs over 1 ms = 10k msg/s.
+        assert!((per_sec(d.msgs_out(), 1_000_000) - 10_000.0).abs() < 1e-6);
+        assert_eq!(per_sec(5, 0), 0.0);
+    }
+
+    #[test]
+    fn frame_gauges_pass_exposition_check() {
+        let text = frame_prometheus(&frame(1));
+        check_prometheus_text(&text).expect("valid exposition format");
+        assert!(text.contains("# TYPE motor_rate_msgs_out_per_sec gauge"));
+        assert!(text.contains("motor_rate_msgs_out_per_sec{group=\"0\",rank=\"1\"} 10000"));
+        assert!(text.contains("motor_window_gc_stall_p99_nanos{group=\"0\",rank=\"0\"} 2000"));
+        assert!(text.contains("motor_heap_used_bytes{group=\"0\",rank=\"0\"} 1048576"));
+    }
+}

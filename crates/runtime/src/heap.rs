@@ -381,6 +381,18 @@ impl Heap {
         &self.old
     }
 
+    /// Live occupancy `(used_bytes, capacity_bytes)` across the young
+    /// segment and every elder segment (the telemetry heap gauges).
+    pub fn usage(&self) -> (u64, u64) {
+        let mut used = self.young.used() as u64;
+        let mut capacity = self.young.capacity() as u64;
+        for s in &self.old {
+            used += s.used() as u64;
+            capacity += s.capacity() as u64;
+        }
+        (used, capacity)
+    }
+
     /// Replace the young segment with a fresh one and move the current one
     /// into the elder generation — the SSCLI pinned-promotion behaviour:
     /// "the entire block of younger generational memory is assigned to the

@@ -181,6 +181,14 @@ impl Vm {
         )
     }
 
+    /// Live heap occupancy `(used_bytes, capacity_bytes)` for the
+    /// telemetry gauges. Non-blocking: when the state lock is contended
+    /// (a GC is running) this returns `None` rather than stalling the
+    /// monitor thread behind the collection.
+    pub fn heap_usage(&self) -> Option<(u64, u64)> {
+        self.state.try_lock().map(|st| st.heap.usage())
+    }
+
     /// Lock the mutable state. Internal to the runtime crate and the
     /// trusted integration layer (the FCall analog); user code goes through
     /// `MotorThread`.

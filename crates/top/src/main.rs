@@ -1,0 +1,628 @@
+//! `motor-top` — a real-time terminal dashboard over a Motor telemetry
+//! endpoint.
+//!
+//! Attach to a cluster started with `MOTOR_TELEMETRY=<addr>` (or
+//! `ClusterConfig::builder().telemetry(..)`) and watch every rank live:
+//! message and byte rates, the eager/rendezvous protocol mix, time-bucket
+//! bars, comm/compute overlap, GC stall percentile sparklines, the
+//! in-flight op table with heartbeat ages, and any anomalies the
+//! `motor-doctor` watchdog has diagnosed.
+//!
+//! ```text
+//! motor-top [ADDR] [--once] [--raw ENDPOINT] [--interval-ms N]
+//! ```
+//!
+//! * `ADDR` — the telemetry endpoint (default `127.0.0.1:9612`).
+//! * `--once` — validate `/metrics` against the exposition format, render
+//!   one dashboard screen and exit (no screen clearing; scriptable).
+//! * `--raw ENDPOINT` — fetch `/ENDPOINT` and print the body verbatim
+//!   (`metrics`, `healthz`, `flight`, `frames`); exit nonzero unless the
+//!   server answered 200.
+//! * `--interval-ms N` — refresh period in live mode (default 1000).
+//!
+//! The client speaks the same hand-rolled HTTP/1.1 and JSON the server
+//! and `motor-obs` use — no dependencies beyond `motor-obs` itself.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use motor_obs::export::json::{self, Value};
+
+const SPARK: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+
+fn usage() -> ! {
+    eprintln!("usage: motor-top [ADDR] [--once] [--raw ENDPOINT] [--interval-ms N]");
+    std::process::exit(2);
+}
+
+struct Args {
+    addr: String,
+    once: bool,
+    raw: Option<String>,
+    interval: Duration,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        addr: "127.0.0.1:9612".to_string(),
+        once: false,
+        raw: None,
+        interval: Duration::from_millis(1000),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--once" => args.once = true,
+            "--raw" => match it.next() {
+                Some(e) => args.raw = Some(e.trim_start_matches('/').to_string()),
+                None => usage(),
+            },
+            "--interval-ms" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(ms) => args.interval = Duration::from_millis(ms),
+                None => usage(),
+            },
+            "--help" | "-h" => usage(),
+            other if !other.starts_with('-') => args.addr = other.to_string(),
+            _ => usage(),
+        }
+    }
+    args
+}
+
+/// Minimal HTTP/1.1 GET: returns `(status, body)`.
+fn http_get(addr: &str, path: &str) -> Result<(u16, String), String> {
+    let mut stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    stream.set_read_timeout(Some(Duration::from_secs(5))).ok();
+    stream
+        .write_all(
+            format!("GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n").as_bytes(),
+        )
+        .map_err(|e| format!("send: {e}"))?;
+    let mut raw = Vec::new();
+    stream
+        .read_to_end(&mut raw)
+        .map_err(|e| format!("read: {e}"))?;
+    let text = String::from_utf8_lossy(&raw);
+    let (head, body) = text
+        .split_once("\r\n\r\n")
+        .ok_or_else(|| "malformed response".to_string())?;
+    let status: u16 = head
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| "malformed status line".to_string())?;
+    Ok((status, body.to_string()))
+}
+
+// ---------------------------------------------------------------------------
+// Frame model (parsed from the /frames JSON; shared schema with the server)
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, Default)]
+struct RankView {
+    group: u64,
+    rank: u64,
+    label: String,
+    done: bool,
+    queues: (u64, u64, u64, u64),
+    heap_used: u64,
+    heap_capacity: u64,
+    gc_p50: u64,
+    gc_p99: u64,
+    counters: Vec<(String, u64)>,
+    inflight: Vec<InflightView>,
+}
+
+#[derive(Debug, Clone)]
+struct InflightView {
+    kind: String,
+    peer: u64,
+    tag: i64,
+    since_nanos: u64,
+    beat_nanos: u64,
+    beats: u64,
+}
+
+#[derive(Debug, Clone, Default)]
+struct FrameView {
+    seq: u64,
+    t_nanos: u64,
+    window_nanos: u64,
+    ranks: Vec<RankView>,
+}
+
+impl RankView {
+    fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map_or(0, |(_, v)| *v)
+    }
+
+    fn msgs_out(&self) -> u64 {
+        self.counter("sends_eager")
+            + self.counter("sends_rndv")
+            + self.counter("sends_sync")
+            + self.counter("sends_self")
+    }
+
+    fn msgs_in(&self) -> u64 {
+        self.counter("recvs_posted") + self.counter("recvs_unexpected")
+    }
+
+    fn overlap_ratio(&self) -> Option<f64> {
+        let inflight = self.counter("prof_inflight_nanos");
+        if inflight == 0 {
+            return None;
+        }
+        Some(self.counter("prof_overlap_nanos") as f64 / inflight as f64)
+    }
+}
+
+fn parse_rank(v: &Value) -> Option<RankView> {
+    let q = v.get("queues")?;
+    let counters = match v.get("counters") {
+        Some(Value::Obj(m)) => m
+            .iter()
+            .filter_map(|(k, x)| x.as_u64().map(|n| (k.clone(), n)))
+            .collect(),
+        _ => Vec::new(),
+    };
+    let inflight = v
+        .get("inflight")
+        .and_then(Value::as_array)
+        .map(|ops| {
+            ops.iter()
+                .filter_map(|op| {
+                    Some(InflightView {
+                        kind: op.get("kind")?.as_str()?.to_string(),
+                        peer: op.get("peer")?.as_u64()?,
+                        tag: op.get("tag")?.as_i64()?,
+                        since_nanos: op.get("since_nanos")?.as_u64()?,
+                        beat_nanos: op.get("beat_nanos")?.as_u64()?,
+                        beats: op.get("beats")?.as_u64()?,
+                    })
+                })
+                .collect()
+        })
+        .unwrap_or_default();
+    Some(RankView {
+        group: v.get("group")?.as_u64()?,
+        rank: v.get("rank")?.as_u64()?,
+        label: v.get("label")?.as_str()?.to_string(),
+        done: matches!(v.get("done"), Some(Value::Bool(true))),
+        queues: (
+            q.get("posted")?.as_u64()?,
+            q.get("unexpected")?.as_u64()?,
+            q.get("pending_sends")?.as_u64()?,
+            q.get("active_recvs")?.as_u64()?,
+        ),
+        heap_used: v.get("heap_used_bytes")?.as_u64()?,
+        heap_capacity: v.get("heap_capacity_bytes")?.as_u64()?,
+        gc_p50: v.get("gc_stall_p50_nanos")?.as_u64()?,
+        gc_p99: v.get("gc_stall_p99_nanos")?.as_u64()?,
+        counters,
+        inflight,
+    })
+}
+
+fn parse_frames(body: &str) -> Result<Vec<FrameView>, String> {
+    let v = json::parse(body)?;
+    if v.get("motor_frames").and_then(Value::as_u64) != Some(1) {
+        return Err("not a motor /frames document".to_string());
+    }
+    let frames = v
+        .get("frames")
+        .and_then(Value::as_array)
+        .ok_or("missing frames array")?;
+    Ok(frames
+        .iter()
+        .filter_map(|f| {
+            Some(FrameView {
+                seq: f.get("seq")?.as_u64()?,
+                t_nanos: f.get("t_nanos")?.as_u64()?,
+                window_nanos: f.get("window_nanos")?.as_u64()?,
+                ranks: f
+                    .get("ranks")?
+                    .as_array()?
+                    .iter()
+                    .filter_map(parse_rank)
+                    .collect(),
+            })
+        })
+        .collect())
+}
+
+// ---------------------------------------------------------------------------
+// Formatting helpers
+// ---------------------------------------------------------------------------
+
+fn per_sec(count: u64, window_nanos: u64) -> f64 {
+    motor_obs::telemetry::per_sec(count, window_nanos)
+}
+
+fn fmt_count(x: f64) -> String {
+    if x >= 1e9 {
+        format!("{:.1}G", x / 1e9)
+    } else if x >= 1e6 {
+        format!("{:.1}M", x / 1e6)
+    } else if x >= 1e3 {
+        format!("{:.1}k", x / 1e3)
+    } else {
+        format!("{x:.0}")
+    }
+}
+
+fn fmt_bytes(x: f64) -> String {
+    if x >= 1024.0 * 1024.0 * 1024.0 {
+        format!("{:.1}GiB", x / (1024.0 * 1024.0 * 1024.0))
+    } else if x >= 1024.0 * 1024.0 {
+        format!("{:.1}MiB", x / (1024.0 * 1024.0))
+    } else if x >= 1024.0 {
+        format!("{:.1}KiB", x / 1024.0)
+    } else {
+        format!("{x:.0}B")
+    }
+}
+
+fn fmt_nanos(n: u64) -> String {
+    if n >= 1_000_000_000 {
+        format!("{:.1}s", n as f64 / 1e9)
+    } else if n >= 1_000_000 {
+        format!("{:.1}ms", n as f64 / 1e6)
+    } else if n >= 1_000 {
+        format!("{:.1}µs", n as f64 / 1e3)
+    } else {
+        format!("{n}ns")
+    }
+}
+
+/// Map a series onto the eight spark glyphs, scaled to the series max.
+fn sparkline(series: &[u64]) -> String {
+    let max = series.iter().copied().max().unwrap_or(0);
+    series
+        .iter()
+        .map(|&v| {
+            if max == 0 {
+                SPARK[0]
+            } else {
+                // Nonzero values always render at least one step up.
+                let idx = ((v as f64 / max as f64) * 7.0).ceil() as usize;
+                SPARK[idx.min(7)]
+            }
+        })
+        .collect()
+}
+
+/// A `width`-character bar showing `frac` (0..=1) filled.
+fn bar(frac: f64, width: usize) -> String {
+    let filled = (frac.clamp(0.0, 1.0) * width as f64).round() as usize;
+    let mut s = String::new();
+    for i in 0..width {
+        s.push(if i < filled { '█' } else { '·' });
+    }
+    s
+}
+
+// ---------------------------------------------------------------------------
+// Rendering
+// ---------------------------------------------------------------------------
+
+/// Named time buckets shown as bars (fraction of the window each).
+const BUCKETS: [(&str, &str); 5] = [
+    ("cpu", "prof_compute_nanos"),
+    ("wait", "prof_comm_wait_nanos"),
+    ("prog", "prof_progress_nanos"),
+    ("gc", "prof_gc_nanos"),
+    ("ser", "prof_serialize_nanos"),
+];
+
+fn render_rank(out: &mut String, r: &RankView, frame: &FrameView, history: &[FrameView]) {
+    let w = frame.window_nanos;
+    let eager = r.counter("sends_eager");
+    let rndv = r.counter("sends_rndv");
+    let sends = r.msgs_out().max(1);
+    out.push_str(&format!(
+        "{:<12} {} {:>8} msg/s out  {:>8} msg/s in  {:>10}/s out  {:>10}/s in\n",
+        r.label,
+        if r.done { "done " } else { "run  " },
+        fmt_count(per_sec(r.msgs_out(), w)),
+        fmt_count(per_sec(r.msgs_in(), w)),
+        fmt_bytes(per_sec(r.counter("chan_bytes_out"), w)),
+        fmt_bytes(per_sec(r.counter("chan_bytes_in"), w)),
+    ));
+    out.push_str(&format!(
+        "  protocol  eager {:>3.0}%  rndv {:>3.0}%   queues p/u/s/a {}/{}/{}/{}   heap {} / {}\n",
+        eager as f64 * 100.0 / sends as f64,
+        rndv as f64 * 100.0 / sends as f64,
+        r.queues.0,
+        r.queues.1,
+        r.queues.2,
+        r.queues.3,
+        fmt_bytes(r.heap_used as f64),
+        fmt_bytes(r.heap_capacity as f64),
+    ));
+    // Time buckets: fraction of this window's wall clock per class.
+    out.push_str("  time     ");
+    for (name, counter) in BUCKETS {
+        let frac = if w == 0 {
+            0.0
+        } else {
+            r.counter(counter) as f64 / w as f64
+        };
+        out.push_str(&format!(" {name} {} {:>3.0}%", bar(frac, 8), frac * 100.0));
+    }
+    out.push('\n');
+    let overlap = r
+        .overlap_ratio()
+        .map_or("   -".to_string(), |o| format!("{:>3.0}%", o * 100.0));
+    // Stall sparklines over the retained frames (this rank's history).
+    let series = |pick: fn(&RankView) -> u64| -> Vec<u64> {
+        history
+            .iter()
+            .filter_map(|f| {
+                f.ranks
+                    .iter()
+                    .find(|x| x.group == r.group && x.rank == r.rank)
+                    .map(pick)
+            })
+            .collect()
+    };
+    let p50s = series(|x| x.gc_p50);
+    let p99s = series(|x| x.gc_p99);
+    out.push_str(&format!(
+        "  overlap {overlap}   gc stall p50 {} {:>8}   p99 {} {:>8}\n",
+        sparkline(&p50s),
+        fmt_nanos(r.gc_p50),
+        sparkline(&p99s),
+        fmt_nanos(r.gc_p99),
+    ));
+    for op in &r.inflight {
+        let age = frame.t_nanos.saturating_sub(op.since_nanos);
+        let beat_age = frame.t_nanos.saturating_sub(op.beat_nanos);
+        out.push_str(&format!(
+            "  inflight {:<12} peer {:<3} tag {:<6} age {:>8}  last beat {:>8} ago ({} beats)\n",
+            op.kind,
+            op.peer,
+            op.tag,
+            fmt_nanos(age),
+            fmt_nanos(beat_age),
+            op.beats
+        ));
+    }
+}
+
+/// One full dashboard screen from the frame history plus `/healthz`.
+fn render(frames: &[FrameView], healthz: Option<&Value>, addr: &str) -> String {
+    let mut out = String::new();
+    let Some(latest) = frames.last() else {
+        out.push_str(&format!(
+            "motor-top @ {addr} — no frames yet (cluster starting, or no ranks registered)\n"
+        ));
+        return out;
+    };
+    let status = healthz
+        .and_then(|h| h.get("status"))
+        .and_then(Value::as_str)
+        .unwrap_or("?");
+    let dropped = healthz
+        .and_then(|h| h.get("trace_events_dropped"))
+        .and_then(Value::as_u64)
+        .unwrap_or(0);
+    out.push_str(&format!(
+        "motor-top @ {addr}   frame #{} (window {})   ranks {}   health: {status}\n\n",
+        latest.seq,
+        fmt_nanos(latest.window_nanos),
+        latest.ranks.len(),
+    ));
+    for r in &latest.ranks {
+        render_rank(&mut out, r, latest, frames);
+        out.push('\n');
+    }
+    if dropped > 0 {
+        out.push_str(&format!(
+            "warning: {dropped} trace events dropped (grow --event-capacity to keep full rings)\n"
+        ));
+    }
+    if let Some(anoms) = healthz
+        .and_then(|h| h.get("anomalies"))
+        .and_then(Value::as_array)
+    {
+        for a in anoms {
+            out.push_str(&format!(
+                "anomaly: {} rank {} — {}\n",
+                a.get("kind").and_then(Value::as_str).unwrap_or("?"),
+                a.get("rank").and_then(Value::as_u64).unwrap_or(0),
+                a.get("detail").and_then(Value::as_str).unwrap_or(""),
+            ));
+        }
+    }
+    out
+}
+
+fn fetch_screen(addr: &str) -> Result<String, String> {
+    let (status, body) = http_get(addr, "/frames")?;
+    if status != 200 {
+        return Err(format!("/frames answered {status}"));
+    }
+    let frames = parse_frames(&body)?;
+    // /healthz may legitimately answer 503 (anomalies); render either way.
+    let healthz = http_get(addr, "/healthz")
+        .ok()
+        .and_then(|(_, b)| json::parse(&b).ok());
+    Ok(render(&frames, healthz.as_ref(), addr))
+}
+
+/// Write to stdout without panicking when the reader hangs up — piping
+/// into `head`/`jq` closes the pipe early, which `print!` treats as
+/// fatal. A broken pipe just ends the program quietly.
+fn emit(text: &str) {
+    let mut out = std::io::stdout().lock();
+    if let Err(e) = out.write_all(text.as_bytes()) {
+        if e.kind() == std::io::ErrorKind::BrokenPipe {
+            std::process::exit(0);
+        }
+        eprintln!("motor-top: cannot write to stdout: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn main() {
+    let args = parse_args();
+
+    if let Some(endpoint) = &args.raw {
+        match http_get(&args.addr, &format!("/{endpoint}")) {
+            Ok((status, body)) => {
+                emit(&body);
+                if status != 200 {
+                    eprintln!("motor-top: /{endpoint} answered {status}");
+                    std::process::exit(1);
+                }
+            }
+            Err(e) => {
+                eprintln!("motor-top: {e}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+
+    if args.once {
+        // Snapshot mode: validate the exposition document, then render one
+        // screen. Nonzero exit on any failure so CI can gate on it.
+        match http_get(&args.addr, "/metrics") {
+            Ok((200, body)) => {
+                if let Err(e) = motor_obs::check_prometheus_text(&body) {
+                    eprintln!("motor-top: /metrics failed exposition check: {e}");
+                    std::process::exit(2);
+                }
+            }
+            Ok((status, _)) => {
+                eprintln!("motor-top: /metrics answered {status}");
+                std::process::exit(1);
+            }
+            Err(e) => {
+                eprintln!("motor-top: {e}");
+                std::process::exit(1);
+            }
+        }
+        match fetch_screen(&args.addr) {
+            Ok(screen) => emit(&screen),
+            Err(e) => {
+                eprintln!("motor-top: {e}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+
+    // Live mode: redraw until the endpoint goes away (cluster exit).
+    let mut misses = 0u32;
+    loop {
+        match fetch_screen(&args.addr) {
+            Ok(screen) => {
+                misses = 0;
+                // Clear screen + home, then the frame.
+                emit(&format!("\x1b[2J\x1b[H{screen}"));
+                let _ = std::io::stdout().flush();
+            }
+            Err(e) => {
+                misses += 1;
+                if misses >= 3 {
+                    eprintln!("motor-top: {e}; giving up");
+                    std::process::exit(1);
+                }
+            }
+        }
+        std::thread::sleep(args.interval);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_frames() -> String {
+        r#"{"motor_frames":1,"capacity":240,"frames":[
+          {"seq":1,"t_nanos":1000000,"window_nanos":0,"ranks":[]},
+          {"seq":2,"t_nanos":2000000,"window_nanos":1000000,"ranks":[
+            {"group":0,"rank":0,"label":"rank 0","done":false,
+             "queues":{"posted":1,"unexpected":0,"pending_sends":2,"active_recvs":0},
+             "heap_used_bytes":1048576,"heap_capacity_bytes":16777216,
+             "gc_stall_p50_nanos":1100,"gc_stall_p99_nanos":2000,
+             "counters":{"sends_eager":10,"chan_bytes_out":4096,"prof_inflight_nanos":500000,"prof_overlap_nanos":250000},
+             "inflight":[{"kind":"recv","arg":0,"peer":1,"tag":7,"since_nanos":1500000,"beat_nanos":1900000,"beats":3}]},
+            {"group":0,"rank":1,"label":"rank 1","done":true,
+             "queues":{"posted":0,"unexpected":0,"pending_sends":0,"active_recvs":0},
+             "heap_used_bytes":0,"heap_capacity_bytes":0,
+             "gc_stall_p50_nanos":0,"gc_stall_p99_nanos":0,
+             "counters":{},"inflight":[]}
+          ]}
+        ]}"#
+        .to_string()
+    }
+
+    #[test]
+    fn frames_parse_into_views() {
+        let frames = parse_frames(&sample_frames()).expect("parses");
+        assert_eq!(frames.len(), 2);
+        let f = &frames[1];
+        assert_eq!(f.seq, 2);
+        assert_eq!(f.ranks.len(), 2);
+        let r0 = &f.ranks[0];
+        assert_eq!(r0.msgs_out(), 10);
+        assert_eq!(r0.counter("chan_bytes_out"), 4096);
+        assert_eq!(r0.queues, (1, 0, 2, 0));
+        assert_eq!(r0.inflight.len(), 1);
+        assert_eq!(r0.inflight[0].peer, 1);
+        assert!((r0.overlap_ratio().unwrap() - 0.5).abs() < 1e-9);
+        assert!(f.ranks[1].done);
+        assert_eq!(f.ranks[1].overlap_ratio(), None);
+    }
+
+    #[test]
+    fn render_shows_every_rank_and_inflight_age() {
+        let frames = parse_frames(&sample_frames()).unwrap();
+        let health =
+            json::parse(r#"{"status":"ok","trace_events_dropped":9,"anomalies":[]}"#).unwrap();
+        let screen = render(&frames, Some(&health), "127.0.0.1:9612");
+        assert!(screen.contains("rank 0"), "{screen}");
+        assert!(screen.contains("rank 1"), "{screen}");
+        assert!(screen.contains("health: ok"));
+        // 10 msgs over 1ms = 10k msg/s.
+        assert!(screen.contains("10.0k"), "{screen}");
+        // In-flight recv from rank 0 with its heartbeat age (2000000-1900000).
+        assert!(screen.contains("inflight recv"), "{screen}");
+        assert!(screen.contains("100.0µs ago"), "{screen}");
+        assert!(
+            screen.contains("warning: 9 trace events dropped"),
+            "{screen}"
+        );
+    }
+
+    #[test]
+    fn render_without_frames_is_calm() {
+        let screen = render(&[], None, "x");
+        assert!(screen.contains("no frames yet"));
+    }
+
+    #[test]
+    fn sparkline_and_bar_shapes() {
+        assert_eq!(sparkline(&[0, 0]), "▁▁");
+        let s = sparkline(&[0, 1, 4, 8]);
+        assert_eq!(s.chars().count(), 4);
+        assert!(s.ends_with('█'));
+        assert_eq!(bar(0.5, 8), "████····");
+        assert_eq!(bar(2.0, 4), "████");
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(fmt_count(950.0), "950");
+        assert_eq!(fmt_count(10_000.0), "10.0k");
+        assert_eq!(fmt_bytes(2048.0), "2.0KiB");
+        assert_eq!(fmt_nanos(1_500), "1.5µs");
+        assert_eq!(fmt_nanos(2_000_000_000), "2.0s");
+    }
+}

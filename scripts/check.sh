@@ -86,6 +86,39 @@ if ! grep -q '"deadlock_suspect"' "$flight_out"; then
   exit 1
 fi
 
+echo "==> live telemetry smoke test (4 ranks, scraped mid-run)"
+# Hold a 4-rank workload open for a few seconds with the telemetry
+# endpoint up, then attach motor-top to it while it runs: `--once` must
+# validate /metrics against the exposition format and render every rank;
+# `--raw healthz` must report ok. The timeout is the backstop against the
+# held workload never finishing.
+cargo build -q -p motor-top
+top_bin="target/debug/motor-top"
+telemetry_addr="127.0.0.1:9613"
+MOTOR_TELEMETRY="addr=$telemetry_addr,interval_ms=50" \
+  timeout 120 "$doctor_bin" record "$trace_out" --ranks 4 --hold-ms 6000 &
+record_pid=$!
+top_ok=0
+for _ in $(seq 1 40); do
+  if screen="$("$top_bin" "$telemetry_addr" --once 2>/dev/null)" \
+     && echo "$screen" | grep -q "rank 3"; then
+    top_ok=1
+    break
+  fi
+  sleep 0.25
+done
+if [ "$top_ok" -ne 1 ]; then
+  echo "telemetry smoke test: motor-top --once never rendered all 4 ranks" >&2
+  kill "$record_pid" 2>/dev/null || true
+  exit 1
+fi
+if ! "$top_bin" "$telemetry_addr" --raw healthz | grep -q '"status":"ok"'; then
+  echo "telemetry smoke test: /healthz not ok mid-run" >&2
+  kill "$record_pid" 2>/dev/null || true
+  exit 1
+fi
+wait "$record_pid"
+
 echo "==> bench artifact smoke test (apps run --quick + self-gate)"
 # The application workloads (CG, BFS, pipeline) plus the typed-API
 # ablation must run to completion at quick scale and emit one
