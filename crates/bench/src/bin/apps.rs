@@ -34,6 +34,15 @@ const REGRESSION_LIMIT: f64 = 1.10;
 const ABLATION_LIMIT: f64 = 1.02;
 /// Ablation retries before declaring the overhead real.
 const ABLATION_RETRIES: usize = 5;
+/// Fail `run` (release builds) when the measured comm/compute overlap
+/// ratio of `ablation_overlap` drops below this floor. The progress
+/// engine exists to move bytes while ranks compute; the pre-engine
+/// baseline measured 0.276, the engine must hold ≥ 0.70.
+const OVERLAP_FLOOR: f64 = 0.70;
+/// Fail the `gate` when `ablation_overlap`'s overlap ratio falls to less
+/// than this fraction of the baseline's (higher is better, so the usual
+/// us/iter direction does not protect it).
+const OVERLAP_KEEP: f64 = 0.90;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -104,6 +113,9 @@ fn run(args: &[String]) {
     }
 
     let mut bad = false;
+    if let Some(ov) = results.iter().find(|r| r.workload == "ablation_overlap") {
+        bad |= enforce_overlap_floor(ov);
+    }
     bad |= enforce_ablation(
         &abl_api,
         "typed API ping-pong vs hand-written Mp — the front-end is supposed to \
@@ -168,6 +180,34 @@ fn enforce_ablation(r: &AppResult, claim: &str) -> bool {
     }
 }
 
+/// Enforce the overlap floor on the `ablation_overlap` artifact (its
+/// checksum *is* the measured overlap ratio); returns whether it failed.
+/// Release builds only — debug builds run the compute kernel an order of
+/// magnitude slower, which distorts the compute/transfer balance the
+/// ratio depends on, so there it is reported but not enforced.
+fn enforce_overlap_floor(r: &AppResult) -> bool {
+    if r.checksum < OVERLAP_FLOOR {
+        let msg = format!(
+            "{}: overlap ratio {:.3} below floor {:.2} — the progress engine is \
+             supposed to drive transfers while the ranks compute",
+            r.workload, r.checksum, OVERLAP_FLOOR
+        );
+        if cfg!(debug_assertions) {
+            println!("{msg} (unoptimized build: reported, not enforced)");
+            false
+        } else {
+            eprintln!("{msg}");
+            true
+        }
+    } else {
+        println!(
+            "{}: overlap ratio {:.3} (floor {:.2}) — OK",
+            r.workload, r.checksum, OVERLAP_FLOOR
+        );
+        false
+    }
+}
+
 fn load(dir: &str, workload: &str) -> Option<AppResult> {
     let path = Path::new(dir).join(format!("BENCH_{workload}.json"));
     let body = fs::read_to_string(path).ok()?;
@@ -222,6 +262,24 @@ fn gate(args: &[String]) {
         );
         if ratio > REGRESSION_LIMIT {
             failed = true;
+        }
+        // The overlap artifact's checksum is the overlap ratio, where
+        // higher is better: us/iter can hold steady while the engine
+        // quietly stops overlapping, so gate the ratio itself too.
+        if workload == "ablation_overlap" && old.checksum > 0.0 {
+            let keep = new.checksum / old.checksum;
+            let verdict = if keep < OVERLAP_KEEP {
+                "REGRESSED"
+            } else {
+                "ok"
+            };
+            println!(
+                "gate: {workload}: overlap ratio {:.3} -> {:.3} (x{keep:.3}) {verdict}",
+                old.checksum, new.checksum
+            );
+            if keep < OVERLAP_KEEP {
+                failed = true;
+            }
         }
     }
     if failed {

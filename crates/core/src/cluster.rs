@@ -111,6 +111,16 @@ impl ClusterConfigBuilder {
         self
     }
 
+    /// Asynchronous progress model (dedicated per-device progress thread
+    /// or stealable progress); see
+    /// [`ProgressConfig`](motor_mpc::ProgressConfig). A config left at
+    /// the default `off` defers to the `MOTOR_PROGRESS` environment
+    /// variable at run time.
+    pub fn progress(mut self, cfg: motor_mpc::ProgressConfig) -> Self {
+        self.config.universe.progress = cfg;
+        self
+    }
+
     /// Custom link factory: every inter-rank link pair comes from this
     /// closure instead of the built-in shm/tcp channels. This is how
     /// motor-sim injects fault-carrying `SimLink`s under a full cluster.

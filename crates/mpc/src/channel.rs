@@ -107,7 +107,10 @@ pub struct LinkState {
 // SAFETY: the raw pointers held in `OutItem::Raw` and `InState::Stream`
 // refer to buffers whose stability (pinning) and liveness the device layer
 // guarantees for the duration of the operation; the struct itself is only
-// accessed under the device's progress lock.
+// accessed under its per-link mutex in the device's link table (the lock
+// that replaced the old whole-device progress lock), so at most one
+// thread — rank, progress engine, or stealing sibling — touches it at a
+// time.
 unsafe impl Send for LinkState {}
 
 impl LinkState {

@@ -13,18 +13,48 @@
 //! baselines — are responsible for the stability of those windows for the
 //! lifetime of the operation. That contract is precisely what the paper's
 //! pinning discussion is about.
+//!
+//! # Locking model (asynchronous progress)
+//!
+//! The device used to keep all state — links, queues, protocol tables —
+//! under one mutex, which serialized concurrent senders and made a
+//! progress thread pointless (it would just contend with the rank
+//! thread). State is now split:
+//!
+//! * each link gets its **own** mutex (`Arc<Mutex<LinkState>>` slots in an
+//!   `RwLock`ed table), so two threads pumping different peers never
+//!   contend;
+//! * the matching/protocol tables live in a single `match_state` mutex.
+//!
+//! Lock-order rules (deadlock freedom):
+//!
+//! 1. The links table read guard is **transient**: clone the slot's `Arc`,
+//!    drop the guard, *then* lock the link. Never block on a link mutex
+//!    while holding the table guard.
+//! 2. `link → match_state` is allowed; `match_state → link` is forbidden.
+//!    Handlers that must reply (CTS, sync-ack) return or defer frames and
+//!    queue them after dropping `match_state`.
+//! 3. At most one link mutex is held per thread at a time.
+//!
+//! Any thread may drive progress — the owning rank, a dedicated progress
+//! thread ([`crate::progress::ProgressEngine`]), or a sibling rank's
+//! parked waiter stealing cycles ([`crate::progress::ProgressSet`]).
+//! Every completion notifies the device [`crate::progress::Waker`], which
+//! parked waiters use instead of blind backoff sleeps.
 
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
 use motor_obs::trace::{rndv_ctl, MSG_RNDV_FLAG};
 use motor_obs::{EventKind, Hist, Metric, MetricsRegistry, SpanKind};
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
 
 use crate::channel::{LinkState, PacketSink, RndvDest};
 use crate::error::{MpcError, MpcResult};
 use crate::packet::{self, env_flags, Envelope};
+use crate::progress::{ProgressSet, Waker};
 use crate::request::{Request, RequestState, Status};
 
 /// Wildcard source rank (`MPI_ANY_SOURCE`).
@@ -119,9 +149,9 @@ enum Deferred {
     },
 }
 
+/// The matching/protocol tables — everything except the links.
 #[derive(Default)]
-struct DeviceState {
-    links: Vec<Option<LinkState>>,
+struct MatchState {
     /// Peers whose link died (index = global rank). Distinguishes "never
     /// wired" (`InvalidRank`) from "wired, then closed" (`PeerClosed`).
     dead: Vec<bool>,
@@ -131,7 +161,7 @@ struct DeviceState {
     active_recvs: HashMap<u64, ActiveRecv>,
 }
 
-impl DeviceState {
+impl MatchState {
     fn is_dead(&self, peer: usize) -> bool {
         self.dead.get(peer).copied().unwrap_or(false)
     }
@@ -140,10 +170,25 @@ impl DeviceState {
 /// One process's message-passing device.
 pub struct Device {
     rank: usize,
-    state: Mutex<DeviceState>,
+    /// Per-peer link slots. The table lock is only ever held transiently
+    /// (clone the `Arc`, drop the guard); each link has its own mutex so
+    /// concurrent senders to different peers never serialize.
+    links: RwLock<Vec<Option<Arc<Mutex<LinkState>>>>>,
+    /// Matching and protocol state, independent of any link lock.
+    match_state: Mutex<MatchState>,
     next_req: AtomicU64,
     config: DeviceConfig,
     metrics: Arc<MetricsRegistry>,
+    /// Completion notifier: bumped whenever any thread moves this device.
+    waker: Arc<Waker>,
+    /// Peer wakers, indexed by global rank (installed by universe wiring
+    /// when a progress mode is active). After this device's `pump_out`
+    /// puts bytes on the wire to a peer, it pokes the peer's waker so a
+    /// parked engine thread or sleeping waiter over there pumps them in
+    /// immediately instead of waiting out its idle-park quantum.
+    peer_wakers: RwLock<Vec<Option<Arc<Waker>>>>,
+    /// Steal registry this device belongs to (progress mode `steal`).
+    steal_set: Mutex<Option<Arc<ProgressSet>>>,
 }
 
 fn envelope_matches(env: &Envelope, src: i32, tag: i32, context: u32) -> bool {
@@ -161,10 +206,14 @@ impl Device {
         ));
         Arc::new(Device {
             rank,
-            state: Mutex::new(DeviceState::default()),
+            links: RwLock::new(Vec::new()),
+            match_state: Mutex::new(MatchState::default()),
             next_req: AtomicU64::new(1),
             config,
             metrics,
+            waker: Arc::new(Waker::default()),
+            peer_wakers: RwLock::new(Vec::new()),
+            steal_set: Mutex::new(None),
         })
     }
 
@@ -192,20 +241,94 @@ impl Device {
     pub fn set_link(&self, peer: usize, mut link: LinkState) {
         link.attach_metrics(Arc::clone(&self.metrics));
         link.set_peer(peer);
-        let mut st = self.state.lock();
-        if st.links.len() <= peer {
-            st.links.resize_with(peer + 1, || None);
+        let mut links = self.links.write();
+        if links.len() <= peer {
+            links.resize_with(peer + 1, || None);
         }
-        st.links[peer] = Some(link);
+        links[peer] = Some(Arc::new(Mutex::new(link)));
     }
 
     /// Number of link slots (== known universe size).
     pub fn link_count(&self) -> usize {
-        self.state.lock().links.len()
+        self.links.read().len()
+    }
+
+    /// Join the steal pool `set`: waiters parked on this device will pump
+    /// the set's other members, and vice versa.
+    pub fn install_steal_set(&self, set: Arc<ProgressSet>) {
+        *self.steal_set.lock() = Some(set);
+    }
+
+    /// Current waker generation (see [`Device::park_until_progress`]).
+    pub fn progress_generation(&self) -> u64 {
+        self.waker.generation()
+    }
+
+    /// Park until progress moves the generation past `seen` or `timeout`
+    /// elapses. Never misses a notify between reading `seen` and parking.
+    pub fn park_until_progress(&self, seen: u64, timeout: Duration) -> u64 {
+        self.waker.wait_next(seen, timeout)
+    }
+
+    /// Wake every thread parked on this device (engine shutdown, external
+    /// completion sources).
+    pub fn notify_progress(&self) {
+        self.waker.notify();
+    }
+
+    /// Handle to this device's waker for cross-device pokes.
+    pub(crate) fn waker_handle(&self) -> Arc<Waker> {
+        Arc::clone(&self.waker)
+    }
+
+    /// Let this device poke `peer`'s waker after putting bytes on the
+    /// wire to it (universe wiring, active progress modes only — with no
+    /// installs the poke path is a read of an empty table).
+    pub(crate) fn install_peer_waker(&self, peer: usize, waker: Arc<Waker>) {
+        let mut table = self.peer_wakers.write();
+        if table.len() <= peer {
+            table.resize_with(peer + 1, || None);
+        }
+        table[peer] = Some(waker);
+    }
+
+    /// Wake whatever is parked on `peer`'s device, if wiring gave us its
+    /// waker.
+    fn poke_peer(&self, peer: usize) {
+        let w = self.peer_wakers.read().get(peer).and_then(Clone::clone);
+        if let Some(w) = w {
+            w.notify();
+        }
     }
 
     fn new_request(&self) -> Request {
         RequestState::new(self.next_req.fetch_add(1, Ordering::Relaxed))
+    }
+
+    /// Clone the link `Arc` for `peer` under a transient table guard.
+    fn link_arc(&self, peer: usize) -> Option<Arc<Mutex<LinkState>>> {
+        self.links.read().get(peer).and_then(|slot| slot.clone())
+    }
+
+    /// Remove the link slot for `peer` (its transport died).
+    fn drop_link(&self, peer: usize) {
+        if let Some(slot) = self.links.write().get_mut(peer) {
+            *slot = None;
+        }
+    }
+
+    /// Queue a control frame on the link to `dst`, with the legacy error
+    /// surface: dead peer → `PeerClosed`, never wired → `InvalidRank`.
+    fn queue_frame_on_link(&self, dst: usize, bytes: Vec<u8>) -> MpcResult<()> {
+        if let Some(link) = self.link_arc(dst) {
+            link.lock().queue_bytes(bytes);
+            return Ok(());
+        }
+        if self.match_state.lock().is_dead(dst) {
+            Err(MpcError::PeerClosed(dst))
+        } else {
+            Err(MpcError::InvalidRank(dst as i32))
+        }
     }
 
     // ------------------------------------------------------------------
@@ -262,41 +385,15 @@ impl Device {
             len as u64 | if use_eager { 0 } else { MSG_RNDV_FLAG },
         );
 
-        let mut st = self.state.lock();
-        if st.is_dead(dst_global) {
-            return Err(MpcError::PeerClosed(dst_global));
-        }
-        {
-            let link = match st.links.get_mut(dst_global) {
-                Some(Some(link)) => link,
-                _ => return Err(MpcError::InvalidRank(dst_global as i32)),
-            };
-            if use_eager {
-                link.queue_bytes(packet::encode_eager(&env, data));
-                self.metrics.bump(Metric::SendsEager);
-                if synchronous {
-                    self.metrics.bump(Metric::SendsSync);
-                }
-                self.metrics.record(Hist::EagerSendBytes, len as u64);
-                if !synchronous {
-                    // Buffer handed off; MPI send-completion semantics met.
-                    req.complete();
-                }
-            } else {
-                link.queue_bytes(packet::encode_rts(&env));
-                self.metrics.bump(Metric::SendsRndv);
-                self.metrics.record(Hist::RndvSendBytes, len as u64);
-                self.metrics.event3(
-                    EventKind::RndvRts,
-                    env.sreq,
-                    len as u64,
-                    rndv_ctl(dst_global, true),
-                );
-            }
-        }
-        // Rendezvous sends await CTS; synchronous eager sends await SyncAck.
+        // Register completion-awaiting state *before* the frame is queued:
+        // with an engine thread pumping concurrently, the CTS or SyncAck
+        // reply can race back before this thread takes another lock.
         if !use_eager || synchronous {
-            st.pending_sends.insert(
+            let mut ms = self.match_state.lock();
+            if ms.is_dead(dst_global) {
+                return Err(MpcError::PeerClosed(dst_global));
+            }
+            ms.pending_sends.insert(
                 env.sreq,
                 PendingSend {
                     dst_global,
@@ -305,8 +402,39 @@ impl Device {
                     req: Arc::clone(&req),
                 },
             );
+        } else if self.match_state.lock().is_dead(dst_global) {
+            return Err(MpcError::PeerClosed(dst_global));
         }
-        drop(st);
+
+        let frame = if use_eager {
+            packet::encode_eager(&env, data)
+        } else {
+            packet::encode_rts(&env)
+        };
+        if let Err(e) = self.queue_frame_on_link(dst_global, frame) {
+            self.match_state.lock().pending_sends.remove(&env.sreq);
+            return Err(e);
+        }
+        if use_eager {
+            self.metrics.bump(Metric::SendsEager);
+            if synchronous {
+                self.metrics.bump(Metric::SendsSync);
+            }
+            self.metrics.record(Hist::EagerSendBytes, len as u64);
+            if !synchronous {
+                // Buffer handed off; MPI send-completion semantics met.
+                req.complete();
+            }
+        } else {
+            self.metrics.bump(Metric::SendsRndv);
+            self.metrics.record(Hist::RndvSendBytes, len as u64);
+            self.metrics.event3(
+                EventKind::RndvRts,
+                env.sreq,
+                len as u64,
+                rndv_ctl(dst_global, true),
+            );
+        }
         self.progress()?;
         Ok(req)
     }
@@ -314,18 +442,18 @@ impl Device {
     /// Self-send: deliver without touching any link.
     fn send_to_self(&self, env: Envelope, ptr: *const u8, len: usize, req: &Request) {
         self.metrics.bump(Metric::SendsSelf);
-        let mut st = self.state.lock();
+        let mut ms = self.match_state.lock();
         // Try to match a posted receive directly.
-        let pos = st
+        let pos = ms
             .posted
             .iter()
             .position(|p| envelope_matches(&env, p.src, p.tag, p.context));
         self.metrics.add(
             Metric::MatchAttempts,
-            pos.map_or(st.posted.len(), |p| p + 1) as u64,
+            pos.map_or(ms.posted.len(), |p| p + 1) as u64,
         );
         if let Some(pos) = pos {
-            let p = st.posted.remove(pos).unwrap();
+            let p = ms.posted.remove(pos).unwrap();
             let n = len.min(p.cap);
             // SAFETY: both windows are caller-guaranteed; self-send means
             // sender and receiver windows belong to this process.
@@ -347,11 +475,13 @@ impl Device {
             // Buffer a copy, as the eager path would.
             // SAFETY: window valid per caller contract.
             let data = unsafe { std::slice::from_raw_parts(ptr, len) }.to_vec();
-            st.unexpected.push_back(Unexpected::Eager { env, data });
+            ms.unexpected.push_back(Unexpected::Eager { env, data });
             self.metrics
-                .record_max(Metric::UnexpectedQueuePeak, st.unexpected.len() as u64);
+                .record_max(Metric::UnexpectedQueuePeak, ms.unexpected.len() as u64);
             req.complete();
         }
+        drop(ms);
+        self.waker.notify();
     }
 
     // ------------------------------------------------------------------
@@ -372,19 +502,22 @@ impl Device {
         cap: usize,
     ) -> MpcResult<Request> {
         let req = self.new_request();
-        let mut st = self.state.lock();
+        // Reply frame (sync-ack or CTS) generated while matching; queued
+        // after `match_state` drops (lock order: never match_state → link).
+        let mut reply: Option<(usize, Vec<u8>)> = None;
+        let mut ms = self.match_state.lock();
         // Unexpected queue first, preserving arrival order (non-overtaking).
-        let pos = st
+        let pos = ms
             .unexpected
             .iter()
             .position(|u| envelope_matches(u.envelope(), src, tag, context));
         self.metrics.add(
             Metric::MatchAttempts,
-            pos.map_or(st.unexpected.len(), |p| p + 1) as u64,
+            pos.map_or(ms.unexpected.len(), |p| p + 1) as u64,
         );
         if let Some(pos) = pos {
             self.metrics.bump(Metric::RecvsUnexpected);
-            match st.unexpected.remove(pos).unwrap() {
+            match ms.unexpected.remove(pos).unwrap() {
                 Unexpected::Eager { env, data } => {
                     let n = data.len().min(cap);
                     // SAFETY: caller-guaranteed window.
@@ -395,11 +528,7 @@ impl Device {
                         req.mark_truncated();
                     }
                     if env.is_sync() && env.gsrc as usize != self.rank {
-                        Self::queue_frame(
-                            &mut st,
-                            env.gsrc as usize,
-                            packet::encode_sync_ack(env.sreq),
-                        )?;
+                        reply = Some((env.gsrc as usize, packet::encode_sync_ack(env.sreq)));
                     }
                     self.metrics.event3(
                         EventKind::MsgRecv,
@@ -410,7 +539,7 @@ impl Device {
                     req.complete_with(env.src, env.tag, n);
                 }
                 Unexpected::Rts { env } => {
-                    self.match_rts(&mut st, env, ptr, cap, &req)?;
+                    reply = self.match_rts(&mut ms, env, ptr, cap, &req);
                 }
             }
         } else {
@@ -418,10 +547,10 @@ impl Device {
             // receive can never be satisfied. Only context 0 (the world
             // communicator) is checked — there comm rank equals global
             // rank, which is what the dead-peer table is indexed by.
-            if context == 0 && src >= 0 && st.is_dead(src as usize) {
+            if context == 0 && src >= 0 && ms.is_dead(src as usize) {
                 return Err(MpcError::PeerClosed(src as usize));
             }
-            st.posted.push_back(PostedRecv {
+            ms.posted.push_back(PostedRecv {
                 src,
                 tag,
                 context,
@@ -431,25 +560,29 @@ impl Device {
             });
             self.metrics.bump(Metric::RecvsPosted);
             self.metrics
-                .record_max(Metric::PostedQueuePeak, st.posted.len() as u64);
+                .record_max(Metric::PostedQueuePeak, ms.posted.len() as u64);
         }
-        drop(st);
+        drop(ms);
+        if let Some((dst, bytes)) = reply {
+            self.queue_frame_on_link(dst, bytes)?;
+        }
         self.progress()?;
         Ok(req)
     }
 
-    /// Handle a matched RTS: for remote senders reply CTS; for self-sends
-    /// copy directly out of the pending send window.
+    /// Handle a matched RTS: for remote senders build the CTS reply (the
+    /// caller queues it after dropping `match_state`); for self-sends copy
+    /// directly out of the pending send window.
     fn match_rts(
         &self,
-        st: &mut DeviceState,
+        ms: &mut MatchState,
         env: Envelope,
         ptr: *mut u8,
         cap: usize,
         req: &Request,
-    ) -> MpcResult<()> {
+    ) -> Option<(usize, Vec<u8>)> {
         if env.gsrc as usize == self.rank {
-            let ps = st
+            let ps = ms
                 .pending_sends
                 .remove(&env.sreq)
                 .expect("self rendezvous with vanished pending send");
@@ -469,12 +602,12 @@ impl Device {
             );
             req.complete_with(env.src, env.tag, n);
             ps.req.complete();
-            return Ok(());
+            return None;
         }
         if env.len as usize > cap {
             req.mark_truncated();
         }
-        st.active_recvs.insert(
+        ms.active_recvs.insert(
             req.id(),
             ActiveRecv {
                 ptr: ptr as usize,
@@ -489,23 +622,7 @@ impl Device {
             env.len,
             rndv_ctl(env.gsrc as usize, true),
         );
-        Self::queue_frame(
-            st,
-            env.gsrc as usize,
-            packet::encode_cts(env.sreq, req.id()),
-        )
-    }
-
-    fn queue_frame(st: &mut DeviceState, dst: usize, bytes: Vec<u8>) -> MpcResult<()> {
-        if let Some(Some(link)) = st.links.get_mut(dst) {
-            link.queue_bytes(bytes);
-            return Ok(());
-        }
-        if st.is_dead(dst) {
-            Err(MpcError::PeerClosed(dst))
-        } else {
-            Err(MpcError::InvalidRank(dst as i32))
-        }
+        Some((env.gsrc as usize, packet::encode_cts(env.sreq, req.id())))
     }
 
     // ------------------------------------------------------------------
@@ -516,10 +633,10 @@ impl Device {
     /// without consuming it.
     pub fn iprobe(&self, src: i32, tag: i32, context: u32) -> MpcResult<Option<Status>> {
         self.progress()?;
-        let st = self.state.lock();
+        let ms = self.match_state.lock();
         self.metrics
-            .add(Metric::MatchAttempts, st.unexpected.len() as u64);
-        Ok(st
+            .add(Metric::MatchAttempts, ms.unexpected.len() as u64);
+        Ok(ms
             .unexpected
             .iter()
             .find(|u| envelope_matches(u.envelope(), src, tag, context))
@@ -538,33 +655,46 @@ impl Device {
     // Progress engine
     // ------------------------------------------------------------------
 
-    /// Pump every link once: flush outgoing queues, parse incoming bytes,
-    /// run protocol handlers. Returns `true` if anything moved.
-    pub fn progress(&self) -> MpcResult<bool> {
-        self.metrics.bump(Metric::ProgressPolls);
-        let mut st = self.state.lock();
+    /// One pump pass over every link. `nonblocking` skips links whose
+    /// mutex is held (their owner is already pumping them) — the steal
+    /// path, which must never serialize thief and owner on one link.
+    /// Returns `(anything_moved, requests_completed)`.
+    fn pass_inner(&self, nonblocking: bool) -> MpcResult<(bool, u64)> {
         let mut moved = false;
-        let nlinks = st.links.len();
+        let mut completions = 0u64;
         let mut deferred: Vec<Deferred> = Vec::new();
+        let mut poke: Vec<usize> = Vec::new();
+        let nlinks = self.links.read().len();
         for i in 0..nlinks {
-            // Split-borrow dance: take the link out so the sink can borrow
-            // the rest of the state.
-            let mut link = match st.links[i].take() {
+            // Rule 1: transient table guard — clone the Arc, drop the
+            // guard, then lock the link.
+            let link_arc = match self.link_arc(i) {
                 Some(l) => l,
                 None => continue,
             };
+            let mut link = if nonblocking {
+                match link_arc.try_lock() {
+                    Some(guard) => guard,
+                    None => continue, // owner is pumping it; skip
+                }
+            } else {
+                link_arc.lock()
+            };
             let out = link.pump_out();
             let mut sink = DeviceSink {
-                st: &mut st,
-                my_rank: self.rank,
+                dev: self,
                 deferred: &mut deferred,
-                metrics: &self.metrics,
+                completions: &mut completions,
             };
             let inn = link.pump_in(&mut sink);
             match (out, inn) {
                 (Ok(a), Ok(b)) => {
                     moved |= a | b;
-                    st.links[i] = Some(link);
+                    if a {
+                        // Bytes went onto the wire to peer `i`: poke its
+                        // parked engine/waiter (outside the link lock).
+                        poke.push(i);
+                    }
                 }
                 (Err(MpcError::Transport(_)), _) | (_, Err(MpcError::Transport(_))) => {
                     // Peer gone: drop the link and fail every in-flight
@@ -577,8 +707,10 @@ impl Device {
                     for req in link.take_undelivered_reqs() {
                         req.fail(i);
                     }
-                    st.links[i] = None;
-                    self.fail_peer_ops(&mut st, i);
+                    drop(link);
+                    self.drop_link(i);
+                    let mut ms = self.match_state.lock();
+                    self.fail_peer_ops(&mut ms, i);
                     moved = true;
                 }
                 (Err(e), _) | (_, Err(e)) => return Err(e),
@@ -588,7 +720,7 @@ impl Device {
         for d in deferred {
             match d {
                 Deferred::Frame { dst, bytes } => {
-                    let _ = Self::queue_frame(&mut st, dst, bytes);
+                    let _ = self.queue_frame_on_link(dst, bytes);
                 }
                 Deferred::RawWindow {
                     dst,
@@ -597,18 +729,109 @@ impl Device {
                     len,
                     done,
                 } => {
-                    if let Some(Some(link)) = st.links.get_mut(dst) {
+                    if let Some(link) = self.link_arc(dst) {
+                        let mut link = link.lock();
                         link.queue_bytes(header);
                         link.queue_raw(ptr as *const u8, len, Some(done));
+                    } else {
+                        // The CTS arrived but the peer died before the
+                        // data window could be queued: fail rather than
+                        // silently dropping the request into a hang.
+                        done.fail(dst);
                     }
                 }
             }
             moved = true;
         }
+        for peer in poke {
+            self.poke_peer(peer);
+        }
+        Ok((moved, completions))
+    }
+
+    /// Pump every link once: flush outgoing queues, parse incoming bytes,
+    /// run protocol handlers. Returns `true` if anything moved.
+    pub fn progress(&self) -> MpcResult<bool> {
+        self.metrics.bump(Metric::ProgressPolls);
+        let (moved, _) = self.pass_inner(false)?;
         if moved {
             self.metrics.note_progress();
+            self.waker.notify();
         }
         Ok(moved)
+    }
+
+    /// Batched progress: chain up to `max_passes` pump passes so frames
+    /// generated by pass *n* (CTS replies, rendezvous data windows,
+    /// sync-acks) flush in pass *n+1* of the *same* poll instead of
+    /// waiting for the next. Engine threads set `engine_thread` so the
+    /// time spent is attributed to [`Metric::ProgressEngineNanos`] — the
+    /// off-rank-thread share of the `progress` bucket.
+    pub fn progress_batched(&self, max_passes: usize, engine_thread: bool) -> MpcResult<bool> {
+        let t0 = if engine_thread {
+            Some(self.metrics.now_nanos())
+        } else {
+            None
+        };
+        let mut moved_any = false;
+        let mut total_completions = 0u64;
+        for _ in 0..max_passes.max(1) {
+            self.metrics.bump(Metric::ProgressPolls);
+            let (moved, completions) = self.pass_inner(false)?;
+            total_completions += completions;
+            if !moved {
+                break;
+            }
+            moved_any = true;
+        }
+        if moved_any {
+            self.metrics.note_progress();
+            self.waker.notify();
+        }
+        if total_completions > 0 {
+            self.metrics
+                .add(Metric::ProgressOpsCompleted, total_completions);
+            self.metrics.record(Hist::ProgressBatch, total_completions);
+        }
+        if let Some(t0) = t0 {
+            let spent = self.metrics.now_nanos().saturating_sub(t0);
+            self.metrics.add(Metric::ProgressEngineNanos, spent);
+        }
+        Ok(moved_any)
+    }
+
+    /// Non-blocking progress pass: skips any link whose mutex is held.
+    /// Safe to call from *any* thread at any time — the entry point for
+    /// stolen progress.
+    pub fn try_progress(&self) -> MpcResult<bool> {
+        self.metrics.bump(Metric::ProgressPolls);
+        let (moved, completions) = self.pass_inner(true)?;
+        if moved {
+            if completions > 0 {
+                self.metrics.add(Metric::ProgressOpsCompleted, completions);
+            }
+            self.metrics.note_progress();
+            self.waker.notify();
+        }
+        Ok(moved)
+    }
+
+    /// A steal sweep entry: one non-blocking pass, counted.
+    pub(crate) fn steal_pass(&self) -> MpcResult<bool> {
+        let moved = self.try_progress()?;
+        if moved {
+            self.metrics.bump(Metric::ProgressSteals);
+        }
+        Ok(moved)
+    }
+
+    /// Run one steal sweep over the installed steal set, if any.
+    fn steal_once(&self) -> bool {
+        let set = self.steal_set.lock().clone();
+        match set {
+            Some(s) => s.steal(self.rank),
+            None => false,
+        }
     }
 
     /// Tear down everything that depended on the now-dead link to `peer`:
@@ -617,15 +840,15 @@ impl Device {
     /// communicator), where comm rank equals the global rank indexing the
     /// dead-peer table; wildcard receives stay posted — another peer may
     /// still satisfy them.
-    fn fail_peer_ops(&self, st: &mut DeviceState, peer: usize) {
-        if st.dead.len() <= peer {
-            st.dead.resize(peer + 1, false);
+    fn fail_peer_ops(&self, ms: &mut MatchState, peer: usize) {
+        if ms.dead.len() <= peer {
+            ms.dead.resize(peer + 1, false);
         }
-        if !st.dead[peer] {
-            st.dead[peer] = true;
+        if !ms.dead[peer] {
+            ms.dead[peer] = true;
             self.metrics.bump(Metric::LinksDropped);
         }
-        st.pending_sends.retain(|_, ps| {
+        ms.pending_sends.retain(|_, ps| {
             if ps.dst_global == peer {
                 ps.req.fail(peer);
                 false
@@ -633,7 +856,7 @@ impl Device {
                 true
             }
         });
-        st.active_recvs.retain(|_, ar| {
+        ms.active_recvs.retain(|_, ar| {
             if ar.env.gsrc as usize == peer {
                 ar.req.fail(peer);
                 false
@@ -641,7 +864,7 @@ impl Device {
                 true
             }
         });
-        st.posted.retain(|p| {
+        ms.posted.retain(|p| {
             if p.context == 0 && p.src == peer as i32 {
                 p.req.fail(peer);
                 false
@@ -654,6 +877,13 @@ impl Device {
     /// Drive progress until `req` completes, invoking `yield_poll` each
     /// lap — the hook where Motor parks for pending collections and where
     /// the native baseline does nothing.
+    ///
+    /// When the backoff ladder reaches its sleep tier the wait parks on
+    /// the device waker instead of blind-sleeping, so a completion driven
+    /// by *any* thread (a progress engine, a stealing sibling) cuts the
+    /// sleep short instead of costing up to a full quantum of latency.
+    /// Once past the spin tier, the waiter also lends its cycles to
+    /// sibling devices when a steal set is installed.
     pub fn wait_with(&self, req: &Request, mut yield_poll: impl FnMut()) -> MpcResult<Status> {
         let start = self.metrics.now_nanos();
         self.metrics.event(EventKind::OpBegin, req.id(), 0);
@@ -672,6 +902,10 @@ impl Device {
                 self.metrics.op_end(inflight);
                 return Err(MpcError::PeerClosed(peer));
             }
+            // Generation snapshot *before* the pass: progress made by
+            // another thread after this line bumps the generation, so the
+            // park below returns immediately rather than missing it.
+            let gen = self.waker.generation();
             let moved = match self.progress() {
                 Ok(m) => m,
                 Err(e) => {
@@ -682,6 +916,20 @@ impl Device {
             if moved {
                 self.metrics.op_beat(inflight);
                 backoff.reset();
+                continue;
+            }
+            if backoff.is_yielding() && self.steal_once() {
+                self.metrics.op_beat(inflight);
+                backoff.reset();
+                continue;
+            }
+            if backoff.is_sleeping() {
+                let quantum = self
+                    .config
+                    .wait_backoff
+                    .sleep
+                    .unwrap_or(Duration::from_micros(100));
+                self.waker.wait_next(gen, quantum);
             } else {
                 backoff.snooze();
             }
@@ -722,37 +970,40 @@ impl Device {
     /// Diagnostics: lengths of the device queues
     /// `(posted, unexpected, pending_sends, active_recvs)`.
     pub fn queue_depths(&self) -> (usize, usize, usize, usize) {
-        let st = self.state.lock();
+        let ms = self.match_state.lock();
         (
-            st.posted.len(),
-            st.unexpected.len(),
-            st.pending_sends.len(),
-            st.active_recvs.len(),
+            ms.posted.len(),
+            ms.unexpected.len(),
+            ms.pending_sends.len(),
+            ms.active_recvs.len(),
         )
     }
 }
 
-/// The packet handler wired into each link pump.
+/// The packet handler wired into each link pump. Called with one link
+/// mutex held; takes `match_state` internally per callback (lock order
+/// rule 2: link → match_state).
 struct DeviceSink<'a> {
-    st: &'a mut DeviceState,
-    my_rank: usize,
+    dev: &'a Device,
     deferred: &'a mut Vec<Deferred>,
-    metrics: &'a MetricsRegistry,
+    /// Requests completed by this pump pass (the engine's throughput
+    /// gauge and batch-size sample).
+    completions: &'a mut u64,
 }
 
 impl PacketSink for DeviceSink<'_> {
     fn on_eager(&mut self, env: Envelope, data: &[u8]) {
-        let pos = self
-            .st
+        let mut ms = self.dev.match_state.lock();
+        let pos = ms
             .posted
             .iter()
             .position(|p| envelope_matches(&env, p.src, p.tag, p.context));
-        self.metrics.add(
+        self.dev.metrics.add(
             Metric::MatchAttempts,
-            pos.map_or(self.st.posted.len(), |p| p + 1) as u64,
+            pos.map_or(ms.posted.len(), |p| p + 1) as u64,
         );
         if let Some(pos) = pos {
-            let p = self.st.posted.remove(pos).unwrap();
+            let p = ms.posted.remove(pos).unwrap();
             let n = data.len().min(p.cap);
             // SAFETY: posted window is caller-guaranteed stable until the
             // request completes.
@@ -768,47 +1019,49 @@ impl PacketSink for DeviceSink<'_> {
                     bytes: packet::encode_sync_ack(env.sreq),
                 });
             }
-            self.metrics.event3(
+            self.dev.metrics.event3(
                 EventKind::MsgRecv,
                 env.gsrc as u64,
                 env.tag as i64 as u64,
                 n as u64,
             );
             p.req.complete_with(env.src, env.tag, n);
+            *self.completions += 1;
         } else {
-            self.st.unexpected.push_back(Unexpected::Eager {
+            ms.unexpected.push_back(Unexpected::Eager {
                 env,
                 data: data.to_vec(),
             });
-            self.metrics
-                .record_max(Metric::UnexpectedQueuePeak, self.st.unexpected.len() as u64);
+            self.dev
+                .metrics
+                .record_max(Metric::UnexpectedQueuePeak, ms.unexpected.len() as u64);
         }
     }
 
     fn on_rts(&mut self, env: Envelope) {
-        self.metrics.bump(Metric::RndvRtsIn);
-        self.metrics.event3(
+        self.dev.metrics.bump(Metric::RndvRtsIn);
+        self.dev.metrics.event3(
             EventKind::RndvRts,
             env.sreq,
             env.len,
             rndv_ctl(env.gsrc as usize, false),
         );
-        let pos = self
-            .st
+        let mut ms = self.dev.match_state.lock();
+        let pos = ms
             .posted
             .iter()
             .position(|p| envelope_matches(&env, p.src, p.tag, p.context));
-        self.metrics.add(
+        self.dev.metrics.add(
             Metric::MatchAttempts,
-            pos.map_or(self.st.posted.len(), |p| p + 1) as u64,
+            pos.map_or(ms.posted.len(), |p| p + 1) as u64,
         );
         if let Some(pos) = pos {
-            let p = self.st.posted.remove(pos).unwrap();
+            let p = ms.posted.remove(pos).unwrap();
             if env.len as usize > p.cap {
                 p.req.mark_truncated();
             }
             let rreq_id = p.req.id();
-            self.st.active_recvs.insert(
+            ms.active_recvs.insert(
                 rreq_id,
                 ActiveRecv {
                     ptr: p.ptr,
@@ -817,7 +1070,7 @@ impl PacketSink for DeviceSink<'_> {
                     req: p.req,
                 },
             );
-            self.metrics.event3(
+            self.dev.metrics.event3(
                 EventKind::RndvCts,
                 env.sreq,
                 env.len,
@@ -828,25 +1081,26 @@ impl PacketSink for DeviceSink<'_> {
                 bytes: packet::encode_cts(env.sreq, rreq_id),
             });
         } else {
-            self.st.unexpected.push_back(Unexpected::Rts { env });
-            self.metrics
-                .record_max(Metric::UnexpectedQueuePeak, self.st.unexpected.len() as u64);
+            ms.unexpected.push_back(Unexpected::Rts { env });
+            self.dev
+                .metrics
+                .record_max(Metric::UnexpectedQueuePeak, ms.unexpected.len() as u64);
         }
     }
 
     fn on_cts(&mut self, sreq: u64, rreq: u64) {
-        self.metrics.bump(Metric::RndvCtsIn);
-        let ps = match self.st.pending_sends.remove(&sreq) {
+        self.dev.metrics.bump(Metric::RndvCtsIn);
+        let ps = match self.dev.match_state.lock().pending_sends.remove(&sreq) {
             Some(p) => p,
             None => return, // duplicate CTS; ignore
         };
-        self.metrics.event3(
+        self.dev.metrics.event3(
             EventKind::RndvCts,
             sreq,
             ps.len as u64,
             rndv_ctl(ps.dst_global, false),
         );
-        debug_assert_ne!(ps.dst_global, self.my_rank, "self-sends bypass the wire");
+        debug_assert_ne!(ps.dst_global, self.dev.rank, "self-sends bypass the wire");
         self.deferred.push(Deferred::RawWindow {
             dst: ps.dst_global,
             header: packet::encode_rndv_data_header(rreq, ps.len),
@@ -857,35 +1111,37 @@ impl PacketSink for DeviceSink<'_> {
     }
 
     fn on_sync_ack(&mut self, sreq: u64) {
-        if let Some(ps) = self.st.pending_sends.remove(&sreq) {
+        if let Some(ps) = self.dev.match_state.lock().pending_sends.remove(&sreq) {
             ps.req.complete();
+            *self.completions += 1;
         }
     }
 
     fn rndv_dest(&mut self, rreq: u64, _total: usize) -> RndvDest {
-        match self.st.active_recvs.get(&rreq) {
+        match self.dev.match_state.lock().active_recvs.get(&rreq) {
             Some(ar) => RndvDest::Raw(ar.ptr as *mut u8, ar.cap),
             None => RndvDest::Discard,
         }
     }
 
     fn on_rndv_complete(&mut self, rreq: u64, total: usize) {
-        if let Some(ar) = self.st.active_recvs.remove(&rreq) {
+        if let Some(ar) = self.dev.match_state.lock().active_recvs.remove(&rreq) {
             let n = total.min(ar.cap);
-            self.metrics.bump(Metric::RndvDone);
-            self.metrics.event3(
+            self.dev.metrics.bump(Metric::RndvDone);
+            self.dev.metrics.event3(
                 EventKind::RndvDone,
                 ar.env.sreq,
                 total as u64,
                 rndv_ctl(ar.env.gsrc as usize, false),
             );
-            self.metrics.event3(
+            self.dev.metrics.event3(
                 EventKind::MsgRecv,
                 ar.env.gsrc as u64,
                 ar.env.tag as i64 as u64,
                 n as u64 | MSG_RNDV_FLAG,
             );
             ar.req.complete_with(ar.env.src, ar.env.tag, n);
+            *self.completions += 1;
         }
     }
 }
@@ -1174,5 +1430,173 @@ mod tests {
             send(&d0, 9, env(0, 0, 1), &data[..4], false),
             Err(MpcError::InvalidRank(9))
         ));
+    }
+
+    // --------------------------------------------------------------
+    // Asynchronous progress
+    // --------------------------------------------------------------
+
+    /// A wait parked in the backoff sleep tier must be woken by progress
+    /// another thread makes — not wait out the sleep quantum. The quantum
+    /// here is absurdly long so a missed wakeup fails loudly (hangs the
+    /// test harness timeout) rather than passing slowly.
+    #[test]
+    fn parked_wait_is_woken_by_external_progress() {
+        let (d0, d1) = duo_with(DeviceConfig {
+            eager_threshold: 64,
+            wait_backoff: motor_pal::BackoffConfig {
+                spin_limit: 1,
+                yield_limit: 1,
+                sleep: Some(Duration::from_secs(3600)),
+            },
+            ..DeviceConfig::default()
+        });
+        let data = vec![0x42u8; 4096];
+        let sreq = send(&d0, 1, env(0, 0, 1), &data, false).unwrap();
+
+        let d0c = Arc::clone(&d0);
+        let d1c = Arc::clone(&d1);
+        let driver = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(30));
+            let mut buf = vec![0u8; 4096];
+            let rreq = recv(&d1c, 0, 1, 0, &mut buf).unwrap();
+            for _ in 0..10_000 {
+                if rreq.is_complete() {
+                    break;
+                }
+                d1c.progress_batched(4, true).unwrap();
+                d0c.progress_batched(4, true).unwrap();
+            }
+            assert!(rreq.is_complete());
+            assert_eq!(buf, vec![0x42u8; 4096]);
+        });
+
+        let start = std::time::Instant::now();
+        let _st = d0.wait_with(&sreq, || {}).unwrap();
+        assert!(
+            start.elapsed() < Duration::from_secs(600),
+            "woken by notification, not the timer"
+        );
+        driver.join().unwrap();
+    }
+
+    /// Stealable progress: a third party driving the steal set completes
+    /// a rendezvous between two devices neither of which pumps itself.
+    #[test]
+    fn stealable_progress_completes_compute_bound_peer() {
+        let (d0, d1) = duo_with(DeviceConfig {
+            eager_threshold: 64,
+            ..DeviceConfig::default()
+        });
+        let set = ProgressSet::new();
+        set.register(&d0);
+        set.register(&d1);
+        d0.install_steal_set(Arc::clone(&set));
+        d1.install_steal_set(Arc::clone(&set));
+
+        let data = vec![0x5Au8; 8192];
+        let sreq = send(&d0, 1, env(0, 0, 3), &data, false).unwrap();
+        let mut buf = vec![0u8; 8192];
+        let rreq = recv(&d1, 0, 3, 0, &mut buf).unwrap();
+        // "Rank 2" steals on behalf of both compute-bound ranks.
+        for _ in 0..10_000 {
+            if sreq.is_complete() && rreq.is_complete() {
+                break;
+            }
+            set.steal(2);
+        }
+        assert!(sreq.is_complete() && rreq.is_complete());
+        assert_eq!(buf, data);
+        let snap = d0.metrics().snapshot();
+        assert!(
+            snap.get(Metric::ProgressSteals) > 0,
+            "steal sweeps were counted"
+        );
+    }
+
+    /// Completion batching: one batched poll on each side finishes a full
+    /// rendezvous (RTS→CTS→data→done), where single passes would need a
+    /// poll per protocol leg.
+    #[test]
+    fn progress_batched_completes_rendezvous_in_one_poll() {
+        let (d0, d1) = duo_with(DeviceConfig {
+            eager_threshold: 64,
+            ..DeviceConfig::default()
+        });
+        let data = vec![9u8; 4096];
+        let sreq = send(&d0, 1, env(0, 0, 8), &data, false).unwrap();
+        let mut buf = vec![0u8; 4096];
+        let rreq = recv(&d1, 0, 8, 0, &mut buf).unwrap();
+        // RTS flushed by the send's own pass; one batched poll per side:
+        // d1 matches + sends CTS, d0 streams the window, d1 completes.
+        d1.progress_batched(4, false).unwrap();
+        d0.progress_batched(4, false).unwrap();
+        d1.progress_batched(4, false).unwrap();
+        assert!(sreq.is_complete(), "sender done after its batched poll");
+        assert!(rreq.is_complete(), "receiver drained data in-batch");
+        assert_eq!(buf, data);
+        let snap = d1.metrics().snapshot();
+        assert!(
+            snap.get(Metric::ProgressOpsCompleted) >= 1,
+            "batched completions are counted"
+        );
+    }
+
+    /// Lock-split smoke (the TSan target): two threads send from the same
+    /// device to different peers while an engine-style thread pumps all
+    /// three devices concurrently.
+    #[test]
+    fn concurrent_senders_with_engine_thread() {
+        let d0 = Device::new(0, DeviceConfig::default());
+        let d1 = Device::new(1, DeviceConfig::default());
+        let d2 = Device::new(2, DeviceConfig::default());
+        let (a, b) = shm_pair(64 * 1024);
+        d0.set_link(1, LinkState::new(Box::new(a)));
+        d1.set_link(0, LinkState::new(Box::new(b)));
+        let (c, d) = shm_pair(64 * 1024);
+        d0.set_link(2, LinkState::new(Box::new(c)));
+        d2.set_link(0, LinkState::new(Box::new(d)));
+
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let engine = {
+            let (d0, d1, d2) = (Arc::clone(&d0), Arc::clone(&d1), Arc::clone(&d2));
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                while !stop.load(Ordering::Acquire) {
+                    d0.progress_batched(4, true).unwrap();
+                    d1.progress_batched(4, true).unwrap();
+                    d2.progress_batched(4, true).unwrap();
+                }
+            })
+        };
+
+        const N: usize = 64;
+        let senders: Vec<_> = [1usize, 2usize]
+            .into_iter()
+            .map(|peer| {
+                let d0 = Arc::clone(&d0);
+                std::thread::spawn(move || {
+                    for i in 0..N {
+                        let data = [peer as u8; 128];
+                        let r = send(&d0, peer, env(0, 0, i as i32), &data, false).unwrap();
+                        d0.wait_with(&r, || {}).unwrap();
+                    }
+                })
+            })
+            .collect();
+
+        for (peer, dev) in [(1usize, &d1), (2usize, &d2)] {
+            for i in 0..N {
+                let mut buf = [0u8; 128];
+                let r = recv(dev, 0, i as i32, 0, &mut buf).unwrap();
+                dev.wait_with(&r, || {}).unwrap();
+                assert_eq!(buf, [peer as u8; 128]);
+            }
+        }
+        for s in senders {
+            s.join().unwrap();
+        }
+        stop.store(true, Ordering::Release);
+        engine.join().unwrap();
     }
 }

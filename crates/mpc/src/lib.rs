@@ -40,6 +40,7 @@ pub mod dtype;
 pub mod error;
 pub mod group;
 pub mod packet;
+pub mod progress;
 pub mod request;
 pub mod source;
 pub mod tag;
@@ -50,6 +51,7 @@ pub use device::{Device, DeviceConfig, ANY_TAG};
 pub use dtype::{DType, MpcPrim, ReduceOp};
 pub use error::{MpcError, MpcResult};
 pub use group::Group;
+pub use progress::{ProgressConfig, ProgressEngine, ProgressMode, ProgressSet};
 pub use request::{Request, Status};
 pub use source::Source;
 pub use tag::Tag;

@@ -20,6 +20,7 @@ use crate::comm::Comm;
 use crate::device::{Device, DeviceConfig};
 use crate::error::{MpcError, MpcResult};
 use crate::packet::Envelope;
+use crate::progress::{ProgressConfig, ProgressEngine, ProgressMode, ProgressSet};
 use crate::request::{Request, Status};
 
 /// Which PAL transport connects ranks.
@@ -49,6 +50,10 @@ pub struct UniverseConfig {
     /// When set, overrides [`channel`](Self::channel): every link pair
     /// comes from this factory instead.
     pub link_factory: Option<LinkFactory>,
+    /// Asynchronous progress model. When left at the default (`off`), the
+    /// `MOTOR_PROGRESS` environment variable is consulted instead, so
+    /// deployments can switch modes without a rebuild.
+    pub progress: ProgressConfig,
 }
 
 impl std::fmt::Debug for UniverseConfig {
@@ -58,6 +63,7 @@ impl std::fmt::Debug for UniverseConfig {
             .field("ring_capacity", &self.ring_capacity)
             .field("device", &self.device)
             .field("link_factory", &self.link_factory.as_ref().map(|_| "<fn>"))
+            .field("progress", &self.progress)
             .finish()
     }
 }
@@ -69,6 +75,7 @@ impl Default for UniverseConfig {
             ring_capacity: 256 * 1024,
             device: DeviceConfig::default(),
             link_factory: None,
+            progress: ProgressConfig::off(),
         }
     }
 }
@@ -81,6 +88,12 @@ struct UniverseInner {
     ctx_alloc: Arc<AtomicU32>,
     /// Join handles of dynamically spawned processes.
     children: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    /// Resolved progress model (config, else `MOTOR_PROGRESS`).
+    progress: ProgressConfig,
+    /// Dedicated progress threads (mode `thread`; idle otherwise).
+    engine: ProgressEngine,
+    /// Steal pool every device joins in mode `steal`.
+    steal: Arc<ProgressSet>,
 }
 
 /// A universe of communicating processes.
@@ -128,6 +141,13 @@ impl Proc {
 
 impl Universe {
     fn new(config: UniverseConfig) -> Universe {
+        // Explicit non-default config wins; a config left at `off` defers
+        // to `MOTOR_PROGRESS` (mirrors the doctor's from_env fallback).
+        let progress = if config.progress.mode != ProgressMode::Off {
+            config.progress
+        } else {
+            ProgressConfig::from_env().unwrap_or(config.progress)
+        };
         Universe {
             inner: Arc::new(UniverseInner {
                 config,
@@ -135,8 +155,16 @@ impl Universe {
                 // Context 0/1 belong to the world communicator.
                 ctx_alloc: Arc::new(AtomicU32::new(2)),
                 children: Mutex::new(Vec::new()),
+                progress,
+                engine: ProgressEngine::new(progress),
+                steal: ProgressSet::new(),
             }),
         }
+    }
+
+    /// The resolved progress configuration (explicit or `MOTOR_PROGRESS`).
+    pub fn progress_config(&self) -> ProgressConfig {
+        self.inner.progress
     }
 
     fn make_link_pair(
@@ -169,12 +197,20 @@ impl Universe {
         for i in 0..count {
             fresh.push(Device::new(base + i, self.inner.config.device.clone()));
         }
+        // With an active progress mode, wired peers can poke each other's
+        // wakers when they put bytes on the wire; mode `off` leaves the
+        // poke tables empty so the legacy path stays untouched.
+        let pokes = self.inner.progress.mode != ProgressMode::Off;
         // New ↔ existing links.
         for (i, nd) in fresh.iter().enumerate() {
             for (g, od) in devices.iter().enumerate() {
                 let (a, b) = Self::make_link_pair(&self.inner.config, base + i, g)?;
                 nd.set_link(g, a);
                 od.set_link(base + i, b);
+                if pokes {
+                    nd.install_peer_waker(g, od.waker_handle());
+                    od.install_peer_waker(base + i, nd.waker_handle());
+                }
             }
         }
         // New ↔ new links.
@@ -183,9 +219,26 @@ impl Universe {
                 let (a, b) = Self::make_link_pair(&self.inner.config, base + i, base + j)?;
                 fresh[i].set_link(base + j, a);
                 fresh[j].set_link(base + i, b);
+                if pokes {
+                    fresh[i].install_peer_waker(base + j, fresh[j].waker_handle());
+                    fresh[j].install_peer_waker(base + i, fresh[i].waker_handle());
+                }
             }
         }
         devices.extend(fresh.iter().cloned());
+        // Asynchronous progress coverage — including dynamically spawned
+        // processes, which get their engine thread / steal-pool membership
+        // the moment they are wired.
+        for nd in &fresh {
+            match self.inner.progress.mode {
+                ProgressMode::Off => {}
+                ProgressMode::Thread => self.inner.engine.attach(Arc::clone(nd)),
+                ProgressMode::Steal => {
+                    self.inner.steal.register(nd);
+                    nd.install_steal_set(Arc::clone(&self.inner.steal));
+                }
+            }
+        }
         Ok(fresh)
     }
 
@@ -245,6 +298,8 @@ impl Universe {
         for c in children {
             c.join().expect("spawned child panicked");
         }
+        // Park-and-join the progress threads before the devices go away.
+        universe.inner.engine.stop();
         result.map_err(|_| MpcError::Shutdown)?;
         Ok(())
     }
@@ -711,6 +766,53 @@ mod tests {
             let mut buf = [0u8; 1];
             inter.recv_bytes(&mut buf, world.rank(), 5).unwrap();
             assert_eq!(buf[0], world.rank() as u8 + 100);
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn progress_thread_mode_runs_universe() {
+        let cfg = UniverseConfig {
+            progress: ProgressConfig::thread(),
+            ..Default::default()
+        };
+        Universe::run_with(3, cfg, |proc| {
+            let world = proc.world();
+            let mut sum = [0i64];
+            world
+                .allreduce_slice(&[world.rank() as i64 + 1], &mut sum, ReduceOp::Sum)
+                .unwrap();
+            assert_eq!(sum[0], 6);
+            // Large transfer exercises rendezvous under the engine.
+            let n = 200_000usize;
+            if world.rank() == 0 {
+                let data: Vec<u8> = (0..n).map(|i| (i % 241) as u8).collect();
+                world.send_bytes(&data, 1, 2).unwrap();
+            } else if world.rank() == 1 {
+                let mut buf = vec![0u8; n];
+                world.recv_bytes(&mut buf, 0, 2).unwrap();
+                assert!(buf.iter().enumerate().all(|(i, &b)| b == (i % 241) as u8));
+            }
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn progress_steal_mode_runs_universe() {
+        let cfg = UniverseConfig {
+            progress: ProgressConfig::steal(),
+            ..Default::default()
+        };
+        Universe::run_with(4, cfg, |proc| {
+            let world = proc.world();
+            let me = world.rank();
+            let other = world.size() - 1 - me;
+            let send = [me as u8; 64];
+            let mut recv = [0u8; 64];
+            world
+                .sendrecv_bytes(&send, other, &mut recv, other, 4)
+                .unwrap();
+            assert_eq!(recv, [other as u8; 64]);
         })
         .unwrap();
     }

@@ -121,6 +121,17 @@ define_metrics! {
     UnexpectedQueuePeak => "unexpected_queue_peak",
     /// Progress-engine pump invocations.
     ProgressPolls => "progress_polls",
+    /// Requests completed by progress passes (eager matches, rendezvous
+    /// completions, sync-acks) — the asynchronous progress engine's
+    /// throughput gauge.
+    ProgressOpsCompleted => "progress_ops_completed",
+    /// Progress passes stolen on behalf of this device by another rank's
+    /// parked thread (`poke`-style stealable progress).
+    ProgressSteals => "progress_steals",
+    /// Nanoseconds a dedicated progress-engine thread spent pumping this
+    /// device — communication work done off the rank thread, i.e. the
+    /// off-thread share of the `progress` time bucket.
+    ProgressEngineNanos => "progress_engine_nanos",
     /// Links dropped after a transport failure (peer closed mid-stream);
     /// each drop fails every in-flight operation bound to that peer.
     LinksDropped => "links_dropped",
@@ -316,6 +327,9 @@ define_hists! {
     SafepointStallNanos => "safepoint_stall_nanos",
     /// Serialized object-graph sizes (wire bytes per osend).
     SerializedGraphBytes => "serialized_graph_bytes",
+    /// Requests completed per batched progress-engine poll (completion
+    /// batching: CTS windows and eager frames drained together).
+    ProgressBatch => "progress_batch",
 }
 
 /// Bucket index for a value: 0 holds exactly 0, bucket k covers

@@ -14,6 +14,7 @@ use motor_mpc::channel::LinkState;
 use motor_mpc::device::{Device, DeviceConfig};
 use motor_mpc::error::MpcResult;
 use motor_mpc::packet::Envelope;
+use motor_mpc::progress::{ProgressConfig, ProgressMode, ProgressSet};
 use motor_mpc::request::Request;
 use motor_obs::{FlightRecord, RankFlight};
 use motor_pal::{TickSource, VirtualClock};
@@ -43,6 +44,12 @@ pub struct SimConfig {
     pub schedule: Schedule,
     /// Fault plan applied to every wire direction.
     pub plan: FaultPlan,
+    /// Asynchronous progress model, emulated deterministically: mode
+    /// `thread` turns each scheduler step into a batched engine poll,
+    /// mode `steal` follows each step with one seeded steal sweep. No
+    /// real threads are spawned — every interleaving replays from the
+    /// seed. The environment is deliberately *not* consulted here.
+    pub progress: ProgressConfig,
 }
 
 impl SimConfig {
@@ -54,6 +61,7 @@ impl SimConfig {
             device: DeviceConfig::default(),
             schedule: Schedule::Random,
             plan: FaultPlan::clean(),
+            progress: ProgressConfig::off(),
         }
     }
 }
@@ -68,6 +76,8 @@ pub struct SimNet {
     schedule: Schedule,
     next_rr: usize,
     steps: u64,
+    progress: ProgressConfig,
+    steal_set: Option<Arc<ProgressSet>>,
 }
 
 impl SimNet {
@@ -96,6 +106,16 @@ impl SimNet {
                 controls.insert((i, j), ctl);
             }
         }
+        let steal_set = if config.progress.mode == ProgressMode::Steal {
+            let set = ProgressSet::new();
+            for d in &devices {
+                set.register(d);
+                d.install_steal_set(Arc::clone(&set));
+            }
+            Some(set)
+        } else {
+            None
+        };
         SimNet {
             seed,
             clock,
@@ -105,6 +125,8 @@ impl SimNet {
             schedule: config.schedule,
             next_rr: 0,
             steps: 0,
+            progress: config.progress,
+            steal_set,
         }
     }
 
@@ -168,7 +190,25 @@ impl SimNet {
             }
             Schedule::Random => self.rng.below(self.devices.len() as u64) as usize,
         };
-        let moved = self.devices[idx].progress()?;
+        let moved = match self.progress.mode {
+            // Legacy path, bit-for-bit: one plain pump pass.
+            ProgressMode::Off => self.devices[idx].progress()?,
+            // The engine's batched poll, run inline on the scheduler
+            // thread — same code, deterministic interleavings.
+            ProgressMode::Thread => {
+                self.devices[idx].progress_batched(self.progress.max_batch_passes, true)?
+            }
+            // One pass on the chosen rank, then that rank steals one
+            // sweep over its siblings (what its parked waiter would do).
+            ProgressMode::Steal => {
+                let own = self.devices[idx].progress()?;
+                let stolen = self
+                    .steal_set
+                    .as_ref()
+                    .is_some_and(|s| s.steal(self.devices[idx].rank()));
+                own || stolen
+            }
+        };
         self.clock.advance(1);
         self.steps += 1;
         Ok(moved)

@@ -61,6 +61,28 @@ if [ -z "$edges" ] || [ "$edges" -lt 1 ]; then
   exit 1
 fi
 
+echo "==> progress engine smoke test (MOTOR_PROGRESS env plumbing)"
+# The same 4-rank trace workload with the asynchronous progress engine
+# switched on through the environment variable — the no-rebuild path
+# deployments use. Both engine modes must complete the run and still
+# produce matched message edges; the conformance suite is then narrowed
+# to the same mode on two frozen seeds so a failure names the engine
+# mode that broke. (The full suites run in both modes as part of
+# `cargo test --workspace` above.)
+for prog_mode in thread steal; do
+  MOTOR_PROGRESS="$prog_mode" \
+    cargo run -q -p motor-bench --bin motor-trace -- record "$trace_out" --ranks 4 \
+    > /dev/null
+  mode_summary="$(cargo run -q -p motor-bench --bin motor-trace -- summary "$trace_out")"
+  mode_edges="$(echo "$mode_summary" | sed -n 's/.* \([0-9][0-9]*\) message edges.*/\1/p')"
+  if [ -z "$mode_edges" ] || [ "$mode_edges" -lt 1 ]; then
+    echo "progress smoke test ($prog_mode): expected >= 1 message edge, got '${mode_edges:-parse failure}'" >&2
+    exit 1
+  fi
+  MOTOR_PROGRESS="$prog_mode" MOTOR_SIM_SEEDS="1,0x5eed5eed" \
+    cargo test -q --test progress_conformance > /dev/null
+done
+
 echo "==> doctor smoke test (4 ranks, injected deadlock)"
 # A 4-rank run where the last rank posts a receive nobody will send to.
 # The watchdog must diagnose it, write a flight record and abort with

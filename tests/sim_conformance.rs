@@ -42,6 +42,7 @@ fn sim_config(ranks: usize, plan: FaultPlan, schedule: Schedule) -> SimConfig {
         },
         schedule,
         plan,
+        ..SimConfig::new(ranks)
     }
 }
 
